@@ -1,0 +1,75 @@
+// Fig. 11: prototype-cluster evaluation. The paper deploys PERQ on the
+// 16-node Tardis cluster; we emulate it with a fixed 16-node simulated
+// cluster whose power budget shrinks as f grows (worst_case_nodes = 16/f).
+// The throughput baseline at each f is the *worst-case-provisioned* machine
+// with the same budget: 16/f nodes all at TDP.
+#include "common.hpp"
+
+#include <algorithm>
+#include <map>
+
+int main() {
+  using namespace perq;
+  bench::banner("Fig. 11",
+                "16-node prototype-style sweep: throughput and fairness vs f");
+
+  CsvWriter csv(bench::csv_path("fig11_prototype"),
+                {"policy", "f", "completed", "throughput_improvement_pct",
+                 "mean_degradation_pct", "max_degradation_pct"});
+  std::printf("%-6s %5s %10s %14s %12s %12s\n", "policy", "f", "completed",
+              "throughput+%", "mean-deg%", "max-deg%");
+  // The prototype is small (16 nodes), so single runs are noisy: every
+  // point is averaged over three trace seeds (the paper likewise repeats
+  // its prototype runs "multiple times").
+  const std::vector<std::uint64_t> seeds{11, 12, 13};
+  for (double f : {1.2, 1.4, 1.6, 1.8, 2.0}) {
+    struct Acc {
+      double completed = 0, improv = 0, mean_deg = 0, max_deg = 0;
+    };
+    std::map<std::string, Acc> acc;
+    double f_eff = f;
+    for (std::uint64_t seed : seeds) {
+      const auto cfg = bench::tardis_config(f, seed);
+      f_eff = cfg.over_provision_factor;
+      // Baseline: a machine with only the worst-case node count, same budget.
+      core::EngineConfig base_cfg = cfg;
+      base_cfg.over_provision_factor = 1.0;
+      auto fop_base = policy::make_fop();
+      const auto base = core::run_experiment(base_cfg, *fop_base);
+
+      auto fop = policy::make_fop();
+      const auto fop_run = core::run_experiment(cfg, *fop);
+      const auto add = [&](const core::RunResult& run) {
+        const auto fair = metrics::degradation_vs_baseline(run, fop_run);
+        auto& a = acc[run.policy_name];
+        a.completed += static_cast<double>(run.jobs_completed);
+        a.improv += metrics::throughput_improvement_pct(run.jobs_completed,
+                                                        base.jobs_completed);
+        a.mean_deg += fair.mean_degradation_pct;
+        a.max_deg = std::max(a.max_deg, fair.max_degradation_pct);
+      };
+      add(fop_run);
+      auto sjs = policy::make_sjs();
+      add(core::run_experiment(cfg, *sjs));
+      auto srn = policy::make_srn();
+      add(core::run_experiment(cfg, *srn));
+      auto perq = bench::make_perq(cfg);
+      add(core::run_experiment(cfg, perq));
+    }
+    const double n = static_cast<double>(seeds.size());
+    for (const char* name : {"FOP", "SJS", "SRN", "PERQ"}) {
+      const auto& a = acc[name];
+      std::printf("%-6s %5.2f %10.0f %14.1f %12.1f %12.1f\n", name, f_eff,
+                  a.completed / n, a.improv / n, a.mean_deg / n, a.max_deg);
+      csv.row(std::vector<std::string>{
+          name, format_double(f_eff),
+          format_double(a.completed / n), format_double(a.improv / n),
+          format_double(a.mean_deg / n), format_double(a.max_deg)});
+    }
+  }
+  std::printf("\nExpected shape (paper): same ordering as the simulations at "
+              "smaller scale -- PERQ beats FOP by up to ~25%% with mean "
+              "degradation < 10%%; SRN's degradation is about double PERQ's.\n");
+  std::printf("CSV written to %s\n", bench::csv_path("fig11_prototype").c_str());
+  return 0;
+}

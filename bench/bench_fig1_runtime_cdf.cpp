@@ -1,0 +1,45 @@
+// Fig. 1: CDF of job runtimes on Mira and Trinity. The synthetic traces are
+// calibrated to the published moments (Mira: mean 72 min, 62% > 30 min;
+// Trinity: mean 30 min, 46% > 30 min); this bench prints the resulting CDFs
+// and checks the moments.
+#include "common.hpp"
+
+#include "trace/trace.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace perq;
+  bench::banner("Fig. 1", "Runtime CDFs of the synthetic Mira / Trinity traces");
+
+  CsvWriter csv(bench::csv_path("fig1_runtime_cdf"),
+                {"system", "runtime_hr", "cdf"});
+  for (auto system : {trace::SystemModel::kMira, trace::SystemModel::kTrinity}) {
+    trace::TraceConfig cfg;
+    cfg.system = system;
+    cfg.job_count = 50000;
+    cfg.max_job_nodes = 32;
+    cfg.seed = 7;
+    const auto jobs = trace::generate_trace(cfg);
+    std::vector<double> runtimes;
+    runtimes.reserve(jobs.size());
+    for (const auto& j : jobs) runtimes.push_back(j.runtime_ref_s);
+
+    const auto stats = trace::compute_stats(jobs);
+    std::printf("\n%s: mean %.1f min (paper: %s), median %.1f min, P(>30min) %.2f "
+                "(paper: %s)\n",
+                to_string(system).c_str(), stats.mean_runtime_s / 60.0,
+                system == trace::SystemModel::kMira ? "72" : "30",
+                stats.median_runtime_s / 60.0, stats.fraction_over_30min,
+                system == trace::SystemModel::kMira ? "0.62" : "0.46");
+
+    std::printf("%10s %8s\n", "runtime", "CDF");
+    for (const auto& p : empirical_cdf(runtimes, 21)) {
+      std::printf("%8.2fhr %8.3f\n", p.value / 3600.0, p.cumulative);
+      csv.row(std::vector<std::string>{to_string(system),
+                                       format_double(p.value / 3600.0),
+                                       format_double(p.cumulative)});
+    }
+  }
+  std::printf("\nCSV written to %s\n", bench::csv_path("fig1_runtime_cdf").c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Fig. 2: power-consumption profiles of HPCCG (ramp), miniMD (sawtooth), and
+// RSBench (two-level) over their runtimes, measured on a simulated node at
+// full power.
+#include "common.hpp"
+
+#include "apps/catalog.hpp"
+#include "sim/node.hpp"
+
+int main() {
+  using namespace perq;
+  bench::banner("Fig. 2",
+                "Power profiles over runtime for HPCCG / miniMD / RSBench");
+
+  CsvWriter csv(bench::csv_path("fig2_power_profiles"),
+                {"app", "pct_of_runtime", "power_w"});
+  Rng seeder(3);
+  for (const char* name : {"HPCCG", "miniMD", "RSBench"}) {
+    const auto& app = apps::find_app(name);
+    sim::Node node(0, seeder.split());
+    node.set_cap(apps::node_power_spec().tdp);
+    double cycle = 0.0;
+    for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+      cycle += app.phase(ph).duration_s;
+    }
+    const double runtime = 2.0 * cycle;  // two cycles mirror the figure span
+    std::printf("\n%s (one row per 5%% of runtime):\n%10s %10s\n", name,
+                "% runtime", "power (W)");
+    for (int pct = 0; pct <= 100; pct += 5) {
+      const double t = runtime * pct / 100.0;
+      const auto s = node.step_busy(10.0, app, app.phase_at(t));
+      std::printf("%9d%% %10.1f\n", pct, s.power_w);
+      csv.row(std::vector<std::string>{name, std::to_string(pct),
+                                       format_double(s.power_w)});
+    }
+  }
+  std::printf("\nCSV written to %s\n",
+              bench::csv_path("fig2_power_profiles").c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fig. 3: application performance (% of performance at 290 W) versus node
+// power-cap, for all ten ECP apps grouped by sensitivity class. Performance
+// is phase-averaged, matching the run-level measurements of the paper.
+#include "common.hpp"
+
+#include "apps/catalog.hpp"
+
+namespace {
+
+double phase_average_perf(const perq::apps::AppModel& app, double cap) {
+  double acc = 0.0;
+  double cycle = 0.0;
+  for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+    acc += app.perf_fraction(cap, ph) * app.phase(ph).duration_s;
+    cycle += app.phase(ph).duration_s;
+  }
+  return acc / cycle;
+}
+
+}  // namespace
+
+int main() {
+  using namespace perq;
+  bench::banner("Fig. 3",
+                "Performance vs power-cap for the ten ECP apps, by sensitivity class");
+
+  CsvWriter csv(bench::csv_path("fig3_sensitivity"),
+                {"app", "sensitivity", "cap_w", "perf_pct_of_290w"});
+  for (auto cls : {apps::Sensitivity::kLow, apps::Sensitivity::kMedium,
+                   apps::Sensitivity::kHigh}) {
+    std::printf("\n--- %s sensitivity ---\n%-10s", to_string(cls).c_str(), "cap(W)");
+    std::vector<const apps::AppModel*> group;
+    for (const auto& app : apps::ecp_catalog()) {
+      if (app.sensitivity() == cls) {
+        group.push_back(&app);
+        std::printf(" %9s", app.name().c_str());
+      }
+    }
+    std::printf("\n");
+    for (double cap = 90.0; cap <= 290.0; cap += 25.0) {
+      std::printf("%-10.0f", cap);
+      for (const auto* app : group) {
+        const double perf = phase_average_perf(*app, cap) * 100.0;
+        std::printf(" %8.1f%%", perf);
+        csv.row(std::vector<std::string>{app->name(), to_string(cls),
+                                         format_double(cap), format_double(perf)});
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected anchors (paper): low-sensitivity apps stay above 80%% "
+              "at 90 W; high-sensitivity apps fall below 40%%.\n");
+  std::printf("CSV written to %s\n", bench::csv_path("fig3_sensitivity").c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 9: sensitivity of PERQ to the control-interval length (5-120 s):
+// system throughput relative to the shortest interval, and mean performance
+// degradation versus FOP.
+#include "common.hpp"
+
+int main() {
+  using namespace perq;
+  bench::banner("Fig. 9", "PERQ vs control-interval length (Mira workload)");
+
+  const std::vector<double> intervals{5, 10, 20, 40, 60, 120};
+  CsvWriter csv(bench::csv_path("fig9_control_interval"),
+                {"interval_s", "completed", "throughput_vs_first_pct",
+                 "mean_degradation_pct"});
+
+  std::vector<std::size_t> completed;
+  std::vector<double> mean_deg;
+  for (double dt : intervals) {
+    auto cfg = bench::mira_config(2.0, 12.0);
+    cfg.control_interval_s = dt;
+    auto fop = policy::make_fop();
+    const auto fop_run = core::run_experiment(cfg, *fop);
+    auto perq = bench::make_perq(cfg);
+    const auto run = core::run_experiment(cfg, perq);
+    completed.push_back(run.jobs_completed);
+    mean_deg.push_back(
+        metrics::degradation_vs_baseline(run, fop_run).mean_degradation_pct);
+    std::printf("  interval %3.0fs done\n", dt);
+  }
+
+  std::printf("\n%10s %10s %18s %12s\n", "interval", "completed", "vs 5s (%)",
+              "mean-deg%");
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const double rel = metrics::throughput_improvement_pct(completed[i], completed[0]);
+    std::printf("%9.0fs %10zu %18.1f %12.1f\n", intervals[i], completed[i], rel,
+                mean_deg[i]);
+    csv.row(std::vector<double>{intervals[i], static_cast<double>(completed[i]), rel,
+                                mean_deg[i]});
+  }
+  std::printf("\nExpected shape (paper): throughput degrades by < ~3%% even at "
+              "long intervals; degradation rises mildly above 40 s.\n");
+  std::printf("CSV written to %s\n",
+              bench::csv_path("fig9_control_interval").c_str());
+  return 0;
+}

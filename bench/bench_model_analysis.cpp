@@ -1,0 +1,60 @@
+// Model-analysis appendix (paper Sec. 2.4.2): verifies the claims made about
+// the identified node model -- that it is a stable, *controllable* (and
+// observable) 3rd-order state-space model -- and justifies the fixed choice
+// of order 3 with a validation/AIC sweep over orders 1-6.
+#include "common.hpp"
+
+#include "linalg/eigen.hpp"
+#include "sysid/analysis.hpp"
+
+int main() {
+  using namespace perq;
+  bench::banner("Model analysis (Sec. 2.4.2)",
+                "Poles, controllability/observability, and model-order selection");
+
+  const auto& model = core::canonical_node_model();
+  const auto& ss = model.ss();
+
+  std::printf("identified ARX(3,3)+feedthrough, validation fit %.1f%%\n\n",
+              model.fit_percent());
+  std::printf("poles (must lie inside the unit circle):\n");
+  for (const auto& p : sysid::poles(ss)) {
+    std::printf("  %+.4f %+.4fi   |z| = %.4f\n", p.real(), p.imag(), std::abs(p));
+  }
+  std::printf("stability margin 1 - rho(A): %.4f\n\n", sysid::stability_margin(ss));
+
+  std::printf("controllable: %s   observable: %s\n",
+              sysid::is_controllable(ss) ? "yes" : "NO",
+              sysid::is_observable(ss) ? "yes" : "NO");
+  const auto wc = sysid::controllability_gramian(ss);
+  const auto wo = sysid::observability_gramian(ss);
+  const auto wc_eig = linalg::symmetric_eigen(wc).values;
+  const auto wo_eig = linalg::symmetric_eigen(wo).values;
+  std::printf("controllability Gramian eigenvalues: %.2e .. %.2e\n",
+              wc_eig.front(), wc_eig.back());
+  std::printf("observability  Gramian eigenvalues: %.2e .. %.2e\n\n",
+              wo_eig.front(), wo_eig.back());
+
+  std::printf("model-order sweep (fresh training campaign, held-out fit):\n");
+  std::printf("%8s %10s %12s %8s\n", "order", "fit (%)", "AIC", "stable");
+  CsvWriter csv(bench::csv_path("model_analysis"),
+                {"order", "fit_percent", "aic", "stable"});
+  const auto segments = core::collect_training_segments(21, 600, 10.0);
+  const auto candidates = sysid::sweep_model_order(segments, 6);
+  for (const auto& c : candidates) {
+    std::printf("%8zu %10.1f %12.1f %8s\n", c.order, c.fit_percent, c.aic,
+                c.stable ? "yes" : "no");
+    csv.row(std::vector<std::string>{std::to_string(c.order),
+                                     format_double(c.fit_percent),
+                                     format_double(c.aic),
+                                     c.stable ? "yes" : "no"});
+  }
+  std::printf("\nAIC-selected order: %zu. The paper fixes order 3; on our "
+              "simulated node the cap-actuation dynamics are nearly first-order "
+              "at 10 s sampling, so the fit plateaus immediately and AIC favors "
+              "the smallest order -- order 3 costs nothing and matches the "
+              "paper's configuration.\n",
+              sysid::select_model_order(candidates));
+  std::printf("CSV written to %s\n", bench::csv_path("model_analysis").c_str());
+  return 0;
+}

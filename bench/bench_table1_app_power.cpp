@@ -1,0 +1,53 @@
+// Table 1: average per-node power consumption (% of TDP) of the ten ECP
+// proxy applications, measured by running each app uncapped on a simulated
+// node over several full phase cycles.
+#include "common.hpp"
+
+#include "apps/catalog.hpp"
+#include "sim/node.hpp"
+
+int main() {
+  using namespace perq;
+  bench::banner("Table 1",
+                "Average per-node power (% of TDP) of the ECP proxy apps, "
+                "measured uncapped on a simulated node");
+
+  // Paper values for comparison.
+  const std::pair<const char*, double> paper[] = {
+      {"ASPA", 27},    {"CoHMM", 27},     {"CoMD", 48},   {"HPCCG", 57},
+      {"RSBench", 39}, {"SimpleMOC", 69}, {"SWFFT", 28},  {"XSBench", 43},
+      {"miniFE", 61},  {"miniMD", 65},
+  };
+
+  CsvWriter csv(bench::csv_path("table1_app_power"),
+                {"app", "sensitivity", "measured_pct_tdp", "paper_pct_tdp"});
+  std::printf("%-10s %-8s %14s %12s\n", "app", "class", "measured %TDP",
+              "paper %TDP");
+  Rng seeder(1);
+  for (const auto& [name, paper_pct] : paper) {
+    const auto& app = apps::find_app(name);
+    sim::Node node(0, seeder.split());
+    node.set_cap(apps::node_power_spec().tdp);
+    double energy = 0.0;
+    double time = 0.0;
+    const double dt = 10.0;
+    // Three full phase cycles for a stable average.
+    double cycle = 0.0;
+    for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+      cycle += app.phase(ph).duration_s;
+    }
+    while (time < 3.0 * cycle) {
+      energy += node.step_busy(dt, app, app.phase_at(time)).power_w * dt;
+      time += dt;
+    }
+    const double measured_pct =
+        energy / time / apps::node_power_spec().tdp * 100.0;
+    std::printf("%-10s %-8s %14.1f %12.0f\n", name,
+                to_string(app.sensitivity()).c_str(), measured_pct, paper_pct);
+    csv.row(std::vector<std::string>{name, to_string(app.sensitivity()),
+                                     format_double(measured_pct),
+                                     format_double(paper_pct)});
+  }
+  std::printf("\nCSV written to %s\n", bench::csv_path("table1_app_power").c_str());
+  return 0;
+}

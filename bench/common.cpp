@@ -1,0 +1,130 @@
+#include "common.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <functional>
+
+namespace perq::bench {
+
+void banner(const std::string& figure, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("PERQ reproduction: %s\n", figure.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+std::string csv_path(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  return "bench_results/" + name + ".csv";
+}
+
+core::EngineConfig mira_config(double f, double hours, std::uint64_t seed) {
+  // Mira scaled down: 64 worst-case nodes, power-of-two jobs up to 16 nodes.
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kMira;
+  cfg.trace.max_job_nodes = 16;
+  cfg.trace.seed = seed;
+  cfg.worst_case_nodes = 64;
+  cfg.over_provision_factor = f;
+  cfg.duration_s = hours * 3600.0;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+  return cfg;
+}
+
+core::EngineConfig trinity_config(double f, double hours, std::uint64_t seed) {
+  // Trinity scaled down: 32 worst-case nodes, arbitrary job sizes up to 8.
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.trace.max_job_nodes = 8;
+  cfg.trace.seed = seed;
+  cfg.worst_case_nodes = 32;
+  cfg.over_provision_factor = f;
+  cfg.duration_s = hours * 3600.0;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+  return cfg;
+}
+
+core::EngineConfig tardis_config(double f, std::uint64_t seed) {
+  // The 16-node prototype cluster: over-provisioning is emulated by
+  // shrinking the power budget (worst_case_nodes) under a fixed node count.
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTardis;
+  cfg.trace.max_job_nodes = 4;
+  cfg.trace.seed = seed;
+  cfg.worst_case_nodes = static_cast<std::size_t>(std::llround(16.0 / f));
+  cfg.over_provision_factor =
+      16.0 / static_cast<double>(cfg.worst_case_nodes);
+  cfg.duration_s = 6.0 * 3600.0;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+  return cfg;
+}
+
+core::PerqPolicy make_perq(const core::EngineConfig& cfg,
+                           const core::PerqConfig& pcfg) {
+  const auto total = static_cast<std::size_t>(std::llround(
+      cfg.over_provision_factor * static_cast<double>(cfg.worst_case_nodes)));
+  return core::PerqPolicy(&core::canonical_node_model(), cfg.worst_case_nodes,
+                          total, pcfg);
+}
+
+std::vector<PolicyPoint> run_policy_sweep(
+    const std::vector<double>& factors,
+    const std::function<core::EngineConfig(double)>& make_config) {
+  // Baseline: worst-case provisioned machine under FOP (all nodes at TDP).
+  auto base_cfg = make_config(1.0);
+  auto fop_base = policy::make_fop();
+  const auto base = core::run_experiment(base_cfg, *fop_base);
+  std::printf("baseline f=1.0: %zu jobs completed\n", base.jobs_completed);
+
+  std::vector<PolicyPoint> points;
+  for (double f : factors) {
+    const auto cfg = make_config(f);
+    auto fop = policy::make_fop();
+    const auto fop_run = core::run_experiment(cfg, *fop);
+
+    const auto add = [&](const core::RunResult& run) {
+      PolicyPoint p;
+      p.policy = run.policy_name;
+      p.f = f;
+      p.completed = run.jobs_completed;
+      p.throughput_improvement_pct =
+          metrics::throughput_improvement_pct(run.jobs_completed, base.jobs_completed);
+      const auto fair = metrics::degradation_vs_baseline(run, fop_run);
+      p.mean_degradation_pct = fair.mean_degradation_pct;
+      p.max_degradation_pct = fair.max_degradation_pct;
+      points.push_back(p);
+    };
+
+    add(fop_run);
+    auto sjs = policy::make_sjs();
+    add(core::run_experiment(cfg, *sjs));
+    auto srn = policy::make_srn();
+    add(core::run_experiment(cfg, *srn));
+    auto perq = make_perq(cfg);
+    add(core::run_experiment(cfg, perq));
+    std::printf("  f=%.1f done\n", f);
+  }
+  return points;
+}
+
+void report_policy_sweep(const std::string& csv_name,
+                         const std::vector<PolicyPoint>& points) {
+  CsvWriter csv(csv_path(csv_name),
+                {"policy", "f", "completed", "throughput_improvement_pct",
+                 "mean_degradation_pct", "max_degradation_pct"});
+  std::printf("\n%-6s %5s %10s %14s %12s %12s\n", "policy", "f", "completed",
+              "throughput+%", "mean-deg%", "max-deg%");
+  for (const auto& p : points) {
+    std::printf("%-6s %5.1f %10zu %14.1f %12.1f %12.1f\n", p.policy.c_str(), p.f,
+                p.completed, p.throughput_improvement_pct, p.mean_degradation_pct,
+                p.max_degradation_pct);
+    csv.row(std::vector<std::string>{
+        p.policy, format_double(p.f), std::to_string(p.completed),
+        format_double(p.throughput_improvement_pct),
+        format_double(p.mean_degradation_pct),
+        format_double(p.max_degradation_pct)});
+  }
+  std::printf("\nCSV written to %s\n", csv_path(csv_name).c_str());
+}
+
+}  // namespace perq::bench

@@ -1,0 +1,62 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper: it runs
+// the relevant experiment(s), prints the series to stdout in a readable
+// table, and writes a CSV next to the binary (bench_results/<name>.csv) for
+// plotting. Absolute numbers differ from the paper (our substrate is a
+// simulator, not the authors' testbed); the shapes are the reproduction
+// target (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/policy.hpp"
+#include "util/csv.hpp"
+
+namespace perq::bench {
+
+/// Prints a header banner for a bench binary.
+void banner(const std::string& figure, const std::string& description);
+
+/// Creates bench_results/ (if needed) and returns the CSV path for `name`.
+std::string csv_path(const std::string& name);
+
+/// Standard experiment sizing for the simulated systems.
+core::EngineConfig mira_config(double f, double hours = 24.0, std::uint64_t seed = 11);
+core::EngineConfig trinity_config(double f, double hours = 24.0,
+                                  std::uint64_t seed = 11);
+core::EngineConfig tardis_config(double f, std::uint64_t seed = 11);
+
+/// Builds a PERQ policy sized for `cfg` against the canonical node model.
+core::PerqPolicy make_perq(const core::EngineConfig& cfg,
+                           const core::PerqConfig& pcfg = {});
+
+/// One policy's evaluation at one over-provisioning factor.
+struct PolicyPoint {
+  std::string policy;
+  double f = 1.0;
+  std::size_t completed = 0;
+  double throughput_improvement_pct = 0.0;  ///< vs the f=1 FOP baseline
+  double mean_degradation_pct = 0.0;        ///< vs FOP at the same f
+  double max_degradation_pct = 0.0;
+};
+
+/// Runs the full Fig. 6/7-style sweep: policies {FOP, SJS, SRN, PERQ} at
+/// each f, fairness measured against FOP at the same f, throughput against
+/// the f = 1 baseline. `make_config` maps f to an EngineConfig.
+std::vector<PolicyPoint> run_policy_sweep(
+    const std::vector<double>& factors,
+    const std::function<core::EngineConfig(double)>& make_config);
+
+/// Prints a policy sweep as a table and writes it to CSV.
+void report_policy_sweep(const std::string& csv_name,
+                         const std::vector<PolicyPoint>& points);
+
+}  // namespace perq::bench

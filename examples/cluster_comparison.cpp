@@ -1,0 +1,80 @@
+// Full policy comparison on a simulated over-provisioned cluster.
+//
+//   ./examples/cluster_comparison [f] [hours] [system]
+//
+// Runs FOP, SJS, LJS, SRN, and PERQ on the same workload and prints the
+// paper's three metrics. `system` is mira, trinity, or tardis.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/policy.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perq;
+  const double f = argc > 1 ? std::atof(argv[1]) : 2.0;
+  const double hours = argc > 2 ? std::atof(argv[2]) : 8.0;
+  const char* system = argc > 3 ? argv[3] : "trinity";
+
+  core::EngineConfig cfg;
+  if (std::strcmp(system, "mira") == 0) {
+    cfg.trace.system = trace::SystemModel::kMira;
+    cfg.worst_case_nodes = 64;
+    cfg.trace.max_job_nodes = 16;
+  } else if (std::strcmp(system, "tardis") == 0) {
+    cfg.trace.system = trace::SystemModel::kTardis;
+    cfg.worst_case_nodes = 8;
+    cfg.trace.max_job_nodes = 4;
+  } else {
+    cfg.trace.system = trace::SystemModel::kTrinity;
+    cfg.worst_case_nodes = 32;
+    cfg.trace.max_job_nodes = 8;
+  }
+  cfg.over_provision_factor = f;
+  cfg.duration_s = hours * 3600.0;
+  cfg.trace.seed = 11;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+
+  std::printf("system %s, f = %.2f, %zu worst-case nodes (%0.f W budget), %g h\n\n",
+              system, f, cfg.worst_case_nodes, static_cast<double>(cfg.worst_case_nodes) * 290.0,
+              hours);
+
+  // Baseline at f = 1.
+  core::EngineConfig base_cfg = cfg;
+  base_cfg.over_provision_factor = 1.0;
+  base_cfg.trace.job_count = core::recommended_job_count(base_cfg);
+  auto fop_base = policy::make_fop();
+  const auto base = core::run_experiment(base_cfg, *fop_base);
+
+  // FOP is both a contender and the fairness reference.
+  auto fop = policy::make_fop();
+  const auto fop_run = core::run_experiment(cfg, *fop);
+
+  std::printf("%-6s %10s %14s %12s %12s\n", "policy", "completed", "throughput+%",
+              "mean-deg%", "max-deg%");
+  const auto report = [&](const core::RunResult& run) {
+    const auto fair = metrics::degradation_vs_baseline(run, fop_run);
+    std::printf("%-6s %10zu %14.1f %12.1f %12.1f\n", run.policy_name.c_str(),
+                run.jobs_completed,
+                metrics::throughput_improvement_pct(run.jobs_completed,
+                                                    base.jobs_completed),
+                fair.mean_degradation_pct, fair.max_degradation_pct);
+  };
+  report(fop_run);
+  for (auto make : {policy::make_sjs, policy::make_ljs, policy::make_srn}) {
+    auto p = make();
+    report(core::run_experiment(cfg, *p));
+  }
+  const auto total = static_cast<std::size_t>(f * double(cfg.worst_case_nodes) + 0.5);
+  core::PerqPolicy perq(&core::canonical_node_model(), cfg.worst_case_nodes, total);
+  report(core::run_experiment(cfg, perq));
+
+  const auto latency = metrics::summarize_decision_times(perq.decision_seconds());
+  std::printf("\nPERQ decision latency: p50 %.2f ms, p99 %.2f ms over %zu decisions\n",
+              latency.p50_s * 1e3, latency.p99_s * 1e3, latency.decisions);
+  return 0;
+}

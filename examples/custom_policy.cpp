@@ -1,0 +1,84 @@
+// Extending PERQ's framework with a custom power-provisioning policy.
+//
+//   ./examples/custom_policy
+//
+// Implements a simple "demand-following" policy -- every job gets a cap
+// proportional to its application's recent power draw -- behind the same
+// PowerPolicy interface the built-in policies use, then evaluates it against
+// FOP and PERQ on a common workload. This is the extension point the paper
+// advertises for data-center power-management research.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/policy.hpp"
+
+namespace {
+
+using namespace perq;
+
+/// Caps each job near its measured draw plus headroom, scaled into budget.
+class DemandFollowing final : public policy::PowerPolicy {
+ public:
+  std::string name() const override { return "DEMAND"; }
+
+  std::vector<double> allocate(const policy::PolicyContext& ctx) override {
+    const auto& running = *ctx.running;
+    const auto& spec = apps::node_power_spec();
+    std::vector<double> caps(running.size());
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      // A real system would use measured node power; the simulator exposes
+      // the same information through the job's last cap and IPS trend. We
+      // approximate demand with a fixed headroom over the fair share when no
+      // measurement exists yet.
+      const sched::Job& job = *running[i];
+      const double guess = job.last_cap_w() > 0.0
+                               ? job.last_cap_w() * (job.last_min_perf() < 0.99
+                                                         ? 1.15   // throttled: grow
+                                                         : 0.95)  // satisfied: trim
+                               : ctx.budget_for_busy_w /
+                                     std::max(1.0, ctx.total_nodes);
+      caps[i] = std::clamp(guess, spec.cap_min, spec.tdp);
+    }
+    return policy::enforce_budget(running, std::move(caps), ctx.budget_for_busy_w);
+  }
+};
+
+}  // namespace
+
+int main() {
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.worst_case_nodes = 32;
+  cfg.trace.max_job_nodes = 8;
+  cfg.over_provision_factor = 2.0;
+  cfg.duration_s = 8 * 3600.0;
+  cfg.trace.seed = 11;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+
+  auto fop = policy::make_fop();
+  const auto fop_run = core::run_experiment(cfg, *fop);
+
+  DemandFollowing demand;
+  const auto demand_run = core::run_experiment(cfg, demand);
+
+  core::PerqPolicy perq(&core::canonical_node_model(), 32, 64);
+  const auto perq_run = core::run_experiment(cfg, perq);
+
+  std::printf("Trinity-like cluster, f = 2.0, 8 simulated hours\n\n");
+  std::printf("%-8s %10s %12s %12s\n", "policy", "completed", "mean-deg%",
+              "max-deg%");
+  std::printf("%-8s %10zu %12s %12s\n", "FOP", fop_run.jobs_completed, "-", "-");
+  const auto d_fair = metrics::degradation_vs_baseline(demand_run, fop_run);
+  std::printf("%-8s %10zu %12.1f %12.1f\n", "DEMAND", demand_run.jobs_completed,
+              d_fair.mean_degradation_pct, d_fair.max_degradation_pct);
+  const auto p_fair = metrics::degradation_vs_baseline(perq_run, fop_run);
+  std::printf("%-8s %10zu %12.1f %12.1f\n", "PERQ", perq_run.jobs_completed,
+              p_fair.mean_degradation_pct, p_fair.max_degradation_pct);
+  std::printf("\nThe naive demand follower lacks PERQ's model-based fairness\n"
+              "targets: compare its degradation tail against PERQ's.\n");
+  return 0;
+}

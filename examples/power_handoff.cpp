@@ -1,0 +1,82 @@
+// Power hand-off demo (paper Fig. 12): drive the PERQ control loop by hand
+// on a two-node, budget-constrained system and watch power migrate from a
+// low-sensitivity application to a high-sensitivity one.
+//
+//   ./examples/power_handoff [low-app] [high-app]
+//
+// Apps default to ASPA (low sensitivity) and SimpleMOC (high sensitivity);
+// any two names from Table 1 work. This example uses the *component* API
+// (estimator / target generator / MPC) rather than the engine, showing how
+// the pieces compose for custom control loops.
+#include <cstdio>
+#include <string>
+
+#include "apps/catalog.hpp"
+#include "control/estimator.hpp"
+#include "control/mpc.hpp"
+#include "core/node_model.hpp"
+#include "sched/job.hpp"
+#include "sim/node.hpp"
+
+int main(int argc, char** argv) {
+  using namespace perq;
+  const std::string low_name = argc > 1 ? argv[1] : "ASPA";
+  const std::string high_name = argc > 2 ? argv[2] : "SimpleMOC";
+  const auto& low = apps::find_app(low_name);
+  const auto& high = apps::find_app(high_name);
+  const auto& model = core::canonical_node_model();
+  const auto& spec = apps::node_power_spec();
+
+  std::printf("competing for one TDP of budget on two nodes:\n");
+  std::printf("  %-10s (%s sensitivity, draws %.0f%% of TDP)\n", low.name().c_str(),
+              to_string(low.sensitivity()).c_str(), low.avg_power_fraction() * 100);
+  std::printf("  %-10s (%s sensitivity, draws %.0f%% of TDP)\n\n", high.name().c_str(),
+              to_string(high.sensitivity()).c_str(), high.avg_power_fraction() * 100);
+
+  trace::JobSpec s1;
+  s1.id = 1;
+  s1.nodes = 1;
+  s1.runtime_ref_s = 1e6;
+  trace::JobSpec s2 = s1;
+  s2.id = 2;
+  sched::Job j1(s1, &low), j2(s2, &high);
+  j1.start(0.0, {0});
+  j2.start(0.0, {1});
+
+  Rng rng(42);
+  sim::Node n1(0, rng.split()), n2(1, rng.split());
+  control::JobEstimator e1(&model, 145.0), e2(&model, 145.0);
+  control::TargetGenerator targets(8.0, /*worst_case=*/1, /*total=*/2);
+  control::MpcController mpc;
+
+  double cap1 = 145.0, cap2 = 145.0;
+  const double budget = spec.tdp;  // both nodes share one TDP
+  std::printf("%6s %8s %8s %8s %8s %12s %12s\n", "t(s)", "cap1(W)", "cap2(W)",
+              "perf1", "perf2", "ips1", "ips2");
+  for (int k = 0; k <= 60; ++k) {
+    n1.set_cap(cap1);
+    n2.set_cap(cap2);
+    const auto m1 = n1.step_busy(10.0, low, j1.current_phase());
+    const auto m2 = n2.step_busy(10.0, high, j2.current_phase());
+    e1.update(cap1, m1.ips);
+    e2.update(cap2, m2.ips);
+    j1.record_interval(10.0, n1.perf_fraction(low, j1.current_phase()), m1.ips, cap1);
+    j2.record_interval(10.0, n2.perf_fraction(high, j2.current_phase()), m2.ips, cap2);
+
+    std::vector<control::ControlledJob> cj{{&j1, &e1}, {&j2, &e2}};
+    const auto t = targets.generate(cj);
+    const auto d = mpc.decide(cj, t, {cap1, cap2}, budget);
+    cap1 = d.caps_w[0];
+    cap2 = d.caps_w[1];
+
+    if (k % 5 == 0) {
+      std::printf("%6d %8.0f %8.0f %7.0f%% %7.0f%% %12.3e %12.3e\n", k * 10, cap1,
+                  cap2, n1.perf_fraction(low, j1.current_phase()) * 100,
+                  n2.perf_fraction(high, j2.current_phase()) * 100, m1.ips, m2.ips);
+    }
+  }
+  std::printf("\nPERQ discovered the sensitivity asymmetry from feedback alone:\n");
+  std::printf("  %s holds %.0f W, %s holds %.0f W of the %.0f W budget.\n",
+              low.name().c_str(), cap1, high.name().c_str(), cap2, budget);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: identify the node model, run a small over-provisioned cluster
+// under FOP (the fairness-oriented equal split) and under PERQ, and compare
+// throughput and fairness.
+//
+//   ./examples/quickstart
+//
+// This is the minimal end-to-end tour of the public API:
+//   core::canonical_node_model() -> sysid model of the node type
+//   policy::make_fop()           -> baseline policy
+//   core::PerqPolicy             -> the paper's controller
+//   core::run_experiment()       -> drive a full simulated day
+//   metrics::*                   -> the paper's objective metrics
+#include <cstdio>
+
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "metrics/metrics.hpp"
+#include "policy/policy.hpp"
+
+int main() {
+  using namespace perq;
+
+  // The one-time-per-node-type system identification (paper Sec. 2.4.2).
+  const sysid::IdentifiedModel& model = core::canonical_node_model();
+  std::printf("node model: order %zu, validation fit %.1f%%, dc gain %.3f\n",
+              model.ss().order(), model.fit_percent(), model.arx().dc_gain());
+
+  // A small Trinity-like machine: 32 worst-case nodes, 2x over-provisioned.
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.trace.max_job_nodes = 8;
+  cfg.trace.seed = 11;
+  cfg.worst_case_nodes = 32;
+  cfg.over_provision_factor = 2.0;
+  cfg.duration_s = 12.0 * 3600.0;  // half a simulated day
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+
+  // Baseline at f = 1: the worst-case-provisioned machine.
+  core::EngineConfig base_cfg = cfg;
+  base_cfg.over_provision_factor = 1.0;
+  auto fop_f1 = policy::make_fop();
+  const auto base = core::run_experiment(base_cfg, *fop_f1);
+
+  // FOP and PERQ on the over-provisioned machine.
+  auto fop = policy::make_fop();
+  const auto fop_run = core::run_experiment(cfg, *fop);
+
+  core::PerqPolicy perq(&model, cfg.worst_case_nodes,
+                        static_cast<std::size_t>(cfg.over_provision_factor *
+                                                 double(cfg.worst_case_nodes)));
+  const auto perq_run = core::run_experiment(cfg, perq);
+
+  std::printf("\n%-6s %10s %12s %12s %12s\n", "policy", "completed",
+              "throughput+%", "mean-deg%", "max-deg%");
+  std::printf("%-6s %10zu %12s %12s %12s\n", "f=1", base.jobs_completed, "-", "-", "-");
+  std::printf("%-6s %10zu %12.1f %12.1f %12.1f\n", "FOP", fop_run.jobs_completed,
+              metrics::throughput_improvement_pct(fop_run.jobs_completed,
+                                                  base.jobs_completed),
+              0.0, 0.0);
+  const auto fair = metrics::degradation_vs_baseline(perq_run, fop_run);
+  std::printf("%-6s %10zu %12.1f %12.1f %12.1f\n", "PERQ", perq_run.jobs_completed,
+              metrics::throughput_improvement_pct(perq_run.jobs_completed,
+                                                  base.jobs_completed),
+              fair.mean_degradation_pct, fair.max_degradation_pct);
+
+  const auto latency = metrics::summarize_decision_times(perq.decision_seconds());
+  std::printf("\nPERQ decision latency: p50 %.4fs  p80 %.4fs  max %.4fs over %zu decisions\n",
+              latency.p50_s, latency.p80_s, latency.max_s, latency.decisions);
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "apps/app_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace perq::apps {
+
+const PowerSpec& node_power_spec() {
+  static const PowerSpec spec{};
+  return spec;
+}
+
+std::string to_string(Sensitivity s) {
+  switch (s) {
+    case Sensitivity::kLow: return "low";
+    case Sensitivity::kMedium: return "medium";
+    case Sensitivity::kHigh: return "high";
+  }
+  return "unknown";
+}
+
+namespace {
+// Saturation-knee derivation: headroom over the phase demand for
+// sub-interval draw spikes, floored so that deep caps pinch every app
+// (Fig. 3 shows degradation at 90 W for all ten applications).
+constexpr double kKneeHeadroom = 1.25;
+constexpr double kKneeFloorW = 115.0;
+}  // namespace
+
+AppModel::AppModel(std::string name, Sensitivity sensitivity, double peak_node_ips,
+                   double deg_at_min, double shape, std::vector<PhaseSpec> phases)
+    : name_(std::move(name)),
+      sensitivity_(sensitivity),
+      peak_node_ips_(peak_node_ips),
+      deg_at_min_(deg_at_min),
+      shape_(shape),
+      phases_(std::move(phases)) {
+  PERQ_REQUIRE(!name_.empty(), "application name must be non-empty");
+  PERQ_REQUIRE(peak_node_ips_ > 0.0, "peak IPS must be positive");
+  PERQ_REQUIRE(deg_at_min_ > 0.0 && deg_at_min_ < 1.0, "deg_at_min in (0,1)");
+  PERQ_REQUIRE(shape_ > 0.0, "shape must be positive");
+  PERQ_REQUIRE(!phases_.empty(), "app needs at least one phase");
+  cycle_s_ = 0.0;
+  const PowerSpec& spec = node_power_spec();
+  for (const auto& p : phases_) {
+    PERQ_REQUIRE(p.duration_s > 0.0, "phase duration must be positive");
+    PERQ_REQUIRE(p.power_fraction > 0.0 && p.power_fraction <= 1.0,
+                 "phase power fraction in (0,1]");
+    PERQ_REQUIRE(p.perf_weight > 0.0, "phase perf weight must be positive");
+    PERQ_REQUIRE(p.sensitivity_scale > 0.0, "phase sensitivity scale must be positive");
+    PERQ_REQUIRE(p.power_fraction * spec.tdp >= spec.idle,
+                 "phase demand below idle power");
+    cycle_s_ += p.duration_s;
+  }
+}
+
+const PhaseSpec& AppModel::phase(std::size_t i) const {
+  PERQ_REQUIRE(i < phases_.size(), "phase index out of range");
+  return phases_[i];
+}
+
+double AppModel::knee_w(std::size_t phase_idx) const {
+  const PowerSpec& spec = node_power_spec();
+  return std::clamp(kKneeHeadroom * power_demand_w(phase_idx), kKneeFloorW, spec.tdp);
+}
+
+double AppModel::perf_fraction(double cap_w, std::size_t phase_idx) const {
+  const PhaseSpec& ph = phase(phase_idx);
+  const PowerSpec& spec = node_power_spec();
+  const double cap = std::clamp(cap_w, spec.cap_min, spec.tdp);
+  const double knee = knee_w(phase_idx);
+  if (cap >= knee) return 1.0;
+  const double depth = std::min(0.95, deg_at_min_ * ph.sensitivity_scale);
+  const double frac = (knee - cap) / (knee - spec.cap_min);
+  return 1.0 - depth * std::pow(frac, shape_);
+}
+
+double AppModel::node_ips(double cap_w, std::size_t phase_idx) const {
+  return peak_node_ips_ * phase(phase_idx).perf_weight *
+         perf_fraction(cap_w, phase_idx);
+}
+
+double AppModel::power_demand_w(std::size_t phase_idx) const {
+  return phase(phase_idx).power_fraction * node_power_spec().tdp;
+}
+
+double AppModel::power_draw_w(double cap_w, std::size_t phase_idx) const {
+  const PowerSpec& spec = node_power_spec();
+  const double cap = std::clamp(cap_w, spec.cap_min, spec.tdp);
+  return std::max(spec.idle, std::min(cap, power_demand_w(phase_idx)));
+}
+
+std::size_t AppModel::phase_at(double elapsed_s) const {
+  PERQ_REQUIRE(elapsed_s >= 0.0, "elapsed time must be non-negative");
+  if (phases_.size() == 1) return 0;
+  double t = std::fmod(elapsed_s, cycle_s_);
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (t < phases_[i].duration_s) return i;
+    t -= phases_[i].duration_s;
+  }
+  return phases_.size() - 1;  // numeric edge at the cycle boundary
+}
+
+double AppModel::avg_power_fraction() const {
+  double acc = 0.0;
+  for (const auto& p : phases_) acc += p.duration_s * p.power_fraction;
+  return acc / cycle_s_;
+}
+
+}  // namespace perq::apps

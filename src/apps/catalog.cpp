@@ -1,0 +1,126 @@
+#include "apps/catalog.hpp"
+
+#include "util/require.hpp"
+
+namespace perq::apps {
+
+namespace {
+
+// Phase lists are tuned so the duration-weighted average power fraction
+// reproduces Table 1 exactly, and the shapes echo Fig. 2 (HPCCG ramps up,
+// miniMD alternates compute/neighbor phases, RSBench is two-level).
+
+std::vector<AppModel> build_ecp_catalog() {
+  std::vector<AppModel> apps;
+
+  // --- Low sensitivity (Fig. 3 left: < 20% degradation at 90 W) ----------
+  apps.emplace_back("ASPA", Sensitivity::kLow, 2.1e9, 0.12, 1.3,
+                    std::vector<PhaseSpec>{
+                        {240.0, 0.24, 1.00, 1.0},
+                        {240.0, 0.30, 0.95, 1.1},
+                    });  // avg power 27%
+  apps.emplace_back("CoHMM", Sensitivity::kLow, 1.8e9, 0.13, 1.3,
+                    std::vector<PhaseSpec>{
+                        {300.0, 0.25, 1.00, 0.9},
+                        {150.0, 0.31, 1.05, 1.2},
+                    });  // avg 27%
+  apps.emplace_back("HPCCG", Sensitivity::kLow, 2.6e9, 0.15, 1.4,
+                    std::vector<PhaseSpec>{
+                        {180.0, 0.48, 0.95, 0.9},
+                        {180.0, 0.55, 1.00, 1.0},
+                        {180.0, 0.62, 1.05, 1.1},
+                        {180.0, 0.63, 1.05, 1.1},
+                    });  // ramping draw, avg 57% (Fig. 2 left)
+  apps.emplace_back("RSBench", Sensitivity::kLow, 1.5e9, 0.18, 1.3,
+                    std::vector<PhaseSpec>{
+                        {240.0, 0.33, 1.00, 1.0},
+                        {240.0, 0.45, 1.00, 1.1},
+                    });  // two-level draw, avg 39% (Fig. 2 right)
+
+  // --- Medium sensitivity (Fig. 3 middle) --------------------------------
+  apps.emplace_back("CoMD", Sensitivity::kMedium, 3.2e9, 0.38, 1.1,
+                    std::vector<PhaseSpec>{
+                        {300.0, 0.44, 1.00, 1.0},
+                        {200.0, 0.54, 1.05, 1.15},
+                    });  // avg 48%
+  apps.emplace_back("XSBench", Sensitivity::kMedium, 2.2e9, 0.42, 1.1,
+                    std::vector<PhaseSpec>{
+                        {360.0, 0.40, 1.00, 0.95},
+                        {240.0, 0.475, 1.00, 1.1},
+                    });  // avg 43%
+  apps.emplace_back("miniFE", Sensitivity::kMedium, 3.8e9, 0.35, 1.15,
+                    std::vector<PhaseSpec>{
+                        {200.0, 0.55, 0.95, 0.9},
+                        {200.0, 0.64, 1.00, 1.05},
+                        {200.0, 0.64, 1.05, 1.05},
+                    });  // avg 61%
+  // --- High sensitivity (Fig. 3 right: > 60% degradation) ----------------
+  apps.emplace_back("SWFFT", Sensitivity::kHigh, 2.9e9, 0.62, 1.0,
+                    std::vector<PhaseSpec>{
+                        {240.0, 0.24, 1.00, 0.9},   // transpose/communication
+                        {240.0, 0.32, 1.10, 1.1},   // FFT compute
+                    });  // avg 28%
+  apps.emplace_back("SimpleMOC", Sensitivity::kHigh, 4.5e9, 0.70, 1.0,
+                    std::vector<PhaseSpec>{
+                        {400.0, 0.66, 1.00, 1.0},
+                        {200.0, 0.75, 1.05, 1.1},
+                    });  // avg 69%
+  apps.emplace_back("miniMD", Sensitivity::kHigh, 4.1e9, 0.65, 1.0,
+                    std::vector<PhaseSpec>{
+                        {120.0, 0.52, 0.95, 0.85},  // neighbor rebuild
+                        {120.0, 0.78, 1.05, 1.15},  // force computation
+                        {120.0, 0.52, 0.95, 0.85},
+                        {120.0, 0.78, 1.05, 1.15},
+                    });  // sawtooth draw, avg 65% (Fig. 2 middle)
+  return apps;
+}
+
+std::vector<AppModel> build_training_catalog() {
+  // Synthetic NPB-like kernels spanning the sensitivity/power space. Names
+  // follow the NAS Parallel Benchmarks, which the paper uses for training.
+  std::vector<AppModel> apps;
+  apps.emplace_back("npb.bt", Sensitivity::kMedium, 2.4e9, 0.40, 1.1,
+                    std::vector<PhaseSpec>{{240.0, 0.50, 1.0, 1.0}});
+  apps.emplace_back("npb.cg", Sensitivity::kLow, 1.9e9, 0.14, 1.3,
+                    std::vector<PhaseSpec>{{300.0, 0.30, 1.0, 1.0},
+                                           {150.0, 0.36, 1.0, 1.1}});
+  apps.emplace_back("npb.ep", Sensitivity::kHigh, 3.6e9, 0.72, 1.0,
+                    std::vector<PhaseSpec>{{600.0, 0.70, 1.0, 1.0}});
+  apps.emplace_back("npb.ft", Sensitivity::kMedium, 2.8e9, 0.45, 1.1,
+                    std::vector<PhaseSpec>{{200.0, 0.38, 1.0, 0.9},
+                                           {200.0, 0.52, 1.1, 1.1}});
+  apps.emplace_back("npb.is", Sensitivity::kLow, 1.4e9, 0.20, 1.3,
+                    std::vector<PhaseSpec>{{240.0, 0.26, 1.0, 1.0}});
+  apps.emplace_back("npb.lu", Sensitivity::kMedium, 3.0e9, 0.36, 1.15,
+                    std::vector<PhaseSpec>{{180.0, 0.46, 1.0, 1.0},
+                                           {180.0, 0.58, 1.0, 1.1}});
+  apps.emplace_back("npb.mg", Sensitivity::kLow, 2.2e9, 0.17, 1.35,
+                    std::vector<PhaseSpec>{{300.0, 0.34, 1.0, 1.0}});
+  apps.emplace_back("npb.sp", Sensitivity::kHigh, 3.9e9, 0.60, 1.05,
+                    std::vector<PhaseSpec>{{150.0, 0.55, 0.95, 0.9},
+                                           {150.0, 0.68, 1.05, 1.1}});
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppModel>& ecp_catalog() {
+  static const std::vector<AppModel> catalog = build_ecp_catalog();
+  return catalog;
+}
+
+const std::vector<AppModel>& training_catalog() {
+  static const std::vector<AppModel> catalog = build_training_catalog();
+  return catalog;
+}
+
+const AppModel& find_app(const std::string& name) {
+  for (const auto& app : ecp_catalog()) {
+    if (app.name() == name) return app;
+  }
+  PERQ_REQUIRE(false, "unknown application: " + name);
+  // Unreachable; PERQ_REQUIRE throws.
+  throw precondition_error("unreachable");
+}
+
+}  // namespace perq::apps

@@ -1,0 +1,28 @@
+// Application catalogs.
+//
+// * ecp_catalog(): the ten ECP proxy applications of paper Table 1, with
+//   sensitivity classes per Fig. 3 and phase behavior per Fig. 2. These are
+//   the *evaluation* workloads.
+// * training_catalog(): a synthetic NPB-like suite used exclusively to
+//   identify the node state-space model, preserving the paper's claim that
+//   the model is built from benchmarks disjoint from the evaluation set.
+#pragma once
+
+#include <vector>
+
+#include "apps/app_model.hpp"
+
+namespace perq::apps {
+
+/// The ten ECP proxy applications (Table 1). Index order matches the table.
+const std::vector<AppModel>& ecp_catalog();
+
+/// The NPB-like training suite (8 synthetic kernels, disjoint from the
+/// evaluation applications).
+const std::vector<AppModel>& training_catalog();
+
+/// Looks an application up by name in ecp_catalog(); throws
+/// perq::precondition_error when absent.
+const AppModel& find_app(const std::string& name);
+
+}  // namespace perq::apps

@@ -1,0 +1,119 @@
+#include "control/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/decompose.hpp"
+#include "util/require.hpp"
+
+namespace perq::control {
+
+using linalg::operator-;
+using linalg::operator*;
+
+JobEstimator::JobEstimator(const sysid::IdentifiedModel* node_model,
+                           double initial_cap, const EstimatorConfig& cfg)
+    : model_(node_model), cfg_(cfg) {
+  PERQ_REQUIRE(model_ != nullptr, "estimator needs a node model");
+  PERQ_REQUIRE(cfg_.forgetting > 0.0 && cfg_.forgetting <= 1.0,
+               "forgetting factor in (0, 1]");
+  PERQ_REQUIRE(cfg_.initial_covariance > 0.0, "covariance must be positive");
+
+  // Seed the LTI state at its steady state for the cap the node idled at.
+  const auto& ss = model_->ss();
+  const double u0 = model_->normalize_u(initial_cap);
+  const linalg::Matrix m = linalg::Matrix::identity(ss.order()) - ss.A();
+  state_ = linalg::Lu(m).solve(ss.B().col(0) * u0);
+  last_u_ = u0;
+  u_ema_ = u0;
+
+  // Prior: the "average training application". The shared model's output is
+  // a relative deviation from the operating point, so the prior is
+  // ips ~= y_scale * (1 + y_model): gain = offset = y_scale.
+  gain_ = model_->y_scale();
+  offset_ = model_->y_scale();
+  p00_ = p11_ = cfg_.initial_covariance;
+  p01_ = 0.0;
+}
+
+double JobEstimator::model_output() const {
+  return model_->ss().output(state_, last_u_);
+}
+
+void JobEstimator::update(double applied_cap_w, double measured_node_ips) {
+  PERQ_REQUIRE(applied_cap_w > 0.0, "cap must be positive");
+  PERQ_REQUIRE(measured_node_ips >= 0.0, "IPS must be non-negative");
+
+  // The measurement taken during this interval pairs with the model output
+  // y(k) = C x(k) + D u(k) at the cap that was just applied; the state then
+  // advances for the next interval.
+  const double u_norm = model_->normalize_u(applied_cap_w);
+  const double phi0 = model_->ss().output(state_, u_norm);  // regressor [y, 1]
+  state_ = model_->ss().step(state_, u_norm);
+  last_u_ = u_norm;
+  if (updates_ == 0) u_ema_ = u_norm;
+  const bool excited = std::abs(u_norm - u_ema_) >= cfg_.excitation_threshold;
+  u_ema_ += 0.2 * (u_norm - u_ema_);
+
+  const double err = measured_node_ips - (gain_ * phi0 + offset_);
+  const double lambda = cfg_.forgetting;
+  if (excited) {
+    // Full 2-parameter RLS with forgetting over theta = [gain, offset].
+    const double pv0 = p00_ * phi0 + p01_;  // P * phi
+    const double pv1 = p01_ * phi0 + p11_;
+    const double denom = lambda + phi0 * pv0 + pv1;
+    PERQ_ASSERT(denom > 0.0, "RLS denominator must be positive");
+    const double k0 = pv0 / denom;
+    const double k1 = pv1 / denom;
+    gain_ += k0 * err;
+    offset_ += k1 * err;
+    p00_ = (p00_ - k0 * pv0) / lambda;
+    p01_ = (p01_ - k0 * pv1) / lambda;
+    p11_ = (p11_ - k1 * pv1) / lambda;
+  } else {
+    // Dead zone: no gain information in the data; nudge the offset with a
+    // small fixed step (tracks phase drift without chasing noise) and leave
+    // the covariance as-is so the next excitation is absorbed quickly.
+    offset_ += 0.2 * err;
+  }
+  // Keep the covariance bounded (forgetting inflates it when the regressor
+  // barely changes -- the classic RLS wind-up). Scale the whole matrix so
+  // positive-definiteness is preserved.
+  const double max_diag = std::max(p00_, p11_);
+  if (max_diag > cfg_.initial_covariance) {
+    const double shrink = cfg_.initial_covariance / max_diag;
+    p00_ *= shrink;
+    p01_ *= shrink;
+    p11_ *= shrink;
+  }
+  // Guard against numerical loss of positive-definiteness.
+  const double det_floor = 1e-12 * p00_ * p11_;
+  if (p00_ * p11_ - p01_ * p01_ < det_floor) {
+    p01_ = std::copysign(std::sqrt(std::max(0.0, p00_ * p11_ - det_floor)), p01_);
+  }
+
+  gain_ = std::max({gain_, cfg_.min_gain, cfg_.min_gain_fraction * model_->y_scale()});
+  ++updates_;
+}
+
+double JobEstimator::predict_steady_state(double cap_w) const {
+  const double y = model_->arx().dc_gain() * model_->normalize_u(cap_w);
+  return std::max(0.0, gain_ * y + offset_);
+}
+
+linalg::Vector JobEstimator::predict_horizon(const linalg::Vector& caps_w) const {
+  linalg::Vector x = state_;
+  linalg::Vector ips(caps_w.size());
+  for (std::size_t j = 0; j < caps_w.size(); ++j) {
+    const double u = model_->normalize_u(caps_w[j]);
+    ips[j] = std::max(0.0, gain_ * model_->ss().output(x, u) + offset_);
+    x = model_->ss().step(x, u);
+  }
+  return ips;
+}
+
+double JobEstimator::sensitivity_per_watt() const {
+  return gain_ * model_->arx().dc_gain() / model_->u_scale();
+}
+
+}  // namespace perq::control

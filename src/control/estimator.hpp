@@ -1,0 +1,97 @@
+// Per-job adaptive performance estimator.
+//
+// PERQ identifies ONE node model per node type offline (perq::sysid) and
+// must then track MANY unseen jobs online. Following the paper (Sec. 2.4.2:
+// "The internal state X(k) of the node gets updated every decision instance
+// based on the active input-output relationship of the currently running
+// job"), each job gets:
+//
+//   * the shared LTI state x(k), advanced with the caps actually applied to
+//     the job's nodes (the LTI response is a deterministic function of the
+//     input history), and
+//   * an affine output map  IPS = gain * y_model + offset  fitted online by
+//     recursive least squares with forgetting.
+//
+// The gain is the job's *local power-cap sensitivity*: a job running in the
+// flat region of its perf curve shows near-zero gain (extra power does not
+// buy IPS), which is exactly the signal that lets the MPC shift power to
+// jobs with high gain -- the paper's key mechanism (Fig. 12).
+#pragma once
+
+#include "sysid/identify.hpp"
+
+namespace perq::control {
+
+/// RLS tunables.
+struct EstimatorConfig {
+  double forgetting = 0.97;       ///< RLS forgetting factor (0 < lambda <= 1)
+  double initial_covariance = 1e4;///< P0 diagonal (uninformative prior)
+  double min_gain = 0.0;          ///< gain is projected to >= this
+  /// Gain floor as a fraction of the node model's y_scale. A job whose gain
+  /// estimate collapses to zero while it sits below its fairness target
+  /// would otherwise leave the controller with no corrective gradient (the
+  /// job's cost rows scale with its gain) -- the job would be parked
+  /// under-target indefinitely. The floor guarantees a minimum believed
+  /// benefit of power for every job.
+  double min_gain_fraction = 0.2;
+  /// Dead zone: the gain is only updated when the *input* (normalized cap)
+  /// moved by at least this much from its recent average (caps held steady
+  /// make the [y_model, 1] regressor collinear, so an unguarded RLS lets
+  /// the gain drift on noise). The offset keeps adapting regardless, which
+  /// is what tracks phase changes. 0.04 = ~4 W of cap movement.
+  double excitation_threshold = 0.04;
+};
+
+class JobEstimator {
+ public:
+  /// `node_model` must outlive the estimator. `initial_cap` seeds the LTI
+  /// state at its steady state for that cap (the node was idling there).
+  JobEstimator(const sysid::IdentifiedModel* node_model, double initial_cap,
+               const EstimatorConfig& cfg = {});
+
+  /// Feeds one control interval's observation: the cap that was applied to
+  /// the job's nodes and the measured per-node IPS (slowest rank).
+  void update(double applied_cap_w, double measured_node_ips);
+
+  /// Normalized LTI model output at the current state (using the most
+  /// recently applied input for the feedthrough term).
+  double model_output() const;
+
+  /// Current affine map: per-node IPS ~= gain() * y_model + offset().
+  double gain() const { return gain_; }
+  double offset() const { return offset_; }
+
+  /// Predicted steady-state per-node IPS if the job were held at `cap_w`.
+  /// Uses the shared model's DC gain through the job's affine map.
+  double predict_steady_state(double cap_w) const;
+
+  /// Predicted per-node IPS sequence for a future cap sequence (free-run
+  /// from the current state). Used by tests; the MPC builds the equivalent
+  /// affine form itself.
+  linalg::Vector predict_horizon(const linalg::Vector& caps_w) const;
+
+  /// Marginal per-node IPS per extra watt of steady-state cap.
+  double sensitivity_per_watt() const;
+
+  /// Current LTI state (normalized units).
+  const linalg::Vector& state() const { return state_; }
+
+  /// Number of update() calls so far.
+  std::size_t updates() const { return updates_; }
+
+  const sysid::IdentifiedModel& node_model() const { return *model_; }
+
+ private:
+  const sysid::IdentifiedModel* model_;
+  EstimatorConfig cfg_;
+  linalg::Vector state_;    // LTI state, normalized units
+  double gain_;             // IPS per unit normalized model output
+  double offset_ = 0.0;     // IPS offset
+  // RLS covariance (2x2, symmetric) over [gain, offset].
+  double p00_, p01_, p11_;
+  double u_ema_ = 0.0;   // slow average of the normalized input (dead zone)
+  double last_u_ = 0.0;  // most recent normalized input (feedthrough)
+  std::size_t updates_ = 0;
+};
+
+}  // namespace perq::control

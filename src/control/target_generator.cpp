@@ -1,0 +1,86 @@
+#include "control/target_generator.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/app_model.hpp"
+#include "util/require.hpp"
+
+namespace perq::control {
+
+TargetGenerator::TargetGenerator(double improvement_ratio,
+                                 std::size_t worst_case_nodes,
+                                 std::size_t total_nodes)
+    : improvement_ratio_(improvement_ratio),
+      worst_case_nodes_(worst_case_nodes),
+      total_nodes_(total_nodes) {
+  PERQ_REQUIRE(improvement_ratio_ > 0.0, "improvement ratio must be positive");
+  PERQ_REQUIRE(worst_case_nodes_ >= 1, "worst-case node count must be >= 1");
+  PERQ_REQUIRE(total_nodes_ >= worst_case_nodes_,
+               "over-provisioned system cannot be smaller than worst-case");
+}
+
+double TargetGenerator::fair_cap_w() const {
+  const auto& spec = apps::node_power_spec();
+  const double p_op = spec.tdp * static_cast<double>(worst_case_nodes_) /
+                      static_cast<double>(total_nodes_);
+  return std::clamp(p_op, spec.cap_min, spec.tdp);
+}
+
+Targets TargetGenerator::generate(const std::vector<ControlledJob>& jobs) const {
+  const auto& spec = apps::node_power_spec();
+  Targets t;
+  t.fair_cap_w = fair_cap_w();
+  t.job_target_ips.resize(jobs.size());
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    PERQ_REQUIRE(jobs[i].job != nullptr && jobs[i].estimator != nullptr,
+                 "controlled job must carry job and estimator");
+    const double nodes = static_cast<double>(jobs[i].job->spec().nodes);
+    double target = nodes * jobs[i].estimator->predict_steady_state(t.fair_cap_w);
+    // Monotonicity guard (paper Observation 3: performance is monotone in
+    // the cap). A job measured under a cap *below* the fair share would do
+    // at least as well at the fair share, so its target cannot sit below
+    // the measurement; symmetrically, a job above the fair share bounds the
+    // target from above. This keeps model-extrapolation error from starving
+    // or over-serving a job.
+    const double measured = jobs[i].job->last_job_ips();
+    const double cap = jobs[i].job->last_cap_w();
+    if (measured > 0.0 && cap > 0.0) {
+      constexpr double kNoiseBand = 1.02;
+      if (cap <= t.fair_cap_w) {
+        target = std::max(target, measured);
+      } else {
+        target = std::min(target, measured * kNoiseBand);
+      }
+    }
+    t.job_target_ips[i] = target;
+  }
+
+  // A_WP: the FCFS prefix (by start time, then id) of the running jobs that
+  // fits on a worst-case-provisioned machine. Predict each at TDP.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ja = *jobs[a].job;
+    const auto& jb = *jobs[b].job;
+    if (ja.start_time_s() != jb.start_time_s()) {
+      return ja.start_time_s() < jb.start_time_s();
+    }
+    return ja.spec().id < jb.spec().id;
+  });
+  std::size_t wp_nodes_used = 0;
+  double t_wp = 0.0;
+  for (std::size_t idx : order) {
+    const std::size_t n = jobs[idx].job->spec().nodes;
+    if (wp_nodes_used + n > worst_case_nodes_) continue;  // skip, try smaller
+    wp_nodes_used += n;
+    t_wp += static_cast<double>(n) *
+            jobs[idx].estimator->predict_steady_state(spec.tdp);
+    if (wp_nodes_used == worst_case_nodes_) break;
+  }
+  t.system_target_ips = improvement_ratio_ * t_wp;
+  return t;
+}
+
+}  // namespace perq::control

@@ -1,0 +1,55 @@
+// PERQ target generator (paper Sec. 2.4.1).
+//
+// Produces, each decision interval:
+//   * one fairness target per job: the IPS the job would achieve under the
+//     fairness-oriented equal power split P_OP = TDP * N_WP / N_OP, predicted
+//     through the job's adapted model, and
+//   * one system throughput target: T_OP = improvement_ratio * T_WP, where
+//     T_WP is the predicted aggregate IPS of the FCFS prefix of running jobs
+//     that a worst-case-provisioned machine (N_WP nodes, all at TDP) could
+//     accommodate.
+#pragma once
+
+#include <vector>
+
+#include "control/estimator.hpp"
+#include "sched/job.hpp"
+
+namespace perq::control {
+
+/// One running job as seen by the target generator / controller.
+struct ControlledJob {
+  const sched::Job* job = nullptr;
+  const JobEstimator* estimator = nullptr;
+};
+
+struct Targets {
+  /// Aggregate (all-node) IPS target per job, aligned with the input list.
+  linalg::Vector job_target_ips;
+  /// Aggregate system throughput target (sum of job IPS).
+  double system_target_ips = 0.0;
+  /// The fair equal-split cap P_OP used for the job targets.
+  double fair_cap_w = 0.0;
+};
+
+class TargetGenerator {
+ public:
+  /// `improvement_ratio` is the system-throughput-improvement ratio of
+  /// Fig. 10(a); the paper sets it to 4+ so the system target is an
+  /// aspirational pull rather than a binding ceiling.
+  TargetGenerator(double improvement_ratio, std::size_t worst_case_nodes,
+                  std::size_t total_nodes);
+
+  /// Computes targets for the current job set. Jobs must be running.
+  Targets generate(const std::vector<ControlledJob>& jobs) const;
+
+  double improvement_ratio() const { return improvement_ratio_; }
+  double fair_cap_w() const;
+
+ private:
+  double improvement_ratio_;
+  std::size_t worst_case_nodes_;
+  std::size_t total_nodes_;
+};
+
+}  // namespace perq::control

@@ -1,0 +1,153 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "apps/catalog.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cluster.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace perq::core {
+
+std::size_t recommended_job_count(const EngineConfig& cfg) {
+  // Conservative sizing: node-seconds available / expected node-seconds per
+  // job, times a 3x backlog margin (jobs slowed by capping take longer).
+  const trace::TraceConfig probe{cfg.trace.system, 400, cfg.trace.max_job_nodes,
+                                 cfg.trace.seed};
+  const auto sample = trace::generate_trace(probe);
+  const auto stats = trace::compute_stats(sample);
+  const double total_nodes =
+      cfg.over_provision_factor * static_cast<double>(cfg.worst_case_nodes);
+  const double node_seconds = total_nodes * cfg.duration_s;
+  const double per_job = std::max(1.0, stats.mean_nodes * stats.mean_runtime_s);
+  return static_cast<std::size_t>(3.0 * node_seconds / per_job) + 64;
+}
+
+RunResult run_experiment(const EngineConfig& cfg, policy::PowerPolicy& policy) {
+  PERQ_REQUIRE(cfg.duration_s > 0.0, "duration must be positive");
+  PERQ_REQUIRE(cfg.control_interval_s > 0.0, "control interval must be positive");
+
+  sim::ClusterConfig ccfg;
+  ccfg.worst_case_nodes = cfg.worst_case_nodes;
+  ccfg.over_provision_factor = cfg.over_provision_factor;
+  ccfg.seed = cfg.cluster_seed;
+  ccfg.node = cfg.node;
+  sim::Cluster cluster(ccfg);
+
+  const auto specs = trace::generate_trace(cfg.trace);
+  const auto& catalog = apps::ecp_catalog();
+  std::vector<sched::Job> jobs;
+  jobs.reserve(specs.size());
+  for (const auto& spec : specs) {
+    PERQ_REQUIRE(spec.app_index < catalog.size(), "app index out of range");
+    PERQ_REQUIRE(spec.nodes <= cluster.size(),
+                 "trace contains a job larger than the cluster");
+    jobs.emplace_back(spec, &catalog[spec.app_index]);
+  }
+
+  sched::Scheduler scheduler(cfg.backfill_window, cfg.backfill_mode);
+  for (auto& job : jobs) scheduler.enqueue(&job);
+
+  RunResult result;
+  result.policy_name = policy.name();
+  result.over_provision_factor = cfg.over_provision_factor;
+  result.duration_s = cfg.duration_s;
+
+  std::vector<sched::Job*> running;
+  const double dt = cfg.control_interval_s;
+  double energy_j = 0.0;
+
+  for (double t = 0.0; t < cfg.duration_s; t += dt) {
+    // 1. Start whatever fits (FCFS + backfill).
+    for (sched::Job* started : scheduler.schedule(cluster, t, &running)) {
+      running.push_back(started);
+      policy.on_job_started(*started);
+    }
+
+    // 2. Policy decision (timed -- Fig. 13 measures exactly this latency).
+    std::vector<double> caps;
+    if (!running.empty()) {
+      policy::PolicyContext ctx;
+      ctx.running = &running;
+      ctx.budget_total_w = cluster.power_budget_w();
+      ctx.budget_for_busy_w = cluster.budget_for_busy_nodes_w();
+      ctx.total_nodes = static_cast<double>(cluster.size());
+      ctx.dt_s = dt;
+      ctx.now_s = t;
+      Stopwatch timer;
+      caps = policy.allocate(ctx);
+      result.decision_seconds.push_back(timer.seconds());
+      PERQ_ASSERT(caps.size() == running.size(), "policy returned wrong cap count");
+
+      // Budget invariant: committed caps must fit the busy-node budget.
+      double committed = 0.0;
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        committed += caps[i] * static_cast<double>(running[i]->spec().nodes);
+      }
+      PERQ_ASSERT(committed <= ctx.budget_for_busy_w + 1e-3,
+                  "policy exceeded the system power budget");
+      for (std::size_t i = 0; i < running.size(); ++i) {
+        for (std::size_t id : running[i]->node_ids()) {
+          cluster.node(id).set_cap(caps[i]);
+        }
+      }
+    }
+    result.peak_committed_w = std::max(result.peak_committed_w,
+                                       cluster.committed_power_w());
+
+    // 3. Advance the physical system one interval.
+    double draw_w = cluster.step_idle_nodes(dt);
+    for (std::size_t i = 0; i < running.size(); ++i) {
+      sched::Job& job = *running[i];
+      const std::size_t phase = job.current_phase();
+      double min_ips = std::numeric_limits<double>::infinity();
+      double min_perf = std::numeric_limits<double>::infinity();
+      for (std::size_t id : job.node_ids()) {
+        sim::Node& node = cluster.node(id);
+        const auto sample = node.step_busy(dt, job.app(), phase);
+        draw_w += sample.power_w;
+        min_ips = std::min(min_ips, sample.ips);
+        min_perf = std::min(min_perf, node.perf_fraction(job.app(), phase));
+      }
+      const double job_ips = min_ips * static_cast<double>(job.spec().nodes);
+      job.record_interval(dt, min_perf, job_ips, caps.empty() ? 0.0 : caps[i]);
+
+      if (!cfg.traced_jobs.empty() &&
+          std::find(cfg.traced_jobs.begin(), cfg.traced_jobs.end(),
+                    job.spec().id) != cfg.traced_jobs.end()) {
+        result.traces.push_back({t, job.spec().id, caps.empty() ? 0.0 : caps[i],
+                                 job_ips, policy.target_ips(job.spec().id),
+                                 min_perf});
+      }
+    }
+    energy_j += draw_w * dt;
+
+    // 4. Retire completed jobs.
+    for (std::size_t i = 0; i < running.size();) {
+      sched::Job& job = *running[i];
+      if (job.work_complete()) {
+        const auto nodes = job.node_ids();
+        job.finish(t + dt);
+        cluster.release(nodes);
+        policy.on_job_finished(job);
+        result.finished.push_back({job.spec().id, job.spec().nodes,
+                                   job.spec().app_index, job.spec().runtime_ref_s,
+                                   job.start_time_s(), job.finish_time_s(),
+                                   job.runtime_s()});
+        running[i] = running.back();
+        running.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  result.jobs_completed = result.finished.size();
+  result.mean_power_draw_w = energy_j / cfg.duration_s;
+  return result;
+}
+
+}  // namespace perq::core

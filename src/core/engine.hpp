@@ -1,0 +1,74 @@
+// End-to-end experiment engine: trace -> scheduler -> policy -> cluster,
+// stepped at the control interval for a configurable wall-clock horizon.
+//
+// This is the simulation harness behind every evaluation figure (paper
+// Sec. 3): the same engine runs FOP/SJS/LJS/SRN and PERQ so that throughput
+// and fairness differences are attributable to power allocation alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/node.hpp"
+#include "trace/trace.hpp"
+
+namespace perq::core {
+
+struct EngineConfig {
+  trace::TraceConfig trace;             ///< workload (system, jobs, seed)
+  std::size_t worst_case_nodes = 128;   ///< N_WP
+  double over_provision_factor = 2.0;   ///< f
+  double duration_s = 86400.0;          ///< simulated horizon (24 h default)
+  double control_interval_s = 10.0;     ///< decision interval (Fig. 9 sweep)
+  std::uint64_t cluster_seed = 7;       ///< node-noise seeds
+  sim::NodeConfig node;                 ///< per-node simulation tunables
+  std::size_t backfill_window = 64;     ///< scheduler lookahead
+  sched::BackfillMode backfill_mode = sched::BackfillMode::kAggressive;
+  std::vector<int> traced_jobs;         ///< ids to record per-interval series for
+};
+
+/// Completed-job record.
+struct JobOutcome {
+  int id = 0;
+  std::size_t nodes = 0;
+  std::size_t app_index = 0;
+  double runtime_ref_s = 0.0;  ///< trace reference runtime (at TDP)
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  double runtime_s = 0.0;      ///< actual wall-clock runtime
+};
+
+/// One per-interval sample of a traced job (Fig. 8 / Fig. 12 series).
+struct TracePoint {
+  double t_s = 0.0;
+  int job_id = 0;
+  double cap_w = 0.0;        ///< per-node cap applied to the job
+  double job_ips = 0.0;      ///< measured aggregate IPS
+  double target_ips = 0.0;   ///< policy's job-level target (0 for baselines)
+  double perf_fraction = 0.0;///< slowest rank's true performance fraction
+};
+
+struct RunResult {
+  std::string policy_name;
+  double over_provision_factor = 1.0;
+  double duration_s = 0.0;
+  std::size_t jobs_completed = 0;
+  std::vector<JobOutcome> finished;
+  std::vector<double> decision_seconds;  ///< policy decision latency per interval
+  std::vector<TracePoint> traces;
+  double mean_power_draw_w = 0.0;        ///< time-average total draw
+  double peak_committed_w = 0.0;         ///< max sum of caps + idle floor seen
+};
+
+/// Runs one experiment. The policy is driven for the full horizon; jobs
+/// still running at the end are not counted as completed.
+RunResult run_experiment(const EngineConfig& cfg, policy::PowerPolicy& policy);
+
+/// Convenience: how many jobs the trace config should contain so the queue
+/// never drains over the horizon (the paper keeps the backlog full).
+std::size_t recommended_job_count(const EngineConfig& cfg);
+
+}  // namespace perq::core

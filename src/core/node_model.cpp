@@ -1,0 +1,65 @@
+#include "core/node_model.hpp"
+
+#include "apps/catalog.hpp"
+#include "sim/node.hpp"
+#include "util/require.hpp"
+
+namespace perq::core {
+
+std::vector<sysid::ExcitationData> collect_training_segments(std::uint64_t seed,
+                                                             std::size_t samples_per_app,
+                                                             double interval_s) {
+  PERQ_REQUIRE(samples_per_app >= 64, "need at least 64 samples per app");
+  PERQ_REQUIRE(interval_s > 0.0, "interval must be positive");
+
+  const auto& suite = apps::training_catalog();
+  const auto& spec = apps::node_power_spec();
+  Rng seeder(seed);
+
+  std::vector<sysid::ExcitationData> segments;
+  segments.reserve(suite.size());
+  for (std::size_t a = 0; a < suite.size(); ++a) {
+    const auto& app = suite[a];
+    sim::Node node(a, seeder.split());
+    // Training runs pin each benchmark to one phase (a controlled,
+    // steady-kernel run). Phase-to-phase variation is colored disturbance
+    // that would bias the ARX fit toward the autoregressive terms and
+    // shrink the input gain; online, the per-job estimator's offset tracks
+    // phases instead.
+    const sysid::Plant plant = [&](double cap) {
+      node.set_cap(cap);
+      return node.step_busy(interval_s, app, 0).ips;
+    };
+    sysid::ExcitationConfig cfg;
+    cfg.cap_min = spec.cap_min;
+    cfg.cap_max = spec.tdp;
+    cfg.samples = samples_per_app;
+    cfg.hold_min = 3;
+    cfg.hold_max = 12;
+    cfg.seed = seeder();
+    segments.push_back(sysid::collect_excitation(plant, cfg));
+  }
+  return segments;
+}
+
+sysid::ExcitationData collect_training_data(std::uint64_t seed,
+                                            std::size_t samples_per_app,
+                                            double interval_s) {
+  sysid::ExcitationData all;
+  for (const auto& seg : collect_training_segments(seed, samples_per_app, interval_s)) {
+    all.u.insert(all.u.end(), seg.u.begin(), seg.u.end());
+    all.y.insert(all.y.end(), seg.y.begin(), seg.y.end());
+  }
+  return all;
+}
+
+sysid::IdentifiedModel identify_node_model(std::uint64_t seed) {
+  return sysid::identify_segments(collect_training_segments(seed, 600, 10.0), 3, 3);
+}
+
+const sysid::IdentifiedModel& canonical_node_model() {
+  static const sysid::IdentifiedModel model = identify_node_model(0x9e2a5c3b1d4f7081ull);
+  return model;
+}
+
+}  // namespace perq::core

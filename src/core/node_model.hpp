@@ -1,0 +1,35 @@
+// Builds the canonical per-node-type state-space model.
+//
+// Paper Sec. 2.4.2: one model per node type, identified offline by running
+// the NPB training suite under uniformly random power-cap switching. Our
+// training plant is a simulated node (perq::sim) cycling through the
+// synthetic NPB-like training catalog -- a suite disjoint from the ten ECP
+// evaluation applications, preserving the paper's train/test split.
+#pragma once
+
+#include <cstdint>
+
+#include "sysid/identify.hpp"
+
+namespace perq::core {
+
+/// Runs the full training campaign: every training app is excited with a
+/// random cap-switching schedule on its own simulated node. One excitation
+/// segment per application.
+std::vector<sysid::ExcitationData> collect_training_segments(
+    std::uint64_t seed, std::size_t samples_per_app = 600, double interval_s = 10.0);
+
+/// The same campaign concatenated into a single record (convenience for
+/// data-inspection benches; identification uses the segmented form).
+sysid::ExcitationData collect_training_data(std::uint64_t seed,
+                                            std::size_t samples_per_app = 600,
+                                            double interval_s = 10.0);
+
+/// Identifies a fresh 3rd-order node model from a training campaign.
+sysid::IdentifiedModel identify_node_model(std::uint64_t seed);
+
+/// The process-wide cached node model (built once, used throughout --
+/// "build-one-time-use-through-out-lifetime" per the paper).
+const sysid::IdentifiedModel& canonical_node_model();
+
+}  // namespace perq::core

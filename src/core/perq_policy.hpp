@@ -1,0 +1,64 @@
+// The PERQ power-provisioning policy: target generator + MPC controller
+// behind the common PowerPolicy interface (paper Fig. 4 control loop).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "control/mpc.hpp"
+#include "policy/policy.hpp"
+#include "sysid/identify.hpp"
+
+namespace perq::core {
+
+struct PerqConfig {
+  control::MpcConfig mpc;
+  control::EstimatorConfig estimator;
+  /// System-throughput-improvement ratio (Fig. 10a sweep; paper recommends
+  /// >= 4 so the system target pulls rather than caps).
+  double improvement_ratio = 8.0;
+  /// Probing dither amplitude (W). Adaptive control needs persistent
+  /// excitation: a small budget-neutral square wave (half the jobs up, half
+  /// down, alternating) keeps each job's power-cap sensitivity identifiable
+  /// even when the MPC would otherwise hold caps constant. 0 disables.
+  double dither_w = 6.0;
+  /// Dither half-period in control intervals.
+  std::size_t dither_period = 2;
+};
+
+class PerqPolicy final : public policy::PowerPolicy {
+ public:
+  /// `node_model` must outlive the policy; `worst_case_nodes` / `total_nodes`
+  /// size the fairness and throughput targets.
+  PerqPolicy(const sysid::IdentifiedModel* node_model, std::size_t worst_case_nodes,
+             std::size_t total_nodes, const PerqConfig& cfg = {});
+
+  std::string name() const override { return "PERQ"; }
+
+  std::vector<double> allocate(const policy::PolicyContext& ctx) override;
+
+  void on_job_started(const sched::Job& job) override;
+  void on_job_finished(const sched::Job& job) override;
+
+  double target_ips(int job_id) const override;
+
+  /// Wall-clock seconds spent in each controller decision (Fig. 13 data).
+  const std::vector<double>& decision_seconds() const { return decision_seconds_; }
+
+  /// The estimator of a running job (test/analysis hook); null if unknown.
+  const control::JobEstimator* estimator(int job_id) const;
+
+  const PerqConfig& config() const { return cfg_; }
+
+ private:
+  const sysid::IdentifiedModel* model_;
+  PerqConfig cfg_;
+  control::TargetGenerator targets_;
+  control::MpcController mpc_;
+  std::map<int, control::JobEstimator> estimators_;
+  std::map<int, double> last_targets_;
+  std::vector<double> decision_seconds_;
+  std::size_t tick_ = 0;
+};
+
+}  // namespace perq::core

@@ -1,0 +1,188 @@
+#include "linalg/decompose.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace perq::linalg {
+
+namespace {
+constexpr double kSingularTol = 1e-12;
+}
+
+Lu::Lu(const Matrix& a) : n_(a.rows()), lu_(a), piv_(a.rows()) {
+  PERQ_REQUIRE(a.is_square(), "LU requires a square matrix");
+  for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: pick the largest |entry| in column k at/below row k.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    PERQ_ASSERT(best > kSingularTol, "matrix is numerically singular");
+    if (p != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(p, c), lu_(k, c));
+      std::swap(piv_[p], piv_[k]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double m = lu_(i, k) / pivot;
+      lu_(i, k) = m;
+      for (std::size_t c = k + 1; c < n_; ++c) lu_(i, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  PERQ_REQUIRE(b.size() == n_, "rhs size mismatch in Lu::solve");
+  Vector x(n_);
+  // Apply permutation, then forward substitution with unit-lower L.
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
+  }
+  // Backward substitution with U.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n_; ++j) x[ii] -= lu_(ii, j) * x[j];
+    x[ii] /= lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  PERQ_REQUIRE(b.rows() == n_, "rhs rows mismatch in Lu::solve");
+  Matrix x(n_, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector xc = solve(b.col(c));
+    for (std::size_t r = 0; r < n_; ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double d = pivot_sign_;
+  for (std::size_t i = 0; i < n_; ++i) d *= lu_(i, i);
+  return d;
+}
+
+Matrix Lu::inverse() const { return solve(Matrix::identity(n_)); }
+
+Cholesky::Cholesky(const Matrix& a) : n_(a.rows()), l_(a.rows(), a.rows()) {
+  PERQ_REQUIRE(a.is_square(), "Cholesky requires a square matrix");
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        PERQ_ASSERT(s > kSingularTol, "matrix is not positive definite");
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  PERQ_REQUIRE(b.size() == n_, "rhs size mismatch in Cholesky::solve");
+  Vector y(b);
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) y[i] -= l_(i, j) * y[j];
+    y[i] /= l_(i, i);
+  }
+  // Backward substitution L^T x = y.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n_; ++j) y[ii] -= l_(j, ii) * y[j];
+    y[ii] /= l_(ii, ii);
+  }
+  return y;
+}
+
+double Cholesky::log_determinant() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Vector least_squares(const Matrix& a, const Vector& b) {
+  PERQ_REQUIRE(a.rows() >= a.cols(), "least_squares requires rows >= cols");
+  PERQ_REQUIRE(a.rows() == b.size(), "rhs size mismatch in least_squares");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix r(a);
+  Vector qtb(b);
+
+  // Householder QR: transform R in place, apply the same reflections to b.
+  for (std::size_t k = 0; k < n; ++k) {
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    PERQ_ASSERT(norm > kSingularTol, "rank-deficient least squares system");
+    if (r(k, k) > 0) norm = -norm;
+
+    Vector v(m - k);
+    v[0] = r(k, k) - norm;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0.0;
+    for (double x : v) vtv += x * x;
+    PERQ_ASSERT(vtv > 0.0, "degenerate Householder reflector");
+
+    r(k, k) = norm;
+    for (std::size_t i = k + 1; i < m; ++i) r(i, k) = 0.0;
+
+    for (std::size_t c = k + 1; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * r(i, c);
+      const double coef = 2.0 * s / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, c) -= coef * v[i - k];
+    }
+    double sb = 0.0;
+    for (std::size_t i = k; i < m; ++i) sb += v[i - k] * qtb[i];
+    const double coefb = 2.0 * sb / vtv;
+    for (std::size_t i = k; i < m; ++i) qtb[i] -= coefb * v[i - k];
+  }
+
+  // Back substitution on the upper-triangular leading n x n block.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = qtb[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= r(ii, j) * x[j];
+    x[ii] = s / r(ii, ii);
+  }
+  return x;
+}
+
+Vector ridge_least_squares(const Matrix& a, const Vector& b, double lambda) {
+  PERQ_REQUIRE(a.rows() == b.size(), "rhs size mismatch in ridge_least_squares");
+  PERQ_REQUIRE(lambda > 0.0, "ridge parameter must be positive");
+  const std::size_t n = a.cols();
+  Matrix ata(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t r = 0; r < a.rows(); ++r) s += a(r, i) * a(r, j);
+      ata(i, j) = s;
+      ata(j, i) = s;
+    }
+    ata(i, i) += lambda;
+  }
+  Vector atb(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t r = 0; r < a.rows(); ++r) atb[i] += a(r, i) * b[r];
+  }
+  return Cholesky(ata).solve(atb);
+}
+
+Vector solve(const Matrix& a, const Vector& b) { return Lu(a).solve(b); }
+
+Matrix inverse(const Matrix& a) { return Lu(a).inverse(); }
+
+}  // namespace perq::linalg

@@ -1,0 +1,80 @@
+// Dense factorizations: LU (partial pivoting), Cholesky, and Householder-QR
+// least squares. These back the state-space algebra (matrix inverses in the
+// MPC condensing), the active-set QP solver (KKT solves), and the ARX
+// identification (least squares).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace perq::linalg {
+
+/// LU factorization with partial pivoting: P*A = L*U.
+///
+/// Throws perq::precondition_error for non-square input and
+/// perq::invariant_error when A is numerically singular.
+class Lu {
+ public:
+  explicit Lu(const Matrix& a);
+
+  /// Solves A x = b for one right-hand side.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A X = B column-wise.
+  Matrix solve(const Matrix& b) const;
+
+  /// det(A) from the factorization.
+  double determinant() const;
+
+  /// A^{-1}; prefer solve() when possible.
+  Matrix inverse() const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_;
+  Matrix lu_;                  // packed L (unit diagonal, below) and U (above)
+  std::vector<std::size_t> piv_;
+  int pivot_sign_ = 1;
+};
+
+/// Cholesky factorization A = L*L^T for symmetric positive-definite A.
+///
+/// Throws perq::invariant_error when A is not (numerically) SPD.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// The lower-triangular factor L.
+  const Matrix& factor() const { return l_; }
+
+  /// log(det(A)), useful for conditioning diagnostics.
+  double log_determinant() const;
+
+ private:
+  std::size_t n_;
+  Matrix l_;
+};
+
+/// Solves the least-squares problem min ||A x - b||_2 via Householder QR.
+///
+/// Requires A.rows() >= A.cols() and full column rank (throws
+/// perq::invariant_error on rank deficiency).
+Vector least_squares(const Matrix& a, const Vector& b);
+
+/// Solves the ridge-regularized least-squares problem
+/// min ||A x - b||^2 + lambda ||x||^2 via the normal equations and
+/// Cholesky. Unlike least_squares(), this tolerates rank-deficient A
+/// (lambda > 0 required). Used by system identification, where noise-free
+/// or over-parameterized data would otherwise be exactly singular.
+Vector ridge_least_squares(const Matrix& a, const Vector& b, double lambda);
+
+/// Solves A x = b by LU (convenience wrapper).
+Vector solve(const Matrix& a, const Vector& b);
+
+/// A^{-1} by LU (convenience wrapper).
+Matrix inverse(const Matrix& a);
+
+}  // namespace perq::linalg

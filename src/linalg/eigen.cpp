@@ -1,0 +1,200 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/decompose.hpp"
+#include "util/require.hpp"
+
+namespace perq::linalg {
+
+std::vector<std::complex<double>> polynomial_roots(const Vector& coefficients) {
+  PERQ_REQUIRE(coefficients.size() >= 2, "polynomial must have degree >= 1");
+  PERQ_REQUIRE(coefficients.back() != 0.0, "leading coefficient must be nonzero");
+  const std::size_t n = coefficients.size() - 1;
+
+  // Monic normalization.
+  std::vector<std::complex<double>> c(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) c[i] = coefficients[i] / coefficients.back();
+
+  // Durand-Kerner: start from distinct points on a circle whose radius
+  // bounds the roots (Cauchy bound), iterate simultaneous corrections.
+  double radius = 0.0;
+  for (std::size_t i = 0; i < n; ++i) radius = std::max(radius, std::abs(c[i]));
+  radius = 1.0 + radius;
+  std::vector<std::complex<double>> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double angle = 2.0 * 3.14159265358979323846 * static_cast<double>(i) /
+                             static_cast<double>(n) +
+                         0.4;  // avoid symmetry traps
+    x[i] = std::polar(radius * 0.7, angle);
+  }
+
+  const auto eval = [&](std::complex<double> z) {
+    std::complex<double> p = 1.0;  // monic
+    for (std::size_t i = n; i-- > 0;) p = p * z + c[i];
+    return p;
+  };
+
+  for (int iter = 0; iter < 500; ++iter) {
+    double moved = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::complex<double> denom = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) denom *= (x[i] - x[j]);
+      }
+      if (std::abs(denom) < 1e-300) continue;  // coincident guesses: skip
+      const std::complex<double> delta = eval(x[i]) / denom;
+      x[i] -= delta;
+      moved = std::max(moved, std::abs(delta));
+    }
+    if (moved < 1e-13 * (1.0 + radius)) break;
+  }
+  return x;
+}
+
+Vector characteristic_polynomial(const Matrix& a) {
+  PERQ_REQUIRE(a.is_square(), "characteristic polynomial needs a square matrix");
+  const std::size_t n = a.rows();
+  // Faddeev-LeVerrier: M_1 = A, c_{n-1} = -tr(M_1);
+  // M_k = A (M_{k-1} + c_{n-k+1} I), c_{n-k} = -tr(M_k)/k.
+  Vector coeffs(n + 1, 0.0);
+  coeffs[n] = 1.0;
+  Matrix m = a;
+  for (std::size_t k = 1; k <= n; ++k) {
+    double trace = 0.0;
+    for (std::size_t i = 0; i < n; ++i) trace += m(i, i);
+    coeffs[n - k] = -trace / static_cast<double>(k);
+    if (k == n) break;
+    Matrix shifted = m;
+    for (std::size_t i = 0; i < n; ++i) shifted(i, i) += coeffs[n - k];
+    m = a * shifted;
+  }
+  return coeffs;
+}
+
+std::vector<std::complex<double>> eigenvalues(const Matrix& a) {
+  PERQ_REQUIRE(a.is_square(), "eigenvalues need a square matrix");
+  if (a.rows() == 0) return {};
+  if (a.rows() == 1) return {std::complex<double>(a(0, 0), 0.0)};
+  return polynomial_roots(characteristic_polynomial(a));
+}
+
+double spectral_radius(const Matrix& a) {
+  double r = 0.0;
+  for (const auto& ev : eigenvalues(a)) r = std::max(r, std::abs(ev));
+  return r;
+}
+
+SymmetricEigen symmetric_eigen(const Matrix& a) {
+  PERQ_REQUIRE(a.is_square(), "symmetric_eigen needs a square matrix");
+  const std::size_t n = a.rows();
+  const double scale = std::max(1.0, a.max_abs());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      PERQ_REQUIRE(std::abs(a(i, j) - a(j, i)) <= 1e-9 * scale,
+                   "matrix is not symmetric");
+    }
+  }
+
+  Matrix d = a;
+  Matrix v = Matrix::identity(n);
+  // Cyclic Jacobi sweeps: annihilate each off-diagonal pair with a rotation.
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += d(i, j) * d(i, j);
+    }
+    if (off < 1e-24 * scale * scale) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(d(p, q)) < 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * d(p, q));
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double cos = 1.0 / std::sqrt(t * t + 1.0);
+        const double sin = t * cos;
+        // Apply the rotation to rows/columns p and q of D and columns of V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = cos * dkp - sin * dkq;
+          d(k, q) = sin * dkp + cos * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = cos * dpk - sin * dqk;
+          d(q, k) = sin * dpk + cos * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = cos * vkp - sin * vkq;
+          v(k, q) = sin * vkp + cos * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting eigenvector columns alongside.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return d(x, x) < d(y, y); });
+  SymmetricEigen out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.values[i] = d(order[i], order[i]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, i) = v(r, order[i]);
+  }
+  return out;
+}
+
+std::size_t psd_rank(const Matrix& a, double tol) {
+  const auto eig = symmetric_eigen(a);
+  if (eig.values.empty()) return 0;
+  const double top = std::max(0.0, eig.values.back());
+  if (top == 0.0) return 0;
+  std::size_t rank = 0;
+  for (double v : eig.values) {
+    if (v > tol * top) ++rank;
+  }
+  return rank;
+}
+
+Matrix solve_discrete_lyapunov(const Matrix& a, const Matrix& q) {
+  PERQ_REQUIRE(a.is_square() && q.is_square() && a.rows() == q.rows(),
+               "Lyapunov operands must be square and conformant");
+  PERQ_REQUIRE(spectral_radius(a) < 1.0 - 1e-9,
+               "discrete Lyapunov requires a stable A");
+  const std::size_t n = a.rows();
+  // vec(X) = (I - A (x) A)^{-1} vec(Q), with (A (x) A) the Kronecker product.
+  const std::size_t nn = n * n;
+  Matrix sys(nn, nn);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t l = 0; l < n; ++l) {
+          // Row (i + j*n) of vec equation; entry for X(k, l) at (k + l*n).
+          sys(i + j * n, k + l * n) =
+              (i == k && j == l ? 1.0 : 0.0) - a(i, k) * a(j, l);
+        }
+      }
+    }
+  }
+  Vector rhs(nn);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) rhs[i + j * n] = q(i, j);
+  }
+  const Vector xv = Lu(sys).solve(rhs);
+  Matrix x(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) x(i, j) = xv[i + j * n];
+  }
+  return x;
+}
+
+}  // namespace perq::linalg

@@ -1,0 +1,52 @@
+// Eigenvalue machinery for the small dense matrices PERQ works with.
+//
+// The state-space models are order ~3 and the Gramians at most that size,
+// so the implementations favor robustness and simplicity over asymptotics:
+// general eigenvalues go through the characteristic polynomial
+// (Faddeev-LeVerrier) and a Durand-Kerner root finder; symmetric matrices
+// use the cyclic Jacobi method (which also yields eigenvectors).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace perq::linalg {
+
+/// All complex roots of the polynomial
+/// c[0] + c[1] x + ... + c[n] x^n  (c[n] != 0, n >= 1),
+/// found by Durand-Kerner iteration. Order of roots is unspecified.
+std::vector<std::complex<double>> polynomial_roots(const Vector& coefficients);
+
+/// Characteristic polynomial coefficients of a square matrix, lowest degree
+/// first (so the result has size n+1 and element n equals 1), computed with
+/// the Faddeev-LeVerrier recurrence.
+Vector characteristic_polynomial(const Matrix& a);
+
+/// All eigenvalues of a square matrix (via the characteristic polynomial;
+/// intended for small n). Order unspecified.
+std::vector<std::complex<double>> eigenvalues(const Matrix& a);
+
+/// Spectral radius: max |eigenvalue|.
+double spectral_radius(const Matrix& a);
+
+/// Eigen-decomposition of a symmetric matrix by the cyclic Jacobi method.
+struct SymmetricEigen {
+  Vector values;   ///< eigenvalues, ascending
+  Matrix vectors;  ///< column i is the eigenvector of values[i]
+};
+
+/// Requires a symmetric matrix (validated to a small tolerance).
+SymmetricEigen symmetric_eigen(const Matrix& a);
+
+/// Numerical rank of a symmetric positive-semidefinite matrix: the number
+/// of eigenvalues above `tol * max_eigenvalue`.
+std::size_t psd_rank(const Matrix& a, double tol = 1e-9);
+
+/// Solves the discrete Lyapunov equation  X = A X A' + Q  by Kronecker
+/// vectorization (exact for any stable A; O(n^6), fine for n <= ~12).
+/// Requires spectral_radius(A) < 1.
+Matrix solve_discrete_lyapunov(const Matrix& a, const Matrix& q);
+
+}  // namespace perq::linalg

@@ -1,0 +1,237 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace perq::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    PERQ_REQUIRE(r.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::column(const Vector& v) {
+  Matrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+Matrix Matrix::row_vector(const Vector& v) {
+  Matrix m(1, v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) m(0, i) = v[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  PERQ_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  PERQ_REQUIRE(r < rows_ && c < cols_, "Matrix::at out of range");
+  return (*this)(r, c);
+}
+
+Vector Matrix::row(std::size_t r) const {
+  PERQ_REQUIRE(r < rows_, "row index out of range");
+  Vector v(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) v[c] = (*this)(r, c);
+  return v;
+}
+
+Vector Matrix::col(std::size_t c) const {
+  PERQ_REQUIRE(c < cols_, "column index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_block(std::size_t r0, std::size_t c0, const Matrix& b) {
+  PERQ_REQUIRE(r0 + b.rows() <= rows_ && c0 + b.cols() <= cols_,
+               "set_block does not fit");
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      (*this)(r0 + r, c0 + c) = b(r, c);
+    }
+  }
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  PERQ_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_, "block out of range");
+  Matrix out(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      out(r, c) = (*this)(r0 + r, c0 + c);
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  PERQ_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  PERQ_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_, "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+std::string Matrix::to_string() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    os << "]";
+    if (r + 1 < rows_) os << "\n";
+  }
+  os << "]";
+  return os.str();
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  PERQ_REQUIRE(a.cols() == b.rows(), "inner dimension mismatch in Matrix*Matrix");
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous for row-major storage.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  PERQ_REQUIRE(a.cols() == x.size(), "dimension mismatch in Matrix*Vector");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+bool approx_equal(const Matrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      if (std::abs(a(r, c) - b(r, c)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+Vector operator+(Vector lhs, const Vector& rhs) {
+  PERQ_REQUIRE(lhs.size() == rhs.size(), "size mismatch in Vector+Vector");
+  for (std::size_t i = 0; i < lhs.size(); ++i) lhs[i] += rhs[i];
+  return lhs;
+}
+
+Vector operator-(Vector lhs, const Vector& rhs) {
+  PERQ_REQUIRE(lhs.size() == rhs.size(), "size mismatch in Vector-Vector");
+  for (std::size_t i = 0; i < lhs.size(); ++i) lhs[i] -= rhs[i];
+  return lhs;
+}
+
+Vector operator*(Vector v, double s) {
+  for (double& x : v) x *= s;
+  return v;
+}
+
+Vector operator*(double s, Vector v) { return std::move(v) * s; }
+
+double dot(const Vector& a, const Vector& b) {
+  PERQ_REQUIRE(a.size() == b.size(), "size mismatch in dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  PERQ_REQUIRE(a.size() == b.size(), "size mismatch in axpy");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+bool approx_equal(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace perq::linalg

@@ -1,0 +1,131 @@
+// Dense row-major matrix/vector types used by the system-identification,
+// state-space, and QP modules.
+//
+// PERQ's linear algebra is deliberately small and dependency-free: the MPC
+// problems are dense and modest in size (a few hundred variables), so a
+// cache-friendly row-major matrix plus LU/Cholesky/QR (decompose.hpp) covers
+// every need without an external BLAS.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace perq::linalg {
+
+/// Column vector of doubles. Thin alias: PERQ treats std::vector<double> as
+/// a mathematical vector and provides free-function arithmetic below.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles with value semantics.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all elements initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Constructs from nested initializer lists; all rows must be equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix diagonal(const Vector& d);
+
+  /// Matrix with a single column equal to `v`.
+  static Matrix column(const Vector& v);
+
+  /// Matrix with a single row equal to `v`.
+  static Matrix row_vector(const Vector& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  bool is_square() const { return rows_ == cols_; }
+
+  /// Unchecked element access (hot paths).
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked element access.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Raw storage (row-major).
+  const std::vector<double>& data() const { return data_; }
+
+  /// Extracts row r as a vector.
+  Vector row(std::size_t r) const;
+
+  /// Extracts column c as a vector.
+  Vector col(std::size_t c) const;
+
+  /// Writes `block` into this matrix with its top-left corner at (r0, c0).
+  /// The block must fit.
+  void set_block(std::size_t r0, std::size_t c0, const Matrix& block);
+
+  /// Returns the sub-matrix of size (nr x nc) at offset (r0, c0).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const;
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  /// Max |element|.
+  double max_abs() const;
+
+  /// Human-readable rendering (for diagnostics and test failure messages).
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix lhs, const Matrix& rhs);
+Matrix operator-(Matrix lhs, const Matrix& rhs);
+Matrix operator*(Matrix lhs, double s);
+Matrix operator*(double s, Matrix rhs);
+
+/// Matrix product. Inner dimensions must agree.
+Matrix operator*(const Matrix& a, const Matrix& b);
+
+/// Matrix-vector product. `a.cols() == x.size()`.
+Vector operator*(const Matrix& a, const Vector& x);
+
+/// True when shapes match and all elements differ by at most `tol`.
+bool approx_equal(const Matrix& a, const Matrix& b, double tol);
+
+// ---- Vector arithmetic -----------------------------------------------------
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(Vector v, double s);
+Vector operator*(double s, Vector v);
+
+/// Dot product. Sizes must agree.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// Max |element|; 0 for the empty vector.
+double norm_inf(const Vector& v);
+
+/// a + s*b, sizes must agree.
+Vector axpy(const Vector& a, double s, const Vector& b);
+
+/// True when sizes match and all elements differ by at most `tol`.
+bool approx_equal(const Vector& a, const Vector& b, double tol);
+
+}  // namespace perq::linalg

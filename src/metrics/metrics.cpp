@@ -1,0 +1,91 @@
+#include "metrics/metrics.hpp"
+
+#include <map>
+
+#include "apps/catalog.hpp"
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace perq::metrics {
+
+FairnessReport degradation_vs_baseline(const core::RunResult& candidate,
+                                       const core::RunResult& fop_baseline) {
+  std::map<int, double> base_runtime;
+  for (const auto& j : fop_baseline.finished) base_runtime[j.id] = j.runtime_s;
+
+  FairnessReport r;
+  std::vector<double> degradations;
+  for (const auto& j : candidate.finished) {
+    const auto it = base_runtime.find(j.id);
+    if (it == base_runtime.end() || it->second <= 0.0) continue;
+    ++r.compared_jobs;
+    const double deg = (j.runtime_s - it->second) / it->second * 100.0;
+    r.max_degradation_pct = std::max(r.max_degradation_pct, deg);
+    if (deg > 0.0) {
+      ++r.degraded_jobs;
+      degradations.push_back(deg);
+    }
+  }
+  if (!degradations.empty()) r.mean_degradation_pct = mean(degradations);
+  return r;
+}
+
+double throughput_improvement_pct(std::size_t completed, std::size_t baseline) {
+  PERQ_REQUIRE(baseline > 0, "baseline throughput must be positive");
+  return (static_cast<double>(completed) - static_cast<double>(baseline)) /
+         static_cast<double>(baseline) * 100.0;
+}
+
+double jain_fairness_index(const std::vector<double>& xs) {
+  PERQ_REQUIRE(!xs.empty(), "Jain index of an empty sample");
+  double sum = 0.0;
+  double sq = 0.0;
+  for (double x : xs) {
+    PERQ_REQUIRE(x >= 0.0, "Jain index requires non-negative values");
+    sum += x;
+    sq += x * x;
+  }
+  PERQ_REQUIRE(sum > 0.0, "Jain index requires a positive sum");
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+ClassInflation inflation_by_sensitivity(const core::RunResult& run) {
+  const auto& catalog = apps::ecp_catalog();
+  double sums[3] = {0.0, 0.0, 0.0};
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& j : run.finished) {
+    PERQ_REQUIRE(j.app_index < catalog.size(), "app index out of range");
+    PERQ_REQUIRE(j.runtime_ref_s > 0.0, "reference runtime must be positive");
+    const auto cls = static_cast<int>(catalog[j.app_index].sensitivity());
+    sums[cls] += j.runtime_s / j.runtime_ref_s;
+    ++counts[cls];
+  }
+  ClassInflation c;
+  if (counts[0] > 0) c.low = sums[0] / static_cast<double>(counts[0]);
+  if (counts[1] > 0) c.medium = sums[1] / static_cast<double>(counts[1]);
+  if (counts[2] > 0) c.high = sums[2] / static_cast<double>(counts[2]);
+  return c;
+}
+
+std::vector<double> relative_performance(const core::RunResult& run) {
+  std::vector<double> out;
+  out.reserve(run.finished.size());
+  for (const auto& j : run.finished) {
+    if (j.runtime_s > 0.0) out.push_back(j.runtime_ref_s / j.runtime_s);
+  }
+  return out;
+}
+
+DecisionTimeSummary summarize_decision_times(const std::vector<double>& seconds) {
+  DecisionTimeSummary s;
+  s.decisions = seconds.size();
+  if (seconds.empty()) return s;
+  s.p50_s = percentile(seconds, 50.0);
+  s.p80_s = percentile(seconds, 80.0);
+  s.p99_s = percentile(seconds, 99.0);
+  s.max_s = max_of(seconds);
+  return s;
+}
+
+}  // namespace perq::metrics

@@ -1,0 +1,64 @@
+// Objective metrics of the paper's evaluation (Sec. 3 "Objective Metrics").
+//
+//  * System job throughput: jobs completed over the experiment window,
+//    reported as % improvement over the f = 1 worst-case-provisioned run.
+//  * Mean performance degradation: mean runtime inflation versus the same
+//    job under FOP at the same f -- computed over degraded jobs only
+//    (jobs that run faster than under FOP are fairly treated by definition).
+//  * Maximum performance degradation: the worst job's inflation.
+#pragma once
+
+#include "core/engine.hpp"
+
+namespace perq::metrics {
+
+struct FairnessReport {
+  double mean_degradation_pct = 0.0;  ///< over degraded jobs only
+  double max_degradation_pct = 0.0;   ///< over all compared jobs
+  std::size_t degraded_jobs = 0;
+  std::size_t compared_jobs = 0;
+};
+
+/// Per-job runtime comparison of `candidate` against the FOP run of the
+/// same trace (matched by job id; only jobs finished in both runs compare).
+FairnessReport degradation_vs_baseline(const core::RunResult& candidate,
+                                       const core::RunResult& fop_baseline);
+
+/// Throughput improvement of `completed` jobs over a baseline count, in
+/// percent. Baseline must be non-zero.
+double throughput_improvement_pct(std::size_t completed, std::size_t baseline);
+
+/// Jain's fairness index over a set of non-negative allocations/outcomes:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly equal. Applied to
+/// per-job relative performance (runtime_ref / runtime) it summarizes how
+/// evenly a policy treats jobs. Requires a non-empty sample with a positive
+/// sum.
+double jain_fairness_index(const std::vector<double>& xs);
+
+/// Per-sensitivity-class mean runtime inflation (runtime / runtime_ref) of
+/// the finished jobs of a run -- the class-level view behind the paper's
+/// aggregate fairness numbers. Classes without finished jobs report 0.
+struct ClassInflation {
+  double low = 0.0;
+  double medium = 0.0;
+  double high = 0.0;
+};
+
+ClassInflation inflation_by_sensitivity(const core::RunResult& run);
+
+/// Relative performance of every finished job (runtime_ref / runtime),
+/// suitable for jain_fairness_index().
+std::vector<double> relative_performance(const core::RunResult& run);
+
+/// CDF-style summary of controller decision latencies (Fig. 13).
+struct DecisionTimeSummary {
+  double p50_s = 0.0;
+  double p80_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+  std::size_t decisions = 0;
+};
+
+DecisionTimeSummary summarize_decision_times(const std::vector<double>& seconds);
+
+}  // namespace perq::metrics

@@ -1,0 +1,131 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/app_model.hpp"
+#include "util/require.hpp"
+
+namespace perq::policy {
+
+std::vector<double> enforce_budget(const std::vector<sched::Job*>& running,
+                                   std::vector<double> caps, double budget_w) {
+  PERQ_REQUIRE(caps.size() == running.size(), "caps/jobs size mismatch");
+  const auto& spec = apps::node_power_spec();
+  double floor_w = 0.0;
+  for (const auto* job : running) {
+    floor_w += static_cast<double>(job->spec().nodes) * spec.cap_min;
+  }
+  PERQ_REQUIRE(floor_w <= budget_w + 1e-6,
+               "budget cannot cover the cap_min floor of all running jobs");
+
+  double committed = 0.0;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    caps[i] = std::clamp(caps[i], spec.cap_min, spec.tdp);
+    committed += caps[i] * static_cast<double>(running[i]->spec().nodes);
+  }
+  if (committed <= budget_w) return caps;
+
+  // Scale the headroom above cap_min uniformly so the sum meets the budget.
+  const double headroom = committed - floor_w;
+  const double allowed = budget_w - floor_w;
+  const double scale = headroom > 0.0 ? allowed / headroom : 0.0;
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    caps[i] = spec.cap_min + (caps[i] - spec.cap_min) * scale;
+  }
+  return caps;
+}
+
+std::vector<double> FairShare::allocate(const PolicyContext& ctx) {
+  PERQ_REQUIRE(ctx.running != nullptr, "policy context missing running jobs");
+  PERQ_REQUIRE(ctx.total_nodes >= 1.0, "total_nodes must be >= 1");
+  const auto& running = *ctx.running;
+  const auto& spec = apps::node_power_spec();
+  // Paper definition: the budget is split evenly over *all* N_OP nodes of
+  // the over-provisioned system, busy or idle (cap = budget / N_OP = TDP/f).
+  const double cap =
+      std::clamp(ctx.budget_total_w / ctx.total_nodes, spec.cap_min, spec.tdp);
+  std::vector<double> caps(running.size(), cap);
+  return enforce_budget(running, std::move(caps), ctx.budget_for_busy_w);
+}
+
+GreedyPriority::GreedyPriority(GreedyOrder order) : order_(order) {}
+
+std::string GreedyPriority::name() const {
+  switch (order_) {
+    case GreedyOrder::kSmallestJobFirst: return "SJS";
+    case GreedyOrder::kLargestJobFirst: return "LJS";
+    case GreedyOrder::kSmallestRemainingFirst: return "SRN";
+  }
+  return "greedy";
+}
+
+std::vector<double> GreedyPriority::allocate(const PolicyContext& ctx) {
+  PERQ_REQUIRE(ctx.running != nullptr, "policy context missing running jobs");
+  const auto& running = *ctx.running;
+  const auto& spec = apps::node_power_spec();
+  const std::size_t n = running.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const auto& ja = *running[a];
+    const auto& jb = *running[b];
+    switch (order_) {
+      case GreedyOrder::kSmallestJobFirst:
+        if (ja.spec().nodes != jb.spec().nodes) return ja.spec().nodes < jb.spec().nodes;
+        break;
+      case GreedyOrder::kLargestJobFirst:
+        if (ja.spec().nodes != jb.spec().nodes) return ja.spec().nodes > jb.spec().nodes;
+        break;
+      case GreedyOrder::kSmallestRemainingFirst: {
+        const double ra = ja.remaining_node_hours();
+        const double rb = jb.remaining_node_hours();
+        if (ra != rb) return ra < rb;
+        break;
+      }
+    }
+    return ja.spec().id < jb.spec().id;  // deterministic tie-break
+  });
+
+  // Non-priority jobs are guaranteed a baseline of 60% of the equal share
+  // (floored at cap_min): a literal "everything left runs at cap_min"
+  // reading starves the tail into uselessness once applications saturate
+  // below TDP, which makes the baseline pathological rather than merely
+  // unfair. The reserve keeps the policy recognizably throughput-greedy
+  // while non-priority jobs still make progress.
+  double total_nodes = 0.0;
+  for (const auto* job : running) total_nodes += static_cast<double>(job->spec().nodes);
+  const double equal_share = ctx.budget_for_busy_w / std::max(1.0, total_nodes);
+  const double reserve =
+      std::clamp(0.6 * equal_share, spec.cap_min, spec.tdp);
+
+  double reserve_owed = 0.0;
+  for (const auto* job : running) {
+    reserve_owed += static_cast<double>(job->spec().nodes) * reserve;
+  }
+  double remaining = ctx.budget_for_busy_w;
+  std::vector<double> caps(n, spec.cap_min);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const std::size_t i = order[rank];
+    const double nodes = static_cast<double>(running[i]->spec().nodes);
+    reserve_owed -= nodes * reserve;
+    const double avail = remaining - reserve_owed;  // keep the reserve for the rest
+    const double cap = std::clamp(avail / nodes, spec.cap_min, spec.tdp);
+    caps[i] = cap;
+    remaining -= cap * nodes;
+  }
+  return enforce_budget(running, std::move(caps), ctx.budget_for_busy_w);
+}
+
+std::unique_ptr<PowerPolicy> make_fop() { return std::make_unique<FairShare>(); }
+std::unique_ptr<PowerPolicy> make_sjs() {
+  return std::make_unique<GreedyPriority>(GreedyOrder::kSmallestJobFirst);
+}
+std::unique_ptr<PowerPolicy> make_ljs() {
+  return std::make_unique<GreedyPriority>(GreedyOrder::kLargestJobFirst);
+}
+std::unique_ptr<PowerPolicy> make_srn() {
+  return std::make_unique<GreedyPriority>(GreedyOrder::kSmallestRemainingFirst);
+}
+
+}  // namespace perq::policy

@@ -1,0 +1,89 @@
+// Power-provisioning policy interface and the paper's baseline policies.
+//
+// A policy maps the set of running jobs to one power-cap per job (all nodes
+// of a job receive the same cap; nodes are homogeneous). The caps must
+// satisfy   sum_j nodes_j * cap_j <= budget_for_busy_w   and
+// cap_min <= cap_j <= TDP. The engine enforces these invariants after every
+// allocation.
+//
+// Baselines evaluated in the paper (Sec. 3 "Power Provisioning Policies"):
+//   FOP -- fairness-oriented: equal power to all nodes.
+//   SJS -- smallest-job-size first gets maximum power.
+//   LJS -- largest-job-size first (shown to hurt throughput).
+//   SRN -- smallest-remaining-node-hours first; uses oracle knowledge of
+//          remaining runtime, the strongest throughput-oriented baseline.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/job.hpp"
+
+namespace perq::policy {
+
+/// Inputs available to a policy at one decision instant.
+struct PolicyContext {
+  const std::vector<sched::Job*>* running = nullptr;  ///< active jobs
+  double budget_total_w = 0.0;     ///< full system power budget (N_WP * TDP)
+  double budget_for_busy_w = 0.0;  ///< system budget minus the idle-node floor
+  double total_nodes = 0.0;        ///< N_OP (for FOP's equal split)
+  double dt_s = 10.0;              ///< control interval length
+  double now_s = 0.0;              ///< simulation time
+};
+
+class PowerPolicy {
+ public:
+  virtual ~PowerPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Returns one cap per running job, aligned with (*ctx.running).
+  virtual std::vector<double> allocate(const PolicyContext& ctx) = 0;
+
+  /// Lifecycle notifications (PERQ uses them to reset per-job estimators).
+  virtual void on_job_started(const sched::Job&) {}
+  virtual void on_job_finished(const sched::Job&) {}
+
+  /// The job-level performance target the policy is currently tracking for
+  /// `job_id`, in aggregate IPS. Baselines have no notion of a target and
+  /// return 0; PERQ reports its fairness target (used by the Fig. 8 traces).
+  virtual double target_ips(int /*job_id*/) const { return 0.0; }
+};
+
+/// Clamps caps to [cap_min, TDP] and, if the weighted sum exceeds the
+/// budget, scales the headroom above cap_min down uniformly. Guarantees the
+/// budget invariant whenever nodes * cap_min <= budget.
+std::vector<double> enforce_budget(const std::vector<sched::Job*>& running,
+                                   std::vector<double> caps, double budget_w);
+
+/// FOP: every node gets budget / N_OP (clamped to the cap range).
+class FairShare final : public PowerPolicy {
+ public:
+  std::string name() const override { return "FOP"; }
+  std::vector<double> allocate(const PolicyContext& ctx) override;
+};
+
+/// Priority order used by the greedy throughput-oriented baselines.
+enum class GreedyOrder { kSmallestJobFirst, kLargestJobFirst, kSmallestRemainingFirst };
+
+/// Greedy: jobs in priority order get TDP while the budget (net of the
+/// cap_min floor owed to every other job) allows; the rest split what is
+/// left.
+class GreedyPriority final : public PowerPolicy {
+ public:
+  explicit GreedyPriority(GreedyOrder order);
+  std::string name() const override;
+  std::vector<double> allocate(const PolicyContext& ctx) override;
+
+ private:
+  GreedyOrder order_;
+};
+
+/// Factory helpers for the paper's baseline set.
+std::unique_ptr<PowerPolicy> make_fop();
+std::unique_ptr<PowerPolicy> make_sjs();
+std::unique_ptr<PowerPolicy> make_ljs();
+std::unique_ptr<PowerPolicy> make_srn();
+
+}  // namespace perq::policy

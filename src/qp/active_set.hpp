@@ -1,0 +1,30 @@
+// Primal active-set solver for PERQ's strictly convex QP.
+//
+// This is the production solver for the MPC step: the problems are small and
+// dense, warm starts from the previous control interval land near the optimal
+// active set, so convergence typically takes a handful of iterations (the
+// paper reports sub-0.5 s decision times; see bench_fig13_overhead).
+#pragma once
+
+#include "qp/problem.hpp"
+
+namespace perq::qp {
+
+struct AsOptions {
+  std::size_t max_iterations = 0;  ///< 0 => 50 * (n + #budgets)
+  double tolerance = 1e-9;         ///< multiplier / step tolerance
+};
+
+/// Solves `p` starting from `x0` (projected to feasibility first).
+/// Throws perq::invariant_error if the working-set linear algebra becomes
+/// singular (the solve() facade falls back to projected gradient then).
+QpResult solve_active_set(const QpProblem& p, const linalg::Vector& x0,
+                          const AsOptions& opts = {});
+
+/// Production entry point: active set with warm start, KKT-verified, with a
+/// projected-gradient fallback when the active set fails to certify
+/// optimality. This mirrors how PERQ uses CVXOPT in the paper: one reliable
+/// QP solve per control interval.
+QpResult solve(const QpProblem& p, const linalg::Vector& warm_start = {});
+
+}  // namespace perq::qp

@@ -1,0 +1,137 @@
+#include "qp/projected_gradient.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "qp/projection.hpp"
+#include "util/require.hpp"
+
+namespace perq::qp {
+
+using linalg::operator+;
+using linalg::operator-;
+using linalg::operator*;
+
+double estimate_spectral_norm(const linalg::Matrix& q, std::size_t iterations) {
+  PERQ_REQUIRE(q.is_square(), "spectral norm needs a square matrix");
+  const std::size_t n = q.rows();
+  if (n == 0) return 0.0;
+  linalg::Vector v(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    linalg::Vector w = q * v;
+    const double nw = linalg::norm2(w);
+    if (nw == 0.0) return 0.0;
+    lambda = nw;
+    v = w * (1.0 / nw);
+  }
+  return lambda;
+}
+
+namespace {
+
+/// Reconstructs budget/bound multiplier estimates from the gradient at the
+/// (near-)optimal x. For each budget row active to tolerance, nu is the
+/// median of -g_i / w_i over its strictly-interior variables; bound
+/// multipliers absorb the remaining per-coordinate gradient.
+void reconstruct_multipliers(const QpProblem& p, QpResult& r) {
+  const std::size_t n = p.size();
+  linalg::Vector g = p.gradient(r.x);
+  r.budget_mult.assign(p.budgets.size(), 0.0);
+  r.bound_mult.assign(n, 0.0);
+
+  const double act_tol = 1e-7;
+  for (std::size_t k = 0; k < p.budgets.size(); ++k) {
+    const auto& bc = p.budgets[k];
+    double s = 0.0;
+    for (std::size_t j = 0; j < bc.index.size(); ++j) s += bc.weight[j] * r.x[bc.index[j]];
+    if (s < bc.bound - act_tol * (1.0 + std::abs(bc.bound))) continue;  // inactive
+
+    std::vector<double> candidates;
+    for (std::size_t j = 0; j < bc.index.size(); ++j) {
+      const std::size_t i = bc.index[j];
+      const bool interior = r.x[i] > p.lb[i] + act_tol && r.x[i] < p.ub[i] - act_tol;
+      if (interior) candidates.push_back(-g[i] / bc.weight[j]);
+    }
+    if (candidates.empty()) continue;
+    std::nth_element(candidates.begin(), candidates.begin() + candidates.size() / 2,
+                     candidates.end());
+    r.budget_mult[k] = std::max(0.0, candidates[candidates.size() / 2]);
+    for (std::size_t j = 0; j < bc.index.size(); ++j) {
+      g[bc.index[j]] += r.budget_mult[k] * bc.weight[j];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool at_lo = r.x[i] <= p.lb[i] + act_tol;
+    const bool at_hi = r.x[i] >= p.ub[i] - act_tol;
+    if (at_lo && g[i] > 0.0) {
+      r.bound_mult[i] = g[i];
+    } else if (at_hi && g[i] < 0.0) {
+      r.bound_mult[i] = -g[i];
+    }
+  }
+}
+
+}  // namespace
+
+QpResult solve_projected_gradient(const QpProblem& p, const linalg::Vector& x0,
+                                  const PgOptions& opts) {
+  p.validate();
+  QpResult r;
+  const std::size_t n = p.size();
+  if (!is_feasible_problem(p)) {
+    r.status = SolveStatus::kInfeasible;
+    r.x.assign(n, 0.0);
+    r.bound_mult.assign(n, 0.0);
+    r.budget_mult.assign(p.budgets.size(), 0.0);
+    return r;
+  }
+
+  linalg::Vector x = x0.size() == n ? x0 : linalg::Vector(n, 0.0);
+  project_feasible(p, x);
+
+  const double lmax = estimate_spectral_norm(p.Q);
+  const double step = lmax > 0.0 ? 1.0 / (lmax * 1.01) : 1.0;
+
+  // FISTA with restart on non-monotone objective.
+  linalg::Vector y = x;
+  linalg::Vector x_prev = x;
+  double t = 1.0;
+  double f_prev = p.objective(x);
+  r.status = SolveStatus::kMaxIterations;
+  for (std::size_t it = 0; it < opts.max_iterations; ++it) {
+    linalg::Vector g = p.gradient(y);
+    linalg::Vector x_new = y;
+    for (std::size_t i = 0; i < n; ++i) x_new[i] -= step * g[i];
+    project_feasible(p, x_new, 1e-12);
+
+    const double move = linalg::norm_inf(x_new - x);
+    const double t_new = 0.5 * (1.0 + std::sqrt(1.0 + 4.0 * t * t));
+    const double beta = (t - 1.0) / t_new;
+    y = x_new + beta * (x_new - x);
+    x_prev = x;
+    x = x_new;
+    t = t_new;
+
+    const double f = p.objective(x);
+    if (f > f_prev) {  // adaptive restart
+      y = x;
+      t = 1.0;
+    }
+    f_prev = f;
+
+    if (move < opts.tolerance * (1.0 + linalg::norm_inf(x))) {
+      r.status = SolveStatus::kOptimal;
+      r.iterations = it + 1;
+      break;
+    }
+    r.iterations = it + 1;
+  }
+
+  r.x = x;
+  r.objective = p.objective(x);
+  reconstruct_multipliers(p, r);
+  return r;
+}
+
+}  // namespace perq::qp

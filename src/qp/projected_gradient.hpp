@@ -1,0 +1,26 @@
+// FISTA (accelerated projected gradient) solver for PERQ's QP.
+//
+// This is the robust fallback behind the active-set solver: it converges for
+// any feasible convex instance, at the cost of more iterations. The step size
+// uses 1/L with L estimated by power iteration on Q.
+#pragma once
+
+#include "qp/problem.hpp"
+
+namespace perq::qp {
+
+struct PgOptions {
+  std::size_t max_iterations = 20000;
+  double tolerance = 1e-9;  ///< stop when the projected-gradient step norm falls below this
+};
+
+/// Solves `p` by FISTA from `x0` (projected to feasibility first).
+/// Multiplier estimates in the result are reconstructed from the gradient at
+/// the solution (used for KKT diagnostics, not for the optimization itself).
+QpResult solve_projected_gradient(const QpProblem& p, const linalg::Vector& x0,
+                                  const PgOptions& opts = {});
+
+/// Estimates the largest eigenvalue of symmetric Q by power iteration.
+double estimate_spectral_norm(const linalg::Matrix& q, std::size_t iterations = 50);
+
+}  // namespace perq::qp

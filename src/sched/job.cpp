@@ -1,0 +1,61 @@
+#include "sched/job.hpp"
+
+#include "util/require.hpp"
+
+namespace perq::sched {
+
+std::string to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kFinished: return "finished";
+  }
+  return "unknown";
+}
+
+Job::Job(trace::JobSpec spec, const apps::AppModel* app)
+    : spec_(std::move(spec)), app_(app) {
+  PERQ_REQUIRE(app_ != nullptr, "job needs an application model");
+  PERQ_REQUIRE(spec_.nodes >= 1, "job must span at least one node");
+  PERQ_REQUIRE(spec_.runtime_ref_s > 0.0, "job runtime must be positive");
+}
+
+void Job::start(double now, std::vector<std::size_t> node_ids) {
+  PERQ_REQUIRE(state_ == JobState::kQueued, "job already started");
+  PERQ_REQUIRE(node_ids.size() == spec_.nodes, "node allocation size mismatch");
+  state_ = JobState::kRunning;
+  node_ids_ = std::move(node_ids);
+  start_time_s_ = now;
+}
+
+void Job::record_interval(double dt, double min_perf, double job_ips, double cap_w) {
+  PERQ_REQUIRE(state_ == JobState::kRunning, "recording on a non-running job");
+  PERQ_REQUIRE(dt > 0.0, "dt must be positive");
+  PERQ_REQUIRE(min_perf >= 0.0 && min_perf <= 1.5, "perf fraction out of range");
+  progress_s_ += dt * min_perf;
+  last_min_perf_ = min_perf;
+  last_job_ips_ = job_ips;
+  last_cap_w_ = cap_w;
+}
+
+void Job::finish(double now) {
+  PERQ_REQUIRE(state_ == JobState::kRunning, "finishing a non-running job");
+  state_ = JobState::kFinished;
+  finish_time_s_ = now;
+  node_ids_.clear();
+}
+
+std::size_t Job::current_phase() const {
+  return app_->phase_at(spec_.phase_offset_s + progress_s_);
+}
+
+double Job::runtime_s() const {
+  PERQ_REQUIRE(state_ == JobState::kFinished, "runtime of an unfinished job");
+  return finish_time_s_ - start_time_s_;
+}
+
+double Job::remaining_node_hours() const {
+  return std::max(0.0, remaining_ref_s()) * static_cast<double>(spec_.nodes) / 3600.0;
+}
+
+}  // namespace perq::sched

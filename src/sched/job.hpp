@@ -1,0 +1,80 @@
+// Runtime state of one job in the simulated system.
+//
+// Progress is tracked in *reference seconds*: a node running at perf
+// fraction p advances the job by p * dt. A job finishes when its progress
+// reaches the trace's reference runtime, so at full power its runtime equals
+// the trace runtime exactly, and under power caps it inflates by the
+// (time-averaged) inverse performance fraction -- which is precisely the
+// "performance degradation" the paper's fairness metrics measure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "apps/app_model.hpp"
+#include "trace/trace.hpp"
+
+namespace perq::sched {
+
+enum class JobState { kQueued, kRunning, kFinished };
+
+std::string to_string(JobState s);
+
+class Job {
+ public:
+  Job(trace::JobSpec spec, const apps::AppModel* app);
+
+  const trace::JobSpec& spec() const { return spec_; }
+  const apps::AppModel& app() const { return *app_; }
+  JobState state() const { return state_; }
+  const std::vector<std::size_t>& node_ids() const { return node_ids_; }
+
+  /// Transitions kQueued -> kRunning on the given nodes.
+  void start(double now, std::vector<std::size_t> node_ids);
+
+  /// Records one control interval: `min_perf` is the slowest node's
+  /// performance fraction (the rank that gates progress), `job_ips` the
+  /// measured aggregate IPS, `cap_w` the per-node cap that was applied.
+  void record_interval(double dt, double min_perf, double job_ips, double cap_w);
+
+  /// True once accumulated progress covers the reference runtime.
+  bool work_complete() const { return progress_s_ >= spec_.runtime_ref_s; }
+
+  /// Transitions kRunning -> kFinished (engine calls after work_complete()).
+  void finish(double now);
+
+  /// Application phase index for the *next* interval; phases advance with
+  /// job progress (iterations), not wall time, so a throttled job stays in
+  /// its phase longer.
+  std::size_t current_phase() const;
+
+  double progress_s() const { return progress_s_; }
+  double remaining_ref_s() const { return spec_.runtime_ref_s - progress_s_; }
+  double start_time_s() const { return start_time_s_; }
+  double finish_time_s() const { return finish_time_s_; }
+  /// Wall-clock runtime (finish - start); requires kFinished.
+  double runtime_s() const;
+
+  /// Remaining node-hours at full power: remaining_ref * nodes / 3600
+  /// (the SRN policy's oracle priority key).
+  double remaining_node_hours() const;
+
+  double last_job_ips() const { return last_job_ips_; }
+  double last_cap_w() const { return last_cap_w_; }
+  double last_min_perf() const { return last_min_perf_; }
+
+ private:
+  trace::JobSpec spec_;
+  const apps::AppModel* app_;
+  JobState state_ = JobState::kQueued;
+  std::vector<std::size_t> node_ids_;
+  double progress_s_ = 0.0;
+  double start_time_s_ = -1.0;
+  double finish_time_s_ = -1.0;
+  double last_job_ips_ = 0.0;
+  double last_cap_w_ = 0.0;
+  double last_min_perf_ = 1.0;
+};
+
+}  // namespace perq::sched

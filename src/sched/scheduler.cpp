@@ -1,0 +1,98 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace perq::sched {
+
+Scheduler::Scheduler(std::size_t backfill_window, BackfillMode mode)
+    : backfill_window_(backfill_window), mode_(mode) {}
+
+void Scheduler::enqueue(Job* job) {
+  PERQ_REQUIRE(job != nullptr, "cannot enqueue a null job");
+  PERQ_REQUIRE(job->state() == JobState::kQueued, "job must be in queued state");
+  queue_.push_back(job);
+}
+
+std::vector<Job*> Scheduler::schedule(sim::Cluster& cluster, double now,
+                                      const std::vector<Job*>* running) {
+  std::vector<Job*> started;
+
+  // FCFS prefix: start head jobs while they fit.
+  while (!queue_.empty()) {
+    Job* head = queue_.front();
+    auto nodes = cluster.allocate(head->spec().nodes);
+    if (nodes.empty()) break;
+    head->start(now, std::move(nodes));
+    started.push_back(head);
+    queue_.pop_front();
+  }
+  if (queue_.empty() || backfill_window_ == 0) return started;
+
+  // EASY reservation for the blocked head: walk the running jobs' estimated
+  // completions (start + user runtime estimate; the trace reference runtime
+  // plays the role of the user estimate) until enough nodes accumulate.
+  double shadow_time = std::numeric_limits<double>::infinity();
+  std::size_t nodes_free_at_shadow = 0;
+  if (mode_ == BackfillMode::kEasy) {
+    PERQ_REQUIRE(running != nullptr, "EASY backfill requires the running-job list");
+    const Job* head = queue_.front();
+    std::vector<std::pair<double, std::size_t>> completions;  // (est end, nodes)
+    for (const Job* job : *running) {
+      const double est_end = job->start_time_s() + job->spec().runtime_ref_s;
+      completions.emplace_back(std::max(est_end, now), job->spec().nodes);
+    }
+    std::sort(completions.begin(), completions.end());
+    std::size_t free_nodes = cluster.free_count();
+    shadow_time = now;
+    for (const auto& [end, n] : completions) {
+      if (free_nodes >= head->spec().nodes) break;
+      free_nodes += n;
+      shadow_time = end;
+    }
+    // If even all completions cannot free enough nodes, the head is simply
+    // too big for the machine fragment; treat the reservation as infinite.
+    if (free_nodes < head->spec().nodes) {
+      shadow_time = std::numeric_limits<double>::infinity();
+    }
+    nodes_free_at_shadow = free_nodes;
+    last_shadow_time_ = std::isfinite(shadow_time) ? shadow_time : -1.0;
+  }
+  // Nodes the head leaves unused at its reservation: backfill jobs that fit
+  // inside this surplus can never delay the head regardless of runtime.
+  const std::size_t shadow_surplus =
+      mode_ == BackfillMode::kEasy && !queue_.empty() &&
+              nodes_free_at_shadow >= queue_.front()->spec().nodes
+          ? nodes_free_at_shadow - queue_.front()->spec().nodes
+          : 0;
+
+  // Backfill behind the blocked head. Erasing from a deque mid-scan is fine
+  // at these sizes.
+  std::size_t examined = 0;
+  for (auto it = queue_.begin() + 1;
+       it != queue_.end() && examined < backfill_window_ && cluster.free_count() > 0;
+       ++examined) {
+    Job* candidate = *it;
+    const bool fits_now = candidate->spec().nodes <= cluster.free_count();
+    bool allowed = fits_now;
+    if (allowed && mode_ == BackfillMode::kEasy) {
+      const double est_end = now + candidate->spec().runtime_ref_s;
+      allowed = est_end <= shadow_time || candidate->spec().nodes <= shadow_surplus;
+    }
+    if (allowed) {
+      auto nodes = cluster.allocate(candidate->spec().nodes);
+      PERQ_ASSERT(!nodes.empty(), "allocation failed despite free-count check");
+      candidate->start(now, std::move(nodes));
+      started.push_back(candidate);
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return started;
+}
+
+}  // namespace perq::sched

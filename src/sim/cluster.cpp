@@ -1,0 +1,94 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace perq::sim {
+
+std::size_t ClusterConfig::total_nodes() const {
+  return static_cast<std::size_t>(
+      std::llround(over_provision_factor * static_cast<double>(worst_case_nodes)));
+}
+
+double ClusterConfig::power_budget_w() const {
+  return static_cast<double>(worst_case_nodes) * apps::node_power_spec().tdp;
+}
+
+Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
+  PERQ_REQUIRE(cfg_.worst_case_nodes >= 1, "cluster needs at least one node");
+  PERQ_REQUIRE(cfg_.over_provision_factor >= 1.0, "over-provisioning factor >= 1");
+  const std::size_t n = cfg_.total_nodes();
+  Rng seeder(cfg_.seed);
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_.emplace_back(i, seeder.split(), cfg_.node);
+    // Free nodes idle at the minimum cap.
+    nodes_.back().set_cap(apps::node_power_spec().cap_min);
+  }
+  busy_.assign(n, false);
+  free_.resize(n);
+  // Allocate low ids first (free_ is used as a stack from the back).
+  for (std::size_t i = 0; i < n; ++i) free_[i] = n - 1 - i;
+}
+
+Node& Cluster::node(std::size_t id) {
+  PERQ_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+const Node& Cluster::node(std::size_t id) const {
+  PERQ_REQUIRE(id < nodes_.size(), "node id out of range");
+  return nodes_[id];
+}
+
+std::vector<std::size_t> Cluster::allocate(std::size_t count) {
+  PERQ_REQUIRE(count >= 1, "allocation must request at least one node");
+  if (count > free_.size()) return {};
+  std::vector<std::size_t> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ids.push_back(free_.back());
+    free_.pop_back();
+    busy_[ids.back()] = true;
+  }
+  return ids;
+}
+
+void Cluster::release(const std::vector<std::size_t>& ids) {
+  for (std::size_t id : ids) {
+    PERQ_REQUIRE(id < nodes_.size(), "node id out of range");
+    PERQ_REQUIRE(busy_[id], "releasing a node that is not busy");
+    busy_[id] = false;
+    nodes_[id].set_cap(apps::node_power_spec().cap_min);
+    free_.push_back(id);
+  }
+}
+
+bool Cluster::is_busy(std::size_t id) const {
+  PERQ_REQUIRE(id < nodes_.size(), "node id out of range");
+  return busy_[id];
+}
+
+double Cluster::committed_power_w() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    total += busy_[i] ? nodes_[i].target_cap() : apps::node_power_spec().idle;
+  }
+  return total;
+}
+
+double Cluster::budget_for_busy_nodes_w() const {
+  const double idle_reserve =
+      static_cast<double>(free_.size()) * apps::node_power_spec().idle;
+  return std::max(0.0, power_budget_w() - idle_reserve);
+}
+
+double Cluster::step_idle_nodes(double dt) {
+  double draw = 0.0;
+  for (std::size_t id : free_) draw += nodes_[id].step_idle(dt).power_w;
+  return draw;
+}
+
+}  // namespace perq::sim

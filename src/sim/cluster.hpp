@@ -1,0 +1,75 @@
+// Over-provisioned cluster: node pool, free-list, and power-budget
+// accounting.
+//
+// An over-provisioned system has node_count = f * worst_case_nodes but only
+// worst_case_nodes * TDP of power (paper Sec. 1). The cluster enforces the
+// cap-sum invariant: the sum of all requested node caps (busy jobs at their
+// policy caps, idle nodes at the idle floor) must stay within the budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/node.hpp"
+
+namespace perq::sim {
+
+/// Sizing of an over-provisioned cluster.
+struct ClusterConfig {
+  std::size_t worst_case_nodes = 128;  ///< N_WP: nodes a worst-case system powers at TDP
+  double over_provision_factor = 1.0;  ///< f >= 1; N_OP = round(f * N_WP)
+  NodeConfig node;                     ///< per-node simulation tunables
+  std::uint64_t seed = 42;             ///< seeds per-node noise streams
+
+  std::size_t total_nodes() const;
+  double power_budget_w() const;  ///< N_WP * TDP
+};
+
+/// The simulated machine.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+
+  std::size_t size() const { return nodes_.size(); }
+  std::size_t worst_case_nodes() const { return cfg_.worst_case_nodes; }
+  double over_provision_factor() const { return cfg_.over_provision_factor; }
+  double power_budget_w() const { return cfg_.power_budget_w(); }
+
+  Node& node(std::size_t id);
+  const Node& node(std::size_t id) const;
+
+  std::size_t free_count() const { return free_.size(); }
+
+  /// Takes `count` nodes from the free list; returns their ids, or an empty
+  /// vector when not enough nodes are free (no partial allocation).
+  std::vector<std::size_t> allocate(std::size_t count);
+
+  /// Returns nodes to the free list. Their caps are reset to the idle floor
+  /// (an idle node still draws power and cannot be capped to zero -- the
+  /// Fig. 12 footnote).
+  void release(const std::vector<std::size_t>& ids);
+
+  /// True when node `id` is currently allocated to a job.
+  bool is_busy(std::size_t id) const;
+
+  /// Sum of *target* caps across all nodes plus the idle floor of free
+  /// nodes; this is the quantity a power-capping system must keep within
+  /// budget (caps are commitments, not draws).
+  double committed_power_w() const;
+
+  /// Budget available to distribute across busy nodes after reserving the
+  /// idle floor for free nodes.
+  double budget_for_busy_nodes_w() const;
+
+  /// Steps every idle node by dt (busy nodes are stepped by the engine via
+  /// their jobs); returns total idle draw in watts.
+  double step_idle_nodes(double dt);
+
+ private:
+  ClusterConfig cfg_;
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> free_;   // stack of free node ids
+  std::vector<bool> busy_;
+};
+
+}  // namespace perq::sim

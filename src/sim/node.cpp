@@ -1,0 +1,64 @@
+#include "sim/node.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace perq::sim {
+
+Node::Node(std::size_t id, Rng noise, const NodeConfig& cfg)
+    : id_(id), rng_(noise), cfg_(cfg) {
+  PERQ_REQUIRE(cfg_.cap_lag_tau_s >= 0.0, "cap lag must be non-negative");
+  PERQ_REQUIRE(cfg_.ips_noise_sigma >= 0.0, "noise sigma must be non-negative");
+  PERQ_REQUIRE(cfg_.perf_variability_sigma >= 0.0,
+               "variability sigma must be non-negative");
+  const auto& spec = apps::node_power_spec();
+  target_cap_ = spec.tdp;
+  effective_cap_ = spec.tdp;
+  if (cfg_.perf_variability_sigma > 0.0) {
+    perf_scale_ =
+        std::clamp(1.0 + rng_.normal(0.0, cfg_.perf_variability_sigma), 0.85, 1.15);
+  }
+}
+
+void Node::set_cap(double watts) {
+  const auto& spec = apps::node_power_spec();
+  target_cap_ = std::clamp(watts, spec.cap_min, spec.tdp);
+}
+
+void Node::advance_cap(double dt) {
+  PERQ_REQUIRE(dt > 0.0, "dt must be positive");
+  if (cfg_.cap_lag_tau_s <= 0.0) {
+    effective_cap_ = target_cap_;
+    return;
+  }
+  const double decay = std::exp(-dt / cfg_.cap_lag_tau_s);
+  effective_cap_ = target_cap_ + (effective_cap_ - target_cap_) * decay;
+}
+
+NodeSample Node::step_busy(double dt, const apps::AppModel& app,
+                           std::size_t phase_idx) {
+  advance_cap(dt);
+  NodeSample s;
+  const double noise = std::max(0.5, 1.0 + rng_.normal(0.0, cfg_.ips_noise_sigma));
+  s.ips = app.node_ips(effective_cap_, phase_idx) * perf_scale_ * noise;
+  s.power_w = app.power_draw_w(effective_cap_, phase_idx);
+  rapl_.accumulate_joules(s.power_w * dt);
+  return s;
+}
+
+NodeSample Node::step_idle(double dt) {
+  advance_cap(dt);
+  NodeSample s;
+  s.ips = 0.0;
+  s.power_w = apps::node_power_spec().idle;
+  rapl_.accumulate_joules(s.power_w * dt);
+  return s;
+}
+
+double Node::perf_fraction(const apps::AppModel& app, std::size_t phase_idx) const {
+  return app.perf_fraction(effective_cap_, phase_idx) * perf_scale_;
+}
+
+}  // namespace perq::sim

@@ -1,0 +1,89 @@
+// Simulated compute node with RAPL-like power capping.
+//
+// Replaces the paper's Tardis prototype hardware. The two behaviors that
+// matter to the controller are modeled explicitly:
+//   * actuation lag -- RAPL caps take effect over a short horizon, modeled
+//     as a first-order response toward the set cap (this is the dynamics the
+//     3rd-order state-space model captures), and
+//   * measurement noise -- per-node multiplicative noise on reported IPS
+//     (OS jitter, sampling error), which makes the min-over-ranks job
+//     indicator meaningful.
+#pragma once
+
+#include <cstddef>
+
+#include "apps/app_model.hpp"
+#include "sim/rapl.hpp"
+#include "util/rng.hpp"
+
+namespace perq::sim {
+
+/// Tunables of the node simulation.
+struct NodeConfig {
+  double cap_lag_tau_s = 4.0;    ///< first-order time constant of cap actuation
+  double ips_noise_sigma = 0.02; ///< relative std-dev of IPS measurement noise
+  /// Manufacturing variability: each node gets a fixed performance
+  /// multiplier drawn once at construction from N(1, sigma), clamped to
+  /// [0.85, 1.15]. Real processors of the same SKU differ by several
+  /// percent under power caps (the effect the paper cites from Mueller et
+  /// al.'s manufacturing-variation study). 0 disables.
+  double perf_variability_sigma = 0.0;
+};
+
+/// One measurement interval's observation from a node.
+struct NodeSample {
+  double ips = 0.0;      ///< measured instructions/second (noisy)
+  double power_w = 0.0;  ///< average power drawn over the interval
+};
+
+/// A simulated node. Ownership of job state lives in the scheduler; the node
+/// only tracks its power-cap actuation state and noise stream.
+class Node {
+ public:
+  Node(std::size_t id, Rng noise, const NodeConfig& cfg = {});
+
+  std::size_t id() const { return id_; }
+
+  /// Requests a new power-cap (clamped to [cap_min, tdp]). Takes effect
+  /// gradually per the actuation lag.
+  void set_cap(double watts);
+
+  /// The cap requested by the controller.
+  double target_cap() const { return target_cap_; }
+
+  /// The cap currently enforced by the (simulated) RAPL hardware.
+  double effective_cap() const { return effective_cap_; }
+
+  /// Advances the actuation state by dt and samples the node running `app`
+  /// in `phase_idx`. Returns noisy IPS and the power drawn.
+  NodeSample step_busy(double dt, const apps::AppModel& app, std::size_t phase_idx);
+
+  /// Advances dt with no job: draws idle power, zero IPS.
+  NodeSample step_idle(double dt);
+
+  /// Deterministic (noise-free) performance fraction the node would deliver
+  /// for `app` at the *current effective* cap, including this node's
+  /// manufacturing multiplier. Exposed for tests and used by the engine for
+  /// job progress (the slowest rank gates the job).
+  double perf_fraction(const apps::AppModel& app, std::size_t phase_idx) const;
+
+  /// This node's fixed manufacturing performance multiplier (1.0 when
+  /// variability is disabled).
+  double perf_scale() const { return perf_scale_; }
+
+  /// The node's emulated RAPL package-energy counter (fed by every step).
+  const RaplEnergyCounter& rapl() const { return rapl_; }
+
+ private:
+  void advance_cap(double dt);
+
+  std::size_t id_;
+  Rng rng_;
+  NodeConfig cfg_;
+  double target_cap_;
+  double effective_cap_;
+  double perf_scale_ = 1.0;
+  RaplEnergyCounter rapl_;
+};
+
+}  // namespace perq::sim

@@ -1,0 +1,31 @@
+#include "sim/rapl.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace perq::sim {
+
+void RaplEnergyCounter::accumulate_joules(double joules) {
+  PERQ_REQUIRE(joules >= 0.0, "energy must be non-negative");
+  lifetime_joules_ += joules;
+  const double counts_exact = joules / kJoulesPerCount + residual_;
+  const double whole = std::floor(counts_exact);
+  residual_ = counts_exact - whole;
+  // 32-bit wraparound is the defining behavior of the register.
+  raw_ = static_cast<std::uint32_t>(raw_ + static_cast<std::uint64_t>(whole));
+}
+
+double RaplEnergyCounter::energy_since_joules(std::uint32_t previous_raw) const {
+  // Unsigned subtraction corrects exactly one wraparound.
+  const std::uint32_t delta = raw_ - previous_raw;
+  return static_cast<double>(delta) * kJoulesPerCount;
+}
+
+double RaplEnergyCounter::average_power_w(std::uint32_t previous_raw,
+                                          double interval_s) const {
+  PERQ_REQUIRE(interval_s > 0.0, "interval must be positive");
+  return energy_since_joules(previous_raw) / interval_s;
+}
+
+}  // namespace perq::sim

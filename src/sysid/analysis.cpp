@@ -1,0 +1,118 @@
+#include "sysid/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/eigen.hpp"
+#include "util/require.hpp"
+
+namespace perq::sysid {
+
+using linalg::Matrix;
+
+std::vector<std::complex<double>> poles(const StateSpaceModel& ss) {
+  return linalg::eigenvalues(ss.A());
+}
+
+double stability_margin(const StateSpaceModel& ss) {
+  return 1.0 - linalg::spectral_radius(ss.A());
+}
+
+Matrix controllability_matrix(const StateSpaceModel& ss) {
+  const std::size_t n = ss.order();
+  Matrix ctrb(n, n);
+  linalg::Vector col = ss.B().col(0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) ctrb(i, j) = col[i];
+    col = ss.A() * col;
+  }
+  return ctrb;
+}
+
+Matrix observability_matrix(const StateSpaceModel& ss) {
+  const std::size_t n = ss.order();
+  Matrix obsv(n, n);
+  Matrix row = ss.C();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) obsv(i, j) = row(0, j);
+    row = row * ss.A();
+  }
+  return obsv;
+}
+
+namespace {
+
+bool full_rank(const Matrix& m, double tol) {
+  // Rank via the PSD Gramian M'M: robust and reuses the Jacobi eigensolver.
+  return linalg::psd_rank(m.transposed() * m, tol * tol) == m.rows();
+}
+
+}  // namespace
+
+bool is_controllable(const StateSpaceModel& ss, double tol) {
+  return full_rank(controllability_matrix(ss), tol);
+}
+
+bool is_observable(const StateSpaceModel& ss, double tol) {
+  return full_rank(observability_matrix(ss), tol);
+}
+
+Matrix controllability_gramian(const StateSpaceModel& ss) {
+  return linalg::solve_discrete_lyapunov(ss.A(), ss.B() * ss.B().transposed());
+}
+
+Matrix observability_gramian(const StateSpaceModel& ss) {
+  return linalg::solve_discrete_lyapunov(ss.A().transposed(),
+                                         ss.C().transposed() * ss.C());
+}
+
+std::vector<OrderCandidate> sweep_model_order(
+    const std::vector<ExcitationData>& segments, std::size_t max_order) {
+  PERQ_REQUIRE(max_order >= 1, "max_order must be >= 1");
+  // Validation sample count (second half of every segment, minus warm-up).
+  std::vector<OrderCandidate> out;
+  for (std::size_t order = 1; order <= max_order; ++order) {
+    OrderCandidate c;
+    c.order = order;
+    try {
+      const auto model = identify_segments(segments, order, order);
+      c.fit_percent = model.fit_percent();
+      c.stable = model.arx().is_stable();
+      // AIC up to an order-independent constant: the validation NRMSE fit
+      // gives SSE/SST = (1 - fit/100)^2 and SST does not depend on the
+      // order, so AIC differences reduce to N ln(SSE/N) + 2k with the SST
+      // factor cancelling.
+      double n_val = 0.0;
+      for (const auto& seg : segments) {
+        n_val += static_cast<double>(seg.u.size() - seg.u.size() / 2);
+      }
+      const double rel = std::max(1e-9, 1.0 - c.fit_percent / 100.0);
+      const double params = static_cast<double>(2 * order + 1);  // a, b, b0
+      c.aic = n_val * std::log(rel * rel) + 2.0 * params;
+    } catch (const invariant_error&) {
+      // Unstable fit at this order: report it as an invalid candidate.
+      c.stable = false;
+      c.fit_percent = 0.0;
+      c.aic = std::numeric_limits<double>::infinity();
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::size_t select_model_order(const std::vector<OrderCandidate>& candidates) {
+  PERQ_REQUIRE(!candidates.empty(), "no order candidates");
+  std::size_t best_order = 0;
+  double best_aic = std::numeric_limits<double>::infinity();
+  for (const auto& c : candidates) {
+    if (c.stable && c.aic < best_aic) {
+      best_aic = c.aic;
+      best_order = c.order;
+    }
+  }
+  PERQ_REQUIRE(best_order > 0, "no stable model order found");
+  return best_order;
+}
+
+}  // namespace perq::sysid

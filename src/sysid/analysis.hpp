@@ -1,0 +1,62 @@
+// Model analysis: the control-theoretic checks behind the paper's claims.
+//
+// Sec. 2.4.2 states that "MATLAB's system identification tool is used to
+// develop a *controllable* state-space model"; this module provides the
+// corresponding checks for our identified models -- poles, stability
+// margin, controllability/observability (matrix-rank and Gramian forms) --
+// plus model-order selection to justify the paper's choice of order 3.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "sysid/identify.hpp"
+
+namespace perq::sysid {
+
+/// Poles of the model (eigenvalues of A).
+std::vector<std::complex<double>> poles(const StateSpaceModel& ss);
+
+/// 1 - spectral_radius(A): positive for stable models; the larger, the
+/// faster disturbances decay.
+double stability_margin(const StateSpaceModel& ss);
+
+/// Controllability matrix [B, AB, ..., A^{n-1}B] (n x n for SISO).
+linalg::Matrix controllability_matrix(const StateSpaceModel& ss);
+
+/// Observability matrix [C; CA; ...; CA^{n-1}] (n x n for SISO).
+linalg::Matrix observability_matrix(const StateSpaceModel& ss);
+
+/// True when the controllability matrix has full rank: every internal state
+/// can be steered by the power-cap input.
+bool is_controllable(const StateSpaceModel& ss, double tol = 1e-9);
+
+/// True when the observability matrix has full rank: the internal state can
+/// be reconstructed from IPS measurements.
+bool is_observable(const StateSpaceModel& ss, double tol = 1e-9);
+
+/// Controllability Gramian W_c solving  W_c = A W_c A' + B B'  (requires a
+/// stable model). Its smallest eigenvalue measures how hard the least
+/// controllable direction is to reach.
+linalg::Matrix controllability_gramian(const StateSpaceModel& ss);
+
+/// Observability Gramian W_o solving  W_o = A' W_o A + C' C.
+linalg::Matrix observability_gramian(const StateSpaceModel& ss);
+
+/// One candidate model order's scorecard.
+struct OrderCandidate {
+  std::size_t order = 0;
+  double fit_percent = 0.0;  ///< held-out one-step NRMSE fit
+  double aic = 0.0;          ///< Akaike information criterion (lower = better)
+  bool stable = false;
+};
+
+/// Fits models of order 1..max_order on the segments and scores each on the
+/// held-out halves; used to justify the paper's fixed order of 3.
+std::vector<OrderCandidate> sweep_model_order(
+    const std::vector<ExcitationData>& segments, std::size_t max_order = 6);
+
+/// The order with the best AIC among stable candidates.
+std::size_t select_model_order(const std::vector<OrderCandidate>& candidates);
+
+}  // namespace perq::sysid

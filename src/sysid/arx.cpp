@@ -1,0 +1,114 @@
+#include "sysid/arx.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/decompose.hpp"
+#include "util/require.hpp"
+
+namespace perq::sysid {
+
+double ArxModel::predict(double u_now, const linalg::Vector& y_hist,
+                         const linalg::Vector& u_hist) const {
+  PERQ_REQUIRE(y_hist.size() >= na(), "y history shorter than model order");
+  PERQ_REQUIRE(u_hist.size() >= nb(), "u history shorter than model order");
+  double y = b0 * u_now;
+  for (std::size_t i = 0; i < na(); ++i) y += a[i] * y_hist[i];
+  for (std::size_t i = 0; i < nb(); ++i) y += b[i] * u_hist[i];
+  return y;
+}
+
+linalg::Vector ArxModel::simulate(const linalg::Vector& u,
+                                  const linalg::Vector& y0) const {
+  const std::size_t n = order();
+  PERQ_REQUIRE(y0.empty() || y0.size() >= na(), "seed shorter than model order");
+  linalg::Vector y(u.size(), 0.0);
+  // Histories kept most-recent-first.
+  linalg::Vector yh(na(), 0.0);
+  linalg::Vector uh(nb(), 0.0);
+  if (!y0.empty()) {
+    // y0 is oldest-first; its last element is y(k-1).
+    for (std::size_t i = 0; i < na(); ++i) yh[i] = y0[y0.size() - 1 - i];
+  }
+  (void)n;
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    y[k] = predict(u[k], yh, uh);
+    // Shift histories.
+    for (std::size_t i = yh.size(); i-- > 1;) yh[i] = yh[i - 1];
+    if (!yh.empty()) yh[0] = y[k];
+    for (std::size_t i = uh.size(); i-- > 1;) uh[i] = uh[i - 1];
+    if (!uh.empty()) uh[0] = u[k];
+  }
+  return y;
+}
+
+double ArxModel::dc_gain() const {
+  double sa = 0.0;
+  for (double x : a) sa += x;
+  double sb = b0;
+  for (double x : b) sb += x;
+  PERQ_REQUIRE(std::abs(1.0 - sa) > 1e-9, "dc gain undefined: pole at z = 1");
+  return sb / (1.0 - sa);
+}
+
+bool ArxModel::is_stable() const {
+  // Characteristic polynomial z^na - a1 z^{na-1} - ... - a_na, tested with
+  // the Schur-Cohn recursion: stable iff |c_n| < |c_0| at every reduction.
+  std::vector<double> c;
+  c.push_back(1.0);
+  for (double x : a) c.push_back(-x);
+  while (c.size() > 1) {
+    const double c0 = c.front();
+    const double cn = c.back();
+    if (std::abs(cn) >= std::abs(c0) - 1e-12) return false;
+    std::vector<double> d(c.size() - 1);
+    for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+      d[i] = c0 * c[i] - cn * c[c.size() - 1 - i];
+    }
+    c = std::move(d);
+  }
+  return true;
+}
+
+ArxModel fit_arx(const linalg::Vector& u, const linalg::Vector& y, std::size_t na,
+                 std::size_t nb) {
+  PERQ_REQUIRE(u.size() == y.size(), "u and y must be the same length");
+  PERQ_REQUIRE(na >= 1 && nb >= 1, "model orders must be >= 1");
+  const std::size_t n = std::max(na, nb);
+  PERQ_REQUIRE(y.size() > n + na + nb, "not enough data for the requested order");
+
+  const std::size_t rows = y.size() - n;
+  linalg::Matrix phi(rows, na + 1 + nb);
+  linalg::Vector target(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t k = r + n;  // predict y(k)
+    for (std::size_t i = 0; i < na; ++i) phi(r, i) = y[k - 1 - i];
+    phi(r, na) = u[k];
+    for (std::size_t i = 0; i < nb; ++i) phi(r, na + 1 + i) = u[k - 1 - i];
+    target[r] = y[k];
+  }
+  const linalg::Vector theta =
+      linalg::ridge_least_squares(phi, target, 1e-8 * static_cast<double>(phi.rows()));
+  ArxModel m;
+  m.a.assign(theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(na));
+  m.b0 = theta[na];
+  m.b.assign(theta.begin() + static_cast<std::ptrdiff_t>(na) + 1, theta.end());
+  return m;
+}
+
+double nrmse_fit(const linalg::Vector& y, const linalg::Vector& y_hat) {
+  PERQ_REQUIRE(y.size() == y_hat.size() && !y.empty(), "fit size mismatch");
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  double err = 0.0;
+  double dev = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    err += (y[i] - y_hat[i]) * (y[i] - y_hat[i]);
+    dev += (y[i] - mean) * (y[i] - mean);
+  }
+  if (dev == 0.0) return err == 0.0 ? 100.0 : 0.0;
+  return 100.0 * (1.0 - std::sqrt(err / dev));
+}
+
+}  // namespace perq::sysid

@@ -1,0 +1,70 @@
+// ARX (AutoRegressive with eXogenous input) model identification.
+//
+// PERQ's system model (paper Sec. 2.4.2) maps recent node power-caps to the
+// node's IPS. The paper identifies a 3rd-order state-space model with
+// MATLAB's System Identification Toolbox; we identify the equivalent ARX(3,3)
+// difference equation by linear least squares,
+//
+//   y(k) = a1 y(k-1) + ... + a_na y(k-na)
+//        + b0 u(k) + b1 u(k-1) + ... + b_nb u(k-nb) + e(k),
+//
+// including a direct-feedthrough term b0: at a 10 s control interval the
+// IPS measured during interval k already reflects the cap applied at the
+// start of interval k (RAPL actuates within milliseconds-to-seconds), so a
+// strictly-proper model would be structurally wrong at this sampling rate.
+//
+// and realize it as a state-space model in statespace.hpp. The two are
+// equivalent SISO LTI descriptions; least-squares ARX is the textbook
+// identification method for this family (Ljung, "System Identification").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace perq::sysid {
+
+/// Identified ARX difference-equation model.
+struct ArxModel {
+  linalg::Vector a;  ///< output coefficients a1..a_na (most recent first)
+  linalg::Vector b;  ///< lagged input coefficients b1..b_nb (most recent first)
+  double b0 = 0.0;   ///< direct feedthrough coefficient on u(k)
+
+  std::size_t na() const { return a.size(); }
+  std::size_t nb() const { return b.size(); }
+  std::size_t order() const { return std::max(na(), nb()); }
+
+  /// One-step prediction of y(k) given the current input u(k) and histories
+  /// ordered most-recent-first: y_hist[0] = y(k-1), u_hist[0] = u(k-1).
+  double predict(double u_now, const linalg::Vector& y_hist,
+                 const linalg::Vector& u_hist) const;
+
+  /// Free-run simulation: feeds its own predictions back. `u` is the input
+  /// sequence; the first `order()` outputs are seeded from `y0` (oldest
+  /// first) when provided, else zeros.
+  linalg::Vector simulate(const linalg::Vector& u, const linalg::Vector& y0 = {}) const;
+
+  /// Steady-state output per unit constant input:
+  /// (b0 + sum(b)) / (1 - sum(a)).
+  /// Requires the model to be stable (denominator positive check enforced).
+  double dc_gain() const;
+
+  /// True when all characteristic roots lie strictly inside the unit circle
+  /// (Jury stability criterion).
+  bool is_stable() const;
+};
+
+/// Fits an ARX(na, nb) model to input/output data by least squares.
+/// `u` and `y` are aligned sequences of the same length (>= order + 1
+/// usable rows required). Throws perq::precondition_error on bad shapes and
+/// perq::invariant_error when the regression is rank deficient (input not
+/// persistently exciting).
+ArxModel fit_arx(const linalg::Vector& u, const linalg::Vector& y, std::size_t na,
+                 std::size_t nb);
+
+/// MATLAB-style NRMSE fit percentage: 100 * (1 - ||y-yhat|| / ||y-mean(y)||).
+/// 100 = perfect; <= 0 = no better than predicting the mean.
+double nrmse_fit(const linalg::Vector& y, const linalg::Vector& y_hat);
+
+}  // namespace perq::sysid

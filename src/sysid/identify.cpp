@@ -1,0 +1,161 @@
+#include "sysid/identify.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/decompose.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace perq::sysid {
+
+ExcitationData collect_excitation(const Plant& plant, const ExcitationConfig& cfg) {
+  PERQ_REQUIRE(static_cast<bool>(plant), "plant callback must be set");
+  PERQ_REQUIRE(cfg.cap_min < cfg.cap_max, "cap range empty");
+  PERQ_REQUIRE(cfg.hold_min >= 1 && cfg.hold_min <= cfg.hold_max, "bad hold range");
+  PERQ_REQUIRE(cfg.samples >= 16, "too few samples for identification");
+
+  Rng rng(cfg.seed);
+  ExcitationData data;
+  data.u.reserve(cfg.samples);
+  data.y.reserve(cfg.samples);
+  while (data.u.size() < cfg.samples) {
+    // Uniform random cap, held for a random number of intervals -- the
+    // paper's "switching the power-cap frequently using a uniform
+    // distribution" protocol.
+    const double cap = rng.uniform(cfg.cap_min, cfg.cap_max);
+    const auto hold = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(cfg.hold_min),
+                        static_cast<std::int64_t>(cfg.hold_max)));
+    for (std::size_t h = 0; h < hold && data.u.size() < cfg.samples; ++h) {
+      data.u.push_back(cap);
+      data.y.push_back(plant(cap));
+    }
+  }
+  return data;
+}
+
+IdentifiedModel::IdentifiedModel(ArxModel arx, double u_mean, double u_scale,
+                                 double y_scale, double fit)
+    : arx_(std::move(arx)),
+      ss_(StateSpaceModel::from_arx(arx_)),
+      u_mean_(u_mean),
+      u_scale_(u_scale),
+      y_scale_(y_scale),
+      fit_(fit) {
+  PERQ_REQUIRE(u_scale_ > 0.0 && y_scale_ > 0.0, "scales must be positive");
+}
+
+double IdentifiedModel::steady_state(double cap) const {
+  return y_scale_ * (1.0 + arx_.dc_gain() * normalize_u(cap));
+}
+
+IdentifiedModel identify(const ExcitationData& data, std::size_t na, std::size_t nb) {
+  return identify_segments({data}, na, nb);
+}
+
+namespace {
+
+/// Appends the ARX regression rows of one normalized segment to (phi, target)
+/// row lists, restricted to [from, to).
+void append_regression_rows(const linalg::Vector& u, const linalg::Vector& y,
+                            std::size_t na, std::size_t nb, std::size_t from,
+                            std::size_t to, std::vector<linalg::Vector>& phi_rows,
+                            linalg::Vector& targets) {
+  const std::size_t order = std::max(na, nb);
+  for (std::size_t k = std::max(from, order); k < to; ++k) {
+    linalg::Vector row(na + 1 + nb);
+    for (std::size_t i = 0; i < na; ++i) row[i] = y[k - 1 - i];
+    row[na] = u[k];  // direct feedthrough regressor
+    for (std::size_t i = 0; i < nb; ++i) row[na + 1 + i] = u[k - 1 - i];
+    phi_rows.push_back(std::move(row));
+    targets.push_back(y[k]);
+  }
+}
+
+}  // namespace
+
+IdentifiedModel identify_segments(const std::vector<ExcitationData>& segments,
+                                  std::size_t na, std::size_t nb) {
+  PERQ_REQUIRE(!segments.empty(), "need at least one excitation segment");
+  PERQ_REQUIRE(na >= 1 && nb >= 1, "model orders must be >= 1");
+  const std::size_t order = std::max(na, nb);
+
+  // Mean removal (as MATLAB's sysid does before fitting): without an
+  // intercept term, non-centered data forces the AR part toward a unit root
+  // just to reproduce the operating point. Inputs are centered on the global
+  // mean cap; each segment's output becomes its relative deviation from the
+  // segment mean (training benchmarks differ in absolute IPS by orders of
+  // magnitude).
+  double u_mean = 0.0;
+  std::size_t u_count = 0;
+  for (const auto& seg : segments) {
+    PERQ_REQUIRE(seg.u.size() == seg.y.size(), "u/y length mismatch");
+    PERQ_REQUIRE(seg.u.size() >= 8 * order + 16, "segment too short");
+    for (double v : seg.u) u_mean += v;
+    u_count += seg.u.size();
+  }
+  u_mean /= static_cast<double>(u_count);
+
+  double u_scale = 0.0;
+  double y_scale_sum = 0.0;
+  std::vector<linalg::Vector> un(segments.size()), yn(segments.size());
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    const auto& seg = segments[s];
+    for (double v : seg.u) u_scale = std::max(u_scale, std::abs(v - u_mean));
+    double y_mean = 0.0;
+    for (double v : seg.y) y_mean += v;
+    y_mean /= static_cast<double>(seg.y.size());
+    PERQ_REQUIRE(y_mean > 0.0, "segment output mean must be positive");
+    y_scale_sum += y_mean;
+    yn[s].resize(seg.y.size());
+    for (std::size_t i = 0; i < seg.y.size(); ++i) {
+      yn[s][i] = (seg.y[i] - y_mean) / y_mean;
+    }
+    un[s] = seg.u;  // centered and scaled below once u_scale is known
+  }
+  PERQ_REQUIRE(u_scale > 0.0, "excitation input is constant");
+  const double y_scale = y_scale_sum / static_cast<double>(segments.size());
+  for (auto& u : un) {
+    for (double& v : u) v = (v - u_mean) / u_scale;
+  }
+
+  // Estimation rows: first half of every segment.
+  std::vector<linalg::Vector> phi_rows;
+  linalg::Vector targets;
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    append_regression_rows(un[s], yn[s], na, nb, 0, un[s].size() / 2, phi_rows,
+                           targets);
+  }
+  PERQ_REQUIRE(phi_rows.size() > 4 * (na + 1 + nb), "not enough estimation data");
+  linalg::Matrix phi(phi_rows.size(), na + 1 + nb);
+  for (std::size_t r = 0; r < phi_rows.size(); ++r) {
+    for (std::size_t c = 0; c < na + 1 + nb; ++c) phi(r, c) = phi_rows[r][c];
+  }
+  // Small ridge: noise-free or over-parameterized records are otherwise
+  // exactly rank deficient; the bias at this magnitude is negligible.
+  const linalg::Vector theta =
+      linalg::ridge_least_squares(phi, targets, 1e-8 * static_cast<double>(phi.rows()));
+  ArxModel arx;
+  arx.a.assign(theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(na));
+  arx.b0 = theta[na];
+  arx.b.assign(theta.begin() + static_cast<std::ptrdiff_t>(na) + 1, theta.end());
+  PERQ_ASSERT(arx.is_stable(),
+              "identified model is unstable; re-run excitation with another seed");
+
+  // Validation: one-step prediction fit over the second half of each segment.
+  linalg::Vector y_true, y_pred;
+  linalg::Vector yh(na), uh(nb);
+  for (std::size_t s = 0; s < segments.size(); ++s) {
+    for (std::size_t k = un[s].size() / 2 + order; k < un[s].size(); ++k) {
+      for (std::size_t i = 0; i < na; ++i) yh[i] = yn[s][k - 1 - i];
+      for (std::size_t i = 0; i < nb; ++i) uh[i] = un[s][k - 1 - i];
+      y_true.push_back(yn[s][k]);
+      y_pred.push_back(arx.predict(un[s][k], yh, uh));
+    }
+  }
+  const double fit = nrmse_fit(y_true, y_pred);
+  return IdentifiedModel(std::move(arx), u_mean, u_scale, y_scale, fit);
+}
+
+}  // namespace perq::sysid

@@ -1,0 +1,94 @@
+// End-to-end identification pipeline: excitation experiment -> normalization
+// -> ARX least squares -> state-space realization -> validation.
+//
+// Mirrors the paper's methodology (Sec. 2.4.2): run training benchmarks while
+// switching the power-cap at random over a uniform distribution, record
+// (cap, IPS) pairs, and identify one 3rd-order model for the node type. The
+// model is deliberately trained on a benchmark suite disjoint from the
+// evaluation applications (train/test split claim of the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sysid/statespace.hpp"
+
+namespace perq::sysid {
+
+/// A plant to excite: advances one control interval under the given
+/// power-cap and returns the measured output (IPS).
+using Plant = std::function<double(double cap_watts)>;
+
+/// Excitation experiment parameters.
+struct ExcitationConfig {
+  double cap_min = 90.0;      ///< lowest power-cap applied (W)
+  double cap_max = 290.0;     ///< highest power-cap applied (W; TDP)
+  std::size_t samples = 3000; ///< total control intervals recorded
+  std::size_t hold_min = 2;   ///< min intervals a random cap is held
+  std::size_t hold_max = 8;   ///< max intervals a random cap is held
+  std::uint64_t seed = 1;     ///< RNG seed for the cap schedule
+};
+
+/// Recorded input/output sequences from an excitation run.
+struct ExcitationData {
+  linalg::Vector u;  ///< applied power-caps
+  linalg::Vector y;  ///< measured outputs (IPS)
+};
+
+/// Runs the random cap-switching experiment against `plant`.
+ExcitationData collect_excitation(const Plant& plant, const ExcitationConfig& cfg);
+
+/// Identified node model plus normalization and quality metadata.
+class IdentifiedModel {
+ public:
+  IdentifiedModel(ArxModel arx, double u_mean, double u_scale, double y_scale,
+                  double fit);
+
+  const ArxModel& arx() const { return arx_; }
+  const StateSpaceModel& ss() const { return ss_; }
+
+  /// Operating-point cap the model is centered on (mean training cap).
+  double u_mean() const { return u_mean_; }
+  /// Input normalization divisor (applied to centered caps).
+  double u_scale() const { return u_scale_; }
+  /// Average training-application output scale (mean IPS of a training
+  /// benchmark); model outputs are relative deviations from this mean.
+  double y_scale() const { return y_scale_; }
+  /// One-step NRMSE fit percentage on held-out validation data.
+  double fit_percent() const { return fit_; }
+
+  /// Normalizes a raw power-cap to centered model units.
+  double normalize_u(double cap) const { return (cap - u_mean_) / u_scale_; }
+
+  /// Predicted steady-state raw output at a constant raw cap, at the
+  /// "average training application" scale: y_scale * (1 + dc * u_norm).
+  double steady_state(double cap) const;
+
+ private:
+  ArxModel arx_;
+  StateSpaceModel ss_;
+  double u_mean_;
+  double u_scale_;
+  double y_scale_;
+  double fit_;
+};
+
+/// Identifies an order-(na, nb) model from excitation data. The first half
+/// of the data is used for estimation, the second half for the reported
+/// validation fit. Throws perq::invariant_error when the identified model
+/// is unstable (a re-run with a different excitation seed is the remedy).
+IdentifiedModel identify(const ExcitationData& data, std::size_t na = 3,
+                         std::size_t nb = 3);
+
+/// Identifies one model from several independent excitation records (one per
+/// training benchmark). Each segment's output is normalized by its own mean
+/// before fitting -- training benchmarks have wildly different absolute IPS
+/// scales, and PERQ's controller re-scales per job online anyway -- and no
+/// regression row straddles a segment boundary. Each segment's first half is
+/// used for estimation and its second half for the validation fit, so every
+/// benchmark appears in both splits. The returned y_scale is the mean of the
+/// segment means (the "average training application" scale).
+IdentifiedModel identify_segments(const std::vector<ExcitationData>& segments,
+                                  std::size_t na = 3, std::size_t nb = 3);
+
+}  // namespace perq::sysid

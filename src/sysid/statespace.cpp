@@ -1,0 +1,117 @@
+#include "sysid/statespace.hpp"
+
+#include <cmath>
+
+#include "linalg/decompose.hpp"
+#include "util/require.hpp"
+
+namespace perq::sysid {
+
+using linalg::Matrix;
+using linalg::Vector;
+using linalg::operator+;
+using linalg::operator-;
+using linalg::operator*;
+
+StateSpaceModel StateSpaceModel::from_arx(const ArxModel& m) {
+  const std::size_t n = m.order();
+  PERQ_REQUIRE(n >= 1, "ARX model must have order >= 1");
+  Matrix a(n, n), b(n, 1), c(1, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ai = i < m.na() ? m.a[i] : 0.0;
+    a(i, 0) = ai;
+    if (i + 1 < n) a(i, i + 1) = 1.0;
+    // Splitting off the feedthrough b0 turns the numerator into
+    // b_i + b0 * a_i for the strictly-proper part.
+    b(i, 0) = (i < m.nb() ? m.b[i] : 0.0) + m.b0 * ai;
+  }
+  c(0, 0) = 1.0;
+  return StateSpaceModel(std::move(a), std::move(b), std::move(c), m.b0);
+}
+
+StateSpaceModel::StateSpaceModel(Matrix a, Matrix b, Matrix c, double d)
+    : a_(std::move(a)), b_(std::move(b)), c_(std::move(c)), d_(d) {
+  PERQ_REQUIRE(a_.is_square(), "A must be square");
+  PERQ_REQUIRE(b_.rows() == a_.rows() && b_.cols() == 1, "B must be n x 1");
+  PERQ_REQUIRE(c_.rows() == 1 && c_.cols() == a_.rows(), "C must be 1 x n");
+}
+
+double StateSpaceModel::output(const Vector& x, double u) const {
+  PERQ_REQUIRE(x.size() == order(), "state size mismatch");
+  double y = d_ * u;
+  for (std::size_t i = 0; i < x.size(); ++i) y += c_(0, i) * x[i];
+  return y;
+}
+
+Vector StateSpaceModel::step(const Vector& x, double u) const {
+  PERQ_REQUIRE(x.size() == order(), "state size mismatch");
+  Vector next = a_ * x;
+  for (std::size_t i = 0; i < next.size(); ++i) next[i] += b_(i, 0) * u;
+  return next;
+}
+
+Vector StateSpaceModel::simulate(const Vector& x0, const Vector& u) const {
+  Vector x = x0;
+  Vector y(u.size());
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    y[k] = output(x, u[k]);
+    x = step(x, u[k]);
+  }
+  return y;
+}
+
+double StateSpaceModel::dc_gain() const {
+  const Matrix m = Matrix::identity(order()) - a_;
+  const Vector rhs = b_.col(0);
+  const Vector x = linalg::Lu(m).solve(rhs);
+  double g = d_;
+  for (std::size_t i = 0; i < x.size(); ++i) g += c_(0, i) * x[i];
+  return g;
+}
+
+bool StateSpaceModel::is_stable() const {
+  // Spectral radius via norm growth: rho(A) = lim ||A^k||^(1/k).
+  Matrix p = a_;
+  int k = 1;
+  for (int doubling = 0; doubling < 6; ++doubling) {  // A^64
+    p = p * p;
+    k *= 2;
+    const double norm = p.frobenius_norm();
+    if (norm == 0.0) return true;            // nilpotent
+    if (norm > 1e100) return false;          // clearly divergent
+  }
+  return std::pow(p.frobenius_norm(), 1.0 / k) < 1.0 - 1e-9;
+}
+
+Vector StateSpaceModel::state_from_history(const Vector& u, const Vector& y) const {
+  const std::size_t n = order();
+  const std::size_t m = u.size();
+  PERQ_REQUIRE(u.size() == y.size(), "u/y history length mismatch");
+  PERQ_REQUIRE(m >= n, "history shorter than model order");
+
+  // Forced response contribution at each step, computed by simulating the
+  // input from zero state; the residual y - y_forced is the free response
+  // O x0, solved by least squares over the observability matrix O.
+  const Vector y_forced = simulate(Vector(n, 0.0), u);
+  Vector residual(m);
+  for (std::size_t j = 0; j < m; ++j) residual[j] = y[j] - y_forced[j];
+
+  Matrix obs(m, n);
+  Matrix ak = Matrix::identity(n);
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = 0.0;
+      for (std::size_t l = 0; l < n; ++l) v += c_(0, l) * ak(l, i);
+      obs(j, i) = v;
+    }
+    ak = a_ * ak;
+  }
+  const Vector x0 = linalg::least_squares(obs, residual);
+
+  // Roll forward: x(k) = A^m x0 + forced-state response.
+  Vector x = x0;
+  for (std::size_t j = 0; j < m; ++j) x = step(x, u[j]);
+  return x;
+}
+
+}  // namespace perq::sysid

@@ -1,0 +1,65 @@
+// Discrete-time state-space realization of the identified ARX model.
+//
+// This is the model of paper Fig. 5:
+//
+//   X(k+1) = A X(k) + B P(k)     (+ V W(k), disturbance handled by the
+//   Y(k)   = C X(k) + D P(k)      offset-free estimator in perq::control)
+//
+// realized in observable canonical form so that the state can be
+// reconstructed exactly from a window of past inputs/outputs -- which is how
+// the PERQ controller re-anchors the model to each running job's observed
+// behavior every decision interval.
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "sysid/arx.hpp"
+
+namespace perq::sysid {
+
+/// SISO discrete-time LTI state-space model with scalar feedthrough D.
+class StateSpaceModel {
+ public:
+  /// Builds the observable-canonical realization of an ARX model (with its
+  /// feedthrough b0 mapped to D and the numerator adjusted accordingly).
+  static StateSpaceModel from_arx(const ArxModel& m);
+
+  /// Direct construction (shapes validated: A n x n, B n x 1, C 1 x n).
+  StateSpaceModel(linalg::Matrix a, linalg::Matrix b, linalg::Matrix c,
+                  double d = 0.0);
+
+  std::size_t order() const { return a_.rows(); }
+  const linalg::Matrix& A() const { return a_; }
+  const linalg::Matrix& B() const { return b_; }
+  const linalg::Matrix& C() const { return c_; }
+  double D() const { return d_; }
+
+  /// Output y(k) = C x + D u.
+  double output(const linalg::Vector& x, double u) const;
+
+  /// State update x(k+1) = A x + B u.
+  linalg::Vector step(const linalg::Vector& x, double u) const;
+
+  /// Free-run simulation from initial state x0 over input sequence u;
+  /// returns the output sequence (y(k) emitted before applying u(k)).
+  linalg::Vector simulate(const linalg::Vector& x0, const linalg::Vector& u) const;
+
+  /// Steady-state output per unit constant input: C (I - A)^{-1} B + D.
+  double dc_gain() const;
+
+  /// True when the spectral radius of A is < 1 (power iteration estimate).
+  bool is_stable() const;
+
+  /// Reconstructs the current state x(k) from the most recent `window`
+  /// input/output samples (oldest first: u[0] applied at the window start).
+  /// Uses least squares on the observability map, then rolls forward; exact
+  /// for noise-free data when window >= order(). Requires
+  /// u.size() == y.size() >= order().
+  linalg::Vector state_from_history(const linalg::Vector& u,
+                                    const linalg::Vector& y) const;
+
+ private:
+  linalg::Matrix a_, b_, c_;
+  double d_ = 0.0;
+};
+
+}  // namespace perq::sysid

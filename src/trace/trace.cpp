@@ -1,0 +1,208 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace perq::trace {
+
+namespace {
+
+constexpr double kHalfHourS = 1800.0;
+
+double lognormal_mean(double mu, double sigma) {
+  return std::exp(mu + 0.5 * sigma * sigma);
+}
+
+}  // namespace
+
+double normal_survival(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+std::string to_string(SystemModel m) {
+  switch (m) {
+    case SystemModel::kMira: return "mira";
+    case SystemModel::kTrinity: return "trinity";
+    case SystemModel::kTardis: return "tardis";
+  }
+  return "unknown";
+}
+
+RuntimeDistribution RuntimeDistribution::for_system(SystemModel m) {
+  RuntimeDistribution d;
+  double target_mean = 0.0;
+  double target_frac = 0.0;  // P(runtime > 30 min)
+  switch (m) {
+    case SystemModel::kMira:
+      // Mira: mean 72 min, 62% of jobs > 30 min (paper Sec. 2.1).
+      d.mu1_ = std::log(900.0);
+      d.sigma1_ = 0.8;
+      d.mu2_ = std::log(3000.0);
+      d.sigma2_ = 1.0;
+      target_mean = 72.0 * 60.0;
+      target_frac = 0.62;
+      break;
+    case SystemModel::kTrinity:
+      // Trinity: mean 30 min, 46% of jobs > 30 min. The published moments
+      // imply the bulk of the mass sits near 30 min (median ~ mean), so the
+      // dominant component is a moderate-sigma lognormal centered there,
+      // plus a short-job component.
+      d.mu1_ = std::log(300.0);
+      d.sigma1_ = 0.7;
+      d.mu2_ = std::log(1900.0);
+      d.sigma2_ = 0.5;
+      target_mean = 30.0 * 60.0;
+      target_frac = 0.46;
+      break;
+    case SystemModel::kTardis:
+      // 16-node prototype cluster: benchmark jobs of tens of minutes (the
+      // paper notes prototype runs "last for hours on the full cluster";
+      // it gives no distribution, so these targets are our choice).
+      d.mu1_ = std::log(350.0);
+      d.sigma1_ = 0.45;
+      d.mu2_ = std::log(2200.0);
+      d.sigma2_ = 0.4;
+      d.max_runtime_s_ = 10800.0;
+      target_mean = 25.0 * 60.0;
+      target_frac = 0.32;
+      break;
+  }
+
+  // Calibrate (scale, weight1) against the published moments. Along the
+  // mean constraint the scale is a closed-form function of the weight, so a
+  // fine grid search over the weight plus a local refinement pins the tail
+  // fraction. (Direct 2-D iteration is fragile here: the tail is not
+  // monotone along the mean-constraint curve.)
+  const double m1 = lognormal_mean(d.mu1_, d.sigma1_);
+  const double m2 = lognormal_mean(d.mu2_, d.sigma2_);
+  const auto scale_for = [&](double w) { return target_mean / (w * m1 + (1.0 - w) * m2); };
+  double best_w = 0.5;
+  double best_err = 1e9;
+  for (int pass = 0; pass < 3; ++pass) {
+    const double span = pass == 0 ? 0.5 : best_err < 1e9 ? 0.02 / (pass * 8.0) : 0.5;
+    const double center = pass == 0 ? 0.5 : best_w;
+    for (int g = 0; g <= 1024; ++g) {
+      const double w =
+          std::clamp(center - span + 2.0 * span * g / 1024.0, 0.0, 1.0);
+      d.weight1_ = w;
+      d.scale_ = scale_for(w);
+      const double err = std::abs(d.fraction_above(kHalfHourS) - target_frac);
+      if (err < best_err) {
+        best_err = err;
+        best_w = w;
+      }
+    }
+  }
+  d.weight1_ = best_w;
+  d.scale_ = scale_for(best_w);
+  PERQ_ASSERT(std::abs(d.mean() - target_mean) < 0.05 * target_mean,
+              "runtime calibration failed on the mean");
+  PERQ_ASSERT(std::abs(d.fraction_above(kHalfHourS) - target_frac) < 0.03,
+              "runtime calibration failed on the tail fraction");
+  return d;
+}
+
+double RuntimeDistribution::sample(Rng& rng) const {
+  const bool short_job = rng.bernoulli(weight1_);
+  const double raw = short_job ? rng.lognormal(mu1_, sigma1_)
+                               : rng.lognormal(mu2_, sigma2_);
+  return std::clamp(raw * scale_, min_runtime_s_, max_runtime_s_);
+}
+
+double RuntimeDistribution::mean() const {
+  return scale_ * (weight1_ * lognormal_mean(mu1_, sigma1_) +
+                   (1.0 - weight1_) * lognormal_mean(mu2_, sigma2_));
+}
+
+double RuntimeDistribution::fraction_above(double t) const {
+  PERQ_REQUIRE(t > 0.0, "threshold must be positive");
+  const double lt = std::log(t / scale_);
+  return weight1_ * normal_survival((lt - mu1_) / sigma1_) +
+         (1.0 - weight1_) * normal_survival((lt - mu2_) / sigma2_);
+}
+
+namespace {
+
+/// Mira allocates power-of-two partitions; small jobs dominate. Returns a
+/// power-of-two node count <= max_nodes.
+std::size_t sample_mira_nodes(Rng& rng, std::size_t max_nodes) {
+  std::vector<double> weights;
+  std::size_t size = 1;
+  // Geometric-ish decay over power-of-two sizes.
+  double w = 1.0;
+  while (size <= max_nodes) {
+    weights.push_back(w);
+    w *= 0.62;
+    size *= 2;
+  }
+  return std::size_t{1} << rng.weighted_index(weights);
+}
+
+/// Trinity allows arbitrary node counts: lognormal, rounded, clipped.
+std::size_t sample_trinity_nodes(Rng& rng, std::size_t max_nodes) {
+  const double raw = rng.lognormal(std::log(3.0), 1.1);
+  const auto n = static_cast<std::size_t>(std::llround(std::max(1.0, raw)));
+  return std::min(n, max_nodes);
+}
+
+std::size_t sample_tardis_nodes(Rng& rng, std::size_t max_nodes) {
+  return static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(std::min<std::size_t>(4, max_nodes))));
+}
+
+}  // namespace
+
+std::vector<JobSpec> generate_trace(const TraceConfig& cfg) {
+  PERQ_REQUIRE(cfg.job_count >= 1, "trace must contain at least one job");
+  PERQ_REQUIRE(cfg.max_job_nodes >= 1, "max_job_nodes must be >= 1");
+  const auto runtime = RuntimeDistribution::for_system(cfg.system);
+  const auto& catalog = apps::ecp_catalog();
+  Rng rng(cfg.seed);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(cfg.job_count);
+  for (std::size_t i = 0; i < cfg.job_count; ++i) {
+    JobSpec j;
+    j.id = static_cast<int>(i);
+    switch (cfg.system) {
+      case SystemModel::kMira: j.nodes = sample_mira_nodes(rng, cfg.max_job_nodes); break;
+      case SystemModel::kTrinity:
+        j.nodes = sample_trinity_nodes(rng, cfg.max_job_nodes);
+        break;
+      case SystemModel::kTardis:
+        j.nodes = sample_tardis_nodes(rng, cfg.max_job_nodes);
+        break;
+    }
+    j.runtime_ref_s = runtime.sample(rng);
+    // Uniform application assignment over the ten ECP apps (paper Sec. 3).
+    j.app_index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(catalog.size()) - 1));
+    j.phase_offset_s = rng.uniform(0.0, 1200.0);
+    jobs.push_back(j);
+  }
+  return jobs;
+}
+
+TraceStats compute_stats(const std::vector<JobSpec>& jobs) {
+  PERQ_REQUIRE(!jobs.empty(), "empty trace");
+  std::vector<double> runtimes;
+  runtimes.reserve(jobs.size());
+  double node_sum = 0.0;
+  std::size_t max_nodes = 0;
+  for (const auto& j : jobs) {
+    runtimes.push_back(j.runtime_ref_s);
+    node_sum += static_cast<double>(j.nodes);
+    max_nodes = std::max(max_nodes, j.nodes);
+  }
+  TraceStats s;
+  s.mean_runtime_s = mean(runtimes);
+  s.median_runtime_s = median(runtimes);
+  s.fraction_over_30min = fraction_above(runtimes, kHalfHourS);
+  s.mean_nodes = node_sum / static_cast<double>(jobs.size());
+  s.max_nodes = max_nodes;
+  return s;
+}
+
+}  // namespace perq::trace

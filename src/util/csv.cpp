@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/require.hpp"
+
+namespace perq {
+
+namespace {
+
+bool needs_quoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  PERQ_REQUIRE(out_.is_open(), "cannot open CSV file: " + path);
+  PERQ_REQUIRE(!header.empty(), "CSV header must be non-empty");
+  write_cells(header);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) cells.push_back(format_double(v));
+  row(cells);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  PERQ_REQUIRE(values.size() == arity_, "CSV row arity mismatch");
+  write_cells(values);
+  ++rows_;
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (needs_quoting(cells[i]) ? quote(cells[i]) : cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace perq

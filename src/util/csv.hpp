@@ -1,0 +1,37 @@
+// Tiny CSV emitter used by benchmark harnesses to dump figure series.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace perq {
+
+/// Writes rows of doubles/strings as RFC-4180-ish CSV. Values containing
+/// commas or quotes are quoted. The file is flushed on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws perq::precondition_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; must have the same arity as the header.
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+  /// Number of data rows written so far.
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double compactly (up to 10 significant digits, no trailing
+/// zeros) for CSV / console output.
+std::string format_double(double v);
+
+}  // namespace perq

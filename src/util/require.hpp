@@ -1,0 +1,60 @@
+// Lightweight precondition / invariant checking used across all PERQ modules.
+//
+// Following the C++ Core Guidelines (I.6/E.12), preconditions are checked at
+// API boundaries and violations throw std::invalid_argument /
+// std::logic_error so callers can test failure paths deterministically.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace perq {
+
+/// Thrown when a caller violates a documented precondition.
+class precondition_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (indicates a PERQ bug).
+class invariant_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg,
+                                            const std::source_location& loc) {
+  throw precondition_error(std::string(loc.file_name()) + ":" +
+                           std::to_string(loc.line()) + ": precondition `" + expr +
+                           "` failed" + (msg.empty() ? "" : ": " + msg));
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const std::string& msg,
+                                         const std::source_location& loc) {
+  throw invariant_error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+                        ": invariant `" + expr + "` failed" +
+                        (msg.empty() ? "" : ": " + msg));
+}
+
+}  // namespace detail
+
+/// Checks a caller-facing precondition; throws perq::precondition_error.
+#define PERQ_REQUIRE(expr, msg)                                                       \
+  do {                                                                                \
+    if (!(expr)) {                                                                    \
+      ::perq::detail::throw_precondition(#expr, (msg), std::source_location::current()); \
+    }                                                                                 \
+  } while (false)
+
+/// Checks an internal invariant; throws perq::invariant_error.
+#define PERQ_ASSERT(expr, msg)                                                     \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::perq::detail::throw_invariant(#expr, (msg), std::source_location::current()); \
+    }                                                                              \
+  } while (false)
+
+}  // namespace perq

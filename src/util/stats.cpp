@@ -1,0 +1,123 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace perq {
+
+double mean(const std::vector<double>& xs) {
+  PERQ_REQUIRE(!xs.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  PERQ_REQUIRE(!xs.empty(), "variance of empty sample");
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double percentile(std::vector<double> xs, double q) {
+  PERQ_REQUIRE(!xs.empty(), "percentile of empty sample");
+  PERQ_REQUIRE(q >= 0.0 && q <= 100.0, "percentile out of [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double rank = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double median(const std::vector<double>& xs) { return percentile(xs, 50.0); }
+
+double max_of(const std::vector<double>& xs) {
+  PERQ_REQUIRE(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double min_of(const std::vector<double>& xs) {
+  PERQ_REQUIRE(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double fraction_above(const std::vector<double>& xs, double threshold) {
+  PERQ_REQUIRE(!xs.empty(), "fraction_above of empty sample");
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x > threshold) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  PERQ_REQUIRE(!xs.empty(), "cdf of empty sample");
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> out;
+  out.reserve(xs.size());
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back({xs[i], static_cast<double>(i + 1) / n});
+  }
+  return out;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs, std::size_t points) {
+  PERQ_REQUIRE(points >= 2, "need at least two CDF points");
+  auto full = empirical_cdf(std::move(xs));
+  if (full.size() <= points) return full;
+  std::vector<CdfPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto idx = static_cast<std::size_t>(frac * static_cast<double>(full.size() - 1));
+    out.push_back(full[idx]);
+  }
+  return out;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  // Welford's online update keeps variance numerically stable.
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  PERQ_REQUIRE(n_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double RunningStats::min() const {
+  PERQ_REQUIRE(n_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double RunningStats::max() const {
+  PERQ_REQUIRE(n_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace perq

@@ -1,0 +1,69 @@
+// Descriptive statistics and empirical CDF helpers used by the trace
+// generators, the metrics module, and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace perq {
+
+/// Arithmetic mean. Requires a non-empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for a single sample.
+double variance(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation.
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0, 100]. Requires non-empty sample.
+double percentile(std::vector<double> xs, double q);
+
+/// Median (50th percentile).
+double median(const std::vector<double>& xs);
+
+/// Largest element. Requires non-empty sample.
+double max_of(const std::vector<double>& xs);
+
+/// Smallest element. Requires non-empty sample.
+double min_of(const std::vector<double>& xs);
+
+/// Fraction of samples strictly greater than `threshold`.
+double fraction_above(const std::vector<double>& xs, double threshold);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;       ///< sample value (x axis)
+  double cumulative = 0.0;  ///< fraction of samples <= value (y axis)
+};
+
+/// Full empirical CDF (one point per sample, sorted ascending).
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// Empirical CDF downsampled to `points` evenly spaced quantiles,
+/// suitable for printing a figure-sized series.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs, std::size_t points);
+
+/// Running (streaming) mean/min/max/count accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  /// Number of samples seen so far.
+  std::size_t count() const { return n_; }
+  /// Mean of samples; requires count() > 0.
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1); 0 when count() < 2.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace perq

@@ -1,0 +1,230 @@
+#include "apps/app_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+
+namespace perq::apps {
+namespace {
+
+// Table 1 of the paper: average per-node power as % of TDP.
+struct Table1Row {
+  const char* name;
+  double avg_power_pct;
+  Sensitivity sensitivity;
+
+  friend void PrintTo(const Table1Row& r, std::ostream* os) { *os << r.name; }
+};
+
+const Table1Row kTable1[] = {
+    {"ASPA", 27.0, Sensitivity::kLow},      {"CoHMM", 27.0, Sensitivity::kLow},
+    {"CoMD", 48.0, Sensitivity::kMedium},   {"HPCCG", 57.0, Sensitivity::kLow},
+    {"RSBench", 39.0, Sensitivity::kLow},   {"SimpleMOC", 69.0, Sensitivity::kHigh},
+    {"SWFFT", 28.0, Sensitivity::kHigh},    {"XSBench", 43.0, Sensitivity::kMedium},
+    {"miniFE", 61.0, Sensitivity::kMedium}, {"miniMD", 65.0, Sensitivity::kHigh},
+};
+
+TEST(PowerSpec, MatchesPaperNodeType) {
+  const auto& spec = node_power_spec();
+  EXPECT_DOUBLE_EQ(spec.tdp, 290.0);      // Intel Xeon E5-2686 TDP (paper)
+  EXPECT_DOUBLE_EQ(spec.cap_min, 90.0);   // Fig. 3 sweep starts at 90 W
+  EXPECT_GT(spec.idle, 0.0);
+  EXPECT_LT(spec.idle, spec.cap_min);
+}
+
+TEST(Catalog, ContainsAllTenEcpApps) {
+  EXPECT_EQ(ecp_catalog().size(), 10u);
+  for (const auto& row : kTable1) EXPECT_NO_THROW(find_app(row.name));
+}
+
+TEST(Catalog, FindAppRejectsUnknown) {
+  EXPECT_THROW(find_app("NotAnApp"), precondition_error);
+}
+
+TEST(Catalog, TrainingSuiteDisjointFromEvaluationApps) {
+  for (const auto& train : training_catalog()) {
+    for (const auto& eval : ecp_catalog()) {
+      EXPECT_NE(train.name(), eval.name());
+    }
+  }
+  EXPECT_GE(training_catalog().size(), 6u);
+}
+
+class Table1Sweep : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1Sweep, AveragePowerMatchesTable1) {
+  const auto& row = GetParam();
+  const auto& app = find_app(row.name);
+  EXPECT_NEAR(app.avg_power_fraction() * 100.0, row.avg_power_pct, 0.5)
+      << app.name();
+}
+
+TEST_P(Table1Sweep, SensitivityClassMatchesFig3) {
+  const auto& row = GetParam();
+  EXPECT_EQ(find_app(row.name).sensitivity(), row.sensitivity);
+}
+
+TEST_P(Table1Sweep, Fig3AnchorAt90W) {
+  // Fig. 3: at 90 W, low-sensitivity apps lose < 20%, high-sensitivity apps
+  // lose > 60% (phase-average behavior).
+  const auto& app = find_app(GetParam().name);
+  double avg = 0.0;
+  for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+    avg += app.perf_fraction(90.0, ph) * app.phase(ph).duration_s;
+  }
+  double cycle = 0.0;
+  for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+    cycle += app.phase(ph).duration_s;
+  }
+  avg /= cycle;
+  switch (app.sensitivity()) {
+    case Sensitivity::kLow:
+      EXPECT_GT(avg, 0.80) << app.name();
+      break;
+    case Sensitivity::kMedium:
+      EXPECT_GT(avg, 0.5) << app.name();
+      EXPECT_LT(avg, 0.85) << app.name();
+      break;
+    case Sensitivity::kHigh:
+      EXPECT_LT(avg, 0.45) << app.name();
+      break;
+  }
+}
+
+TEST_P(Table1Sweep, PerfCurveIsMonotoneInCap) {
+  const auto& app = find_app(GetParam().name);
+  for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+    double prev = 0.0;
+    for (double cap = 90.0; cap <= 290.0; cap += 2.0) {
+      const double p = app.perf_fraction(cap, ph);
+      EXPECT_GE(p + 1e-12, prev) << app.name() << " phase " << ph << " cap " << cap;
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      prev = p;
+    }
+    EXPECT_DOUBLE_EQ(app.perf_fraction(290.0, ph), 1.0);
+  }
+}
+
+TEST_P(Table1Sweep, PerfSaturatesAtKnee) {
+  const auto& app = find_app(GetParam().name);
+  for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+    const double knee = app.knee_w(ph);
+    EXPECT_GT(knee, node_power_spec().cap_min);
+    EXPECT_LE(knee, node_power_spec().tdp);
+    EXPECT_DOUBLE_EQ(app.perf_fraction(knee, ph), 1.0);
+    if (knee < 285.0) {
+      EXPECT_LT(app.perf_fraction(knee - 20.0, ph), 1.0);
+    }
+  }
+}
+
+TEST_P(Table1Sweep, PowerDrawBounds) {
+  const auto& app = find_app(GetParam().name);
+  const auto& spec = node_power_spec();
+  for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+    for (double cap : {90.0, 150.0, 290.0}) {
+      const double draw = app.power_draw_w(cap, ph);
+      EXPECT_GE(draw, spec.idle);
+      EXPECT_LE(draw, std::max(cap, spec.idle) + 1e-12);
+      EXPECT_LE(draw, app.power_demand_w(ph) + 1e-12);
+    }
+  }
+}
+
+TEST_P(Table1Sweep, NodeIpsScalesWithPerf) {
+  const auto& app = find_app(GetParam().name);
+  const double at_tdp = app.node_ips(290.0, 0);
+  const double at_min = app.node_ips(90.0, 0);
+  EXPECT_GT(at_tdp, 0.0);
+  EXPECT_LE(at_min, at_tdp);
+  EXPECT_NEAR(at_min / at_tdp, app.perf_fraction(90.0, 0), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, Table1Sweep, ::testing::ValuesIn(kTable1));
+
+TEST(AppModel, PhaseCyclingCoversAllPhases) {
+  const auto& app = find_app("miniMD");  // 4 phases of 120 s
+  ASSERT_EQ(app.phase_count(), 4u);
+  EXPECT_EQ(app.phase_at(0.0), 0u);
+  EXPECT_EQ(app.phase_at(130.0), 1u);
+  EXPECT_EQ(app.phase_at(250.0), 2u);
+  EXPECT_EQ(app.phase_at(370.0), 3u);
+  // Cycles.
+  EXPECT_EQ(app.phase_at(480.0), 0u);
+  EXPECT_EQ(app.phase_at(480.0 + 130.0), 1u);
+}
+
+TEST(AppModel, SinglePhaseAlwaysPhaseZero) {
+  const auto& app = training_catalog()[0];  // npb.bt has one phase
+  ASSERT_EQ(app.phase_count(), 1u);
+  EXPECT_EQ(app.phase_at(1e6), 0u);
+}
+
+TEST(AppModel, PhaseAtRejectsNegativeTime) {
+  EXPECT_THROW(find_app("ASPA").phase_at(-1.0), precondition_error);
+}
+
+TEST(AppModel, PhaseIndexValidated) {
+  const auto& app = find_app("ASPA");
+  EXPECT_THROW(app.phase(99), precondition_error);
+  EXPECT_THROW(app.perf_fraction(150.0, 99), precondition_error);
+}
+
+TEST(AppModel, ConstructorValidation) {
+  std::vector<PhaseSpec> ok{{100.0, 0.5, 1.0, 1.0}};
+  EXPECT_THROW(AppModel("", Sensitivity::kLow, 1e9, 0.1, 1.0, ok), precondition_error);
+  EXPECT_THROW(AppModel("x", Sensitivity::kLow, 0.0, 0.1, 1.0, ok), precondition_error);
+  EXPECT_THROW(AppModel("x", Sensitivity::kLow, 1e9, 0.0, 1.0, ok), precondition_error);
+  EXPECT_THROW(AppModel("x", Sensitivity::kLow, 1e9, 1.0, 1.0, ok), precondition_error);
+  EXPECT_THROW(AppModel("x", Sensitivity::kLow, 1e9, 0.1, 0.0, ok), precondition_error);
+  EXPECT_THROW(AppModel("x", Sensitivity::kLow, 1e9, 0.1, 1.0, {}), precondition_error);
+  std::vector<PhaseSpec> bad{{100.0, 0.05, 1.0, 1.0}};  // demand below idle
+  EXPECT_THROW(AppModel("x", Sensitivity::kLow, 1e9, 0.1, 1.0, bad),
+               precondition_error);
+}
+
+TEST(AppModel, SensitivityScaleDeepensDegradation) {
+  std::vector<PhaseSpec> phases{{100.0, 0.7, 1.0, 0.5}, {100.0, 0.7, 1.0, 1.5}};
+  AppModel app("x", Sensitivity::kHigh, 1e9, 0.5, 1.0, phases);
+  EXPECT_GT(app.perf_fraction(90.0, 0), app.perf_fraction(90.0, 1));
+}
+
+TEST(AppModel, KneeTracksPhaseDemand) {
+  // The saturation knee is derived from the phase's power demand (with
+  // headroom and a floor): higher-demand phases must have knees at least as
+  // high, and the knee never sits below the demand-free floor.
+  for (const auto& app : ecp_catalog()) {
+    for (std::size_t a = 0; a < app.phase_count(); ++a) {
+      for (std::size_t b = 0; b < app.phase_count(); ++b) {
+        if (app.power_demand_w(a) >= app.power_demand_w(b)) {
+          EXPECT_GE(app.knee_w(a) + 1e-9, app.knee_w(b))
+              << app.name() << " phases " << a << "," << b;
+        }
+      }
+      EXPECT_GE(app.knee_w(a), 115.0 - 1e-9);
+    }
+  }
+}
+
+TEST(AppModel, PerfAtKneeNeverBelowPerfBelowKnee) {
+  // Monotone saturation: for caps c1 < c2 <= knee, perf(c1) <= perf(c2) = 1
+  // exactly at the knee.
+  const auto& app = find_app("CoMD");
+  for (std::size_t ph = 0; ph < app.phase_count(); ++ph) {
+    const double knee = app.knee_w(ph);
+    EXPECT_DOUBLE_EQ(app.perf_fraction(knee, ph), 1.0);
+    EXPECT_DOUBLE_EQ(app.perf_fraction(knee + 10.0, ph), 1.0);
+    EXPECT_LE(app.perf_fraction(knee - 30.0, ph), 1.0);
+  }
+}
+
+TEST(AppModel, ToStringCoversAllClasses) {
+  EXPECT_EQ(to_string(Sensitivity::kLow), "low");
+  EXPECT_EQ(to_string(Sensitivity::kMedium), "medium");
+  EXPECT_EQ(to_string(Sensitivity::kHigh), "high");
+}
+
+}  // namespace
+}  // namespace perq::apps

@@ -1,0 +1,220 @@
+#include "control/mpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/catalog.hpp"
+#include "core/node_model.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace perq::control {
+namespace {
+
+class MpcTest : public ::testing::Test {
+ protected:
+  sched::Job* add_job(int id, std::size_t nodes) {
+    trace::JobSpec s;
+    s.id = id;
+    s.nodes = nodes;
+    s.runtime_ref_s = 600.0;
+    s.app_index = 0;
+    jobs_.push_back(std::make_unique<sched::Job>(s, &apps::find_app("ASPA")));
+    std::vector<std::size_t> ids(nodes);
+    for (auto& n : ids) n = next_node_++;
+    jobs_.back()->start(0.0, std::move(ids));
+    estimators_.push_back(
+        std::make_unique<JobEstimator>(&core::canonical_node_model(), 145.0));
+    return jobs_.back().get();
+  }
+
+  std::vector<ControlledJob> controlled() {
+    std::vector<ControlledJob> out;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      out.push_back({jobs_[i].get(), estimators_[i].get()});
+    }
+    return out;
+  }
+
+  Targets targets_for(const std::vector<ControlledJob>& cj, double ratio = 8.0,
+                      std::size_t nwp = 8, std::size_t nop = 16) {
+    return TargetGenerator(ratio, nwp, nop).generate(cj);
+  }
+
+  std::vector<std::unique_ptr<sched::Job>> jobs_;
+  std::vector<std::unique_ptr<JobEstimator>> estimators_;
+  std::size_t next_node_ = 0;
+};
+
+TEST_F(MpcTest, ConfigValidation) {
+  MpcConfig cfg;
+  cfg.horizon = 0;
+  EXPECT_THROW(MpcController{cfg}, precondition_error);
+  cfg = MpcConfig{};
+  cfg.ridge = 0.0;
+  EXPECT_THROW(MpcController{cfg}, precondition_error);
+  cfg = MpcConfig{};
+  cfg.weight_dp = -1.0;
+  EXPECT_THROW(MpcController{cfg}, precondition_error);
+}
+
+TEST_F(MpcTest, CapsWithinBoundsAndBudget) {
+  add_job(0, 2);
+  add_job(1, 3);
+  MpcController mpc;
+  auto cj = controlled();
+  const double budget = 5 * 160.0;
+  const auto d = mpc.decide(cj, targets_for(cj), {145.0, 145.0}, budget);
+  ASSERT_EQ(d.caps_w.size(), 2u);
+  double committed = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(d.caps_w[i], 90.0 - 1e-9);
+    EXPECT_LE(d.caps_w[i], 290.0 + 1e-9);
+    committed += d.caps_w[i] * static_cast<double>(cj[i].job->spec().nodes);
+  }
+  EXPECT_LE(committed, budget + 1e-3);
+}
+
+TEST_F(MpcTest, SymmetricJobsGetEqualCaps) {
+  add_job(0, 2);
+  add_job(1, 2);
+  MpcController mpc;
+  auto cj = controlled();
+  const auto d = mpc.decide(cj, targets_for(cj), {145.0, 145.0}, 4 * 150.0);
+  EXPECT_NEAR(d.caps_w[0], d.caps_w[1], 1.0);
+}
+
+TEST_F(MpcTest, HigherGainJobGetsMorePowerUnderTightBudget) {
+  sched::Job* a = add_job(0, 1);
+  sched::Job* b = add_job(1, 1);
+  // Train estimator 1 to look much more cap-sensitive than estimator 0,
+  // with both *below* their fairness targets so the tracking terms engage.
+  Rng rng(5);
+  for (int k = 0; k < 120; ++k) {
+    const double cap = rng.uniform(90.0, 290.0);
+    estimators_[0]->update(cap, 1.5e9);                                // flat
+    estimators_[1]->update(cap, std::max(0.0, 1.5e9 + 1.6e7 * (cap - 190.0)));
+  }
+  a->record_interval(10.0, 1.0, 1.45e9, 145.0);
+  b->record_interval(10.0, 1.0, 0.8e9, 145.0);
+  MpcController mpc;
+  auto cj = controlled();
+  const auto d = mpc.decide(cj, targets_for(cj), {145.0, 145.0}, 2 * 145.0);
+  EXPECT_GT(d.caps_w[1], d.caps_w[0] + 20.0);
+}
+
+TEST_F(MpcTest, AmpleBudgetPushesCapsHigh) {
+  add_job(0, 1);
+  MpcController mpc;
+  auto cj = controlled();
+  // Unreachable system target, plenty of budget: the cap should climb well
+  // above the previous value within a few decisions.
+  double cap = 145.0;
+  for (int k = 0; k < 20; ++k) {
+    const auto d = mpc.decide(cj, targets_for(cj), {cap}, 290.0);
+    cap = d.caps_w[0];
+  }
+  EXPECT_GT(cap, 230.0);
+}
+
+TEST_F(MpcTest, DeltaPWeightLimitsSlewRate) {
+  add_job(0, 1);
+  auto cj = controlled();
+  MpcConfig fast;
+  fast.weight_dp = 0.1;
+  MpcConfig slow;
+  slow.weight_dp = 50.0;
+  const auto d_fast = MpcController(fast).decide(cj, targets_for(cj), {90.0}, 290.0);
+  const auto d_slow = MpcController(slow).decide(cj, targets_for(cj), {90.0}, 290.0);
+  EXPECT_GT(d_fast.caps_w[0] - 90.0, d_slow.caps_w[0] - 90.0);
+}
+
+TEST_F(MpcTest, BudgetBindsExactlyWhenDemandExceedsIt) {
+  add_job(0, 2);
+  add_job(1, 2);
+  MpcController mpc;
+  auto cj = controlled();
+  // Both jobs want power (targets above measurements); tight budget.
+  const double budget = 4 * 120.0;
+  auto t = targets_for(cj);
+  // Run a few intervals so the plan settles.
+  std::vector<double> prev{120.0, 120.0};
+  MpcDecision d;
+  for (int k = 0; k < 10; ++k) {
+    d = mpc.decide(cj, t, prev, budget);
+    prev = d.caps_w;
+  }
+  const double committed = 2 * d.caps_w[0] + 2 * d.caps_w[1];
+  EXPECT_NEAR(committed, budget, 2.0);
+}
+
+TEST_F(MpcTest, HorizonOneWorks) {
+  add_job(0, 1);
+  MpcConfig cfg;
+  cfg.horizon = 1;
+  MpcController mpc(cfg);
+  auto cj = controlled();
+  const auto d = mpc.decide(cj, targets_for(cj), {145.0}, 290.0);
+  EXPECT_EQ(d.caps_w.size(), 1u);
+  EXPECT_EQ(d.status, qp::SolveStatus::kOptimal);
+}
+
+class HorizonSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HorizonSweep, SolvesCleanlyAtEveryHorizon) {
+  trace::JobSpec s;
+  s.id = 0;
+  s.nodes = 2;
+  s.runtime_ref_s = 600.0;
+  s.app_index = 0;
+  sched::Job job(s, &apps::find_app("ASPA"));
+  job.start(0.0, {0, 1});
+  JobEstimator est(&core::canonical_node_model(), 145.0);
+  MpcConfig cfg;
+  cfg.horizon = GetParam();
+  MpcController mpc(cfg);
+  std::vector<ControlledJob> cj{{&job, &est}};
+  const auto t = TargetGenerator(8.0, 8, 16).generate(cj);
+  const auto d = mpc.decide(cj, t, {145.0}, 2 * 290.0);
+  EXPECT_EQ(d.status, qp::SolveStatus::kOptimal);
+  EXPECT_GE(d.caps_w[0], 90.0);
+  EXPECT_LE(d.caps_w[0], 290.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, HorizonSweep, ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST_F(MpcTest, WarmStartSurvivesJobChurn) {
+  add_job(0, 1);
+  add_job(1, 1);
+  MpcController mpc;
+  auto cj = controlled();
+  auto t = targets_for(cj);
+  (void)mpc.decide(cj, t, {145.0, 145.0}, 2 * 200.0);
+  // Drop job 0, add job 2: the warm start must still map job 1 correctly.
+  add_job(2, 1);
+  std::vector<ControlledJob> cj2{{jobs_[1].get(), estimators_[1].get()},
+                                 {jobs_[2].get(), estimators_[2].get()}};
+  const auto t2 = targets_for(cj2);
+  const auto d = mpc.decide(cj2, t2, {145.0, 145.0}, 2 * 200.0);
+  EXPECT_EQ(d.status, qp::SolveStatus::kOptimal);
+  mpc.reset();
+  const auto d2 = mpc.decide(cj2, t2, {145.0, 145.0}, 2 * 200.0);
+  EXPECT_NEAR(d.caps_w[0], d2.caps_w[0], 5.0);
+}
+
+TEST_F(MpcTest, InputValidation) {
+  MpcController mpc;
+  add_job(0, 1);
+  auto cj = controlled();
+  auto t = targets_for(cj);
+  EXPECT_THROW(mpc.decide({}, t, {}, 290.0), precondition_error);
+  EXPECT_THROW(mpc.decide(cj, t, {145.0, 145.0}, 290.0), precondition_error);
+  Targets bad = t;
+  bad.job_target_ips.clear();
+  EXPECT_THROW(mpc.decide(cj, bad, {145.0}, 290.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::control

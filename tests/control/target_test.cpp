@@ -1,0 +1,139 @@
+#include "control/target_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/catalog.hpp"
+#include "core/node_model.hpp"
+#include "util/require.hpp"
+
+namespace perq::control {
+namespace {
+
+class TargetTest : public ::testing::Test {
+ protected:
+  sched::Job* add_job(int id, std::size_t nodes, double start_time = 0.0) {
+    trace::JobSpec s;
+    s.id = id;
+    s.nodes = nodes;
+    s.runtime_ref_s = 600.0;
+    s.app_index = 0;
+    jobs_.push_back(std::make_unique<sched::Job>(s, &apps::find_app("ASPA")));
+    std::vector<std::size_t> ids(nodes);
+    for (auto& n : ids) n = next_node_++;
+    jobs_.back()->start(start_time, std::move(ids));
+    estimators_.push_back(
+        std::make_unique<JobEstimator>(&core::canonical_node_model(), 145.0));
+    return jobs_.back().get();
+  }
+
+  std::vector<ControlledJob> controlled() {
+    std::vector<ControlledJob> out;
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      out.push_back({jobs_[i].get(), estimators_[i].get()});
+    }
+    return out;
+  }
+
+  std::vector<std::unique_ptr<sched::Job>> jobs_;
+  std::vector<std::unique_ptr<JobEstimator>> estimators_;
+  std::size_t next_node_ = 0;
+};
+
+TEST_F(TargetTest, ConstructionValidation) {
+  EXPECT_THROW(TargetGenerator(0.0, 8, 16), precondition_error);
+  EXPECT_THROW(TargetGenerator(1.0, 0, 16), precondition_error);
+  EXPECT_THROW(TargetGenerator(1.0, 16, 8), precondition_error);
+  EXPECT_NO_THROW(TargetGenerator(4.0, 8, 16));
+}
+
+TEST_F(TargetTest, FairCapIsTdpOverF) {
+  EXPECT_NEAR(TargetGenerator(4.0, 8, 16).fair_cap_w(), 145.0, 1e-9);
+  EXPECT_NEAR(TargetGenerator(4.0, 10, 12).fair_cap_w(), 290.0 * 10 / 12, 1e-9);
+  // f = 1: fair cap is the TDP itself.
+  EXPECT_NEAR(TargetGenerator(4.0, 8, 8).fair_cap_w(), 290.0, 1e-9);
+  // Extreme over-provisioning clamps at cap_min.
+  EXPECT_NEAR(TargetGenerator(4.0, 8, 80).fair_cap_w(), 90.0, 1e-9);
+}
+
+TEST_F(TargetTest, JobTargetsScaleWithNodeCount) {
+  add_job(0, 1);
+  add_job(1, 4);
+  TargetGenerator gen(4.0, 8, 16);
+  const auto t = gen.generate(controlled());
+  ASSERT_EQ(t.job_target_ips.size(), 2u);
+  // Identical estimators: the 4-node job's aggregate target is 4x.
+  EXPECT_NEAR(t.job_target_ips[1], 4.0 * t.job_target_ips[0], 1e-6);
+}
+
+TEST_F(TargetTest, SystemTargetScalesWithImprovementRatio) {
+  add_job(0, 4);
+  add_job(1, 4);
+  const auto t4 = TargetGenerator(4.0, 8, 16).generate(controlled());
+  const auto t8 = TargetGenerator(8.0, 8, 16).generate(controlled());
+  EXPECT_NEAR(t8.system_target_ips, 2.0 * t4.system_target_ips, 1e-3);
+}
+
+TEST_F(TargetTest, WorstCasePrefixLimitsSystemTarget) {
+  // N_WP = 4: only the first job (4 nodes, earliest start) fits A_WP.
+  add_job(0, 4, 0.0);
+  add_job(1, 4, 10.0);
+  const auto t = TargetGenerator(1.0, 4, 8).generate(controlled());
+  // System target = predicted IPS of job 0 at TDP (ratio 1).
+  const double expected =
+      4.0 * estimators_[0]->predict_steady_state(290.0);
+  EXPECT_NEAR(t.system_target_ips, expected, 1e-3 * expected);
+}
+
+TEST_F(TargetTest, PrefixSkipsJobsTooLargeAndTakesSmallerOnes) {
+  add_job(0, 3, 0.0);
+  add_job(1, 4, 5.0);  // does not fit the remaining 1 node of N_WP=4
+  add_job(2, 1, 9.0);  // fits
+  const auto t = TargetGenerator(1.0, 4, 8).generate(controlled());
+  const double expected = (3.0 + 1.0) * estimators_[0]->predict_steady_state(290.0);
+  EXPECT_NEAR(t.system_target_ips, expected, 1e-3 * expected);
+}
+
+TEST_F(TargetTest, MonotonicityGuardRaisesTargetToMeasurement) {
+  sched::Job* j = add_job(0, 2);
+  // Job measured under a cap below the fair share, with measured IPS above
+  // the model's prediction: the target must not sit below the measurement.
+  const double high_ips = 10.0 * estimators_[0]->predict_steady_state(145.0);
+  j->record_interval(10.0, 1.0, 2.0 * high_ips, 100.0);
+  const auto t = TargetGenerator(4.0, 8, 16).generate(controlled());
+  EXPECT_GE(t.job_target_ips[0], j->last_job_ips() - 1e-6);
+}
+
+TEST_F(TargetTest, MonotonicityGuardCapsTargetAboveFairCap) {
+  sched::Job* j = add_job(0, 2);
+  // Job running *above* the fair cap with low measured IPS: the fair-cap
+  // target cannot exceed the measurement (plus the noise band).
+  j->record_interval(10.0, 1.0, 1e6, 290.0);
+  const auto t = TargetGenerator(4.0, 8, 16).generate(controlled());
+  EXPECT_LE(t.job_target_ips[0], 1e6 * 1.02 + 1e-6);
+}
+
+TEST_F(TargetTest, UnmeasuredJobUsesModelPrediction) {
+  add_job(0, 2);
+  const auto t = TargetGenerator(4.0, 8, 16).generate(controlled());
+  EXPECT_NEAR(t.job_target_ips[0], 2.0 * estimators_[0]->predict_steady_state(145.0),
+              1e-6);
+}
+
+TEST_F(TargetTest, EmptyJobListGivesZeroSystemTarget) {
+  const auto t = TargetGenerator(4.0, 8, 16).generate({});
+  EXPECT_TRUE(t.job_target_ips.empty());
+  EXPECT_DOUBLE_EQ(t.system_target_ips, 0.0);
+}
+
+TEST_F(TargetTest, RejectsNullEntries) {
+  add_job(0, 1);
+  auto cj = controlled();
+  cj[0].estimator = nullptr;
+  TargetGenerator gen(4.0, 8, 16);
+  EXPECT_THROW(gen.generate(cj), precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::control

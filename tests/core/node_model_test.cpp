@@ -1,0 +1,85 @@
+#include "core/node_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+
+namespace perq::core {
+namespace {
+
+TEST(NodeModel, TrainingSegmentsCoverEveryTrainingApp) {
+  const auto segs = collect_training_segments(1, 64, 10.0);
+  EXPECT_EQ(segs.size(), apps::training_catalog().size());
+  for (const auto& s : segs) {
+    EXPECT_EQ(s.u.size(), 64u);
+    EXPECT_EQ(s.y.size(), 64u);
+  }
+}
+
+TEST(NodeModel, TrainingCapsSpanTheLegalRange) {
+  const auto segs = collect_training_segments(2, 200, 10.0);
+  double lo = 1e9, hi = 0.0;
+  for (const auto& s : segs) {
+    for (double c : s.u) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  EXPECT_GE(lo, 90.0);
+  EXPECT_LE(hi, 290.0);
+  EXPECT_LT(lo, 120.0);  // the sweep actually exercises the low range
+  EXPECT_GT(hi, 260.0);  // ... and the high range
+}
+
+TEST(NodeModel, ConcatenatedDataMatchesSegments) {
+  const auto segs = collect_training_segments(3, 64, 10.0);
+  const auto all = collect_training_data(3, 64, 10.0);
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.u.size();
+  EXPECT_EQ(all.u.size(), total);
+}
+
+TEST(NodeModel, IdentifiedModelIsStableThirdOrder) {
+  const auto model = identify_node_model(17);
+  EXPECT_EQ(model.ss().order(), 3u);
+  EXPECT_TRUE(model.arx().is_stable());
+  EXPECT_TRUE(model.ss().is_stable());
+}
+
+TEST(NodeModel, IdentifiedModelHasPositiveSensitivity) {
+  const auto model = identify_node_model(17);
+  // More power -> more performance, on average over the training suite.
+  EXPECT_GT(model.arx().dc_gain(), 0.0);
+  EXPECT_GT(model.steady_state(290.0), model.steady_state(90.0));
+}
+
+TEST(NodeModel, ValidationFitIsMeaningful) {
+  const auto model = identify_node_model(17);
+  // The mixture of heterogeneous apps bounds what a single LTI model can
+  // explain; anything clearly above zero and below perfect is expected.
+  EXPECT_GT(model.fit_percent(), 30.0);
+  EXPECT_LT(model.fit_percent(), 100.0);
+}
+
+TEST(NodeModel, DifferentSeedsGiveSimilarDcGain) {
+  // The identified physics should not depend on the excitation seed.
+  const auto a = identify_node_model(100);
+  const auto b = identify_node_model(200);
+  EXPECT_NEAR(a.arx().dc_gain(), b.arx().dc_gain(),
+              0.4 * std::abs(a.arx().dc_gain()));
+}
+
+TEST(NodeModel, CanonicalModelIsCachedSingleton) {
+  const auto& a = canonical_node_model();
+  const auto& b = canonical_node_model();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(NodeModel, ValidatesArguments) {
+  EXPECT_THROW(collect_training_segments(1, 10, 10.0), precondition_error);
+  EXPECT_THROW(collect_training_segments(1, 100, 0.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::core

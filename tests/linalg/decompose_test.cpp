@@ -1,0 +1,173 @@
+#include "linalg/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace perq::linalg {
+namespace {
+
+Matrix random_matrix(Rng& rng, std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m(r, c) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+Matrix random_spd(Rng& rng, std::size_t n) {
+  Matrix a = random_matrix(rng, n);
+  Matrix spd = a * a.transposed();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  Vector x = Lu(a).solve(Vector{5, 10});
+  EXPECT_TRUE(approx_equal(x, Vector{1, 3}, 1e-12));
+}
+
+TEST(Lu, RequiresSquare) { EXPECT_THROW(Lu(Matrix(2, 3)), precondition_error); }
+
+TEST(Lu, DetectsSingular) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(Lu a_lu(a), invariant_error);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingEntry) {
+  Matrix a{{0, 1}, {1, 0}};
+  Vector x = Lu(a).solve(Vector{2, 3});
+  EXPECT_TRUE(approx_equal(x, Vector{3, 2}, 1e-12));
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  EXPECT_NEAR(Lu(Matrix{{1, 2}, {3, 4}}).determinant(), -2.0, 1e-12);
+  EXPECT_NEAR(Lu(Matrix::identity(4)).determinant(), 1.0, 1e-12);
+}
+
+TEST(Lu, InverseTimesOriginalIsIdentity) {
+  Rng rng(3);
+  Matrix a = random_matrix(rng, 6);
+  for (std::size_t i = 0; i < 6; ++i) a(i, i) += 4.0;  // well conditioned
+  EXPECT_TRUE(approx_equal(a * Lu(a).inverse(), Matrix::identity(6), 1e-9));
+}
+
+class LuRandomSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandomSizes, ResidualIsTiny) {
+  Rng rng(GetParam());
+  const std::size_t n = GetParam();
+  Matrix a = random_matrix(rng, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-5, 5);
+  Vector x = Lu(a).solve(b);
+  EXPECT_LT(norm_inf((a * x) - b), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomSizes, ::testing::Values(1, 2, 3, 5, 8, 16, 40));
+
+TEST(Lu, MatrixRhsSolve) {
+  Matrix a{{4, 1}, {1, 3}};
+  Matrix b{{1, 0}, {0, 1}};
+  Matrix x = Lu(a).solve(b);
+  EXPECT_TRUE(approx_equal(a * x, b, 1e-12));
+}
+
+TEST(Cholesky, SolvesKnownSystem) {
+  Matrix a{{4, 2}, {2, 3}};
+  Vector x = Cholesky(a).solve({8, 7});
+  EXPECT_TRUE(approx_equal(a * x, Vector{8, 7}, 1e-12));
+}
+
+TEST(Cholesky, FactorReconstructs) {
+  Rng rng(9);
+  Matrix a = random_spd(rng, 5);
+  Cholesky ch(a);
+  const Matrix& l = ch.factor();
+  EXPECT_TRUE(approx_equal(l * l.transposed(), a, 1e-9));
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(Cholesky ch(a), invariant_error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(Cholesky ch(Matrix(2, 3)), precondition_error);
+}
+
+TEST(Cholesky, LogDeterminantMatchesLu) {
+  Rng rng(10);
+  Matrix a = random_spd(rng, 4);
+  EXPECT_NEAR(Cholesky(a).log_determinant(), std::log(Lu(a).determinant()), 1e-9);
+}
+
+class CholeskyRandomSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyRandomSizes, ResidualIsTiny) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = GetParam();
+  Matrix a = random_spd(rng, n);
+  Vector b(n);
+  for (auto& v : b) v = rng.uniform(-5, 5);
+  Vector x = Cholesky(a).solve(b);
+  EXPECT_LT(norm_inf((a * x) - b), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyRandomSizes,
+                         ::testing::Values(1, 2, 4, 8, 20, 50));
+
+TEST(LeastSquares, ExactSystemRecovered) {
+  Matrix a{{1, 0}, {0, 1}, {1, 1}};
+  Vector x_true{2, 3};
+  Vector b = a * x_true;
+  EXPECT_TRUE(approx_equal(least_squares(a, b), x_true, 1e-10));
+}
+
+TEST(LeastSquares, LineFit) {
+  // Fit y = 2x + 1 through noisy-free points: design [x 1].
+  Matrix a{{0, 1}, {1, 1}, {2, 1}, {3, 1}};
+  Vector b{1, 3, 5, 7};
+  Vector coef = least_squares(a, b);
+  EXPECT_NEAR(coef[0], 2.0, 1e-10);
+  EXPECT_NEAR(coef[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquares, NormalEquationsHold) {
+  Rng rng(17);
+  Matrix a(20, 4);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) a(r, c) = rng.uniform(-1, 1);
+  }
+  Vector b(20);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  Vector x = least_squares(a, b);
+  // A'(Ax - b) == 0 characterizes the least-squares solution.
+  Vector residual = (a * x) - b;
+  Vector atr = a.transposed() * residual;
+  EXPECT_LT(norm_inf(atr), 1e-10);
+}
+
+TEST(LeastSquares, RejectsUnderdetermined) {
+  EXPECT_THROW(least_squares(Matrix(2, 3), Vector{1, 2}), precondition_error);
+}
+
+TEST(LeastSquares, RejectsRankDeficient) {
+  Matrix a{{1, 1}, {1, 1}, {1, 1}};
+  EXPECT_THROW(least_squares(a, Vector{1, 2, 3}), invariant_error);
+}
+
+TEST(Convenience, SolveAndInverse) {
+  Matrix a{{3, 1}, {1, 2}};
+  Vector x = solve(a, {9, 8});
+  EXPECT_TRUE(approx_equal(a * x, Vector{9, 8}, 1e-12));
+  EXPECT_TRUE(approx_equal(a * inverse(a), Matrix::identity(2), 1e-12));
+}
+
+}  // namespace
+}  // namespace perq::linalg

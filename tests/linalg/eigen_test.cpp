@@ -1,0 +1,192 @@
+#include "linalg/eigen.hpp"
+
+#include "linalg/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace perq::linalg {
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<double> sorted_abs(const std::vector<Complex>& zs) {
+  std::vector<double> out;
+  for (const auto& z : zs) out.push_back(std::abs(z));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(PolynomialRoots, Quadratic) {
+  // x^2 - 3x + 2 = (x-1)(x-2)
+  auto roots = polynomial_roots({2.0, -3.0, 1.0});
+  auto mags = sorted_abs(roots);
+  EXPECT_NEAR(mags[0], 1.0, 1e-9);
+  EXPECT_NEAR(mags[1], 2.0, 1e-9);
+}
+
+TEST(PolynomialRoots, ComplexPair) {
+  // x^2 + 1: roots +-i.
+  auto roots = polynomial_roots({1.0, 0.0, 1.0});
+  ASSERT_EQ(roots.size(), 2u);
+  for (const auto& r : roots) {
+    EXPECT_NEAR(std::abs(r.real()), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(r.imag()), 1.0, 1e-9);
+  }
+}
+
+TEST(PolynomialRoots, CubicWithKnownRoots) {
+  // (x-1)(x+2)(x-0.5) = x^3 + 0.5x^2 - 2.5x + 1
+  auto roots = polynomial_roots({1.0, -2.5, 0.5, 1.0});
+  auto mags = sorted_abs(roots);
+  EXPECT_NEAR(mags[0], 0.5, 1e-8);
+  EXPECT_NEAR(mags[1], 1.0, 1e-8);
+  EXPECT_NEAR(mags[2], 2.0, 1e-8);
+}
+
+TEST(PolynomialRoots, NonMonicNormalized) {
+  // 2x^2 - 8 = 0 -> roots +-2.
+  auto mags = sorted_abs(polynomial_roots({-8.0, 0.0, 2.0}));
+  EXPECT_NEAR(mags[0], 2.0, 1e-9);
+  EXPECT_NEAR(mags[1], 2.0, 1e-9);
+}
+
+TEST(PolynomialRoots, Validation) {
+  EXPECT_THROW(polynomial_roots({1.0}), precondition_error);
+  EXPECT_THROW(polynomial_roots({1.0, 0.0}), precondition_error);
+}
+
+TEST(CharacteristicPolynomial, KnownMatrix) {
+  // [[2,1],[1,2]]: det(xI - A) = x^2 - 4x + 3.
+  const auto c = characteristic_polynomial(Matrix{{2, 1}, {1, 2}});
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 3.0, 1e-12);
+  EXPECT_NEAR(c[1], -4.0, 1e-12);
+  EXPECT_NEAR(c[2], 1.0, 1e-12);
+}
+
+TEST(CharacteristicPolynomial, ConstantTermIsSignedDeterminant) {
+  Rng rng(3);
+  Matrix a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.uniform(-1, 1);
+  }
+  for (std::size_t i = 0; i < 4; ++i) a(i, i) += 2.0;
+  const auto c = characteristic_polynomial(a);
+  // c[0] = (-1)^n det(A) for monic char poly det(xI - A).
+  EXPECT_NEAR(c[0], Lu(a).determinant(), 1e-8);
+}
+
+TEST(Eigenvalues, DiagonalMatrix) {
+  auto mags = sorted_abs(eigenvalues(Matrix::diagonal({1.0, -3.0, 2.0})));
+  EXPECT_NEAR(mags[0], 1.0, 1e-9);
+  EXPECT_NEAR(mags[1], 2.0, 1e-9);
+  EXPECT_NEAR(mags[2], 3.0, 1e-9);
+}
+
+TEST(Eigenvalues, RotationHasComplexPair) {
+  const double c = std::cos(0.5), s = std::sin(0.5);
+  auto evs = eigenvalues(Matrix{{c, -s}, {s, c}});
+  for (const auto& ev : evs) {
+    EXPECT_NEAR(std::abs(ev), 1.0, 1e-9);
+    EXPECT_NEAR(ev.real(), c, 1e-9);
+  }
+}
+
+TEST(Eigenvalues, TraceAndDeterminantConsistency) {
+  Rng rng(7);
+  Matrix a(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = rng.uniform(-1, 1);
+  }
+  const auto evs = eigenvalues(a);
+  Complex sum = 0.0, prod = 1.0;
+  for (const auto& ev : evs) {
+    sum += ev;
+    prod *= ev;
+  }
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) trace += a(i, i);
+  EXPECT_NEAR(sum.real(), trace, 1e-7);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-7);
+  EXPECT_NEAR(prod.real(), Lu(a).determinant(), 1e-6);
+}
+
+TEST(SpectralRadius, MatchesKnownValues) {
+  EXPECT_NEAR(spectral_radius(Matrix::diagonal({0.5, -0.9})), 0.9, 1e-9);
+  EXPECT_NEAR(spectral_radius(Matrix{{0.0, 1.0}, {0.0, 0.0}}), 0.0, 1e-9);
+}
+
+TEST(SymmetricEigen, KnownDecomposition) {
+  const Matrix a{{2, 1}, {1, 2}};
+  const auto e = symmetric_eigen(a);
+  ASSERT_EQ(e.values.size(), 2u);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix) {
+  Rng rng(11);
+  Matrix b(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) b(i, j) = rng.uniform(-1, 1);
+  }
+  const Matrix a = b * b.transposed();
+  const auto e = symmetric_eigen(a);
+  // A = V diag(values) V'.
+  const Matrix recon = e.vectors * Matrix::diagonal(e.values) * e.vectors.transposed();
+  EXPECT_TRUE(approx_equal(recon, a, 1e-8));
+  // Eigenvectors are orthonormal.
+  EXPECT_TRUE(approx_equal(e.vectors.transposed() * e.vectors, Matrix::identity(4),
+                           1e-9));
+}
+
+TEST(SymmetricEigen, RejectsAsymmetric) {
+  EXPECT_THROW(symmetric_eigen(Matrix{{1, 2}, {0, 1}}), precondition_error);
+}
+
+TEST(PsdRank, CountsPositiveDirections) {
+  EXPECT_EQ(psd_rank(Matrix::diagonal({1.0, 2.0, 3.0})), 3u);
+  EXPECT_EQ(psd_rank(Matrix::diagonal({1.0, 2.0, 0.0})), 2u);
+  EXPECT_EQ(psd_rank(Matrix::diagonal({0.0, 0.0})), 0u);
+  // Rank-1 outer product.
+  const Matrix v = Matrix::column({1.0, 2.0, 3.0});
+  EXPECT_EQ(psd_rank(v * v.transposed()), 1u);
+}
+
+TEST(DiscreteLyapunov, SatisfiesEquation) {
+  const Matrix a{{0.5, 0.1}, {0.0, 0.3}};
+  const Matrix q{{1.0, 0.2}, {0.2, 2.0}};
+  const Matrix x = solve_discrete_lyapunov(a, q);
+  EXPECT_TRUE(approx_equal(a * x * a.transposed() + q, x, 1e-9));
+  // The solution inherits Q's symmetry and positive definiteness.
+  EXPECT_TRUE(approx_equal(x, x.transposed(), 1e-9));
+  EXPECT_GT(symmetric_eigen(x).values.front(), 0.0);
+}
+
+TEST(DiscreteLyapunov, MatchesInfiniteSum) {
+  const Matrix a{{0.4, 0.2}, {-0.1, 0.5}};
+  const Matrix q = Matrix::identity(2);
+  const Matrix x = solve_discrete_lyapunov(a, q);
+  // X = sum_k A^k Q (A')^k.
+  Matrix sum = q;
+  Matrix ak = a;
+  for (int k = 0; k < 200; ++k) {
+    sum += ak * q * ak.transposed();
+    ak = ak * a;
+  }
+  EXPECT_TRUE(approx_equal(x, sum, 1e-9));
+}
+
+TEST(DiscreteLyapunov, RejectsUnstableA) {
+  EXPECT_THROW(solve_discrete_lyapunov(Matrix{{1.1}}, Matrix{{1.0}}),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::linalg

@@ -1,0 +1,169 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace perq::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), precondition_error);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  auto i3 = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  auto d = Matrix::diagonal({2, 5});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, AtChecksBounds) {
+  Matrix m(2, 2);
+  EXPECT_NO_THROW(m.at(1, 1));
+  EXPECT_THROW(m.at(2, 0), precondition_error);
+  EXPECT_THROW(m.at(0, 2), precondition_error);
+}
+
+TEST(Matrix, RowColExtraction) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (Vector{3, 6}));
+  EXPECT_THROW(m.row(2), precondition_error);
+  EXPECT_THROW(m.col(3), precondition_error);
+}
+
+TEST(Matrix, BlockRoundTrip) {
+  Matrix m(4, 4);
+  Matrix b{{1, 2}, {3, 4}};
+  m.set_block(1, 2, b);
+  EXPECT_TRUE(approx_equal(m.block(1, 2, 2, 2), b, 0.0));
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, SetBlockRejectsOverflow) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.set_block(1, 1, Matrix(2, 2)), precondition_error);
+  EXPECT_THROW(m.block(1, 1, 2, 2), precondition_error);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(approx_equal(t.transposed(), m, 0.0));
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  EXPECT_TRUE(approx_equal(a + b, Matrix{{11, 22}, {33, 44}}, 1e-15));
+  EXPECT_TRUE(approx_equal(b - a, Matrix{{9, 18}, {27, 36}}, 1e-15));
+  EXPECT_TRUE(approx_equal(a * 2.0, Matrix{{2, 4}, {6, 8}}, 1e-15));
+  EXPECT_TRUE(approx_equal(2.0 * a, a * 2.0, 1e-15));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, precondition_error);
+  EXPECT_THROW(a -= b, precondition_error);
+}
+
+TEST(Matrix, ProductKnownValue) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  EXPECT_TRUE(approx_equal(a * b, Matrix{{19, 22}, {43, 50}}, 1e-12));
+}
+
+TEST(Matrix, ProductWithIdentity) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(2), a, 0.0));
+  EXPECT_TRUE(approx_equal(Matrix::identity(2) * a, a, 0.0));
+}
+
+TEST(Matrix, ProductInnerDimensionMismatch) {
+  EXPECT_THROW(Matrix(2, 3) * Matrix(2, 3), precondition_error);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_TRUE(approx_equal(a * Vector{1, 1}, Vector{3, 7}, 1e-15));
+  EXPECT_THROW(a * (Vector{1, 2, 3}), precondition_error);
+}
+
+TEST(Matrix, Norms) {
+  Matrix a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Matrix, ColumnAndRowVectorFactories) {
+  auto c = Matrix::column({1, 2, 3});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  auto r = Matrix::row_vector({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+}
+
+TEST(Vector, Arithmetic) {
+  Vector a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_TRUE(approx_equal(a + b, Vector{5, 7, 9}, 1e-15));
+  EXPECT_TRUE(approx_equal(b - a, Vector{3, 3, 3}, 1e-15));
+  EXPECT_TRUE(approx_equal(a * 2.0, Vector{2, 4, 6}, 1e-15));
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+}
+
+TEST(Vector, SizeMismatchThrows) {
+  Vector a{1, 2}, b{1, 2, 3};
+  EXPECT_THROW(a + b, precondition_error);
+  EXPECT_THROW(dot(a, b), precondition_error);
+  EXPECT_THROW(axpy(a, 1.0, b), precondition_error);
+}
+
+TEST(Vector, Norms) {
+  Vector v{3, -4};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vector{}), 0.0);
+}
+
+TEST(Vector, Axpy) {
+  EXPECT_TRUE(approx_equal(axpy({1, 1}, 2.0, {3, 4}), Vector{7, 9}, 1e-15));
+}
+
+TEST(Vector, ApproxEqualRespectsTolerance) {
+  EXPECT_TRUE(approx_equal(Vector{1.0}, Vector{1.0 + 1e-9}, 1e-8));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.1}, 1e-8));
+  EXPECT_FALSE(approx_equal(Vector{1.0}, Vector{1.0, 2.0}, 1e-8));
+}
+
+}  // namespace
+}  // namespace perq::linalg

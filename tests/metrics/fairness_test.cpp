@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+#include "util/require.hpp"
+
+namespace perq::metrics {
+namespace {
+
+TEST(Jain, PerfectlyEqualIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({2.0, 2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({5.0}), 1.0);
+}
+
+TEST(Jain, SingleWinnerIsOneOverN) {
+  EXPECT_NEAR(jain_fairness_index({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(Jain, KnownIntermediateValue) {
+  // x = {1, 3}: (4)^2 / (2 * 10) = 0.8.
+  EXPECT_NEAR(jain_fairness_index({1.0, 3.0}), 0.8, 1e-12);
+}
+
+TEST(Jain, ScaleInvariant) {
+  const double a = jain_fairness_index({1.0, 2.0, 3.0});
+  const double b = jain_fairness_index({10.0, 20.0, 30.0});
+  EXPECT_NEAR(a, b, 1e-12);
+}
+
+TEST(Jain, Validation) {
+  EXPECT_THROW(jain_fairness_index({}), precondition_error);
+  EXPECT_THROW(jain_fairness_index({-1.0, 2.0}), precondition_error);
+  EXPECT_THROW(jain_fairness_index({0.0, 0.0}), precondition_error);
+}
+
+core::RunResult run_with_outcomes(
+    std::vector<std::tuple<int, std::size_t, double, double>> rows) {
+  // (id, app_index, runtime_ref, runtime)
+  core::RunResult r;
+  for (auto [id, app, ref, rt] : rows) {
+    core::JobOutcome o;
+    o.id = id;
+    o.app_index = app;
+    o.runtime_ref_s = ref;
+    o.runtime_s = rt;
+    r.finished.push_back(o);
+  }
+  r.jobs_completed = r.finished.size();
+  return r;
+}
+
+TEST(ClassInflation, GroupsBySensitivity) {
+  // App indices in ecp_catalog(): 0 = ASPA (low), 4 = CoMD (medium),
+  // 8 = SimpleMOC (high).
+  auto run = run_with_outcomes({{0, 0, 100.0, 110.0},
+                                {1, 0, 100.0, 130.0},
+                                {2, 4, 100.0, 150.0},
+                                {3, 8, 100.0, 200.0}});
+  const auto c = inflation_by_sensitivity(run);
+  EXPECT_NEAR(c.low, 1.2, 1e-12);     // mean of 1.1 and 1.3
+  EXPECT_NEAR(c.medium, 1.5, 1e-12);
+  EXPECT_NEAR(c.high, 2.0, 1e-12);
+}
+
+TEST(ClassInflation, MissingClassesReportZero) {
+  auto run = run_with_outcomes({{0, 0, 100.0, 100.0}});
+  const auto c = inflation_by_sensitivity(run);
+  EXPECT_GT(c.low, 0.0);
+  EXPECT_DOUBLE_EQ(c.medium, 0.0);
+  EXPECT_DOUBLE_EQ(c.high, 0.0);
+}
+
+TEST(RelativePerformance, InvertedInflation) {
+  auto run = run_with_outcomes({{0, 0, 100.0, 200.0}, {1, 0, 100.0, 100.0}});
+  const auto rp = relative_performance(run);
+  ASSERT_EQ(rp.size(), 2u);
+  EXPECT_NEAR(rp[0], 0.5, 1e-12);
+  EXPECT_NEAR(rp[1], 1.0, 1e-12);
+  // Jain over relative performance: (1.5)^2 / (2 * 1.25) = 0.9.
+  EXPECT_NEAR(jain_fairness_index(rp), 0.9, 1e-12);
+}
+
+}  // namespace
+}  // namespace perq::metrics

@@ -1,0 +1,83 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace perq::metrics {
+namespace {
+
+core::RunResult run_with(std::vector<std::tuple<int, double>> id_runtime) {
+  core::RunResult r;
+  for (auto [id, rt] : id_runtime) {
+    core::JobOutcome o;
+    o.id = id;
+    o.runtime_s = rt;
+    r.finished.push_back(o);
+  }
+  r.jobs_completed = r.finished.size();
+  return r;
+}
+
+TEST(Degradation, ZeroAgainstItself) {
+  auto base = run_with({{0, 100.0}, {1, 200.0}});
+  auto rep = degradation_vs_baseline(base, base);
+  EXPECT_DOUBLE_EQ(rep.mean_degradation_pct, 0.0);
+  EXPECT_DOUBLE_EQ(rep.max_degradation_pct, 0.0);
+  EXPECT_EQ(rep.degraded_jobs, 0u);
+  EXPECT_EQ(rep.compared_jobs, 2u);
+}
+
+TEST(Degradation, OnlyDegradedJobsEnterTheMean) {
+  // Paper metric: jobs that run faster than under FOP are treated fairly
+  // and excluded from the mean.
+  auto fop = run_with({{0, 100.0}, {1, 100.0}, {2, 100.0}});
+  auto cand = run_with({{0, 150.0}, {1, 80.0}, {2, 110.0}});
+  auto rep = degradation_vs_baseline(cand, fop);
+  EXPECT_EQ(rep.degraded_jobs, 2u);
+  EXPECT_NEAR(rep.mean_degradation_pct, (50.0 + 10.0) / 2.0, 1e-12);
+  EXPECT_NEAR(rep.max_degradation_pct, 50.0, 1e-12);
+}
+
+TEST(Degradation, UnmatchedJobsAreSkipped) {
+  auto fop = run_with({{0, 100.0}});
+  auto cand = run_with({{0, 120.0}, {7, 500.0}});
+  auto rep = degradation_vs_baseline(cand, fop);
+  EXPECT_EQ(rep.compared_jobs, 1u);
+  EXPECT_NEAR(rep.mean_degradation_pct, 20.0, 1e-12);
+}
+
+TEST(Degradation, EmptyIntersectionIsAllZero) {
+  auto fop = run_with({{0, 100.0}});
+  auto cand = run_with({{1, 100.0}});
+  auto rep = degradation_vs_baseline(cand, fop);
+  EXPECT_EQ(rep.compared_jobs, 0u);
+  EXPECT_DOUBLE_EQ(rep.mean_degradation_pct, 0.0);
+}
+
+TEST(Throughput, ImprovementPercentage) {
+  EXPECT_DOUBLE_EQ(throughput_improvement_pct(150, 100), 50.0);
+  EXPECT_DOUBLE_EQ(throughput_improvement_pct(100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(throughput_improvement_pct(80, 100), -20.0);
+  EXPECT_THROW(throughput_improvement_pct(10, 0), precondition_error);
+}
+
+TEST(DecisionTimes, SummaryPercentiles) {
+  std::vector<double> times;
+  for (int i = 1; i <= 100; ++i) times.push_back(i / 1000.0);
+  auto s = summarize_decision_times(times);
+  EXPECT_EQ(s.decisions, 100u);
+  EXPECT_NEAR(s.p50_s, 0.0505, 1e-3);
+  EXPECT_NEAR(s.p80_s, 0.0802, 1e-3);
+  EXPECT_NEAR(s.max_s, 0.1, 1e-12);
+  EXPECT_GT(s.p99_s, s.p80_s);
+}
+
+TEST(DecisionTimes, EmptyIsZeroed) {
+  auto s = summarize_decision_times({});
+  EXPECT_EQ(s.decisions, 0u);
+  EXPECT_DOUBLE_EQ(s.max_s, 0.0);
+}
+
+}  // namespace
+}  // namespace perq::metrics

@@ -1,0 +1,241 @@
+#include "policy/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+
+namespace perq::policy {
+namespace {
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  sched::Job* add_job(int id, std::size_t nodes, double remaining_s = 600.0,
+                      double progressed_s = 0.0) {
+    trace::JobSpec s;
+    s.id = id;
+    s.nodes = nodes;
+    s.runtime_ref_s = remaining_s + progressed_s;
+    s.app_index = 0;
+    jobs_.push_back(std::make_unique<sched::Job>(s, &apps::find_app("ASPA")));
+    sched::Job* j = jobs_.back().get();
+    std::vector<std::size_t> ids(nodes);
+    for (std::size_t i = 0; i < nodes; ++i) ids[i] = next_node_++;
+    j->start(0.0, std::move(ids));
+    if (progressed_s > 0.0) j->record_interval(progressed_s, 1.0, 1e9, 290.0);
+    running_.push_back(j);
+    return j;
+  }
+
+  PolicyContext ctx(double budget_busy, double total_nodes, double budget_total = -1) {
+    PolicyContext c;
+    c.running = &running_;
+    c.budget_for_busy_w = budget_busy;
+    c.budget_total_w = budget_total < 0 ? budget_busy : budget_total;
+    c.total_nodes = total_nodes;
+    return c;
+  }
+
+  double committed(const std::vector<double>& caps) const {
+    double s = 0.0;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      s += caps[i] * static_cast<double>(running_[i]->spec().nodes);
+    }
+    return s;
+  }
+
+  std::vector<std::unique_ptr<sched::Job>> jobs_;
+  std::vector<sched::Job*> running_;
+  std::size_t next_node_ = 0;
+};
+
+TEST_F(PolicyTest, EnforceBudgetPassesFeasibleCapsThrough) {
+  add_job(0, 2);
+  add_job(1, 2);
+  auto caps = enforce_budget(running_, {200.0, 100.0}, 700.0);
+  EXPECT_DOUBLE_EQ(caps[0], 200.0);
+  EXPECT_DOUBLE_EQ(caps[1], 100.0);
+}
+
+TEST_F(PolicyTest, EnforceBudgetClampsToRange) {
+  add_job(0, 1);
+  auto caps = enforce_budget(running_, {500.0}, 1000.0);
+  EXPECT_DOUBLE_EQ(caps[0], 290.0);
+  caps = enforce_budget(running_, {10.0}, 1000.0);
+  EXPECT_DOUBLE_EQ(caps[0], 90.0);
+}
+
+TEST_F(PolicyTest, EnforceBudgetScalesHeadroomUniformly) {
+  add_job(0, 1);
+  add_job(1, 1);
+  // Requested 290+290 = 580 against budget 400: headroom above 90 scales.
+  auto caps = enforce_budget(running_, {290.0, 290.0}, 400.0);
+  EXPECT_NEAR(committed(caps), 400.0, 1e-9);
+  EXPECT_DOUBLE_EQ(caps[0], caps[1]);
+}
+
+TEST_F(PolicyTest, EnforceBudgetPreservesRelativeHeadroom) {
+  add_job(0, 1);
+  add_job(1, 1);
+  auto caps = enforce_budget(running_, {290.0, 190.0}, 400.0);
+  EXPECT_NEAR(committed(caps), 400.0, 1e-9);
+  // 290 has 200 headroom, 190 has 100: the ratio must be preserved.
+  EXPECT_NEAR((caps[0] - 90.0) / (caps[1] - 90.0), 2.0, 1e-9);
+}
+
+TEST_F(PolicyTest, EnforceBudgetRejectsImpossibleFloor) {
+  add_job(0, 4);
+  EXPECT_THROW(enforce_budget(running_, {90.0}, 300.0), precondition_error);
+}
+
+TEST_F(PolicyTest, FopSplitsEqually) {
+  add_job(0, 2);
+  add_job(1, 6);
+  FairShare fop;
+  // Machine: 16 nodes total, budget 8*290 (f = 2).
+  auto caps = fop.allocate(ctx(8 * 290.0, 16.0, 8 * 290.0));
+  ASSERT_EQ(caps.size(), 2u);
+  EXPECT_NEAR(caps[0], 145.0, 1e-9);
+  EXPECT_NEAR(caps[1], 145.0, 1e-9);
+}
+
+TEST_F(PolicyTest, FopAtWorstCaseGivesTdp) {
+  add_job(0, 4);
+  FairShare fop;
+  auto caps = fop.allocate(ctx(8 * 290.0, 8.0, 8 * 290.0));
+  EXPECT_DOUBLE_EQ(caps[0], 290.0);
+}
+
+TEST_F(PolicyTest, FopClampsAtExtremeOverprovisioning) {
+  add_job(0, 1);
+  FairShare fop;
+  // f = 4: equal share would be 72.5 < cap_min.
+  auto caps = fop.allocate(ctx(8 * 290.0, 32.0, 8 * 290.0));
+  EXPECT_DOUBLE_EQ(caps[0], 90.0);
+}
+
+TEST_F(PolicyTest, SjsPrioritizesSmallestJob) {
+  add_job(0, 6);
+  add_job(1, 1);
+  auto sjs = make_sjs();
+  // Tight budget: 7 nodes busy, budget 7*120.
+  auto caps = sjs->allocate(ctx(7 * 120.0, 7.0));
+  EXPECT_GT(caps[1], caps[0]);  // the 1-node job gets the power
+  EXPECT_LE(committed(caps), 7 * 120.0 + 1e-6);
+}
+
+TEST_F(PolicyTest, LjsPrioritizesLargestJob) {
+  add_job(0, 6);
+  add_job(1, 1);
+  auto ljs = make_ljs();
+  auto caps = ljs->allocate(ctx(7 * 120.0, 7.0));
+  EXPECT_GT(caps[0], caps[1]);
+}
+
+TEST_F(PolicyTest, SrnPrioritizesLeastRemainingWork) {
+  add_job(0, 2, 3600.0);        // lots of work left
+  add_job(1, 2, 60.0, 3540.0);  // nearly done
+  auto srn = make_srn();
+  auto caps = srn->allocate(ctx(4 * 120.0, 4.0));
+  EXPECT_GT(caps[1], caps[0]);
+}
+
+TEST_F(PolicyTest, GreedyGivesTdpWhenBudgetAmple) {
+  add_job(0, 1);
+  add_job(1, 1);
+  auto sjs = make_sjs();
+  auto caps = sjs->allocate(ctx(2 * 290.0, 2.0));
+  EXPECT_DOUBLE_EQ(caps[0], 290.0);
+  EXPECT_DOUBLE_EQ(caps[1], 290.0);
+}
+
+TEST_F(PolicyTest, GreedyKeepsReserveForNonPriorityJobs) {
+  // Budget only slightly above the floor: priority job takes the surplus
+  // but the other job keeps at least 60% of the equal share.
+  add_job(0, 1, 60.0);   // nearly done - SRN priority
+  add_job(1, 1, 3600.0);
+  auto srn = make_srn();
+  const double budget = 2 * 150.0;
+  auto caps = srn->allocate(ctx(budget, 2.0));
+  EXPECT_LE(committed(caps), budget + 1e-6);
+  EXPECT_GE(caps[1], 0.6 * 150.0 - 1e-6);
+  EXPECT_GT(caps[0], caps[1]);
+}
+
+TEST_F(PolicyTest, GreedyDeterministicTieBreakById) {
+  add_job(0, 2);
+  add_job(1, 2);
+  auto sjs = make_sjs();
+  auto caps = sjs->allocate(ctx(4 * 140.0, 4.0));
+  EXPECT_GE(caps[0], caps[1]);  // equal size: lower id wins
+}
+
+TEST_F(PolicyTest, PolicyNames) {
+  EXPECT_EQ(make_fop()->name(), "FOP");
+  EXPECT_EQ(make_sjs()->name(), "SJS");
+  EXPECT_EQ(make_ljs()->name(), "LJS");
+  EXPECT_EQ(make_srn()->name(), "SRN");
+}
+
+TEST_F(PolicyTest, BaselinesReportNoTargets) {
+  EXPECT_DOUBLE_EQ(make_fop()->target_ips(7), 0.0);
+  EXPECT_DOUBLE_EQ(make_srn()->target_ips(7), 0.0);
+}
+
+TEST_F(PolicyTest, MissingContextRejected) {
+  FairShare fop;
+  PolicyContext empty;
+  EXPECT_THROW(fop.allocate(empty), precondition_error);
+}
+
+class BudgetSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgetSweep, AllPoliciesRespectBudget) {
+  const double per_node_budget = GetParam();
+  std::vector<std::unique_ptr<sched::Job>> jobs;
+  std::vector<sched::Job*> running;
+  std::size_t node = 0;
+  for (int i = 0; i < 5; ++i) {
+    trace::JobSpec s;
+    s.id = i;
+    s.nodes = static_cast<std::size_t>(1 + i % 3);
+    s.runtime_ref_s = 600.0 * (i + 1);
+    s.app_index = 0;
+    jobs.push_back(std::make_unique<sched::Job>(s, &apps::find_app("ASPA")));
+    std::vector<std::size_t> ids(s.nodes);
+    for (auto& id : ids) id = node++;
+    jobs.back()->start(0.0, std::move(ids));
+    running.push_back(jobs.back().get());
+  }
+  double total_nodes = static_cast<double>(node);
+  PolicyContext c;
+  c.running = &running;
+  c.budget_for_busy_w = per_node_budget * total_nodes;
+  c.budget_total_w = c.budget_for_busy_w;
+  c.total_nodes = total_nodes;
+
+  std::vector<std::unique_ptr<PowerPolicy>> policies;
+  policies.push_back(make_fop());
+  policies.push_back(make_sjs());
+  policies.push_back(make_ljs());
+  policies.push_back(make_srn());
+  for (const auto& policy : policies) {
+    auto caps = policy->allocate(c);
+    ASSERT_EQ(caps.size(), running.size());
+    double committed = 0.0;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      EXPECT_GE(caps[i], 90.0 - 1e-9) << policy->name();
+      EXPECT_LE(caps[i], 290.0 + 1e-9) << policy->name();
+      committed += caps[i] * static_cast<double>(running[i]->spec().nodes);
+    }
+    EXPECT_LE(committed, c.budget_for_busy_w + 1e-6) << policy->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetSweep,
+                         ::testing::Values(95.0, 120.0, 145.0, 200.0, 290.0));
+
+}  // namespace
+}  // namespace perq::policy

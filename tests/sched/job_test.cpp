@@ -1,0 +1,131 @@
+#include "sched/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+
+namespace perq::sched {
+namespace {
+
+trace::JobSpec spec(int id = 1, std::size_t nodes = 2, double runtime = 600.0) {
+  trace::JobSpec s;
+  s.id = id;
+  s.nodes = nodes;
+  s.runtime_ref_s = runtime;
+  s.app_index = 0;
+  s.phase_offset_s = 0.0;
+  return s;
+}
+
+const apps::AppModel& app() { return apps::find_app("ASPA"); }
+
+TEST(Job, ConstructionValidation) {
+  EXPECT_THROW(Job(spec(), nullptr), precondition_error);
+  auto bad = spec();
+  bad.nodes = 0;
+  EXPECT_THROW(Job(bad, &app()), precondition_error);
+  bad = spec();
+  bad.runtime_ref_s = 0.0;
+  EXPECT_THROW(Job(bad, &app()), precondition_error);
+}
+
+TEST(Job, LifecycleStates) {
+  Job j(spec(), &app());
+  EXPECT_EQ(j.state(), JobState::kQueued);
+  j.start(100.0, {3, 7});
+  EXPECT_EQ(j.state(), JobState::kRunning);
+  EXPECT_DOUBLE_EQ(j.start_time_s(), 100.0);
+  EXPECT_EQ(j.node_ids(), (std::vector<std::size_t>{3, 7}));
+  j.record_interval(600.0, 1.0, 1e9, 290.0);
+  EXPECT_TRUE(j.work_complete());
+  j.finish(700.0);
+  EXPECT_EQ(j.state(), JobState::kFinished);
+  EXPECT_DOUBLE_EQ(j.runtime_s(), 600.0);
+  EXPECT_TRUE(j.node_ids().empty());
+}
+
+TEST(Job, StartRequiresMatchingAllocation) {
+  Job j(spec(1, 3), &app());
+  EXPECT_THROW(j.start(0.0, {1, 2}), precondition_error);
+}
+
+TEST(Job, DoubleStartRejected) {
+  Job j(spec(), &app());
+  j.start(0.0, {0, 1});
+  EXPECT_THROW(j.start(1.0, {2, 3}), precondition_error);
+}
+
+TEST(Job, ProgressScalesWithPerfFraction) {
+  Job j(spec(1, 2, 100.0), &app());
+  j.start(0.0, {0, 1});
+  j.record_interval(10.0, 0.5, 1e9, 145.0);
+  EXPECT_DOUBLE_EQ(j.progress_s(), 5.0);
+  EXPECT_DOUBLE_EQ(j.remaining_ref_s(), 95.0);
+  EXPECT_FALSE(j.work_complete());
+  // At full perf, 95 more seconds completes it.
+  j.record_interval(95.0, 1.0, 2e9, 290.0);
+  EXPECT_TRUE(j.work_complete());
+  EXPECT_DOUBLE_EQ(j.last_job_ips(), 2e9);
+  EXPECT_DOUBLE_EQ(j.last_cap_w(), 290.0);
+  EXPECT_DOUBLE_EQ(j.last_min_perf(), 1.0);
+}
+
+TEST(Job, RecordValidation) {
+  Job j(spec(), &app());
+  EXPECT_THROW(j.record_interval(10.0, 1.0, 1e9, 290.0), precondition_error);
+  j.start(0.0, {0, 1});
+  EXPECT_THROW(j.record_interval(0.0, 1.0, 1e9, 290.0), precondition_error);
+  EXPECT_THROW(j.record_interval(10.0, -0.1, 1e9, 290.0), precondition_error);
+  EXPECT_THROW(j.record_interval(10.0, 2.0, 1e9, 290.0), precondition_error);
+}
+
+TEST(Job, FinishRequiresRunning) {
+  Job j(spec(), &app());
+  EXPECT_THROW(j.finish(1.0), precondition_error);
+  j.start(0.0, {0, 1});
+  j.finish(5.0);
+  EXPECT_THROW(j.finish(6.0), precondition_error);
+}
+
+TEST(Job, RuntimeRequiresFinished) {
+  Job j(spec(), &app());
+  EXPECT_THROW(j.runtime_s(), precondition_error);
+}
+
+TEST(Job, RemainingNodeHours) {
+  Job j(spec(1, 4, 3600.0), &app());
+  j.start(0.0, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(j.remaining_node_hours(), 4.0);
+  j.record_interval(1800.0, 1.0, 1e9, 290.0);
+  EXPECT_DOUBLE_EQ(j.remaining_node_hours(), 2.0);
+}
+
+TEST(Job, PhaseAdvancesWithProgressNotWallTime) {
+  // ASPA phases are 240 s each; at half speed the first phase lasts 480 s of
+  // wall time but only 240 s of progress.
+  Job j(spec(1, 2, 10000.0), &app());
+  j.start(0.0, {0, 1});
+  EXPECT_EQ(j.current_phase(), 0u);
+  j.record_interval(400.0, 0.5, 1e9, 100.0);  // progress 200 s
+  EXPECT_EQ(j.current_phase(), 0u);
+  j.record_interval(400.0, 0.5, 1e9, 100.0);  // progress 400 s
+  EXPECT_EQ(j.current_phase(), 1u);
+}
+
+TEST(Job, PhaseOffsetShiftsStartingPhase) {
+  auto s = spec(1, 2, 10000.0);
+  s.phase_offset_s = 250.0;  // inside ASPA's second phase
+  Job j(s, &app());
+  j.start(0.0, {0, 1});
+  EXPECT_EQ(j.current_phase(), 1u);
+}
+
+TEST(Job, StateToString) {
+  EXPECT_EQ(to_string(JobState::kQueued), "queued");
+  EXPECT_EQ(to_string(JobState::kRunning), "running");
+  EXPECT_EQ(to_string(JobState::kFinished), "finished");
+}
+
+}  // namespace
+}  // namespace perq::sched

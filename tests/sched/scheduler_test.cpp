@@ -1,0 +1,224 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+
+namespace perq::sched {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : cluster_(make_cluster()) {}
+
+  static sim::Cluster make_cluster() {
+    sim::ClusterConfig cfg;
+    cfg.worst_case_nodes = 8;
+    cfg.over_provision_factor = 1.0;
+    return sim::Cluster(cfg);
+  }
+
+  Job* add_job(int id, std::size_t nodes) {
+    trace::JobSpec s;
+    s.id = id;
+    s.nodes = nodes;
+    s.runtime_ref_s = 100.0;
+    s.app_index = 0;
+    jobs_.push_back(std::make_unique<Job>(s, &apps::find_app("ASPA")));
+    return jobs_.back().get();
+  }
+
+  sim::Cluster cluster_;
+  std::vector<std::unique_ptr<Job>> jobs_;
+};
+
+TEST_F(SchedulerTest, StartsFcfsPrefixThatFits) {
+  Scheduler sched;
+  sched.enqueue(add_job(0, 4));
+  sched.enqueue(add_job(1, 3));
+  sched.enqueue(add_job(2, 2));  // 4+3 fit in 8; 2 does not (1 free)
+  auto started = sched.schedule(cluster_, 0.0);
+  ASSERT_EQ(started.size(), 2u);
+  EXPECT_EQ(started[0]->spec().id, 0);
+  EXPECT_EQ(started[1]->spec().id, 1);
+  EXPECT_EQ(cluster_.free_count(), 1u);
+  EXPECT_EQ(sched.queued_count(), 1u);
+}
+
+TEST_F(SchedulerTest, BackfillsSmallerJobsBehindBlockedHead) {
+  Scheduler sched;
+  sched.enqueue(add_job(0, 6));
+  sched.enqueue(add_job(1, 6));  // blocked: only 2 free after job 0
+  sched.enqueue(add_job(2, 2));  // backfills
+  auto started = sched.schedule(cluster_, 0.0);
+  ASSERT_EQ(started.size(), 2u);
+  EXPECT_EQ(started[0]->spec().id, 0);
+  EXPECT_EQ(started[1]->spec().id, 2);
+  EXPECT_EQ(cluster_.free_count(), 0u);
+  // Head remains queued in order.
+  EXPECT_EQ(sched.queued_count(), 1u);
+}
+
+TEST_F(SchedulerTest, PureFcfsWhenBackfillDisabled) {
+  Scheduler sched(0);
+  sched.enqueue(add_job(0, 6));
+  sched.enqueue(add_job(1, 6));
+  sched.enqueue(add_job(2, 2));
+  auto started = sched.schedule(cluster_, 0.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->spec().id, 0);
+  EXPECT_EQ(cluster_.free_count(), 2u);  // job 2 not backfilled
+}
+
+TEST_F(SchedulerTest, BackfillWindowLimitsLookahead) {
+  Scheduler sched(1);  // examine only one job past the head
+  sched.enqueue(add_job(0, 8));
+  auto first = sched.schedule(cluster_, 0.0);
+  ASSERT_EQ(first.size(), 1u);  // fills the machine
+  sched.enqueue(add_job(1, 8));  // blocked head
+  sched.enqueue(add_job(2, 8));  // within window but does not fit
+  sched.enqueue(add_job(3, 8));  // outside window
+  auto started = sched.schedule(cluster_, 1.0);
+  EXPECT_TRUE(started.empty());
+  EXPECT_EQ(sched.queued_count(), 3u);
+}
+
+TEST_F(SchedulerTest, HeadStartsWhenNodesFree) {
+  Scheduler sched;
+  Job* big = add_job(0, 8);
+  sched.enqueue(big);
+  auto started = sched.schedule(cluster_, 0.0);
+  ASSERT_EQ(started.size(), 1u);
+  // Machine is now full; next job queues.
+  sched.enqueue(add_job(1, 1));
+  EXPECT_TRUE(sched.schedule(cluster_, 1.0).empty());
+  // Free the machine; the queued job starts.
+  auto nodes = big->node_ids();
+  big->record_interval(100.0, 1.0, 1e9, 290.0);
+  big->finish(2.0);
+  cluster_.release(nodes);
+  auto next = sched.schedule(cluster_, 3.0);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0]->spec().id, 1);
+}
+
+TEST_F(SchedulerTest, ManySmallJobsFillMachine) {
+  Scheduler sched;
+  for (int i = 0; i < 20; ++i) sched.enqueue(add_job(i, 1));
+  auto started = sched.schedule(cluster_, 0.0);
+  EXPECT_EQ(started.size(), 8u);
+  EXPECT_EQ(cluster_.free_count(), 0u);
+  EXPECT_EQ(sched.queued_count(), 12u);
+}
+
+TEST_F(SchedulerTest, EnqueueValidation) {
+  Scheduler sched;
+  EXPECT_THROW(sched.enqueue(nullptr), precondition_error);
+  Job* j = add_job(0, 1);
+  j->start(0.0, cluster_.allocate(1));
+  EXPECT_THROW(sched.enqueue(j), precondition_error);
+}
+
+TEST_F(SchedulerTest, StartedJobsHoldDistinctNodes) {
+  Scheduler sched;
+  for (int i = 0; i < 4; ++i) sched.enqueue(add_job(i, 2));
+  auto started = sched.schedule(cluster_, 0.0);
+  std::vector<std::size_t> all;
+  for (auto* j : started) {
+    all.insert(all.end(), j->node_ids().begin(), j->node_ids().end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+  EXPECT_EQ(all.size(), 8u);
+}
+
+class EasyTest : public SchedulerTest {
+ protected:
+  Job* add_timed_job(int id, std::size_t nodes, double runtime_s) {
+    trace::JobSpec spec;
+    spec.id = id;
+    spec.nodes = nodes;
+    spec.runtime_ref_s = runtime_s;
+    spec.app_index = 0;
+    jobs_.push_back(std::make_unique<Job>(spec, &apps::find_app("ASPA")));
+    return jobs_.back().get();
+  }
+};
+
+TEST_F(EasyTest, ShortJobBackfillsBeforeReservation) {
+  Scheduler sched(64, BackfillMode::kEasy);
+  // A 6-node job runs until t=1000; head needs 8 nodes -> reservation 1000.
+  Job* runner = add_timed_job(0, 6, 1000.0);
+  runner->start(0.0, cluster_.allocate(6));
+  std::vector<Job*> running{runner};
+  sched.enqueue(add_timed_job(1, 8, 500.0));   // blocked head
+  sched.enqueue(add_timed_job(2, 2, 400.0));   // ends before 1000: allowed
+  auto started = sched.schedule(cluster_, 100.0, &running);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->spec().id, 2);
+  EXPECT_DOUBLE_EQ(sched.last_shadow_time(), 1000.0);
+}
+
+TEST_F(EasyTest, LongJobMustNotDelayReservation) {
+  Scheduler sched(64, BackfillMode::kEasy);
+  Job* runner = add_timed_job(0, 6, 1000.0);
+  runner->start(0.0, cluster_.allocate(6));
+  std::vector<Job*> running{runner};
+  sched.enqueue(add_timed_job(1, 8, 500.0));    // blocked head, reservation 1000
+  sched.enqueue(add_timed_job(2, 2, 5000.0));   // would run past 1000 on head nodes
+  auto started = sched.schedule(cluster_, 100.0, &running);
+  EXPECT_TRUE(started.empty());
+}
+
+TEST_F(EasyTest, LongJobOnSurplusNodesIsAllowed) {
+  Scheduler sched(64, BackfillMode::kEasy);
+  // Runner holds 6 nodes until t=1000; head needs only 4 of the 8 that will
+  // be free then -> 4 surplus nodes exist for arbitrarily long backfill.
+  Job* runner = add_timed_job(0, 6, 1000.0);
+  runner->start(0.0, cluster_.allocate(6));
+  std::vector<Job*> running{runner};
+  sched.enqueue(add_timed_job(1, 4, 500.0));
+  // Head does not fit? 2 free now < 4... it is blocked. Candidate: 2 nodes,
+  // very long, fits inside the 8 - 4 = 4 surplus at the shadow time.
+  sched.enqueue(add_timed_job(2, 2, 50000.0));
+  auto started = sched.schedule(cluster_, 100.0, &running);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->spec().id, 2);
+}
+
+TEST_F(EasyTest, RequiresRunningList) {
+  Scheduler sched(64, BackfillMode::kEasy);
+  Job* runner = add_timed_job(0, 8, 1000.0);
+  runner->start(0.0, cluster_.allocate(8));
+  sched.enqueue(add_timed_job(1, 4, 100.0));
+  sched.enqueue(add_timed_job(2, 4, 100.0));
+  EXPECT_THROW(sched.schedule(cluster_, 0.0, nullptr), precondition_error);
+}
+
+TEST_F(EasyTest, AggressiveStartsWhatEasyBlocks) {
+  // Same scenario, two policies: aggressive backfills the long job, EASY
+  // refuses it.
+  for (auto mode : {BackfillMode::kAggressive, BackfillMode::kEasy}) {
+    sim::Cluster cluster = make_cluster();
+    Scheduler sched(64, mode);
+    Job* runner = add_timed_job(100 + static_cast<int>(mode), 6, 1000.0);
+    runner->start(0.0, cluster.allocate(6));
+    std::vector<Job*> running{runner};
+    Job* head = add_timed_job(200 + static_cast<int>(mode), 8, 500.0);
+    Job* longjob = add_timed_job(300 + static_cast<int>(mode), 2, 9000.0);
+    sched.enqueue(head);
+    sched.enqueue(longjob);
+    auto started = sched.schedule(cluster, 10.0, &running);
+    if (mode == BackfillMode::kAggressive) {
+      EXPECT_EQ(started.size(), 1u);
+    } else {
+      EXPECT_TRUE(started.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace perq::sched

@@ -1,0 +1,141 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace perq::sim {
+namespace {
+
+ClusterConfig small_config(double f = 2.0) {
+  ClusterConfig cfg;
+  cfg.worst_case_nodes = 8;
+  cfg.over_provision_factor = f;
+  cfg.seed = 1;
+  return cfg;
+}
+
+TEST(ClusterConfig, SizingMath) {
+  auto cfg = small_config(1.5);
+  EXPECT_EQ(cfg.total_nodes(), 12u);
+  EXPECT_DOUBLE_EQ(cfg.power_budget_w(), 8 * 290.0);
+}
+
+TEST(ClusterConfig, RoundsNodeCount) {
+  auto cfg = small_config(1.3);  // 10.4 -> 10
+  EXPECT_EQ(cfg.total_nodes(), 10u);
+}
+
+TEST(Cluster, ConstructionInvariants) {
+  Cluster c(small_config());
+  EXPECT_EQ(c.size(), 16u);
+  EXPECT_EQ(c.worst_case_nodes(), 8u);
+  EXPECT_EQ(c.free_count(), 16u);
+  EXPECT_DOUBLE_EQ(c.power_budget_w(), 8 * 290.0);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_FALSE(c.is_busy(i));
+}
+
+TEST(Cluster, RejectsBadConfig) {
+  auto cfg = small_config();
+  cfg.worst_case_nodes = 0;
+  EXPECT_THROW(Cluster c(cfg), precondition_error);
+  cfg = small_config(0.5);
+  EXPECT_THROW(Cluster c(cfg), precondition_error);
+}
+
+TEST(Cluster, AllocateAndRelease) {
+  Cluster c(small_config());
+  auto ids = c.allocate(5);
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(c.free_count(), 11u);
+  for (auto id : ids) EXPECT_TRUE(c.is_busy(id));
+  c.release(ids);
+  EXPECT_EQ(c.free_count(), 16u);
+  for (auto id : ids) EXPECT_FALSE(c.is_busy(id));
+}
+
+TEST(Cluster, AllocationIsAllOrNothing) {
+  Cluster c(small_config());
+  auto a = c.allocate(10);
+  EXPECT_EQ(a.size(), 10u);
+  auto b = c.allocate(7);  // only 6 free
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.free_count(), 6u);
+  auto d = c.allocate(6);
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(c.free_count(), 0u);
+}
+
+TEST(Cluster, AllocateRejectsZero) {
+  Cluster c(small_config());
+  EXPECT_THROW(c.allocate(0), precondition_error);
+}
+
+TEST(Cluster, DoubleReleaseRejected) {
+  Cluster c(small_config());
+  auto ids = c.allocate(2);
+  c.release(ids);
+  EXPECT_THROW(c.release(ids), precondition_error);
+}
+
+TEST(Cluster, AllocatedIdsAreUnique) {
+  Cluster c(small_config());
+  auto a = c.allocate(8);
+  auto b = c.allocate(8);
+  std::vector<std::size_t> all(a);
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST(Cluster, ReleasedNodeCapResetsToFloor) {
+  Cluster c(small_config());
+  auto ids = c.allocate(1);
+  c.node(ids[0]).set_cap(290.0);
+  c.release(ids);
+  EXPECT_DOUBLE_EQ(c.node(ids[0]).target_cap(), apps::node_power_spec().cap_min);
+}
+
+TEST(Cluster, CommittedPowerAccountsBusyAndIdle) {
+  Cluster c(small_config());
+  const auto& spec = apps::node_power_spec();
+  // All free: 16 nodes at idle.
+  EXPECT_DOUBLE_EQ(c.committed_power_w(), 16 * spec.idle);
+  auto ids = c.allocate(4);
+  for (auto id : ids) c.node(id).set_cap(200.0);
+  EXPECT_DOUBLE_EQ(c.committed_power_w(), 4 * 200.0 + 12 * spec.idle);
+}
+
+TEST(Cluster, BudgetForBusyNodesReservesIdleFloor) {
+  Cluster c(small_config());
+  const auto& spec = apps::node_power_spec();
+  EXPECT_DOUBLE_EQ(c.budget_for_busy_nodes_w(),
+                   c.power_budget_w() - 16 * spec.idle);
+  c.allocate(16);
+  EXPECT_DOUBLE_EQ(c.budget_for_busy_nodes_w(), c.power_budget_w());
+}
+
+TEST(Cluster, StepIdleNodesReturnsTotalIdleDraw) {
+  Cluster c(small_config());
+  c.allocate(6);
+  const double draw = c.step_idle_nodes(10.0);
+  EXPECT_DOUBLE_EQ(draw, 10 * apps::node_power_spec().idle);
+}
+
+TEST(Cluster, NodeAccessBoundsChecked) {
+  Cluster c(small_config());
+  EXPECT_NO_THROW(c.node(15));
+  EXPECT_THROW(c.node(16), precondition_error);
+  EXPECT_THROW(c.is_busy(99), precondition_error);
+}
+
+TEST(Cluster, WorstCaseProvisioningHasNoExtraNodes) {
+  Cluster c(small_config(1.0));
+  EXPECT_EQ(c.size(), c.worst_case_nodes());
+  // At f=1 every node can run at TDP within budget.
+  c.allocate(8);
+  EXPECT_GE(c.budget_for_busy_nodes_w(), 8 * 290.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace perq::sim

@@ -1,0 +1,191 @@
+#include "sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+#include "util/stats.hpp"
+
+namespace perq::sim {
+namespace {
+
+Node make_node(std::uint64_t seed = 1, NodeConfig cfg = {}) {
+  return Node(0, Rng(seed), cfg);
+}
+
+TEST(Node, StartsAtTdp) {
+  auto n = make_node();
+  EXPECT_DOUBLE_EQ(n.target_cap(), 290.0);
+  EXPECT_DOUBLE_EQ(n.effective_cap(), 290.0);
+}
+
+TEST(Node, SetCapClampsToRange) {
+  auto n = make_node();
+  n.set_cap(10.0);
+  EXPECT_DOUBLE_EQ(n.target_cap(), 90.0);
+  n.set_cap(1000.0);
+  EXPECT_DOUBLE_EQ(n.target_cap(), 290.0);
+  n.set_cap(150.0);
+  EXPECT_DOUBLE_EQ(n.target_cap(), 150.0);
+}
+
+TEST(Node, CapActuationLagsFirstOrder) {
+  NodeConfig cfg;
+  cfg.cap_lag_tau_s = 10.0;
+  cfg.ips_noise_sigma = 0.0;
+  auto n = make_node(1, cfg);
+  n.set_cap(90.0);
+  // After one tau, ~63% of the step should be applied.
+  n.step_idle(10.0);
+  const double expect = 90.0 + (290.0 - 90.0) * std::exp(-1.0);
+  EXPECT_NEAR(n.effective_cap(), expect, 1e-9);
+  // Converges eventually.
+  for (int i = 0; i < 20; ++i) n.step_idle(10.0);
+  EXPECT_NEAR(n.effective_cap(), 90.0, 0.1);
+}
+
+TEST(Node, ZeroLagActsInstantly) {
+  NodeConfig cfg;
+  cfg.cap_lag_tau_s = 0.0;
+  auto n = make_node(1, cfg);
+  n.set_cap(120.0);
+  n.step_idle(10.0);
+  EXPECT_DOUBLE_EQ(n.effective_cap(), 120.0);
+}
+
+TEST(Node, IdleStepDrawsIdlePowerAndNoIps) {
+  auto n = make_node();
+  const auto s = n.step_idle(10.0);
+  EXPECT_DOUBLE_EQ(s.ips, 0.0);
+  EXPECT_DOUBLE_EQ(s.power_w, apps::node_power_spec().idle);
+}
+
+TEST(Node, BusyStepReportsAppIps) {
+  NodeConfig cfg;
+  cfg.ips_noise_sigma = 0.0;
+  cfg.cap_lag_tau_s = 0.0;
+  auto n = make_node(1, cfg);
+  const auto& app = apps::find_app("ASPA");
+  n.set_cap(290.0);
+  const auto s = n.step_busy(10.0, app, 0);
+  EXPECT_NEAR(s.ips, app.node_ips(290.0, 0), 1e-6);
+  EXPECT_NEAR(s.power_w, app.power_draw_w(290.0, 0), 1e-9);
+}
+
+TEST(Node, DrawNeverExceedsEffectiveCap) {
+  auto n = make_node(3);
+  const auto& app = apps::find_app("SimpleMOC");
+  n.set_cap(150.0);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = n.step_busy(10.0, app, 0);
+    EXPECT_LE(s.power_w, std::max(n.effective_cap(), apps::node_power_spec().idle) + 1e-9);
+  }
+}
+
+TEST(Node, NoiseHasConfiguredMagnitude) {
+  NodeConfig cfg;
+  cfg.ips_noise_sigma = 0.02;
+  cfg.cap_lag_tau_s = 0.0;
+  auto n = make_node(5, cfg);
+  const auto& app = apps::find_app("CoMD");
+  const double truth = app.node_ips(200.0, 0);
+  n.set_cap(200.0);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(n.step_busy(10.0, app, 0).ips);
+  EXPECT_NEAR(stats.mean(), truth, 0.005 * truth);
+  EXPECT_NEAR(stats.stddev() / truth, 0.02, 0.005);
+}
+
+TEST(Node, NoiseFloorPreventsNegativeIps) {
+  NodeConfig cfg;
+  cfg.ips_noise_sigma = 2.0;  // absurdly noisy
+  auto n = make_node(6, cfg);
+  const auto& app = apps::find_app("CoMD");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GT(n.step_busy(10.0, app, 0).ips, 0.0);
+  }
+}
+
+TEST(Node, DifferentSeedsGiveDifferentNoise) {
+  NodeConfig cfg;
+  cfg.ips_noise_sigma = 0.02;
+  auto a = make_node(7, cfg);
+  auto b = make_node(8, cfg);
+  const auto& app = apps::find_app("CoMD");
+  EXPECT_NE(a.step_busy(10.0, app, 0).ips, b.step_busy(10.0, app, 0).ips);
+}
+
+TEST(Node, RejectsNonPositiveDt) {
+  auto n = make_node();
+  EXPECT_THROW(n.step_idle(0.0), precondition_error);
+  EXPECT_THROW(n.step_busy(-1.0, apps::find_app("ASPA"), 0), precondition_error);
+}
+
+TEST(Node, RejectsBadConfig) {
+  NodeConfig cfg;
+  cfg.cap_lag_tau_s = -1.0;
+  EXPECT_THROW(Node(0, Rng(1), cfg), precondition_error);
+  cfg = NodeConfig{};
+  cfg.ips_noise_sigma = -0.1;
+  EXPECT_THROW(Node(0, Rng(1), cfg), precondition_error);
+}
+
+TEST(Node, PerfFractionUsesEffectiveCap) {
+  NodeConfig cfg;
+  cfg.cap_lag_tau_s = 0.0;
+  cfg.ips_noise_sigma = 0.0;
+  auto n = make_node(1, cfg);
+  const auto& app = apps::find_app("SimpleMOC");
+  n.set_cap(150.0);
+  n.step_idle(10.0);
+  EXPECT_NEAR(n.perf_fraction(app, 0), app.perf_fraction(150.0, 0), 1e-12);
+}
+
+TEST(Node, NoVariabilityByDefault) {
+  auto n = make_node(31);
+  EXPECT_DOUBLE_EQ(n.perf_scale(), 1.0);
+}
+
+TEST(Node, VariabilityGivesFixedPerNodeMultiplier) {
+  NodeConfig cfg;
+  cfg.perf_variability_sigma = 0.05;
+  cfg.ips_noise_sigma = 0.0;
+  cfg.cap_lag_tau_s = 0.0;
+  auto n = Node(0, Rng(41), cfg);
+  EXPECT_GE(n.perf_scale(), 0.85);
+  EXPECT_LE(n.perf_scale(), 1.15);
+  // The multiplier is constant over the node's life and scales its IPS.
+  const auto& app = apps::find_app("CoMD");
+  const double scale = n.perf_scale();
+  for (int i = 0; i < 5; ++i) {
+    const auto s = n.step_busy(10.0, app, 0);
+    EXPECT_NEAR(s.ips, app.node_ips(290.0, 0) * scale, 1e-6);
+    EXPECT_DOUBLE_EQ(n.perf_scale(), scale);
+  }
+  EXPECT_NEAR(n.perf_fraction(app, 0), scale, 1e-12);
+}
+
+TEST(Node, VariabilityDiffersAcrossNodes) {
+  NodeConfig cfg;
+  cfg.perf_variability_sigma = 0.05;
+  Rng seeder(5);
+  double lo = 2.0, hi = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    Node n(static_cast<std::size_t>(i), seeder.split(), cfg);
+    lo = std::min(lo, n.perf_scale());
+    hi = std::max(hi, n.perf_scale());
+  }
+  EXPECT_LT(lo, 0.99);
+  EXPECT_GT(hi, 1.01);
+}
+
+TEST(Node, VariabilityRejectsNegativeSigma) {
+  NodeConfig cfg;
+  cfg.perf_variability_sigma = -0.1;
+  EXPECT_THROW(Node(0, Rng(1), cfg), precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::sim

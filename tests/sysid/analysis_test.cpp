@@ -1,0 +1,140 @@
+#include "sysid/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/node_model.hpp"
+#include "linalg/eigen.hpp"
+#include "util/require.hpp"
+
+namespace perq::sysid {
+namespace {
+
+using linalg::Matrix;
+
+ArxModel example_arx() {
+  ArxModel m;
+  m.a = {0.6, 0.1, -0.05};
+  m.b = {0.2, 0.05, 0.01};
+  m.b0 = 0.3;
+  return m;
+}
+
+TEST(Analysis, PolesMatchCharacteristicRoots) {
+  const auto ss = StateSpaceModel::from_arx(example_arx());
+  const auto ps = poles(ss);
+  ASSERT_EQ(ps.size(), 3u);
+  // Each pole satisfies z^3 = a1 z^2 + a2 z + a3.
+  for (const auto& z : ps) {
+    const auto lhs = z * z * z;
+    const auto rhs = 0.6 * z * z + 0.1 * z - 0.05;
+    EXPECT_NEAR(std::abs(lhs - rhs), 0.0, 1e-8);
+  }
+}
+
+TEST(Analysis, StabilityMarginPositiveForStableModel) {
+  const auto ss = StateSpaceModel::from_arx(example_arx());
+  EXPECT_GT(stability_margin(ss), 0.0);
+  ArxModel unstable;
+  unstable.a = {1.2};
+  unstable.b = {1.0};
+  EXPECT_LT(stability_margin(StateSpaceModel::from_arx(unstable)), 0.0);
+}
+
+TEST(Analysis, ObservableCanonicalFormIsObservable) {
+  // The observable canonical realization is observable by construction.
+  const auto ss = StateSpaceModel::from_arx(example_arx());
+  EXPECT_TRUE(is_observable(ss));
+}
+
+TEST(Analysis, ControllabilityMatrixStructure) {
+  const auto ss = StateSpaceModel::from_arx(example_arx());
+  const auto ctrb = controllability_matrix(ss);
+  ASSERT_EQ(ctrb.rows(), 3u);
+  // First column is B; second is A*B.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(ctrb(i, 0), ss.B()(i, 0));
+  }
+  const auto ab = ss.A() * ss.B();
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(ctrb(i, 1), ab(i, 0), 1e-12);
+  }
+}
+
+TEST(Analysis, UncontrollableModeDetected) {
+  // A diagonal system whose second mode has zero input coupling.
+  const Matrix a = Matrix::diagonal({0.5, 0.3});
+  Matrix b(2, 1);
+  b(0, 0) = 1.0;  // mode 2 unreachable
+  Matrix c(1, 2, 1.0);
+  const StateSpaceModel ss(a, b, c);
+  EXPECT_FALSE(is_controllable(ss));
+  EXPECT_TRUE(is_observable(ss));
+}
+
+TEST(Analysis, UnobservableModeDetected) {
+  const Matrix a = Matrix::diagonal({0.5, 0.3});
+  const Matrix b(2, 1, 1.0);
+  Matrix c(1, 2);
+  c(0, 0) = 1.0;  // mode 2 invisible
+  const StateSpaceModel ss(a, b, c);
+  EXPECT_TRUE(is_controllable(ss));
+  EXPECT_FALSE(is_observable(ss));
+}
+
+TEST(Analysis, GramiansSolveTheirLyapunovEquations) {
+  const auto ss = StateSpaceModel::from_arx(example_arx());
+  const auto wc = controllability_gramian(ss);
+  const auto wo = observability_gramian(ss);
+  EXPECT_TRUE(linalg::approx_equal(
+      ss.A() * wc * ss.A().transposed() + ss.B() * ss.B().transposed(), wc, 1e-9));
+  EXPECT_TRUE(linalg::approx_equal(
+      ss.A().transposed() * wo * ss.A() + ss.C().transposed() * ss.C(), wo, 1e-9));
+}
+
+TEST(Analysis, CanonicalNodeModelIsControllableAndObservable) {
+  // The paper's claim for its identified model, checked on ours.
+  const auto& model = core::canonical_node_model();
+  EXPECT_TRUE(is_controllable(model.ss(), 1e-12));
+  EXPECT_TRUE(is_observable(model.ss(), 1e-12));
+  EXPECT_GT(stability_margin(model.ss()), 0.0);
+}
+
+TEST(Analysis, OrderSweepScoresAllOrders) {
+  const auto segments = core::collect_training_segments(5, 300, 10.0);
+  const auto candidates = sweep_model_order(segments, 5);
+  ASSERT_EQ(candidates.size(), 5u);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    EXPECT_EQ(candidates[i].order, i + 1);
+  }
+  // At least one stable candidate, and selection picks a stable one.
+  const std::size_t chosen = select_model_order(candidates);
+  EXPECT_GE(chosen, 1u);
+  EXPECT_LE(chosen, 5u);
+  EXPECT_TRUE(candidates[chosen - 1].stable);
+}
+
+TEST(Analysis, HigherOrderDoesNotBeatOrderThreeByMuch) {
+  // Justifies the paper's fixed choice of order 3: past order ~2-3 the
+  // validation fit plateaus.
+  const auto segments = core::collect_training_segments(6, 300, 10.0);
+  const auto candidates = sweep_model_order(segments, 6);
+  double fit3 = 0.0, best_fit = 0.0;
+  for (const auto& c : candidates) {
+    if (c.order == 3) fit3 = c.fit_percent;
+    best_fit = std::max(best_fit, c.fit_percent);
+  }
+  EXPECT_GT(fit3, best_fit - 5.0);
+}
+
+TEST(Analysis, SelectOrderRejectsDegenerateInput) {
+  EXPECT_THROW(select_model_order({}), precondition_error);
+  OrderCandidate unstable;
+  unstable.order = 1;
+  unstable.stable = false;
+  EXPECT_THROW(select_model_order({unstable}), precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::sysid

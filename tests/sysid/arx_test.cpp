@@ -1,0 +1,207 @@
+#include "sysid/arx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace perq::sysid {
+namespace {
+
+using linalg::Vector;
+
+ArxModel known_model() {
+  ArxModel m;
+  m.a = {0.5, 0.2};
+  m.b = {0.3, 0.1};
+  m.b0 = 0.4;
+  return m;
+}
+
+TEST(ArxModel, PredictMatchesHandComputation) {
+  auto m = known_model();
+  // y(k) = 0.4*u(k) + 0.5*y(k-1) + 0.2*y(k-2) + 0.3*u(k-1) + 0.1*u(k-2)
+  const double y = m.predict(1.0, Vector{2.0, 3.0}, Vector{0.5, 0.25});
+  EXPECT_NEAR(y, 0.4 + 1.0 + 0.6 + 0.15 + 0.025, 1e-12);
+}
+
+TEST(ArxModel, PredictRejectsShortHistory) {
+  auto m = known_model();
+  EXPECT_THROW(m.predict(1.0, Vector{1.0}, Vector{1.0, 1.0}), precondition_error);
+  EXPECT_THROW(m.predict(1.0, Vector{1.0, 1.0}, Vector{1.0}), precondition_error);
+}
+
+TEST(ArxModel, SimulateStepResponseConvergesToDcGain) {
+  auto m = known_model();
+  Vector u(200, 1.0);
+  Vector y = m.simulate(u);
+  EXPECT_NEAR(y.back(), m.dc_gain(), 1e-9);
+}
+
+TEST(ArxModel, SimulateZeroInputStaysZero) {
+  auto m = known_model();
+  Vector y = m.simulate(Vector(50, 0.0));
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ArxModel, SimulateWithSeedDecaysFromInitialCondition) {
+  ArxModel m;
+  m.a = {0.5};
+  m.b = {0.0};
+  // y(k) = 0.5 y(k-1): geometric decay from the seed.
+  Vector y = m.simulate(Vector(4, 0.0), Vector{2.0});
+  EXPECT_NEAR(y[0], 1.0, 1e-12);
+  EXPECT_NEAR(y[1], 0.5, 1e-12);
+  EXPECT_NEAR(y[2], 0.25, 1e-12);
+}
+
+TEST(ArxModel, DcGainKnownValue) {
+  auto m = known_model();
+  // (0.4 + 0.3 + 0.1) / (1 - 0.7)
+  EXPECT_NEAR(m.dc_gain(), 0.8 / 0.3, 1e-12);
+}
+
+TEST(ArxModel, DcGainRejectsUnitPole) {
+  ArxModel m;
+  m.a = {1.0};
+  m.b = {0.5};
+  EXPECT_THROW(m.dc_gain(), precondition_error);
+}
+
+TEST(ArxModel, StabilityFirstOrder) {
+  ArxModel m;
+  m.b = {1.0};
+  m.a = {0.5};
+  EXPECT_TRUE(m.is_stable());
+  m.a = {1.5};
+  EXPECT_FALSE(m.is_stable());
+  m.a = {-0.99};
+  EXPECT_TRUE(m.is_stable());
+  m.a = {-1.01};
+  EXPECT_FALSE(m.is_stable());
+}
+
+TEST(ArxModel, StabilitySecondOrder) {
+  ArxModel m;
+  m.b = {1.0};
+  m.a = {0.5, 0.4};  // roots 0.93, -0.43
+  EXPECT_TRUE(m.is_stable());
+  m.a = {1.0, 0.1};  // root > 1
+  EXPECT_FALSE(m.is_stable());
+  m.a = {0.0, -0.5};  // complex roots, |z| = sqrt(0.5)
+  EXPECT_TRUE(m.is_stable());
+  m.a = {0.0, -1.1};  // complex roots outside
+  EXPECT_FALSE(m.is_stable());
+}
+
+TEST(ArxModel, StabilityMarginalIsRejected) {
+  ArxModel m;
+  m.b = {1.0};
+  m.a = {1.0};  // pole exactly at 1
+  EXPECT_FALSE(m.is_stable());
+}
+
+TEST(FitArx, RecoversKnownModelExactly) {
+  auto truth = known_model();
+  Rng rng(3);
+  Vector u(600);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  Vector y = truth.simulate(u);
+  auto fit = fit_arx(u, y, 2, 2);
+  // Tolerance reflects the tiny identification ridge, not noise.
+  EXPECT_NEAR(fit.a[0], truth.a[0], 1e-4);
+  EXPECT_NEAR(fit.a[1], truth.a[1], 1e-4);
+  EXPECT_NEAR(fit.b0, truth.b0, 1e-4);
+  EXPECT_NEAR(fit.b[0], truth.b[0], 1e-4);
+  EXPECT_NEAR(fit.b[1], truth.b[1], 1e-4);
+}
+
+TEST(FitArx, RobustToModestNoise) {
+  auto truth = known_model();
+  Rng rng(4);
+  Vector u(4000);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  Vector y = truth.simulate(u);
+  for (auto& v : y) v += rng.normal(0.0, 0.01);
+  auto fit = fit_arx(u, y, 2, 2);
+  EXPECT_NEAR(fit.dc_gain(), truth.dc_gain(), 0.15);
+  EXPECT_TRUE(fit.is_stable());
+}
+
+TEST(FitArx, OverparameterizedStillPredictsWell) {
+  auto truth = known_model();
+  Rng rng(5);
+  Vector u(2000);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  Vector y = truth.simulate(u);
+  auto fit = fit_arx(u, y, 3, 3);  // higher order than the truth
+  Vector y_hat = fit.simulate(u);
+  EXPECT_GT(nrmse_fit(y, y_hat), 99.0);
+}
+
+TEST(FitArx, RejectsBadInputs) {
+  Vector u(100, 1.0), y(99, 1.0);
+  EXPECT_THROW(fit_arx(u, y, 2, 2), precondition_error);
+  EXPECT_THROW(fit_arx(Vector(5, 1.0), Vector(5, 1.0), 2, 2), precondition_error);
+  EXPECT_THROW(fit_arx(Vector(100, 1.0), Vector(100, 1.0), 0, 2), precondition_error);
+}
+
+TEST(FitArx, ConstantInputHandledGracefully) {
+  // With u identically constant and y constant, the regression cannot
+  // separate gain from autoregression; the identification ridge resolves
+  // the ambiguity to *a* consistent model instead of failing.
+  Vector u(100, 1.0), y(100, 2.0);
+  ArxModel fit;
+  EXPECT_NO_THROW(fit = fit_arx(u, y, 2, 2));
+  // The fitted model must still reproduce the constant record.
+  EXPECT_NEAR(fit.predict(1.0, Vector{2.0, 2.0}, Vector{1.0, 1.0}), 2.0, 1e-3);
+}
+
+TEST(Nrmse, PerfectFitIs100) {
+  Vector y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(nrmse_fit(y, y), 100.0);
+}
+
+TEST(Nrmse, MeanPredictorIsZero) {
+  Vector y{1, 2, 3};
+  Vector mean_pred(3, 2.0);
+  EXPECT_NEAR(nrmse_fit(y, mean_pred), 0.0, 1e-12);
+}
+
+TEST(Nrmse, ConstantSeriesEdgeCases) {
+  Vector y(5, 3.0);
+  EXPECT_DOUBLE_EQ(nrmse_fit(y, y), 100.0);
+  Vector off(5, 4.0);
+  EXPECT_DOUBLE_EQ(nrmse_fit(y, off), 0.0);
+}
+
+TEST(Nrmse, RejectsMismatchedSizes) {
+  EXPECT_THROW(nrmse_fit(Vector{1.0}, Vector{1.0, 2.0}), precondition_error);
+  EXPECT_THROW(nrmse_fit(Vector{}, Vector{}), precondition_error);
+}
+
+class FitOrderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FitOrderSweep, StableFitOnStablePlant) {
+  const std::size_t order = GetParam();
+  ArxModel truth;
+  truth.a.assign(order, 0.0);
+  truth.a[0] = 0.6;
+  truth.b.assign(order, 0.1);
+  truth.b0 = 0.2;
+  Rng rng(10 + order);
+  Vector u(3000);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  Vector y = truth.simulate(u);
+  for (auto& v : y) v += rng.normal(0.0, 0.005);
+  auto fit = fit_arx(u, y, order, order);
+  EXPECT_TRUE(fit.is_stable());
+  EXPECT_NEAR(fit.dc_gain(), truth.dc_gain(), 0.2 * std::abs(truth.dc_gain()) + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, FitOrderSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace perq::sysid

@@ -1,0 +1,180 @@
+#include "sysid/identify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace perq::sysid {
+namespace {
+
+using linalg::Vector;
+
+ExcitationConfig small_config(std::uint64_t seed = 1) {
+  ExcitationConfig cfg;
+  cfg.cap_min = 90;
+  cfg.cap_max = 290;
+  cfg.samples = 400;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Excitation, ProducesRequestedSampleCount) {
+  auto data = collect_excitation([](double cap) { return cap; }, small_config());
+  EXPECT_EQ(data.u.size(), 400u);
+  EXPECT_EQ(data.y.size(), 400u);
+}
+
+TEST(Excitation, CapsStayWithinRange) {
+  auto data = collect_excitation([](double cap) { return cap; }, small_config());
+  for (double c : data.u) {
+    EXPECT_GE(c, 90.0);
+    EXPECT_LE(c, 290.0);
+  }
+}
+
+TEST(Excitation, HoldsRespectConfiguredRange) {
+  auto cfg = small_config();
+  cfg.hold_min = 3;
+  cfg.hold_max = 5;
+  auto data = collect_excitation([](double cap) { return cap; }, cfg);
+  // Count run lengths of constant cap; all complete runs must be 3..5.
+  std::size_t run = 1;
+  for (std::size_t i = 1; i < data.u.size(); ++i) {
+    if (data.u[i] == data.u[i - 1]) {
+      ++run;
+    } else {
+      EXPECT_GE(run, 3u);
+      EXPECT_LE(run, 5u);
+      run = 1;
+    }
+  }
+}
+
+TEST(Excitation, DeterministicForSameSeed) {
+  auto a = collect_excitation([](double cap) { return 2 * cap; }, small_config(9));
+  auto b = collect_excitation([](double cap) { return 2 * cap; }, small_config(9));
+  EXPECT_EQ(a.u, b.u);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(Excitation, ValidatesConfig) {
+  auto cfg = small_config();
+  cfg.cap_min = cfg.cap_max;
+  EXPECT_THROW(collect_excitation([](double) { return 1.0; }, cfg),
+               precondition_error);
+  cfg = small_config();
+  cfg.hold_min = 0;
+  EXPECT_THROW(collect_excitation([](double) { return 1.0; }, cfg),
+               precondition_error);
+  cfg = small_config();
+  cfg.samples = 4;
+  EXPECT_THROW(collect_excitation([](double) { return 1.0; }, cfg),
+               precondition_error);
+  EXPECT_THROW(collect_excitation(Plant{}, small_config()), precondition_error);
+}
+
+/// A synthetic LTI plant: first-order lag toward 0.004 * cap, scaled to IPS.
+class LagPlant {
+ public:
+  double operator()(double cap) {
+    const double target = 1e9 + 3e6 * cap;
+    state_ += 0.9 * (target - state_);
+    return state_;
+  }
+
+ private:
+  double state_ = 1e9;
+};
+
+TEST(Identify, RecoversStaticSensitivityOfLinearPlant) {
+  LagPlant plant;
+  auto cfg = small_config(3);
+  cfg.samples = 2000;
+  auto data = collect_excitation(std::ref(plant), cfg);
+  auto model = identify(data, 3, 3);
+
+  // Steady-state slope should be ~3e6 IPS per watt.
+  const double slope =
+      (model.steady_state(290.0) - model.steady_state(90.0)) / 200.0;
+  EXPECT_NEAR(slope, 3e6, 0.1 * 3e6);
+  EXPECT_GT(model.fit_percent(), 90.0);
+  EXPECT_TRUE(model.arx().is_stable());
+}
+
+TEST(Identify, NormalizationRoundTrips) {
+  LagPlant plant;
+  auto data = collect_excitation(std::ref(plant), small_config(4));
+  auto model = identify(data);
+  // normalize_u is centered: the mean cap maps to ~0.
+  EXPECT_NEAR(model.normalize_u(model.u_mean()), 0.0, 1e-12);
+  EXPECT_GT(model.u_scale(), 0.0);
+  EXPECT_GT(model.y_scale(), 0.0);
+}
+
+TEST(Identify, SegmentsWithDifferentScalesProduceOneModel) {
+  // Two plants with 10x different output scales but the same relative
+  // sensitivity: per-segment normalization must make them compatible.
+  auto make_plant = [](double scale) {
+    return [scale, state = 0.0](double cap) mutable {
+      const double target = scale * (1.0 + 0.002 * (cap - 190.0));
+      state += 0.9 * (target - state);
+      return state;
+    };
+  };
+  auto cfg = small_config(5);
+  cfg.samples = 1200;
+  std::vector<ExcitationData> segs;
+  segs.push_back(collect_excitation(make_plant(1e9), cfg));
+  cfg.seed = 6;
+  segs.push_back(collect_excitation(make_plant(1e10), cfg));
+  auto model = identify_segments(segs);
+  EXPECT_GT(model.fit_percent(), 85.0);
+  // y_scale is the average of the two segment means (~5.5e9 +- transients).
+  EXPECT_GT(model.y_scale(), 1e9);
+  EXPECT_LT(model.y_scale(), 1e10);
+  // Relative steady-state sensitivity ~0.002 per watt.
+  const double rel_slope = (model.steady_state(290.0) - model.steady_state(90.0)) /
+                           (200.0 * model.y_scale());
+  EXPECT_NEAR(rel_slope, 0.002, 0.0005);
+}
+
+TEST(Identify, RejectsDegenerateData) {
+  ExcitationData d;
+  d.u.assign(100, 1.0);
+  d.y.assign(99, 1.0);
+  EXPECT_THROW(identify(d), precondition_error);
+  d.y.assign(100, 0.0);  // zero output mean
+  EXPECT_THROW(identify(d), precondition_error);
+  EXPECT_THROW(identify_segments({}), precondition_error);
+}
+
+TEST(Identify, ShortSegmentRejected) {
+  ExcitationData d;
+  d.u.assign(10, 1.0);
+  d.y.assign(10, 1.0);
+  EXPECT_THROW(identify_segments({d}), precondition_error);
+}
+
+TEST(IdentifiedModel, SteadyStateIsAffineInCap) {
+  LagPlant plant;
+  auto data = collect_excitation(std::ref(plant), small_config(8));
+  auto model = identify(data);
+  const double y1 = model.steady_state(100.0);
+  const double y2 = model.steady_state(150.0);
+  const double y3 = model.steady_state(200.0);
+  EXPECT_NEAR(y3 - y2, y2 - y1, 1e-6 * std::abs(y2));
+}
+
+TEST(IdentifiedModel, ValidatesScales) {
+  ArxModel arx;
+  arx.a = {0.5};
+  arx.b = {0.2};
+  EXPECT_THROW(IdentifiedModel(arx, 190.0, 0.0, 1.0, 50.0), precondition_error);
+  EXPECT_THROW(IdentifiedModel(arx, 190.0, 1.0, -1.0, 50.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::sysid

@@ -1,0 +1,144 @@
+#include "sysid/statespace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace perq::sysid {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using linalg::operator-;
+
+ArxModel example_arx() {
+  ArxModel m;
+  m.a = {0.6, 0.1, -0.05};
+  m.b = {0.2, 0.05, 0.01};
+  m.b0 = 0.3;
+  return m;
+}
+
+TEST(StateSpace, ShapeValidation) {
+  EXPECT_THROW(StateSpaceModel(Matrix(2, 3), Matrix(2, 1), Matrix(1, 2)),
+               precondition_error);
+  EXPECT_THROW(StateSpaceModel(Matrix(2, 2), Matrix(3, 1), Matrix(1, 2)),
+               precondition_error);
+  EXPECT_THROW(StateSpaceModel(Matrix(2, 2), Matrix(2, 1), Matrix(1, 3)),
+               precondition_error);
+  EXPECT_NO_THROW(StateSpaceModel(Matrix(2, 2), Matrix(2, 1), Matrix(1, 2)));
+}
+
+TEST(StateSpace, FromArxMatchesArxSimulation) {
+  auto arx = example_arx();
+  auto ss = StateSpaceModel::from_arx(arx);
+  EXPECT_EQ(ss.order(), 3u);
+  Rng rng(2);
+  Vector u(100);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  const Vector y_arx = arx.simulate(u);
+  const Vector y_ss = ss.simulate(Vector(3, 0.0), u);
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    EXPECT_NEAR(y_ss[k], y_arx[k], 1e-10) << "k=" << k;
+  }
+}
+
+TEST(StateSpace, FromArxUnequalOrders) {
+  ArxModel arx;
+  arx.a = {0.5};
+  arx.b = {0.1, 0.2, 0.05};  // nb > na
+  arx.b0 = 0.0;
+  auto ss = StateSpaceModel::from_arx(arx);
+  EXPECT_EQ(ss.order(), 3u);
+  Rng rng(3);
+  Vector u(60);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  const Vector y_arx = arx.simulate(u);
+  const Vector y_ss = ss.simulate(Vector(3, 0.0), u);
+  EXPECT_TRUE(linalg::approx_equal(y_arx, y_ss, 1e-10));
+}
+
+TEST(StateSpace, DcGainMatchesArx) {
+  auto arx = example_arx();
+  auto ss = StateSpaceModel::from_arx(arx);
+  EXPECT_NEAR(ss.dc_gain(), arx.dc_gain(), 1e-10);
+}
+
+TEST(StateSpace, FeedthroughAppearsImmediately) {
+  auto arx = example_arx();
+  auto ss = StateSpaceModel::from_arx(arx);
+  // First output of a unit step from rest equals D = b0.
+  EXPECT_NEAR(ss.output(Vector(3, 0.0), 1.0), arx.b0, 1e-12);
+  EXPECT_DOUBLE_EQ(ss.D(), arx.b0);
+}
+
+TEST(StateSpace, StepAdvancesState) {
+  auto ss = StateSpaceModel::from_arx(example_arx());
+  Vector x(3, 0.0);
+  Vector x1 = ss.step(x, 1.0);
+  EXPECT_NE(linalg::norm2(x1), 0.0);
+  EXPECT_THROW(ss.step(Vector(2, 0.0), 1.0), precondition_error);
+  EXPECT_THROW(ss.output(Vector(4, 0.0), 1.0), precondition_error);
+}
+
+TEST(StateSpace, StabilityReflectsArx) {
+  EXPECT_TRUE(StateSpaceModel::from_arx(example_arx()).is_stable());
+  ArxModel unstable;
+  unstable.a = {1.2};
+  unstable.b = {1.0};
+  EXPECT_FALSE(StateSpaceModel::from_arx(unstable).is_stable());
+}
+
+TEST(StateSpace, NilpotentIsStable) {
+  // A with zeros only: finite impulse response.
+  Matrix a(2, 2);
+  Matrix b(2, 1, 1.0);
+  Matrix c(1, 2);
+  c(0, 0) = 1.0;
+  StateSpaceModel ss(a, b, c);
+  EXPECT_TRUE(ss.is_stable());
+}
+
+TEST(StateSpace, StateFromHistoryRecoversExactState) {
+  auto ss = StateSpaceModel::from_arx(example_arx());
+  Rng rng(7);
+  // Evolve from a random initial state, record a window, reconstruct.
+  Vector x0(3);
+  for (auto& v : x0) v = rng.uniform(-1, 1);
+  Vector u(12);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  Vector x = x0;
+  Vector y(u.size());
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    y[k] = ss.output(x, u[k]);
+    x = ss.step(x, u[k]);
+  }
+  const Vector x_hat = ss.state_from_history(u, y);
+  EXPECT_TRUE(linalg::approx_equal(x_hat, x, 1e-7));
+}
+
+TEST(StateSpace, StateFromHistoryToleratesNoise) {
+  auto ss = StateSpaceModel::from_arx(example_arx());
+  Rng rng(8);
+  Vector x0{0.3, -0.2, 0.1};
+  Vector u(40);
+  for (auto& v : u) v = rng.uniform(-1, 1);
+  Vector x = x0;
+  Vector y(u.size());
+  for (std::size_t k = 0; k < u.size(); ++k) {
+    y[k] = ss.output(x, u[k]) + rng.normal(0.0, 0.001);
+    x = ss.step(x, u[k]);
+  }
+  const Vector x_hat = ss.state_from_history(u, y);
+  EXPECT_LT(linalg::norm_inf(x_hat - x), 0.02);
+}
+
+TEST(StateSpace, StateFromHistoryValidatesInputs) {
+  auto ss = StateSpaceModel::from_arx(example_arx());
+  EXPECT_THROW(ss.state_from_history(Vector{1, 2}, Vector{1}), precondition_error);
+  EXPECT_THROW(ss.state_from_history(Vector{1, 2}, Vector{1, 2}), precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::sysid

@@ -1,0 +1,200 @@
+#include "trace/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+
+namespace perq::trace {
+namespace {
+
+TEST(NormalSurvival, KnownValues) {
+  EXPECT_NEAR(normal_survival(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_survival(1.0), 0.15866, 1e-4);
+  EXPECT_NEAR(normal_survival(-1.0), 0.84134, 1e-4);
+  EXPECT_NEAR(normal_survival(4.0), 3.17e-5, 1e-5);
+}
+
+struct SystemTargets {
+  SystemModel system;
+  double mean_s;
+  double frac_over_30min;
+
+  friend void PrintTo(const SystemTargets& s, std::ostream* os) {
+    *os << to_string(s.system);
+  }
+};
+
+const SystemTargets kTargets[] = {
+    // Published moments (paper Sec. 2.1): Mira mean 72 min, 62% > 30 min;
+    // Trinity mean 30 min, 46% > 30 min. Tardis targets are ours.
+    {SystemModel::kMira, 72 * 60.0, 0.62},
+    {SystemModel::kTrinity, 30 * 60.0, 0.46},
+    {SystemModel::kTardis, 25 * 60.0, 0.32},
+};
+
+class RuntimeCalibration : public ::testing::TestWithParam<SystemTargets> {};
+
+TEST_P(RuntimeCalibration, AnalyticMomentsMatchPublishedTargets) {
+  const auto& t = GetParam();
+  const auto dist = RuntimeDistribution::for_system(t.system);
+  EXPECT_NEAR(dist.mean(), t.mean_s, 0.05 * t.mean_s);
+  EXPECT_NEAR(dist.fraction_above(1800.0), t.frac_over_30min, 0.03);
+}
+
+TEST_P(RuntimeCalibration, SampledMomentsMatchAnalytic) {
+  const auto& t = GetParam();
+  const auto dist = RuntimeDistribution::for_system(t.system);
+  Rng rng(77);
+  double sum = 0.0;
+  int over = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double r = dist.sample(rng);
+    sum += r;
+    if (r > 1800.0) ++over;
+    EXPECT_GE(r, dist.min_runtime_s());
+    EXPECT_LE(r, dist.max_runtime_s());
+  }
+  // Clamping to [min, max] shifts the sampled moments slightly off the
+  // unclamped analytic values; allow for that.
+  EXPECT_NEAR(sum / n, t.mean_s, 0.08 * t.mean_s);
+  EXPECT_NEAR(static_cast<double>(over) / n, t.frac_over_30min, 0.04);
+}
+
+TEST_P(RuntimeCalibration, FractionAboveIsMonotoneDecreasing) {
+  const auto dist = RuntimeDistribution::for_system(GetParam().system);
+  double prev = 1.0;
+  for (double t = 60.0; t < 20000.0; t *= 1.5) {
+    const double f = dist.fraction_above(t);
+    EXPECT_LE(f, prev + 1e-12);
+    EXPECT_GE(f, 0.0);
+    prev = f;
+  }
+  EXPECT_THROW(dist.fraction_above(0.0), precondition_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, RuntimeCalibration, ::testing::ValuesIn(kTargets));
+
+TraceConfig small_trace(SystemModel m, std::uint64_t seed = 3) {
+  TraceConfig cfg;
+  cfg.system = m;
+  cfg.job_count = 3000;
+  cfg.max_job_nodes = 32;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Trace, GeneratesRequestedCountWithSequentialIds) {
+  auto jobs = generate_trace(small_trace(SystemModel::kMira));
+  ASSERT_EQ(jobs.size(), 3000u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(Trace, DeterministicForSeed) {
+  auto a = generate_trace(small_trace(SystemModel::kTrinity, 5));
+  auto b = generate_trace(small_trace(SystemModel::kTrinity, 5));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+    EXPECT_DOUBLE_EQ(a[i].runtime_ref_s, b[i].runtime_ref_s);
+    EXPECT_EQ(a[i].app_index, b[i].app_index);
+  }
+}
+
+TEST(Trace, MiraJobSizesArePowersOfTwo) {
+  auto jobs = generate_trace(small_trace(SystemModel::kMira));
+  for (const auto& j : jobs) {
+    EXPECT_EQ(j.nodes & (j.nodes - 1), 0u) << j.nodes;  // power of two
+    EXPECT_GE(j.nodes, 1u);
+    EXPECT_LE(j.nodes, 32u);
+  }
+}
+
+TEST(Trace, TrinityJobSizesAreArbitraryButBounded) {
+  auto jobs = generate_trace(small_trace(SystemModel::kTrinity));
+  bool saw_non_power_of_two = false;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.nodes, 1u);
+    EXPECT_LE(j.nodes, 32u);
+    if ((j.nodes & (j.nodes - 1)) != 0) saw_non_power_of_two = true;
+  }
+  EXPECT_TRUE(saw_non_power_of_two);
+}
+
+TEST(Trace, TardisJobsAreSmall) {
+  auto cfg = small_trace(SystemModel::kTardis);
+  cfg.max_job_nodes = 15;
+  for (const auto& j : generate_trace(cfg)) {
+    EXPECT_GE(j.nodes, 1u);
+    EXPECT_LE(j.nodes, 4u);
+  }
+}
+
+TEST(Trace, SmallJobsDominateMira) {
+  auto jobs = generate_trace(small_trace(SystemModel::kMira));
+  std::size_t small = 0;
+  for (const auto& j : jobs) {
+    if (j.nodes <= 4) ++small;
+  }
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(jobs.size()), 0.5);
+}
+
+TEST(Trace, AppAssignmentCoversCatalogUniformly) {
+  auto jobs = generate_trace(small_trace(SystemModel::kMira));
+  std::vector<int> counts(apps::ecp_catalog().size(), 0);
+  for (const auto& j : jobs) {
+    ASSERT_LT(j.app_index, counts.size());
+    ++counts[j.app_index];
+  }
+  // Each of the ten apps should get roughly 10% +- 3pp of the jobs.
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / static_cast<double>(jobs.size()), 0.1, 0.03);
+  }
+}
+
+TEST(Trace, PhaseOffsetsVary) {
+  auto jobs = generate_trace(small_trace(SystemModel::kMira));
+  std::set<double> offsets;
+  for (std::size_t i = 0; i < 50; ++i) offsets.insert(jobs[i].phase_offset_s);
+  EXPECT_GT(offsets.size(), 40u);
+}
+
+TEST(Trace, ValidatesConfig) {
+  auto cfg = small_trace(SystemModel::kMira);
+  cfg.job_count = 0;
+  EXPECT_THROW(generate_trace(cfg), precondition_error);
+  cfg = small_trace(SystemModel::kMira);
+  cfg.max_job_nodes = 0;
+  EXPECT_THROW(generate_trace(cfg), precondition_error);
+}
+
+TEST(TraceStats, ComputesSummary) {
+  std::vector<JobSpec> jobs;
+  jobs.push_back({0, 2, 600.0, 0, 0.0});
+  jobs.push_back({1, 4, 2400.0, 1, 0.0});
+  jobs.push_back({2, 6, 3600.0, 2, 0.0});
+  const auto s = compute_stats(jobs);
+  EXPECT_DOUBLE_EQ(s.mean_runtime_s, 2200.0);
+  EXPECT_DOUBLE_EQ(s.median_runtime_s, 2400.0);
+  EXPECT_NEAR(s.fraction_over_30min, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.mean_nodes, 4.0);
+  EXPECT_EQ(s.max_nodes, 6u);
+}
+
+TEST(TraceStats, RejectsEmpty) { EXPECT_THROW(compute_stats({}), precondition_error); }
+
+TEST(TraceStats, GeneratedTraceMatchesTargets) {
+  auto cfg = small_trace(SystemModel::kMira);
+  cfg.job_count = 20000;
+  const auto s = compute_stats(generate_trace(cfg));
+  EXPECT_NEAR(s.mean_runtime_s, 72 * 60.0, 0.08 * 72 * 60.0);
+  EXPECT_NEAR(s.fraction_over_30min, 0.62, 0.04);
+}
+
+}  // namespace
+}  // namespace perq::trace

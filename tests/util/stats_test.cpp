@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace perq {
+namespace {
+
+TEST(Stats, MeanBasic) { EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0); }
+
+TEST(Stats, MeanSingleton) { EXPECT_DOUBLE_EQ(mean({5.0}), 5.0); }
+
+TEST(Stats, MeanRejectsEmpty) { EXPECT_THROW(mean({}), precondition_error); }
+
+TEST(Stats, VarianceKnownValue) {
+  // Sample variance of {2,4,4,4,5,5,7,9} = 32/7.
+  EXPECT_NEAR(variance({2, 4, 4, 4, 5, 5, 7, 9}), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceSingletonIsZero) { EXPECT_DOUBLE_EQ(variance({3.0}), 0.0); }
+
+TEST(Stats, StddevIsSqrtVariance) {
+  EXPECT_NEAR(stddev({1, 2, 3, 4}), std::sqrt(variance({1, 2, 3, 4})), 1e-12);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> xs{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 75), 7.5);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, PercentileRejectsBadQ) {
+  EXPECT_THROW(percentile({1.0}, -1), precondition_error);
+  EXPECT_THROW(percentile({1.0}, 101), precondition_error);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(max_of({3, 9, 1}), 9.0);
+  EXPECT_DOUBLE_EQ(min_of({3, 9, 1}), 1.0);
+}
+
+TEST(Stats, FractionAbove) {
+  EXPECT_DOUBLE_EQ(fraction_above({1, 2, 3, 4}, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_above({1, 2}, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_above({1, 2}, 0.0), 1.0);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  auto cdf = empirical_cdf({4.0, 1.0, 3.0, 2.0});
+  ASSERT_EQ(cdf.size(), 4u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].cumulative, cdf[i].cumulative);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.front().cumulative, 0.25);
+}
+
+TEST(Stats, EmpiricalCdfDownsampled) {
+  std::vector<double> xs(1000);
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<double>(i);
+  auto cdf = empirical_cdf(xs, 11);
+  ASSERT_EQ(cdf.size(), 11u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 999.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+}
+
+TEST(Stats, EmpiricalCdfSmallSamplePassThrough) {
+  auto cdf = empirical_cdf({1.0, 2.0}, 10);
+  EXPECT_EQ(cdf.size(), 2u);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(Stats, RunningStatsEmptyThrows) {
+  RunningStats rs;
+  EXPECT_THROW(rs.mean(), precondition_error);
+  EXPECT_THROW(rs.min(), precondition_error);
+  EXPECT_THROW(rs.max(), precondition_error);
+}
+
+TEST(Stats, RunningStatsSingleSample) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace perq
