@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_mira.dir/bench_fig6_mira.cpp.o"
+  "CMakeFiles/bench_fig6_mira.dir/bench_fig6_mira.cpp.o.d"
+  "bench_fig6_mira"
+  "bench_fig6_mira.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mira.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_trinity.dir/bench_fig7_trinity.cpp.o"
+  "CMakeFiles/bench_fig7_trinity.dir/bench_fig7_trinity.cpp.o.d"
+  "bench_fig7_trinity"
+  "bench_fig7_trinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_trinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_analysis.dir/bench_model_analysis.cpp.o"
+  "CMakeFiles/bench_model_analysis.dir/bench_model_analysis.cpp.o.d"
+  "bench_model_analysis"
+  "bench_model_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_benchlib.dir/common.cpp.o"
+  "CMakeFiles/perq_benchlib.dir/common.cpp.o.d"
+  "libperq_benchlib.a"
+  "libperq_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_comparison.dir/cluster_comparison.cpp.o"
+  "CMakeFiles/cluster_comparison.dir/cluster_comparison.cpp.o.d"
+  "cluster_comparison"
+  "cluster_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

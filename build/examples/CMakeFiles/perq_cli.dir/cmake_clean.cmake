@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_cli.dir/perq_cli.cpp.o"
+  "CMakeFiles/perq_cli.dir/perq_cli.cpp.o.d"
+  "perq_cli"
+  "perq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_handoff.dir/power_handoff.cpp.o"
+  "CMakeFiles/power_handoff.dir/power_handoff.cpp.o.d"
+  "power_handoff"
+  "power_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

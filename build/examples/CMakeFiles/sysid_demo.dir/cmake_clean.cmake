@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysid_demo.dir/sysid_demo.cpp.o"
+  "CMakeFiles/sysid_demo.dir/sysid_demo.cpp.o.d"
+  "sysid_demo"
+  "sysid_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysid_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

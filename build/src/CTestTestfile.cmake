@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("qp")
+subdirs("sysid")
+subdirs("apps")
+subdirs("sim")
+subdirs("trace")
+subdirs("sched")
+subdirs("policy")
+subdirs("control")
+subdirs("core")
+subdirs("metrics")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_apps.dir/app_model.cpp.o"
+  "CMakeFiles/perq_apps.dir/app_model.cpp.o.d"
+  "CMakeFiles/perq_apps.dir/catalog.cpp.o"
+  "CMakeFiles/perq_apps.dir/catalog.cpp.o.d"
+  "libperq_apps.a"
+  "libperq_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

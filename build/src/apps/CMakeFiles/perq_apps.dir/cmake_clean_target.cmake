@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libperq_apps.a"
+)

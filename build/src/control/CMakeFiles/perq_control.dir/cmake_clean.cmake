@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_control.dir/estimator.cpp.o"
+  "CMakeFiles/perq_control.dir/estimator.cpp.o.d"
+  "CMakeFiles/perq_control.dir/mpc.cpp.o"
+  "CMakeFiles/perq_control.dir/mpc.cpp.o.d"
+  "CMakeFiles/perq_control.dir/target_generator.cpp.o"
+  "CMakeFiles/perq_control.dir/target_generator.cpp.o.d"
+  "libperq_control.a"
+  "libperq_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_core.dir/engine.cpp.o"
+  "CMakeFiles/perq_core.dir/engine.cpp.o.d"
+  "CMakeFiles/perq_core.dir/node_model.cpp.o"
+  "CMakeFiles/perq_core.dir/node_model.cpp.o.d"
+  "CMakeFiles/perq_core.dir/perq_policy.cpp.o"
+  "CMakeFiles/perq_core.dir/perq_policy.cpp.o.d"
+  "libperq_core.a"
+  "libperq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_linalg.dir/decompose.cpp.o"
+  "CMakeFiles/perq_linalg.dir/decompose.cpp.o.d"
+  "CMakeFiles/perq_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/perq_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/perq_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/perq_linalg.dir/matrix.cpp.o.d"
+  "libperq_linalg.a"
+  "libperq_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

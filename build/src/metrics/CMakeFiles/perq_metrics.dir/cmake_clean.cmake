@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/perq_metrics.dir/metrics.cpp.o.d"
+  "libperq_metrics.a"
+  "libperq_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_policy.dir/policy.cpp.o"
+  "CMakeFiles/perq_policy.dir/policy.cpp.o.d"
+  "libperq_policy.a"
+  "libperq_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

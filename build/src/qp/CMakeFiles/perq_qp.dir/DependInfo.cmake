@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qp/active_set.cpp" "src/qp/CMakeFiles/perq_qp.dir/active_set.cpp.o" "gcc" "src/qp/CMakeFiles/perq_qp.dir/active_set.cpp.o.d"
+  "/root/repo/src/qp/problem.cpp" "src/qp/CMakeFiles/perq_qp.dir/problem.cpp.o" "gcc" "src/qp/CMakeFiles/perq_qp.dir/problem.cpp.o.d"
+  "/root/repo/src/qp/projected_gradient.cpp" "src/qp/CMakeFiles/perq_qp.dir/projected_gradient.cpp.o" "gcc" "src/qp/CMakeFiles/perq_qp.dir/projected_gradient.cpp.o.d"
+  "/root/repo/src/qp/projection.cpp" "src/qp/CMakeFiles/perq_qp.dir/projection.cpp.o" "gcc" "src/qp/CMakeFiles/perq_qp.dir/projection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/perq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/perq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

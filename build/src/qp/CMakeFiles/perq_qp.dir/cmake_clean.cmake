@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_qp.dir/active_set.cpp.o"
+  "CMakeFiles/perq_qp.dir/active_set.cpp.o.d"
+  "CMakeFiles/perq_qp.dir/problem.cpp.o"
+  "CMakeFiles/perq_qp.dir/problem.cpp.o.d"
+  "CMakeFiles/perq_qp.dir/projected_gradient.cpp.o"
+  "CMakeFiles/perq_qp.dir/projected_gradient.cpp.o.d"
+  "CMakeFiles/perq_qp.dir/projection.cpp.o"
+  "CMakeFiles/perq_qp.dir/projection.cpp.o.d"
+  "libperq_qp.a"
+  "libperq_qp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_qp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/job.cpp" "src/sched/CMakeFiles/perq_sched.dir/job.cpp.o" "gcc" "src/sched/CMakeFiles/perq_sched.dir/job.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/perq_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/perq_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/perq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/perq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/perq_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/perq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_sched.dir/job.cpp.o"
+  "CMakeFiles/perq_sched.dir/job.cpp.o.d"
+  "CMakeFiles/perq_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/perq_sched.dir/scheduler.cpp.o.d"
+  "libperq_sched.a"
+  "libperq_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

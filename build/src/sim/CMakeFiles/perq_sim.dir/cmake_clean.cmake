@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_sim.dir/cluster.cpp.o"
+  "CMakeFiles/perq_sim.dir/cluster.cpp.o.d"
+  "CMakeFiles/perq_sim.dir/node.cpp.o"
+  "CMakeFiles/perq_sim.dir/node.cpp.o.d"
+  "CMakeFiles/perq_sim.dir/rapl.cpp.o"
+  "CMakeFiles/perq_sim.dir/rapl.cpp.o.d"
+  "libperq_sim.a"
+  "libperq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

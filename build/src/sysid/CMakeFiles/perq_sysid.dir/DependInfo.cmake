@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sysid/analysis.cpp" "src/sysid/CMakeFiles/perq_sysid.dir/analysis.cpp.o" "gcc" "src/sysid/CMakeFiles/perq_sysid.dir/analysis.cpp.o.d"
+  "/root/repo/src/sysid/arx.cpp" "src/sysid/CMakeFiles/perq_sysid.dir/arx.cpp.o" "gcc" "src/sysid/CMakeFiles/perq_sysid.dir/arx.cpp.o.d"
+  "/root/repo/src/sysid/identify.cpp" "src/sysid/CMakeFiles/perq_sysid.dir/identify.cpp.o" "gcc" "src/sysid/CMakeFiles/perq_sysid.dir/identify.cpp.o.d"
+  "/root/repo/src/sysid/statespace.cpp" "src/sysid/CMakeFiles/perq_sysid.dir/statespace.cpp.o" "gcc" "src/sysid/CMakeFiles/perq_sysid.dir/statespace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/perq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/perq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

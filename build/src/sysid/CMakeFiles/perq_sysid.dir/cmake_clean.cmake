@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_sysid.dir/analysis.cpp.o"
+  "CMakeFiles/perq_sysid.dir/analysis.cpp.o.d"
+  "CMakeFiles/perq_sysid.dir/arx.cpp.o"
+  "CMakeFiles/perq_sysid.dir/arx.cpp.o.d"
+  "CMakeFiles/perq_sysid.dir/identify.cpp.o"
+  "CMakeFiles/perq_sysid.dir/identify.cpp.o.d"
+  "CMakeFiles/perq_sysid.dir/statespace.cpp.o"
+  "CMakeFiles/perq_sysid.dir/statespace.cpp.o.d"
+  "libperq_sysid.a"
+  "libperq_sysid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_trace.dir/trace.cpp.o"
+  "CMakeFiles/perq_trace.dir/trace.cpp.o.d"
+  "libperq_trace.a"
+  "libperq_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

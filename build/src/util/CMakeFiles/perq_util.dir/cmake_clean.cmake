@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perq_util.dir/csv.cpp.o"
+  "CMakeFiles/perq_util.dir/csv.cpp.o.d"
+  "CMakeFiles/perq_util.dir/rng.cpp.o"
+  "CMakeFiles/perq_util.dir/rng.cpp.o.d"
+  "CMakeFiles/perq_util.dir/stats.cpp.o"
+  "CMakeFiles/perq_util.dir/stats.cpp.o.d"
+  "libperq_util.a"
+  "libperq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

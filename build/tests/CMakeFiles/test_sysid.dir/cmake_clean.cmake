@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysid.dir/sysid/analysis_test.cpp.o"
+  "CMakeFiles/test_sysid.dir/sysid/analysis_test.cpp.o.d"
+  "CMakeFiles/test_sysid.dir/sysid/arx_test.cpp.o"
+  "CMakeFiles/test_sysid.dir/sysid/arx_test.cpp.o.d"
+  "CMakeFiles/test_sysid.dir/sysid/identify_test.cpp.o"
+  "CMakeFiles/test_sysid.dir/sysid/identify_test.cpp.o.d"
+  "CMakeFiles/test_sysid.dir/sysid/statespace_test.cpp.o"
+  "CMakeFiles/test_sysid.dir/sysid/statespace_test.cpp.o.d"
+  "test_sysid"
+  "test_sysid.pdb"
+  "test_sysid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/test_util.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/perq_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/perq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/perq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/perq_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/perq_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/perq_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/perq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/perq_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysid/CMakeFiles/perq_sysid.dir/DependInfo.cmake"
+  "/root/repo/build/src/qp/CMakeFiles/perq_qp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/perq_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/perq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
