@@ -4,6 +4,7 @@
 #include "common.hpp"
 
 #include "apps/catalog.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -37,13 +38,27 @@ int main() {
       }
     }
     std::printf("\n");
-    for (double cap = 90.0; cap <= 290.0; cap += 25.0) {
-      std::printf("%-10.0f", cap);
-      for (const auto* app : group) {
-        const double perf = phase_average_perf(*app, cap) * 100.0;
+    std::vector<double> caps;
+    for (double cap = 90.0; cap <= 290.0; cap += 25.0) caps.push_back(cap);
+    // The (cap, app) evaluations are independent; compute them into an
+    // index-addressed grid on the pool, then print/write serially so the
+    // table and CSV order stay identical to the serial version.
+    std::vector<double> perf_grid(caps.size() * group.size(), 0.0);
+    ThreadPool::shared().parallel_for(
+        0, perf_grid.size(),
+        [&](std::size_t k) {
+          const std::size_t ci = k / group.size();
+          const std::size_t ai = k % group.size();
+          perf_grid[k] = phase_average_perf(*group[ai], caps[ci]) * 100.0;
+        });
+    for (std::size_t ci = 0; ci < caps.size(); ++ci) {
+      std::printf("%-10.0f", caps[ci]);
+      for (std::size_t ai = 0; ai < group.size(); ++ai) {
+        const double perf = perf_grid[ci * group.size() + ai];
         std::printf(" %8.1f%%", perf);
-        csv.row(std::vector<std::string>{app->name(), to_string(cls),
-                                         format_double(cap), format_double(perf)});
+        csv.row(std::vector<std::string>{group[ai]->name(), to_string(cls),
+                                         format_double(caps[ci]),
+                                         format_double(perf)});
       }
       std::printf("\n");
     }

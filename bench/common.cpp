@@ -3,6 +3,9 @@
 #include <cmath>
 #include <filesystem>
 #include <functional>
+#include <future>
+
+#include "util/thread_pool.hpp"
 
 namespace perq::bench {
 
@@ -70,17 +73,53 @@ core::PerqPolicy make_perq(const core::EngineConfig& cfg,
 std::vector<PolicyPoint> run_policy_sweep(
     const std::vector<double>& factors,
     const std::function<core::EngineConfig(double)>& make_config) {
-  // Baseline: worst-case provisioned machine under FOP (all nodes at TDP).
-  auto base_cfg = make_config(1.0);
-  auto fop_base = policy::make_fop();
-  const auto base = core::run_experiment(base_cfg, *fop_base);
+  // Every run (the f = 1 FOP baseline plus {FOP, SJS, SRN, PERQ} at each f)
+  // is an independent deterministic simulation, so they all go to the shared
+  // pool at once. Configs are built serially first (recommended_job_count
+  // generates a sizing trace), each task owns its policy object, and the
+  // results are collected into PolicyPoints in the same order as the old
+  // serial sweep -- including the pairing of each run with FOP at the same f
+  // as its fairness reference.
+  const auto base_cfg = make_config(1.0);
+  std::vector<core::EngineConfig> cfgs;
+  cfgs.reserve(factors.size());
+  for (double f : factors) cfgs.push_back(make_config(f));
+
+  auto& pool = ThreadPool::shared();
+  const auto run_fop = [](const core::EngineConfig& cfg) {
+    auto fop = policy::make_fop();
+    return core::run_experiment(cfg, *fop);
+  };
+  auto base_fut = pool.submit([&run_fop, &base_cfg] { return run_fop(base_cfg); });
+
+  struct SweepFutures {
+    std::future<core::RunResult> fop, sjs, srn, perq;
+  };
+  std::vector<SweepFutures> futs(factors.size());
+  for (std::size_t k = 0; k < factors.size(); ++k) {
+    const core::EngineConfig& cfg = cfgs[k];
+    futs[k].fop = pool.submit([&run_fop, &cfg] { return run_fop(cfg); });
+    futs[k].sjs = pool.submit([&cfg] {
+      auto p = policy::make_sjs();
+      return core::run_experiment(cfg, *p);
+    });
+    futs[k].srn = pool.submit([&cfg] {
+      auto p = policy::make_srn();
+      return core::run_experiment(cfg, *p);
+    });
+    futs[k].perq = pool.submit([&cfg] {
+      auto p = make_perq(cfg);
+      return core::run_experiment(cfg, p);
+    });
+  }
+
+  const auto base = base_fut.get();
   std::printf("baseline f=1.0: %zu jobs completed\n", base.jobs_completed);
 
   std::vector<PolicyPoint> points;
-  for (double f : factors) {
-    const auto cfg = make_config(f);
-    auto fop = policy::make_fop();
-    const auto fop_run = core::run_experiment(cfg, *fop);
+  for (std::size_t k = 0; k < factors.size(); ++k) {
+    const double f = factors[k];
+    const auto fop_run = futs[k].fop.get();
 
     const auto add = [&](const core::RunResult& run) {
       PolicyPoint p;
@@ -96,12 +135,9 @@ std::vector<PolicyPoint> run_policy_sweep(
     };
 
     add(fop_run);
-    auto sjs = policy::make_sjs();
-    add(core::run_experiment(cfg, *sjs));
-    auto srn = policy::make_srn();
-    add(core::run_experiment(cfg, *srn));
-    auto perq = make_perq(cfg);
-    add(core::run_experiment(cfg, perq));
+    add(futs[k].sjs.get());
+    add(futs[k].srn.get());
+    add(futs[k].perq.get());
     std::printf("  f=%.1f done\n", f);
   }
   return points;

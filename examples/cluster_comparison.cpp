@@ -7,12 +7,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <future>
+#include <vector>
 
 #include "core/engine.hpp"
 #include "core/node_model.hpp"
 #include "core/perq_policy.hpp"
 #include "metrics/metrics.hpp"
 #include "policy/policy.hpp"
+#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   using namespace perq;
@@ -47,12 +50,33 @@ int main(int argc, char** argv) {
   core::EngineConfig base_cfg = cfg;
   base_cfg.over_provision_factor = 1.0;
   base_cfg.trace.job_count = core::recommended_job_count(base_cfg);
-  auto fop_base = policy::make_fop();
-  const auto base = core::run_experiment(base_cfg, *fop_base);
 
+  // All six runs (baseline, FOP reference, SJS/LJS/SRN, PERQ) are independent
+  // deterministic simulations: submit them all to the pool and report in the
+  // original order once everything lands.
+  auto& pool = perq::ThreadPool::shared();
+  auto base_fut = pool.submit([&base_cfg] {
+    auto p = policy::make_fop();
+    return core::run_experiment(base_cfg, *p);
+  });
   // FOP is both a contender and the fairness reference.
-  auto fop = policy::make_fop();
-  const auto fop_run = core::run_experiment(cfg, *fop);
+  auto fop_fut = pool.submit([&cfg] {
+    auto p = policy::make_fop();
+    return core::run_experiment(cfg, *p);
+  });
+  std::vector<std::future<core::RunResult>> others;
+  for (auto make : {policy::make_sjs, policy::make_ljs, policy::make_srn}) {
+    others.push_back(pool.submit([&cfg, make] {
+      auto p = make();
+      return core::run_experiment(cfg, *p);
+    }));
+  }
+  const auto total = static_cast<std::size_t>(f * double(cfg.worst_case_nodes) + 0.5);
+  core::PerqPolicy perq(&core::canonical_node_model(), cfg.worst_case_nodes, total);
+  auto perq_fut = pool.submit([&cfg, &perq] { return core::run_experiment(cfg, perq); });
+
+  const auto base = base_fut.get();
+  const auto fop_run = fop_fut.get();
 
   std::printf("%-6s %10s %14s %12s %12s\n", "policy", "completed", "throughput+%",
               "mean-deg%", "max-deg%");
@@ -65,13 +89,8 @@ int main(int argc, char** argv) {
                 fair.mean_degradation_pct, fair.max_degradation_pct);
   };
   report(fop_run);
-  for (auto make : {policy::make_sjs, policy::make_ljs, policy::make_srn}) {
-    auto p = make();
-    report(core::run_experiment(cfg, *p));
-  }
-  const auto total = static_cast<std::size_t>(f * double(cfg.worst_case_nodes) + 0.5);
-  core::PerqPolicy perq(&core::canonical_node_model(), cfg.worst_case_nodes, total);
-  report(core::run_experiment(cfg, perq));
+  for (auto& fut : others) report(fut.get());
+  report(perq_fut.get());
 
   const auto latency = metrics::summarize_decision_times(perq.decision_seconds());
   std::printf("\nPERQ decision latency: p50 %.2f ms, p99 %.2f ms over %zu decisions\n",

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build, and run the full test suite.
+#
+#   scripts/tier1.sh             # RelWithDebInfo (default)
+#   PERQ_SANITIZE=ON scripts/tier1.sh   # ASan + UBSan build of everything
+#
+# Extra arguments are forwarded to ctest (e.g. scripts/tier1.sh -R Mpc).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+SANITIZE=${PERQ_SANITIZE:-OFF}
+
+cmake -B "$BUILD_DIR" -S . -DPERQ_SANITIZE="$SANITIZE"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"

@@ -5,7 +5,9 @@
 
 #include "apps/app_model.hpp"
 #include "qp/active_set.hpp"
+#include "qp/structured.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace perq::control {
 
@@ -25,23 +27,6 @@ void MpcController::reset() {
   warm_.clear();
   warm_ids_.clear();
 }
-
-namespace {
-
-/// Accumulates Q += 2w * a a', c += -2w * b * a for the residual
-/// sqrt(w) * (b - a'v). `a` is sparse: (index, coefficient) pairs.
-void add_residual(Matrix& q, Vector& c, const std::vector<std::size_t>& idx,
-                  const std::vector<double>& coef, double b, double w) {
-  for (std::size_t r = 0; r < idx.size(); ++r) {
-    const double wc = 2.0 * w * coef[r];
-    c[idx[r]] -= wc * b;
-    for (std::size_t s = 0; s < idx.size(); ++s) {
-      q(idx[r], idx[s]) += wc * coef[s];
-    }
-  }
-}
-
-}  // namespace
 
 MpcDecision MpcController::decide(const std::vector<ControlledJob>& jobs,
                                   const Targets& targets,
@@ -98,8 +83,11 @@ MpcDecision MpcController::decide(const std::vector<ControlledJob>& jobs,
       jobs[0].estimator->node_model().u_mean() / u_scale;
 
   // Per-job affine prediction pieces: y_i(j) = free_i[j] + sum_l g[j-l] u_il.
+  // Jobs are independent here, so the loop is thread-pooled: job i writes
+  // only free_resp[i], which keeps the result bit-for-bit identical to the
+  // serial loop regardless of scheduling.
   std::vector<Vector> free_resp(nj, Vector(m, 0.0));
-  for (std::size_t i = 0; i < nj; ++i) {
+  const auto compute_free_response = [&](std::size_t i) {
     const Vector& x0 = jobs[i].estimator->state();
     for (std::size_t j = 0; j < m; ++j) {
       double v = 0.0;
@@ -107,15 +95,20 @@ MpcDecision MpcController::decide(const std::vector<ControlledJob>& jobs,
       // Fold in the constant contribution of the input centering.
       free_resp[i][j] = v - u_mean_norm * g_cum[j];
     }
+  };
+  if (cfg_.parallel) {
+    ThreadPool::shared().parallel_for(0, nj, compute_free_response, /*grain=*/8);
+  } else {
+    for (std::size_t i = 0; i < nj; ++i) compute_free_response(i);
   }
 
-  // Assemble the QP in normalized cap units v = p / TDP.
-  qp::QpProblem p;
-  p.Q = Matrix(nv, nv);
-  p.c.assign(nv, 0.0);
-  p.lb.assign(nv, spec.cap_min / spec.tdp);
-  p.ub.assign(nv, 1.0);
-  for (std::size_t i = 0; i < nv; ++i) p.Q(i, i) = 2.0 * cfg_.ridge;
+  // Assemble the QP in normalized cap units v = p / TDP, in the structured
+  // term form (ridge + residual rows + banded Delta-P). The dense Hessian
+  // is only materialized on the kDense debug/baseline path.
+  qp::StructuredQp sp(nv);
+  sp.lb.assign(nv, spec.cap_min / spec.tdp);
+  sp.ub.assign(nv, 1.0);
+  sp.add_ridge(cfg_.ridge);
 
   const double cap_to_u = spec.tdp / u_scale;  // d(u_norm)/d(v)
   // The system error is normalized by the *achievable* scale (the sum of
@@ -135,28 +128,27 @@ MpcDecision MpcController::decide(const std::vector<ControlledJob>& jobs,
 
   std::vector<std::size_t> idx;
   std::vector<double> coef;
-  // System rows need the union of all (i, l <= j); assemble job rows first.
   for (std::size_t j = 0; j < m; ++j) {
     // Terminal cost (paper Sec. 2.3.2): the final prediction step carries
     // extra weight so the plan must *converge* to the targets by the end of
     // the horizon, not merely drift toward them.
     const double terminal = (j + 1 == m) ? cfg_.terminal_weight : 1.0;
     // --- system tracking row for step j ---
-    idx.clear();
-    coef.clear();
-    double sys_const = 0.0;
-    for (std::size_t i = 0; i < nj; ++i) {
-      const double nodes = static_cast<double>(jobs[i].job->spec().nodes);
-      const double gain = jobs[i].estimator->gain();
-      sys_const += nodes * (gain * free_resp[i][j] + jobs[i].estimator->offset());
-      for (std::size_t l = 0; l <= j; ++l) {
-        idx.push_back(var(i, l));
-        coef.push_back(nodes * gain * g[j - l] * cap_to_u / sys_scale);
-      }
-    }
     if (weight_sys_eff > 0.0) {
+      idx.clear();
+      coef.clear();
+      double sys_const = 0.0;
+      for (std::size_t i = 0; i < nj; ++i) {
+        const double nodes = static_cast<double>(jobs[i].job->spec().nodes);
+        const double gain = jobs[i].estimator->gain();
+        sys_const += nodes * (gain * free_resp[i][j] + jobs[i].estimator->offset());
+        for (std::size_t l = 0; l <= j; ++l) {
+          idx.push_back(var(i, l));
+          coef.push_back(nodes * gain * g[j - l] * cap_to_u / sys_scale);
+        }
+      }
       const double b = (targets.system_target_ips - sys_const) / sys_scale;
-      add_residual(p.Q, p.c, idx, coef, b, weight_sys_eff * terminal);
+      sp.add_residual(idx, coef, b, weight_sys_eff * terminal);
     }
 
     for (std::size_t i = 0; i < nj; ++i) {
@@ -192,19 +184,15 @@ MpcDecision MpcController::decide(const std::vector<ControlledJob>& jobs,
         const double y_const =
             nodes * (gain * free_resp[i][j] + jobs[i].estimator->offset());
         const double b = (targets.job_target_ips[i] - y_const) / t_i;
-        add_residual(p.Q, p.c, idx, coef, b, weight_job_i * terminal);
+        sp.add_residual(idx, coef, b, weight_job_i * terminal);
       }
-      // --- Delta-P row (i, j) ---
+      // --- Delta-P term (i, j): banded, not a general residual row ---
       if (cfg_.weight_dp > 0.0) {
         const double w = cfg_.weight_dp * nodes;
         if (j == 0) {
-          idx.assign(1, var(i, 0));
-          coef.assign(1, 1.0);
-          add_residual(p.Q, p.c, idx, coef, prev_caps_w[i] / spec.tdp, w);
+          sp.add_anchor(var(i, 0), prev_caps_w[i] / spec.tdp, w);
         } else {
-          idx = {var(i, j), var(i, j - 1)};
-          coef = {1.0, -1.0};
-          add_residual(p.Q, p.c, idx, coef, 0.0, w);
+          sp.add_smooth(var(i, j), var(i, j - 1), w);
         }
       }
     }
@@ -216,7 +204,7 @@ MpcDecision MpcController::decide(const std::vector<ControlledJob>& jobs,
       bc.weight.push_back(static_cast<double>(jobs[i].job->spec().nodes));
     }
     bc.bound = budget_busy_w / spec.tdp;
-    p.budgets.push_back(std::move(bc));
+    sp.budgets.push_back(std::move(bc));
   }
 
   // Warm start: previous solution where job ids line up, else the previous
@@ -242,7 +230,13 @@ MpcDecision MpcController::decide(const std::vector<ControlledJob>& jobs,
     }
   }
 
-  const qp::QpResult res = qp::solve(p, warm);
+  qp::QpResult res;
+  if (cfg_.solver == MpcConfig::SolverPath::kDense) {
+    const qp::QpProblem dense = sp.to_dense();
+    res = qp::solve(dense, warm);
+  } else {
+    res = qp::solve(sp, warm);
+  }
 
   MpcDecision d;
   d.status = res.status;

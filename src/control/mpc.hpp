@@ -38,6 +38,25 @@ struct MpcConfig {
   /// (paper Sec. 2.3.2: a large terminal cost enforces convergence by the
   /// end of the prediction horizon). 1 = uniform weighting.
   double terminal_weight = 2.0;
+
+  /// Which QP pipeline solves the condensed problem.
+  ///   kStructured (default): the assembly emits the structured Hessian form
+  ///     (ridge + sparse residual rows + banded Delta-P terms) and solves it
+  ///     with the structure-exploiting solvers -- incrementally-factorized
+  ///     active set for small/medium problems, matrix-free FISTA beyond.
+  ///     The dense (nj*m)^2 Hessian is never materialized.
+  ///   kDense: materializes the dense QpProblem from the same structured
+  ///     assembly and runs the legacy dense active-set/FISTA facade. Debug
+  ///     and baseline adapter: tests use it to prove exact equivalence and
+  ///     bench_mpc_scaling uses it as the comparison point.
+  enum class SolverPath { kStructured, kDense };
+  SolverPath solver = SolverPath::kStructured;
+
+  /// Thread-pool the per-job free-response computation. The decomposition
+  /// is index-addressed (job i writes only slot i), so the result is
+  /// bit-for-bit identical to the serial loop; disable only to measure the
+  /// serial baseline.
+  bool parallel = true;
 };
 
 /// Outcome of one decision instant.

@@ -57,8 +57,14 @@ RunResult run_experiment(const EngineConfig& cfg, policy::PowerPolicy& policy) {
   result.duration_s = cfg.duration_s;
 
   std::vector<sched::Job*> running;
+  running.reserve(jobs.size());
+  // Sorted copy so the per-job trace membership test below is a binary
+  // search instead of a linear scan over cfg.traced_jobs every interval.
+  std::vector<int> traced_sorted(cfg.traced_jobs.begin(), cfg.traced_jobs.end());
+  std::sort(traced_sorted.begin(), traced_sorted.end());
   const double dt = cfg.control_interval_s;
   double energy_j = 0.0;
+  std::vector<double> caps;
 
   for (double t = 0.0; t < cfg.duration_s; t += dt) {
     // 1. Start whatever fits (FCFS + backfill).
@@ -68,7 +74,7 @@ RunResult run_experiment(const EngineConfig& cfg, policy::PowerPolicy& policy) {
     }
 
     // 2. Policy decision (timed -- Fig. 13 measures exactly this latency).
-    std::vector<double> caps;
+    caps.clear();
     if (!running.empty()) {
       policy::PolicyContext ctx;
       ctx.running = &running;
@@ -115,9 +121,9 @@ RunResult run_experiment(const EngineConfig& cfg, policy::PowerPolicy& policy) {
       const double job_ips = min_ips * static_cast<double>(job.spec().nodes);
       job.record_interval(dt, min_perf, job_ips, caps.empty() ? 0.0 : caps[i]);
 
-      if (!cfg.traced_jobs.empty() &&
-          std::find(cfg.traced_jobs.begin(), cfg.traced_jobs.end(),
-                    job.spec().id) != cfg.traced_jobs.end()) {
+      if (!traced_sorted.empty() &&
+          std::binary_search(traced_sorted.begin(), traced_sorted.end(),
+                             job.spec().id)) {
         result.traces.push_back({t, job.spec().id, caps.empty() ? 0.0 : caps[i],
                                  job_ips, policy.target_ips(job.spec().id),
                                  min_perf});

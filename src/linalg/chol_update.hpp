@@ -1,0 +1,57 @@
+// Updatable Cholesky factorization for the active-set QP solver.
+//
+// The working-set method changes one constraint per iteration, which changes
+// the free-variable Hessian block Q_FF by exactly one row/column. Instead of
+// refactorizing from scratch (O(n^3) per iteration), this class maintains
+// L with A = L L' under:
+//
+//   * append(col, diag): grow A by one symmetric row/column -- one forward
+//     substitution, O(n^2);
+//   * remove(k): delete row/column k -- drop L's row k and restore the
+//     trailing block by a rank-1 Cholesky *update* (numerically stable,
+//     unlike downdating), O((n-k)^2).
+//
+// Storage is ragged row-major lower-triangular (row i holds i+1 entries) so
+// append is an O(1) push and remove is a single erase.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace perq::linalg {
+
+class UpdatableCholesky {
+ public:
+  /// Empty (0 x 0) factorization; grow with append().
+  UpdatableCholesky() = default;
+
+  /// Full factorization of symmetric positive-definite `a`.
+  /// Throws perq::invariant_error when a pivot is not safely positive.
+  void reset(const Matrix& a);
+
+  /// Discards the factorization (back to 0 x 0).
+  void clear();
+
+  std::size_t size() const { return rows_.size(); }
+
+  /// Extends A to [A col; col' diag]. `col` holds the off-diagonal entries
+  /// against the existing variables (size() entries, in order).
+  /// Throws perq::invariant_error when the extended matrix is not positive
+  /// definite (the new pivot underflows).
+  void append(const Vector& col, double diag);
+
+  /// Removes row/column k (0-based) from A.
+  void remove(std::size_t k);
+
+  /// Solves A x = b (forward + backward substitution, O(n^2)).
+  Vector solve(const Vector& b) const;
+
+ private:
+  double pivot_floor(double diag) const;
+
+  std::vector<std::vector<double>> rows_;  // L, row i has i+1 entries
+};
+
+}  // namespace perq::linalg

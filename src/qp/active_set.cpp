@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/chol_update.hpp"
 #include "linalg/decompose.hpp"
 #include "qp/projected_gradient.hpp"
 #include "qp/projection.hpp"
@@ -267,6 +268,312 @@ QpResult solve_active_set(const QpProblem& p, const linalg::Vector& x0,
   return r;
 }
 
+QpResult solve_active_set(const StructuredQp& p, const linalg::Vector& x0,
+                          const AsOptions& opts) {
+  p.validate();
+  const std::size_t n = p.size();
+  const std::size_t nb = p.budgets.size();
+  QpResult r;
+  if (!is_feasible_problem(p)) {
+    r.status = SolveStatus::kInfeasible;
+    r.x.assign(n, 0.0);
+    r.bound_mult.assign(n, 0.0);
+    r.budget_mult.assign(nb, 0.0);
+    return r;
+  }
+
+  const double tol = opts.tolerance;
+  const std::size_t max_it = opts.max_iterations > 0 ? opts.max_iterations
+                                                     : 50 * (n + nb) + 100;
+
+  linalg::Vector x = x0.size() == n ? x0 : linalg::Vector(n, 0.0);
+  project_feasible(p, x);
+
+  WorkingSet ws{std::vector<BoundState>(n, BoundState::kFree),
+                std::vector<bool>(nb, false)};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (p.ub[i] - p.lb[i] < tol) {
+      ws.bound[i] = BoundState::kAtLower;  // fixed variable
+    } else if (x[i] <= p.lb[i] + tol) {
+      ws.bound[i] = BoundState::kAtLower;
+      x[i] = p.lb[i];
+    } else if (x[i] >= p.ub[i] - tol) {
+      ws.bound[i] = BoundState::kAtUpper;
+      x[i] = p.ub[i];
+    }
+  }
+  for (std::size_t k = 0; k < nb; ++k) {
+    const auto& bc = p.budgets[k];
+    double s = 0.0;
+    for (std::size_t j = 0; j < bc.index.size(); ++j) s += bc.weight[j] * x[bc.index[j]];
+    if (s >= bc.bound - tol * (1.0 + std::abs(bc.bound))) ws.budget[k] = true;
+  }
+
+  // Free-set bookkeeping: pos[v] is v's position in free_idx or SIZE_MAX.
+  std::vector<std::size_t> free_idx;
+  std::vector<std::size_t> pos(n, SIZE_MAX);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ws.bound[i] == BoundState::kFree) {
+      pos[i] = free_idx.size();
+      free_idx.push_back(i);
+    }
+  }
+
+  // The maintained factorization: chol holds Q_FF = L L' for the current
+  // free set. Each working-set change applies one append/remove; a periodic
+  // full rebuild bounds drift from long update chains, and any update that
+  // loses positive definiteness triggers an immediate rebuild (a rebuild
+  // that itself fails propagates invariant_error to the facade, which falls
+  // back to projected gradient).
+  linalg::UpdatableCholesky chol;
+  const auto rebuild = [&] {
+    linalg::Matrix qff;
+    p.assemble_free_block(free_idx, pos, qff);
+    chol.reset(qff);
+  };
+  rebuild();
+  constexpr std::size_t kRebuildPeriod = 128;
+  std::size_t updates_since_rebuild = 0;
+
+  const auto free_variable = [&](std::size_t i) {
+    linalg::Vector col(free_idx.size(), 0.0);
+    double diag = 0.0;
+    p.hessian_column(i, pos, col, diag);
+    pos[i] = free_idx.size();
+    free_idx.push_back(i);
+    try {
+      chol.append(col, diag);
+    } catch (const invariant_error&) {
+      rebuild();
+      updates_since_rebuild = 0;
+      return;
+    }
+    if (++updates_since_rebuild >= kRebuildPeriod) {
+      rebuild();
+      updates_since_rebuild = 0;
+    }
+  };
+
+  const auto fix_variable = [&](std::size_t i) {
+    const std::size_t pi = pos[i];
+    free_idx.erase(free_idx.begin() + static_cast<std::ptrdiff_t>(pi));
+    pos[i] = SIZE_MAX;
+    for (std::size_t a = pi; a < free_idx.size(); ++a) pos[free_idx[a]] = a;
+    try {
+      chol.remove(pi);
+    } catch (const invariant_error&) {
+      rebuild();
+      updates_since_rebuild = 0;
+      return;
+    }
+    if (++updates_since_rebuild >= kRebuildPeriod) {
+      rebuild();
+      updates_since_rebuild = 0;
+    }
+  };
+
+  // Equality-constrained subproblem on the free variables via the maintained
+  // factor and a Schur complement over the active budget rows:
+  //   d0 = -Q_FF^{-1} g_F,  u_e = Q_FF^{-1} a_e,
+  //   (A Q_FF^{-1} A') nu = A d0,  d = d0 - sum_e nu_e u_e.
+  std::vector<std::size_t> rows;
+  const auto solve_eqp = [&](const linalg::Vector& g, linalg::Vector& nu_out) {
+    nu_out.assign(nb, 0.0);
+    linalg::Vector d(n, 0.0);
+    const std::size_t nf = free_idx.size();
+    if (nf == 0) return d;
+
+    rows.clear();
+    for (std::size_t k = 0; k < nb; ++k) {
+      if (!ws.budget[k]) continue;
+      const auto& bc = p.budgets[k];
+      bool has_free = false;
+      for (std::size_t idx : bc.index) {
+        if (pos[idx] != SIZE_MAX) {
+          has_free = true;
+          break;
+        }
+      }
+      if (has_free) rows.push_back(k);
+    }
+
+    linalg::Vector rhs(nf);
+    for (std::size_t a = 0; a < nf; ++a) rhs[a] = -g[free_idx[a]];
+    linalg::Vector d0 = chol.solve(rhs);
+
+    const std::size_t ne = rows.size();
+    if (ne > 0) {
+      std::vector<linalg::Vector> a_free(ne, linalg::Vector(nf, 0.0));
+      std::vector<linalg::Vector> u(ne);
+      for (std::size_t e = 0; e < ne; ++e) {
+        const auto& bc = p.budgets[rows[e]];
+        for (std::size_t j = 0; j < bc.index.size(); ++j) {
+          const std::size_t fp = pos[bc.index[j]];
+          if (fp != SIZE_MAX) a_free[e][fp] = bc.weight[j];
+        }
+        u[e] = chol.solve(a_free[e]);
+      }
+      linalg::Matrix schur(ne, ne);
+      linalg::Vector srhs(ne);
+      for (std::size_t e = 0; e < ne; ++e) {
+        srhs[e] = linalg::dot(a_free[e], d0);
+        for (std::size_t f = 0; f < ne; ++f) {
+          schur(e, f) = linalg::dot(a_free[e], u[f]);
+        }
+      }
+      const linalg::Vector nu_rows = linalg::Lu(schur).solve(srhs);
+      for (std::size_t e = 0; e < ne; ++e) {
+        nu_out[rows[e]] = nu_rows[e];
+        for (std::size_t a = 0; a < nf; ++a) d0[a] -= nu_rows[e] * u[e][a];
+      }
+    }
+    for (std::size_t a = 0; a < nf; ++a) d[free_idx[a]] = d0[a];
+    return d;
+  };
+
+  linalg::Vector nu(nb, 0.0);
+  r.status = SolveStatus::kMaxIterations;
+  for (std::size_t it = 0; it < max_it; ++it) {
+    r.iterations = it + 1;
+    const linalg::Vector g = p.gradient(x);
+    const linalg::Vector d = solve_eqp(g, nu);
+
+    if (linalg::norm_inf(d) <= tol) {
+      // Candidate optimum for the current working set: check multipliers.
+      double worst = -tol;
+      enum class DropKind { kNone, kBound, kBudget } drop_kind = DropKind::kNone;
+      std::size_t drop_idx = 0;
+
+      for (std::size_t k = 0; k < nb; ++k) {
+        if (ws.budget[k] && nu[k] < worst) {
+          worst = nu[k];
+          drop_kind = DropKind::kBudget;
+          drop_idx = k;
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        if (ws.bound[i] == BoundState::kFree) continue;
+        if (p.ub[i] - p.lb[i] < tol) continue;  // genuinely fixed: never drop
+        double gi = g[i];
+        for (std::size_t k = 0; k < nb; ++k) {
+          if (!ws.budget[k] || nu[k] == 0.0) continue;
+          const auto& bc = p.budgets[k];
+          for (std::size_t j = 0; j < bc.index.size(); ++j) {
+            if (bc.index[j] == i) gi += nu[k] * bc.weight[j];
+          }
+        }
+        const double mu = ws.bound[i] == BoundState::kAtLower ? gi : -gi;
+        if (mu < worst) {
+          worst = mu;
+          drop_kind = DropKind::kBound;
+          drop_idx = i;
+        }
+      }
+
+      if (drop_kind == DropKind::kNone) {
+        r.status = SolveStatus::kOptimal;
+        break;
+      }
+      if (drop_kind == DropKind::kBound) {
+        ws.bound[drop_idx] = BoundState::kFree;
+        free_variable(drop_idx);
+      } else {
+        ws.budget[drop_idx] = false;
+      }
+      continue;
+    }
+
+    // Line search to the nearest blocking constraint.
+    double alpha = 1.0;
+    enum class BlockKind { kNone, kLower, kUpper, kBudget } block = BlockKind::kNone;
+    std::size_t block_idx = 0;
+    for (std::size_t a = 0; a < free_idx.size(); ++a) {
+      const std::size_t i = free_idx[a];
+      if (d[i] == 0.0) continue;
+      if (d[i] > 0.0) {
+        const double step = (p.ub[i] - x[i]) / d[i];
+        if (step < alpha) {
+          alpha = step;
+          block = BlockKind::kUpper;
+          block_idx = i;
+        }
+      } else {
+        const double step = (p.lb[i] - x[i]) / d[i];
+        if (step < alpha) {
+          alpha = step;
+          block = BlockKind::kLower;
+          block_idx = i;
+        }
+      }
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+      if (ws.budget[k]) continue;
+      const auto& bc = p.budgets[k];
+      double wd = 0.0;
+      double wx = 0.0;
+      for (std::size_t j = 0; j < bc.index.size(); ++j) {
+        wd += bc.weight[j] * d[bc.index[j]];
+        wx += bc.weight[j] * x[bc.index[j]];
+      }
+      if (wd > tol) {
+        const double step = (bc.bound - wx) / wd;
+        if (step < alpha) {
+          alpha = step;
+          block = BlockKind::kBudget;
+          block_idx = k;
+        }
+      }
+    }
+
+    alpha = std::max(alpha, 0.0);
+    for (std::size_t a = 0; a < free_idx.size(); ++a) {
+      const std::size_t i = free_idx[a];
+      x[i] += alpha * d[i];
+    }
+    switch (block) {
+      case BlockKind::kLower:
+        ws.bound[block_idx] = BoundState::kAtLower;
+        x[block_idx] = p.lb[block_idx];
+        fix_variable(block_idx);
+        break;
+      case BlockKind::kUpper:
+        ws.bound[block_idx] = BoundState::kAtUpper;
+        x[block_idx] = p.ub[block_idx];
+        fix_variable(block_idx);
+        break;
+      case BlockKind::kBudget:
+        ws.budget[block_idx] = true;
+        break;
+      case BlockKind::kNone:
+        break;
+    }
+  }
+
+  r.x = x;
+  r.objective = p.objective(x);
+  // Export multipliers in the result's convention (non-negative).
+  r.budget_mult.assign(nb, 0.0);
+  for (std::size_t k = 0; k < nb; ++k) {
+    if (ws.budget[k]) r.budget_mult[k] = std::max(0.0, nu[k]);
+  }
+  r.bound_mult.assign(n, 0.0);
+  const linalg::Vector g = p.gradient(x);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ws.bound[i] == BoundState::kFree) continue;
+    double gi = g[i];
+    for (std::size_t k = 0; k < nb; ++k) {
+      if (r.budget_mult[k] == 0.0) continue;
+      const auto& bc = p.budgets[k];
+      for (std::size_t j = 0; j < bc.index.size(); ++j) {
+        if (bc.index[j] == i) gi += r.budget_mult[k] * bc.weight[j];
+      }
+    }
+    const double mu = ws.bound[i] == BoundState::kAtLower ? gi : -gi;
+    if (mu > 0.0) r.bound_mult[i] = mu;
+  }
+  return r;
+}
+
 QpResult solve(const QpProblem& p, const linalg::Vector& warm_start) {
   constexpr double kAcceptTol = 1e-5;
   try {
@@ -279,6 +586,29 @@ QpResult solve(const QpProblem& p, const linalg::Vector& warm_start) {
   } catch (const invariant_error&) {
     // Singular working-set system: fall through to the always-convergent
     // projected-gradient solver.
+  }
+  return solve_projected_gradient(p, warm_start);
+}
+
+QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start) {
+  constexpr double kAcceptTol = 1e-5;
+  // Up to this size the incrementally-factorized active set is the fastest
+  // certified path (the one-off O(nf^3) Cholesky is amortized across all
+  // iterations). Beyond it, matrix-free FISTA is the only path that avoids
+  // cubic work entirely.
+  constexpr std::size_t kDirectLimit = 1200;
+  if (p.size() <= kDirectLimit) {
+    try {
+      QpResult r = solve_active_set(p, warm_start);
+      if (r.status == SolveStatus::kInfeasible) return r;
+      if (r.status == SolveStatus::kOptimal &&
+          kkt_residual(p, r).max() <=
+              kAcceptTol * (1.0 + linalg::norm_inf(p.linear_term()))) {
+        return r;
+      }
+    } catch (const invariant_error&) {
+      // Singular working-set system: fall through to FISTA.
+    }
   }
   return solve_projected_gradient(p, warm_start);
 }

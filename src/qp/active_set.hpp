@@ -7,6 +7,7 @@
 #pragma once
 
 #include "qp/problem.hpp"
+#include "qp/structured.hpp"
 
 namespace perq::qp {
 
@@ -18,7 +19,20 @@ struct AsOptions {
 /// Solves `p` starting from `x0` (projected to feasibility first).
 /// Throws perq::invariant_error if the working-set linear algebra becomes
 /// singular (the solve() facade falls back to projected gradient then).
+///
+/// This dense path rebuilds and LU-factors the full KKT system of the free
+/// variables every iteration; it is kept as the debug/baseline adapter the
+/// structured path is validated (and benchmarked) against.
 QpResult solve_active_set(const QpProblem& p, const linalg::Vector& x0,
+                          const AsOptions& opts = {});
+
+/// Structured overload. Never materializes Q: gradients are matrix-free,
+/// the free-variable block Q_FF is assembled on demand from the structured
+/// terms, and its Cholesky factorization is reused across working-set
+/// changes (one append/remove per iteration, O(nf^2)) instead of being
+/// refactorized (O(nf^3)). Budget-row multipliers come from a small Schur
+/// complement against the maintained factor.
+QpResult solve_active_set(const StructuredQp& p, const linalg::Vector& x0,
                           const AsOptions& opts = {});
 
 /// Production entry point: active set with warm start, KKT-verified, with a
@@ -26,5 +40,11 @@ QpResult solve_active_set(const QpProblem& p, const linalg::Vector& x0,
 /// optimality. This mirrors how PERQ uses CVXOPT in the paper: one reliable
 /// QP solve per control interval.
 QpResult solve(const QpProblem& p, const linalg::Vector& warm_start = {});
+
+/// Structured facade: the incrementally-factorized active set for problems
+/// up to a size where direct factorization pays off, matrix-free FISTA
+/// beyond that (and as the fallback when the active set cannot certify
+/// optimality).
+QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start = {});
 
 }  // namespace perq::qp

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "qp/problem.hpp"
+#include "qp/structured.hpp"
 
 namespace perq::qp {
 
@@ -18,6 +19,13 @@ struct PgOptions {
 /// Multiplier estimates in the result are reconstructed from the gradient at
 /// the solution (used for KKT diagnostics, not for the optimization itself).
 QpResult solve_projected_gradient(const QpProblem& p, const linalg::Vector& x0,
+                                  const PgOptions& opts = {});
+
+/// Structured overload: identical algorithm, but every gradient is a
+/// matrix-free O(nnz) product and the step size comes from a Gershgorin
+/// bound, so the dense Hessian is never materialized. This is the production
+/// path for large MPC instances (nj * m in the thousands).
+QpResult solve_projected_gradient(const StructuredQp& p, const linalg::Vector& x0,
                                   const PgOptions& opts = {});
 
 /// Estimates the largest eigenvalue of symmetric Q by power iteration.

@@ -76,7 +76,12 @@ void project_budget(linalg::Vector& x, const BudgetConstraint& bc,
   }
 }
 
-bool is_feasible_problem(const QpProblem& p) {
+namespace {
+
+// Shared across the dense and structured problem forms: both expose the same
+// lb/ub/budgets interface subset.
+template <class Problem>
+bool is_feasible_impl(const Problem& p) {
   for (const auto& bc : p.budgets) {
     double lo_sum = 0.0;
     for (std::size_t k = 0; k < bc.index.size(); ++k) {
@@ -87,8 +92,9 @@ bool is_feasible_problem(const QpProblem& p) {
   return true;
 }
 
-void project_feasible(const QpProblem& p, linalg::Vector& x, double tol) {
-  PERQ_REQUIRE(is_feasible_problem(p), "QP feasible set is empty");
+template <class Problem>
+void project_feasible_impl(const Problem& p, linalg::Vector& x, double tol) {
+  PERQ_REQUIRE(is_feasible_impl(p), "QP feasible set is empty");
   project_box(x, p.lb, p.ub);
   if (p.budgets.empty()) return;
 
@@ -102,6 +108,19 @@ void project_feasible(const QpProblem& p, linalg::Vector& x, double tol) {
     if (p.infeasibility(x) <= tol) return;
   }
   PERQ_ASSERT(p.infeasibility(x) <= 1e-6, "cyclic projection failed to converge");
+}
+
+}  // namespace
+
+bool is_feasible_problem(const QpProblem& p) { return is_feasible_impl(p); }
+bool is_feasible_problem(const StructuredQp& p) { return is_feasible_impl(p); }
+
+void project_feasible(const QpProblem& p, linalg::Vector& x, double tol) {
+  project_feasible_impl(p, x, tol);
+}
+
+void project_feasible(const StructuredQp& p, linalg::Vector& x, double tol) {
+  project_feasible_impl(p, x, tol);
 }
 
 }  // namespace perq::qp

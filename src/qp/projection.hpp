@@ -7,6 +7,7 @@
 #pragma once
 
 #include "qp/problem.hpp"
+#include "qp/structured.hpp"
 
 namespace perq::qp {
 
@@ -27,8 +28,12 @@ void project_budget(linalg::Vector& x, const BudgetConstraint& bc,
 /// Throws perq::precondition_error when the feasible set is empty.
 void project_feasible(const QpProblem& p, linalg::Vector& x, double tol = 1e-10);
 
+/// Structured overload: identical semantics, no dense Hessian required.
+void project_feasible(const StructuredQp& p, linalg::Vector& x, double tol = 1e-10);
+
 /// True when the feasible set is non-empty (checks each budget row against
 /// the box minimum).
 bool is_feasible_problem(const QpProblem& p);
+bool is_feasible_problem(const StructuredQp& p);
 
 }  // namespace perq::qp

@@ -1,0 +1,273 @@
+#include "qp/structured.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "qp/kkt_impl.hpp"
+#include "util/require.hpp"
+
+namespace perq::qp {
+
+StructuredQp::StructuredQp(std::size_t n)
+    : lb(n, -1e30),
+      ub(n, 1e30),
+      n_(n),
+      diag_(n, 0.0),
+      c_(n, 0.0),
+      var_rows_(n),
+      var_pairs_(n) {
+  PERQ_REQUIRE(n >= 1, "StructuredQp needs at least one variable");
+}
+
+void StructuredQp::add_ridge(double r) {
+  PERQ_REQUIRE(r > 0.0, "ridge must be positive");
+  for (double& d : diag_) d += 2.0 * r;
+}
+
+void StructuredQp::add_residual(const std::vector<std::size_t>& idx,
+                                const std::vector<double>& coef, double b,
+                                double w) {
+  PERQ_REQUIRE(idx.size() == coef.size(), "residual index/coef size mismatch");
+  PERQ_REQUIRE(!idx.empty(), "empty residual row");
+  PERQ_REQUIRE(w >= 0.0, "residual weight must be non-negative");
+  if (w == 0.0) return;
+  {
+    // Duplicate indices would double-count in the per-variable adjacency
+    // (hessian_column / q_entry assume each variable appears once per row).
+    std::vector<std::size_t> sorted(idx);
+    std::sort(sorted.begin(), sorted.end());
+    PERQ_REQUIRE(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+                 "duplicate index in residual row");
+  }
+  const double w2 = 2.0 * w;
+  const auto row_id = static_cast<std::uint32_t>(rows_.size());
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    PERQ_REQUIRE(idx[k] < n_, "residual index out of range");
+    c_[idx[k]] -= w2 * b * coef[k];
+    var_rows_[idx[k]].emplace_back(row_id, static_cast<std::uint32_t>(k));
+  }
+  rows_.push_back(Residual{idx, coef, w2});
+}
+
+void StructuredQp::add_anchor(std::size_t i, double target, double w) {
+  PERQ_REQUIRE(i < n_, "anchor index out of range");
+  PERQ_REQUIRE(w >= 0.0, "anchor weight must be non-negative");
+  diag_[i] += 2.0 * w;
+  c_[i] -= 2.0 * w * target;
+}
+
+void StructuredQp::add_smooth(std::size_t a, std::size_t b, double w) {
+  PERQ_REQUIRE(a < n_ && b < n_ && a != b, "smooth term needs two distinct variables");
+  PERQ_REQUIRE(w >= 0.0, "smooth weight must be non-negative");
+  if (w == 0.0) return;
+  const auto pair_id = static_cast<std::uint32_t>(pairs_.size());
+  pairs_.push_back(Pair{a, b, 2.0 * w});
+  var_pairs_[a].push_back(pair_id);
+  var_pairs_[b].push_back(pair_id);
+}
+
+void StructuredQp::validate() const {
+  PERQ_REQUIRE(lb.size() == n_ && ub.size() == n_, "bound size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    PERQ_REQUIRE(lb[i] <= ub[i], "lb > ub at index " + std::to_string(i));
+  }
+  for (const auto& bc : budgets) {
+    PERQ_REQUIRE(bc.index.size() == bc.weight.size(), "budget index/weight mismatch");
+    PERQ_REQUIRE(!bc.index.empty(), "empty budget constraint");
+    for (std::size_t k = 0; k < bc.index.size(); ++k) {
+      PERQ_REQUIRE(bc.index[k] < n_, "budget index out of range");
+      PERQ_REQUIRE(bc.weight[k] > 0.0, "budget weights must be positive");
+    }
+  }
+}
+
+void StructuredQp::qx(const linalg::Vector& x, linalg::Vector& out) const {
+  PERQ_REQUIRE(x.size() == n_, "x size mismatch");
+  out.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) out[i] = diag_[i] * x[i];
+  for (const auto& row : rows_) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < row.idx.size(); ++k) s += row.coef[k] * x[row.idx[k]];
+    s *= row.w;
+    for (std::size_t k = 0; k < row.idx.size(); ++k) out[row.idx[k]] += row.coef[k] * s;
+  }
+  for (const auto& pr : pairs_) {
+    const double d = pr.w * (x[pr.a] - x[pr.b]);
+    out[pr.a] += d;
+    out[pr.b] -= d;
+  }
+}
+
+linalg::Vector StructuredQp::gradient(const linalg::Vector& x) const {
+  linalg::Vector g;
+  qx(x, g);
+  for (std::size_t i = 0; i < n_; ++i) g[i] += c_[i];
+  return g;
+}
+
+double StructuredQp::objective(const linalg::Vector& x) const {
+  linalg::Vector qxv;
+  qx(x, qxv);
+  return 0.5 * linalg::dot(x, qxv) + linalg::dot(c_, x);
+}
+
+double StructuredQp::infeasibility(const linalg::Vector& x) const {
+  PERQ_REQUIRE(x.size() == n_, "x size mismatch");
+  double v = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    v = std::max(v, lb[i] - x[i]);
+    v = std::max(v, x[i] - ub[i]);
+  }
+  for (const auto& bc : budgets) {
+    double s = 0.0;
+    for (std::size_t k = 0; k < bc.index.size(); ++k) s += bc.weight[k] * x[bc.index[k]];
+    v = std::max(v, s - bc.bound);
+  }
+  return std::max(v, 0.0);
+}
+
+bool StructuredQp::budgets_disjoint() const {
+  std::set<std::size_t> seen;
+  for (const auto& bc : budgets) {
+    for (std::size_t idx : bc.index) {
+      if (!seen.insert(idx).second) return false;
+    }
+  }
+  return true;
+}
+
+double StructuredQp::gershgorin_bound() const {
+  // Row sums of |Q|: each residual row contributes w*|a_r|*sum_k |a_k| to
+  // row idx[r]; pairs contribute 2w to each endpoint's row sum.
+  linalg::Vector row_sum = diag_;  // diagonal is non-negative by construction
+  for (const auto& row : rows_) {
+    double abs_sum = 0.0;
+    for (double cc : row.coef) abs_sum += std::abs(cc);
+    for (std::size_t k = 0; k < row.idx.size(); ++k) {
+      row_sum[row.idx[k]] += row.w * std::abs(row.coef[k]) * abs_sum;
+    }
+  }
+  for (const auto& pr : pairs_) {
+    row_sum[pr.a] += 2.0 * pr.w;
+    row_sum[pr.b] += 2.0 * pr.w;
+  }
+  double bound = 0.0;
+  for (double v : row_sum) bound = std::max(bound, v);
+  return bound;
+}
+
+double StructuredQp::q_entry(std::size_t i, std::size_t j) const {
+  PERQ_REQUIRE(i < n_ && j < n_, "entry index out of range");
+  double v = 0.0;
+  if (i == j) v += diag_[i];
+  for (const auto& [row_id, ki] : var_rows_[i]) {
+    const Residual& row = rows_[row_id];
+    // Find j within the row (rows are short: O(nnz) scan).
+    for (std::size_t k = 0; k < row.idx.size(); ++k) {
+      if (row.idx[k] == j) v += row.w * row.coef[ki] * row.coef[k];
+    }
+  }
+  for (std::uint32_t pid : var_pairs_[i]) {
+    const Pair& pr = pairs_[pid];
+    if (i == j) {
+      v += pr.w;
+    } else if ((pr.a == i && pr.b == j) || (pr.a == j && pr.b == i)) {
+      v -= pr.w;
+    }
+  }
+  return v;
+}
+
+void StructuredQp::assemble_free_block(const std::vector<std::size_t>& free_idx,
+                                       const std::vector<std::size_t>& pos,
+                                       linalg::Matrix& qff) const {
+  const std::size_t nf = free_idx.size();
+  qff = linalg::Matrix(nf, nf);
+  for (std::size_t a = 0; a < nf; ++a) qff(a, a) = diag_[free_idx[a]];
+  // Scatter each residual row over its free entries only.
+  std::vector<std::size_t> fpos;
+  std::vector<double> fcoef;
+  for (const auto& row : rows_) {
+    fpos.clear();
+    fcoef.clear();
+    for (std::size_t k = 0; k < row.idx.size(); ++k) {
+      const std::size_t p = pos[row.idx[k]];
+      if (p != SIZE_MAX) {
+        fpos.push_back(p);
+        fcoef.push_back(row.coef[k]);
+      }
+    }
+    for (std::size_t r = 0; r < fpos.size(); ++r) {
+      const double wc = row.w * fcoef[r];
+      for (std::size_t s = 0; s < fpos.size(); ++s) {
+        qff(fpos[r], fpos[s]) += wc * fcoef[s];
+      }
+    }
+  }
+  for (const auto& pr : pairs_) {
+    const std::size_t pa = pos[pr.a];
+    const std::size_t pb = pos[pr.b];
+    if (pa != SIZE_MAX) qff(pa, pa) += pr.w;
+    if (pb != SIZE_MAX) qff(pb, pb) += pr.w;
+    if (pa != SIZE_MAX && pb != SIZE_MAX) {
+      qff(pa, pb) -= pr.w;
+      qff(pb, pa) -= pr.w;
+    }
+  }
+}
+
+void StructuredQp::hessian_column(std::size_t v,
+                                  const std::vector<std::size_t>& pos,
+                                  linalg::Vector& col, double& diag) const {
+  diag = diag_[v];
+  for (const auto& [row_id, kv] : var_rows_[v]) {
+    const Residual& row = rows_[row_id];
+    const double wc = row.w * row.coef[kv];
+    for (std::size_t k = 0; k < row.idx.size(); ++k) {
+      const std::size_t i = row.idx[k];
+      if (i == v) {
+        diag += wc * row.coef[k];
+      } else if (pos[i] != SIZE_MAX) {
+        col[pos[i]] += wc * row.coef[k];
+      }
+    }
+  }
+  for (std::uint32_t pid : var_pairs_[v]) {
+    const Pair& pr = pairs_[pid];
+    diag += pr.w;
+    const std::size_t other = pr.a == v ? pr.b : pr.a;
+    if (pos[other] != SIZE_MAX) col[pos[other]] -= pr.w;
+  }
+}
+
+QpProblem StructuredQp::to_dense() const {
+  QpProblem p;
+  p.Q = linalg::Matrix(n_, n_);
+  for (std::size_t i = 0; i < n_; ++i) p.Q(i, i) = diag_[i];
+  for (const auto& row : rows_) {
+    for (std::size_t r = 0; r < row.idx.size(); ++r) {
+      const double wc = row.w * row.coef[r];
+      for (std::size_t s = 0; s < row.idx.size(); ++s) {
+        p.Q(row.idx[r], row.idx[s]) += wc * row.coef[s];
+      }
+    }
+  }
+  for (const auto& pr : pairs_) {
+    p.Q(pr.a, pr.a) += pr.w;
+    p.Q(pr.b, pr.b) += pr.w;
+    p.Q(pr.a, pr.b) -= pr.w;
+    p.Q(pr.b, pr.a) -= pr.w;
+  }
+  p.c = c_;
+  p.lb = lb;
+  p.ub = ub;
+  p.budgets = budgets;
+  return p;
+}
+
+KktResidual kkt_residual(const StructuredQp& p, const QpResult& r) {
+  return detail::kkt_residual_impl(p, r);
+}
+
+}  // namespace perq::qp

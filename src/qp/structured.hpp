@@ -1,0 +1,149 @@
+// Structure-exploiting representation of PERQ's MPC quadratic program.
+//
+// The MPC objective is a sum of exactly three term shapes over the stacked
+// caps x (nj jobs x m horizon steps):
+//
+//   1. a diagonal ridge            r * x_i^2                  (strict convexity)
+//   2. sparse weighted residuals   w * (b - a' x)^2           (job / system
+//      tracking rows; `a` touches only the caps that influence one
+//      prediction step)
+//   3. banded Delta-P terms        w * (x_a - x_b)^2  and
+//                                  w * (x_i - p0)^2           (cap slewing)
+//
+// Materializing the dense Hessian from these terms costs O((nj*m)^2) memory
+// and O(nnz^2) scatter per residual row; every downstream dense operation
+// (gradients, KKT factorizations) then pays O(n^2)..O(n^3). StructuredQp
+// keeps the terms themselves and provides
+//
+//   * matrix-free products `qx` / `gradient` in O(total nnz),
+//   * on-demand assembly of the free-variable Hessian block Q_FF (and single
+//     Hessian columns) for the active-set solver, and
+//   * a dense adapter `to_dense()` used by tests and the debug/baseline
+//     solver path to prove exact equivalence with the legacy pipeline.
+//
+// Conventions match QpProblem: the objective is 1/2 x'Qx + c'x where a
+// residual contributes 2w*aa' to Q and -2wb*a to c (constant terms dropped),
+// so structured and dense solves agree exactly on objective values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "qp/problem.hpp"
+
+namespace perq::qp {
+
+class StructuredQp {
+ public:
+  /// n-variable problem; bounds default to (-inf-ish, +inf-ish) and must be
+  /// narrowed by the caller before solving.
+  explicit StructuredQp(std::size_t n);
+
+  std::size_t size() const { return n_; }
+
+  // ---- term builders (objective contributions) ----------------------------
+
+  /// Adds r * x_i^2 for every variable (Q diagonal += 2r). r > 0 required.
+  void add_ridge(double r);
+
+  /// Adds w * (b - sum_k coef[k] * x[idx[k]])^2. Indices must be in range
+  /// and unique within the row; w >= 0 (w == 0 rows are dropped).
+  void add_residual(const std::vector<std::size_t>& idx,
+                    const std::vector<double>& coef, double b, double w);
+
+  /// Adds w * (x_i - target)^2 (Delta-P anchor at the first horizon step).
+  void add_anchor(std::size_t i, double target, double w);
+
+  /// Adds w * (x_a - x_b)^2 (Delta-P coupling between adjacent steps).
+  void add_smooth(std::size_t a, std::size_t b, double w);
+
+  // ---- constraints (same shapes as QpProblem) -----------------------------
+
+  linalg::Vector lb;
+  linalg::Vector ub;
+  std::vector<BudgetConstraint> budgets;
+
+  /// Validates shapes and budget rows (mirrors QpProblem::validate).
+  void validate() const;
+
+  // ---- matrix-free operations ---------------------------------------------
+
+  /// out = Q x (out is resized/overwritten). O(total term nnz).
+  void qx(const linalg::Vector& x, linalg::Vector& out) const;
+
+  /// Gradient Qx + c.
+  linalg::Vector gradient(const linalg::Vector& x) const;
+
+  /// Objective 1/2 x'Qx + c'x (same constant-dropping convention as the
+  /// dense QpProblem, so values are directly comparable).
+  double objective(const linalg::Vector& x) const;
+
+  /// Max constraint violation at x (0 when feasible).
+  double infeasibility(const linalg::Vector& x) const;
+
+  /// True when all budget rows touch pairwise-disjoint variable sets.
+  bool budgets_disjoint() const;
+
+  /// The linear term c accumulated from the residual/anchor targets.
+  const linalg::Vector& linear_term() const { return c_; }
+
+  /// Gershgorin upper bound on the largest eigenvalue of Q: max row sum of
+  /// |Q| computed term-by-term in O(total nnz), without forming Q. Used as
+  /// a safe Lipschitz constant for the projected-gradient step size.
+  double gershgorin_bound() const;
+
+  // ---- structure access for the active-set solver -------------------------
+
+  /// Single Hessian entry Q(i, j). O(rows touching i); intended for tests
+  /// and diagnostics, not hot loops.
+  double q_entry(std::size_t i, std::size_t j) const;
+
+  /// Fills `qff` (resized to nf x nf) with Q restricted to `free_idx`.
+  /// `pos[v]` must map each variable to its position in free_idx, or
+  /// SIZE_MAX when fixed. Cost is O(sum over terms of free-nnz^2), which for
+  /// the MPC form is far below one dense n^2 sweep.
+  void assemble_free_block(const std::vector<std::size_t>& free_idx,
+                           const std::vector<std::size_t>& pos,
+                           linalg::Matrix& qff) const;
+
+  /// Extracts the Hessian column for variable v restricted to the current
+  /// free set: col[pos[f]] = Q(f, v) for free f != v, and diag = Q(v, v).
+  /// `col` must be pre-sized to the free count and zeroed by the caller.
+  void hessian_column(std::size_t v, const std::vector<std::size_t>& pos,
+                      linalg::Vector& col, double& diag) const;
+
+  // ---- dense adapter ------------------------------------------------------
+
+  /// Materializes the equivalent dense QpProblem (debug/baseline path).
+  QpProblem to_dense() const;
+
+ private:
+  struct Residual {
+    std::vector<std::size_t> idx;
+    std::vector<double> coef;
+    double w = 0.0;  // stored as 2*w (the Q-convention factor)
+  };
+  struct Pair {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    double w = 0.0;  // stored as 2*w
+  };
+
+  std::size_t n_;
+  linalg::Vector diag_;  // accumulated diagonal (ridge + anchors), Q units
+  linalg::Vector c_;     // linear term
+  std::vector<Residual> rows_;
+  std::vector<Pair> pairs_;
+  // Per-variable adjacency: (row id, position of the variable inside the
+  // row) and pair ids, for column extraction and q_entry.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> var_rows_;
+  std::vector<std::vector<std::uint32_t>> var_pairs_;
+};
+
+/// KKT residual diagnostics against the structured form (same definition as
+/// the dense overload in problem.hpp).
+KktResidual kkt_residual(const StructuredQp& p, const QpResult& r);
+
+}  // namespace perq::qp

@@ -1,0 +1,253 @@
+// Structured-vs-dense equivalence: StructuredQp must agree with its
+// materialized QpProblem on every operation (products, objectives,
+// Gershgorin domination) and both solver pipelines must land on the same
+// minimizer to tight tolerance across the constraint shapes the MPC emits
+// (box-only, a single budget row, per-step budget rows). Also unit-tests the
+// incrementally updated Cholesky factor the structured active set relies on.
+#include "qp/structured.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/chol_update.hpp"
+#include "qp/active_set.hpp"
+#include "qp/projected_gradient.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace perq::qp {
+namespace {
+
+enum class BudgetShape { kNone, kSingle, kPerStep };
+
+/// Builds a random MPC-shaped structured problem: nj "jobs" x m "steps",
+/// ridge + random tracking rows per step + anchor/smooth Delta-P chain.
+StructuredQp random_mpc_problem(Rng& rng, std::size_t nj, std::size_t m,
+                                BudgetShape shape) {
+  const std::size_t nv = nj * m;
+  StructuredQp sp(nv);
+  const auto var = [nj](std::size_t i, std::size_t j) { return j * nj + i; };
+  sp.lb.assign(nv, 0.3);
+  sp.ub.assign(nv, 1.0);
+  sp.add_ridge(1e-6);
+
+  for (std::size_t j = 0; j < m; ++j) {
+    // System-style row touching all jobs at steps <= j.
+    std::vector<std::size_t> idx;
+    std::vector<double> coef;
+    for (std::size_t i = 0; i < nj; ++i) {
+      for (std::size_t l = 0; l <= j; ++l) {
+        idx.push_back(var(i, l));
+        coef.push_back(rng.uniform(-0.5, 1.5));
+      }
+    }
+    sp.add_residual(idx, coef, rng.uniform(-1.0, 2.0), rng.uniform(0.0, 2.0));
+
+    for (std::size_t i = 0; i < nj; ++i) {
+      // Job-style row touching one job's steps <= j.
+      std::vector<std::size_t> jidx;
+      std::vector<double> jcoef;
+      for (std::size_t l = 0; l <= j; ++l) {
+        jidx.push_back(var(i, l));
+        jcoef.push_back(rng.uniform(-0.5, 1.5));
+      }
+      sp.add_residual(jidx, jcoef, rng.uniform(-1.0, 2.0), rng.uniform(0.0, 2.0));
+      // Delta-P chain.
+      if (j == 0) {
+        sp.add_anchor(var(i, 0), rng.uniform(0.3, 1.0), rng.uniform(0.1, 3.0));
+      } else {
+        sp.add_smooth(var(i, j), var(i, j - 1), rng.uniform(0.1, 3.0));
+      }
+    }
+
+    if (shape == BudgetShape::kPerStep ||
+        (shape == BudgetShape::kSingle && j == 0)) {
+      BudgetConstraint bc;
+      for (std::size_t i = 0; i < nj; ++i) {
+        bc.index.push_back(var(i, j));
+        bc.weight.push_back(1.0 + static_cast<double>(i % 3));
+      }
+      // Tight enough to usually bind, loose enough to stay feasible.
+      bc.bound = 0.45 * static_cast<double>(nj) * 2.0;
+      sp.budgets.push_back(std::move(bc));
+    }
+  }
+  return sp;
+}
+
+TEST(StructuredQp, MatrixFreeOpsMatchDense) {
+  Rng rng(7);
+  const auto sp = random_mpc_problem(rng, 3, 4, BudgetShape::kPerStep);
+  const QpProblem dense = sp.to_dense();
+  dense.validate();
+  sp.validate();
+
+  const std::size_t n = sp.size();
+  for (int trial = 0; trial < 5; ++trial) {
+    linalg::Vector x(n);
+    for (auto& v : x) v = rng.uniform(-1.0, 2.0);
+    linalg::Vector qx_s;
+    sp.qx(x, qx_s);
+    using linalg::operator*;
+    const linalg::Vector qx_d = dense.Q * x;
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(qx_s[i], qx_d[i], 1e-10);
+    EXPECT_NEAR(sp.objective(x), dense.objective(x), 1e-9);
+    const auto gs = sp.gradient(x);
+    const auto gd = dense.gradient(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(gs[i], gd[i], 1e-10);
+  }
+
+  // Entry probes and the dense adapter agree.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(sp.q_entry(i, j), dense.Q(i, j), 1e-12);
+    }
+  }
+
+  // Gershgorin dominates every dense row sum (true Lipschitz upper bound).
+  double max_row = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < n; ++j) s += std::abs(dense.Q(i, j));
+    max_row = std::max(max_row, s);
+  }
+  EXPECT_GE(sp.gershgorin_bound(), max_row - 1e-9);
+}
+
+class StructuredEquivalence : public ::testing::TestWithParam<BudgetShape> {};
+
+TEST_P(StructuredEquivalence, SolversAgreeToTightTolerance) {
+  Rng rng(11);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t nj = static_cast<std::size_t>(rng.uniform_int(2, 5));
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    const auto sp = random_mpc_problem(rng, nj, m, GetParam());
+    const QpProblem dense = sp.to_dense();
+
+    linalg::Vector warm(sp.size());
+    for (auto& v : warm) v = rng.uniform(0.3, 1.0);
+
+    const QpResult rs = solve(sp, warm);
+    const QpResult rd = solve(dense, warm);
+    ASSERT_EQ(rs.status, SolveStatus::kOptimal) << "trial " << trial;
+    ASSERT_EQ(rd.status, SolveStatus::kOptimal) << "trial " << trial;
+
+    EXPECT_NEAR(rs.objective, rd.objective, 1e-8) << "trial " << trial;
+    for (std::size_t i = 0; i < sp.size(); ++i) {
+      EXPECT_NEAR(rs.x[i], rd.x[i], 1e-8) << "trial " << trial << " var " << i;
+    }
+    EXPECT_LE(sp.infeasibility(rs.x), 1e-9);
+    EXPECT_LE(kkt_residual(sp, rs).max(), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BudgetShapes, StructuredEquivalence,
+                         ::testing::Values(BudgetShape::kNone,
+                                           BudgetShape::kSingle,
+                                           BudgetShape::kPerStep));
+
+TEST(StructuredQp, LargeProblemSolvesMatrixFree) {
+  // Above the direct-factorization limit the facade must still certify a
+  // solution without ever materializing Q (32 * 48 = 1536 > 1200).
+  Rng rng(3);
+  const auto sp = random_mpc_problem(rng, 32, 48, BudgetShape::kPerStep);
+  const QpResult r = solve(sp, {});
+  EXPECT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_LE(sp.infeasibility(r.x), 1e-8);
+}
+
+TEST(StructuredQp, BuilderValidation) {
+  StructuredQp sp(4);
+  EXPECT_THROW(sp.add_ridge(0.0), precondition_error);
+  EXPECT_THROW(sp.add_residual({0, 0}, {1.0, 1.0}, 0.0, 1.0), precondition_error);
+  EXPECT_THROW(sp.add_residual({5}, {1.0}, 0.0, 1.0), precondition_error);
+  EXPECT_THROW(sp.add_residual({0}, {1.0, 2.0}, 0.0, 1.0), precondition_error);
+  EXPECT_THROW(sp.add_anchor(9, 0.5, 1.0), precondition_error);
+  EXPECT_THROW(sp.add_smooth(1, 1, 1.0), precondition_error);
+  EXPECT_THROW(sp.add_smooth(0, 1, -1.0), precondition_error);
+}
+
+TEST(UpdatableCholesky, AppendMatchesFreshFactorization) {
+  Rng rng(23);
+  const std::size_t n = 8;
+  // Random SPD matrix A = B B' + n I.
+  linalg::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  linalg::Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) a(i, j) += b(i, k) * b(j, k);
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+
+  // Grow the factor column by column; solving against the full matrix must
+  // match a fresh factorization of A.
+  linalg::UpdatableCholesky chol;
+  for (std::size_t k = 0; k < n; ++k) {
+    linalg::Vector col(k);
+    for (std::size_t i = 0; i < k; ++i) col[i] = a(i, k);
+    chol.append(col, a(k, k));
+  }
+  linalg::UpdatableCholesky fresh;
+  fresh.reset(a);
+
+  linalg::Vector rhs(n);
+  for (auto& v : rhs) v = rng.uniform(-1.0, 1.0);
+  const auto x1 = chol.solve(rhs);
+  const auto x2 = fresh.solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+}
+
+TEST(UpdatableCholesky, RemoveMatchesFactorizationOfSubmatrix) {
+  Rng rng(29);
+  const std::size_t n = 9;
+  linalg::Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  linalg::Matrix a(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) a(i, j) += b(i, k) * b(j, k);
+    }
+    a(i, i) += static_cast<double>(n);
+  }
+
+  for (std::size_t drop : {std::size_t{0}, std::size_t{4}, std::size_t{8}}) {
+    linalg::UpdatableCholesky chol;
+    chol.reset(a);
+    chol.remove(drop);
+
+    linalg::Matrix sub(n - 1, n - 1);
+    std::vector<std::size_t> keep;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i != drop) keep.push_back(i);
+    }
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = 0; j + 1 < n; ++j) sub(i, j) = a(keep[i], keep[j]);
+    }
+    linalg::UpdatableCholesky fresh;
+    fresh.reset(sub);
+
+    linalg::Vector rhs(n - 1);
+    for (auto& v : rhs) v = rng.uniform(-1.0, 1.0);
+    const auto x1 = chol.solve(rhs);
+    const auto x2 = fresh.solve(rhs);
+    for (std::size_t i = 0; i + 1 < n; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+  }
+}
+
+TEST(UpdatableCholesky, RejectsIndefiniteMatrix) {
+  linalg::Matrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;
+  linalg::UpdatableCholesky chol;
+  EXPECT_THROW(chol.reset(a), invariant_error);
+}
+
+}  // namespace
+}  // namespace perq::qp
