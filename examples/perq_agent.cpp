@@ -1,0 +1,119 @@
+// perq_agent: the plant side of a perqd deployment.
+//
+//   ./examples/perq_agent --connect 127.0.0.1:7421 --agents 4 --hours 1
+//                         [--wc-nodes 32] [--f 2.0] [--seed 11] [--interval 10]
+//
+// Simulates the over-provisioned machine and splits its nodes across
+// --agents node agents, each publishing telemetry to a running perqd and
+// actuating the returned cap plans on its own node slice. Intervals where
+// no plan arrived in time fall back to holding the previous caps (counted
+// and reported at the end). --wc-nodes and --f must match the perqd flags.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.hpp"
+#include "daemon/experiment.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --connect <host:port>  perqd address (default 127.0.0.1:7421)\n"
+      "  --agents <n>           node-agent count (default 4)\n"
+      "  --hours <h>            simulated duration (default 1)\n"
+      "  --wc-nodes <n>         worst-case node count (default 32)\n"
+      "  --f <factor>           over-provisioning factor (default 2.0)\n"
+      "  --seed <s>             trace seed (default 11)\n"
+      "  --interval <s>         control interval (default 10)\n",
+      argv0);
+}
+
+double parse_num(const char* argv0, const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s: %s expects a number, got '%s'\n", argv0, flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perq;
+  std::string address = "127.0.0.1:7421";
+  std::size_t agents = 4, wc_nodes = 32;
+  double f = 2.0, hours = 1.0, interval = 10.0;
+  std::uint64_t seed = 11;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") address = next();
+    else if (arg == "--agents") agents = static_cast<std::size_t>(parse_num(argv[0], "--agents", next()));
+    else if (arg == "--hours") hours = parse_num(argv[0], "--hours", next());
+    else if (arg == "--wc-nodes") wc_nodes = static_cast<std::size_t>(parse_num(argv[0], "--wc-nodes", next()));
+    else if (arg == "--f") f = parse_num(argv[0], "--f", next());
+    else if (arg == "--seed") seed = static_cast<std::uint64_t>(parse_num(argv[0], "--seed", next()));
+    else if (arg == "--interval") interval = parse_num(argv[0], "--interval", next());
+    else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.trace.max_job_nodes = 8;
+  cfg.trace.seed = seed;
+  cfg.worst_case_nodes = wc_nodes;
+  cfg.over_provision_factor = f;
+  cfg.duration_s = hours * 3600.0;
+  cfg.control_interval_s = interval;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+
+  net::TcpTransport transport;
+  daemon::PlantConfig pcfg;
+  pcfg.agents = agents;
+  daemon::DaemonPlant plant(cfg, transport, address, pcfg);
+
+  std::printf("perq_agent: %zu agents over %zu nodes, driving %s via %.1f h\n",
+              agents, plant.engine().cluster().size(), address.c_str(), hours);
+
+  std::size_t held_ticks = 0, ticks = 0;
+  while (!plant.done()) {
+    if (!plant.step()) {
+      ++held_ticks;
+      // Controller away? Hold caps (already done by step) and keep knocking.
+      if (const std::size_t n = plant.reconnect_lost(transport, address)) {
+        std::printf("  t=%6.0f s  reconnected %zu agents\n",
+                    plant.engine().now_s(), n);
+      }
+    }
+    ++ticks;
+    if (ticks % 60 == 0) {
+      std::printf("  t=%6.0f s  running %zu  held ticks %zu\n",
+                  plant.engine().now_s(), plant.engine().running().size(),
+                  held_ticks);
+    }
+  }
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) plant.agent(i).bye();
+
+  const auto run = plant.finish("perq(perqd)");
+  std::printf("perq_agent: %zu ticks (%zu held), %zu jobs completed, "
+              "mean draw %.0f W, peak committed %.0f W\n",
+              ticks, held_ticks, run.jobs_completed, run.mean_power_draw_w,
+              run.peak_committed_w);
+  return held_ticks == ticks ? 1 : 0;  // never got a single plan -> error
+}

@@ -38,6 +38,26 @@ void usage(const char* argv0) {
       argv0);
 }
 
+double parse_num(const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+std::uint64_t parse_uint(const char* flag, const char* s) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s: not a non-negative integer: '%s'\n", flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -59,13 +79,13 @@ int main(int argc, char** argv) {
     };
     if (arg == "--system") system = next();
     else if (arg == "--policy") policy_name = next();
-    else if (arg == "--f") f = std::atof(next());
-    else if (arg == "--hours") hours = std::atof(next());
-    else if (arg == "--wc-nodes") wc_nodes = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--max-job-nodes") max_job_nodes = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--seed") seed = std::strtoull(next(), nullptr, 10);
-    else if (arg == "--interval") interval = std::atof(next());
-    else if (arg == "--ratio") ratio = std::atof(next());
+    else if (arg == "--f") f = parse_num("--f", next());
+    else if (arg == "--hours") hours = parse_num("--hours", next());
+    else if (arg == "--wc-nodes") wc_nodes = parse_uint("--wc-nodes", next());
+    else if (arg == "--max-job-nodes") max_job_nodes = parse_uint("--max-job-nodes", next());
+    else if (arg == "--seed") seed = parse_uint("--seed", next());
+    else if (arg == "--interval") interval = parse_num("--interval", next());
+    else if (arg == "--ratio") ratio = parse_num("--ratio", next());
     else if (arg == "--easy") easy = true;
     else if (arg == "--csv") csv_out = next();
     else {

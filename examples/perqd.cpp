@@ -1,0 +1,124 @@
+// perqd: the PERQ controller as a standalone TCP service.
+//
+//   ./examples/perqd --listen 127.0.0.1:7421 --wc-nodes 32 --f 2.0
+//                    [--ratio 8] [--stale-ticks 3] [--grace-ms 250]
+//                    [--snapshot perqd.snap --snapshot-every 10]
+//
+// Identifies the node model, then serves cap plans to perq_agent plants
+// until every agent has left. --wc-nodes and --f size the policy's target
+// generator and must match the plant's. With --snapshot the controller
+// periodically persists its full decision state; restarting perqd with the
+// same snapshot path resumes mid-experiment with bit-identical plans.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "daemon/controller.hpp"
+#include "daemon/snapshot.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --listen <host:port>   bind address (default 127.0.0.1:7421)\n"
+      "  --wc-nodes <n>         worst-case node count (default 32)\n"
+      "  --f <factor>           over-provisioning factor (default 2.0)\n"
+      "  --ratio <r>            PERQ improvement ratio (default 8)\n"
+      "  --stale-ticks <n>      heartbeat timeout in intervals (default 3)\n"
+      "  --grace-ms <ms>        decide grace for lagging agents (default 250)\n"
+      "  --snapshot <path>      controller state snapshot file\n"
+      "  --snapshot-every <n>   snapshot every n decisions (default 10)\n",
+      argv0);
+}
+
+double parse_num(const char* argv0, const char* flag, const char* s) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "%s: %s expects a number, got '%s'\n", argv0, flag, s);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace perq;
+  std::string listen = "127.0.0.1:7421";
+  std::size_t wc_nodes = 32;
+  double f = 2.0, ratio = 8.0;
+  daemon::ControllerConfig ccfg;
+  ccfg.snapshot_every_ticks = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") listen = next();
+    else if (arg == "--wc-nodes") wc_nodes = static_cast<std::size_t>(parse_num(argv[0], "--wc-nodes", next()));
+    else if (arg == "--f") f = parse_num(argv[0], "--f", next());
+    else if (arg == "--ratio") ratio = parse_num(argv[0], "--ratio", next());
+    else if (arg == "--stale-ticks") ccfg.stale_after_ticks = static_cast<std::uint64_t>(parse_num(argv[0], "--stale-ticks", next()));
+    else if (arg == "--grace-ms") ccfg.decide_grace_ms = static_cast<int>(parse_num(argv[0], "--grace-ms", next()));
+    else if (arg == "--snapshot") ccfg.snapshot_path = next();
+    else if (arg == "--snapshot-every") ccfg.snapshot_every_ticks = static_cast<std::uint64_t>(parse_num(argv[0], "--snapshot-every", next()));
+    else {
+      usage(argv[0]);
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  std::printf("perqd: identifying node model...\n");
+  const sysid::IdentifiedModel& model = core::canonical_node_model();
+
+  core::PerqConfig pcfg;
+  pcfg.improvement_ratio = ratio;
+  const auto total = static_cast<std::size_t>(f * double(wc_nodes) + 0.5);
+  core::PerqPolicy policy(&model, wc_nodes, total, pcfg);
+
+  net::TcpTransport transport;
+  daemon::PerqController controller(transport.listen(listen), policy, ccfg);
+
+  if (!ccfg.snapshot_path.empty()) {
+    try {
+      controller.restore(daemon::load_snapshot(ccfg.snapshot_path));
+      std::printf("perqd: resumed from %s at tick %llu\n",
+                  ccfg.snapshot_path.c_str(),
+                  static_cast<unsigned long long>(controller.current_tick()));
+    } catch (const std::exception&) {
+      std::printf("perqd: no usable snapshot at %s, starting fresh\n",
+                  ccfg.snapshot_path.c_str());
+    }
+  }
+
+  std::printf("perqd: serving on %s (wc-nodes %zu, f %.2f)\n", listen.c_str(),
+              wc_nodes, f);
+  bool saw_agent = false;
+  for (;;) {
+    net::wait_readable(controller.fds(), 50);
+    if (controller.service()) {
+      const auto& s = controller.last_stats();
+      std::printf(
+          "tick %-6llu  fresh %-4zu held %-4zu held %.0f W  row %.0f W  stale "
+          "agents %zu\n",
+          static_cast<unsigned long long>(s.tick), s.fresh_jobs, s.held_jobs,
+          s.held_w, s.budget_row_w, s.stale_agents);
+    }
+    if (controller.session_count() > 0) saw_agent = true;
+    if (saw_agent && controller.session_count() == 0) break;
+  }
+  std::printf("perqd: all agents left after tick %llu, shutting down\n",
+              static_cast<unsigned long long>(controller.current_tick()));
+  return 0;
+}

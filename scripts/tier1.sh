@@ -1,16 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 gate: configure, build, and run the full test suite.
+# Tier-1 gate: configure, build, and run the full test suite -- twice.
 #
-#   scripts/tier1.sh             # RelWithDebInfo (default)
-#   PERQ_SANITIZE=ON scripts/tier1.sh   # ASan + UBSan build of everything
+# Leg 1 is the plain RelWithDebInfo build. Leg 2 rebuilds everything with
+# PERQ_SANITIZE=ON (ASan + UBSan, separate build dir) so the socket and
+# event-loop code in src/net + src/daemon is always exercised under the
+# sanitizers.
+#
+#   scripts/tier1.sh                        # both legs
+#   PERQ_SKIP_SANITIZE=1 scripts/tier1.sh   # plain leg only (quick iteration)
 #
 # Extra arguments are forwarded to ctest (e.g. scripts/tier1.sh -R Mpc).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-SANITIZE=${PERQ_SANITIZE:-OFF}
+ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 
-cmake -B "$BUILD_DIR" -S . -DPERQ_SANITIZE="$SANITIZE"
+cmake -B "$BUILD_DIR" -S . -DPERQ_SANITIZE=OFF
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
+  cmake -B "$ASAN_BUILD_DIR" -S . -DPERQ_SANITIZE=ON
+  cmake --build "$ASAN_BUILD_DIR" -j
+  ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+fi

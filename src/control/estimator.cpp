@@ -96,6 +96,34 @@ void JobEstimator::update(double applied_cap_w, double measured_node_ips) {
   ++updates_;
 }
 
+EstimatorState JobEstimator::save() const {
+  EstimatorState s;
+  s.state = state_;
+  s.gain = gain_;
+  s.offset = offset_;
+  s.p00 = p00_;
+  s.p01 = p01_;
+  s.p11 = p11_;
+  s.u_ema = u_ema_;
+  s.last_u = last_u_;
+  s.updates = updates_;
+  return s;
+}
+
+void JobEstimator::restore(const EstimatorState& s) {
+  PERQ_REQUIRE(s.state.size() == model_->ss().order(),
+               "estimator state order mismatch");
+  state_ = s.state;
+  gain_ = s.gain;
+  offset_ = s.offset;
+  p00_ = s.p00;
+  p01_ = s.p01;
+  p11_ = s.p11;
+  u_ema_ = s.u_ema;
+  last_u_ = s.last_u;
+  updates_ = static_cast<std::size_t>(s.updates);
+}
+
 double JobEstimator::predict_steady_state(double cap_w) const {
   const double y = model_->arx().dc_gain() * model_->normalize_u(cap_w);
   return std::max(0.0, gain_ * y + offset_);

@@ -18,6 +18,9 @@
 // jobs with high gain -- the paper's key mechanism (Fig. 12).
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "sysid/identify.hpp"
 
 namespace perq::control {
@@ -40,6 +43,19 @@ struct EstimatorConfig {
   /// the gain drift on noise). The offset keeps adapting regardless, which
   /// is what tracks phase changes. 0.04 = ~4 W of cap movement.
   double excitation_threshold = 0.04;
+};
+
+/// Complete serializable state of one JobEstimator; save()/restore()
+/// round-trips it exactly, which is what lets a perqd controller restart
+/// mid-experiment and keep producing bit-identical cap plans.
+struct EstimatorState {
+  std::vector<double> state;  ///< LTI state vector (normalized units)
+  double gain = 0.0;
+  double offset = 0.0;
+  double p00 = 0.0, p01 = 0.0, p11 = 0.0;  ///< RLS covariance
+  double u_ema = 0.0;
+  double last_u = 0.0;
+  std::uint64_t updates = 0;
 };
 
 class JobEstimator {
@@ -80,6 +96,10 @@ class JobEstimator {
   std::size_t updates() const { return updates_; }
 
   const sysid::IdentifiedModel& node_model() const { return *model_; }
+
+  /// Snapshot / restore of the full adaptive state (controller restarts).
+  EstimatorState save() const;
+  void restore(const EstimatorState& s);
 
  private:
   const sysid::IdentifiedModel* model_;

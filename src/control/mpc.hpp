@@ -83,6 +83,19 @@ class MpcController {
   /// Clears warm-start memory (e.g. between experiments).
   void reset();
 
+  /// Warm-start memory snapshot/restore: the previous stacked solution and
+  /// the job ids it refers to. Restoring it is required for a restarted
+  /// controller to reproduce the exact solver iterate sequence.
+  struct WarmState {
+    std::vector<double> warm;
+    std::vector<int> warm_ids;
+  };
+  WarmState warm_state() const { return {warm_, warm_ids_}; }
+  void restore_warm_state(WarmState s) {
+    warm_ = std::move(s.warm);
+    warm_ids_ = std::move(s.warm_ids);
+  }
+
  private:
   MpcConfig cfg_;
   std::vector<double> warm_;     // previous stacked solution (normalized)

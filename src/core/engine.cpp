@@ -12,6 +12,19 @@
 
 namespace perq::core {
 
+namespace {
+
+sim::ClusterConfig cluster_config(const EngineConfig& cfg) {
+  sim::ClusterConfig ccfg;
+  ccfg.worst_case_nodes = cfg.worst_case_nodes;
+  ccfg.over_provision_factor = cfg.over_provision_factor;
+  ccfg.seed = cfg.cluster_seed;
+  ccfg.node = cfg.node;
+  return ccfg;
+}
+
+}  // namespace
+
 std::size_t recommended_job_count(const EngineConfig& cfg) {
   // Conservative sizing: node-seconds available / expected node-seconds per
   // job, times a 3x backlog margin (jobs slowed by capping take longer).
@@ -26,134 +39,202 @@ std::size_t recommended_job_count(const EngineConfig& cfg) {
   return static_cast<std::size_t>(3.0 * node_seconds / per_job) + 64;
 }
 
-RunResult run_experiment(const EngineConfig& cfg, policy::PowerPolicy& policy) {
-  PERQ_REQUIRE(cfg.duration_s > 0.0, "duration must be positive");
-  PERQ_REQUIRE(cfg.control_interval_s > 0.0, "control interval must be positive");
+SimulationEngine::SimulationEngine(const EngineConfig& cfg)
+    : cfg_(cfg),
+      cluster_(cluster_config(cfg)),
+      scheduler_(cfg.backfill_window, cfg.backfill_mode) {
+  PERQ_REQUIRE(cfg_.duration_s > 0.0, "duration must be positive");
+  PERQ_REQUIRE(cfg_.control_interval_s > 0.0, "control interval must be positive");
 
-  sim::ClusterConfig ccfg;
-  ccfg.worst_case_nodes = cfg.worst_case_nodes;
-  ccfg.over_provision_factor = cfg.over_provision_factor;
-  ccfg.seed = cfg.cluster_seed;
-  ccfg.node = cfg.node;
-  sim::Cluster cluster(ccfg);
-
-  const auto specs = trace::generate_trace(cfg.trace);
+  const auto specs = trace::generate_trace(cfg_.trace);
   const auto& catalog = apps::ecp_catalog();
-  std::vector<sched::Job> jobs;
-  jobs.reserve(specs.size());
+  jobs_.reserve(specs.size());
   for (const auto& spec : specs) {
     PERQ_REQUIRE(spec.app_index < catalog.size(), "app index out of range");
-    PERQ_REQUIRE(spec.nodes <= cluster.size(),
+    PERQ_REQUIRE(spec.nodes <= cluster_.size(),
                  "trace contains a job larger than the cluster");
-    jobs.emplace_back(spec, &catalog[spec.app_index]);
+    jobs_.emplace_back(spec, &catalog[spec.app_index]);
+  }
+  for (auto& job : jobs_) scheduler_.enqueue(&job);
+
+  running_.reserve(jobs_.size());
+  last_power_.reserve(jobs_.size());
+  result_.over_provision_factor = cfg_.over_provision_factor;
+  result_.duration_s = cfg_.duration_s;
+  // Sorted copy so the per-job trace membership test is a binary search
+  // instead of a linear scan over cfg.traced_jobs every interval.
+  traced_sorted_.assign(cfg_.traced_jobs.begin(), cfg_.traced_jobs.end());
+  std::sort(traced_sorted_.begin(), traced_sorted_.end());
+}
+
+const TickView& SimulationEngine::begin_tick() {
+  PERQ_REQUIRE(!done(), "begin_tick past the horizon");
+  PERQ_REQUIRE(phase_ == Phase::kIdle, "begin_tick out of phase");
+
+  view_.started.clear();
+  for (sched::Job* started : scheduler_.schedule(cluster_, now_s_, &running_)) {
+    running_.push_back(started);
+    last_power_.push_back(0.0);
+    view_.started.push_back(started);
   }
 
-  sched::Scheduler scheduler(cfg.backfill_window, cfg.backfill_mode);
-  for (auto& job : jobs) scheduler.enqueue(&job);
+  view_.tick = tick_;
+  view_.now_s = now_s_;
+  view_.dt_s = cfg_.control_interval_s;
+  view_.budget_total_w = cluster_.power_budget_w();
+  view_.budget_for_busy_w = cluster_.budget_for_busy_nodes_w();
+  view_.total_nodes = static_cast<double>(cluster_.size());
+  view_.running.assign(running_.begin(), running_.end());
+  view_.job_power_w = last_power_;
+  view_.finished = finished_last_;
 
-  RunResult result;
-  result.policy_name = policy.name();
-  result.over_provision_factor = cfg.over_provision_factor;
-  result.duration_s = cfg.duration_s;
+  phase_ = Phase::kAwaitCaps;
+  return view_;
+}
 
-  std::vector<sched::Job*> running;
-  running.reserve(jobs.size());
-  // Sorted copy so the per-job trace membership test below is a binary
-  // search instead of a linear scan over cfg.traced_jobs every interval.
-  std::vector<int> traced_sorted(cfg.traced_jobs.begin(), cfg.traced_jobs.end());
-  std::sort(traced_sorted.begin(), traced_sorted.end());
-  const double dt = cfg.control_interval_s;
-  double energy_j = 0.0;
-  std::vector<double> caps;
+policy::PolicyContext SimulationEngine::context() const {
+  PERQ_REQUIRE(phase_ != Phase::kIdle, "context outside a tick");
+  policy::PolicyContext ctx;
+  ctx.running = &running_;
+  ctx.budget_total_w = cluster_.power_budget_w();
+  ctx.budget_for_busy_w = cluster_.budget_for_busy_nodes_w();
+  ctx.total_nodes = static_cast<double>(cluster_.size());
+  ctx.dt_s = cfg_.control_interval_s;
+  ctx.now_s = now_s_;
+  return ctx;
+}
 
-  for (double t = 0.0; t < cfg.duration_s; t += dt) {
-    // 1. Start whatever fits (FCFS + backfill).
-    for (sched::Job* started : scheduler.schedule(cluster, t, &running)) {
-      running.push_back(started);
-      policy.on_job_started(*started);
+void SimulationEngine::apply_caps(std::vector<double> caps_w,
+                                  std::vector<double> target_ips, bool actuate) {
+  PERQ_REQUIRE(phase_ == Phase::kAwaitCaps, "apply_caps out of phase");
+  if (!running_.empty() && !caps_w.empty()) {
+    PERQ_ASSERT(caps_w.size() == running_.size(),
+                "policy returned wrong cap count");
+    PERQ_REQUIRE(target_ips.empty() || target_ips.size() == running_.size(),
+                 "target vector arity mismatch");
+
+    // Budget invariant: committed caps must fit the busy-node budget.
+    double committed = 0.0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+      committed += caps_w[i] * static_cast<double>(running_[i]->spec().nodes);
     }
-
-    // 2. Policy decision (timed -- Fig. 13 measures exactly this latency).
-    caps.clear();
-    if (!running.empty()) {
-      policy::PolicyContext ctx;
-      ctx.running = &running;
-      ctx.budget_total_w = cluster.power_budget_w();
-      ctx.budget_for_busy_w = cluster.budget_for_busy_nodes_w();
-      ctx.total_nodes = static_cast<double>(cluster.size());
-      ctx.dt_s = dt;
-      ctx.now_s = t;
-      Stopwatch timer;
-      caps = policy.allocate(ctx);
-      result.decision_seconds.push_back(timer.seconds());
-      PERQ_ASSERT(caps.size() == running.size(), "policy returned wrong cap count");
-
-      // Budget invariant: committed caps must fit the busy-node budget.
-      double committed = 0.0;
-      for (std::size_t i = 0; i < running.size(); ++i) {
-        committed += caps[i] * static_cast<double>(running[i]->spec().nodes);
-      }
-      PERQ_ASSERT(committed <= ctx.budget_for_busy_w + 1e-3,
-                  "policy exceeded the system power budget");
-      for (std::size_t i = 0; i < running.size(); ++i) {
-        for (std::size_t id : running[i]->node_ids()) {
-          cluster.node(id).set_cap(caps[i]);
+    PERQ_ASSERT(committed <= cluster_.budget_for_busy_nodes_w() + 1e-3,
+                "policy exceeded the system power budget");
+    if (actuate) {
+      for (std::size_t i = 0; i < running_.size(); ++i) {
+        for (std::size_t id : running_[i]->node_ids()) {
+          cluster_.node(id).set_cap(caps_w[i]);
         }
       }
     }
-    result.peak_committed_w = std::max(result.peak_committed_w,
-                                       cluster.committed_power_w());
+  }
+  pending_caps_ = std::move(caps_w);
+  pending_targets_ = std::move(target_ips);
+  result_.peak_committed_w =
+      std::max(result_.peak_committed_w, cluster_.committed_power_w());
+  phase_ = Phase::kAwaitAdvance;
+}
 
-    // 3. Advance the physical system one interval.
-    double draw_w = cluster.step_idle_nodes(dt);
-    for (std::size_t i = 0; i < running.size(); ++i) {
-      sched::Job& job = *running[i];
-      const std::size_t phase = job.current_phase();
-      double min_ips = std::numeric_limits<double>::infinity();
-      double min_perf = std::numeric_limits<double>::infinity();
-      for (std::size_t id : job.node_ids()) {
-        sim::Node& node = cluster.node(id);
-        const auto sample = node.step_busy(dt, job.app(), phase);
-        draw_w += sample.power_w;
-        min_ips = std::min(min_ips, sample.ips);
-        min_perf = std::min(min_perf, node.perf_fraction(job.app(), phase));
-      }
-      const double job_ips = min_ips * static_cast<double>(job.spec().nodes);
-      job.record_interval(dt, min_perf, job_ips, caps.empty() ? 0.0 : caps[i]);
+void SimulationEngine::note_decision_time(double seconds) {
+  result_.decision_seconds.push_back(seconds);
+}
 
-      if (!traced_sorted.empty() &&
-          std::binary_search(traced_sorted.begin(), traced_sorted.end(),
-                             job.spec().id)) {
-        result.traces.push_back({t, job.spec().id, caps.empty() ? 0.0 : caps[i],
-                                 job_ips, policy.target_ips(job.spec().id),
-                                 min_perf});
-      }
+void SimulationEngine::advance() {
+  PERQ_REQUIRE(phase_ == Phase::kAwaitAdvance, "advance out of phase");
+  const double dt = cfg_.control_interval_s;
+
+  double draw_w = cluster_.step_idle_nodes(dt);
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    sched::Job& job = *running_[i];
+    const std::size_t phase = job.current_phase();
+    double job_draw_w = 0.0;
+    double min_ips = std::numeric_limits<double>::infinity();
+    double min_perf = std::numeric_limits<double>::infinity();
+    for (std::size_t id : job.node_ids()) {
+      sim::Node& node = cluster_.node(id);
+      const auto sample = node.step_busy(dt, job.app(), phase);
+      job_draw_w += sample.power_w;
+      min_ips = std::min(min_ips, sample.ips);
+      min_perf = std::min(min_perf, node.perf_fraction(job.app(), phase));
     }
-    energy_j += draw_w * dt;
+    draw_w += job_draw_w;
+    last_power_[i] = job_draw_w;
+    const double job_ips = min_ips * static_cast<double>(job.spec().nodes);
+    const double cap_w = pending_caps_.empty() ? 0.0 : pending_caps_[i];
+    job.record_interval(dt, min_perf, job_ips, cap_w);
 
-    // 4. Retire completed jobs.
-    for (std::size_t i = 0; i < running.size();) {
-      sched::Job& job = *running[i];
-      if (job.work_complete()) {
-        const auto nodes = job.node_ids();
-        job.finish(t + dt);
-        cluster.release(nodes);
-        policy.on_job_finished(job);
-        result.finished.push_back({job.spec().id, job.spec().nodes,
-                                   job.spec().app_index, job.spec().runtime_ref_s,
-                                   job.start_time_s(), job.finish_time_s(),
-                                   job.runtime_s()});
-        running[i] = running.back();
-        running.pop_back();
-      } else {
-        ++i;
-      }
+    if (!traced_sorted_.empty() &&
+        std::binary_search(traced_sorted_.begin(), traced_sorted_.end(),
+                           job.spec().id)) {
+      const double target =
+          pending_targets_.empty() ? 0.0 : pending_targets_[i];
+      result_.traces.push_back(
+          {now_s_, job.spec().id, cap_w, job_ips, target, min_perf});
+    }
+  }
+  energy_j_ += draw_w * dt;
+
+  finished_last_.clear();
+  for (std::size_t i = 0; i < running_.size();) {
+    sched::Job& job = *running_[i];
+    if (job.work_complete()) {
+      const auto nodes = job.node_ids();
+      job.finish(now_s_ + dt);
+      cluster_.release(nodes);
+      result_.finished.push_back({job.spec().id, job.spec().nodes,
+                                  job.spec().app_index, job.spec().runtime_ref_s,
+                                  job.start_time_s(), job.finish_time_s(),
+                                  job.runtime_s()});
+      finished_last_.emplace_back(&job, nodes.front());
+      running_[i] = running_.back();
+      running_.pop_back();
+      last_power_[i] = last_power_.back();
+      last_power_.pop_back();
+    } else {
+      ++i;
     }
   }
 
-  result.jobs_completed = result.finished.size();
-  result.mean_power_draw_w = energy_j / cfg.duration_s;
-  return result;
+  now_s_ += dt;
+  ++tick_;
+  phase_ = Phase::kIdle;
+}
+
+RunResult SimulationEngine::finish(std::string policy_name) {
+  PERQ_REQUIRE(phase_ == Phase::kIdle, "finish mid-tick");
+  result_.policy_name = std::move(policy_name);
+  result_.jobs_completed = result_.finished.size();
+  result_.mean_power_draw_w = energy_j_ / cfg_.duration_s;
+  return std::move(result_);
+}
+
+RunResult run_experiment(const EngineConfig& cfg, policy::PowerPolicy& policy) {
+  SimulationEngine engine(cfg);
+  std::vector<double> caps;
+  std::vector<double> targets;
+  while (!engine.done()) {
+    const TickView& view = engine.begin_tick();
+    for (const sched::Job* started : view.started) policy.on_job_started(*started);
+
+    caps.clear();
+    targets.clear();
+    if (!view.running.empty()) {
+      const policy::PolicyContext ctx = engine.context();
+      Stopwatch timer;
+      caps = policy.allocate(ctx);
+      engine.note_decision_time(timer.seconds());
+      targets.reserve(view.running.size());
+      for (const sched::Job* job : view.running) {
+        targets.push_back(policy.target_ips(job->spec().id));
+      }
+    }
+    engine.apply_caps(std::move(caps), std::move(targets));
+    engine.advance();
+    for (const auto& finished : engine.last_finished()) {
+      policy.on_job_finished(*finished.first);
+    }
+  }
+  return engine.finish(policy.name());
 }
 
 }  // namespace perq::core

@@ -4,14 +4,28 @@
 // This is the simulation harness behind every evaluation figure (paper
 // Sec. 3): the same engine runs FOP/SJS/LJS/SRN and PERQ so that throughput
 // and fairness differences are attributable to power allocation alone.
+//
+// The engine exposes a tick-level API so the same experiment can run either
+// in-process (run_experiment drives a PowerPolicy directly) or through the
+// perqd daemon (node agents publish each tick's telemetry, a remote
+// controller answers with a cap plan). One control interval is three calls:
+//
+//   begin_tick()   start whatever fits (FCFS + backfill), expose the tick
+//   apply_caps()   commit the per-job caps decided for this interval
+//   advance()      step the physical system, record, retire finished jobs
+//
+// The split is exact: run_experiment() is a thin loop over these phases and
+// produces bit-identical results to the pre-split monolithic loop.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "policy/policy.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/cluster.hpp"
 #include "sim/node.hpp"
 #include "trace/trace.hpp"
 
@@ -61,6 +75,94 @@ struct RunResult {
   std::vector<TracePoint> traces;
   double mean_power_draw_w = 0.0;        ///< time-average total draw
   double peak_committed_w = 0.0;         ///< max sum of caps + idle floor seen
+};
+
+/// Everything an external cap source (the daemon's node agents) needs to
+/// know about the tick that just began. Job pointers stay valid for the
+/// whole experiment; `running` order is the engine's canonical job order
+/// (caps are aligned with it).
+struct TickView {
+  std::uint64_t tick = 0;
+  double now_s = 0.0;
+  double dt_s = 0.0;
+  double budget_total_w = 0.0;
+  double budget_for_busy_w = 0.0;
+  double total_nodes = 0.0;
+  std::vector<const sched::Job*> started;  ///< jobs started this tick
+  std::vector<const sched::Job*> running;  ///< all running jobs, engine order
+  std::vector<double> job_power_w;         ///< last-interval draw per running job
+  /// Jobs retired during the previous advance(), with the lead node each
+  /// occupied (Job::finish clears node_ids, and agents route by lead node).
+  std::vector<std::pair<const sched::Job*, std::size_t>> finished;
+};
+
+/// Tick-stepped experiment engine.
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(const EngineConfig& cfg);
+
+  /// True once the simulated horizon is exhausted.
+  bool done() const { return now_s_ >= cfg_.duration_s; }
+
+  const EngineConfig& config() const { return cfg_; }
+  sim::Cluster& cluster() { return cluster_; }
+  const sim::Cluster& cluster() const { return cluster_; }
+  std::uint64_t tick() const { return tick_; }
+  double now_s() const { return now_s_; }
+  const std::vector<sched::Job*>& running() const { return running_; }
+
+  /// Phase 1: starts whatever fits (FCFS + backfill) and exposes the tick.
+  const TickView& begin_tick();
+
+  /// The policy-context snapshot for the current tick (valid between
+  /// begin_tick() and advance()).
+  policy::PolicyContext context() const;
+
+  /// Phase 2: commits this interval's per-job caps, aligned with
+  /// running(). Empty `caps_w` is allowed only when nothing runs (or, for
+  /// robustness paths, records 0 W without actuating). When `actuate` is
+  /// true the caps are pushed to every node of every job; daemon runs pass
+  /// false because the node agents already actuated their own nodes, so the
+  /// engine only does the bookkeeping (budget check, peak tracking, what
+  /// cap to attribute to each job's recorded interval).
+  void apply_caps(std::vector<double> caps_w, std::vector<double> target_ips = {},
+                  bool actuate = true);
+
+  /// Records one controller decision latency sample (Fig. 13 data).
+  void note_decision_time(double seconds);
+
+  /// Phase 3: advances the physical system one interval and retires
+  /// completed jobs.
+  void advance();
+
+  /// Jobs retired by the last advance() (pointers stay valid).
+  const std::vector<std::pair<const sched::Job*, std::size_t>>& last_finished()
+      const {
+    return finished_last_;
+  }
+
+  /// Finalizes and moves out the result. Call once, after the horizon.
+  RunResult finish(std::string policy_name);
+
+ private:
+  enum class Phase { kIdle, kAwaitCaps, kAwaitAdvance };
+
+  EngineConfig cfg_;
+  sim::Cluster cluster_;
+  std::vector<sched::Job> jobs_;  ///< owning storage; never reallocated
+  sched::Scheduler scheduler_;
+  std::vector<sched::Job*> running_;
+  std::vector<double> last_power_;  ///< last-interval draw, aligned with running_
+  std::vector<int> traced_sorted_;
+  Phase phase_ = Phase::kIdle;
+  std::uint64_t tick_ = 0;
+  double now_s_ = 0.0;
+  double energy_j_ = 0.0;
+  std::vector<double> pending_caps_;
+  std::vector<double> pending_targets_;
+  std::vector<std::pair<const sched::Job*, std::size_t>> finished_last_;
+  TickView view_;
+  RunResult result_;
 };
 
 /// Runs one experiment. The policy is driven for the full horizon; jobs

@@ -40,6 +40,31 @@ const control::JobEstimator* PerqPolicy::estimator(int job_id) const {
   return it == estimators_.end() ? nullptr : &it->second;
 }
 
+PerqPolicyState PerqPolicy::snapshot() const {
+  PerqPolicyState s;
+  s.tick = tick_;
+  s.estimators.reserve(estimators_.size());
+  for (const auto& [id, est] : estimators_) s.estimators.emplace_back(id, est.save());
+  s.last_targets.assign(last_targets_.begin(), last_targets_.end());
+  s.mpc = mpc_.warm_state();
+  return s;
+}
+
+void PerqPolicy::restore(const PerqPolicyState& s) {
+  tick_ = static_cast<std::size_t>(s.tick);
+  estimators_.clear();
+  const double cap_min = apps::node_power_spec().cap_min;
+  for (const auto& [id, est_state] : s.estimators) {
+    auto [it, inserted] = estimators_.emplace(
+        id, control::JobEstimator(model_, cap_min, cfg_.estimator));
+    PERQ_ASSERT(inserted, "duplicate estimator id in snapshot");
+    it->second.restore(est_state);
+  }
+  last_targets_.clear();
+  last_targets_.insert(s.last_targets.begin(), s.last_targets.end());
+  mpc_.restore_warm_state(s.mpc);
+}
+
 std::vector<double> PerqPolicy::allocate(const policy::PolicyContext& ctx) {
   PERQ_REQUIRE(ctx.running != nullptr, "policy context missing running jobs");
   const auto& running = *ctx.running;

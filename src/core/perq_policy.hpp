@@ -2,8 +2,11 @@
 // behind the common PowerPolicy interface (paper Fig. 4 control loop).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "control/mpc.hpp"
 #include "policy/policy.hpp"
@@ -24,6 +27,17 @@ struct PerqConfig {
   double dither_w = 6.0;
   /// Dither half-period in control intervals.
   std::size_t dither_period = 2;
+};
+
+/// Complete adaptive state of a PerqPolicy: everything that influences
+/// future decisions beyond the (immutable) configuration and node model.
+/// snapshot()/restore() round-trip it exactly, so a controller restarted
+/// from a snapshot continues with bit-identical cap plans.
+struct PerqPolicyState {
+  std::uint64_t tick = 0;
+  std::vector<std::pair<int, control::EstimatorState>> estimators;
+  std::vector<std::pair<int, double>> last_targets;
+  control::MpcController::WarmState mpc;
 };
 
 class PerqPolicy final : public policy::PowerPolicy {
@@ -49,6 +63,12 @@ class PerqPolicy final : public policy::PowerPolicy {
   const control::JobEstimator* estimator(int job_id) const;
 
   const PerqConfig& config() const { return cfg_; }
+
+  /// Snapshot / restore of the full adaptive state (perqd controller
+  /// restarts). The restored policy must have been built with the same node
+  /// model and configuration.
+  PerqPolicyState snapshot() const;
+  void restore(const PerqPolicyState& s);
 
  private:
   const sysid::IdentifiedModel* model_;

@@ -1,0 +1,89 @@
+// Node agent: the plant-side half of perqd.
+//
+// One agent speaks for a contiguous slice [node_begin, node_end) of the
+// cluster -- the slurmd analogue. Each control interval it publishes one
+// Telemetry frame per running job it *leads* (a job is led by the agent
+// owning the job's first allocated node, so exactly one agent reports each
+// job), followed by finals for jobs that retired last interval, followed by
+// a Heartbeat. Telemetry-before-heartbeat matters: the transports deliver
+// in order, so a heartbeat for tick t certifies that every tick-t telemetry
+// frame already arrived at the controller.
+//
+// On the downlink the agent applies cap plans to the nodes of its slice
+// only; the union of agents covers every node of every job. A hung agent
+// (hang(), which keeps the socket open -- the failure mode heartbeat
+// timeouts exist for, distinct from a closed connection) stops publishing
+// and actuating, and its nodes simply keep their last RAPL caps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "net/transport.hpp"
+#include "sim/cluster.hpp"
+
+namespace perq::daemon {
+
+class NodeAgent {
+ public:
+  /// The cluster must outlive the agent. [node_begin, node_end) is this
+  /// agent's node slice.
+  NodeAgent(std::uint32_t id, std::unique_ptr<net::Connection> conn,
+            sim::Cluster* cluster, std::size_t node_begin, std::size_t node_end);
+
+  std::uint32_t id() const { return id_; }
+  bool connected() const { return conn_ != nullptr && conn_->open(); }
+  int fd() const { return conn_ != nullptr ? conn_->fd() : -1; }
+
+  bool owns_node(std::size_t node_id) const {
+    return node_id >= node_begin_ && node_id < node_end_;
+  }
+  /// True when this agent reports the job (it owns the job's lead node).
+  bool leads(const sched::Job& job) const;
+
+  /// Introduces the agent to the controller.
+  void hello();
+
+  /// Publishes one tick: telemetry for led running jobs (seq = position in
+  /// the plant's running order), finals for led jobs retired last interval,
+  /// then the heartbeat. No-op while hung or disconnected.
+  void publish(const core::TickView& view);
+
+  /// Drains the connection; returns the newest cap plan received, if any.
+  std::optional<proto::CapPlan> poll_plan();
+
+  /// Applies a plan to this agent's node slice: for every job published in
+  /// the last tick whose plan entry exists, caps the job's nodes that fall
+  /// inside [node_begin, node_end).
+  void apply_plan(const proto::CapPlan& plan);
+
+  /// Simulates a hung agent process: stops publishing, polling, and
+  /// actuating, but leaves the connection open so the controller must catch
+  /// it by heartbeat timeout rather than by EOF.
+  void hang() { hung_ = true; }
+  bool hung() const { return hung_; }
+
+  /// Graceful leave: sends Bye and closes (no staleness alarm).
+  void bye();
+
+  /// Rejoin after a crash or controller restart: swap in a fresh
+  /// connection, clear the hang, and re-introduce. The next publish()
+  /// resynchronizes the controller's shadow state.
+  void reconnect(std::unique_ptr<net::Connection> conn);
+
+ private:
+  std::uint32_t id_;
+  std::unique_ptr<net::Connection> conn_;
+  sim::Cluster* cluster_;
+  std::size_t node_begin_;
+  std::size_t node_end_;
+  bool hung_ = false;
+  /// Running jobs as of the last publish, engine order (plan application
+  /// needs their node lists).
+  std::vector<const sched::Job*> last_running_;
+};
+
+}  // namespace perq::daemon

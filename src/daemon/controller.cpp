@@ -1,0 +1,327 @@
+#include "daemon/controller.hpp"
+
+#include <algorithm>
+
+#include "apps/app_model.hpp"
+#include "apps/catalog.hpp"
+#include "daemon/snapshot.hpp"
+#include "util/require.hpp"
+
+namespace perq::daemon {
+
+PerqController::PerqController(std::unique_ptr<net::Listener> listener,
+                               core::PerqPolicy& policy, ControllerConfig cfg)
+    : listener_(std::move(listener)), policy_(policy), cfg_(std::move(cfg)) {
+  PERQ_REQUIRE(listener_ != nullptr, "controller needs a listener");
+  PERQ_REQUIRE(cfg_.stale_after_ticks >= 1, "stale_after_ticks must be >= 1");
+}
+
+PerqController::~PerqController() = default;
+
+void PerqController::pump() {
+  for (auto& conn : listener_->accept_new()) {
+    Session s;
+    s.conn = std::move(conn);
+    sessions_.push_back(std::move(s));
+  }
+  for (auto& session : sessions_) {
+    if (!session.conn->open()) continue;
+    for (const proto::Message& m : session.conn->receive()) {
+      ingest(session, m);
+    }
+  }
+  // Reap closed sessions (includes those superseded by a rejoin Hello).
+  std::erase_if(sessions_, [](const Session& s) { return !s.conn->open(); });
+}
+
+void PerqController::ingest(Session& session, const proto::Message& m) {
+  session.any_message = true;
+  if (const auto* hello = std::get_if<proto::Hello>(&m)) {
+    // A rejoining agent supersedes its previous session: close the old
+    // connection so the reaper collects it.
+    for (Session& other : sessions_) {
+      if (&other != &session && other.helloed &&
+          other.agent_id == hello->agent_id) {
+        other.conn->close();
+      }
+    }
+    session.helloed = true;
+    session.agent_id = hello->agent_id;
+    return;
+  }
+  if (const auto* bye = std::get_if<proto::Bye>(&m)) {
+    (void)bye;
+    session.said_bye = true;
+    session.conn->close();
+    return;
+  }
+  if (const auto* hb = std::get_if<proto::Heartbeat>(&m)) {
+    session.last_tick = std::max(session.last_tick, hb->tick);
+    if (!any_tick_seen_ || hb->tick >= current_tick_) {
+      current_tick_ = hb->tick;
+      any_tick_seen_ = true;
+      hb_ = *hb;
+      have_hb_ = true;
+    }
+    // Agents publish telemetry before the heartbeat and transports deliver
+    // in order, so this heartbeat certifies every tick-t frame from this
+    // agent already arrived. A shadow this agent feeds that went unreported
+    // is no longer running at the plant -- typically a job whose final was
+    // lost to a crash before the agent rejoined. Retire it.
+    for (auto it = shadows_.begin(); it != shadows_.end();) {
+      if (it->second.feeder == hb->agent_id && it->second.last_tick < hb->tick) {
+        policy_.on_job_finished(it->second.job);
+        it = shadows_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return;
+  }
+  if (const auto* t = std::get_if<proto::Telemetry>(&m)) {
+    on_telemetry(session, *t);
+    return;
+  }
+  // CapPlan from an agent is a protocol violation; drop the peer.
+  session.conn->close();
+}
+
+void PerqController::on_telemetry(Session& session, const proto::Telemetry& t) {
+  session.last_tick = std::max(session.last_tick, t.tick);
+  if (!any_tick_seen_ || t.tick > current_tick_) {
+    current_tick_ = t.tick;
+    any_tick_seen_ = true;
+  }
+
+  const int id = t.job_id;
+  if (t.flags & proto::kTelemetryFinal) {
+    const auto it = shadows_.find(id);
+    if (it != shadows_.end()) {
+      policy_.on_job_finished(it->second.job);
+      shadows_.erase(it);
+    }
+    return;
+  }
+
+  const auto& catalog = apps::ecp_catalog();
+  if (t.app_index >= catalog.size() || t.nodes == 0 || !(t.runtime_ref_s > 0.0)) {
+    return;  // semantically invalid; ignore rather than poison the session
+  }
+
+  auto it = shadows_.find(id);
+  if (it == shadows_.end()) {
+    trace::JobSpec spec;
+    spec.id = id;
+    spec.nodes = t.nodes;
+    spec.runtime_ref_s = t.runtime_ref_s;
+    spec.app_index = t.app_index;
+    Shadow shadow{sched::Job(spec, &catalog[spec.app_index]), 0, 0, 0, 0.0, 0.0};
+    it = shadows_.emplace(id, std::move(shadow)).first;
+    policy_.on_job_started(it->second.job);
+  }
+  Shadow& shadow = it->second;
+  shadow.job.sync_runtime_state(t.progress_s, t.min_perf, t.ips, t.cap_w);
+  shadow.last_tick = t.tick;
+  shadow.seq = t.seq;
+  shadow.feeder = t.agent_id;
+}
+
+bool PerqController::session_stale(const Session& s) const {
+  if (!any_tick_seen_) return false;
+  return s.last_tick + cfg_.stale_after_ticks < current_tick_;
+}
+
+bool PerqController::tick_pending() const {
+  if (!any_tick_seen_ || !have_hb_) return false;
+  return !any_decision_ || current_tick_ > last_decided_tick_;
+}
+
+bool PerqController::ready() const {
+  if (!tick_pending()) return false;
+  for (const Session& s : sessions_) {
+    if (!s.conn->open() || s.said_bye || session_stale(s)) continue;
+    if (s.last_tick < current_tick_) return false;
+  }
+  return true;
+}
+
+const proto::CapPlan& PerqController::decide() {
+  PERQ_REQUIRE(tick_pending(), "decide without a pending tick");
+  const std::uint64_t tick = current_tick_;
+
+  // Partition shadows into fresh (telemetry for this tick arrived) and held
+  // (agent silent: cap frozen at the last plan, watts fenced off).
+  fresh_running_.clear();
+  std::vector<Shadow*> fresh;
+  double held_w = 0.0;
+  std::size_t held_jobs = 0;
+  for (auto& [id, shadow] : shadows_) {
+    if (shadow.last_tick == tick) {
+      fresh.push_back(&shadow);
+    } else {
+      const double cap =
+          shadow.planned_cap_w > 0.0 ? shadow.planned_cap_w : shadow.job.last_cap_w();
+      held_w += cap * static_cast<double>(shadow.job.spec().nodes);
+      ++held_jobs;
+    }
+  }
+  std::sort(fresh.begin(), fresh.end(), [](const Shadow* a, const Shadow* b) {
+    return a->seq < b->seq;
+  });
+
+  plan_ = proto::CapPlan{};
+  plan_.tick = tick;
+
+  // Feasibility guard: the held watts can squeeze the remaining row below
+  // the cap_min floor of the fresh jobs (many agents silent while packed
+  // tight). There is no in-budget allocation then, so degrade to holding
+  // the fresh jobs too -- previous caps were within budget, so holding all
+  // of them is as well (idle floor <= cap_min covers freed/started churn).
+  double fresh_floor_w = 0.0;
+  for (const Shadow* s : fresh) {
+    fresh_floor_w += apps::node_power_spec().cap_min *
+                     static_cast<double>(s->job.spec().nodes);
+  }
+  const bool hold_all =
+      fresh_floor_w > hb_.budget_for_busy_w - held_w + 1e-6;
+  if (hold_all) {
+    for (Shadow* s : fresh) {
+      const double cap =
+          s->planned_cap_w > 0.0 ? s->planned_cap_w : s->job.last_cap_w();
+      s->planned_cap_w = cap;
+      held_w += cap * static_cast<double>(s->job.spec().nodes);
+      ++held_jobs;
+    }
+    fresh.clear();
+  }
+
+  if (!fresh.empty()) {
+    for (Shadow* s : fresh) fresh_running_.push_back(&s->job);
+    policy::PolicyContext ctx;
+    ctx.running = &fresh_running_;
+    ctx.budget_total_w = hb_.budget_total_w;
+    ctx.budget_for_busy_w = hb_.budget_for_busy_w - held_w;
+    ctx.total_nodes = hb_.total_nodes;
+    ctx.dt_s = hb_.dt_s;
+    ctx.now_s = hb_.now_s;
+    const std::vector<double> caps = policy_.allocate(ctx);
+    PERQ_ASSERT(caps.size() == fresh.size(), "policy returned wrong cap count");
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      Shadow& s = *fresh[i];
+      s.planned_cap_w = caps[i];
+      s.planned_target_ips = policy_.target_ips(s.job.spec().id);
+      plan_.entries.push_back(
+          {s.job.spec().id, s.planned_cap_w, s.planned_target_ips, 0});
+    }
+  }
+  for (auto& [id, shadow] : shadows_) {
+    if (!hold_all && shadow.last_tick == tick) continue;
+    const double cap = shadow.planned_cap_w > 0.0 ? shadow.planned_cap_w
+                                                  : shadow.job.last_cap_w();
+    plan_.entries.push_back({id, cap, shadow.planned_target_ips, 1});
+  }
+
+  for (Session& s : sessions_) {
+    if (s.conn->open() && !s.said_bye) s.conn->send(plan_);
+  }
+
+  stats_.tick = tick;
+  stats_.fresh_jobs = fresh.size();
+  stats_.held_jobs = held_jobs;
+  stats_.held_w = held_w;
+  stats_.budget_row_w = hb_.budget_for_busy_w - held_w;
+  stats_.stale_agents = 0;
+  for (const Session& s : sessions_) {
+    if (s.conn->open() && !s.said_bye && session_stale(s)) ++stats_.stale_agents;
+  }
+
+  last_decided_tick_ = tick;
+  any_decision_ = true;
+  pending_timer_armed_ = false;
+
+  if (!cfg_.snapshot_path.empty() && cfg_.snapshot_every_ticks > 0 &&
+      tick % cfg_.snapshot_every_ticks == 0) {
+    write_snapshot();
+  }
+  return plan_;
+}
+
+bool PerqController::service() {
+  pump();
+  if (!tick_pending()) return false;
+  if (ready()) {
+    decide();
+    return true;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (!pending_timer_armed_ || pending_tick_ != current_tick_) {
+    pending_timer_armed_ = true;
+    pending_tick_ = current_tick_;
+    pending_since_ = now;
+    return false;
+  }
+  if (now - pending_since_ >=
+      std::chrono::milliseconds(cfg_.decide_grace_ms)) {
+    decide();
+    return true;
+  }
+  return false;
+}
+
+std::vector<int> PerqController::fds() const {
+  std::vector<int> fds;
+  fds.push_back(listener_->fd());
+  for (const Session& s : sessions_) fds.push_back(s.conn->fd());
+  return fds;
+}
+
+void PerqController::write_snapshot() const {
+  save_snapshot(cfg_.snapshot_path, state());
+}
+
+ControllerState PerqController::state() const {
+  ControllerState s;
+  s.current_tick = current_tick_;
+  s.last_decided_tick = last_decided_tick_;
+  s.any_tick_seen = any_tick_seen_ ? 1 : 0;
+  s.any_decision = any_decision_ ? 1 : 0;
+  s.policy = policy_.snapshot();
+  s.shadows.reserve(shadows_.size());
+  for (const auto& [id, shadow] : shadows_) {
+    ShadowRecord r;
+    r.spec = shadow.job.spec();
+    r.progress_s = shadow.job.progress_s();
+    r.last_min_perf = shadow.job.last_min_perf();
+    r.last_job_ips = shadow.job.last_job_ips();
+    r.last_cap_w = shadow.job.last_cap_w();
+    r.last_tick = shadow.last_tick;
+    r.seq = shadow.seq;
+    r.feeder = shadow.feeder;
+    r.planned_cap_w = shadow.planned_cap_w;
+    r.planned_target_ips = shadow.planned_target_ips;
+    s.shadows.push_back(std::move(r));
+  }
+  return s;
+}
+
+void PerqController::restore(const ControllerState& s) {
+  current_tick_ = s.current_tick;
+  last_decided_tick_ = s.last_decided_tick;
+  any_tick_seen_ = s.any_tick_seen != 0;
+  any_decision_ = s.any_decision != 0;
+  have_hb_ = false;  // next tick's heartbeats refresh the budget snapshot
+  policy_.restore(s.policy);
+  shadows_.clear();
+  const auto& catalog = apps::ecp_catalog();
+  for (const ShadowRecord& r : s.shadows) {
+    PERQ_REQUIRE(r.spec.app_index < catalog.size(),
+                 "snapshot app index out of range");
+    Shadow shadow{sched::Job(r.spec, &catalog[r.spec.app_index]), r.last_tick,
+                  r.seq, r.feeder, r.planned_cap_w, r.planned_target_ips};
+    shadow.job.sync_runtime_state(r.progress_s, r.last_min_perf, r.last_job_ips,
+                                  r.last_cap_w);
+    shadows_.emplace(r.spec.id, std::move(shadow));
+  }
+}
+
+}  // namespace perq::daemon

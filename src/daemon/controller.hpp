@@ -1,0 +1,172 @@
+// perqd: the PERQ controller as a long-running service.
+//
+// The controller ingests telemetry frames from node agents, batches them
+// per control interval, runs the PERQ policy (target generator + MPC) over
+// the batch, and broadcasts a cap plan -- the slurmctld/slurmd split
+// applied to power management. The service half is deliberately thin: all
+// control math lives in core::PerqPolicy, and the controller's job is
+// session bookkeeping, staleness, and state continuity.
+//
+// Fault tolerance model:
+//   * Per-job freshness. A job is "fresh" for tick t when its telemetry for
+//     tick t arrived; only fresh jobs enter the policy. A job whose agent
+//     went silent (crash, hang, partition) keeps its last planned cap --
+//     the plant's RAPL caps persist physically, so holding is the safe
+//     actuation-free default -- and its held watts are subtracted from the
+//     budget row the policy optimizes over.
+//   * Heartbeat timeouts. An agent that misses `stale_after_ticks`
+//     heartbeats is stale: decide() no longer waits for it. A rejoining
+//     agent just reconnects and says Hello; because every Telemetry frame
+//     carries the full job descriptor and absolute progress, the
+//     controller resynchronizes its shadow state from the first frame.
+//   * Restart. snapshot()/restore round-trip the complete decision state
+//     (shadow jobs, per-job estimators, MPC warm start, tick counters), so
+//     a controller restarted mid-experiment continues with bit-identical
+//     cap plans.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/perq_policy.hpp"
+#include "net/transport.hpp"
+#include "sched/job.hpp"
+#include "trace/trace.hpp"
+
+namespace perq::daemon {
+
+struct ControllerConfig {
+  /// Ticks an agent may go silent before it is declared stale (the
+  /// heartbeat timeout, in control intervals).
+  std::uint64_t stale_after_ticks = 3;
+  /// Wall-clock grace service() allows a lagging (not yet stale) agent
+  /// before deciding with incomplete data.
+  int decide_grace_ms = 250;
+  /// Snapshot file written after every `snapshot_every_ticks` decisions
+  /// (0 disables periodic snapshots). Empty path disables entirely.
+  std::string snapshot_path;
+  std::uint64_t snapshot_every_ticks = 0;
+};
+
+/// One shadow job: the controller's replica of a plant-side running job,
+/// rebuilt purely from telemetry.
+struct ShadowRecord {
+  trace::JobSpec spec;
+  double progress_s = 0.0;
+  double last_min_perf = 1.0;
+  double last_job_ips = 0.0;
+  double last_cap_w = 0.0;
+  std::uint64_t last_tick = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t feeder = 0;  ///< agent that last reported this job
+  double planned_cap_w = 0.0;
+  double planned_target_ips = 0.0;
+};
+
+/// Complete restartable state of a PerqController.
+struct ControllerState {
+  std::uint64_t current_tick = 0;
+  std::uint64_t last_decided_tick = 0;
+  std::uint8_t any_tick_seen = 0;
+  std::uint8_t any_decision = 0;
+  core::PerqPolicyState policy;
+  std::vector<ShadowRecord> shadows;
+};
+
+class PerqController {
+ public:
+  /// The policy must outlive the controller. For restarts, build the policy
+  /// with the same model/config as the snapshotted one, then restore().
+  PerqController(std::unique_ptr<net::Listener> listener,
+                 core::PerqPolicy& policy, ControllerConfig cfg = {});
+  ~PerqController();
+
+  /// Drains the network: accepts agents, ingests every pending message,
+  /// reaps dead connections.
+  void pump();
+
+  /// True when a tick newer than the last decision has telemetry pending.
+  bool tick_pending() const;
+
+  /// True when every live, non-stale agent has reported the newest tick.
+  bool ready() const;
+
+  /// Runs one decision over the newest tick's batch and broadcasts the cap
+  /// plan. Requires tick_pending().
+  const proto::CapPlan& decide();
+
+  /// Event-loop convenience: pump, then decide when either all live agents
+  /// reported or the grace deadline for the pending tick expired. Returns
+  /// true when a decision was made.
+  bool service();
+
+  /// Pollable descriptors (listener + sessions) for net::wait_readable.
+  std::vector<int> fds() const;
+
+  std::size_t session_count() const { return sessions_.size(); }
+  std::size_t shadow_count() const { return shadows_.size(); }
+  std::uint64_t current_tick() const { return current_tick_; }
+
+  /// Stats of the most recent decide(), for tests and the perqd console.
+  struct DecideStats {
+    std::uint64_t tick = 0;
+    std::size_t fresh_jobs = 0;
+    std::size_t held_jobs = 0;
+    double held_w = 0.0;           ///< watts held for stale jobs
+    double budget_row_w = 0.0;     ///< budget the policy optimized over
+    std::size_t stale_agents = 0;
+  };
+  const DecideStats& last_stats() const { return stats_; }
+
+  ControllerState state() const;
+  void restore(const ControllerState& s);
+
+ private:
+  struct Session {
+    std::unique_ptr<net::Connection> conn;
+    std::uint32_t agent_id = 0;
+    bool helloed = false;
+    bool said_bye = false;
+    std::uint64_t last_tick = 0;
+    bool any_message = false;
+  };
+
+  struct Shadow {
+    sched::Job job;
+    std::uint64_t last_tick = 0;
+    std::uint32_t seq = 0;
+    std::uint32_t feeder = 0;
+    double planned_cap_w = 0.0;
+    double planned_target_ips = 0.0;
+  };
+
+  void ingest(Session& session, const proto::Message& m);
+  void on_telemetry(Session& session, const proto::Telemetry& t);
+  bool session_stale(const Session& s) const;
+  void write_snapshot() const;
+
+  std::unique_ptr<net::Listener> listener_;
+  core::PerqPolicy& policy_;
+  ControllerConfig cfg_;
+  std::vector<Session> sessions_;
+  std::map<int, Shadow> shadows_;
+  proto::Heartbeat hb_{};
+  bool have_hb_ = false;
+  std::uint64_t current_tick_ = 0;
+  bool any_tick_seen_ = false;
+  std::uint64_t last_decided_tick_ = 0;
+  bool any_decision_ = false;
+  proto::CapPlan plan_;
+  DecideStats stats_;
+  std::vector<sched::Job*> fresh_running_;  ///< scratch for PolicyContext
+  /// When the pending tick first became visible (grace accounting).
+  std::chrono::steady_clock::time_point pending_since_{};
+  std::uint64_t pending_tick_ = 0;
+  bool pending_timer_armed_ = false;
+};
+
+}  // namespace perq::daemon

@@ -1,0 +1,131 @@
+#include "daemon/experiment.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "net/loopback.hpp"
+#include "net/tcp.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace perq::daemon {
+
+DaemonPlant::DaemonPlant(const core::EngineConfig& cfg,
+                         net::Transport& transport, const std::string& address,
+                         const PlantConfig& pcfg)
+    : engine_(cfg), pcfg_(pcfg) {
+  PERQ_REQUIRE(pcfg_.agents >= 1, "plant needs at least one agent");
+  const std::size_t total = engine_.cluster().size();
+  PERQ_REQUIRE(pcfg_.agents <= total, "more agents than nodes");
+
+  // Split the node range as evenly as possible; the first `total % agents`
+  // slices get one extra node.
+  const std::size_t base = total / pcfg_.agents;
+  const std::size_t extra = total % pcfg_.agents;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < pcfg_.agents; ++i) {
+    const std::size_t len = base + (i < extra ? 1 : 0);
+    auto conn = transport.connect(address);
+    agents_.push_back(std::make_unique<NodeAgent>(static_cast<std::uint32_t>(i),
+                                                  std::move(conn),
+                                                  &engine_.cluster(), begin,
+                                                  begin + len));
+    agents_.back()->hello();
+    begin += len;
+  }
+}
+
+bool DaemonPlant::step(const std::function<void()>& service) {
+  const core::TickView& view = engine_.begin_tick();
+  for (auto& agent : agents_) agent->publish(view);
+
+  Stopwatch wait_timer;
+  std::optional<proto::CapPlan> plan;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(pcfg_.plan_timeout_ms);
+  for (;;) {
+    if (service) service();
+    for (auto& agent : agents_) {
+      if (auto p = agent->poll_plan(); p.has_value() && p->tick == view.tick) {
+        plan = std::move(p);
+      }
+    }
+    if (plan.has_value()) break;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    // Block briefly on the agent sockets (a plain 1 ms tick for loopback,
+    // where fds are -1 and the poll degenerates to a sleep).
+    std::vector<int> fds;
+    fds.reserve(agents_.size());
+    for (const auto& agent : agents_) fds.push_back(agent->fd());
+    net::wait_readable(fds, 1);
+  }
+
+  std::vector<double> caps;
+  std::vector<double> targets;
+  if (!view.running.empty()) {
+    caps.resize(view.running.size());
+    targets.assign(view.running.size(), 0.0);
+    for (std::size_t i = 0; i < view.running.size(); ++i) {
+      // Fallback: hold whatever cap the job already runs at.
+      caps[i] = view.running[i]->last_cap_w();
+    }
+    if (plan.has_value()) {
+      for (std::size_t i = 0; i < view.running.size(); ++i) {
+        const int id = view.running[i]->spec().id;
+        for (const proto::CapEntry& e : plan->entries) {
+          if (e.job_id == id) {
+            caps[i] = e.cap_w;
+            targets[i] = e.target_ips;
+            break;
+          }
+        }
+      }
+      for (auto& agent : agents_) agent->apply_plan(*plan);
+    }
+    engine_.note_decision_time(wait_timer.seconds());
+  }
+  engine_.apply_caps(std::move(caps), std::move(targets), /*actuate=*/false);
+  engine_.advance();
+  return plan.has_value();
+}
+
+std::size_t DaemonPlant::reconnect_lost(net::Transport& transport,
+                                        const std::string& address) {
+  std::size_t n = 0;
+  for (auto& agent : agents_) {
+    if (agent->connected()) continue;
+    std::unique_ptr<net::Connection> conn;
+    try {
+      conn = transport.connect(address);
+    } catch (const precondition_error&) {
+      break;  // no listener at the address yet (loopback)
+    }
+    if (conn == nullptr) break;  // TCP connect refused/timed out
+    agent->reconnect(std::move(conn));
+    ++n;
+  }
+  return n;
+}
+
+core::RunResult run_loopback_daemon_experiment(const core::EngineConfig& cfg,
+                                               core::PerqPolicy& policy,
+                                               std::size_t agents,
+                                               const ControllerConfig& ccfg) {
+  net::LoopbackTransport transport;
+  const std::string address = "perqd";
+  PerqController controller(transport.listen(address), policy, ccfg);
+
+  PlantConfig pcfg;
+  pcfg.agents = agents;
+  DaemonPlant plant(cfg, transport, address, pcfg);
+  controller.pump();
+
+  while (!plant.done()) {
+    plant.step([&controller] { controller.service(); });
+  }
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) plant.agent(i).bye();
+  controller.pump();
+  return plant.finish(policy.name());
+}
+
+}  // namespace perq::daemon

@@ -1,0 +1,78 @@
+// Daemon-mediated experiment harness.
+//
+// DaemonPlant drives a SimulationEngine through node agents: every control
+// interval it publishes telemetry, waits for the controller's cap plan,
+// lets the agents actuate their node slices, and feeds the plan back into
+// the engine with actuate=false (the agents already set the caps) so the
+// engine does only bookkeeping. When no plan arrives before the timeout the
+// plant falls back to holding every job at its previous cap -- the plant
+// never blocks on the controller, the mirror image of the controller never
+// blocking on a silent agent.
+//
+// run_loopback_daemon_experiment() wires plant and controller through the
+// in-process loopback transport, single-threaded and deterministic: the
+// proof harness for "daemon run == in-process run, bit for bit".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/perq_policy.hpp"
+#include "daemon/agent.hpp"
+#include "daemon/controller.hpp"
+#include "net/transport.hpp"
+
+namespace perq::daemon {
+
+struct PlantConfig {
+  std::size_t agents = 1;      ///< node-agent count; nodes split evenly
+  int plan_timeout_ms = 2000;  ///< wait for a cap plan before holding caps
+};
+
+/// The plant side of a daemon run: engine + node agents.
+class DaemonPlant {
+ public:
+  DaemonPlant(const core::EngineConfig& cfg, net::Transport& transport,
+              const std::string& address, const PlantConfig& pcfg = {});
+
+  core::SimulationEngine& engine() { return engine_; }
+  NodeAgent& agent(std::size_t i) { return *agents_[i]; }
+  std::size_t agent_count() const { return agents_.size(); }
+  bool done() const { return engine_.done(); }
+
+  /// Runs one control interval end to end. `service` is invoked while
+  /// waiting for the plan -- pass the controller's service() for
+  /// single-threaded runs, or nothing when the controller runs in its own
+  /// thread. Returns true when this tick's plan arrived in time, false when
+  /// the plant held the previous caps.
+  bool step(const std::function<void()>& service = {});
+
+  /// Re-establishes every lost agent connection (controller restarted).
+  /// Safe to call every held tick: returns immediately while the listener
+  /// is still away. Returns the number of agents reconnected this call.
+  std::size_t reconnect_lost(net::Transport& transport,
+                             const std::string& address);
+
+  core::RunResult finish(std::string policy_name) {
+    return engine_.finish(std::move(policy_name));
+  }
+
+ private:
+  core::SimulationEngine engine_;
+  PlantConfig pcfg_;
+  std::vector<std::unique_ptr<NodeAgent>> agents_;
+};
+
+/// Runs a full experiment through controller + agents over the loopback
+/// transport. Deterministic; produces bit-identical cap schedules to
+/// run_experiment(cfg, policy) with an identically configured policy.
+core::RunResult run_loopback_daemon_experiment(const core::EngineConfig& cfg,
+                                               core::PerqPolicy& policy,
+                                               std::size_t agents = 1,
+                                               const ControllerConfig& ccfg = {});
+
+}  // namespace perq::daemon

@@ -1,0 +1,194 @@
+#include "daemon/snapshot.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "proto/wire.hpp"
+#include "util/require.hpp"
+
+namespace perq::daemon {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x50455251;  // "PERQ"
+constexpr std::uint16_t kSnapshotVersion = 1;
+
+void write_estimator(proto::WireWriter& w, const control::EstimatorState& e) {
+  w.u32(static_cast<std::uint32_t>(e.state.size()));
+  for (double v : e.state) w.f64(v);
+  w.f64(e.gain);
+  w.f64(e.offset);
+  w.f64(e.p00);
+  w.f64(e.p01);
+  w.f64(e.p11);
+  w.f64(e.u_ema);
+  w.f64(e.last_u);
+  w.u64(e.updates);
+}
+
+bool read_estimator(proto::WireReader& r, control::EstimatorState* e) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || static_cast<std::size_t>(n) * 8 > r.remaining()) return false;
+  e->state.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) e->state[i] = r.f64();
+  e->gain = r.f64();
+  e->offset = r.f64();
+  e->p00 = r.f64();
+  e->p01 = r.f64();
+  e->p11 = r.f64();
+  e->u_ema = r.f64();
+  e->last_u = r.f64();
+  e->updates = r.u64();
+  return r.ok();
+}
+
+void write_shadow(proto::WireWriter& w, const ShadowRecord& s) {
+  w.i32(s.spec.id);
+  w.u64(s.spec.nodes);
+  w.f64(s.spec.runtime_ref_s);
+  w.u64(s.spec.app_index);
+  w.f64(s.spec.phase_offset_s);
+  w.f64(s.progress_s);
+  w.f64(s.last_min_perf);
+  w.f64(s.last_job_ips);
+  w.f64(s.last_cap_w);
+  w.u64(s.last_tick);
+  w.u32(s.seq);
+  w.u32(s.feeder);
+  w.f64(s.planned_cap_w);
+  w.f64(s.planned_target_ips);
+}
+
+bool read_shadow(proto::WireReader& r, ShadowRecord* s) {
+  s->spec.id = r.i32();
+  s->spec.nodes = static_cast<std::size_t>(r.u64());
+  s->spec.runtime_ref_s = r.f64();
+  s->spec.app_index = static_cast<std::size_t>(r.u64());
+  s->spec.phase_offset_s = r.f64();
+  s->progress_s = r.f64();
+  s->last_min_perf = r.f64();
+  s->last_job_ips = r.f64();
+  s->last_cap_w = r.f64();
+  s->last_tick = r.u64();
+  s->seq = r.u32();
+  s->feeder = r.u32();
+  s->planned_cap_w = r.f64();
+  s->planned_target_ips = r.f64();
+  return r.ok();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(const ControllerState& s) {
+  proto::WireWriter w;
+  w.u32(kSnapshotMagic);
+  w.u16(kSnapshotVersion);
+  w.u64(s.current_tick);
+  w.u64(s.last_decided_tick);
+  w.u8(s.any_tick_seen);
+  w.u8(s.any_decision);
+
+  w.u64(s.policy.tick);
+  w.u32(static_cast<std::uint32_t>(s.policy.estimators.size()));
+  for (const auto& [id, est] : s.policy.estimators) {
+    w.i32(id);
+    write_estimator(w, est);
+  }
+  w.u32(static_cast<std::uint32_t>(s.policy.last_targets.size()));
+  for (const auto& [id, target] : s.policy.last_targets) {
+    w.i32(id);
+    w.f64(target);
+  }
+  w.u32(static_cast<std::uint32_t>(s.policy.mpc.warm.size()));
+  for (double v : s.policy.mpc.warm) w.f64(v);
+  w.u32(static_cast<std::uint32_t>(s.policy.mpc.warm_ids.size()));
+  for (int id : s.policy.mpc.warm_ids) w.i32(id);
+
+  w.u32(static_cast<std::uint32_t>(s.shadows.size()));
+  for (const ShadowRecord& shadow : s.shadows) write_shadow(w, shadow);
+  return w.take();
+}
+
+std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
+                                               std::size_t size) {
+  proto::WireReader r(data, size);
+  if (r.u32() != kSnapshotMagic) return std::nullopt;
+  if (r.u16() != kSnapshotVersion) return std::nullopt;
+
+  ControllerState s;
+  s.current_tick = r.u64();
+  s.last_decided_tick = r.u64();
+  s.any_tick_seen = r.u8();
+  s.any_decision = r.u8();
+
+  s.policy.tick = r.u64();
+  const std::uint32_t n_est = r.u32();
+  if (!r.ok() || static_cast<std::size_t>(n_est) * 12 > r.remaining()) {
+    return std::nullopt;
+  }
+  for (std::uint32_t i = 0; i < n_est; ++i) {
+    const int id = r.i32();
+    control::EstimatorState est;
+    if (!read_estimator(r, &est)) return std::nullopt;
+    s.policy.estimators.emplace_back(id, std::move(est));
+  }
+  const std::uint32_t n_targets = r.u32();
+  if (!r.ok() || static_cast<std::size_t>(n_targets) * 12 > r.remaining()) {
+    return std::nullopt;
+  }
+  for (std::uint32_t i = 0; i < n_targets; ++i) {
+    const int id = r.i32();
+    const double target = r.f64();
+    s.policy.last_targets.emplace_back(id, target);
+  }
+  const std::uint32_t n_warm = r.u32();
+  if (!r.ok() || static_cast<std::size_t>(n_warm) * 8 > r.remaining()) {
+    return std::nullopt;
+  }
+  s.policy.mpc.warm.resize(n_warm);
+  for (std::uint32_t i = 0; i < n_warm; ++i) s.policy.mpc.warm[i] = r.f64();
+  const std::uint32_t n_warm_ids = r.u32();
+  if (!r.ok() || static_cast<std::size_t>(n_warm_ids) * 4 > r.remaining()) {
+    return std::nullopt;
+  }
+  s.policy.mpc.warm_ids.resize(n_warm_ids);
+  for (std::uint32_t i = 0; i < n_warm_ids; ++i) s.policy.mpc.warm_ids[i] = r.i32();
+
+  const std::uint32_t n_shadows = r.u32();
+  if (!r.ok() || static_cast<std::size_t>(n_shadows) * 100 > r.remaining()) {
+    return std::nullopt;
+  }
+  s.shadows.resize(n_shadows);
+  for (std::uint32_t i = 0; i < n_shadows; ++i) {
+    if (!read_shadow(r, &s.shadows[i])) return std::nullopt;
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return s;
+}
+
+void save_snapshot(const std::string& path, const ControllerState& s) {
+  const auto bytes = encode_snapshot(s);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    PERQ_REQUIRE(out.is_open(), "cannot open snapshot file: " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    PERQ_REQUIRE(out.good(), "snapshot write failed: " + tmp);
+  }
+  PERQ_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "snapshot rename failed: " + path);
+}
+
+ControllerState load_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PERQ_REQUIRE(in.is_open(), "cannot open snapshot file: " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  auto s = decode_snapshot(bytes.data(), bytes.size());
+  PERQ_REQUIRE(s.has_value(), "corrupt snapshot file: " + path);
+  return std::move(*s);
+}
+
+}  // namespace perq::daemon

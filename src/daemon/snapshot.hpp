@@ -1,0 +1,34 @@
+// Controller snapshot persistence.
+//
+// Serializes a ControllerState with the same little-endian wire primitives
+// as the protocol (doubles as raw IEEE bits), so a state round-trips
+// bit-for-bit -- the restart-determinism guarantee rests on this. The file
+// format carries its own magic + version, independent of the network
+// protocol version.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daemon/controller.hpp"
+
+namespace perq::daemon {
+
+/// Serializes a controller state to bytes (header included).
+std::vector<std::uint8_t> encode_snapshot(const ControllerState& s);
+
+/// Parses bytes produced by encode_snapshot; nullopt on any malformation.
+std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
+                                               std::size_t size);
+
+/// Atomically-ish writes the snapshot (temp file + rename). Throws
+/// perq::precondition_error on I/O failure.
+void save_snapshot(const std::string& path, const ControllerState& s);
+
+/// Loads and parses a snapshot file; throws perq::precondition_error when
+/// the file is unreadable or corrupt.
+ControllerState load_snapshot(const std::string& path);
+
+}  // namespace perq::daemon

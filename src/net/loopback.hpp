@@ -1,0 +1,31 @@
+// In-process loopback transport: deterministic FIFO message queues.
+//
+// connect()/accept_new() pair endpoints through a named rendezvous inside
+// one LoopbackTransport instance. Delivery is synchronous -- a message is
+// visible to the peer's receive() immediately after send() -- so a
+// single-threaded test can interleave controller and agents and observe the
+// exact per-tick exchange order. A mutex guards the shared queues, so the
+// transport also works when the controller runs on its own thread.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "net/transport.hpp"
+
+namespace perq::net {
+
+class LoopbackTransport final : public Transport {
+ public:
+  LoopbackTransport();
+  ~LoopbackTransport() override;
+
+  std::unique_ptr<Listener> listen(const std::string& address) override;
+  std::unique_ptr<Connection> connect(const std::string& address) override;
+
+ private:
+  struct Registry;
+  std::shared_ptr<Registry> registry_;
+};
+
+}  // namespace perq::net

@@ -1,0 +1,235 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/require.hpp"
+
+namespace perq::net {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  PERQ_REQUIRE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+               "cannot set O_NONBLOCK");
+}
+
+/// Parses "host:port". Only numeric IPv4 and "localhost" are supported --
+/// perqd is a cluster-internal service, not a general resolver client.
+bool parse_address(const std::string& address, sockaddr_in* out) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos) return false;
+  std::string host = address.substr(0, colon);
+  const std::string port_s = address.substr(colon + 1);
+  if (host == "localhost" || host.empty()) host = "127.0.0.1";
+  char* end = nullptr;
+  const long port = std::strtol(port_s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || port < 0 || port > 65535) return false;
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<std::uint16_t>(port));
+  return ::inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1;
+}
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    const int one = 1;
+    // Telemetry frames are tiny and latency-sensitive; never Nagle-delay.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override { close(); }
+
+  bool send(const proto::Message& m) override {
+    if (fd_ < 0) return false;
+    const auto frame = proto::encode(m);
+    sendbuf_.insert(sendbuf_.end(), frame.begin(), frame.end());
+    flush_writes();
+    return fd_ >= 0;
+  }
+
+  std::vector<proto::Message> receive() override {
+    if (fd_ >= 0) {
+      flush_writes();
+      std::uint8_t chunk[16384];
+      for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+          decoder_.feed(chunk, static_cast<std::size_t>(n));
+          if (decoder_.corrupt()) {
+            close();  // unrecoverable framing: drop the peer
+            break;
+          }
+          continue;
+        }
+        if (n == 0) {
+          close();  // orderly peer shutdown
+          break;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        if (errno == EINTR) continue;
+        close();  // hard error
+        break;
+      }
+    }
+    return decoder_.take();
+  }
+
+  bool open() const override { return fd_ >= 0; }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd() const override { return fd_; }
+
+ private:
+  void flush_writes() {
+    while (!sendbuf_.empty() && fd_ >= 0) {
+      const ssize_t n = ::send(fd_, sendbuf_.data() + sent_, sendbuf_.size() - sent_,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        sent_ += static_cast<std::size_t>(n);
+        if (sent_ == sendbuf_.size()) {
+          sendbuf_.clear();
+          sent_ = 0;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      close();  // EPIPE/ECONNRESET/...
+      return;
+    }
+  }
+
+  int fd_;
+  std::vector<std::uint8_t> sendbuf_;
+  std::size_t sent_ = 0;  // prefix of sendbuf_ already written
+  proto::FrameDecoder decoder_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  ~TcpListener() override { close(); }
+
+  std::vector<std::unique_ptr<Connection>> accept_new() override {
+    std::vector<std::unique_ptr<Connection>> out;
+    while (fd_ >= 0) {
+      const int cfd = ::accept(fd_, nullptr, nullptr);
+      if (cfd < 0) {
+        if (errno == EINTR) continue;
+        break;  // EAGAIN or error: nothing (more) pending
+      }
+      set_nonblocking(cfd);
+      out.push_back(std::make_unique<TcpConnection>(cfd));
+    }
+    return out;
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  int fd() const override { return fd_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int fd_;
+  std::uint16_t port_;
+};
+
+}  // namespace
+
+std::unique_ptr<Listener> TcpTransport::listen(const std::string& address) {
+  sockaddr_in addr;
+  PERQ_REQUIRE(parse_address(address, &addr), "bad listen address: " + address);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PERQ_REQUIRE(fd >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const int err = errno;
+    ::close(fd);
+    PERQ_REQUIRE(false, "cannot listen on " + address + ": " + std::strerror(err));
+  }
+  set_nonblocking(fd);
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  PERQ_REQUIRE(::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0,
+               "getsockname() failed");
+  return std::make_unique<TcpListener>(fd, ntohs(bound.sin_port));
+}
+
+std::unique_ptr<Connection> TcpTransport::connect(const std::string& address) {
+  return connect_timeout(address, 5000);
+}
+
+std::unique_ptr<Connection> TcpTransport::connect_timeout(const std::string& address,
+                                                          int timeout_ms) {
+  sockaddr_in addr;
+  PERQ_REQUIRE(parse_address(address, &addr), "bad connect address: " + address);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PERQ_REQUIRE(fd >= 0, "socket() failed");
+  set_nonblocking(fd);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return nullptr;
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return nullptr;
+    }
+  }
+  return std::make_unique<TcpConnection>(fd);
+}
+
+int wait_readable(const std::vector<int>& fds, int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (int fd : fds) {
+    if (fd >= 0) pfds.push_back({fd, POLLIN, 0});
+  }
+  if (pfds.empty()) {
+    // Nothing to wait on: honor the timeout so callers still pace.
+    ::poll(nullptr, 0, timeout_ms);
+    return 0;
+  }
+  const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
+  return n < 0 ? 0 : n;
+}
+
+std::uint16_t listener_port(const Listener& listener) {
+  const auto* tcp = dynamic_cast<const TcpListener*>(&listener);
+  PERQ_REQUIRE(tcp != nullptr, "listener_port: not a TCP listener");
+  return tcp->port();
+}
+
+}  // namespace perq::net

@@ -1,0 +1,70 @@
+// Message transport between the perqd controller and its node agents.
+//
+// Two implementations ship:
+//   * LoopbackTransport (loopback.hpp) -- in-process queue pairs with
+//     synchronous, deterministic delivery. The daemon equivalence tests run
+//     on it so a daemon-mediated experiment is bit-for-bit comparable to the
+//     in-process engine.
+//   * TcpTransport (tcp.hpp) -- POSIX non-blocking sockets with a
+//     poll(2)-based wait, for real controller/agent deployments.
+//
+// Connections speak whole proto::Message values; framing and the corrupt-
+// stream policy (a malformed frame closes the connection) live below this
+// interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/message.hpp"
+
+namespace perq::net {
+
+/// One bidirectional message channel. All calls are non-blocking.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Queues one message for delivery. Returns false (and drops the message)
+  /// when the connection is closed.
+  virtual bool send(const proto::Message& m) = 0;
+
+  /// Drains every message that has arrived since the last call. Progresses
+  /// I/O as a side effect (flushes pending writes on socket transports).
+  virtual std::vector<proto::Message> receive() = 0;
+
+  /// True until the peer closes, an I/O error occurs, or the inbound stream
+  /// turns out to be corrupt.
+  virtual bool open() const = 0;
+
+  virtual void close() = 0;
+
+  /// Pollable file descriptor, or -1 for in-process transports.
+  virtual int fd() const { return -1; }
+};
+
+/// Server side of a transport: yields one Connection per connecting agent.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Accepts every connection currently pending (non-blocking).
+  virtual std::vector<std::unique_ptr<Connection>> accept_new() = 0;
+
+  virtual void close() = 0;
+
+  /// Pollable listening descriptor, or -1 for in-process transports.
+  virtual int fd() const { return -1; }
+};
+
+/// Factory tying the two sides together through an address string
+/// ("host:port" for TCP, any name for loopback).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual std::unique_ptr<Listener> listen(const std::string& address) = 0;
+  virtual std::unique_ptr<Connection> connect(const std::string& address) = 0;
+};
+
+}  // namespace perq::net

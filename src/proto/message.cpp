@@ -1,0 +1,223 @@
+#include "proto/message.hpp"
+
+#include "proto/wire.hpp"
+
+namespace perq::proto {
+
+namespace {
+
+// Per-type body serializers. Keep write_* and read_* in field-for-field
+// lockstep; the round-trip tests enforce it for every type.
+
+void write_body(WireWriter& w, const Hello& m) {
+  w.u32(m.agent_id);
+  w.u32(m.node_begin);
+  w.u32(m.node_end);
+}
+
+void write_body(WireWriter& w, const Telemetry& m) {
+  w.u32(m.agent_id);
+  w.u64(m.tick);
+  w.u32(m.seq);
+  w.u8(m.flags);
+  w.i32(m.job_id);
+  w.u32(m.nodes);
+  w.u32(m.app_index);
+  w.f64(m.runtime_ref_s);
+  w.f64(m.progress_s);
+  w.f64(m.min_perf);
+  w.f64(m.cap_w);
+  w.f64(m.ips);
+  w.f64(m.power_w);
+}
+
+void write_body(WireWriter& w, const CapPlan& m) {
+  w.u64(m.tick);
+  w.u32(static_cast<std::uint32_t>(m.entries.size()));
+  for (const CapEntry& e : m.entries) {
+    w.i32(e.job_id);
+    w.f64(e.cap_w);
+    w.f64(e.target_ips);
+    w.u8(e.held);
+  }
+}
+
+void write_body(WireWriter& w, const Heartbeat& m) {
+  w.u32(m.agent_id);
+  w.u64(m.tick);
+  w.f64(m.now_s);
+  w.f64(m.dt_s);
+  w.f64(m.budget_total_w);
+  w.f64(m.budget_for_busy_w);
+  w.f64(m.total_nodes);
+}
+
+void write_body(WireWriter& w, const Bye& m) { w.u32(m.agent_id); }
+
+Hello read_hello(WireReader& r) {
+  Hello m;
+  m.agent_id = r.u32();
+  m.node_begin = r.u32();
+  m.node_end = r.u32();
+  return m;
+}
+
+Telemetry read_telemetry(WireReader& r) {
+  Telemetry m;
+  m.agent_id = r.u32();
+  m.tick = r.u64();
+  m.seq = r.u32();
+  m.flags = r.u8();
+  m.job_id = r.i32();
+  m.nodes = r.u32();
+  m.app_index = r.u32();
+  m.runtime_ref_s = r.f64();
+  m.progress_s = r.f64();
+  m.min_perf = r.f64();
+  m.cap_w = r.f64();
+  m.ips = r.f64();
+  m.power_w = r.f64();
+  return m;
+}
+
+std::optional<CapPlan> read_cap_plan(WireReader& r) {
+  CapPlan m;
+  m.tick = r.u64();
+  const std::uint32_t n = r.u32();
+  // Each entry is at least 21 bytes; a count that cannot fit in the
+  // remaining body is a forged length, not a short read.
+  if (!r.ok() || static_cast<std::size_t>(n) * 21 > r.remaining()) return std::nullopt;
+  m.entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CapEntry e;
+    e.job_id = r.i32();
+    e.cap_w = r.f64();
+    e.target_ips = r.f64();
+    e.held = r.u8();
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
+Heartbeat read_heartbeat(WireReader& r) {
+  Heartbeat m;
+  m.agent_id = r.u32();
+  m.tick = r.u64();
+  m.now_s = r.f64();
+  m.dt_s = r.f64();
+  m.budget_total_w = r.f64();
+  m.budget_for_busy_w = r.f64();
+  m.total_nodes = r.f64();
+  return m;
+}
+
+Bye read_bye(WireReader& r) {
+  Bye m;
+  m.agent_id = r.u32();
+  return m;
+}
+
+}  // namespace
+
+MsgType type_of(const Message& m) {
+  struct Visitor {
+    MsgType operator()(const Hello&) const { return MsgType::kHello; }
+    MsgType operator()(const Telemetry&) const { return MsgType::kTelemetry; }
+    MsgType operator()(const CapPlan&) const { return MsgType::kCapPlan; }
+    MsgType operator()(const Heartbeat&) const { return MsgType::kHeartbeat; }
+    MsgType operator()(const Bye&) const { return MsgType::kBye; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+std::string to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kTelemetry: return "Telemetry";
+    case MsgType::kCapPlan: return "CapPlan";
+    case MsgType::kHeartbeat: return "Heartbeat";
+    case MsgType::kBye: return "Bye";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  WireWriter w;
+  w.u32(0);  // length placeholder, patched below
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(type_of(m)));
+  std::visit([&w](const auto& msg) { write_body(w, msg); }, m);
+  w.patch_u32(0, static_cast<std::uint32_t>(w.size() - 4));
+  return w.take();
+}
+
+std::optional<Message> parse_frame(const std::uint8_t* data, std::size_t size) {
+  WireReader r(data, size);
+  if (r.u16() != kMagic) return std::nullopt;
+  if (r.u8() != kVersion) return std::nullopt;
+  const std::uint8_t type = r.u8();
+  if (!r.ok()) return std::nullopt;
+
+  std::optional<Message> m;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kHello: m = read_hello(r); break;
+    case MsgType::kTelemetry: m = read_telemetry(r); break;
+    case MsgType::kCapPlan: {
+      auto plan = read_cap_plan(r);
+      if (!plan) return std::nullopt;
+      m = std::move(*plan);
+      break;
+    }
+    case MsgType::kHeartbeat: m = read_heartbeat(r); break;
+    case MsgType::kBye: m = read_bye(r); break;
+    default: return std::nullopt;
+  }
+  // Truncated body (a read overran) or trailing junk both reject.
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+void FrameDecoder::poison(const std::string& why) {
+  corrupt_ = true;
+  error_ = why;
+  buf_.clear();
+  consumed_ = 0;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (corrupt_) return;
+  buf_.insert(buf_.end(), data, data + size);
+  for (;;) {
+    const std::size_t avail = buf_.size() - consumed_;
+    if (avail < 4) break;
+    WireReader len_r(buf_.data() + consumed_, 4);
+    const std::uint32_t len = len_r.u32();
+    if (len < 4 || len > kMaxFrameBytes) {
+      poison("invalid frame length " + std::to_string(len));
+      return;
+    }
+    if (avail < 4 + static_cast<std::size_t>(len)) break;  // frame incomplete
+    auto msg = parse_frame(buf_.data() + consumed_ + 4, len);
+    if (!msg) {
+      poison("malformed frame body");
+      return;
+    }
+    out_.push_back(std::move(*msg));
+    consumed_ += 4 + len;
+  }
+  // Compact once the parsed prefix dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+}
+
+std::vector<Message> FrameDecoder::take() {
+  std::vector<Message> msgs = std::move(out_);
+  out_.clear();
+  return msgs;
+}
+
+}  // namespace perq::proto

@@ -1,0 +1,142 @@
+// perqd wire protocol, version 1.
+//
+// The controller (perqd) and its node agents exchange length-prefixed
+// binary frames:
+//
+//   [u32 length][u16 magic 'PQ'][u8 version][u8 type][body...]
+//
+// `length` counts every byte after the length field itself (header + body),
+// so a stream reader knows exactly how many bytes to buffer before parsing.
+// Parsing is strict: wrong magic, unknown version, unknown type, a body
+// that is shorter or longer than its type requires, or an absurd length all
+// reject the frame. On a stream transport a rejected frame poisons the
+// decoder (there is no way to resynchronize a corrupt byte stream), which
+// the transport turns into a connection close.
+//
+// Message roles (one control interval = one exchange):
+//   Hello      agent -> controller   introduce agent_id + owned node range
+//   Telemetry  agent -> controller   one running job's last-interval state
+//   Heartbeat  agent -> controller   liveness + the plant's budget status
+//   CapPlan    controller -> agents  per-job caps (and IPS targets) to apply
+//   Bye        agent -> controller   graceful leave (no staleness alarm)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace perq::proto {
+
+inline constexpr std::uint16_t kMagic = 0x5150;  // "PQ" little-endian
+inline constexpr std::uint8_t kVersion = 1;
+/// Upper bound on the post-length portion of a frame; anything larger is
+/// rejected before buffering (a garbage length prefix must not make the
+/// decoder allocate gigabytes).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kTelemetry = 2,
+  kCapPlan = 3,
+  kHeartbeat = 4,
+  kBye = 5,
+};
+
+/// Agent introduction: which slice of the machine room it speaks for.
+struct Hello {
+  std::uint32_t agent_id = 0;
+  std::uint32_t node_begin = 0;  ///< first cluster node id owned (inclusive)
+  std::uint32_t node_end = 0;    ///< one past the last owned node id
+};
+
+/// Telemetry flags.
+inline constexpr std::uint8_t kTelemetryFinal = 1u << 0;  ///< job finished
+
+/// One running job's state as measured over the last control interval.
+/// Carries the full (small) job descriptor so the controller can rebuild
+/// its shadow state from scratch -- this is what makes agent rejoin and
+/// controller restart a plain resync instead of a protocol extension.
+struct Telemetry {
+  std::uint32_t agent_id = 0;
+  std::uint64_t tick = 0;       ///< plant control-interval counter
+  std::uint32_t seq = 0;        ///< position in the plant's running list
+  std::uint8_t flags = 0;
+  std::int32_t job_id = 0;
+  std::uint32_t nodes = 0;      ///< nodes the job spans
+  std::uint32_t app_index = 0;  ///< index into apps::ecp_catalog()
+  double runtime_ref_s = 0.0;   ///< reference runtime at full power
+  double progress_s = 0.0;      ///< accumulated progress (reference seconds)
+  double min_perf = 0.0;        ///< slowest rank's perf fraction last interval
+  double cap_w = 0.0;           ///< per-node cap applied last interval
+  double ips = 0.0;             ///< measured aggregate job IPS last interval
+  double power_w = 0.0;         ///< job's total power draw last interval
+};
+
+/// One job's entry in a broadcast cap plan.
+struct CapEntry {
+  std::int32_t job_id = 0;
+  double cap_w = 0.0;
+  double target_ips = 0.0;  ///< controller's fairness target (0 = held/baseline)
+  std::uint8_t held = 0;    ///< 1 when the cap is a stale-job hold, not a decision
+};
+
+struct CapPlan {
+  std::uint64_t tick = 0;
+  std::vector<CapEntry> entries;
+};
+
+/// Liveness beacon; also carries the plant-side budget snapshot the
+/// controller needs to build its PolicyContext for this tick.
+struct Heartbeat {
+  std::uint32_t agent_id = 0;
+  std::uint64_t tick = 0;
+  double now_s = 0.0;
+  double dt_s = 0.0;
+  double budget_total_w = 0.0;
+  double budget_for_busy_w = 0.0;
+  double total_nodes = 0.0;
+};
+
+struct Bye {
+  std::uint32_t agent_id = 0;
+};
+
+using Message = std::variant<Hello, Telemetry, CapPlan, Heartbeat, Bye>;
+
+MsgType type_of(const Message& m);
+std::string to_string(MsgType t);
+
+/// Serializes a message into one complete frame (length prefix included).
+std::vector<std::uint8_t> encode(const Message& m);
+
+/// Parses the post-length portion of a frame (magic..body). Returns nullopt
+/// on any malformation; never throws, never reads out of bounds.
+std::optional<Message> parse_frame(const std::uint8_t* data, std::size_t size);
+
+/// Incremental stream decoder: feed raw bytes, take out complete messages.
+/// A malformed frame poisons the decoder permanently (stream framing is
+/// unrecoverable once corrupt); `error()` says why.
+class FrameDecoder {
+ public:
+  /// Appends raw stream bytes and decodes as many whole frames as arrived.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Moves out the messages decoded so far.
+  std::vector<Message> take();
+
+  bool corrupt() const { return corrupt_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void poison(const std::string& why);
+
+  std::vector<std::uint8_t> buf_;
+  std::size_t consumed_ = 0;  ///< bytes of buf_ already parsed
+  std::vector<Message> out_;
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+}  // namespace perq::proto

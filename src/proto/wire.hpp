@@ -1,0 +1,91 @@
+// Byte-level primitives of the perqd wire format.
+//
+// All integers are little-endian fixed width; doubles travel as the raw
+// IEEE-754 bit pattern (bit_cast through uint64), so a value round-trips
+// bit-for-bit -- the loopback-equivalence guarantee of the daemon depends
+// on this. Strings and blobs are u32-length-prefixed.
+//
+// WireReader is non-throwing: any out-of-bounds read flips a sticky `ok`
+// flag and subsequent reads return zero values. Callers check ok() once at
+// the end, which keeps parsers of attacker-controlled bytes branch-simple.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace perq::proto {
+
+/// Appends fixed-width little-endian values to a byte buffer.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i32(std::int32_t v) { append_le(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { append_le(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s);
+  void bytes(const std::uint8_t* data, std::size_t n);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  /// Overwrites 4 bytes at `offset` (for back-patching length prefixes).
+  void patch_u32(std::size_t offset, std::uint32_t v);
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads fixed-width little-endian values from a byte span; sticky failure.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str();
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  /// True when every byte was consumed and no read overran.
+  bool exhausted() const { return ok_ && pos_ == size_; }
+
+ private:
+  template <typename T>
+  T read_le() {
+    if (!ok_ || size_ - pos_ < sizeof(T)) {
+      ok_ = false;
+      return T{0};
+    }
+    T v{0};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace perq::proto

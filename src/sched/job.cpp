@@ -54,6 +54,15 @@ double Job::runtime_s() const {
   return finish_time_s_ - start_time_s_;
 }
 
+void Job::sync_runtime_state(double progress_s, double last_min_perf,
+                             double last_job_ips, double last_cap_w) {
+  PERQ_REQUIRE(progress_s >= 0.0, "progress must be non-negative");
+  progress_s_ = progress_s;
+  last_min_perf_ = last_min_perf;
+  last_job_ips_ = last_job_ips;
+  last_cap_w_ = last_cap_w;
+}
+
 double Job::remaining_node_hours() const {
   return std::max(0.0, remaining_ref_s()) * static_cast<double>(spec_.nodes) / 3600.0;
 }

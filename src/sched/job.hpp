@@ -60,6 +60,14 @@ class Job {
   /// (the SRN policy's oracle priority key).
   double remaining_node_hours() const;
 
+  /// Daemon resync hook: overwrites the interval-derived runtime state with
+  /// absolute values reported by a remote plant (perqd telemetry or a
+  /// controller snapshot). Unlike record_interval this does not accumulate,
+  /// so a controller-side shadow job stays exact across missed intervals
+  /// and restarts. Valid in any state.
+  void sync_runtime_state(double progress_s, double last_min_perf,
+                          double last_job_ips, double last_cap_w);
+
   double last_job_ips() const { return last_job_ips_; }
   double last_cap_w() const { return last_cap_w_; }
   double last_min_perf() const { return last_min_perf_; }

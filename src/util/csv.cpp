@@ -53,6 +53,11 @@ void CsvWriter::row(const std::vector<std::string>& values) {
   ++rows_;
 }
 
+void CsvWriter::flush() {
+  out_.flush();
+  PERQ_REQUIRE(out_.good(), "CSV write failed (stream went bad on flush)");
+}
+
 void CsvWriter::write_cells(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out_ << ',';

@@ -22,6 +22,12 @@ class CsvWriter {
   /// Number of data rows written so far.
   std::size_t rows_written() const { return rows_; }
 
+  /// Pushes buffered rows to disk and verifies the stream is still healthy.
+  /// Throws perq::precondition_error when the write failed (disk full,
+  /// deleted directory, ...) -- callers that script long sweeps should flush
+  /// at checkpoints instead of discovering a torn file afterwards.
+  void flush();
+
  private:
   void write_cells(const std::vector<std::string>& cells);
 

@@ -1,0 +1,314 @@
+#include "proto/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "proto/wire.hpp"
+#include "util/rng.hpp"
+
+namespace perq::proto {
+namespace {
+
+Hello sample_hello() {
+  Hello h;
+  h.agent_id = 7;
+  h.node_begin = 16;
+  h.node_end = 32;
+  return h;
+}
+
+Telemetry sample_telemetry() {
+  Telemetry t;
+  t.agent_id = 3;
+  t.tick = 123456789ull;
+  t.seq = 5;
+  t.flags = kTelemetryFinal;
+  t.job_id = -42;
+  t.nodes = 8;
+  t.app_index = 4;
+  t.runtime_ref_s = 3600.5;
+  t.progress_s = 120.25;
+  t.min_perf = 0.8125;
+  t.cap_w = 217.375;
+  t.ips = 3.5e9;
+  t.power_w = 1730.0625;
+  return t;
+}
+
+CapPlan sample_plan() {
+  CapPlan p;
+  p.tick = 99;
+  p.entries.push_back({1, 250.0, 2.5e9, 0});
+  p.entries.push_back({-7, 115.5, 0.0, 1});
+  p.entries.push_back({300, 290.0, 1.25e9, 0});
+  return p;
+}
+
+Heartbeat sample_heartbeat() {
+  Heartbeat hb;
+  hb.agent_id = 2;
+  hb.tick = 77;
+  hb.now_s = 770.0;
+  hb.dt_s = 10.0;
+  hb.budget_total_w = 9280.0;
+  hb.budget_for_busy_w = 7000.25;
+  hb.total_nodes = 64.0;
+  return hb;
+}
+
+std::optional<Message> round_trip(const Message& m) {
+  const auto frame = encode(m);
+  // The length prefix covers everything after itself.
+  EXPECT_GE(frame.size(), 8u);
+  std::uint32_t len = 0;
+  std::memcpy(&len, frame.data(), 4);
+  EXPECT_EQ(len, frame.size() - 4);
+  return parse_frame(frame.data() + 4, frame.size() - 4);
+}
+
+TEST(Message, HelloRoundTrip) {
+  const auto m = round_trip(sample_hello());
+  ASSERT_TRUE(m.has_value());
+  const auto& h = std::get<Hello>(*m);
+  EXPECT_EQ(h.agent_id, 7u);
+  EXPECT_EQ(h.node_begin, 16u);
+  EXPECT_EQ(h.node_end, 32u);
+}
+
+TEST(Message, TelemetryRoundTripIsBitExact) {
+  const Telemetry in = sample_telemetry();
+  const auto m = round_trip(in);
+  ASSERT_TRUE(m.has_value());
+  const auto& t = std::get<Telemetry>(*m);
+  EXPECT_EQ(t.agent_id, in.agent_id);
+  EXPECT_EQ(t.tick, in.tick);
+  EXPECT_EQ(t.seq, in.seq);
+  EXPECT_EQ(t.flags, in.flags);
+  EXPECT_EQ(t.job_id, in.job_id);
+  EXPECT_EQ(t.nodes, in.nodes);
+  EXPECT_EQ(t.app_index, in.app_index);
+  // Doubles must survive bit-for-bit, not just approximately.
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(t.runtime_ref_s),
+            std::bit_cast<std::uint64_t>(in.runtime_ref_s));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(t.progress_s),
+            std::bit_cast<std::uint64_t>(in.progress_s));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(t.min_perf),
+            std::bit_cast<std::uint64_t>(in.min_perf));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(t.cap_w),
+            std::bit_cast<std::uint64_t>(in.cap_w));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(t.ips),
+            std::bit_cast<std::uint64_t>(in.ips));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(t.power_w),
+            std::bit_cast<std::uint64_t>(in.power_w));
+}
+
+TEST(Message, CapPlanRoundTrip) {
+  const auto m = round_trip(sample_plan());
+  ASSERT_TRUE(m.has_value());
+  const auto& p = std::get<CapPlan>(*m);
+  EXPECT_EQ(p.tick, 99u);
+  ASSERT_EQ(p.entries.size(), 3u);
+  EXPECT_EQ(p.entries[1].job_id, -7);
+  EXPECT_DOUBLE_EQ(p.entries[1].cap_w, 115.5);
+  EXPECT_EQ(p.entries[1].held, 1);
+  EXPECT_EQ(p.entries[2].job_id, 300);
+}
+
+TEST(Message, EmptyCapPlanRoundTrip) {
+  CapPlan p;
+  p.tick = 0;
+  const auto m = round_trip(p);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(std::get<CapPlan>(*m).entries.empty());
+}
+
+TEST(Message, HeartbeatRoundTrip) {
+  const auto m = round_trip(sample_heartbeat());
+  ASSERT_TRUE(m.has_value());
+  const auto& hb = std::get<Heartbeat>(*m);
+  EXPECT_EQ(hb.tick, 77u);
+  EXPECT_DOUBLE_EQ(hb.budget_for_busy_w, 7000.25);
+  EXPECT_DOUBLE_EQ(hb.total_nodes, 64.0);
+}
+
+TEST(Message, ByeRoundTrip) {
+  Bye b;
+  b.agent_id = 9;
+  const auto m = round_trip(b);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(std::get<Bye>(*m).agent_id, 9u);
+}
+
+TEST(Message, TypeOfAndNames) {
+  EXPECT_EQ(type_of(Message(sample_hello())), MsgType::kHello);
+  EXPECT_EQ(type_of(Message(sample_plan())), MsgType::kCapPlan);
+  EXPECT_EQ(to_string(MsgType::kHeartbeat), "Heartbeat");
+}
+
+// ---- malformed-input rejection ---------------------------------------------
+
+std::vector<std::uint8_t> body_of(const Message& m) {
+  auto frame = encode(m);
+  frame.erase(frame.begin(), frame.begin() + 4);
+  return frame;
+}
+
+TEST(MessageReject, WrongMagic) {
+  auto body = body_of(sample_hello());
+  body[0] ^= 0xFF;
+  EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
+}
+
+TEST(MessageReject, WrongVersion) {
+  auto body = body_of(sample_hello());
+  body[2] = kVersion + 1;
+  EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
+}
+
+TEST(MessageReject, UnknownType) {
+  auto body = body_of(sample_hello());
+  body[3] = 0;  // no such MsgType
+  EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
+  body[3] = 200;
+  EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
+}
+
+TEST(MessageReject, EveryTruncationOfEveryType) {
+  const Message msgs[] = {Message(sample_hello()), Message(sample_telemetry()),
+                          Message(sample_plan()), Message(sample_heartbeat()),
+                          Message(Bye{4})};
+  for (const Message& m : msgs) {
+    const auto body = body_of(m);
+    for (std::size_t n = 0; n < body.size(); ++n) {
+      EXPECT_FALSE(parse_frame(body.data(), n).has_value())
+          << to_string(type_of(m)) << " truncated to " << n << " bytes";
+    }
+  }
+}
+
+TEST(MessageReject, TrailingJunk) {
+  for (const Message& m :
+       {Message(sample_hello()), Message(sample_telemetry()),
+        Message(sample_heartbeat()), Message(Bye{4})}) {
+    auto body = body_of(m);
+    body.push_back(0x00);
+    EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
+  }
+}
+
+TEST(MessageReject, CapPlanEntryCountLyingAboutBody) {
+  auto body = body_of(sample_plan());
+  // Entry count lives right after the 4-byte header + 8-byte tick. Claim
+  // more entries than the body holds.
+  body[12] = 0xFF;
+  body[13] = 0xFF;
+  EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
+}
+
+TEST(MessageReject, RandomGarbageNeverParsesAsSomethingElse) {
+  Rng rng(0xFEEDu);
+  std::size_t parsed = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    std::vector<std::uint8_t> junk(n);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    if (parse_frame(junk.data(), junk.size()).has_value()) ++parsed;
+  }
+  // Random bytes essentially never carry the magic+version+type header.
+  EXPECT_EQ(parsed, 0u);
+}
+
+TEST(MessageReject, RandomCorruptionOfValidFrames) {
+  Rng rng(0xC0FFEEu);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto body = body_of(sample_telemetry());
+    // Flip a random byte in the header region or truncate randomly; the
+    // parser must never crash and never accept a malformed header.
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(body.size()) - 1));
+    body[pos] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    const auto m = parse_frame(body.data(), body.size());
+    if (pos >= 4 && m.has_value()) {
+      // Payload corruption may still parse -- but only ever as Telemetry.
+      EXPECT_EQ(type_of(*m), MsgType::kTelemetry);
+    }
+  }
+}
+
+// ---- stream decoder --------------------------------------------------------
+
+TEST(FrameDecoder, ReassemblesByteAtATime) {
+  std::vector<std::uint8_t> stream;
+  for (const Message& m :
+       {Message(sample_hello()), Message(sample_telemetry()),
+        Message(sample_plan()), Message(sample_heartbeat()), Message(Bye{1})}) {
+    const auto f = encode(m);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameDecoder dec;
+  std::vector<Message> got;
+  for (std::uint8_t b : stream) {
+    dec.feed(&b, 1);
+    for (auto& m : dec.take()) got.push_back(std::move(m));
+  }
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(type_of(got[0]), MsgType::kHello);
+  EXPECT_EQ(type_of(got[2]), MsgType::kCapPlan);
+  EXPECT_EQ(type_of(got[4]), MsgType::kBye);
+  EXPECT_FALSE(dec.corrupt());
+}
+
+TEST(FrameDecoder, PoisonsOnAbsurdLength) {
+  WireWriter w;
+  w.u32(kMaxFrameBytes + 1);
+  const auto bytes = w.take();
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  EXPECT_TRUE(dec.corrupt());
+  // Poison is permanent: a subsequent valid frame is not decoded.
+  const auto good = encode(Message(Bye{2}));
+  dec.feed(good.data(), good.size());
+  EXPECT_TRUE(dec.take().empty());
+  EXPECT_TRUE(dec.corrupt());
+}
+
+TEST(FrameDecoder, PoisonsOnCorruptBody) {
+  auto frame = encode(Message(sample_hello()));
+  frame[4] ^= 0xFF;  // break the magic
+  FrameDecoder dec;
+  dec.feed(frame.data(), frame.size());
+  EXPECT_TRUE(dec.take().empty());
+  EXPECT_TRUE(dec.corrupt());
+  EXPECT_FALSE(dec.error().empty());
+}
+
+TEST(FrameDecoder, RandomizedChunkedStream) {
+  Rng rng(0xABCDu);
+  std::vector<std::uint8_t> stream;
+  std::size_t sent = 0;
+  for (int i = 0; i < 64; ++i) {
+    Telemetry t = sample_telemetry();
+    t.seq = static_cast<std::uint32_t>(i);
+    const auto f = encode(Message(t));
+    stream.insert(stream.end(), f.begin(), f.end());
+    ++sent;
+  }
+  FrameDecoder dec;
+  std::size_t got = 0, off = 0;
+  while (off < stream.size()) {
+    const std::size_t n = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.uniform_int(1, 97)), stream.size() - off);
+    dec.feed(stream.data() + off, n);
+    off += n;
+    for (auto& m : dec.take()) {
+      EXPECT_EQ(std::get<Telemetry>(m).seq, got);
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, sent);
+  EXPECT_FALSE(dec.corrupt());
+}
+
+}  // namespace
+}  // namespace perq::proto

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -48,6 +49,22 @@ TEST_F(CsvTest, EscapesEmbeddedQuotes) {
     w.row(std::vector<std::string>{"say \"hi\""});
   }
   EXPECT_EQ(slurp(path_), "name\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, FlushPushesRowsToDisk) {
+  CsvWriter w(path_, {"a"});
+  w.row(std::vector<double>{1.0});
+  w.flush();
+  EXPECT_EQ(slurp(path_), "a\n1\n");
+}
+
+TEST(Csv, FlushThrowsWhenStreamWentBad) {
+  // /dev/full accepts the open but fails every write with ENOSPC, so the
+  // flush must surface the failure instead of leaving a torn file behind.
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP() << "no /dev/full";
+  CsvWriter w("/dev/full", {"a"});
+  w.row(std::vector<double>{1.0});
+  EXPECT_THROW(w.flush(), precondition_error);
 }
 
 TEST_F(CsvTest, RejectsArityMismatch) {
