@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "core/robustness.hpp"
 #include "daemon/experiment.hpp"
 #include "net/tcp.hpp"
 
@@ -28,7 +29,9 @@ void usage(const char* argv0) {
       "  --wc-nodes <n>         worst-case node count (default 32)\n"
       "  --f <factor>           over-provisioning factor (default 2.0)\n"
       "  --seed <s>             trace seed (default 11)\n"
-      "  --interval <s>         control interval (default 10)\n",
+      "  --interval <s>         control interval (default 10)\n"
+      "  --connect-wait-s <s>   keep retrying the initial connect for this\n"
+      "                         long (default 10; 0 = single attempt)\n",
       argv0);
 }
 
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
   using namespace perq;
   std::string address = "127.0.0.1:7421";
   std::size_t agents = 4, wc_nodes = 32;
-  double f = 2.0, hours = 1.0, interval = 10.0;
+  double f = 2.0, hours = 1.0, interval = 10.0, connect_wait_s = 10.0;
   std::uint64_t seed = 11;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
     else if (arg == "--f") f = parse_num(argv[0], "--f", next());
     else if (arg == "--seed") seed = static_cast<std::uint64_t>(parse_num(argv[0], "--seed", next()));
     else if (arg == "--interval") interval = parse_num(argv[0], "--interval", next());
+    else if (arg == "--connect-wait-s") connect_wait_s = parse_num(argv[0], "--connect-wait-s", next());
     else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
@@ -86,6 +90,9 @@ int main(int argc, char** argv) {
   net::TcpTransport transport;
   daemon::PlantConfig pcfg;
   pcfg.agents = agents;
+  // Tolerate the agent-before-controller start order: keep dialing for the
+  // configured window instead of failing on the first refused connect.
+  pcfg.connect_wait_ms = static_cast<int>(connect_wait_s * 1000.0);
   daemon::DaemonPlant plant(cfg, transport, address, pcfg);
 
   std::printf("perq_agent: %zu agents over %zu nodes, driving %s via %.1f h\n",
@@ -115,5 +122,7 @@ int main(int argc, char** argv) {
               "mean draw %.0f W, peak committed %.0f W\n",
               ticks, held_ticks, run.jobs_completed, run.mean_power_draw_w,
               run.peak_committed_w);
+  std::printf("perq_agent: robustness: %s\n",
+              core::to_string(plant.counters()).c_str());
   return held_ticks == ticks ? 1 : 0;  // never got a single plan -> error
 }

@@ -16,6 +16,7 @@
 
 #include "core/node_model.hpp"
 #include "core/perq_policy.hpp"
+#include "core/robustness.hpp"
 #include "daemon/controller.hpp"
 #include "daemon/snapshot.hpp"
 #include "net/tcp.hpp"
@@ -120,5 +121,7 @@ int main(int argc, char** argv) {
   }
   std::printf("perqd: all agents left after tick %llu, shutting down\n",
               static_cast<unsigned long long>(controller.current_tick()));
+  std::printf("perqd: robustness: %s\n",
+              core::to_string(controller.counters()).c_str());
   return 0;
 }

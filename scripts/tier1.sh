@@ -20,6 +20,14 @@ cmake -B "$BUILD_DIR" -S . -DPERQ_SANITIZE=OFF
 cmake --build "$BUILD_DIR" -j
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 
+# Chaos leg: the full perqd loop under every fault scenario with fixed
+# deterministic seeds. perq_chaos exits non-zero if any run-level safety
+# invariant is breached on any tick.
+for scenario in drop delay corrupt crash partition mix; do
+  "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 7
+  "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 1912
+done
+
 if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$ASAN_BUILD_DIR" -S . -DPERQ_SANITIZE=ON
   cmake --build "$ASAN_BUILD_DIR" -j

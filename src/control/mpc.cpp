@@ -230,12 +230,14 @@ MpcDecision MpcController::decide(const std::vector<ControlledJob>& jobs,
     }
   }
 
+  qp::SolveOptions solve_opts;
+  solve_opts.max_iterations = cfg_.max_qp_iterations;
   qp::QpResult res;
   if (cfg_.solver == MpcConfig::SolverPath::kDense) {
     const qp::QpProblem dense = sp.to_dense();
-    res = qp::solve(dense, warm);
+    res = qp::solve(dense, warm, solve_opts);
   } else {
-    res = qp::solve(sp, warm);
+    res = qp::solve(sp, warm, solve_opts);
   }
 
   MpcDecision d;

@@ -52,6 +52,12 @@ struct MpcConfig {
   enum class SolverPath { kStructured, kDense };
   SolverPath solver = SolverPath::kStructured;
 
+  /// Iteration cap forwarded to the QP solve facade (0 = solver defaults).
+  /// A tiny cap starves both the active set and the projected-gradient
+  /// fallback, surfacing kMaxIterations to the policy layer -- the hook the
+  /// degradation-ladder tests use to force an uncertified solve.
+  std::size_t max_qp_iterations = 0;
+
   /// Thread-pool the per-job free-response computation. The decomposition
   /// is index-addressed (job i writes only slot i), so the result is
   /// bit-for-bit identical to the serial loop; disable only to measure the

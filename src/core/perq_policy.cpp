@@ -47,6 +47,7 @@ PerqPolicyState PerqPolicy::snapshot() const {
   for (const auto& [id, est] : estimators_) s.estimators.emplace_back(id, est.save());
   s.last_targets.assign(last_targets_.begin(), last_targets_.end());
   s.mpc = mpc_.warm_state();
+  s.solver_fallbacks = counters_.solver_fallbacks;
   return s;
 }
 
@@ -63,6 +64,7 @@ void PerqPolicy::restore(const PerqPolicyState& s) {
   last_targets_.clear();
   last_targets_.insert(s.last_targets.begin(), s.last_targets.end());
   mpc_.restore_warm_state(s.mpc);
+  counters_.solver_fallbacks = s.solver_fallbacks;
 }
 
 std::vector<double> PerqPolicy::allocate(const policy::PolicyContext& ctx) {
@@ -103,6 +105,27 @@ std::vector<double> PerqPolicy::allocate(const policy::PolicyContext& ctx) {
   // 3. One constrained MPC solve; apply the first step of the plan.
   control::MpcDecision decision =
       mpc_.decide(cjobs, targets, prev_caps, ctx.budget_for_busy_w);
+
+  // 3b. Degradation ladder, last rung. qp::solve already degrades from the
+  // certified active set to projected gradient; when even that exhausts its
+  // iteration budget (kMaxIterations) or the instance is reported
+  // infeasible, the iterate is uncertified and may be arbitrarily far from
+  // the fair optimum -- so degrade to the one allocation that is safe and
+  // fair with no solve at all: every node the same share of the busy
+  // budget. enforce_budget below re-establishes the budget invariant
+  // exactly as for any other allocation.
+  const bool solver_degraded = decision.status != qp::SolveStatus::kOptimal;
+  if (solver_degraded) {
+    ++counters_.solver_fallbacks;
+    double busy_nodes = 0.0;
+    for (const auto* job : running) {
+      busy_nodes += static_cast<double>(job->spec().nodes);
+    }
+    const auto& spec = apps::node_power_spec();
+    const double share =
+        std::clamp(ctx.budget_for_busy_w / busy_nodes, spec.cap_min, spec.tdp);
+    decision.caps_w.assign(running.size(), share);
+  }
 
   // 4. Probing dither: a small square wave on top of the MPC caps keeps the
   //    per-job sensitivity estimates identifiable (persistent excitation;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "control/mpc.hpp"
+#include "core/robustness.hpp"
 #include "policy/policy.hpp"
 #include "sysid/identify.hpp"
 
@@ -38,6 +39,9 @@ struct PerqPolicyState {
   std::vector<std::pair<int, control::EstimatorState>> estimators;
   std::vector<std::pair<int, double>> last_targets;
   control::MpcController::WarmState mpc;
+  /// Degradation-ladder activations so far (robustness accounting; carried
+  /// through restarts so counters never silently reset).
+  std::uint64_t solver_fallbacks = 0;
 };
 
 class PerqPolicy final : public policy::PowerPolicy {
@@ -64,6 +68,12 @@ class PerqPolicy final : public policy::PowerPolicy {
 
   const PerqConfig& config() const { return cfg_; }
 
+  /// Robustness accounting: currently only `solver_fallbacks`, counting
+  /// decisions where the QP ladder (active set -> projected gradient inside
+  /// qp::solve) failed to certify and the policy degraded to the equal-share
+  /// allocation -- the last rung, always feasible and fair by construction.
+  const RobustnessCounters& counters() const { return counters_; }
+
   /// Snapshot / restore of the full adaptive state (perqd controller
   /// restarts). The restored policy must have been built with the same node
   /// model and configuration.
@@ -79,6 +89,7 @@ class PerqPolicy final : public policy::PowerPolicy {
   std::map<int, double> last_targets_;
   std::vector<double> decision_seconds_;
   std::size_t tick_ = 0;
+  RobustnessCounters counters_;
 };
 
 }  // namespace perq::core

@@ -1,6 +1,8 @@
 #include "daemon/controller.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "apps/app_model.hpp"
 #include "apps/catalog.hpp"
@@ -8,6 +10,12 @@
 #include "util/require.hpp"
 
 namespace perq::daemon {
+
+namespace {
+/// Ticks advance by one control interval; a frame claiming a tick this far
+/// beyond everything seen so far is a corrupted integer, not a fast clock.
+constexpr std::uint64_t kMaxTickJump = 1024;
+}  // namespace
 
 PerqController::PerqController(std::unique_ptr<net::Listener> listener,
                                core::PerqPolicy& policy, ControllerConfig cfg)
@@ -30,7 +38,12 @@ void PerqController::pump() {
       ingest(session, m);
     }
   }
-  // Reap closed sessions (includes those superseded by a rejoin Hello).
+  // Reap closed sessions (includes those superseded by a rejoin Hello). A
+  // connection killed by its FrameDecoder died to a corrupt byte stream,
+  // not an orderly close -- account it before it disappears.
+  for (const Session& s : sessions_) {
+    if (!s.conn->open() && s.conn->corrupt()) ++counters_.frames_corrupt;
+  }
   std::erase_if(sessions_, [](const Session& s) { return !s.conn->open(); });
 }
 
@@ -56,6 +69,25 @@ void PerqController::ingest(Session& session, const proto::Message& m) {
     return;
   }
   if (const auto* hb = std::get_if<proto::Heartbeat>(&m)) {
+    // Sanity screen: a heartbeat drives the budget row the policy optimizes
+    // over, so a bit-flipped one (non-finite watts, busy > total, a budget
+    // no cluster of this size could have, a tick from the far future) must
+    // not poison the decision state. Drop it and account the corruption.
+    const double max_cluster_w =
+        static_cast<double>(hb->total_nodes) * apps::node_power_spec().tdp;
+    const bool insane =
+        !std::isfinite(hb->budget_total_w) ||
+        !std::isfinite(hb->budget_for_busy_w) || !std::isfinite(hb->dt_s) ||
+        !std::isfinite(hb->now_s) || !std::isfinite(hb->total_nodes) ||
+        hb->budget_total_w < 0.0 || hb->budget_for_busy_w < 0.0 ||
+        hb->budget_for_busy_w > hb->budget_total_w * (1.0 + 1e-9) + 1e-6 ||
+        hb->budget_total_w > max_cluster_w * (1.0 + 1e-9) + 1e-6 ||
+        !(hb->total_nodes > 0.0) || !(hb->dt_s > 0.0) ||
+        (any_tick_seen_ && hb->tick > current_tick_ + kMaxTickJump);
+    if (insane) {
+      ++counters_.frames_corrupt;
+      return;
+    }
     session.last_tick = std::max(session.last_tick, hb->tick);
     if (!any_tick_seen_ || hb->tick >= current_tick_) {
       current_tick_ = hb->tick;
@@ -87,6 +119,22 @@ void PerqController::ingest(Session& session, const proto::Message& m) {
 }
 
 void PerqController::on_telemetry(Session& session, const proto::Telemetry& t) {
+  // Sanity screen before any state is touched: telemetry feeds the shadow
+  // jobs and through them the estimators, so one bit-flipped frame (NaN
+  // progress, negative IPS, a cap beyond TDP, a far-future tick) could
+  // poison every later decision. Drop the frame and account the corruption.
+  const auto& spec = apps::node_power_spec();
+  const bool insane =
+      !std::isfinite(t.progress_s) || !std::isfinite(t.min_perf) ||
+      !std::isfinite(t.ips) || !std::isfinite(t.cap_w) ||
+      !std::isfinite(t.runtime_ref_s) || t.progress_s < 0.0 || t.ips < 0.0 ||
+      t.cap_w < 0.0 || t.cap_w > spec.tdp * (1.0 + 1e-9) + 1e-6 ||
+      (any_tick_seen_ && t.tick > current_tick_ + kMaxTickJump);
+  if (insane) {
+    ++counters_.frames_corrupt;
+    return;
+  }
+
   session.last_tick = std::max(session.last_tick, t.tick);
   if (!any_tick_seen_ || t.tick > current_tick_) {
     current_tick_ = t.tick;
@@ -105,6 +153,7 @@ void PerqController::on_telemetry(Session& session, const proto::Telemetry& t) {
 
   const auto& catalog = apps::ecp_catalog();
   if (t.app_index >= catalog.size() || t.nodes == 0 || !(t.runtime_ref_s > 0.0)) {
+    ++counters_.frames_corrupt;
     return;  // semantically invalid; ignore rather than poison the session
   }
 
@@ -221,6 +270,8 @@ const proto::CapPlan& PerqController::decide() {
     plan_.entries.push_back({id, cap, shadow.planned_target_ips, 1});
   }
 
+  clamp_plan();
+
   for (Session& s : sessions_) {
     if (s.conn->open() && !s.said_bye) s.conn->send(plan_);
   }
@@ -231,8 +282,17 @@ const proto::CapPlan& PerqController::decide() {
   stats_.held_w = held_w;
   stats_.budget_row_w = hb_.budget_for_busy_w - held_w;
   stats_.stale_agents = 0;
-  for (const Session& s : sessions_) {
-    if (s.conn->open() && !s.said_bye && session_stale(s)) ++stats_.stale_agents;
+  for (Session& s : sessions_) {
+    if (!s.conn->open() || s.said_bye) continue;
+    if (session_stale(s)) {
+      ++stats_.stale_agents;
+      if (!s.counted_stale) {
+        s.counted_stale = true;
+        ++counters_.stale_transitions;
+      }
+    } else {
+      s.counted_stale = false;  // rejoined in place; may go stale again
+    }
   }
 
   last_decided_tick_ = tick;
@@ -268,6 +328,67 @@ bool PerqController::service() {
   return false;
 }
 
+bool clamp_cap_plan(proto::CapPlan& plan, double budget_for_busy_w,
+                    const std::map<int, double>& nodes_by_job) {
+  const auto& spec = apps::node_power_spec();
+  bool violated = false;
+
+  double committed_w = 0.0;
+  double floor_w = 0.0;
+  for (auto& e : plan.entries) {
+    if (!std::isfinite(e.cap_w) || e.cap_w < spec.cap_min || e.cap_w > spec.tdp) {
+      violated = true;
+      e.cap_w = std::isfinite(e.cap_w)
+                    ? std::clamp(e.cap_w, spec.cap_min, spec.tdp)
+                    : spec.cap_min;
+    }
+    const auto it = nodes_by_job.find(e.job_id);
+    const double nodes = it == nodes_by_job.end() ? 1.0 : it->second;
+    committed_w += e.cap_w * nodes;
+    floor_w += spec.cap_min * nodes;
+  }
+
+  if (committed_w > budget_for_busy_w + 1e-3) {
+    violated = true;
+    // Scale the head-room above the cap_min floor down uniformly; if even
+    // the floor exceeds the budget there is no feasible plan and the floor
+    // itself is the least-bad saturation.
+    const double head = committed_w - floor_w;
+    const double scale =
+        head > 0.0
+            ? std::clamp((budget_for_busy_w - floor_w) / head, 0.0, 1.0)
+            : 0.0;
+    for (auto& e : plan.entries) {
+      e.cap_w = spec.cap_min + (e.cap_w - spec.cap_min) * scale;
+    }
+  }
+  return violated;
+}
+
+void PerqController::clamp_plan() {
+  // Defensive clamp, last line before broadcast (defense in depth: nothing
+  // upstream should ever produce a violating plan -- enforce_budget and the
+  // hold-all guard already guarantee feasibility). The checks are pure
+  // comparisons so a healthy plan passes through bit-identical; only a plan
+  // that would trip the plant's budget/box invariants is saturated, and each
+  // such rescue is visible in clamp_activations.
+  std::map<int, double> nodes_by_job;
+  for (const auto& [id, shadow] : shadows_) {
+    nodes_by_job[id] = static_cast<double>(shadow.job.spec().nodes);
+  }
+  const double budget = have_hb_ ? hb_.budget_for_busy_w
+                                 : std::numeric_limits<double>::infinity();
+  if (clamp_cap_plan(plan_, budget, nodes_by_job)) {
+    ++counters_.clamp_activations;
+    // Keep the shadows' planned caps in sync with what was actually sent,
+    // so next tick's held-watts accounting reflects the clamped plan.
+    for (const auto& e : plan_.entries) {
+      const auto it = shadows_.find(e.job_id);
+      if (it != shadows_.end()) it->second.planned_cap_w = e.cap_w;
+    }
+  }
+}
+
 std::vector<int> PerqController::fds() const {
   std::vector<int> fds;
   fds.push_back(listener_->fd());
@@ -301,6 +422,7 @@ ControllerState PerqController::state() const {
     r.planned_target_ips = shadow.planned_target_ips;
     s.shadows.push_back(std::move(r));
   }
+  s.counters = counters_;
   return s;
 }
 
@@ -322,6 +444,7 @@ void PerqController::restore(const ControllerState& s) {
                                   r.last_cap_w);
     shadows_.emplace(r.spec.id, std::move(shadow));
   }
+  counters_ = s.counters;
 }
 
 }  // namespace perq::daemon

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "core/perq_policy.hpp"
+#include "core/robustness.hpp"
 #include "net/transport.hpp"
 #include "sched/job.hpp"
 #include "trace/trace.hpp"
@@ -51,6 +52,17 @@ struct ControllerConfig {
   std::string snapshot_path;
   std::uint64_t snapshot_every_ticks = 0;
 };
+
+/// Saturates a cap plan into the plant's feasible set: every cap is forced
+/// into [cap_min, TDP] (a non-finite cap collapses to cap_min) and, when the
+/// summed commitment exceeds `budget_for_busy_w`, the head-room above the
+/// cap_min floor is scaled down uniformly. `nodes_by_job` supplies each
+/// job's node count (jobs absent from the map count as one node); pass an
+/// infinite budget to disable the budget row. All checks are pure
+/// comparisons: a feasible plan is left bit-identical and the function
+/// returns false. Returns true iff the plan had to be rescued.
+bool clamp_cap_plan(proto::CapPlan& plan, double budget_for_busy_w,
+                    const std::map<int, double>& nodes_by_job);
 
 /// One shadow job: the controller's replica of a plant-side running job,
 /// rebuilt purely from telemetry.
@@ -75,6 +87,9 @@ struct ControllerState {
   std::uint8_t any_decision = 0;
   core::PerqPolicyState policy;
   std::vector<ShadowRecord> shadows;
+  /// Controller-side robustness counters (solver_fallbacks lives inside
+  /// `policy`); carried through restarts so accounting never silently resets.
+  core::RobustnessCounters counters;
 };
 
 class PerqController {
@@ -122,6 +137,18 @@ class PerqController {
   };
   const DecideStats& last_stats() const { return stats_; }
 
+  /// The most recently broadcast cap plan (valid after the first decide()).
+  const proto::CapPlan& last_plan() const { return plan_; }
+
+  /// Merged robustness counters: controller-side accounting (corrupt frames,
+  /// stale transitions, clamp activations) plus the policy's solver-fallback
+  /// count, so one read gives the full picture for the perqd console.
+  core::RobustnessCounters counters() const {
+    core::RobustnessCounters c = counters_;
+    c.solver_fallbacks = policy_.counters().solver_fallbacks;
+    return c;
+  }
+
   ControllerState state() const;
   void restore(const ControllerState& s);
 
@@ -133,6 +160,7 @@ class PerqController {
     bool said_bye = false;
     std::uint64_t last_tick = 0;
     bool any_message = false;
+    bool counted_stale = false;  ///< stale transition already counted
   };
 
   struct Shadow {
@@ -147,6 +175,7 @@ class PerqController {
   void ingest(Session& session, const proto::Message& m);
   void on_telemetry(Session& session, const proto::Telemetry& t);
   bool session_stale(const Session& s) const;
+  void clamp_plan();
   void write_snapshot() const;
 
   std::unique_ptr<net::Listener> listener_;
@@ -162,6 +191,7 @@ class PerqController {
   bool any_decision_ = false;
   proto::CapPlan plan_;
   DecideStats stats_;
+  core::RobustnessCounters counters_;
   std::vector<sched::Job*> fresh_running_;  ///< scratch for PolicyContext
   /// When the pending tick first became visible (grace accounting).
   std::chrono::steady_clock::time_point pending_since_{};

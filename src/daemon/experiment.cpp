@@ -1,14 +1,44 @@
 #include "daemon/experiment.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <thread>
 #include <utility>
 
+#include "apps/app_model.hpp"
 #include "net/loopback.hpp"
 #include "net/tcp.hpp"
 #include "util/require.hpp"
 #include "util/stopwatch.hpp"
 
 namespace perq::daemon {
+
+namespace {
+
+/// One connect attempt, with a retry window for the plant-before-controller
+/// start order. With wait_ms <= 0 the single attempt's failure propagates
+/// unchanged (loopback throws, TCP returns null); otherwise failures are
+/// swallowed and retried until the window closes -- the last attempt again
+/// fails loudly so the caller sees the transport's own diagnostics.
+std::unique_ptr<net::Connection> connect_with_retry(net::Transport& transport,
+                                                    const std::string& address,
+                                                    int wait_ms) {
+  if (wait_ms <= 0) return transport.connect(address);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms);
+  for (;;) {
+    const bool last = std::chrono::steady_clock::now() >= deadline;
+    if (last) return transport.connect(address);
+    try {
+      if (auto conn = transport.connect(address)) return conn;
+    } catch (const precondition_error&) {
+      // No listener yet (loopback); keep waiting for the controller.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+}  // namespace
 
 DaemonPlant::DaemonPlant(const core::EngineConfig& cfg,
                          net::Transport& transport, const std::string& address,
@@ -25,12 +55,15 @@ DaemonPlant::DaemonPlant(const core::EngineConfig& cfg,
   std::size_t begin = 0;
   for (std::size_t i = 0; i < pcfg_.agents; ++i) {
     const std::size_t len = base + (i < extra ? 1 : 0);
-    auto conn = transport.connect(address);
+    auto conn = connect_with_retry(transport, address, pcfg_.connect_wait_ms);
+    PERQ_REQUIRE(conn != nullptr, "cannot connect to controller: " + address);
     agents_.push_back(std::make_unique<NodeAgent>(static_cast<std::uint32_t>(i),
                                                   std::move(conn),
                                                   &engine_.cluster(), begin,
                                                   begin + len));
     agents_.back()->hello();
+    backoff_.emplace_back(pcfg_.reconnect_backoff,
+                          pcfg_.backoff_seed + static_cast<std::uint64_t>(i));
     begin += len;
   }
 }
@@ -70,38 +103,91 @@ bool DaemonPlant::step(const std::function<void()>& service) {
       caps[i] = view.running[i]->last_cap_w();
     }
     if (plan.has_value()) {
-      for (std::size_t i = 0; i < view.running.size(); ++i) {
+      // Whole-plan validity check before anything is actuated: a corrupted
+      // plan (bit-flipped cap, watts beyond the budget row) must not reach
+      // the RAPL caps or the engine's budget invariant. Any violation
+      // discards the entire plan -- holding previous caps is always safe,
+      // and a plan mutilated in flight cannot be trusted entry by entry.
+      const auto& spec = apps::node_power_spec();
+      std::vector<double> merged = caps;
+      bool sane = true;
+      for (std::size_t i = 0; i < view.running.size() && sane; ++i) {
         const int id = view.running[i]->spec().id;
         for (const proto::CapEntry& e : plan->entries) {
-          if (e.job_id == id) {
-            caps[i] = e.cap_w;
-            targets[i] = e.target_ips;
-            break;
+          if (e.job_id != id) continue;
+          if (e.cap_w != 0.0 &&  // 0 is the "hold, no cap decided" sentinel
+              (!std::isfinite(e.cap_w) || e.cap_w < spec.cap_min - 1e-6 ||
+               e.cap_w > spec.tdp + 1e-6)) {
+            sane = false;
           }
+          if (!std::isfinite(e.target_ips) || e.target_ips < 0.0) sane = false;
+          merged[i] = e.cap_w;
+          break;
         }
       }
-      for (auto& agent : agents_) agent->apply_plan(*plan);
+      if (sane) {
+        double committed_w = 0.0;
+        for (std::size_t i = 0; i < view.running.size(); ++i) {
+          committed_w += merged[i] *
+                         static_cast<double>(view.running[i]->spec().nodes);
+        }
+        if (committed_w > view.budget_for_busy_w + 1e-3) sane = false;
+      }
+      if (sane) {
+        for (std::size_t i = 0; i < view.running.size(); ++i) {
+          const int id = view.running[i]->spec().id;
+          for (const proto::CapEntry& e : plan->entries) {
+            if (e.job_id == id) {
+              caps[i] = e.cap_w;
+              targets[i] = e.target_ips;
+              break;
+            }
+          }
+        }
+        for (auto& agent : agents_) agent->apply_plan(*plan);
+      } else {
+        ++counters_.frames_dropped;
+        plan.reset();  // hold previous caps, as if no plan had arrived
+      }
     }
     engine_.note_decision_time(wait_timer.seconds());
   }
   engine_.apply_caps(std::move(caps), std::move(targets), /*actuate=*/false);
   engine_.advance();
+  ++ticks_;
   return plan.has_value();
 }
 
 std::size_t DaemonPlant::reconnect_lost(net::Transport& transport,
                                         const std::string& address) {
+  const double now = static_cast<double>(ticks_);
   std::size_t n = 0;
-  for (auto& agent : agents_) {
-    if (agent->connected()) continue;
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    NodeAgent& agent = *agents_[i];
+    if (agent.connected()) continue;
+    if (!backoff_[i].ready(now)) continue;
     std::unique_ptr<net::Connection> conn;
+    bool failed = false;
+    ++counters_.reconnect_attempts;
     try {
       conn = transport.connect(address);
     } catch (const precondition_error&) {
-      break;  // no listener at the address yet (loopback)
+      failed = true;  // no listener at the address yet (loopback)
     }
-    if (conn == nullptr) break;  // TCP connect refused/timed out
-    agent->reconnect(std::move(conn));
+    if (conn == nullptr) failed = true;  // TCP connect refused/timed out
+    if (failed) {
+      // Every disconnected agent dials the same address, so this one
+      // refusal proves the listener is still away: back off the whole
+      // group and stop dialing this call.
+      for (std::size_t j = i; j < agents_.size(); ++j) {
+        if (!agents_[j]->connected() && backoff_[j].ready(now)) {
+          backoff_[j].record_failure(now);
+        }
+      }
+      break;
+    }
+    agent.reconnect(std::move(conn));
+    backoff_[i].reset();
     ++n;
   }
   return n;

@@ -22,15 +22,31 @@
 
 #include "core/engine.hpp"
 #include "core/perq_policy.hpp"
+#include "core/robustness.hpp"
 #include "daemon/agent.hpp"
 #include "daemon/controller.hpp"
 #include "net/transport.hpp"
+#include "util/backoff.hpp"
 
 namespace perq::daemon {
 
 struct PlantConfig {
   std::size_t agents = 1;      ///< node-agent count; nodes split evenly
   int plan_timeout_ms = 2000;  ///< wait for a cap plan before holding caps
+  /// How long the constructor keeps retrying the initial connect before
+  /// giving up (covers the plant-before-controller start order). <= 0
+  /// preserves the strict behavior: one attempt, fail loudly.
+  int connect_wait_ms = 0;
+  /// Reconnect pacing for reconnect_lost(), measured in control ticks (the
+  /// plant's natural clock). Exponential with seeded jitter so a thundering
+  /// herd of agents does not hammer a restarting controller, yet every run
+  /// with the same seed retries at exactly the same ticks.
+  BackoffConfig reconnect_backoff{/*initial_delay=*/1.0,
+                                  /*multiplier=*/2.0,
+                                  /*max_delay=*/8.0,
+                                  /*jitter=*/0.25,
+                                  /*max_attempts=*/0};
+  std::uint64_t backoff_seed = 42;  ///< per-agent jitter streams derive from it
 };
 
 /// The plant side of a daemon run: engine + node agents.
@@ -51,11 +67,20 @@ class DaemonPlant {
   /// the plant held the previous caps.
   bool step(const std::function<void()>& service = {});
 
-  /// Re-establishes every lost agent connection (controller restarted).
-  /// Safe to call every held tick: returns immediately while the listener
-  /// is still away. Returns the number of agents reconnected this call.
+  /// Re-establishes lost agent connections (controller restarted). Safe to
+  /// call every held tick: attempts are paced by the per-agent exponential
+  /// backoff (PlantConfig::reconnect_backoff, tick clock), and a failed
+  /// attempt backs off every disconnected agent -- they all dial the same
+  /// address, so one refusal proves the listener is still away. Returns the
+  /// number of agents reconnected this call.
   std::size_t reconnect_lost(net::Transport& transport,
                              const std::string& address);
+
+  /// Plant-side robustness accounting: frames_dropped counts delivered cap
+  /// plans discarded by the whole-plan validity check in step() (the plant
+  /// held previous caps instead), reconnect_attempts counts dials made by
+  /// reconnect_lost().
+  const core::RobustnessCounters& counters() const { return counters_; }
 
   core::RunResult finish(std::string policy_name) {
     return engine_.finish(std::move(policy_name));
@@ -65,6 +90,9 @@ class DaemonPlant {
   core::SimulationEngine engine_;
   PlantConfig pcfg_;
   std::vector<std::unique_ptr<NodeAgent>> agents_;
+  std::vector<Backoff> backoff_;  ///< reconnect pacing, one per agent
+  core::RobustnessCounters counters_;
+  std::uint64_t ticks_ = 0;  ///< completed step() calls (backoff clock)
 };
 
 /// Runs a full experiment through controller + agents over the loopback

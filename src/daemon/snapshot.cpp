@@ -11,7 +11,10 @@ namespace perq::daemon {
 namespace {
 
 constexpr std::uint32_t kSnapshotMagic = 0x50455251;  // "PERQ"
-constexpr std::uint16_t kSnapshotVersion = 1;
+// Version 2 appends the robustness counters (policy solver_fallbacks after
+// the MPC warm state, controller counters after the shadows). Version-1
+// files still decode: the counters simply start from zero.
+constexpr std::uint16_t kSnapshotVersion = 2;
 
 void write_estimator(proto::WireWriter& w, const control::EstimatorState& e) {
   w.u32(static_cast<std::uint32_t>(e.state.size()));
@@ -103,9 +106,17 @@ std::vector<std::uint8_t> encode_snapshot(const ControllerState& s) {
   for (double v : s.policy.mpc.warm) w.f64(v);
   w.u32(static_cast<std::uint32_t>(s.policy.mpc.warm_ids.size()));
   for (int id : s.policy.mpc.warm_ids) w.i32(id);
+  w.u64(s.policy.solver_fallbacks);
 
   w.u32(static_cast<std::uint32_t>(s.shadows.size()));
   for (const ShadowRecord& shadow : s.shadows) write_shadow(w, shadow);
+
+  w.u64(s.counters.frames_dropped);
+  w.u64(s.counters.frames_corrupt);
+  w.u64(s.counters.reconnect_attempts);
+  w.u64(s.counters.stale_transitions);
+  w.u64(s.counters.solver_fallbacks);
+  w.u64(s.counters.clamp_activations);
   return w.take();
 }
 
@@ -113,7 +124,8 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
                                                std::size_t size) {
   proto::WireReader r(data, size);
   if (r.u32() != kSnapshotMagic) return std::nullopt;
-  if (r.u16() != kSnapshotVersion) return std::nullopt;
+  const std::uint16_t version = r.u16();
+  if (version != 1 && version != kSnapshotVersion) return std::nullopt;
 
   ControllerState s;
   s.current_tick = r.u64();
@@ -153,6 +165,7 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
   }
   s.policy.mpc.warm_ids.resize(n_warm_ids);
   for (std::uint32_t i = 0; i < n_warm_ids; ++i) s.policy.mpc.warm_ids[i] = r.i32();
+  if (version >= 2) s.policy.solver_fallbacks = r.u64();
 
   const std::uint32_t n_shadows = r.u32();
   if (!r.ok() || static_cast<std::size_t>(n_shadows) * 100 > r.remaining()) {
@@ -161,6 +174,14 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
   s.shadows.resize(n_shadows);
   for (std::uint32_t i = 0; i < n_shadows; ++i) {
     if (!read_shadow(r, &s.shadows[i])) return std::nullopt;
+  }
+  if (version >= 2) {
+    s.counters.frames_dropped = r.u64();
+    s.counters.frames_corrupt = r.u64();
+    s.counters.reconnect_attempts = r.u64();
+    s.counters.stale_transitions = r.u64();
+    s.counters.solver_fallbacks = r.u64();
+    s.counters.clamp_activations = r.u64();
   }
   if (!r.exhausted()) return std::nullopt;
   return s;

@@ -1,0 +1,200 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "apps/app_model.hpp"
+#include "fault/faulty_transport.hpp"
+#include "net/loopback.hpp"
+#include "util/require.hpp"
+
+namespace perq::fault {
+
+namespace {
+
+std::string tick_msg(std::uint64_t tick, const char* what, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "tick %llu: %s (%.3f vs %.3f)",
+                static_cast<unsigned long long>(tick), what, a, b);
+  return buf;
+}
+
+}  // namespace
+
+ChaosReport run_chaos(const ChaosConfig& cfg, core::PerqPolicy& policy) {
+  net::LoopbackTransport loop;
+  FaultPlan plan(cfg.fault_seed);
+  plan.set_default_schedule(cfg.default_schedule);
+  for (const auto& [index, sched] : cfg.schedules) {
+    plan.set_schedule(index, sched);
+  }
+  FaultyTransport transport(loop, plan);
+
+  const std::string address = "perqd";
+  daemon::PerqController controller(transport.listen(address), policy,
+                                    cfg.controller);
+  daemon::DaemonPlant plant(cfg.engine, transport, address, cfg.plant);
+  controller.pump();
+
+  ChaosReport report;
+  const auto& spec = apps::node_power_spec();
+  const double budget_w = plant.engine().cluster().power_budget_w();
+
+  std::uint64_t tick = 0;
+  while (!plant.done() && (cfg.max_ticks == 0 || tick < cfg.max_ticks)) {
+    plan.set_tick(tick);
+
+    for (const AgentEvent& e : cfg.events) {
+      if (e.tick != tick || e.agent >= plant.agent_count()) continue;
+      if (e.kind == AgentEvent::Kind::kHang) {
+        plant.agent(e.agent).hang();
+      } else {
+        try {
+          if (auto conn = transport.connect(address)) {
+            plant.agent(e.agent).reconnect(std::move(conn));
+          }
+        } catch (const precondition_error&) {
+          // Listener gone; the regular reconnect path keeps retrying.
+        }
+      }
+    }
+
+    const bool planned = plant.step([&controller] { controller.service(); });
+    if (!planned) ++report.held_ticks;
+    // Re-dial crashed agents every tick (a single dead agent does not stop
+    // plans from arriving via the others, so held ticks alone would never
+    // trigger the reconnect path). Backoff pacing lives in the plant.
+    plant.reconnect_lost(transport, address);
+
+    // --- run-level safety invariants, evaluated every tick ---
+    TickRecord rec;
+    rec.tick = tick;
+    rec.plan_arrived = planned;
+    rec.budget_total_w = budget_w;
+    std::map<int, double> nodes_by_job;
+    for (const sched::Job* job : plant.engine().running()) {
+      const double cap = job->last_cap_w();
+      const double nodes = static_cast<double>(job->spec().nodes);
+      nodes_by_job[job->spec().id] = nodes;
+      rec.committed_w += cap * nodes;
+      rec.caps_by_job.emplace_back(job->spec().id, cap);
+      if (cap != 0.0 && (!std::isfinite(cap) || cap < spec.cap_min - 1e-6 ||
+                         cap > spec.tdp + 1e-6)) {
+        report.violations.push_back(
+            tick_msg(tick, "applied cap outside [cap_min, TDP]", cap,
+                     spec.tdp));
+      }
+    }
+    if (rec.committed_w > budget_w + 1e-3) {
+      report.violations.push_back(
+          tick_msg(tick, "committed watts exceed cluster budget",
+                   rec.committed_w, budget_w));
+    }
+    if (planned) {
+      // The plan the plant accepted this tick is the controller's latest.
+      const proto::CapPlan& p = controller.last_plan();
+      double plan_w = 0.0;
+      for (const proto::CapEntry& e : p.entries) {
+        if (e.cap_w != 0.0 &&
+            (!std::isfinite(e.cap_w) || e.cap_w < spec.cap_min - 1e-6 ||
+             e.cap_w > spec.tdp + 1e-6)) {
+          report.violations.push_back(tick_msg(
+              tick, "delivered plan cap outside [cap_min, TDP]", e.cap_w,
+              spec.tdp));
+        }
+        const auto it = nodes_by_job.find(e.job_id);
+        if (it != nodes_by_job.end()) plan_w += e.cap_w * it->second;
+      }
+      if (plan_w > budget_w + 1e-3) {
+        report.violations.push_back(tick_msg(
+            tick, "delivered plan sums above cluster budget", plan_w,
+            budget_w));
+      }
+      // Held (stale) watts are fenced off the optimized budget row, never
+      // double-spent: row + held must still fit the budget.
+      const auto& stats = controller.last_stats();
+      if (stats.budget_row_w + stats.held_w > budget_w + 1e-3) {
+        report.violations.push_back(
+            tick_msg(tick, "budget row + held watts exceed budget",
+                     stats.budget_row_w + stats.held_w, budget_w));
+      }
+    }
+    report.history.push_back(std::move(rec));
+    ++tick;
+  }
+
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) plant.agent(i).bye();
+  controller.pump();
+
+  report.result = plant.finish(policy.name());
+  report.controller_counters = controller.counters();
+  report.plant_counters = plant.counters();
+  report.faults = plan.stats();
+  report.ticks = tick;
+  return report;
+}
+
+std::uint64_t reconvergence_tick(const std::vector<TickRecord>& faulted,
+                                 const std::vector<TickRecord>& baseline,
+                                 std::uint64_t from, double tol_w) {
+  std::map<std::uint64_t, const TickRecord*> base;
+  for (const TickRecord& r : baseline) base[r.tick] = &r;
+  if (faulted.empty() || baseline.empty()) return kNever;
+  const std::uint64_t end =
+      std::min(faulted.back().tick, baseline.back().tick);
+
+  bool any_divergence = false;
+  std::uint64_t last_divergence = 0;
+  for (const TickRecord& f : faulted) {
+    if (f.tick < from || f.tick > end) continue;
+    const auto it = base.find(f.tick);
+    bool diverged = it == base.end();
+    if (!diverged) {
+      const TickRecord& b = *it->second;
+      std::map<int, double> bcaps(b.caps_by_job.begin(), b.caps_by_job.end());
+      if (f.caps_by_job.size() != bcaps.size()) diverged = true;
+      for (const auto& [id, cap] : f.caps_by_job) {
+        const auto bit = bcaps.find(id);
+        if (bit == bcaps.end() || std::abs(cap - bit->second) > tol_w) {
+          diverged = true;
+          break;
+        }
+      }
+    }
+    if (diverged) {
+      any_divergence = true;
+      last_divergence = std::max(last_divergence, f.tick);
+    }
+  }
+  if (!any_divergence) return from;
+  return last_divergence >= end ? kNever : last_divergence + 1;
+}
+
+std::uint64_t longest_power_divergence_streak(
+    const std::vector<TickRecord>& faulted,
+    const std::vector<TickRecord>& baseline, TickWindow range, double tol_w) {
+  std::map<std::uint64_t, const TickRecord*> base;
+  for (const TickRecord& r : baseline) base[r.tick] = &r;
+  std::uint64_t streak = 0, longest = 0;
+  std::uint64_t prev_tick = kNever;
+  for (const TickRecord& f : faulted) {
+    if (!range.contains(f.tick)) continue;
+    const auto it = base.find(f.tick);
+    const bool diverged =
+        it == base.end() ||
+        std::abs(f.committed_w - it->second->committed_w) > tol_w;
+    if (diverged) {
+      streak = (prev_tick != kNever && f.tick == prev_tick + 1) ? streak + 1 : 1;
+      longest = std::max(longest, streak);
+      prev_tick = f.tick;
+    } else {
+      streak = 0;
+      prev_tick = kNever;
+    }
+  }
+  return longest;
+}
+
+}  // namespace perq::fault

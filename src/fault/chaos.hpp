@@ -1,0 +1,110 @@
+// Chaos harness: the full perqd loop (controller + plant over loopback)
+// driven under a scripted or seeded-random fault schedule, with run-level
+// safety invariants checked every control tick.
+//
+// Invariants (violations are recorded, not thrown, so one run reports every
+// breach):
+//   * Budget: the watts committed to running jobs never exceed the cluster
+//     power budget, and the budget row the controller optimized plus the
+//     watts held for stale jobs stays within it too -- held jobs are fenced
+//     off, never double-spent.
+//   * Box: every cap in a delivered plan and every applied cap lies within
+//     [cap_min, TDP] (0 is the protocol's explicit "hold" sentinel).
+//   * Liveness accounting: a tick without a plan is a held tick; the engine
+//     still advances (the plant never blocks on the controller).
+//
+// The per-tick cap trajectory is recorded so tests can compare a faulted
+// run against its fault-free twin and assert re-convergence after the
+// fault window: reconvergence_tick() finds the first tick from which the
+// two trajectories stay within a tolerance for good.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/perq_policy.hpp"
+#include "core/robustness.hpp"
+#include "daemon/controller.hpp"
+#include "daemon/experiment.hpp"
+#include "fault/plan.hpp"
+
+namespace perq::fault {
+
+/// Scripted agent-process failures (the faults that live above the
+/// transport: a hung agent process, and its later rejoin with a fresh
+/// connection).
+struct AgentEvent {
+  enum class Kind { kHang, kRejoin };
+  std::uint64_t tick = 0;
+  std::size_t agent = 0;
+  Kind kind = Kind::kHang;
+};
+
+struct ChaosConfig {
+  core::EngineConfig engine;
+  daemon::ControllerConfig controller;
+  daemon::PlantConfig plant;
+  std::uint64_t fault_seed = 1;
+  /// Schedule for every agent connection without an explicit entry.
+  ConnectionSchedule default_schedule;
+  /// Per-connection-index schedules (index = dial order: agent i dials
+  /// i-th; reconnects dial later indices).
+  std::vector<std::pair<std::size_t, ConnectionSchedule>> schedules;
+  std::vector<AgentEvent> events;
+  /// Stop after this many ticks (0 = run until the engine is done).
+  std::uint64_t max_ticks = 0;
+};
+
+/// One control tick of the run, as observed at the plant.
+struct TickRecord {
+  std::uint64_t tick = 0;
+  bool plan_arrived = false;
+  double committed_w = 0.0;     ///< watts committed to running jobs
+  double budget_total_w = 0.0;  ///< cluster budget at this tick
+  /// Applied per-node cap of every running job, keyed by job id (the
+  /// trajectory the re-convergence comparison runs over).
+  std::vector<std::pair<int, double>> caps_by_job;
+};
+
+struct ChaosReport {
+  core::RunResult result;
+  std::vector<std::string> violations;  ///< empty <=> all invariants held
+  std::vector<TickRecord> history;
+  core::RobustnessCounters controller_counters;
+  core::RobustnessCounters plant_counters;
+  FaultStats faults;
+  std::uint64_t ticks = 0;
+  std::uint64_t held_ticks = 0;  ///< ticks the plant held previous caps
+};
+
+/// Runs the full daemon experiment under the configured fault schedule.
+/// Deterministic: same config + same policy construction => same report,
+/// field for field. The policy must match the engine's sizing (same
+/// contract as run_loopback_daemon_experiment).
+ChaosReport run_chaos(const ChaosConfig& cfg, core::PerqPolicy& policy);
+
+/// First tick T >= `from` such that from T on, every tick's caps in
+/// `faulted` match the same tick/job in `baseline` within `tol_w` watts
+/// (jobs missing on either side at a tick count as divergence). Returns
+/// kNever when the runs never re-converge (or diverge again later).
+std::uint64_t reconvergence_tick(const std::vector<TickRecord>& faulted,
+                                 const std::vector<TickRecord>& baseline,
+                                 std::uint64_t from, double tol_w);
+
+/// Longest run of consecutive ticks inside `range` where the committed
+/// watts of `faulted` and `baseline` differ by more than `tol_w` (a tick
+/// missing from either history counts as divergent). Per-job comparison is
+/// too strict for a saturated machine -- a fault that shifts one job
+/// completion by a tick offsets every later start, so trajectories never
+/// re-match job for job -- but sustained power divergence is the control-
+/// level signature of a fault, and it must end with the fault window:
+/// after re-convergence only isolated one-tick blips remain, where the two
+/// runs pass their (offset) job transitions.
+std::uint64_t longest_power_divergence_streak(
+    const std::vector<TickRecord>& faulted,
+    const std::vector<TickRecord>& baseline, TickWindow range, double tol_w);
+
+}  // namespace perq::fault

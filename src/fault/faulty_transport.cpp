@@ -1,0 +1,177 @@
+#include "fault/faulty_transport.hpp"
+
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace perq::fault {
+
+FaultyConnection::FaultyConnection(std::unique_ptr<net::Connection> inner,
+                                   FaultPlan* plan, std::size_t conn_index)
+    : inner_(std::move(inner)),
+      plan_(plan),
+      sched_(plan->schedule_for(conn_index)),
+      rng_(plan->rng_for(conn_index)) {
+  PERQ_REQUIRE(inner_ != nullptr, "faulty connection needs an inner connection");
+}
+
+void FaultyConnection::pump() {
+  const std::uint64_t t = plan_->tick();
+  if (!killed_ && t >= sched_.kill_at_tick) {
+    killed_ = true;
+    ++plan_->stats().killed;
+    inner_->close();
+  }
+  for (const Dir dir : {kTx, kRx}) {
+    auto& queue = delayed_[dir];
+    for (std::size_t i = 0; i < queue.size();) {
+      if (queue[i].tick <= t) {
+        deliver(queue[i].m, dir);
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    // A reorder hold waits for the next frame of its direction; if none
+    // came by the next tick, release it so no frame is held forever.
+    if (hold_[dir].has_value() && hold_[dir]->tick < t) {
+      const proto::Message m = std::move(hold_[dir]->m);
+      hold_[dir].reset();
+      deliver(m, dir);
+    }
+  }
+}
+
+void FaultyConnection::deliver(const proto::Message& m, Dir dir) {
+  if (dir == kTx) {
+    if (inner_->open()) inner_->send(m);
+  } else {
+    rx_ready_.push_back(m);
+  }
+}
+
+void FaultyConnection::deliver_reordered(const proto::Message& m, Dir dir) {
+  if (hold_[dir].has_value()) {
+    const proto::Message held = std::move(hold_[dir]->m);
+    hold_[dir].reset();
+    deliver(m, dir);    // the newer frame jumps the queue...
+    deliver(held, dir); // ...and the held one follows: a pairwise swap
+  } else {
+    deliver(m, dir);
+  }
+}
+
+void FaultyConnection::die_corrupt(Dir dir) {
+  // A frame that cannot be re-framed poisons the receiving stream decoder,
+  // which closes the connection. On rx the poisoned decoder is ours, so
+  // this connection reports corrupt(); on tx it is the peer's, which sees
+  // its own decoder poison (TCP) or an EOF (loopback emulation).
+  if (dir == kRx) corrupt_ = true;
+  inner_->close();
+}
+
+void FaultyConnection::flip_and_deliver(const proto::Message& m, Dir dir) {
+  std::vector<std::uint8_t> bytes = proto::encode(m);
+  PERQ_ASSERT(bytes.size() > 4, "encoded frame smaller than its header");
+  const std::size_t bits = (bytes.size() - 4) * 8;
+  const std::size_t bit = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(bits) - 1));
+  bytes[4 + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  const auto parsed = proto::parse_frame(bytes.data() + 4, bytes.size() - 4);
+  if (parsed.has_value()) {
+    deliver_reordered(*parsed, dir);  // survived framing: a semantic mutant
+  } else {
+    die_corrupt(dir);
+  }
+}
+
+void FaultyConnection::inject(const proto::Message& m, Dir dir) {
+  const std::uint64_t t = plan_->tick();
+  if (sched_.partitioned(t)) {
+    ++plan_->stats().partitioned;
+    return;
+  }
+  const FaultRates& r = dir == kTx ? sched_.tx : sched_.rx;
+  if (r.any() && sched_.window.contains(t)) {
+    FaultStats& stats = plan_->stats();
+    if (rng_.bernoulli(r.drop)) {
+      ++stats.dropped;
+      return;
+    }
+    if (rng_.bernoulli(r.truncate)) {
+      ++stats.truncated;
+      die_corrupt(dir);
+      return;
+    }
+    if (rng_.bernoulli(r.bit_flip)) {
+      ++stats.bit_flipped;
+      flip_and_deliver(m, dir);
+      return;
+    }
+    if (rng_.bernoulli(r.duplicate)) {
+      ++stats.duplicated;
+      deliver_reordered(m, dir);
+      deliver_reordered(m, dir);
+      return;
+    }
+    if (rng_.bernoulli(r.delay)) {
+      ++stats.delayed;
+      delayed_[dir].push_back({m, t + r.delay_ticks});
+      return;
+    }
+    if (!hold_[dir].has_value() && rng_.bernoulli(r.reorder)) {
+      ++stats.reordered;
+      hold_[dir] = Held{m, t};
+      return;
+    }
+  }
+  deliver_reordered(m, dir);
+}
+
+bool FaultyConnection::send(const proto::Message& m) {
+  pump();
+  if (!inner_->open()) return false;
+  ++plan_->stats().tx_frames;
+  inject(m, kTx);
+  return true;
+}
+
+std::vector<proto::Message> FaultyConnection::receive() {
+  pump();
+  if (inner_->open()) {
+    for (proto::Message& m : inner_->receive()) {
+      ++plan_->stats().rx_frames;
+      inject(m, kRx);
+      if (!inner_->open()) break;  // injected corruption killed the stream
+    }
+  }
+  std::vector<proto::Message> out;
+  out.swap(rx_ready_);
+  return out;
+}
+
+bool FaultyConnection::open() const { return inner_->open(); }
+
+bool FaultyConnection::corrupt() const {
+  return corrupt_ || inner_->corrupt();
+}
+
+void FaultyConnection::close() {
+  delayed_[kTx].clear();
+  delayed_[kRx].clear();
+  hold_[kTx].reset();
+  hold_[kRx].reset();
+  inner_->close();
+}
+
+int FaultyConnection::fd() const { return inner_->fd(); }
+
+std::unique_ptr<net::Connection> FaultyTransport::connect(
+    const std::string& address) {
+  auto inner = inner_.connect(address);  // loopback throws when no listener
+  if (inner == nullptr) return nullptr;  // TCP refused/timed out
+  const std::size_t index = next_index_++;
+  return std::make_unique<FaultyConnection>(std::move(inner), &plan_, index);
+}
+
+}  // namespace perq::fault

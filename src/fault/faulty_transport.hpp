@@ -1,0 +1,113 @@
+// Fault-injecting transport decorator.
+//
+// FaultyTransport wraps any net::Transport (loopback or TCP) and decorates
+// the connections it dials with FaultyConnection, which interprets the
+// FaultPlan's per-connection schedule: dropping, delaying, duplicating,
+// reordering, truncating, and bit-flipping frames, killing the connection
+// at a scheduled tick, and blacking out both directions during partition
+// windows. listen() passes through untouched -- faults are injected on the
+// client side only (the plant's agents), which covers both directions of
+// every controller/agent pair.
+//
+// Corruption is emulated at the frame level so it behaves identically over
+// loopback and TCP: the message is encoded with the real wire codec, the
+// bytes are mutated, and the frame is re-parsed. A mutation the parser
+// survives is delivered as the (now semantically insane) message -- the
+// controller's and plant's sanity screens must catch it; a mutation the
+// parser rejects is exactly what poisons a stream decoder, so the
+// connection dies the way a real corrupt TCP stream would. Bit flips land
+// in the post-length region (magic..body): flipping the length prefix
+// itself desynchronizes framing, which is the same decoder-poison outcome.
+//
+// Every random draw comes from the connection's own seeded stream and every
+// time reference is the FaultPlan's fault clock (set from the plant tick),
+// so a fault sequence is a pure function of (seed, schedules, tick trace).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "net/transport.hpp"
+#include "util/rng.hpp"
+
+namespace perq::fault {
+
+class FaultyConnection final : public net::Connection {
+ public:
+  /// The plan must outlive the connection. `conn_index` selects the
+  /// schedule and the private randomness stream.
+  FaultyConnection(std::unique_ptr<net::Connection> inner, FaultPlan* plan,
+                   std::size_t conn_index);
+
+  bool send(const proto::Message& m) override;
+  std::vector<proto::Message> receive() override;
+  bool open() const override;
+  /// True when injected corruption (truncate, or a bit flip the parser
+  /// rejected) killed this connection's inbound stream, or the inner
+  /// connection reports its own corruption.
+  bool corrupt() const override;
+  void close() override;
+  int fd() const override;
+
+ private:
+  enum Dir : std::size_t { kTx = 0, kRx = 1 };
+
+  struct Held {
+    proto::Message m;
+    std::uint64_t tick = 0;  ///< due tick (delay) or origin tick (reorder)
+  };
+
+  /// Advances fault time: kills the connection at its kill tick, releases
+  /// due delayed frames, and flushes reorder holds left from earlier ticks.
+  void pump();
+  /// Runs one frame through the schedule; deliverable frames reach the
+  /// inner connection (tx) or rx_ready_ (rx).
+  void inject(const proto::Message& m, Dir dir);
+  void deliver(const proto::Message& m, Dir dir);
+  /// deliver(), but swapped behind the reorder hold when one is pending.
+  void deliver_reordered(const proto::Message& m, Dir dir);
+  /// Encode -> flip one bit -> re-parse; deliver the mutant or die corrupt.
+  void flip_and_deliver(const proto::Message& m, Dir dir);
+  /// Unrecoverable stream corruption: close, and for rx mark corrupt().
+  void die_corrupt(Dir dir);
+
+  std::unique_ptr<net::Connection> inner_;
+  FaultPlan* plan_;
+  ConnectionSchedule sched_;
+  Rng rng_;
+  std::vector<Held> delayed_[2];
+  std::optional<Held> hold_[2];  ///< reorder hold, one per direction
+  std::vector<proto::Message> rx_ready_;
+  bool killed_ = false;
+  bool corrupt_ = false;
+};
+
+class FaultyTransport final : public net::Transport {
+ public:
+  /// Both references must outlive the transport.
+  FaultyTransport(net::Transport& inner, FaultPlan& plan)
+      : inner_(inner), plan_(plan) {}
+
+  /// Pass-through: the server side is never decorated.
+  std::unique_ptr<net::Listener> listen(const std::string& address) override {
+    return inner_.listen(address);
+  }
+
+  /// Dials through the inner transport and decorates the result. Connection
+  /// indices count successful dials only, so a refused connect does not
+  /// shift later connections onto the wrong schedule.
+  std::unique_ptr<net::Connection> connect(const std::string& address) override;
+
+  std::size_t connections_made() const { return next_index_; }
+
+ private:
+  net::Transport& inner_;
+  FaultPlan& plan_;
+  std::size_t next_index_ = 0;
+};
+
+}  // namespace perq::fault

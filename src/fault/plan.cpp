@@ -1,0 +1,26 @@
+#include "fault/plan.hpp"
+
+#include <cstdio>
+
+namespace perq::fault {
+
+std::string to_string(const FaultStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "tx %llu  rx %llu  dropped %llu  truncated %llu  "
+                "bit-flipped %llu  duplicated %llu  delayed %llu  "
+                "reordered %llu  partitioned %llu  killed %llu",
+                static_cast<unsigned long long>(s.tx_frames),
+                static_cast<unsigned long long>(s.rx_frames),
+                static_cast<unsigned long long>(s.dropped),
+                static_cast<unsigned long long>(s.truncated),
+                static_cast<unsigned long long>(s.bit_flipped),
+                static_cast<unsigned long long>(s.duplicated),
+                static_cast<unsigned long long>(s.delayed),
+                static_cast<unsigned long long>(s.reordered),
+                static_cast<unsigned long long>(s.partitioned),
+                static_cast<unsigned long long>(s.killed));
+  return buf;
+}
+
+}  // namespace perq::fault

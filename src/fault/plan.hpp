@@ -1,0 +1,143 @@
+// Deterministic fault plans for the perqd chaos harness.
+//
+// A FaultPlan is the single source of randomness and scheduling for every
+// injected network fault in a run: one master seed, one shared fault clock
+// (set from the plant's control tick), and one ConnectionSchedule per
+// decorated connection. Two runs with the same seed, schedules, and tick
+// sequence inject byte-for-byte identical faults -- which is what lets the
+// chaos tests assert exact counter values and compare faulted trajectories
+// against baselines.
+//
+// The schedule language covers the failure modes the perqd loop must
+// survive (ISSUE: drop, delay, duplicate, reorder, truncate, bit-flip,
+// crash at tick T, partition windows); FaultyConnection (faulty_transport)
+// interprets it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace perq::fault {
+
+inline constexpr std::uint64_t kNever =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Per-direction fault probabilities, each an independent Bernoulli draw
+/// per frame, applied in the fixed order drop -> truncate -> bit_flip ->
+/// duplicate -> delay -> reorder (a frame suffers at most the first fault
+/// drawn). All in [0, 1].
+struct FaultRates {
+  double drop = 0.0;       ///< frame silently vanishes
+  double truncate = 0.0;   ///< frame cut short: unrecoverable stream corruption
+  double bit_flip = 0.0;   ///< one random bit flipped in the encoded frame
+  double duplicate = 0.0;  ///< frame delivered twice
+  double delay = 0.0;      ///< frame held for `delay_ticks` fault-clock ticks
+  double reorder = 0.0;    ///< frame held and swapped with the next one
+  std::size_t delay_ticks = 1;
+
+  bool any() const {
+    return drop > 0.0 || truncate > 0.0 || bit_flip > 0.0 ||
+           duplicate > 0.0 || delay > 0.0 || reorder > 0.0;
+  }
+};
+
+/// Half-open tick interval [begin, end) on the fault clock.
+struct TickWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = kNever;
+  bool contains(std::uint64_t t) const { return t >= begin && t < end; }
+};
+
+/// Everything that can go wrong on one decorated connection.
+struct ConnectionSchedule {
+  FaultRates tx;  ///< faults on frames the decorated side sends (uplink)
+  FaultRates rx;  ///< faults on frames delivered to the decorated side
+  /// Rates apply only inside this window; outside it the connection is a
+  /// transparent pass-through (the re-convergence tests depend on that).
+  TickWindow window;
+  /// Tick at which the connection is killed outright (socket closed, the
+  /// crash-then-rejoin scenario). kNever disables.
+  std::uint64_t kill_at_tick = kNever;
+  /// Windows during which the connection is partitioned: every frame in
+  /// both directions vanishes, but the connection stays open -- the
+  /// heartbeat-timeout staleness path, not the EOF path.
+  std::vector<TickWindow> partitions;
+
+  bool partitioned(std::uint64_t t) const {
+    for (const TickWindow& w : partitions) {
+      if (w.contains(t)) return true;
+    }
+    return false;
+  }
+};
+
+/// Run-level tally of every fault actually injected (as opposed to merely
+/// scheduled). The chaos tests assert these are non-zero for each exercised
+/// fault type, and exact across reruns of the same seed.
+struct FaultStats {
+  std::uint64_t tx_frames = 0;  ///< frames offered on the uplink
+  std::uint64_t rx_frames = 0;  ///< frames offered on the downlink
+  std::uint64_t dropped = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t bit_flipped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t partitioned = 0;  ///< frames swallowed by a partition window
+  std::uint64_t killed = 0;       ///< connections killed at their kill tick
+};
+
+std::string to_string(const FaultStats& s);
+
+/// Seeded schedule book + shared fault clock for one run.
+///
+/// Connections are keyed by the order FaultyTransport::connect() created
+/// them (index 0, 1, ...): deterministic, because the plant dials its
+/// agents in a fixed order. Each connection draws from its own splitmix-
+/// derived child stream, so adding faults to connection 3 never perturbs
+/// the draws connection 1 sees.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  /// Schedule for connections without an explicit entry (default: none --
+  /// a FaultPlan with no schedules is a transparent pass-through).
+  void set_default_schedule(const ConnectionSchedule& s) { default_ = s; }
+  /// Schedule for the index-th connected connection.
+  void set_schedule(std::size_t conn_index, const ConnectionSchedule& s) {
+    per_conn_[conn_index] = s;
+  }
+  const ConnectionSchedule& schedule_for(std::size_t conn_index) const {
+    const auto it = per_conn_.find(conn_index);
+    return it == per_conn_.end() ? default_ : it->second;
+  }
+
+  /// Independent per-connection randomness derived from the master seed.
+  Rng rng_for(std::size_t conn_index) const {
+    return Rng(seed_ ^ (0x9e3779b97f4a7c15ull *
+                        (static_cast<std::uint64_t>(conn_index) + 1)));
+  }
+
+  /// The fault clock. The harness sets it to the plant's control tick at
+  /// the top of every interval; decorated connections read it to evaluate
+  /// windows, kill ticks, and delay due times.
+  void set_tick(std::uint64_t t) { tick_ = t; }
+  std::uint64_t tick() const { return tick_; }
+
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t seed_;
+  std::uint64_t tick_ = 0;
+  ConnectionSchedule default_;
+  std::map<std::size_t, ConnectionSchedule> per_conn_;
+  FaultStats stats_;
+};
+
+}  // namespace perq::fault

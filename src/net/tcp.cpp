@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "util/require.hpp"
@@ -86,6 +88,8 @@ class TcpConnection final : public Connection {
   }
 
   bool open() const override { return fd_ >= 0; }
+
+  bool corrupt() const override { return decoder_.corrupt(); }
 
   void close() override {
     if (fd_ >= 0) {
@@ -196,10 +200,24 @@ std::unique_ptr<Connection> TcpTransport::connect_timeout(const std::string& add
       ::close(fd);
       return nullptr;
     }
-    pollfd pfd{fd, POLLOUT, 0};
-    if (::poll(&pfd, 1, timeout_ms) <= 0) {
-      ::close(fd);
-      return nullptr;
+    // Wait for writability until the deadline. poll() returning -1 is NOT a
+    // timeout: EINTR (a signal landed) retries with the remaining budget,
+    // and a hard poll error gives up explicitly instead of being silently
+    // folded into the timeout path.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      const int wait_ms = std::max<int>(0, static_cast<int>(left.count()));
+      pollfd pfd{fd, POLLOUT, 0};
+      const int n = ::poll(&pfd, 1, wait_ms);
+      if (n > 0) break;
+      if (n == 0 || (n < 0 && errno != EINTR) || wait_ms == 0) {
+        ::close(fd);  // timeout or hard poll error
+        return nullptr;
+      }
+      // EINTR with budget left: retry.
     }
     int err = 0;
     socklen_t len = sizeof(err);
@@ -217,13 +235,20 @@ int wait_readable(const std::vector<int>& fds, int timeout_ms) {
   for (int fd : fds) {
     if (fd >= 0) pfds.push_back({fd, POLLIN, 0});
   }
-  if (pfds.empty()) {
-    // Nothing to wait on: honor the timeout so callers still pace.
-    ::poll(nullptr, 0, timeout_ms);
-    return 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int wait_ms = std::max<int>(0, static_cast<int>(left.count()));
+    const int n = pfds.empty()
+                      ? ::poll(nullptr, 0, wait_ms)  // pure pacing sleep
+                      : ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                               wait_ms);
+    if (n >= 0) return pfds.empty() ? 0 : n;
+    if (errno != EINTR) return -1;  // hard poll error, distinct from timeout
+    if (wait_ms == 0) return 0;     // interrupted with no budget left
   }
-  const int n = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout_ms);
-  return n < 0 ? 0 : n;
 }
 
 std::uint16_t listener_port(const Listener& listener) {

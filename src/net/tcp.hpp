@@ -31,7 +31,9 @@ class TcpTransport final : public Transport {
 
 /// Blocks until one of `fds` is readable (or has an error/hangup pending),
 /// at most `timeout_ms`. Negative descriptors are skipped. Returns the
-/// number of ready descriptors (0 on timeout).
+/// number of ready descriptors, 0 on timeout, or -1 on a hard poll error --
+/// never a negative ready count. EINTR is retried with the remaining
+/// budget rather than reported as either outcome.
 int wait_readable(const std::vector<int>& fds, int timeout_ms);
 
 /// The ephemeral port a listener bound to (for "host:0" listens).

@@ -38,6 +38,11 @@ class Connection {
   /// turns out to be corrupt.
   virtual bool open() const = 0;
 
+  /// True when the connection died because the inbound stream was corrupt
+  /// (unparseable framing), as opposed to an orderly close or I/O error.
+  /// Robustness accounting distinguishes the two.
+  virtual bool corrupt() const { return false; }
+
   virtual void close() = 0;
 
   /// Pollable file descriptor, or -1 for in-process transports.

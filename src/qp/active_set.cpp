@@ -574,10 +574,17 @@ QpResult solve_active_set(const StructuredQp& p, const linalg::Vector& x0,
   return r;
 }
 
-QpResult solve(const QpProblem& p, const linalg::Vector& warm_start) {
+QpResult solve(const QpProblem& p, const linalg::Vector& warm_start,
+               const SolveOptions& opts) {
   constexpr double kAcceptTol = 1e-5;
+  AsOptions as_opts;
+  PgOptions pg_opts;
+  if (opts.max_iterations > 0) {
+    as_opts.max_iterations = opts.max_iterations;
+    pg_opts.max_iterations = opts.max_iterations;
+  }
   try {
-    QpResult r = solve_active_set(p, warm_start);
+    QpResult r = solve_active_set(p, warm_start, as_opts);
     if (r.status == SolveStatus::kInfeasible) return r;
     if (r.status == SolveStatus::kOptimal &&
         kkt_residual(p, r).max() <= kAcceptTol * (1.0 + linalg::norm_inf(p.c))) {
@@ -587,11 +594,18 @@ QpResult solve(const QpProblem& p, const linalg::Vector& warm_start) {
     // Singular working-set system: fall through to the always-convergent
     // projected-gradient solver.
   }
-  return solve_projected_gradient(p, warm_start);
+  return solve_projected_gradient(p, warm_start, pg_opts);
 }
 
-QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start) {
+QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start,
+               const SolveOptions& opts) {
   constexpr double kAcceptTol = 1e-5;
+  AsOptions as_opts;
+  PgOptions pg_opts;
+  if (opts.max_iterations > 0) {
+    as_opts.max_iterations = opts.max_iterations;
+    pg_opts.max_iterations = opts.max_iterations;
+  }
   // Up to this size the incrementally-factorized active set is the fastest
   // certified path (the one-off O(nf^3) Cholesky is amortized across all
   // iterations). Beyond it, matrix-free FISTA is the only path that avoids
@@ -599,7 +613,7 @@ QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start) {
   constexpr std::size_t kDirectLimit = 1200;
   if (p.size() <= kDirectLimit) {
     try {
-      QpResult r = solve_active_set(p, warm_start);
+      QpResult r = solve_active_set(p, warm_start, as_opts);
       if (r.status == SolveStatus::kInfeasible) return r;
       if (r.status == SolveStatus::kOptimal &&
           kkt_residual(p, r).max() <=
@@ -610,7 +624,7 @@ QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start) {
       // Singular working-set system: fall through to FISTA.
     }
   }
-  return solve_projected_gradient(p, warm_start);
+  return solve_projected_gradient(p, warm_start, pg_opts);
 }
 
 }  // namespace perq::qp

@@ -35,16 +35,27 @@ QpResult solve_active_set(const QpProblem& p, const linalg::Vector& x0,
 QpResult solve_active_set(const StructuredQp& p, const linalg::Vector& x0,
                           const AsOptions& opts = {});
 
+/// Caller-facing knobs of the solve() facades. The default (0) keeps each
+/// solver's own iteration budget; a small explicit cap starves both rungs of
+/// the ladder, which is how the controller's degradation path (active set ->
+/// projected gradient -> equal share, see core::PerqPolicy) is exercised
+/// deterministically in tests.
+struct SolveOptions {
+  std::size_t max_iterations = 0;  ///< per-solver cap; 0 = solver defaults
+};
+
 /// Production entry point: active set with warm start, KKT-verified, with a
 /// projected-gradient fallback when the active set fails to certify
 /// optimality. This mirrors how PERQ uses CVXOPT in the paper: one reliable
 /// QP solve per control interval.
-QpResult solve(const QpProblem& p, const linalg::Vector& warm_start = {});
+QpResult solve(const QpProblem& p, const linalg::Vector& warm_start = {},
+               const SolveOptions& opts = {});
 
 /// Structured facade: the incrementally-factorized active set for problems
 /// up to a size where direct factorization pays off, matrix-free FISTA
 /// beyond that (and as the fallback when the active set cannot certify
 /// optimality).
-QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start = {});
+QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start = {},
+               const SolveOptions& opts = {});
 
 }  // namespace perq::qp

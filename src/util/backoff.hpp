@@ -1,0 +1,56 @@
+// Exponential backoff with seeded jitter and an attempt cap.
+//
+// Used wherever PERQ retries an operation against a peer that may be down
+// for a while: the plant's agent reconnect loop (time unit = control ticks)
+// and perq_agent's initial controller connect (time unit = wall seconds).
+// The time axis is caller-supplied, so the same policy works for both, and
+// the jitter stream comes from perq::Rng so a seeded run retries at exactly
+// the same instants every time -- chaos runs stay bit-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace perq {
+
+struct BackoffConfig {
+  double initial_delay = 1.0;    ///< delay after the first failure (caller units)
+  double multiplier = 2.0;       ///< growth per consecutive failure
+  double max_delay = 30.0;       ///< delay ceiling before jitter
+  double jitter = 0.25;          ///< uniform +/- fraction applied to each delay
+  std::size_t max_attempts = 0;  ///< consecutive failures allowed; 0 = unlimited
+};
+
+class Backoff {
+ public:
+  Backoff() : Backoff(BackoffConfig{}, 0) {}
+  Backoff(const BackoffConfig& cfg, std::uint64_t seed);
+
+  /// True when the attempt cap is spent; ready() stays false until reset().
+  bool exhausted() const;
+
+  /// True when the caller should try now: before any failure, or once the
+  /// scheduled retry instant has passed.
+  bool ready(double now) const;
+
+  /// Records a failed attempt at `now` and schedules the next retry at
+  /// now + jittered(initial * multiplier^failures), capped at max_delay.
+  void record_failure(double now);
+
+  /// Success: clears the failure streak; the next attempt is immediate.
+  void reset();
+
+  std::size_t attempts() const { return attempts_; }
+  double next_attempt_at() const { return next_try_; }
+
+ private:
+  BackoffConfig cfg_;
+  Rng rng_;
+  std::size_t attempts_ = 0;  ///< consecutive failures since last reset
+  double next_try_ = 0.0;
+  bool armed_ = false;  ///< false until the first failure
+};
+
+}  // namespace perq

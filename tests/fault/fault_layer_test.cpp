@@ -1,0 +1,299 @@
+// Unit tests for the fault-injection layer: FaultPlan schedule/clock
+// bookkeeping and each FaultyConnection fault type over a raw loopback
+// pair, independent of the control loop.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fault/faulty_transport.hpp"
+#include "fault/plan.hpp"
+#include "net/loopback.hpp"
+
+namespace perq::fault {
+namespace {
+
+proto::Message hello(std::uint32_t id) {
+  proto::Hello h;
+  h.agent_id = id;
+  return h;
+}
+
+std::uint32_t hello_id(const proto::Message& m) {
+  return std::get<proto::Hello>(m).agent_id;
+}
+
+std::vector<std::uint32_t> ids(const std::vector<proto::Message>& ms) {
+  std::vector<std::uint32_t> out;
+  for (const proto::Message& m : ms) out.push_back(hello_id(m));
+  return out;
+}
+
+/// One decorated client / plain server pair over loopback.
+struct Pair {
+  net::LoopbackTransport loop;
+  FaultPlan plan;
+  FaultyTransport transport;
+  std::unique_ptr<net::Listener> listener;
+  std::unique_ptr<net::Connection> client;  ///< decorated (FaultyConnection)
+  std::unique_ptr<net::Connection> server;  ///< undecorated peer
+
+  explicit Pair(std::uint64_t seed, const ConnectionSchedule& sched)
+      : plan(seed), transport(loop, plan) {
+    plan.set_default_schedule(sched);
+    listener = transport.listen("x");
+    client = transport.connect("x");
+    server = std::move(listener->accept_new().at(0));
+  }
+};
+
+TEST(FaultPlan, DefaultAndPerConnectionSchedules) {
+  FaultPlan plan(1);
+  ConnectionSchedule dflt;
+  dflt.tx.drop = 0.5;
+  plan.set_default_schedule(dflt);
+  ConnectionSchedule special;
+  special.kill_at_tick = 7;
+  plan.set_schedule(2, special);
+
+  EXPECT_EQ(plan.schedule_for(0).tx.drop, 0.5);
+  EXPECT_EQ(plan.schedule_for(0).kill_at_tick, kNever);
+  EXPECT_EQ(plan.schedule_for(2).kill_at_tick, 7u);
+  EXPECT_EQ(plan.schedule_for(2).tx.drop, 0.0);
+}
+
+TEST(FaultPlan, PerConnectionStreamsAreIndependentAndSeeded) {
+  FaultPlan a(42), b(42), c(43);
+  Rng ra0 = a.rng_for(0);
+  Rng rb0 = b.rng_for(0);
+  Rng ra1 = a.rng_for(1);
+  Rng rc0 = c.rng_for(0);
+  const double va0 = ra0.uniform();
+  EXPECT_EQ(va0, rb0.uniform());           // same seed, same index: identical
+  EXPECT_NE(va0, ra1.uniform());           // different connection index
+  EXPECT_NE(va0, rc0.uniform());           // different master seed
+}
+
+TEST(FaultyConnection, NoScheduleIsTransparentPassThrough) {
+  Pair p(1, {});
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_TRUE(p.client->send(hello(i)));
+  EXPECT_EQ(ids(p.server->receive()), (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  for (std::uint32_t i = 10; i < 13; ++i) p.server->send(hello(i));
+  EXPECT_EQ(ids(p.client->receive()), (std::vector<std::uint32_t>{10, 11, 12}));
+  EXPECT_TRUE(p.client->open());
+  EXPECT_FALSE(p.client->corrupt());
+  const FaultStats& s = p.plan.stats();
+  EXPECT_EQ(s.tx_frames, 5u);
+  EXPECT_EQ(s.rx_frames, 3u);
+  EXPECT_EQ(s.dropped + s.truncated + s.bit_flipped + s.duplicated + s.delayed +
+                s.reordered + s.partitioned + s.killed,
+            0u);
+}
+
+TEST(FaultyConnection, DropAppliesOnlyInsideWindow) {
+  ConnectionSchedule sched;
+  sched.tx.drop = 1.0;
+  sched.window = {2, 4};
+  Pair p(1, sched);
+
+  p.plan.set_tick(0);
+  p.client->send(hello(0));
+  p.plan.set_tick(2);
+  p.client->send(hello(2));  // dropped
+  p.plan.set_tick(3);
+  p.client->send(hello(3));  // dropped
+  p.plan.set_tick(4);
+  p.client->send(hello(4));
+  EXPECT_EQ(ids(p.server->receive()), (std::vector<std::uint32_t>{0, 4}));
+  EXPECT_EQ(p.plan.stats().dropped, 2u);
+}
+
+TEST(FaultyConnection, DelayHoldsFrameForNTicks) {
+  ConnectionSchedule sched;
+  sched.tx.delay = 1.0;
+  sched.tx.delay_ticks = 2;
+  Pair p(1, sched);
+
+  p.plan.set_tick(0);
+  p.client->send(hello(7));
+  EXPECT_TRUE(p.server->receive().empty());
+  p.plan.set_tick(1);
+  p.client->receive();  // pumps fault time; frame not yet due
+  EXPECT_TRUE(p.server->receive().empty());
+  p.plan.set_tick(2);
+  p.client->receive();  // due now: flushed to the inner connection
+  EXPECT_EQ(ids(p.server->receive()), std::vector<std::uint32_t>{7});
+  EXPECT_EQ(p.plan.stats().delayed, 1u);
+}
+
+TEST(FaultyConnection, DuplicateDeliversTwice) {
+  ConnectionSchedule sched;
+  sched.rx.duplicate = 1.0;
+  Pair p(1, sched);
+
+  p.server->send(hello(9));
+  EXPECT_EQ(ids(p.client->receive()), (std::vector<std::uint32_t>{9, 9}));
+  EXPECT_EQ(p.plan.stats().duplicated, 1u);
+}
+
+TEST(FaultyConnection, ReorderSwapsAdjacentFrames) {
+  ConnectionSchedule sched;
+  sched.tx.reorder = 1.0;
+  Pair p(1, sched);
+
+  p.client->send(hello(1));  // held
+  p.client->send(hello(2));  // hold occupied: 2 jumps the queue, then 1
+  EXPECT_EQ(ids(p.server->receive()), (std::vector<std::uint32_t>{2, 1}));
+  EXPECT_GE(p.plan.stats().reordered, 1u);
+}
+
+TEST(FaultyConnection, ReorderHoldReleasedNextTickIfNothingFollows) {
+  ConnectionSchedule sched;
+  sched.tx.reorder = 1.0;
+  Pair p(1, sched);
+
+  p.plan.set_tick(0);
+  p.client->send(hello(5));  // held, nothing follows this tick
+  EXPECT_TRUE(p.server->receive().empty());
+  p.plan.set_tick(1);
+  p.client->receive();  // pump releases the stale hold
+  EXPECT_EQ(ids(p.server->receive()), std::vector<std::uint32_t>{5});
+}
+
+TEST(FaultyConnection, TruncateOnRxPoisonsThisSide) {
+  ConnectionSchedule sched;
+  sched.rx.truncate = 1.0;
+  Pair p(1, sched);
+
+  p.server->send(hello(3));
+  EXPECT_TRUE(p.client->receive().empty());
+  EXPECT_FALSE(p.client->open());
+  EXPECT_TRUE(p.client->corrupt());
+  EXPECT_EQ(p.plan.stats().truncated, 1u);
+}
+
+TEST(FaultyConnection, TruncateOnTxPoisonsThePeer) {
+  ConnectionSchedule sched;
+  sched.tx.truncate = 1.0;
+  Pair p(1, sched);
+
+  EXPECT_TRUE(p.client->send(hello(3)));  // accepted, then corrupts in flight
+  EXPECT_TRUE(p.server->receive().empty());
+  EXPECT_FALSE(p.server->open());  // peer sees the dead stream
+  EXPECT_FALSE(p.client->corrupt());  // the poisoned decoder was the peer's
+  EXPECT_EQ(p.plan.stats().truncated, 1u);
+}
+
+TEST(FaultyConnection, BitFlipMutatesOrPoisonsDeterministically) {
+  // A flipped bit either survives re-framing (a semantic mutant arrives) or
+  // poisons the decoder (connection dies). Which one is a pure function of
+  // the seed; both runs of the same seed must agree exactly.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    ConnectionSchedule sched;
+    sched.rx.bit_flip = 1.0;
+    Pair a(seed, sched);
+    Pair b(seed, sched);
+    a.server->send(hello(0x01020304));
+    b.server->send(hello(0x01020304));
+    const auto ma = a.client->receive();
+    const auto mb = b.client->receive();
+    EXPECT_EQ(a.plan.stats().bit_flipped, 1u) << "seed " << seed;
+    ASSERT_EQ(ma.size(), mb.size()) << "seed " << seed;
+    EXPECT_EQ(a.client->open(), b.client->open()) << "seed " << seed;
+    EXPECT_EQ(a.client->corrupt(), b.client->corrupt()) << "seed " << seed;
+    if (ma.empty()) {
+      EXPECT_TRUE(a.client->corrupt()) << "seed " << seed;
+    } else {
+      EXPECT_EQ(hello_id(ma[0]), hello_id(mb[0])) << "seed " << seed;
+    }
+  }
+}
+
+TEST(FaultyConnection, KillAtTickClosesOnce) {
+  ConnectionSchedule sched;
+  sched.kill_at_tick = 3;
+  Pair p(1, sched);
+
+  p.plan.set_tick(2);
+  EXPECT_TRUE(p.client->send(hello(1)));
+  EXPECT_EQ(ids(p.server->receive()), std::vector<std::uint32_t>{1});
+
+  p.plan.set_tick(3);
+  EXPECT_FALSE(p.client->send(hello(2)));  // pump kills before the send
+  EXPECT_FALSE(p.client->open());
+  EXPECT_FALSE(p.client->corrupt());  // a crash, not corruption
+  p.plan.set_tick(4);
+  p.client->receive();
+  EXPECT_EQ(p.plan.stats().killed, 1u);  // killed exactly once
+}
+
+TEST(FaultyConnection, PartitionSwallowsBothDirectionsButStaysOpen) {
+  ConnectionSchedule sched;
+  sched.partitions.push_back({2, 5});
+  Pair p(1, sched);
+
+  p.plan.set_tick(1);
+  p.client->send(hello(1));
+  p.plan.set_tick(3);
+  p.client->send(hello(3));       // swallowed
+  p.server->send(hello(30));
+  EXPECT_TRUE(p.client->receive().empty());  // swallowed on rx
+  EXPECT_TRUE(p.client->open());
+  p.plan.set_tick(5);
+  p.client->send(hello(5));
+  EXPECT_EQ(ids(p.server->receive()), (std::vector<std::uint32_t>{1, 5}));
+  EXPECT_EQ(p.plan.stats().partitioned, 2u);
+}
+
+TEST(FaultyConnection, SameSeedSameFaultSequence) {
+  ConnectionSchedule sched;
+  sched.tx.drop = 0.3;
+  sched.tx.duplicate = 0.2;
+  sched.tx.delay = 0.2;
+  sched.tx.delay_ticks = 1;
+  sched.tx.reorder = 0.2;
+  const auto run = [&](std::uint64_t seed) {
+    Pair p(seed, sched);
+    std::vector<std::uint32_t> delivered;
+    for (std::uint64_t t = 0; t < 20; ++t) {
+      p.plan.set_tick(t);
+      p.client->send(hello(static_cast<std::uint32_t>(t)));
+      p.client->receive();  // pump delayed frames
+      for (std::uint32_t id : ids(p.server->receive())) delivered.push_back(id);
+    }
+    return std::make_pair(delivered, p.plan.stats());
+  };
+  const auto [d1, s1] = run(99);
+  const auto [d2, s2] = run(99);
+  const auto [d3, s3] = run(100);
+  EXPECT_EQ(d1, d2);
+  EXPECT_EQ(s1.dropped, s2.dropped);
+  EXPECT_EQ(s1.duplicated, s2.duplicated);
+  EXPECT_EQ(s1.delayed, s2.delayed);
+  EXPECT_EQ(s1.reordered, s2.reordered);
+  EXPECT_GT(s1.dropped + s1.duplicated + s1.delayed + s1.reordered, 0u);
+  EXPECT_NE(d1, d3);  // a different seed takes a different fault path
+}
+
+TEST(FaultyTransport, ListenPassesThroughAndIndicesCountDials) {
+  net::LoopbackTransport loop;
+  FaultPlan plan(1);
+  ConnectionSchedule kill0;
+  kill0.kill_at_tick = 0;  // only connection index 0 is killed
+  plan.set_schedule(0, kill0);
+  FaultyTransport transport(loop, plan);
+
+  auto listener = transport.listen("y");
+  auto c0 = transport.connect("y");
+  auto c1 = transport.connect("y");
+  EXPECT_EQ(transport.connections_made(), 2u);
+  auto accepted = listener->accept_new();
+  ASSERT_EQ(accepted.size(), 2u);
+
+  EXPECT_FALSE(c0->send(hello(1)));  // index 0: killed at tick 0
+  EXPECT_TRUE(c1->send(hello(2)));   // index 1: default schedule, clean
+  EXPECT_EQ(ids(accepted[1]->receive()), std::vector<std::uint32_t>{2});
+}
+
+}  // namespace
+}  // namespace perq::fault

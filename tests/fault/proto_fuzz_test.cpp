@@ -1,0 +1,191 @@
+// Seeded robustness fuzzing of the wire codec (ISSUE satellite): the
+// FrameDecoder and parse_frame must survive arbitrary garbage, truncated
+// frames, oversized length prefixes, and random mutations of valid frames
+// without crashing or reading out of bounds (the tier-1 ASan leg runs this
+// file under AddressSanitizer). Every byte sequence comes from a seeded
+// perq::Rng, so a failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "proto/message.hpp"
+#include "proto/wire.hpp"
+#include "util/rng.hpp"
+
+namespace perq::proto {
+namespace {
+
+std::vector<Message> sample_messages() {
+  std::vector<Message> out;
+  Hello h;
+  h.agent_id = 3;
+  h.node_begin = 0;
+  h.node_end = 8;
+  out.push_back(h);
+  Telemetry t;
+  t.agent_id = 3;
+  t.tick = 17;
+  t.seq = 4;
+  t.flags = kTelemetryFinal;
+  t.job_id = 12;
+  t.nodes = 4;
+  t.app_index = 2;
+  t.runtime_ref_s = 900.0;
+  t.progress_s = 123.5;
+  t.min_perf = 0.8;
+  t.cap_w = 215.0;
+  t.ips = 1.25e9;
+  t.power_w = 198.0;
+  out.push_back(t);
+  CapPlan p;
+  p.tick = 18;
+  for (int i = 0; i < 5; ++i) {
+    CapEntry e;
+    e.job_id = i;
+    e.cap_w = 90.0 + 10.0 * i;
+    e.target_ips = 1e9;
+    e.held = i == 4;
+    p.entries.push_back(e);
+  }
+  out.push_back(p);
+  Heartbeat hb;
+  hb.agent_id = 3;
+  hb.tick = 18;
+  hb.now_s = 180.0;
+  hb.dt_s = 10.0;
+  hb.budget_total_w = 5000.0;
+  hb.budget_for_busy_w = 4200.0;
+  hb.total_nodes = 32.0;
+  out.push_back(hb);
+  Bye b;
+  b.agent_id = 3;
+  out.push_back(b);
+  return out;
+}
+
+TEST(ProtoFuzz, RandomBytesNeverCrashTheDecoder) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    std::vector<std::uint8_t> noise(4096);
+    for (std::uint8_t& b : noise) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    FrameDecoder dec;
+    std::size_t pos = 0;
+    while (pos < noise.size() && !dec.corrupt()) {
+      const std::size_t chunk = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(noise.size() - pos)));
+      dec.feed(noise.data() + pos, chunk);
+      pos += chunk;
+      dec.take();
+    }
+    // Pure noise essentially never frames a valid message; either way the
+    // decoder must end in a defined state, and a poisoned one must say why.
+    if (dec.corrupt()) {
+      EXPECT_FALSE(dec.error().empty()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ProtoFuzz, TruncatedBodiesAreRejectedNotRead) {
+  for (const Message& m : sample_messages()) {
+    const std::vector<std::uint8_t> frame = encode(m);
+    ASSERT_GT(frame.size(), 4u);
+    const std::uint8_t* body = frame.data() + 4;
+    const std::size_t body_size = frame.size() - 4;
+    for (std::size_t len = 0; len < body_size; ++len) {
+      EXPECT_FALSE(parse_frame(body, len).has_value()) << "prefix " << len;
+    }
+    EXPECT_TRUE(parse_frame(body, body_size).has_value());
+    // A trailing byte means the body is longer than its type allows.
+    std::vector<std::uint8_t> longer(body, body + body_size);
+    longer.push_back(0);
+    EXPECT_FALSE(parse_frame(longer.data(), longer.size()).has_value());
+  }
+}
+
+TEST(ProtoFuzz, DecoderWaitsForPartialFrameThenCompletes) {
+  Hello h;
+  h.agent_id = 77;
+  const std::vector<std::uint8_t> frame = encode(h);
+  FrameDecoder dec;
+  for (std::size_t split = 1; split < frame.size(); ++split) {
+    dec.feed(frame.data(), split);
+    EXPECT_TRUE(dec.take().empty()) << "split " << split;
+    EXPECT_FALSE(dec.corrupt()) << "split " << split;
+    dec.feed(frame.data() + split, frame.size() - split);
+    const auto msgs = dec.take();
+    ASSERT_EQ(msgs.size(), 1u) << "split " << split;
+    EXPECT_EQ(std::get<Hello>(msgs[0]).agent_id, 77u);
+  }
+}
+
+TEST(ProtoFuzz, OversizedLengthPrefixPoisonsBeforeBuffering) {
+  WireWriter w;
+  w.u32(kMaxFrameBytes + 1);
+  w.u16(kMagic);
+  FrameDecoder dec;
+  const auto& bytes = w.data();
+  dec.feed(bytes.data(), bytes.size());
+  EXPECT_TRUE(dec.corrupt());
+  EXPECT_TRUE(dec.take().empty());
+  EXPECT_FALSE(dec.error().empty());
+  // A poisoned decoder stays poisoned; later valid bytes are not trusted.
+  const std::vector<std::uint8_t> good = encode(Bye{});
+  dec.feed(good.data(), good.size());
+  EXPECT_TRUE(dec.corrupt());
+  EXPECT_TRUE(dec.take().empty());
+}
+
+TEST(ProtoFuzz, MutatedValidFramesParseOrRejectWithoutCrashing) {
+  const std::vector<Message> samples = sample_messages();
+  Rng rng(2024);
+  std::size_t parsed = 0, rejected = 0;
+  for (int round = 0; round < 400; ++round) {
+    const Message& m =
+        samples[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(samples.size()) - 1))];
+    std::vector<std::uint8_t> frame = encode(m);
+    const int flips = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t bit = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(frame.size() * 8) - 1));
+      frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    // Via the one-shot parser (post-length portion)...
+    if (parse_frame(frame.data() + 4, frame.size() - 4).has_value()) {
+      ++parsed;
+    } else {
+      ++rejected;
+    }
+    // ...and via the stream decoder (the mutation may hit the length
+    // prefix, desynchronizing framing -- must still be crash-free).
+    FrameDecoder dec;
+    dec.feed(frame.data(), frame.size());
+    dec.take();
+  }
+  // Both outcomes must actually occur, or the fuzz proves nothing.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(ProtoFuzz, ValidFramesBeforeACorruptTailStillDeliver) {
+  std::vector<std::uint8_t> stream;
+  for (const Message& m : sample_messages()) {
+    const auto frame = encode(m);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  // Tail: a frame with a broken magic.
+  std::vector<std::uint8_t> bad = encode(Bye{});
+  bad[4] ^= 0xFF;
+  stream.insert(stream.end(), bad.begin(), bad.end());
+
+  FrameDecoder dec;
+  dec.feed(stream.data(), stream.size());
+  EXPECT_EQ(dec.take().size(), sample_messages().size());
+  EXPECT_TRUE(dec.corrupt());
+}
+
+}  // namespace
+}  // namespace perq::proto
