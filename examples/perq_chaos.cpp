@@ -16,10 +16,16 @@
 //   crash      agent connections killed at ticks 20 and 28, then re-dialed
 //   partition  agents 0 and 1 blacked out for ticks [15, 25)
 //   mix        all of the above at once
+//   domain-partition  hierarchical run (--domains controllers + arbiter);
+//              domain 1's arbiter uplink blacked out for ticks [12, 30) --
+//              the arbiter fences its grant, conservation is asserted on
+//              every tick, the domain rides its held grant and rejoins
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/node_model.hpp"
 #include "fault/chaos.hpp"
@@ -29,10 +35,12 @@ namespace {
 void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
-      "  --scenario <name>  drop|delay|corrupt|crash|partition|mix (default mix)\n"
+      "  --scenario <name>  drop|delay|corrupt|crash|partition|mix|\n"
+      "                     domain-partition (default mix)\n"
       "  --seed <n>         fault seed (default 7)\n"
       "  --ticks <n>        tick limit, 0 = run to completion (default 0)\n"
-      "  --agents <n>       node-agent count (default 4)\n",
+      "  --agents <n>       node-agent count (default 4)\n"
+      "  --domains <k>      domain count for domain-partition (default 2)\n",
       argv0);
 }
 
@@ -43,6 +51,7 @@ int main(int argc, char** argv) {
   std::string scenario = "mix";
   std::uint64_t seed = 7, ticks = 0;
   std::size_t agents = 4;
+  std::size_t domains = 2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -57,10 +66,71 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     else if (arg == "--ticks") ticks = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
     else if (arg == "--agents") agents = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    else if (arg == "--domains") domains = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+
+  if (scenario == "domain-partition") {
+    fault::DomainChaosConfig dcfg;
+    dcfg.engine.trace.system = trace::SystemModel::kTrinity;
+    dcfg.engine.trace.max_job_nodes = 4;
+    dcfg.engine.trace.seed = 5;
+    dcfg.engine.worst_case_nodes = 16;
+    dcfg.engine.over_provision_factor = 2.0;
+    dcfg.engine.duration_s = 2400.0;
+    dcfg.engine.control_interval_s = 10.0;
+    dcfg.engine.trace.job_count = core::recommended_job_count(dcfg.engine);
+    dcfg.domains = domains < 2 ? 2 : domains;
+    dcfg.plant.agents = dcfg.domains;
+    dcfg.plant.plan_timeout_ms = 50;
+    dcfg.controller.decide_grace_ms = 5;
+    dcfg.controller.stale_after_ticks = 2;
+    dcfg.arbiter.stale_after_ticks = 2;
+    dcfg.fault_seed = seed;
+    dcfg.max_ticks = ticks;
+    dcfg.domain_partitions.push_back({1, {12, 30}});
+
+    const sysid::IdentifiedModel& dmodel = core::canonical_node_model();
+    const auto dtotal = static_cast<std::size_t>(
+        dcfg.engine.over_provision_factor *
+            double(dcfg.engine.worst_case_nodes) +
+        0.5);
+    std::vector<std::unique_ptr<core::PerqPolicy>> policies;
+    for (std::size_t d = 0; d < dcfg.domains; ++d) {
+      policies.push_back(std::make_unique<core::PerqPolicy>(
+          &dmodel, dcfg.engine.worst_case_nodes, dtotal));
+    }
+    std::printf("perq_chaos: scenario 'domain-partition', seed %llu, "
+                "%zu domains, domain 1's arbiter uplink dark for [12, 30)\n",
+                static_cast<unsigned long long>(seed), dcfg.domains);
+    const fault::DomainChaosReport r = fault::run_domain_chaos(dcfg, policies);
+
+    std::printf("  %llu ticks (%llu held), %zu jobs done, %llu grant rounds\n",
+                static_cast<unsigned long long>(r.ticks),
+                static_cast<unsigned long long>(r.held_ticks),
+                r.result.jobs_completed,
+                static_cast<unsigned long long>(r.arbiter_decisions));
+    std::printf("  faults injected: %s\n", fault::to_string(r.faults).c_str());
+    std::printf("  cluster-wide (arbiter aggregate): %s\n",
+                core::to_string(r.aggregated_counters).c_str());
+    std::printf("  plant: %s\n", core::to_string(r.plant_counters).c_str());
+    std::printf("  final grants:");
+    for (double g : r.final_grants_w) std::printf(" %.0f W", g);
+    std::printf("  (fenced %.0f W)\n", r.final_fenced_w);
+
+    if (!r.violations.empty()) {
+      std::printf("  INVARIANT VIOLATIONS (%zu):\n", r.violations.size());
+      for (const std::string& v : r.violations) {
+        std::printf("    %s\n", v.c_str());
+      }
+      return 1;
+    }
+    std::printf("  all safety invariants held on every tick (grants "
+                "conservation asserted per tick)\n");
+    return 0;
   }
 
   fault::ChaosConfig cfg;

@@ -9,6 +9,21 @@
 // generator and must match the plant's. With --snapshot the controller
 // periodically persists its full decision state; restarting perqd with the
 // same snapshot path resumes mid-experiment with bit-identical plans.
+//
+// Hierarchical deployment (K budget domains, one arbiter):
+//
+//   ./examples/perqd --domains 4 --listen 127.0.0.1:7420          # arbiter
+//   ./examples/perqd --domains 4 --domain 0 --arbiter 127.0.0.1:7420 \
+//                    --listen 127.0.0.1:7421                      # domain 0
+//   ...one more controller per domain, each on its own --listen port.
+//
+// With --domains K but no --domain, perqd runs the budget arbiter: it
+// serves water-filled BudgetGrants to the K domain controllers and prints
+// the cluster-wide aggregated robustness counters on shutdown. With
+// --domain d it runs domain d's controller, which reports demand to
+// --arbiter every interval and optimizes over the grants it gets back.
+// --domains 1 (the default) is the monolithic controller, bit-identical
+// to every release before domains existed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +34,7 @@
 #include "core/robustness.hpp"
 #include "daemon/controller.hpp"
 #include "daemon/snapshot.hpp"
+#include "hier/arbiter_daemon.hpp"
 #include "net/tcp.hpp"
 
 namespace {
@@ -33,7 +49,11 @@ void usage(const char* argv0) {
       "  --stale-ticks <n>      heartbeat timeout in intervals (default 3)\n"
       "  --grace-ms <ms>        decide grace for lagging agents (default 250)\n"
       "  --snapshot <path>      controller state snapshot file\n"
-      "  --snapshot-every <n>   snapshot every n decisions (default 10)\n",
+      "  --snapshot-every <n>   snapshot every n decisions (default 10)\n"
+      "  --domains <k>          budget domain count (default 1: monolithic)\n"
+      "  --domain <d>           run domain d's controller (needs --arbiter)\n"
+      "  --arbiter <host:port>  arbiter address for a domain controller\n"
+      "  (--domains k without --domain runs the arbiter itself)\n",
       argv0);
 }
 
@@ -52,7 +72,10 @@ double parse_num(const char* argv0, const char* flag, const char* s) {
 int main(int argc, char** argv) {
   using namespace perq;
   std::string listen = "127.0.0.1:7421";
+  std::string arbiter_addr;
   std::size_t wc_nodes = 32;
+  std::size_t domains = 1;
+  long domain = -1;
   double f = 2.0, ratio = 8.0;
   daemon::ControllerConfig ccfg;
   ccfg.snapshot_every_ticks = 10;
@@ -74,10 +97,56 @@ int main(int argc, char** argv) {
     else if (arg == "--grace-ms") ccfg.decide_grace_ms = static_cast<int>(parse_num(argv[0], "--grace-ms", next()));
     else if (arg == "--snapshot") ccfg.snapshot_path = next();
     else if (arg == "--snapshot-every") ccfg.snapshot_every_ticks = static_cast<std::uint64_t>(parse_num(argv[0], "--snapshot-every", next()));
+    else if (arg == "--domains") domains = static_cast<std::size_t>(parse_num(argv[0], "--domains", next()));
+    else if (arg == "--domain") domain = static_cast<long>(parse_num(argv[0], "--domain", next()));
+    else if (arg == "--arbiter") arbiter_addr = next();
     else {
       usage(argv[0]);
       return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  }
+
+  if (domains < 1) {
+    std::fprintf(stderr, "%s: --domains must be >= 1\n", argv[0]);
+    return 2;
+  }
+  if (domain >= 0 && static_cast<std::size_t>(domain) >= domains) {
+    std::fprintf(stderr, "%s: --domain %ld out of range for --domains %zu\n",
+                 argv[0], domain, domains);
+    return 2;
+  }
+  if (domain >= 0 && arbiter_addr.empty()) {
+    std::fprintf(stderr, "%s: --domain requires --arbiter <host:port>\n",
+                 argv[0]);
+    return 2;
+  }
+
+  // Arbiter role: no policy, no node model -- just the water-filling
+  // allocator behind a listener. Runs until every domain controller leaves.
+  if (domains > 1 && domain < 0) {
+    net::TcpTransport transport;
+    hier::ArbiterDaemonConfig acfg;
+    acfg.stale_after_ticks = ccfg.stale_after_ticks;
+    hier::ArbiterDaemon arbiter(transport.listen(listen), domains, acfg);
+    std::printf("perq-arbiter: serving %zu domains on %s\n", domains,
+                listen.c_str());
+    bool saw_domain = false;
+    for (;;) {
+      net::wait_readable(arbiter.fds(), 50);
+      if (arbiter.service()) {
+        std::printf("grant round: tick %-6llu  budget %.0f W  fenced %.0f W  "
+                    "reserved %.0f W\n",
+                    static_cast<unsigned long long>(arbiter.decided_tick()),
+                    arbiter.cluster_budget_w(), arbiter.fenced_w(),
+                    arbiter.reserved_w());
+      }
+      if (arbiter.session_count() > 0) saw_domain = true;
+      if (saw_domain && arbiter.session_count() == 0) break;
+    }
+    std::printf("perq-arbiter: all domain controllers left, shutting down\n");
+    std::printf("perq-arbiter: cluster-wide robustness: %s\n",
+                core::to_string(arbiter.aggregated_counters()).c_str());
+    return 0;
   }
 
   std::printf("perqd: identifying node model...\n");
@@ -90,6 +159,19 @@ int main(int argc, char** argv) {
 
   net::TcpTransport transport;
   daemon::PerqController controller(transport.listen(listen), policy, ccfg);
+
+  if (domain >= 0) {
+    auto up = transport.connect(arbiter_addr);
+    if (up == nullptr || !up->open()) {
+      std::fprintf(stderr, "%s: cannot reach arbiter at %s\n", argv[0],
+                   arbiter_addr.c_str());
+      return 1;
+    }
+    controller.attach_arbiter(std::move(up), static_cast<std::uint32_t>(domain),
+                              static_cast<std::uint32_t>(domains));
+    std::printf("perqd: domain %ld of %zu, arbiter %s\n", domain, domains,
+                arbiter_addr.c_str());
+  }
 
   if (!ccfg.snapshot_path.empty()) {
     try {

@@ -4,9 +4,11 @@
 # Leg 1 is the plain RelWithDebInfo build. Leg 2 rebuilds everything with
 # PERQ_SANITIZE=ON (ASan + UBSan, separate build dir) so the socket and
 # event-loop code in src/net + src/daemon is always exercised under the
-# sanitizers.
+# sanitizers. Leg 3 is UBSan alone (PERQ_UBSAN=ON, non-recoverable): no
+# ASan interceptors, so RelWithDebInfo optimization stays on and UB that
+# only optimized code hits still aborts the suite.
 #
-#   scripts/tier1.sh                        # both legs
+#   scripts/tier1.sh                        # all legs
 #   PERQ_SKIP_SANITIZE=1 scripts/tier1.sh   # plain leg only (quick iteration)
 #
 # Extra arguments are forwarded to ctest (e.g. scripts/tier1.sh -R Mpc).
@@ -15,6 +17,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
 ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
+UBSAN_BUILD_DIR=${UBSAN_BUILD_DIR:-build-ubsan}
 
 cmake -B "$BUILD_DIR" -S . -DPERQ_SANITIZE=OFF
 cmake --build "$BUILD_DIR" -j
@@ -23,7 +26,7 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 # Chaos leg: the full perqd loop under every fault scenario with fixed
 # deterministic seeds. perq_chaos exits non-zero if any run-level safety
 # invariant is breached on any tick.
-for scenario in drop delay corrupt crash partition mix; do
+for scenario in drop delay corrupt crash partition mix domain-partition; do
   "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 7
   "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 1912
 done
@@ -32,4 +35,8 @@ if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$ASAN_BUILD_DIR" -S . -DPERQ_SANITIZE=ON
   cmake --build "$ASAN_BUILD_DIR" -j
   ctest --test-dir "$ASAN_BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+  cmake -B "$UBSAN_BUILD_DIR" -S . -DPERQ_UBSAN=ON
+  cmake --build "$UBSAN_BUILD_DIR" -j
+  ctest --test-dir "$UBSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 fi

@@ -27,10 +27,13 @@ double TargetGenerator::fair_cap_w() const {
   return std::clamp(p_op, spec.cap_min, spec.tdp);
 }
 
-Targets TargetGenerator::generate(const std::vector<ControlledJob>& jobs) const {
+Targets TargetGenerator::generate(const std::vector<ControlledJob>& jobs,
+                                  double fair_cap_override_w) const {
   const auto& spec = apps::node_power_spec();
   Targets t;
-  t.fair_cap_w = fair_cap_w();
+  t.fair_cap_w = fair_cap_override_w > 0.0
+                     ? std::clamp(fair_cap_override_w, spec.cap_min, spec.tdp)
+                     : fair_cap_w();
   t.job_target_ips.resize(jobs.size());
 
   for (std::size_t i = 0; i < jobs.size(); ++i) {

@@ -41,7 +41,13 @@ class TargetGenerator {
                   std::size_t total_nodes);
 
   /// Computes targets for the current job set. Jobs must be running.
-  Targets generate(const std::vector<ControlledJob>& jobs) const;
+  /// `fair_cap_override_w > 0` replaces the static equal-split P_OP with a
+  /// caller-supplied equal-share baseline (clamped to [cap_min, TDP]) -- the
+  /// hierarchical path uses it to express fairness against a *domain's*
+  /// granted share instead of the cluster-wide split. Zero (the default)
+  /// keeps the original global fair cap, bit-for-bit.
+  Targets generate(const std::vector<ControlledJob>& jobs,
+                   double fair_cap_override_w = 0.0) const;
 
   double improvement_ratio() const { return improvement_ratio_; }
   double fair_cap_w() const;

@@ -120,6 +120,28 @@ void SimulationEngine::apply_caps(std::vector<double> caps_w,
     }
     PERQ_ASSERT(committed <= cluster_.budget_for_busy_nodes_w() + 1e-3,
                 "policy exceeded the system power budget");
+    // Hier mode: the cluster row is necessary but not sufficient -- each
+    // domain must also stay inside its own grant, and the grants themselves
+    // must conserve the cluster budget.
+    if (!domain_grants_w_.empty()) {
+      PERQ_ASSERT(domain_of_job_.size() == running_.size(),
+                  "domain map arity mismatch");
+      double grant_sum = 0.0;
+      for (double g : domain_grants_w_) grant_sum += g;
+      PERQ_ASSERT(grant_sum <= cluster_.budget_for_busy_nodes_w() + 1e-3,
+                  "domain grants exceed the cluster budget");
+      std::vector<double> committed_d(domain_grants_w_.size(), 0.0);
+      for (std::size_t i = 0; i < running_.size(); ++i) {
+        PERQ_ASSERT(domain_of_job_[i] < domain_grants_w_.size(),
+                    "job mapped to unknown domain");
+        committed_d[domain_of_job_[i]] +=
+            caps_w[i] * static_cast<double>(running_[i]->spec().nodes);
+      }
+      for (std::size_t d = 0; d < committed_d.size(); ++d) {
+        PERQ_ASSERT(committed_d[d] <= domain_grants_w_[d] + 1e-3,
+                    "domain committed beyond its grant");
+      }
+    }
     if (actuate) {
       for (std::size_t i = 0; i < running_.size(); ++i) {
         for (std::size_t id : running_[i]->node_ids()) {
@@ -139,8 +161,18 @@ void SimulationEngine::note_decision_time(double seconds) {
   result_.decision_seconds.push_back(seconds);
 }
 
+void SimulationEngine::set_domain_grants(std::vector<double> grants_w,
+                                         std::vector<std::uint32_t> domain_of_job) {
+  PERQ_REQUIRE(phase_ == Phase::kAwaitCaps,
+               "domain grants must be registered before apply_caps");
+  domain_grants_w_ = std::move(grants_w);
+  domain_of_job_ = std::move(domain_of_job);
+}
+
 void SimulationEngine::advance() {
   PERQ_REQUIRE(phase_ == Phase::kAwaitAdvance, "advance out of phase");
+  domain_grants_w_.clear();
+  domain_of_job_.clear();
   const double dt = cfg_.control_interval_s;
 
   double draw_w = cluster_.step_idle_nodes(dt);

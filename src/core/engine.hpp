@@ -131,6 +131,16 @@ class SimulationEngine {
   /// Records one controller decision latency sample (Fig. 13 data).
   void note_decision_time(double seconds);
 
+  /// Hier mode: registers this tick's per-domain watt grants so apply_caps
+  /// can check the committed caps against each domain's allocation rather
+  /// than only the cluster-wide row. `domain_of_job[i]` maps running()[i]
+  /// to its domain (values < grants_w.size()). The registration is valid
+  /// for the current tick only (advance() clears it); when never called,
+  /// apply_caps enforces just the monolithic cluster budget, exactly as
+  /// before the refactor.
+  void set_domain_grants(std::vector<double> grants_w,
+                         std::vector<std::uint32_t> domain_of_job);
+
   /// Phase 3: advances the physical system one interval and retires
   /// completed jobs.
   void advance();
@@ -160,6 +170,8 @@ class SimulationEngine {
   double energy_j_ = 0.0;
   std::vector<double> pending_caps_;
   std::vector<double> pending_targets_;
+  std::vector<double> domain_grants_w_;       ///< this tick's grants (hier)
+  std::vector<std::uint32_t> domain_of_job_;  ///< running_[i] -> domain id
   std::vector<std::pair<const sched::Job*, std::size_t>> finished_last_;
   TickView view_;
   RunResult result_;

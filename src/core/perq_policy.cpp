@@ -74,6 +74,15 @@ std::vector<double> PerqPolicy::allocate(const policy::PolicyContext& ctx) {
 
   Stopwatch timer;
 
+  // Domain-local fairness baseline: a positive ctx.fair_cap_w re-bases the
+  // equal-share floor on the scope's granted watts (hier mode); zero keeps
+  // the static cluster-wide P_OP, bit-for-bit.
+  const auto& pspec = apps::node_power_spec();
+  const double fair_anchor_w =
+      ctx.fair_cap_w > 0.0
+          ? std::clamp(ctx.fair_cap_w, pspec.cap_min, pspec.tdp)
+          : targets_.fair_cap_w();
+
   // 1. Feedback: fold last interval's measurement into each job's estimator.
   std::vector<control::ControlledJob> cjobs(running.size());
   std::vector<double> prev_caps(running.size());
@@ -90,14 +99,14 @@ std::vector<double> PerqPolicy::allocate(const policy::PolicyContext& ctx) {
     } else {
       // First interval of the job: no measurement yet; the Delta-P anchor
       // is the fair share (a neutral starting point).
-      prev_caps[i] = targets_.fair_cap_w();
+      prev_caps[i] = fair_anchor_w;
     }
     cjobs[i] = {&job, &est};
   }
 
   // 2. Targets for this decision instant (they move as jobs arrive/finish
   //    and change phases -- paper Sec. 2.4.1).
-  const control::Targets targets = targets_.generate(cjobs);
+  const control::Targets targets = targets_.generate(cjobs, ctx.fair_cap_w);
   for (std::size_t i = 0; i < running.size(); ++i) {
     last_targets_[running[i]->spec().id] = targets.job_target_ips[i];
   }
@@ -148,7 +157,23 @@ std::vector<double> PerqPolicy::allocate(const policy::PolicyContext& ctx) {
   ++tick_;
   decision_seconds_.push_back(timer.seconds());
 
-  return policy::enforce_budget(running, decision.caps_w, ctx.budget_for_busy_w);
+  std::vector<double> caps =
+      policy::enforce_budget(running, decision.caps_w, ctx.budget_for_busy_w);
+
+  // Demand summary for the hierarchical arbiter: what this scope committed,
+  // what one more watt would have bought, and achieved-vs-target IPS.
+  feedback_ = DomainFeedback{};
+  feedback_.valid = true;
+  for (std::size_t i = 0; i < running.size(); ++i) {
+    const double nodes = static_cast<double>(running[i]->spec().nodes);
+    feedback_.busy_nodes += nodes;
+    feedback_.committed_w += nodes * caps[i];
+    feedback_.achieved_ips += running[i]->last_job_ips();
+    feedback_.target_ips += targets.job_target_ips[i];
+  }
+  feedback_.utility_per_w = solver_degraded ? 0.0 : decision.budget_dual_per_w;
+
+  return caps;
 }
 
 }  // namespace perq::core

@@ -44,6 +44,20 @@ struct PerqPolicyState {
   std::uint64_t solver_fallbacks = 0;
 };
 
+/// Demand summary of the most recent allocate(), in the shape the
+/// hierarchical BudgetArbiter consumes: how many watts the scope committed,
+/// what one more watt would have been worth (the QP budget dual), and
+/// achieved-vs-target throughput. Derived per-tick -- not part of the
+/// snapshot state; after a restore the first allocate() refills it.
+struct DomainFeedback {
+  bool valid = false;          ///< at least one allocate() has run
+  double busy_nodes = 0.0;     ///< nodes under the jobs of the last batch
+  double committed_w = 0.0;    ///< watts the returned caps actually commit
+  double utility_per_w = 0.0;  ///< budget-row dual (0 when slack or degraded)
+  double achieved_ips = 0.0;   ///< measured aggregate IPS last interval
+  double target_ips = 0.0;     ///< summed fairness targets
+};
+
 class PerqPolicy final : public policy::PowerPolicy {
  public:
   /// `node_model` must outlive the policy; `worst_case_nodes` / `total_nodes`
@@ -74,6 +88,9 @@ class PerqPolicy final : public policy::PowerPolicy {
   /// allocation -- the last rung, always feasible and fair by construction.
   const RobustnessCounters& counters() const { return counters_; }
 
+  /// Demand summary of the most recent allocate() (hier arbiter input).
+  const DomainFeedback& last_feedback() const { return feedback_; }
+
   /// Snapshot / restore of the full adaptive state (perqd controller
   /// restarts). The restored policy must have been built with the same node
   /// model and configuration.
@@ -90,6 +107,7 @@ class PerqPolicy final : public policy::PowerPolicy {
   std::vector<double> decision_seconds_;
   std::size_t tick_ = 0;
   RobustnessCounters counters_;
+  DomainFeedback feedback_;
 };
 
 }  // namespace perq::core

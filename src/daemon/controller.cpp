@@ -26,6 +26,115 @@ PerqController::PerqController(std::unique_ptr<net::Listener> listener,
 
 PerqController::~PerqController() = default;
 
+void PerqController::attach_arbiter(std::unique_ptr<net::Connection> conn,
+                                    std::uint32_t domain_id,
+                                    std::uint32_t domain_count) {
+  PERQ_REQUIRE(conn != nullptr, "arbiter attachment needs a connection");
+  PERQ_REQUIRE(domain_count >= 1 && domain_id < domain_count,
+               "domain id out of range");
+  arbiter_conn_ = std::move(conn);
+  domain_id_ = domain_id;
+  domain_count_ = domain_count;
+}
+
+double PerqController::budget_scope_w() const {
+  if (!domain_mode()) return have_hb_ ? hb_.budget_for_busy_w : 0.0;
+  // Held grant while the arbiter is silent: the arbiter fences the same
+  // value on its side, so both halves of the split agree on who owns what.
+  if (any_grant_) return granted_w_;
+  // Before the first grant: the static equal split. K controllers assuming
+  // budget/K each sums to exactly the cluster budget -- conservative and
+  // conservation-safe for the cold start.
+  if (!have_hb_) return 0.0;
+  return hb_.budget_for_busy_w / static_cast<double>(domain_count_);
+}
+
+void PerqController::pump_arbiter() {
+  if (arbiter_conn_ == nullptr || !arbiter_conn_->open()) return;
+  for (const proto::Message& m : arbiter_conn_->receive()) {
+    const auto* g = std::get_if<proto::BudgetGrant>(&m);
+    if (g == nullptr) {
+      // Only grants flow controller-ward on this link.
+      ++counters_.frames_corrupt;
+      continue;
+    }
+    // Sanity screen, same spirit as the heartbeat screen: the grant becomes
+    // the budget row, so a bit-flipped one must not starve or over-provision
+    // the domain. The cluster budget in the grant cross-checks the value.
+    const bool insane =
+        !std::isfinite(g->grant_w) || g->grant_w < 0.0 ||
+        !std::isfinite(g->cluster_budget_w) ||
+        g->grant_w > g->cluster_budget_w * (1.0 + 1e-9) + 1e-6 ||
+        (have_hb_ &&
+         g->grant_w > hb_.budget_total_w * (1.0 + 1e-9) + 1e-6) ||
+        (any_tick_seen_ && g->tick > current_tick_ + kMaxTickJump) ||
+        g->domain_id != domain_id_;
+    if (insane) {
+      ++counters_.frames_corrupt;
+      continue;
+    }
+    if (!any_grant_ || g->tick >= grant_tick_) {
+      any_grant_ = true;
+      granted_w_ = g->grant_w;
+      grant_tick_ = g->tick;
+    }
+  }
+  if (!arbiter_conn_->open() && arbiter_conn_->corrupt()) {
+    ++counters_.frames_corrupt;
+  }
+}
+
+void PerqController::send_domain_report() {
+  if (arbiter_conn_ == nullptr || !arbiter_conn_->open() || !have_hb_) return;
+  if (any_report_ && report_tick_ >= current_tick_) return;
+
+  const auto& spec = apps::node_power_spec();
+  proto::DomainReport r;
+  r.domain_id = domain_id_;
+  r.domain_count = domain_count_;
+  r.tick = current_tick_;
+  r.cluster_budget_w = hb_.budget_for_busy_w;
+
+  // Demand: fresh jobs need at least cap_min per node; held jobs' watts are
+  // already physically committed, so they are part of the floor verbatim.
+  double fresh_floor_w = 0.0;
+  double held_w = 0.0;
+  for (const auto& [id, shadow] : shadows_) {
+    const double nodes = static_cast<double>(shadow.job.spec().nodes);
+    r.busy_nodes += nodes;
+    r.capacity_w += nodes * spec.tdp;
+    ++r.jobs;
+    if (shadow.last_tick == current_tick_) {
+      fresh_floor_w += nodes * spec.cap_min;
+    } else {
+      const double cap = shadow.planned_cap_w > 0.0 ? shadow.planned_cap_w
+                                                    : shadow.job.last_cap_w();
+      held_w += nodes * cap;
+    }
+  }
+  r.floor_w = fresh_floor_w + held_w;
+
+  const core::DomainFeedback& fb = policy_.last_feedback();
+  if (fb.valid) {
+    r.committed_w = fb.committed_w + held_w;
+    r.utility_per_w = fb.utility_per_w;
+    r.achieved_ips = fb.achieved_ips;
+    r.target_ips = fb.target_ips;
+  }
+
+  const core::RobustnessCounters c = counters();
+  r.frames_dropped = c.frames_dropped;
+  r.frames_corrupt = c.frames_corrupt;
+  r.reconnect_attempts = c.reconnect_attempts;
+  r.stale_transitions = c.stale_transitions;
+  r.solver_fallbacks = c.solver_fallbacks;
+  r.clamp_activations = c.clamp_activations;
+
+  arbiter_conn_->send(r);
+  any_report_ = true;
+  report_tick_ = current_tick_;
+}
+
 void PerqController::pump() {
   for (auto& conn : listener_->accept_new()) {
     Session s;
@@ -45,6 +154,7 @@ void PerqController::pump() {
     if (!s.conn->open() && s.conn->corrupt()) ++counters_.frames_corrupt;
   }
   std::erase_if(sessions_, [](const Session& s) { return !s.conn->open(); });
+  pump_arbiter();
 }
 
 void PerqController::ingest(Session& session, const proto::Message& m) {
@@ -197,6 +307,10 @@ bool PerqController::ready() const {
 const proto::CapPlan& PerqController::decide() {
   PERQ_REQUIRE(tick_pending(), "decide without a pending tick");
   const std::uint64_t tick = current_tick_;
+  // Hier mode: the budget this controller may spend is its grant, not the
+  // heartbeat's cluster figure. budget_scope_w() resolves to the cluster
+  // budget in monolithic mode, so everything below is scope-agnostic.
+  const double scope_w = budget_scope_w();
 
   // Partition shadows into fresh (telemetry for this tick arrived) and held
   // (agent silent: cap frozen at the last plan, watts fenced off).
@@ -231,8 +345,7 @@ const proto::CapPlan& PerqController::decide() {
     fresh_floor_w += apps::node_power_spec().cap_min *
                      static_cast<double>(s->job.spec().nodes);
   }
-  const bool hold_all =
-      fresh_floor_w > hb_.budget_for_busy_w - held_w + 1e-6;
+  const bool hold_all = fresh_floor_w > scope_w - held_w + 1e-6;
   if (hold_all) {
     for (Shadow* s : fresh) {
       const double cap =
@@ -249,10 +362,27 @@ const proto::CapPlan& PerqController::decide() {
     policy::PolicyContext ctx;
     ctx.running = &fresh_running_;
     ctx.budget_total_w = hb_.budget_total_w;
-    ctx.budget_for_busy_w = hb_.budget_for_busy_w - held_w;
+    ctx.budget_for_busy_w = scope_w - held_w;
     ctx.total_nodes = hb_.total_nodes;
     ctx.dt_s = hb_.dt_s;
     ctx.now_s = hb_.now_s;
+    if (domain_mode() && domain_count_ > 1) {
+      // Re-base the fairness floor on the domain's share: equal split of
+      // the spendable grant over the fresh jobs' nodes. Single-domain
+      // deployments keep fair_cap_w = 0 (the static cluster split), which
+      // is part of the K=1 bit-identity contract.
+      double fresh_nodes = 0.0;
+      for (const Shadow* s : fresh) {
+        fresh_nodes += static_cast<double>(s->job.spec().nodes);
+      }
+      const auto& pspec = apps::node_power_spec();
+      if (fresh_nodes > 0.0) {
+        ctx.fair_cap_w = std::clamp((scope_w - held_w) / fresh_nodes,
+                                    pspec.cap_min, pspec.tdp);
+      }
+      ctx.domain_id = domain_id_;
+      ctx.domain_count = domain_count_;
+    }
     const std::vector<double> caps = policy_.allocate(ctx);
     PERQ_ASSERT(caps.size() == fresh.size(), "policy returned wrong cap count");
     for (std::size_t i = 0; i < fresh.size(); ++i) {
@@ -280,7 +410,9 @@ const proto::CapPlan& PerqController::decide() {
   stats_.fresh_jobs = fresh.size();
   stats_.held_jobs = held_jobs;
   stats_.held_w = held_w;
-  stats_.budget_row_w = hb_.budget_for_busy_w - held_w;
+  stats_.budget_row_w = scope_w - held_w;
+  stats_.granted_w = domain_mode() ? scope_w : 0.0;
+  stats_.grant_fresh = domain_mode() && any_grant_ && grant_tick_ >= tick;
   stats_.stale_agents = 0;
   for (Session& s : sessions_) {
     if (!s.conn->open() || s.said_bye) continue;
@@ -309,7 +441,15 @@ const proto::CapPlan& PerqController::decide() {
 bool PerqController::service() {
   pump();
   if (!tick_pending()) return false;
-  if (ready()) {
+  // Hier mode: demand goes out as soon as the tick is visible; the arbiter
+  // answers with a grant, and a decision ideally waits for it. The grace
+  // deadline below still fires without one (arbiter down or partitioned) --
+  // the controller then decides over its held grant, which the arbiter
+  // fences symmetrically.
+  if (domain_mode()) send_domain_report();
+  const bool grant_ok =
+      !domain_mode() || (any_grant_ && grant_tick_ >= current_tick_);
+  if (ready() && grant_ok) {
     decide();
     return true;
   }
@@ -376,8 +516,12 @@ void PerqController::clamp_plan() {
   for (const auto& [id, shadow] : shadows_) {
     nodes_by_job[id] = static_cast<double>(shadow.job.spec().nodes);
   }
-  const double budget = have_hb_ ? hb_.budget_for_busy_w
-                                 : std::numeric_limits<double>::infinity();
+  // In hier mode the plan must fit the *grant*, not the cluster budget --
+  // a domain spilling over its grant would break arbiter conservation even
+  // if the cluster row still holds.
+  const double budget = have_hb_ || (domain_mode() && any_grant_)
+                            ? budget_scope_w()
+                            : std::numeric_limits<double>::infinity();
   if (clamp_cap_plan(plan_, budget, nodes_by_job)) {
     ++counters_.clamp_activations;
     // Keep the shadows' planned caps in sync with what was actually sent,
@@ -423,6 +567,9 @@ ControllerState PerqController::state() const {
     s.shadows.push_back(std::move(r));
   }
   s.counters = counters_;
+  s.any_grant = any_grant_ ? 1 : 0;
+  s.granted_w = granted_w_;
+  s.grant_tick = grant_tick_;
   return s;
 }
 
@@ -445,6 +592,10 @@ void PerqController::restore(const ControllerState& s) {
     shadows_.emplace(r.spec.id, std::move(shadow));
   }
   counters_ = s.counters;
+  any_grant_ = s.any_grant != 0;
+  granted_w_ = s.granted_w;
+  grant_tick_ = s.grant_tick;
+  any_report_ = false;  // re-report the pending tick after a restart
 }
 
 }  // namespace perq::daemon

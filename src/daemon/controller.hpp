@@ -14,6 +14,17 @@
 //     the plant's RAPL caps persist physically, so holding is the safe
 //     actuation-free default -- and its held watts are subtracted from the
 //     budget row the policy optimizes over.
+//
+// Hierarchical mode (attach_arbiter): the controller stops assuming the
+// heartbeat's cluster budget is *its* budget. Each control interval it
+// sends the arbiter a DomainReport (floor, capacity, committed watts, QP
+// budget-row dual) and optimizes over the BudgetGrant it gets back; when
+// the arbiter is unreachable the last grant is held (the arbiter fences
+// the same value on its side, so conservation survives the partition), and
+// before any grant ever arrives the controller assumes the static
+// budget / domain_count split. A single-domain controller with an arbiter
+// attached receives the whole budget as its grant and behaves
+// bit-identically to the monolithic configuration.
 //   * Heartbeat timeouts. An agent that misses `stale_after_ticks`
 //     heartbeats is stale: decide() no longer waits for it. A rejoining
 //     agent just reconnects and says Hello; because every Telemetry frame
@@ -90,6 +101,13 @@ struct ControllerState {
   /// Controller-side robustness counters (solver_fallbacks lives inside
   /// `policy`); carried through restarts so accounting never silently resets.
   core::RobustnessCounters counters;
+  /// Hier mode: the last grant received (and the tick it was for), so a
+  /// restarted domain controller resumes against the same budget row
+  /// instead of falling back to the static split for one interval.
+  /// any_grant == 0 means no grant was ever received (monolithic runs).
+  std::uint8_t any_grant = 0;
+  double granted_w = 0.0;
+  std::uint64_t grant_tick = 0;
 };
 
 class PerqController {
@@ -99,6 +117,22 @@ class PerqController {
   PerqController(std::unique_ptr<net::Listener> listener,
                  core::PerqPolicy& policy, ControllerConfig cfg = {});
   ~PerqController();
+
+  /// Switches the controller into hierarchical mode: it now manages budget
+  /// domain `domain_id` of `domain_count` and optimizes over arbiter
+  /// grants received on `conn` instead of the heartbeat's cluster budget.
+  /// Call before the first decide. domain_count >= 1; the connection must
+  /// be a client connection dialed to the arbiter daemon.
+  void attach_arbiter(std::unique_ptr<net::Connection> conn,
+                      std::uint32_t domain_id, std::uint32_t domain_count);
+
+  bool domain_mode() const { return arbiter_conn_ != nullptr; }
+  std::uint32_t domain_id() const { return domain_id_; }
+
+  /// The budget row decide() would optimize over right now, held watts not
+  /// yet subtracted: the current grant in hier mode (static split before
+  /// the first grant), the heartbeat budget otherwise.
+  double budget_scope_w() const;
 
   /// Drains the network: accepts agents, ingests every pending message,
   /// reaps dead connections.
@@ -134,6 +168,8 @@ class PerqController {
     double held_w = 0.0;           ///< watts held for stale jobs
     double budget_row_w = 0.0;     ///< budget the policy optimized over
     std::size_t stale_agents = 0;
+    double granted_w = 0.0;        ///< hier: the grant this decide ran under
+    bool grant_fresh = false;      ///< hier: grant tick matched the decision
   };
   const DecideStats& last_stats() const { return stats_; }
 
@@ -177,6 +213,8 @@ class PerqController {
   bool session_stale(const Session& s) const;
   void clamp_plan();
   void write_snapshot() const;
+  void pump_arbiter();
+  void send_domain_report();
 
   std::unique_ptr<net::Listener> listener_;
   core::PerqPolicy& policy_;
@@ -197,6 +235,16 @@ class PerqController {
   std::chrono::steady_clock::time_point pending_since_{};
   std::uint64_t pending_tick_ = 0;
   bool pending_timer_armed_ = false;
+
+  // Hierarchical mode state (all inert while arbiter_conn_ is null).
+  std::unique_ptr<net::Connection> arbiter_conn_;
+  std::uint32_t domain_id_ = 0;
+  std::uint32_t domain_count_ = 1;
+  bool any_grant_ = false;
+  double granted_w_ = 0.0;        ///< last grant received
+  std::uint64_t grant_tick_ = 0;  ///< tick the grant was issued for
+  std::uint64_t report_tick_ = 0; ///< newest tick a DomainReport went out for
+  bool any_report_ = false;
 };
 
 }  // namespace perq::daemon

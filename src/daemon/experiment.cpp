@@ -43,18 +43,28 @@ std::unique_ptr<net::Connection> connect_with_retry(net::Transport& transport,
 DaemonPlant::DaemonPlant(const core::EngineConfig& cfg,
                          net::Transport& transport, const std::string& address,
                          const PlantConfig& pcfg)
-    : engine_(cfg), pcfg_(pcfg) {
-  PERQ_REQUIRE(pcfg_.agents >= 1, "plant needs at least one agent");
+    : DaemonPlant(cfg, transport, std::vector<std::string>{address}, pcfg) {}
+
+DaemonPlant::DaemonPlant(const core::EngineConfig& cfg,
+                         net::Transport& transport,
+                         const std::vector<std::string>& addresses,
+                         const PlantConfig& pcfg)
+    : engine_(cfg), pcfg_(pcfg), groups_(addresses.size()) {
+  PERQ_REQUIRE(groups_ >= 1, "plant needs at least one controller address");
+  PERQ_REQUIRE(pcfg_.agents >= groups_,
+               "need at least one agent per controller");
   const std::size_t total = engine_.cluster().size();
   PERQ_REQUIRE(pcfg_.agents <= total, "more agents than nodes");
 
   // Split the node range as evenly as possible; the first `total % agents`
-  // slices get one extra node.
+  // slices get one extra node. Agent i speaks to controller i % K, so the
+  // machine room interleaves across budget domains.
   const std::size_t base = total / pcfg_.agents;
   const std::size_t extra = total % pcfg_.agents;
   std::size_t begin = 0;
   for (std::size_t i = 0; i < pcfg_.agents; ++i) {
     const std::size_t len = base + (i < extra ? 1 : 0);
+    const std::string& address = addresses[i % groups_];
     auto conn = connect_with_retry(transport, address, pcfg_.connect_wait_ms);
     PERQ_REQUIRE(conn != nullptr, "cannot connect to controller: " + address);
     agents_.push_back(std::make_unique<NodeAgent>(static_cast<std::uint32_t>(i),
@@ -73,17 +83,25 @@ bool DaemonPlant::step(const std::function<void()>& service) {
   for (auto& agent : agents_) agent->publish(view);
 
   Stopwatch wait_timer;
-  std::optional<proto::CapPlan> plan;
+  // One plan slot per controller; agent i % K feeds slot i % K. The slots
+  // are merged below -- each controller plans only the jobs its own agents
+  // lead, so the entry sets are disjoint and concatenation in group order
+  // is deterministic.
+  std::vector<std::optional<proto::CapPlan>> plans(groups_);
+  std::size_t have = 0;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(pcfg_.plan_timeout_ms);
   for (;;) {
     if (service) service();
-    for (auto& agent : agents_) {
-      if (auto p = agent->poll_plan(); p.has_value() && p->tick == view.tick) {
-        plan = std::move(p);
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      if (auto p = agents_[i]->poll_plan();
+          p.has_value() && p->tick == view.tick) {
+        auto& slot = plans[i % groups_];
+        if (!slot.has_value()) ++have;
+        slot = std::move(p);
       }
     }
-    if (plan.has_value()) break;
+    if (have == groups_) break;
     if (std::chrono::steady_clock::now() >= deadline) break;
     // Block briefly on the agent sockets (a plain 1 ms tick for loopback,
     // where fds are -1 and the poll degenerates to a sleep).
@@ -91,6 +109,20 @@ bool DaemonPlant::step(const std::function<void()>& service) {
     fds.reserve(agents_.size());
     for (const auto& agent : agents_) fds.push_back(agent->fd());
     net::wait_readable(fds, 1);
+  }
+
+  // Merge the per-controller plans (group order; one address reduces this
+  // to the single plan verbatim). A missing slot simply contributes no
+  // entries: its controller's jobs fall back to holding previous caps.
+  std::optional<proto::CapPlan> plan;
+  if (have > 0) {
+    plan.emplace();
+    plan->tick = view.tick;
+    for (const auto& slot : plans) {
+      if (!slot.has_value()) continue;
+      plan->entries.insert(plan->entries.end(), slot->entries.begin(),
+                           slot->entries.end());
+    }
   }
 
   std::vector<double> caps;
@@ -155,14 +187,24 @@ bool DaemonPlant::step(const std::function<void()>& service) {
   engine_.apply_caps(std::move(caps), std::move(targets), /*actuate=*/false);
   engine_.advance();
   ++ticks_;
-  return plan.has_value();
+  return plan.has_value() && have == groups_;
 }
 
 std::size_t DaemonPlant::reconnect_lost(net::Transport& transport,
                                         const std::string& address) {
+  return reconnect_lost(transport, std::vector<std::string>{address});
+}
+
+std::size_t DaemonPlant::reconnect_lost(
+    net::Transport& transport, const std::vector<std::string>& addresses) {
+  PERQ_REQUIRE(addresses.size() == groups_,
+               "reconnect address list does not match controller count");
   const double now = static_cast<double>(ticks_);
   std::size_t n = 0;
+  std::vector<std::uint8_t> group_down(groups_, 0);
   for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const std::size_t g = i % groups_;
+    if (group_down[g]) continue;
     NodeAgent& agent = *agents_[i];
     if (agent.connected()) continue;
     if (!backoff_[i].ready(now)) continue;
@@ -170,21 +212,24 @@ std::size_t DaemonPlant::reconnect_lost(net::Transport& transport,
     bool failed = false;
     ++counters_.reconnect_attempts;
     try {
-      conn = transport.connect(address);
+      conn = transport.connect(addresses[g]);
     } catch (const precondition_error&) {
       failed = true;  // no listener at the address yet (loopback)
     }
     if (conn == nullptr) failed = true;  // TCP connect refused/timed out
     if (failed) {
-      // Every disconnected agent dials the same address, so this one
-      // refusal proves the listener is still away: back off the whole
-      // group and stop dialing this call.
+      // Every disconnected agent of this group dials the same address, so
+      // this one refusal proves that listener is still away: back off the
+      // whole group and stop dialing it this call. Agents of the other
+      // controllers keep going -- domains fail independently.
+      group_down[g] = 1;
       for (std::size_t j = i; j < agents_.size(); ++j) {
-        if (!agents_[j]->connected() && backoff_[j].ready(now)) {
+        if (j % groups_ == g && !agents_[j]->connected() &&
+            backoff_[j].ready(now)) {
           backoff_[j].record_failure(now);
         }
       }
-      break;
+      continue;
     }
     agent.reconnect(std::move(conn));
     backoff_[i].reset();

@@ -50,10 +50,23 @@ struct PlantConfig {
 };
 
 /// The plant side of a daemon run: engine + node agents.
+///
+/// Hierarchical deployments pass several controller addresses: agent i
+/// dials addresses[i % K], so jobs land in the budget domain that owns
+/// their lead agent (placement-based domains -- both sides agree without a
+/// handshake, the wire-level analogue of DomainMap's id-mod-K). step()
+/// then waits for one cap plan per controller, merges them (entry sets are
+/// disjoint: exactly one agent, hence one controller, leads each job), and
+/// applies the merged plan everywhere so a job spanning agent slices gets
+/// one consistent cap. With one address everything below degenerates to
+/// the single-controller path, bit for bit.
 class DaemonPlant {
  public:
   DaemonPlant(const core::EngineConfig& cfg, net::Transport& transport,
               const std::string& address, const PlantConfig& pcfg = {});
+  DaemonPlant(const core::EngineConfig& cfg, net::Transport& transport,
+              const std::vector<std::string>& addresses,
+              const PlantConfig& pcfg = {});
 
   core::SimulationEngine& engine() { return engine_; }
   NodeAgent& agent(std::size_t i) { return *agents_[i]; }
@@ -63,18 +76,21 @@ class DaemonPlant {
   /// Runs one control interval end to end. `service` is invoked while
   /// waiting for the plan -- pass the controller's service() for
   /// single-threaded runs, or nothing when the controller runs in its own
-  /// thread. Returns true when this tick's plan arrived in time, false when
-  /// the plant held the previous caps.
+  /// thread. Returns true when every controller's plan for this tick
+  /// arrived in time; jobs of a controller whose plan was missing held
+  /// their previous caps.
   bool step(const std::function<void()>& service = {});
 
   /// Re-establishes lost agent connections (controller restarted). Safe to
   /// call every held tick: attempts are paced by the per-agent exponential
   /// backoff (PlantConfig::reconnect_backoff, tick clock), and a failed
-  /// attempt backs off every disconnected agent -- they all dial the same
-  /// address, so one refusal proves the listener is still away. Returns the
-  /// number of agents reconnected this call.
+  /// attempt backs off every disconnected agent dialing the same address --
+  /// one refusal proves that listener is still away; other controllers'
+  /// agents keep dialing. Returns the number of agents reconnected.
   std::size_t reconnect_lost(net::Transport& transport,
                              const std::string& address);
+  std::size_t reconnect_lost(net::Transport& transport,
+                             const std::vector<std::string>& addresses);
 
   /// Plant-side robustness accounting: frames_dropped counts delivered cap
   /// plans discarded by the whole-plan validity check in step() (the plant
@@ -89,6 +105,7 @@ class DaemonPlant {
  private:
   core::SimulationEngine engine_;
   PlantConfig pcfg_;
+  std::size_t groups_ = 1;  ///< controller count; agent i dials group i % K
   std::vector<std::unique_ptr<NodeAgent>> agents_;
   std::vector<Backoff> backoff_;  ///< reconnect pacing, one per agent
   core::RobustnessCounters counters_;

@@ -12,9 +12,11 @@ namespace {
 
 constexpr std::uint32_t kSnapshotMagic = 0x50455251;  // "PERQ"
 // Version 2 appends the robustness counters (policy solver_fallbacks after
-// the MPC warm state, controller counters after the shadows). Version-1
-// files still decode: the counters simply start from zero.
-constexpr std::uint16_t kSnapshotVersion = 2;
+// the MPC warm state, controller counters after the shadows). Version 3
+// appends the hierarchical grant state (any_grant/granted_w/grant_tick) so
+// a restarted domain controller resumes against its last grant. Older
+// files still decode: the appended fields simply start from zero.
+constexpr std::uint16_t kSnapshotVersion = 3;
 
 void write_estimator(proto::WireWriter& w, const control::EstimatorState& e) {
   w.u32(static_cast<std::uint32_t>(e.state.size()));
@@ -117,6 +119,10 @@ std::vector<std::uint8_t> encode_snapshot(const ControllerState& s) {
   w.u64(s.counters.stale_transitions);
   w.u64(s.counters.solver_fallbacks);
   w.u64(s.counters.clamp_activations);
+
+  w.u8(s.any_grant);
+  w.f64(s.granted_w);
+  w.u64(s.grant_tick);
   return w.take();
 }
 
@@ -125,7 +131,7 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
   proto::WireReader r(data, size);
   if (r.u32() != kSnapshotMagic) return std::nullopt;
   const std::uint16_t version = r.u16();
-  if (version != 1 && version != kSnapshotVersion) return std::nullopt;
+  if (version < 1 || version > kSnapshotVersion) return std::nullopt;
 
   ControllerState s;
   s.current_tick = r.u64();
@@ -182,6 +188,11 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
     s.counters.stale_transitions = r.u64();
     s.counters.solver_fallbacks = r.u64();
     s.counters.clamp_activations = r.u64();
+  }
+  if (version >= 3) {
+    s.any_grant = r.u8();
+    s.granted_w = r.f64();
+    s.grant_tick = r.u64();
   }
   if (!r.exhausted()) return std::nullopt;
   return s;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <memory>
 
 #include "apps/app_model.hpp"
 #include "fault/faulty_transport.hpp"
@@ -133,6 +134,147 @@ ChaosReport run_chaos(const ChaosConfig& cfg, core::PerqPolicy& policy) {
   report.plant_counters = plant.counters();
   report.faults = plan.stats();
   report.ticks = tick;
+  return report;
+}
+
+DomainChaosReport run_domain_chaos(
+    const DomainChaosConfig& cfg,
+    std::vector<std::unique_ptr<core::PerqPolicy>>& policies) {
+  PERQ_REQUIRE(cfg.domains >= 1, "need at least one domain");
+  PERQ_REQUIRE(policies.size() == cfg.domains,
+               "need exactly one policy per domain controller");
+
+  net::LoopbackTransport loop;
+  FaultPlan plan(cfg.fault_seed);
+  plan.set_default_schedule(cfg.default_schedule);
+  for (const auto& [index, sched] : cfg.schedules) {
+    plan.set_schedule(index, sched);
+  }
+  for (const auto& [domain, window] : cfg.domain_partitions) {
+    PERQ_REQUIRE(domain < cfg.domains, "partition for unknown domain");
+    ConnectionSchedule sched = plan.schedule_for(domain);
+    sched.partitions.push_back(window);
+    plan.set_schedule(domain, sched);
+  }
+  FaultyTransport transport(loop, plan);
+
+  const std::string arbiter_address = "perq-arbiter";
+  hier::ArbiterDaemon arbiter(transport.listen(arbiter_address), cfg.domains,
+                              cfg.arbiter);
+  std::vector<std::unique_ptr<daemon::PerqController>> controllers;
+  std::vector<std::string> addresses;
+  for (std::size_t d = 0; d < cfg.domains; ++d) {
+    addresses.push_back("perqd-" + std::to_string(d));
+    controllers.push_back(std::make_unique<daemon::PerqController>(
+        transport.listen(addresses.back()), *policies[d], cfg.controller));
+    // Dialed before any agent: connection index d is domain d's uplink.
+    controllers.back()->attach_arbiter(transport.connect(arbiter_address),
+                                       static_cast<std::uint32_t>(d),
+                                       static_cast<std::uint32_t>(cfg.domains));
+  }
+  daemon::DaemonPlant plant(cfg.engine, transport, addresses, cfg.plant);
+  for (auto& c : controllers) c->pump();
+
+  DomainChaosReport report;
+  const auto& spec = apps::node_power_spec();
+  const double budget_w = plant.engine().cluster().power_budget_w();
+  const auto service = [&] {
+    for (auto& c : controllers) c->service();
+    arbiter.service();
+  };
+
+  std::uint64_t tick = 0;
+  while (!plant.done() && (cfg.max_ticks == 0 || tick < cfg.max_ticks)) {
+    plan.set_tick(tick);
+
+    for (const AgentEvent& e : cfg.events) {
+      if (e.tick != tick || e.agent >= plant.agent_count()) continue;
+      if (e.kind == AgentEvent::Kind::kHang) {
+        plant.agent(e.agent).hang();
+      } else {
+        try {
+          if (auto conn =
+                  transport.connect(addresses[e.agent % cfg.domains])) {
+            plant.agent(e.agent).reconnect(std::move(conn));
+          }
+        } catch (const precondition_error&) {
+          // Listener gone; the regular reconnect path keeps retrying.
+        }
+      }
+    }
+
+    const bool planned = plant.step(service);
+    if (!planned) ++report.held_ticks;
+    plant.reconnect_lost(transport, addresses);
+
+    // --- run-level safety invariants, evaluated every tick ---
+    TickRecord rec;
+    rec.tick = tick;
+    rec.plan_arrived = planned;
+    rec.budget_total_w = budget_w;
+    for (const sched::Job* job : plant.engine().running()) {
+      const double cap = job->last_cap_w();
+      const double nodes = static_cast<double>(job->spec().nodes);
+      rec.committed_w += cap * nodes;
+      rec.caps_by_job.emplace_back(job->spec().id, cap);
+      if (cap != 0.0 && (!std::isfinite(cap) || cap < spec.cap_min - 1e-6 ||
+                         cap > spec.tdp + 1e-6)) {
+        report.violations.push_back(
+            tick_msg(tick, "applied cap outside [cap_min, TDP]", cap,
+                     spec.tdp));
+      }
+    }
+    if (rec.committed_w > budget_w + 1e-3) {
+      report.violations.push_back(
+          tick_msg(tick, "committed watts exceed cluster budget",
+                   rec.committed_w, budget_w));
+    }
+    // Grant conservation, the hierarchical invariant: everything the
+    // arbiter has outstanding -- live grants, grants fenced for silent
+    // domains, and the static reserves for domains that never reported --
+    // fits the cluster budget those grants were carved from.
+    if (arbiter.decisions() > 0) {
+      rec.grants_w = arbiter.grants_w();
+      double outstanding_w = arbiter.reserved_w();
+      for (const double g : rec.grants_w) outstanding_w += g;
+      if (outstanding_w > arbiter.cluster_budget_w() + 1e-3) {
+        report.violations.push_back(
+            tick_msg(tick, "domain grants exceed cluster budget",
+                     outstanding_w, arbiter.cluster_budget_w()));
+      }
+    }
+    // Each domain that decided this tick stayed within its own scope:
+    // optimized row + held watts fit the grant it ran under.
+    for (const auto& c : controllers) {
+      const auto& stats = c->last_stats();
+      if (stats.tick != tick) continue;
+      if (stats.budget_row_w + stats.held_w > stats.granted_w + 1e-3) {
+        report.violations.push_back(
+            tick_msg(tick, "domain budget row + held watts exceed grant",
+                     stats.budget_row_w + stats.held_w, stats.granted_w));
+      }
+    }
+    report.history.push_back(std::move(rec));
+    ++tick;
+  }
+
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) plant.agent(i).bye();
+  for (auto& c : controllers) c->pump();
+  arbiter.pump();
+
+  report.result = plant.finish(
+      cfg.domains == 1 ? "PERQ" : "PERQ-HIER" + std::to_string(cfg.domains));
+  report.controller_counters.reserve(controllers.size());
+  for (const auto& c : controllers) {
+    report.controller_counters.push_back(c->counters());
+  }
+  report.aggregated_counters = arbiter.aggregated_counters();
+  report.plant_counters = plant.counters();
+  report.faults = plan.stats();
+  report.ticks = tick;
+  report.arbiter_decisions = arbiter.decisions();
+  report.final_grants_w = arbiter.grants_w();
+  report.final_fenced_w = arbiter.fenced_w();
   return report;
 }
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "daemon/controller.hpp"
 #include "daemon/experiment.hpp"
 #include "fault/plan.hpp"
+#include "hier/arbiter_daemon.hpp"
 
 namespace perq::fault {
 
@@ -67,6 +69,9 @@ struct TickRecord {
   /// Applied per-node cap of every running job, keyed by job id (the
   /// trajectory the re-convergence comparison runs over).
   std::vector<std::pair<int, double>> caps_by_job;
+  /// Hierarchical runs only: the arbiter's grants (indexed by domain) as of
+  /// this tick, so tests can assert conservation over the whole history.
+  std::vector<double> grants_w;
 };
 
 struct ChaosReport {
@@ -85,6 +90,57 @@ struct ChaosReport {
 /// field for field. The policy must match the engine's sizing (same
 /// contract as run_loopback_daemon_experiment).
 ChaosReport run_chaos(const ChaosConfig& cfg, core::PerqPolicy& policy);
+
+/// Chaos over the hierarchical deployment: K domain controllers + one
+/// arbiter + the multi-address plant, all over the fault-injecting
+/// transport. Connection dial order (and hence schedule indexing): the K
+/// controllers dial the arbiter first -- index d is domain d's arbiter
+/// uplink -- then the plant's agents dial their controllers (index
+/// domains + i for agent i). Partitioning index d therefore severs one
+/// domain from the arbiter while its agents keep running: the
+/// grant-fencing scenario.
+struct DomainChaosConfig {
+  core::EngineConfig engine;
+  daemon::ControllerConfig controller;
+  hier::ArbiterDaemonConfig arbiter;
+  daemon::PlantConfig plant;
+  std::size_t domains = 2;
+  std::uint64_t fault_seed = 1;
+  ConnectionSchedule default_schedule;
+  std::vector<std::pair<std::size_t, ConnectionSchedule>> schedules;
+  /// Sugar: black out domain d's arbiter uplink for the window (appended
+  /// to whatever schedule index d already has).
+  std::vector<std::pair<std::uint32_t, TickWindow>> domain_partitions;
+  std::vector<AgentEvent> events;
+  std::uint64_t max_ticks = 0;
+};
+
+struct DomainChaosReport {
+  core::RunResult result;
+  std::vector<std::string> violations;  ///< empty <=> all invariants held
+  std::vector<TickRecord> history;
+  /// Per-domain controller counters, indexed by domain.
+  std::vector<core::RobustnessCounters> controller_counters;
+  /// The arbiter's cross-domain aggregate (newest report per domain plus
+  /// its own frame screening) -- the satellite accounting view.
+  core::RobustnessCounters aggregated_counters;
+  core::RobustnessCounters plant_counters;
+  FaultStats faults;
+  std::uint64_t ticks = 0;
+  std::uint64_t held_ticks = 0;
+  std::uint64_t arbiter_decisions = 0;
+  std::vector<double> final_grants_w;
+  double final_fenced_w = 0.0;
+};
+
+/// Runs the K-domain deployment under faults, asserting on every tick --
+/// in addition to run_chaos's budget/box invariants -- that the grants the
+/// arbiter has outstanding (live + fenced + cold-start reserves) sum to no
+/// more than the cluster budget they were carved from. `policies` must
+/// hold exactly `cfg.domains` PerqPolicy instances.
+DomainChaosReport run_domain_chaos(
+    const DomainChaosConfig& cfg,
+    std::vector<std::unique_ptr<core::PerqPolicy>>& policies);
 
 /// First tick T >= `from` such that from T on, every tick's caps in
 /// `faulted` match the same tick/job in `baseline` within `tol_w` watts

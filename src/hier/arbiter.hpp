@@ -1,0 +1,92 @@
+// BudgetArbiter: demand-based water-filling of the cluster budget across
+// budget domains, plus the fencing bookkeeping for domains that went
+// silent.
+//
+// Every control interval each domain reports its demand (floor, capacity,
+// committed watts, and the marginal value of one more watt -- the dual of
+// its QP budget row). The arbiter re-divides the cluster's busy-node
+// budget:
+//
+//   1. Floors first. Every domain is owed nj * P_min; if even the floors
+//      do not fit, they are scaled down proportionally (the plant itself
+//      is infeasible at that point, and conservation still holds).
+//   2. Utility water-filling. The remaining watts flow to domains whose
+//      budget row is *binding* (utility > 0), proportional to
+//      busy_nodes * utility, clipped at each domain's capacity; freed
+//      watts re-flow until the pool is dry or every constrained domain is
+//      saturated. This is what "unspent watts flow to constrained
+//      domains" means operationally: a domain whose QP left its budget
+//      row slack has zero dual and draws nothing in this stage.
+//   3. Node-proportional remainder. Watts still left (all constrained
+//      domains saturated, or no domain reported a binding row yet -- e.g.
+//      the cold start) are spread over non-saturated domains proportional
+//      to busy nodes, again clipped at capacity. Watts beyond every
+//      domain's capacity stay unspent: granting them would be
+//      unactuatable anyway.
+//
+// Invariants (property-tested under randomized demands):
+//   * conservation:  sum(grants) <= budget (exactly = budget when demand
+//     can absorb it),
+//   * floors:        grant_d >= floor_d whenever sum(floors) <= budget,
+//   * K = 1:         the single domain is granted the budget *exactly*
+//     (bit-for-bit, not via the arithmetic above), which is what makes
+//     the K=1 hierarchical configuration bit-identical to the monolithic
+//     controller.
+//
+// The stateful wrapper adds PR 3-style fencing: a domain that stopped
+// reporting (crashed or partitioned controller) keeps its last grant
+// *reserved* -- its agents keep actuating the last broadcast plan, so the
+// watts are physically spoken for -- and live domains share only what is
+// left. A rejoining domain just reports again and is re-included.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hier/domain.hpp"
+
+namespace perq::hier {
+
+/// Pure water-filling allocation, aligned with `demands`. Deterministic:
+/// plain arithmetic over the input order, no tie-breaking randomness.
+/// A single-demand input is granted `budget_w` exactly (see header note).
+std::vector<double> water_fill(double budget_w,
+                               const std::vector<DomainDemand>& demands);
+
+/// Stateful arbiter: water-filling plus held-grant fencing for silent
+/// domains. One instance per cluster, indexed by domain id.
+class BudgetArbiter {
+ public:
+  explicit BudgetArbiter(std::size_t domains);
+
+  std::size_t domains() const { return grants_w_.size(); }
+
+  /// Re-divides `cluster_budget_w` for one control interval. `live` holds
+  /// the demands of every domain that reported this tick (any order;
+  /// domain_id < domains()). Domains absent from `live` that hold a
+  /// previous grant are fenced: their grant is frozen and subtracted from
+  /// the pool before the live domains are water-filled. Returns the grant
+  /// vector indexed by domain id.
+  const std::vector<double>& allocate(double cluster_budget_w,
+                                      const std::vector<DomainDemand>& live);
+
+  /// Grants as of the last allocate(), indexed by domain id.
+  const std::vector<double>& grants_w() const { return grants_w_; }
+
+  /// Watts frozen for silent domains in the last allocate().
+  double fenced_w() const { return fenced_w_; }
+
+  /// True when `domain` was fenced (not reported) in the last allocate().
+  bool fenced(std::uint32_t domain) const;
+
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  std::vector<double> grants_w_;
+  std::vector<std::uint8_t> ever_granted_;
+  std::vector<std::uint8_t> fenced_now_;
+  double fenced_w_ = 0.0;
+  std::uint64_t decisions_ = 0;
+};
+
+}  // namespace perq::hier

@@ -1,0 +1,210 @@
+#include "hier/arbiter_daemon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace perq::hier {
+
+namespace {
+/// Same corrupted-integer screen the controller applies to heartbeats: a
+/// report claiming a tick this far past everything seen is a bit flip.
+constexpr std::uint64_t kMaxTickJump = 1024;
+}  // namespace
+
+ArbiterDaemon::ArbiterDaemon(std::unique_ptr<net::Listener> listener,
+                             std::size_t domains, ArbiterDaemonConfig cfg)
+    : listener_(std::move(listener)),
+      cfg_(cfg),
+      arbiter_(domains),
+      slots_(domains) {
+  PERQ_REQUIRE(listener_ != nullptr, "arbiter daemon needs a listener");
+  PERQ_REQUIRE(cfg_.stale_after_ticks >= 1, "stale_after_ticks must be >= 1");
+}
+
+void ArbiterDaemon::pump() {
+  for (auto& conn : listener_->accept_new()) {
+    Session s;
+    s.conn = std::move(conn);
+    sessions_.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (!sessions_[i].conn->open()) continue;
+    for (const proto::Message& m : sessions_[i].conn->receive()) {
+      ingest(i, m);
+    }
+  }
+  for (const Session& s : sessions_) {
+    if (!s.conn->open() && s.conn->corrupt()) ++counters_.frames_corrupt;
+  }
+  // Reap closed sessions, fixing up the slot -> session indices (a slot
+  // pointing at a dead session just loses its delivery path until the
+  // domain's controller reconnects and reports again).
+  for (std::size_t i = sessions_.size(); i-- > 0;) {
+    if (sessions_[i].conn->open()) continue;
+    for (DomainSlot& slot : slots_) {
+      if (slot.session == i) {
+        slot.session = SIZE_MAX;
+      } else if (slot.session != SIZE_MAX && slot.session > i) {
+        --slot.session;
+      }
+    }
+    sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void ArbiterDaemon::ingest(std::size_t session_index, const proto::Message& m) {
+  const auto* r = std::get_if<proto::DomainReport>(&m);
+  if (r == nullptr) {
+    // Only reports flow arbiter-ward on this link.
+    ++counters_.frames_corrupt;
+    return;
+  }
+  // Sanity screen before any state is touched: the report drives the watt
+  // split for the whole cluster, so a bit-flipped one (NaN demand, a floor
+  // above the ceiling, a domain id from nowhere) must not skew every
+  // other domain's grant.
+  std::uint64_t newest = 0;
+  for (const DomainSlot& s : slots_) {
+    if (s.any_report) newest = std::max(newest, s.latest.tick);
+  }
+  const bool insane =
+      r->domain_id >= slots_.size() ||
+      r->domain_count != static_cast<std::uint32_t>(slots_.size()) ||
+      !std::isfinite(r->busy_nodes) || !std::isfinite(r->floor_w) ||
+      !std::isfinite(r->capacity_w) || !std::isfinite(r->committed_w) ||
+      !std::isfinite(r->utility_per_w) || !std::isfinite(r->achieved_ips) ||
+      !std::isfinite(r->target_ips) || !std::isfinite(r->cluster_budget_w) ||
+      r->busy_nodes < 0.0 || r->floor_w < 0.0 || r->utility_per_w < 0.0 ||
+      r->capacity_w < r->floor_w - 1e-6 || r->cluster_budget_w < 0.0 ||
+      r->tick > newest + kMaxTickJump;
+  if (insane) {
+    ++counters_.frames_corrupt;
+    return;
+  }
+
+  Session& session = sessions_[session_index];
+  session.bound = true;
+  session.domain_id = r->domain_id;
+
+  DomainSlot& slot = slots_[r->domain_id];
+  if (!slot.any_report || r->tick >= slot.latest.tick) {
+    slot.any_report = true;
+    slot.latest = *r;
+    slot.session = session_index;
+  }
+}
+
+bool ArbiterDaemon::try_decide() {
+  // T = the newest reported tick; decide once every domain that has ever
+  // reported either reached T or fell stale_after_ticks behind it.
+  std::uint64_t t = 0;
+  bool any = false;
+  for (const DomainSlot& s : slots_) {
+    if (!s.any_report) continue;
+    any = true;
+    t = std::max(t, s.latest.tick);
+  }
+  if (!any) return false;
+  if (any_decision_ && t <= decided_tick_) return false;
+
+  std::vector<DomainDemand> live;
+  double budget_w = 0.0;
+  std::size_t never_reported = 0;
+  for (const DomainSlot& s : slots_) {
+    if (!s.any_report) {
+      ++never_reported;
+      continue;
+    }
+    if (s.latest.tick == t) {
+      DomainDemand d;
+      d.domain_id = s.latest.domain_id;
+      d.jobs = s.latest.jobs;
+      d.busy_nodes = s.latest.busy_nodes;
+      d.floor_w = s.latest.floor_w;
+      d.capacity_w = s.latest.capacity_w;
+      d.committed_w = s.latest.committed_w;
+      d.utility_per_w = s.latest.utility_per_w;
+      d.achieved_ips = s.latest.achieved_ips;
+      d.target_ips = s.latest.target_ips;
+      live.push_back(d);
+      budget_w = std::max(budget_w, s.latest.cluster_budget_w);
+    } else if (s.latest.tick + cfg_.stale_after_ticks >= t) {
+      return false;  // lagging but not yet stale: wait for it
+    }
+    // Stale domains fall through: BudgetArbiter fences their held grant.
+  }
+  if (live.empty()) return false;
+
+  // Domains that never reported assume the static budget/K split on their
+  // side (PerqController's pre-first-grant fallback); reserve exactly that
+  // so both halves of the cold-start partition agree on who owns what.
+  reserved_w_ = budget_w * static_cast<double>(never_reported) /
+                static_cast<double>(slots_.size());
+  cluster_budget_w_ = budget_w;
+
+  const std::vector<double>& grants =
+      arbiter_.allocate(std::max(budget_w - reserved_w_, 0.0), live);
+
+  for (const DomainDemand& d : live) {
+    DomainSlot& slot = slots_[d.domain_id];
+    slot.ever_sent_grant = true;
+    if (slot.session == SIZE_MAX) continue;  // controller died after report
+    proto::BudgetGrant g;
+    g.domain_id = d.domain_id;
+    g.tick = t;
+    g.grant_w = grants[d.domain_id];
+    g.cluster_budget_w = budget_w;
+    sessions_[slot.session].conn->send(g);
+  }
+
+  decided_tick_ = t;
+  any_decision_ = true;
+  return true;
+}
+
+bool ArbiterDaemon::service() {
+  pump();
+  return try_decide();
+}
+
+DomainDemand ArbiterDaemon::demand(std::uint32_t domain) const {
+  PERQ_REQUIRE(domain < slots_.size(), "domain id out of range");
+  const DomainSlot& s = slots_[domain];
+  DomainDemand d;
+  if (!s.any_report) return d;
+  d.domain_id = s.latest.domain_id;
+  d.jobs = s.latest.jobs;
+  d.busy_nodes = s.latest.busy_nodes;
+  d.floor_w = s.latest.floor_w;
+  d.capacity_w = s.latest.capacity_w;
+  d.committed_w = s.latest.committed_w;
+  d.utility_per_w = s.latest.utility_per_w;
+  d.achieved_ips = s.latest.achieved_ips;
+  d.target_ips = s.latest.target_ips;
+  return d;
+}
+
+core::RobustnessCounters ArbiterDaemon::aggregated_counters() const {
+  core::RobustnessCounters sum = counters_;
+  for (const DomainSlot& s : slots_) {
+    if (!s.any_report) continue;
+    sum.frames_dropped += s.latest.frames_dropped;
+    sum.frames_corrupt += s.latest.frames_corrupt;
+    sum.reconnect_attempts += s.latest.reconnect_attempts;
+    sum.stale_transitions += s.latest.stale_transitions;
+    sum.solver_fallbacks += s.latest.solver_fallbacks;
+    sum.clamp_activations += s.latest.clamp_activations;
+  }
+  return sum;
+}
+
+std::vector<int> ArbiterDaemon::fds() const {
+  std::vector<int> fds;
+  fds.push_back(listener_->fd());
+  for (const Session& s : sessions_) fds.push_back(s.conn->fd());
+  return fds;
+}
+
+}  // namespace perq::hier

@@ -1,0 +1,118 @@
+// ArbiterDaemon: the BudgetArbiter as a long-running service.
+//
+// K domain controllers dial the arbiter, send one DomainReport per control
+// interval, and receive one BudgetGrant back. The daemon is the thin
+// session layer around hier::BudgetArbiter, the same split perqd uses for
+// core::PerqPolicy: all allocation math lives in arbiter.cpp, and this
+// class does bookkeeping -- which session speaks for which domain, which
+// report is newest, when a decision tick is complete.
+//
+// Decision gating is tick-based and deterministic (no wall-clock grace):
+// the arbiter allocates for tick T = the newest reported tick once every
+// domain that has ever reported either reported T itself or has fallen
+// `stale_after_ticks` behind it. A lagging-but-not-yet-stale domain
+// therefore delays the grant round; the domain controllers ride that out
+// on their held grants (their own decide_grace), which the arbiter keeps
+// fenced -- both sides of the split hold the same number, so conservation
+// survives the lag. A domain that never reported at all (cold-start
+// partition) has the static budget/K split reserved for it, mirroring
+// PerqController::budget_scope_w()'s pre-first-grant fallback.
+//
+// The arbiter also aggregates the robustness counters that ride along in
+// every DomainReport: aggregated_counters() is the cluster-wide accounting
+// view (sum over the newest report of every domain, plus the arbiter's own
+// frame screening), so sharding the controller does not shard the books.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/robustness.hpp"
+#include "hier/arbiter.hpp"
+#include "net/transport.hpp"
+
+namespace perq::hier {
+
+struct ArbiterDaemonConfig {
+  /// Ticks a domain controller may lag the newest report before the
+  /// arbiter stops waiting for it (its grant is then fenced).
+  std::uint64_t stale_after_ticks = 3;
+};
+
+class ArbiterDaemon {
+ public:
+  ArbiterDaemon(std::unique_ptr<net::Listener> listener, std::size_t domains,
+                ArbiterDaemonConfig cfg = {});
+
+  /// Drains the network: accepts domain controllers, ingests every pending
+  /// report, reaps dead connections.
+  void pump();
+
+  /// pump() + one allocation round when the newest tick is complete (see
+  /// header note). Returns true when grants were issued this call.
+  bool service();
+
+  std::size_t domains() const { return arbiter_.domains(); }
+  std::size_t session_count() const { return sessions_.size(); }
+
+  /// Grants as of the last allocation, indexed by domain id (fenced
+  /// domains keep their frozen grant; never-granted domains read zero).
+  const std::vector<double>& grants_w() const { return arbiter_.grants_w(); }
+  double fenced_w() const { return arbiter_.fenced_w(); }
+  bool fenced(std::uint32_t domain) const { return arbiter_.fenced(domain); }
+  std::uint64_t decisions() const { return arbiter_.decisions(); }
+
+  /// Watts reserved for domains that never reported (static budget/K
+  /// split, matching their controllers' cold-start fallback).
+  double reserved_w() const { return reserved_w_; }
+
+  /// Tick of the last allocation round (valid once decisions() > 0).
+  std::uint64_t decided_tick() const { return decided_tick_; }
+
+  /// Cluster busy budget the last allocation round carved up.
+  double cluster_budget_w() const { return cluster_budget_w_; }
+
+  /// Newest demand the arbiter holds for `domain` (zero-initialized until
+  /// the domain's first report).
+  DomainDemand demand(std::uint32_t domain) const;
+
+  /// Cluster-wide robustness accounting: the sum of every domain's newest
+  /// reported counters plus the arbiter's own frame screening (counted as
+  /// frames_corrupt).
+  core::RobustnessCounters aggregated_counters() const;
+
+  /// Pollable descriptors (listener + sessions) for net::wait_readable.
+  std::vector<int> fds() const;
+
+ private:
+  struct Session {
+    std::unique_ptr<net::Connection> conn;
+    bool bound = false;
+    std::uint32_t domain_id = 0;
+  };
+
+  /// Per-domain view assembled from the wire.
+  struct DomainSlot {
+    bool any_report = false;
+    proto::DomainReport latest;       ///< newest report (by tick)
+    std::size_t session = SIZE_MAX;   ///< session that sent it
+    bool ever_sent_grant = false;
+  };
+
+  void ingest(std::size_t session_index, const proto::Message& m);
+  bool try_decide();
+
+  std::unique_ptr<net::Listener> listener_;
+  ArbiterDaemonConfig cfg_;
+  BudgetArbiter arbiter_;
+  std::vector<Session> sessions_;
+  std::vector<DomainSlot> slots_;
+  core::RobustnessCounters counters_;  ///< arbiter-side screening only
+  bool any_decision_ = false;
+  std::uint64_t decided_tick_ = 0;
+  double cluster_budget_w_ = 0.0;
+  double reserved_w_ = 0.0;
+};
+
+}  // namespace perq::hier

@@ -1,0 +1,55 @@
+// Budget domains: the unit of hierarchical power management.
+//
+// A BudgetDomain is a slice of the cluster's jobs that is solved as its own
+// small PERQ problem against a domain-local watt allocation, instead of one
+// monolithic QP over every running job against the single cluster budget.
+// Domains keep each QP small (the structured solver still grows
+// superlinearly in total job count), let the K solves run in parallel on
+// the shared ThreadPool, and bound the blast radius of a controller
+// failure: losing one domain controller fences one grant, not the cluster.
+//
+// The split is two-level: K domain controllers each run the unmodified
+// PERQ pipeline (targets + MPC) over their own jobs, and one BudgetArbiter
+// re-divides the cluster budget across domains every control interval from
+// the domains' reported demand (see arbiter.hpp). Job -> domain assignment
+// is static and content-free (id mod K) so both sides of a wire agree on
+// it without coordination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace perq::hier {
+
+/// Static job -> domain assignment. Deliberately trivial: both the plant
+/// side and the controller side must agree on the mapping without any
+/// handshake, and `id mod K` needs no state. K = 1 maps everything to
+/// domain 0 (the monolithic configuration).
+struct DomainMap {
+  std::size_t domains = 1;
+
+  std::uint32_t of_job(int job_id) const {
+    if (domains <= 1) return 0;
+    const auto k = static_cast<std::int64_t>(domains);
+    std::int64_t d = static_cast<std::int64_t>(job_id) % k;
+    if (d < 0) d += k;
+    return static_cast<std::uint32_t>(d);
+  }
+};
+
+/// One domain's demand as seen by the arbiter at a decision instant.
+/// In-process this is built from core::PerqPolicy::last_feedback(); over
+/// the wire it arrives as a proto::DomainReport.
+struct DomainDemand {
+  std::uint32_t domain_id = 0;
+  std::size_t jobs = 0;        ///< jobs in the domain's current batch
+  double busy_nodes = 0.0;     ///< nodes under those jobs
+  double floor_w = 0.0;        ///< nj * P_min: the grant never goes below
+  double capacity_w = 0.0;     ///< nj * TDP: watts beyond this are unusable
+  double committed_w = 0.0;    ///< watts committed under the last grant
+  double utility_per_w = 0.0;  ///< QP budget-row dual (marginal-watt value)
+  double achieved_ips = 0.0;   ///< measured throughput last interval
+  double target_ips = 0.0;     ///< fairness-target throughput
+};
+
+}  // namespace perq::hier

@@ -1,0 +1,113 @@
+#include "hier/experiment.hpp"
+
+#include <string>
+#include <utility>
+
+#include "net/loopback.hpp"
+#include "util/require.hpp"
+#include "util/stopwatch.hpp"
+
+namespace perq::hier {
+
+core::RunResult run_hier_experiment(const core::EngineConfig& cfg,
+                                    HierarchicalPerqPolicy& policy) {
+  core::SimulationEngine engine(cfg);
+  std::vector<double> caps;
+  std::vector<double> targets;
+  while (!engine.done()) {
+    const core::TickView& view = engine.begin_tick();
+    for (const sched::Job* started : view.started) {
+      policy.on_job_started(*started);
+    }
+
+    caps.clear();
+    targets.clear();
+    if (!view.running.empty()) {
+      const policy::PolicyContext ctx = engine.context();
+      Stopwatch timer;
+      caps = policy.allocate(ctx);
+      engine.note_decision_time(timer.seconds());
+      targets.reserve(view.running.size());
+      for (const sched::Job* job : view.running) {
+        targets.push_back(policy.target_ips(job->spec().id));
+      }
+      // Register the grants so apply_caps asserts both conservation
+      // (sum of grants within the cluster row) and per-domain compliance
+      // (each domain's committed caps within its grant) -- every tick, not
+      // just in tests.
+      std::vector<std::uint32_t> domain_of_job;
+      domain_of_job.reserve(view.running.size());
+      for (const sched::Job* job : view.running) {
+        domain_of_job.push_back(policy.domain_of(job->spec().id));
+      }
+      engine.set_domain_grants(policy.last_grants_w(),
+                               std::move(domain_of_job));
+    }
+    engine.apply_caps(std::move(caps), std::move(targets));
+    engine.advance();
+    for (const auto& finished : engine.last_finished()) {
+      policy.on_job_finished(*finished.first);
+    }
+  }
+  return engine.finish(policy.name());
+}
+
+HierDaemonResult run_hier_loopback_daemon_experiment(
+    const core::EngineConfig& cfg, std::size_t domains,
+    std::vector<std::unique_ptr<core::PerqPolicy>>& policies,
+    daemon::ControllerConfig ccfg, ArbiterDaemonConfig acfg,
+    std::size_t agents_per_domain) {
+  PERQ_REQUIRE(domains >= 1, "need at least one domain");
+  PERQ_REQUIRE(policies.size() == domains,
+               "need exactly one policy per domain controller");
+  PERQ_REQUIRE(agents_per_domain >= 1, "need at least one agent per domain");
+
+  net::LoopbackTransport transport;
+  const std::string arbiter_address = "perq-arbiter";
+  ArbiterDaemon arbiter(transport.listen(arbiter_address), domains, acfg);
+
+  // K domain controllers, each with its own listener and its own uplink to
+  // the arbiter. Domain membership is placement-based on this path: agent
+  // i dials controller i % K, and a controller's domain is exactly the
+  // jobs its agents lead.
+  std::vector<std::unique_ptr<daemon::PerqController>> controllers;
+  std::vector<std::string> addresses;
+  controllers.reserve(domains);
+  for (std::size_t d = 0; d < domains; ++d) {
+    addresses.push_back("perqd-" + std::to_string(d));
+    controllers.push_back(std::make_unique<daemon::PerqController>(
+        transport.listen(addresses.back()), *policies[d], ccfg));
+    controllers.back()->attach_arbiter(transport.connect(arbiter_address),
+                                       static_cast<std::uint32_t>(d),
+                                       static_cast<std::uint32_t>(domains));
+  }
+
+  daemon::PlantConfig pcfg;
+  pcfg.agents = domains * agents_per_domain;
+  daemon::DaemonPlant plant(cfg, transport, addresses, pcfg);
+  for (auto& c : controllers) c->pump();
+
+  // One deterministic single-threaded event loop: every wait iteration
+  // services each controller (report out, decide when granted) and then
+  // the arbiter (grants out once every domain reported the tick).
+  const auto service = [&] {
+    for (auto& c : controllers) c->service();
+    arbiter.service();
+  };
+  while (!plant.done()) {
+    plant.step(service);
+  }
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) plant.agent(i).bye();
+  for (auto& c : controllers) c->pump();
+  arbiter.pump();
+
+  HierDaemonResult res;
+  res.run = plant.finish(domains == 1 ? "PERQ"
+                                      : "PERQ-HIER" + std::to_string(domains));
+  res.final_grants_w = arbiter.grants_w();
+  res.aggregated_counters = arbiter.aggregated_counters();
+  res.arbiter_decisions = arbiter.decisions();
+  return res;
+}
+
+}  // namespace perq::hier

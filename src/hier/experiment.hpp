@@ -1,0 +1,56 @@
+// Experiment drivers for the hierarchical (K domains + arbiter) stack.
+//
+// run_hier_experiment is the in-process variant: run_experiment's exact
+// loop, plus per-tick registration of the domain grants with the engine so
+// apply_caps checks each domain against its own allocation (not only the
+// cluster row). With K = 1 it is bit-identical to core::run_experiment.
+//
+// run_hier_loopback_daemon_experiment is the service variant: one
+// ArbiterDaemon plus K PerqControllers (each attached to the arbiter over
+// a loopback connection) plus a DaemonPlant whose agents dial their
+// domain's controller. Everything is single-threaded and pumped
+// deterministically; with K = 1 the run is bit-identical to the
+// monolithic in-process experiment (same claim PR 2 proved for the
+// single-controller daemon).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "daemon/controller.hpp"
+#include "daemon/experiment.hpp"
+#include "hier/arbiter_daemon.hpp"
+#include "hier/hier_policy.hpp"
+
+namespace perq::hier {
+
+/// In-process K-domain run. Exactly core::run_experiment plus
+/// SimulationEngine::set_domain_grants each tick, so the engine asserts
+/// grant conservation and per-domain budget compliance on every interval.
+core::RunResult run_hier_experiment(const core::EngineConfig& cfg,
+                                    HierarchicalPerqPolicy& policy);
+
+struct HierDaemonResult {
+  core::RunResult run;
+  /// Grants after the final arbiter decision, indexed by domain.
+  std::vector<double> final_grants_w;
+  /// Robustness counters aggregated across every domain controller by the
+  /// arbiter (the cross-process accounting satellite).
+  core::RobustnessCounters aggregated_counters;
+  std::uint64_t arbiter_decisions = 0;
+};
+
+/// Runs the full K+1-daemon deployment over loopback transports: K domain
+/// controllers (job id mod K), one arbiter, `agents_per_domain` node
+/// agents per domain controller. `policies` must hold exactly K
+/// PerqPolicy instances (one per domain controller), built against the
+/// same node model.
+HierDaemonResult run_hier_loopback_daemon_experiment(
+    const core::EngineConfig& cfg, std::size_t domains,
+    std::vector<std::unique_ptr<core::PerqPolicy>>& policies,
+    daemon::ControllerConfig ccfg = {}, ArbiterDaemonConfig acfg = {},
+    std::size_t agents_per_domain = 1);
+
+}  // namespace perq::hier

@@ -14,6 +14,7 @@
 //          remaining runtime, the strongest throughput-oriented baseline.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,13 +24,26 @@
 namespace perq::policy {
 
 /// Inputs available to a policy at one decision instant.
+///
+/// With hierarchical budget domains, a context describes whatever budget
+/// scope the caller carved out: for a domain-local solve, `running` holds
+/// only the domain's jobs and `budget_for_busy_w` is the domain's granted
+/// watts rather than the cluster budget. The `fair_cap_w` override then
+/// re-bases the fairness floor on the granted share; the defaults keep the
+/// original single-budget semantics bit-for-bit.
 struct PolicyContext {
   const std::vector<sched::Job*>* running = nullptr;  ///< active jobs
   double budget_total_w = 0.0;     ///< full system power budget (N_WP * TDP)
-  double budget_for_busy_w = 0.0;  ///< system budget minus the idle-node floor
+  double budget_for_busy_w = 0.0;  ///< watts this scope may spend on busy nodes
   double total_nodes = 0.0;        ///< N_OP (for FOP's equal split)
   double dt_s = 10.0;              ///< control interval length
   double now_s = 0.0;              ///< simulation time
+  /// Equal-share fairness baseline override in watts per node. 0 keeps the
+  /// policy's static cluster-wide fair cap (TDP * N_WP / N_OP); a positive
+  /// value re-bases job fairness targets on this cap instead (hier mode).
+  double fair_cap_w = 0.0;
+  std::uint32_t domain_id = 0;     ///< which budget domain this scope is
+  std::uint32_t domain_count = 1;  ///< total domains (1 = monolithic)
 };
 
 class PowerPolicy {

@@ -54,6 +54,34 @@ void write_body(WireWriter& w, const Heartbeat& m) {
 
 void write_body(WireWriter& w, const Bye& m) { w.u32(m.agent_id); }
 
+void write_body(WireWriter& w, const DomainReport& m) {
+  w.u32(m.domain_id);
+  w.u32(m.domain_count);
+  w.u64(m.tick);
+  w.u32(m.jobs);
+  w.f64(m.busy_nodes);
+  w.f64(m.floor_w);
+  w.f64(m.capacity_w);
+  w.f64(m.committed_w);
+  w.f64(m.utility_per_w);
+  w.f64(m.achieved_ips);
+  w.f64(m.target_ips);
+  w.f64(m.cluster_budget_w);
+  w.u64(m.frames_dropped);
+  w.u64(m.frames_corrupt);
+  w.u64(m.reconnect_attempts);
+  w.u64(m.stale_transitions);
+  w.u64(m.solver_fallbacks);
+  w.u64(m.clamp_activations);
+}
+
+void write_body(WireWriter& w, const BudgetGrant& m) {
+  w.u32(m.domain_id);
+  w.u64(m.tick);
+  w.f64(m.grant_w);
+  w.f64(m.cluster_budget_w);
+}
+
 Hello read_hello(WireReader& r) {
   Hello m;
   m.agent_id = r.u32();
@@ -117,6 +145,38 @@ Bye read_bye(WireReader& r) {
   return m;
 }
 
+DomainReport read_domain_report(WireReader& r) {
+  DomainReport m;
+  m.domain_id = r.u32();
+  m.domain_count = r.u32();
+  m.tick = r.u64();
+  m.jobs = r.u32();
+  m.busy_nodes = r.f64();
+  m.floor_w = r.f64();
+  m.capacity_w = r.f64();
+  m.committed_w = r.f64();
+  m.utility_per_w = r.f64();
+  m.achieved_ips = r.f64();
+  m.target_ips = r.f64();
+  m.cluster_budget_w = r.f64();
+  m.frames_dropped = r.u64();
+  m.frames_corrupt = r.u64();
+  m.reconnect_attempts = r.u64();
+  m.stale_transitions = r.u64();
+  m.solver_fallbacks = r.u64();
+  m.clamp_activations = r.u64();
+  return m;
+}
+
+BudgetGrant read_budget_grant(WireReader& r) {
+  BudgetGrant m;
+  m.domain_id = r.u32();
+  m.tick = r.u64();
+  m.grant_w = r.f64();
+  m.cluster_budget_w = r.f64();
+  return m;
+}
+
 }  // namespace
 
 MsgType type_of(const Message& m) {
@@ -126,6 +186,8 @@ MsgType type_of(const Message& m) {
     MsgType operator()(const CapPlan&) const { return MsgType::kCapPlan; }
     MsgType operator()(const Heartbeat&) const { return MsgType::kHeartbeat; }
     MsgType operator()(const Bye&) const { return MsgType::kBye; }
+    MsgType operator()(const DomainReport&) const { return MsgType::kDomainReport; }
+    MsgType operator()(const BudgetGrant&) const { return MsgType::kBudgetGrant; }
   };
   return std::visit(Visitor{}, m);
 }
@@ -137,6 +199,8 @@ std::string to_string(MsgType t) {
     case MsgType::kCapPlan: return "CapPlan";
     case MsgType::kHeartbeat: return "Heartbeat";
     case MsgType::kBye: return "Bye";
+    case MsgType::kDomainReport: return "DomainReport";
+    case MsgType::kBudgetGrant: return "BudgetGrant";
   }
   return "unknown";
 }
@@ -171,6 +235,8 @@ std::optional<Message> parse_frame(const std::uint8_t* data, std::size_t size) {
     }
     case MsgType::kHeartbeat: m = read_heartbeat(r); break;
     case MsgType::kBye: m = read_bye(r); break;
+    case MsgType::kDomainReport: m = read_domain_report(r); break;
+    case MsgType::kBudgetGrant: m = read_budget_grant(r); break;
     default: return std::nullopt;
   }
   // Truncated body (a read overran) or trailing junk both reject.
@@ -198,8 +264,25 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
       return;
     }
     if (avail < 4 + static_cast<std::size_t>(len)) break;  // frame incomplete
-    auto msg = parse_frame(buf_.data() + consumed_ + 4, len);
+    const std::uint8_t* frame = buf_.data() + consumed_ + 4;
+    auto msg = parse_frame(frame, len);
     if (!msg) {
+      // Forward compatibility: a frame whose framing is intact (magic and
+      // version verify, length prefix already validated) but whose type
+      // byte we do not know is a *newer* peer talking, not corruption.
+      // Step over it; the stream stays synchronized because the length
+      // prefix told us exactly where the next frame starts.
+      WireReader hdr(frame, len);
+      const bool framing_ok = hdr.u16() == kMagic && hdr.u8() == kVersion;
+      const std::uint8_t type = hdr.u8();
+      const bool known =
+          type >= static_cast<std::uint8_t>(MsgType::kHello) &&
+          type <= static_cast<std::uint8_t>(MsgType::kBudgetGrant);
+      if (framing_ok && hdr.ok() && !known) {
+        ++unknown_skipped_;
+        consumed_ += 4 + len;
+        continue;
+      }
       poison("malformed frame body");
       return;
     }

@@ -11,14 +11,20 @@
 // that is shorter or longer than its type requires, or an absurd length all
 // reject the frame. On a stream transport a rejected frame poisons the
 // decoder (there is no way to resynchronize a corrupt byte stream), which
-// the transport turns into a connection close.
+// the transport turns into a connection close. One deliberate exception:
+// FrameDecoder treats a *well-framed* message of an unknown type (magic and
+// version check out, the length prefix is sane) as skippable rather than
+// corrupt -- framing is intact, so an old peer can step over frames a newer
+// peer introduced (e.g. the domain frames below) and keep the connection.
 //
 // Message roles (one control interval = one exchange):
-//   Hello      agent -> controller   introduce agent_id + owned node range
-//   Telemetry  agent -> controller   one running job's last-interval state
-//   Heartbeat  agent -> controller   liveness + the plant's budget status
-//   CapPlan    controller -> agents  per-job caps (and IPS targets) to apply
-//   Bye        agent -> controller   graceful leave (no staleness alarm)
+//   Hello        agent -> controller    introduce agent_id + owned node range
+//   Telemetry    agent -> controller    one running job's last-interval state
+//   Heartbeat    agent -> controller    liveness + the plant's budget status
+//   CapPlan      controller -> agents   per-job caps (and IPS targets) to apply
+//   Bye          agent -> controller    graceful leave (no staleness alarm)
+//   DomainReport domain ctl -> arbiter  demand + utility for one budget domain
+//   BudgetGrant  arbiter -> domain ctl  the domain's watt allocation this tick
 #pragma once
 
 #include <cstdint>
@@ -42,6 +48,8 @@ enum class MsgType : std::uint8_t {
   kCapPlan = 3,
   kHeartbeat = 4,
   kBye = 5,
+  kDomainReport = 6,
+  kBudgetGrant = 7,
 };
 
 /// Agent introduction: which slice of the machine room it speaks for.
@@ -103,7 +111,46 @@ struct Bye {
   std::uint32_t agent_id = 0;
 };
 
-using Message = std::variant<Hello, Telemetry, CapPlan, Heartbeat, Bye>;
+/// One budget domain's demand summary, sent by its controller to the
+/// arbiter once per control interval. Everything the water-filling
+/// allocation needs travels in-band: the hard floor and ceiling, the watts
+/// the domain actually committed under its last grant, the marginal value
+/// of one more watt (the QP budget-row dual), and achieved-vs-target
+/// throughput. The robustness counters ride along so the arbiter can
+/// aggregate accounting across domains instead of losing it per-process.
+struct DomainReport {
+  std::uint32_t domain_id = 0;
+  std::uint32_t domain_count = 1;
+  std::uint64_t tick = 0;
+  std::uint32_t jobs = 0;          ///< fresh jobs in this domain's batch
+  double busy_nodes = 0.0;         ///< nodes under the domain's fresh jobs
+  double floor_w = 0.0;            ///< nj * P_min: never grant below this
+  double capacity_w = 0.0;         ///< nj * TDP: watts beyond this are wasted
+  double committed_w = 0.0;        ///< watts the last plan actually committed
+  double utility_per_w = 0.0;      ///< QP budget-row dual (objective per watt)
+  double achieved_ips = 0.0;       ///< measured throughput last interval
+  double target_ips = 0.0;         ///< fairness-target throughput
+  double cluster_budget_w = 0.0;   ///< plant busy budget seen via heartbeat
+  // RobustnessCounters snapshot, flattened so proto stays free of core
+  // includes. Field order mirrors core::RobustnessCounters.
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t frames_corrupt = 0;
+  std::uint64_t reconnect_attempts = 0;
+  std::uint64_t stale_transitions = 0;
+  std::uint64_t solver_fallbacks = 0;
+  std::uint64_t clamp_activations = 0;
+};
+
+/// The arbiter's answer: the watts `domain_id` may spend at `tick`.
+struct BudgetGrant {
+  std::uint32_t domain_id = 0;
+  std::uint64_t tick = 0;
+  double grant_w = 0.0;            ///< budget row for the domain's QP
+  double cluster_budget_w = 0.0;   ///< total the grants were carved from
+};
+
+using Message = std::variant<Hello, Telemetry, CapPlan, Heartbeat, Bye,
+                             DomainReport, BudgetGrant>;
 
 MsgType type_of(const Message& m);
 std::string to_string(MsgType t);
@@ -121,6 +168,9 @@ std::optional<Message> parse_frame(const std::uint8_t* data, std::size_t size);
 class FrameDecoder {
  public:
   /// Appends raw stream bytes and decodes as many whole frames as arrived.
+  /// A frame whose magic, version, and length prefix are valid but whose
+  /// type byte is unknown is skipped (counted in unknown_skipped()), not
+  /// poisoned -- forward compatibility for peers that predate a frame type.
   void feed(const std::uint8_t* data, std::size_t size);
 
   /// Moves out the messages decoded so far.
@@ -128,6 +178,9 @@ class FrameDecoder {
 
   bool corrupt() const { return corrupt_; }
   const std::string& error() const { return error_; }
+
+  /// Well-framed messages of unknown type stepped over so far.
+  std::uint64_t unknown_skipped() const { return unknown_skipped_; }
 
  private:
   void poison(const std::string& why);
@@ -137,6 +190,7 @@ class FrameDecoder {
   std::vector<Message> out_;
   bool corrupt_ = false;
   std::string error_;
+  std::uint64_t unknown_skipped_ = 0;
 };
 
 }  // namespace perq::proto

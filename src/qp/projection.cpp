@@ -40,6 +40,18 @@ void project_budget(linalg::Vector& x, const BudgetConstraint& bc,
   }
   PERQ_REQUIRE(lo_sum <= bc.bound + 1e-12, "budget constraint infeasible against box");
 
+  // Degenerate row: the box floor sits on (or, within the tolerance above,
+  // over) the bound, so the lower corner is the entire feasible set as far
+  // as this row is concerned. The bisection below cannot bracket here --
+  // budget_value converges to lo_sum from above -- so project directly.
+  if (lo_sum >= bc.bound) {
+    for (std::size_t k = 0; k < bc.index.size(); ++k) {
+      const std::size_t i = bc.index[k];
+      x[i] = lb[i];
+    }
+    return;
+  }
+
   linalg::Vector y(bc.index.size());
   for (std::size_t k = 0; k < bc.index.size(); ++k) y[k] = x[bc.index[k]];
 

@@ -1,0 +1,165 @@
+// Domain chaos tests: the K-domain hierarchical deployment under faults.
+// The headline scenario partitions one domain's arbiter uplink mid-run:
+// the arbiter must fence that domain's grant (never re-spending it), the
+// grants-conservation invariant (live + fenced + reserves <= cluster
+// budget) must hold on every tick, and the run must finish.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/node_model.hpp"
+#include "fault/chaos.hpp"
+
+namespace perq::fault {
+namespace {
+
+core::EngineConfig small_cfg() {
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.trace.max_job_nodes = 4;
+  cfg.trace.seed = 5;
+  cfg.worst_case_nodes = 16;
+  cfg.over_provision_factor = 2.0;
+  cfg.duration_s = 1200.0;
+  cfg.control_interval_s = 10.0;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+  return cfg;
+}
+
+std::size_t total_nodes(const core::EngineConfig& cfg) {
+  return static_cast<std::size_t>(cfg.over_provision_factor *
+                                      double(cfg.worst_case_nodes) +
+                                  0.5);
+}
+
+DomainChaosConfig domain_cfg(std::size_t domains, std::uint64_t seed) {
+  DomainChaosConfig cfg;
+  cfg.engine = small_cfg();
+  cfg.domains = domains;
+  cfg.plant.agents = domains;  // one agent per domain controller
+  cfg.plant.plan_timeout_ms = 50;
+  cfg.controller.decide_grace_ms = 5;
+  cfg.fault_seed = seed;
+  return cfg;
+}
+
+std::vector<std::unique_ptr<core::PerqPolicy>> make_policies(
+    const core::EngineConfig& cfg, std::size_t k) {
+  std::vector<std::unique_ptr<core::PerqPolicy>> policies;
+  for (std::size_t d = 0; d < k; ++d) {
+    policies.push_back(std::make_unique<core::PerqPolicy>(
+        &core::canonical_node_model(), cfg.worst_case_nodes,
+        total_nodes(cfg)));
+  }
+  return policies;
+}
+
+void expect_no_violations(const DomainChaosReport& r) {
+  for (const std::string& v : r.violations) ADD_FAILURE() << v;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+TEST(DomainChaos, CleanTwoDomainRunConservesGrantsEveryTick) {
+  DomainChaosConfig cfg = domain_cfg(2, 1);
+  auto policies = make_policies(cfg.engine, 2);
+  const DomainChaosReport r = run_domain_chaos(cfg, policies);
+
+  expect_no_violations(r);
+  EXPECT_GT(r.result.jobs_completed, 0u);
+  EXPECT_GT(r.arbiter_decisions, 0u);
+  EXPECT_EQ(r.final_fenced_w, 0.0);
+  ASSERT_EQ(r.final_grants_w.size(), 2u);
+  // Conservation was asserted inside the harness on every tick; spot-check
+  // the recorded grant history made it into the report too.
+  bool saw_grants = false;
+  for (const TickRecord& t : r.history) {
+    if (!t.grants_w.empty()) saw_grants = true;
+  }
+  EXPECT_TRUE(saw_grants);
+  EXPECT_EQ(r.aggregated_counters.frames_corrupt, 0u);
+}
+
+TEST(DomainChaos, PartitionedDomainIsFencedAndRunSurvives) {
+  DomainChaosConfig cfg = domain_cfg(2, 3);
+  cfg.engine.duration_s = 2400.0;
+  cfg.controller.stale_after_ticks = 2;
+  cfg.arbiter.stale_after_ticks = 2;
+  // Sever domain 1 <-> arbiter for ticks [12, 30); its agents keep running
+  // off the held grant while the arbiter re-fills the other domain only.
+  cfg.domain_partitions.push_back({1, {12, 30}});
+  auto policies = make_policies(cfg.engine, 2);
+  const DomainChaosReport r = run_domain_chaos(cfg, policies);
+
+  expect_no_violations(r);
+  EXPECT_GT(r.faults.partitioned, 0u);
+  EXPECT_GT(r.result.jobs_completed, 0u);
+  EXPECT_GT(r.arbiter_decisions, 0u);
+
+  // During the blackout the arbiter held domain 1 at its last grant: the
+  // recorded grant stays bit-frozen across consecutive in-window decisions.
+  bool saw_frozen = false;
+  const std::vector<double>* prev = nullptr;
+  for (const TickRecord& t : r.history) {
+    if (t.tick < 14 || t.tick >= 28 || t.grants_w.size() != 2) continue;
+    if (prev != nullptr && bits((*prev)[1]) == bits(t.grants_w[1]) &&
+        t.grants_w[1] > 0.0) {
+      saw_frozen = true;
+    }
+    prev = &t.grants_w;
+  }
+  EXPECT_TRUE(saw_frozen);
+  // After the window closes the domain re-reports and is un-fenced.
+  EXPECT_EQ(r.final_fenced_w, 0.0);
+}
+
+TEST(DomainChaos, DropFaultsAcrossDomainsHoldInvariants) {
+  DomainChaosConfig cfg = domain_cfg(3, 7);
+  cfg.default_schedule.window = {10, 25};
+  cfg.default_schedule.tx.drop = 0.2;
+  cfg.default_schedule.rx.drop = 0.2;
+  auto policies = make_policies(cfg.engine, 3);
+  const DomainChaosReport r = run_domain_chaos(cfg, policies);
+
+  expect_no_violations(r);
+  EXPECT_GT(r.faults.dropped, 0u);
+  EXPECT_GT(r.result.jobs_completed, 0u);
+  ASSERT_EQ(r.controller_counters.size(), 3u);
+}
+
+TEST(DomainChaos, ReportIsAPureFunctionOfTheSeed) {
+  const auto run = [](std::uint64_t seed) {
+    DomainChaosConfig cfg = domain_cfg(2, seed);
+    cfg.controller.stale_after_ticks = 2;
+    cfg.arbiter.stale_after_ticks = 2;
+    cfg.domain_partitions.push_back({0, {15, 25}});
+    auto policies = make_policies(cfg.engine, 2);
+    return run_domain_chaos(cfg, policies);
+  };
+  const DomainChaosReport a = run(21);
+  const DomainChaosReport b = run(21);
+
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.held_ticks, b.held_ticks);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+  EXPECT_EQ(a.result.jobs_completed, b.result.jobs_completed);
+  EXPECT_EQ(bits(a.result.mean_power_draw_w), bits(b.result.mean_power_draw_w));
+  EXPECT_EQ(a.arbiter_decisions, b.arbiter_decisions);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_EQ(bits(a.history[i].committed_w), bits(b.history[i].committed_w))
+        << "tick " << i;
+    ASSERT_EQ(a.history[i].grants_w.size(), b.history[i].grants_w.size());
+    for (std::size_t d = 0; d < a.history[i].grants_w.size(); ++d) {
+      EXPECT_EQ(bits(a.history[i].grants_w[d]), bits(b.history[i].grants_w[d]))
+          << "tick " << i << " domain " << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace perq::fault

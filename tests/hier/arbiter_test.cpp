@@ -1,0 +1,198 @@
+// BudgetArbiter / water_fill property tests: conservation, floors, the
+// K=1 exactness guarantee, determinism under randomized demands, and the
+// held-grant fencing for silent domains.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "hier/arbiter.hpp"
+#include "util/rng.hpp"
+
+namespace perq::hier {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+double sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+/// Randomized but reproducible demand set: node counts, utilities (some
+/// zero: slack budget rows), floors/capacities derived the way the policy
+/// derives them (busy * cap_min, busy * tdp).
+std::vector<DomainDemand> random_demands(Rng& rng, std::size_t n) {
+  std::vector<DomainDemand> demands(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    DomainDemand& dem = demands[d];
+    dem.domain_id = static_cast<std::uint32_t>(d);
+    dem.busy_nodes = static_cast<double>(rng.uniform_int(1, 64));
+    dem.jobs = static_cast<std::size_t>(rng.uniform_int(1, 8));
+    dem.floor_w = dem.busy_nodes * 70.0;
+    dem.capacity_w = dem.busy_nodes * 215.0;
+    dem.utility_per_w = rng.bernoulli(0.5) ? rng.uniform(0.0, 3.0) : 0.0;
+    dem.committed_w = rng.uniform(dem.floor_w, dem.capacity_w);
+    dem.achieved_ips = rng.uniform(0.0, 1e12);
+    dem.target_ips = rng.uniform(0.0, 1e12);
+  }
+  return demands;
+}
+
+TEST(WaterFill, SingleDomainGetsBudgetExactly) {
+  // Bit-for-bit, not approximately: this is the K=1 identity contract.
+  for (const double budget : {0.0, 1.0, 12345.678, 1e7, 0.1 + 0.2}) {
+    DomainDemand d;
+    d.busy_nodes = 10.0;
+    d.floor_w = 700.0;
+    d.capacity_w = 2150.0;
+    const auto grants = water_fill(budget, {d});
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(bits(grants[0]), bits(budget));
+  }
+}
+
+TEST(WaterFill, ConservationAndFloorsUnderRandomDemands) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 9));
+    const auto demands = random_demands(rng, n);
+    double floor_sum = 0.0, capacity_sum = 0.0;
+    for (const auto& d : demands) {
+      floor_sum += d.floor_w;
+      capacity_sum += d.capacity_w;
+    }
+    const double budget = rng.uniform(0.0, capacity_sum * 1.3);
+
+    const auto grants = water_fill(budget, demands);
+    ASSERT_EQ(grants.size(), n);
+
+    // Conservation: never hand out more than the budget.
+    EXPECT_LE(sum(grants), budget * (1.0 + 1e-9) + 1e-6) << "trial " << trial;
+
+    for (std::size_t d = 0; d < n; ++d) {
+      EXPECT_GE(grants[d], 0.0);
+      // Capacity: watts beyond nj * TDP are unactuatable and never granted.
+      EXPECT_LE(grants[d], demands[d].capacity_w * (1.0 + 1e-9) + 1e-6);
+      // Floors hold whenever they are jointly feasible.
+      if (floor_sum <= budget) {
+        EXPECT_GE(grants[d], demands[d].floor_w * (1.0 - 1e-9) - 1e-6)
+            << "trial " << trial << " domain " << d;
+      }
+    }
+
+    // Work conservation: if demand can absorb the budget, it is spent.
+    if (floor_sum <= budget && budget <= capacity_sum) {
+      EXPECT_NEAR(sum(grants), budget, 1e-6 * std::max(1.0, budget))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(WaterFill, DeterministicAcrossCalls) {
+  Rng rng(7);
+  const auto demands = random_demands(rng, 6);
+  const auto a = water_fill(54321.0, demands);
+  const auto b = water_fill(54321.0, demands);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(bits(a[i]), bits(b[i]));
+}
+
+TEST(WaterFill, ConstrainedDomainOutranksSlackDomain) {
+  // Two identical domains except domain 0's budget row is binding
+  // (positive dual): the head-room above the floors must flow to it first.
+  DomainDemand starving, content;
+  starving.domain_id = 0;
+  starving.busy_nodes = content.busy_nodes = 10.0;
+  starving.floor_w = content.floor_w = 700.0;
+  starving.capacity_w = content.capacity_w = 2150.0;
+  starving.utility_per_w = 1.5;
+  content.domain_id = 1;
+  content.utility_per_w = 0.0;
+
+  const double budget = 2400.0;  // floors take 1400, 1000 left to place
+  const auto grants = water_fill(budget, {starving, content});
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_NEAR(grants[0], 1700.0, 1e-9);  // floor + entire head-room
+  EXPECT_NEAR(grants[1], 700.0, 1e-9);   // floor only
+}
+
+TEST(WaterFill, InfeasibleFloorsScaleProportionally) {
+  DomainDemand a, b;
+  a.domain_id = 0;
+  a.busy_nodes = 10.0;
+  a.floor_w = 700.0;
+  a.capacity_w = 2150.0;
+  b = a;
+  b.domain_id = 1;
+  b.floor_w = 1400.0;
+  b.busy_nodes = 20.0;
+  b.capacity_w = 4300.0;
+
+  const double budget = 1050.0;  // floors need 2100: only half fits
+  const auto grants = water_fill(budget, {a, b});
+  EXPECT_NEAR(grants[0], 350.0, 1e-9);
+  EXPECT_NEAR(grants[1], 700.0, 1e-9);
+  EXPECT_NEAR(sum(grants), budget, 1e-9);
+}
+
+TEST(BudgetArbiter, FencesSilentDomainAtHeldGrant) {
+  BudgetArbiter arbiter(3);
+  Rng rng(11);
+  auto demands = random_demands(rng, 3);
+
+  const double budget = 20000.0;
+  arbiter.allocate(budget, demands);
+  const double held = arbiter.grants_w()[1];
+  EXPECT_GT(held, 0.0);
+  EXPECT_EQ(arbiter.fenced_w(), 0.0);
+
+  // Domain 1 goes silent: its grant freezes and the others share the rest.
+  std::vector<DomainDemand> live = {demands[0], demands[2]};
+  const auto& grants = arbiter.allocate(budget, live);
+  EXPECT_TRUE(arbiter.fenced(1));
+  EXPECT_FALSE(arbiter.fenced(0));
+  EXPECT_EQ(bits(grants[1]), bits(held));
+  EXPECT_EQ(bits(arbiter.fenced_w()), bits(held));
+  EXPECT_LE(grants[0] + grants[2], budget - held + 1e-6);
+
+  // It reports again: re-included, nothing fenced.
+  arbiter.allocate(budget, demands);
+  EXPECT_FALSE(arbiter.fenced(1));
+  EXPECT_EQ(arbiter.fenced_w(), 0.0);
+  EXPECT_EQ(arbiter.decisions(), 3u);
+}
+
+TEST(BudgetArbiter, NeverGrantedSilentDomainIsNotFenced) {
+  BudgetArbiter arbiter(2);
+  DomainDemand d;
+  d.domain_id = 0;
+  d.busy_nodes = 4.0;
+  d.floor_w = 280.0;
+  d.capacity_w = 860.0;
+  arbiter.allocate(1000.0, {d});
+  EXPECT_FALSE(arbiter.fenced(1));  // domain 1 never reported, never granted
+  EXPECT_EQ(arbiter.fenced_w(), 0.0);
+  EXPECT_EQ(arbiter.grants_w()[1], 0.0);
+}
+
+TEST(BudgetArbiter, ConservationHoldsAcrossFencingChurn) {
+  BudgetArbiter arbiter(4);
+  Rng rng(99);
+  const double budget = 30000.0;
+  for (int round = 0; round < 200; ++round) {
+    auto demands = random_demands(rng, 4);
+    // Random subset reports this round.
+    std::vector<DomainDemand> live;
+    for (auto& d : demands) {
+      if (rng.bernoulli(0.7)) live.push_back(d);
+    }
+    if (live.empty()) continue;
+    const auto& grants = arbiter.allocate(budget, live);
+    EXPECT_LE(sum(grants), budget * (1.0 + 1e-9) + 1e-6) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace perq::hier

@@ -1,0 +1,208 @@
+// Hierarchical daemon tests: the K=1 arbiter-attached deployment is
+// bit-identical to both the in-process engine and the monolithic daemon,
+// K>1 deployments conserve grants and aggregate counters at the arbiter,
+// and the controller<->arbiter wire exchange survives restarts (snapshot
+// v3 carries the grant state).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <variant>
+
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "daemon/experiment.hpp"
+#include "daemon/snapshot.hpp"
+#include "hier/experiment.hpp"
+#include "net/loopback.hpp"
+
+namespace perq::hier {
+namespace {
+
+core::EngineConfig small_cfg() {
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.trace.max_job_nodes = 4;
+  cfg.trace.seed = 5;
+  cfg.worst_case_nodes = 16;
+  cfg.over_provision_factor = 2.0;
+  cfg.duration_s = 1200.0;
+  cfg.control_interval_s = 10.0;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+  cfg.traced_jobs = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  return cfg;
+}
+
+std::size_t total_nodes(const core::EngineConfig& cfg) {
+  return static_cast<std::size_t>(cfg.over_provision_factor *
+                                      double(cfg.worst_case_nodes) +
+                                  0.5);
+}
+
+std::vector<std::unique_ptr<core::PerqPolicy>> make_policies(
+    const core::EngineConfig& cfg, std::size_t k) {
+  std::vector<std::unique_ptr<core::PerqPolicy>> policies;
+  for (std::size_t d = 0; d < k; ++d) {
+    policies.push_back(std::make_unique<core::PerqPolicy>(
+        &core::canonical_node_model(), cfg.worst_case_nodes,
+        total_nodes(cfg)));
+  }
+  return policies;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_bit_identical(const core::RunResult& a, const core::RunResult& b) {
+  ASSERT_EQ(a.finished.size(), b.finished.size());
+  for (std::size_t i = 0; i < a.finished.size(); ++i) {
+    EXPECT_EQ(a.finished[i].id, b.finished[i].id) << "job order at " << i;
+    EXPECT_EQ(bits(a.finished[i].start_s), bits(b.finished[i].start_s));
+    EXPECT_EQ(bits(a.finished[i].finish_s), bits(b.finished[i].finish_s));
+  }
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (std::size_t i = 0; i < a.traces.size(); ++i) {
+    EXPECT_EQ(a.traces[i].job_id, b.traces[i].job_id) << "trace row " << i;
+    EXPECT_EQ(bits(a.traces[i].cap_w), bits(b.traces[i].cap_w))
+        << "cap diverged at t=" << a.traces[i].t_s << " job "
+        << a.traces[i].job_id;
+    EXPECT_EQ(bits(a.traces[i].job_ips), bits(b.traces[i].job_ips));
+  }
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(bits(a.peak_committed_w), bits(b.peak_committed_w));
+  EXPECT_EQ(bits(a.mean_power_draw_w), bits(b.mean_power_draw_w));
+}
+
+TEST(HierDaemon, SingleDomainLoopbackMatchesInProcessBitForBit) {
+  const auto cfg = small_cfg();
+
+  core::PerqPolicy in_process(&core::canonical_node_model(),
+                              cfg.worst_case_nodes, total_nodes(cfg));
+  const auto direct = core::run_experiment(cfg, in_process);
+
+  auto policies = make_policies(cfg, 1);
+  const auto hier = run_hier_loopback_daemon_experiment(cfg, 1, policies);
+
+  ASSERT_GT(direct.jobs_completed, 0u);
+  expect_bit_identical(direct, hier.run);
+  EXPECT_EQ(hier.run.policy_name, "PERQ");
+  EXPECT_GT(hier.arbiter_decisions, 0u);
+  ASSERT_EQ(hier.final_grants_w.size(), 1u);
+}
+
+TEST(HierDaemon, SingleDomainLoopbackMatchesMonolithicDaemonBitForBit) {
+  const auto cfg = small_cfg();
+
+  core::PerqPolicy mono(&core::canonical_node_model(), cfg.worst_case_nodes,
+                        total_nodes(cfg));
+  const auto via_daemon = daemon::run_loopback_daemon_experiment(cfg, mono, 1);
+
+  auto policies = make_policies(cfg, 1);
+  const auto hier = run_hier_loopback_daemon_experiment(cfg, 1, policies);
+  expect_bit_identical(via_daemon, hier.run);
+}
+
+TEST(HierDaemon, TwoDomainDeploymentConservesGrantsAndAggregatesCounters) {
+  const auto cfg = small_cfg();
+  auto policies = make_policies(cfg, 2);
+  const auto hier = run_hier_loopback_daemon_experiment(cfg, 2, policies);
+
+  EXPECT_GT(hier.run.jobs_completed, 0u);
+  EXPECT_EQ(hier.run.policy_name, "PERQ-HIER2");
+  EXPECT_GT(hier.arbiter_decisions, 0u);
+
+  ASSERT_EQ(hier.final_grants_w.size(), 2u);
+  const double granted = std::accumulate(hier.final_grants_w.begin(),
+                                         hier.final_grants_w.end(), 0.0);
+  EXPECT_GE(granted, 0.0);
+  // A clean loopback run fires no defenses anywhere; the aggregate across
+  // both domains must agree.
+  EXPECT_EQ(hier.aggregated_counters.frames_corrupt, 0u);
+  EXPECT_EQ(hier.aggregated_counters.stale_transitions, 0u);
+}
+
+TEST(HierDaemon, ArbiterAggregatesReportedCountersAcrossDomains) {
+  net::LoopbackTransport transport;
+  ArbiterDaemon arbiter(transport.listen("arb"), 2);
+  auto c0 = transport.connect("arb");
+  auto c1 = transport.connect("arb");
+
+  proto::DomainReport r0;
+  r0.domain_id = 0;
+  r0.domain_count = 2;
+  r0.tick = 1;
+  r0.busy_nodes = 4.0;
+  r0.floor_w = 280.0;
+  r0.capacity_w = 860.0;
+  r0.cluster_budget_w = 1500.0;
+  r0.frames_corrupt = 3;
+  r0.solver_fallbacks = 1;
+  proto::DomainReport r1 = r0;
+  r1.domain_id = 1;
+  r1.frames_corrupt = 2;
+  r1.clamp_activations = 5;
+  c0->send(r0);
+  c1->send(r1);
+
+  EXPECT_TRUE(arbiter.service());
+  const core::RobustnessCounters agg = arbiter.aggregated_counters();
+  EXPECT_EQ(agg.frames_corrupt, 5u);
+  EXPECT_EQ(agg.solver_fallbacks, 2u);
+  EXPECT_EQ(agg.clamp_activations, 5u);
+
+  // Both live domains got a grant for the reported tick, within budget.
+  const auto& grants = arbiter.grants_w();
+  ASSERT_EQ(grants.size(), 2u);
+  EXPECT_LE(grants[0] + grants[1], 1500.0 + 1e-6);
+  EXPECT_GE(grants[0], 280.0 - 1e-6);  // floor respected
+  bool got0 = false, got1 = false;
+  for (const auto& m : c0->receive()) {
+    if (const auto* g = std::get_if<proto::BudgetGrant>(&m)) {
+      got0 = true;
+      EXPECT_EQ(g->domain_id, 0u);
+      EXPECT_EQ(g->tick, 1u);
+    }
+  }
+  for (const auto& m : c1->receive()) {
+    if (std::get_if<proto::BudgetGrant>(&m) != nullptr) got1 = true;
+  }
+  EXPECT_TRUE(got0);
+  EXPECT_TRUE(got1);
+
+  // A non-report frame on the arbiter link is screened and accounted.
+  c0->send(proto::Hello{});
+  arbiter.pump();
+  EXPECT_EQ(arbiter.aggregated_counters().frames_corrupt, 6u);
+}
+
+TEST(HierDaemon, FourDomainsTwoAgentsEachRunsToCompletion) {
+  const auto cfg = small_cfg();
+  auto policies = make_policies(cfg, 4);
+  const auto hier = run_hier_loopback_daemon_experiment(
+      cfg, 4, policies, {}, {}, /*agents_per_domain=*/2);
+  EXPECT_GT(hier.run.jobs_completed, 0u);
+  EXPECT_GT(hier.arbiter_decisions, 0u);
+  ASSERT_EQ(hier.final_grants_w.size(), 4u);
+}
+
+TEST(HierDaemon, SnapshotV3RoundTripsGrantState) {
+  daemon::ControllerState s;
+  s.current_tick = 41;
+  s.last_decided_tick = 40;
+  s.any_tick_seen = 1;
+  s.any_decision = 1;
+  s.any_grant = 1;
+  s.granted_w = 4321.5;
+  s.grant_tick = 41;
+  const auto bytes = daemon::encode_snapshot(s);
+  const auto back = daemon::decode_snapshot(bytes.data(), bytes.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->any_grant, 1);
+  EXPECT_EQ(bits(back->granted_w), bits(4321.5));
+  EXPECT_EQ(back->grant_tick, 41u);
+}
+
+}  // namespace
+}  // namespace perq::hier

@@ -140,10 +140,78 @@ TEST(Message, ByeRoundTrip) {
   EXPECT_EQ(std::get<Bye>(*m).agent_id, 9u);
 }
 
+DomainReport sample_report() {
+  DomainReport r;
+  r.domain_id = 2;
+  r.domain_count = 4;
+  r.tick = 31;
+  r.jobs = 6;
+  r.busy_nodes = 12.0;
+  r.floor_w = 840.0;
+  r.capacity_w = 2580.0;
+  r.committed_w = 1901.5;
+  r.utility_per_w = 0.0078125;
+  r.achieved_ips = 2.5e10;
+  r.target_ips = 2.75e10;
+  r.cluster_budget_w = 9280.0;
+  r.frames_corrupt = 11;
+  r.stale_transitions = 2;
+  r.solver_fallbacks = 1;
+  return r;
+}
+
+TEST(Message, DomainReportRoundTripIsBitExact) {
+  const DomainReport in = sample_report();
+  const auto m = round_trip(in);
+  ASSERT_TRUE(m.has_value());
+  const auto& r = std::get<DomainReport>(*m);
+  EXPECT_EQ(r.domain_id, in.domain_id);
+  EXPECT_EQ(r.domain_count, in.domain_count);
+  EXPECT_EQ(r.tick, in.tick);
+  EXPECT_EQ(r.jobs, in.jobs);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.busy_nodes),
+            std::bit_cast<std::uint64_t>(in.busy_nodes));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.floor_w),
+            std::bit_cast<std::uint64_t>(in.floor_w));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.capacity_w),
+            std::bit_cast<std::uint64_t>(in.capacity_w));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.committed_w),
+            std::bit_cast<std::uint64_t>(in.committed_w));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.utility_per_w),
+            std::bit_cast<std::uint64_t>(in.utility_per_w));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(r.cluster_budget_w),
+            std::bit_cast<std::uint64_t>(in.cluster_budget_w));
+  EXPECT_EQ(r.frames_corrupt, 11u);
+  EXPECT_EQ(r.stale_transitions, 2u);
+  EXPECT_EQ(r.solver_fallbacks, 1u);
+  EXPECT_EQ(r.clamp_activations, 0u);
+}
+
+TEST(Message, BudgetGrantRoundTripIsBitExact) {
+  BudgetGrant g;
+  g.domain_id = 3;
+  g.tick = 77;
+  g.grant_w = 2321.0625;
+  g.cluster_budget_w = 9280.0;
+  const auto m = round_trip(g);
+  ASSERT_TRUE(m.has_value());
+  const auto& out = std::get<BudgetGrant>(*m);
+  EXPECT_EQ(out.domain_id, 3u);
+  EXPECT_EQ(out.tick, 77u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out.grant_w),
+            std::bit_cast<std::uint64_t>(g.grant_w));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(out.cluster_budget_w),
+            std::bit_cast<std::uint64_t>(g.cluster_budget_w));
+}
+
 TEST(Message, TypeOfAndNames) {
   EXPECT_EQ(type_of(Message(sample_hello())), MsgType::kHello);
   EXPECT_EQ(type_of(Message(sample_plan())), MsgType::kCapPlan);
+  EXPECT_EQ(type_of(Message(sample_report())), MsgType::kDomainReport);
+  EXPECT_EQ(type_of(Message(BudgetGrant{})), MsgType::kBudgetGrant);
   EXPECT_EQ(to_string(MsgType::kHeartbeat), "Heartbeat");
+  EXPECT_EQ(to_string(MsgType::kDomainReport), "DomainReport");
+  EXPECT_EQ(to_string(MsgType::kBudgetGrant), "BudgetGrant");
 }
 
 // ---- malformed-input rejection ---------------------------------------------
@@ -177,7 +245,8 @@ TEST(MessageReject, UnknownType) {
 TEST(MessageReject, EveryTruncationOfEveryType) {
   const Message msgs[] = {Message(sample_hello()), Message(sample_telemetry()),
                           Message(sample_plan()), Message(sample_heartbeat()),
-                          Message(Bye{4})};
+                          Message(Bye{4}), Message(sample_report()),
+                          Message(BudgetGrant{1, 2, 3.0, 4.0})};
   for (const Message& m : msgs) {
     const auto body = body_of(m);
     for (std::size_t n = 0; n < body.size(); ++n) {
@@ -190,7 +259,8 @@ TEST(MessageReject, EveryTruncationOfEveryType) {
 TEST(MessageReject, TrailingJunk) {
   for (const Message& m :
        {Message(sample_hello()), Message(sample_telemetry()),
-        Message(sample_heartbeat()), Message(Bye{4})}) {
+        Message(sample_heartbeat()), Message(Bye{4}),
+        Message(sample_report()), Message(BudgetGrant{})}) {
     auto body = body_of(m);
     body.push_back(0x00);
     EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
@@ -281,6 +351,48 @@ TEST(FrameDecoder, PoisonsOnCorruptBody) {
   EXPECT_TRUE(dec.take().empty());
   EXPECT_TRUE(dec.corrupt());
   EXPECT_FALSE(dec.error().empty());
+}
+
+TEST(FrameDecoder, SkipsWellFramedUnknownTypesWithoutPoisoning) {
+  // A frame from a future protocol revision: valid length prefix, magic,
+  // and version, but a type byte this build has never heard of. The stream
+  // decoder must step over it -- forward compatibility -- while the strict
+  // single-frame parser still rejects it.
+  auto future = encode(Message(sample_heartbeat()));
+  future[4 + 3] = 200;  // type byte lives after the length prefix + magic
+  EXPECT_FALSE(parse_frame(future.data() + 4, future.size() - 4).has_value());
+
+  std::vector<std::uint8_t> stream;
+  const auto first = encode(Message(sample_hello()));
+  const auto last = encode(Message(Bye{3}));
+  stream.insert(stream.end(), first.begin(), first.end());
+  stream.insert(stream.end(), future.begin(), future.end());
+  stream.insert(stream.end(), last.begin(), last.end());
+
+  FrameDecoder dec;
+  dec.feed(stream.data(), stream.size());
+  const auto got = dec.take();
+  ASSERT_EQ(got.size(), 2u);  // the unknown frame is dropped, not delivered
+  EXPECT_EQ(type_of(got[0]), MsgType::kHello);
+  EXPECT_EQ(type_of(got[1]), MsgType::kBye);
+  EXPECT_FALSE(dec.corrupt());
+  EXPECT_EQ(dec.unknown_skipped(), 1u);
+
+  // Byte-at-a-time delivery takes the same path.
+  FrameDecoder trickle;
+  for (std::uint8_t b : stream) trickle.feed(&b, 1);
+  EXPECT_EQ(trickle.take().size(), 2u);
+  EXPECT_FALSE(trickle.corrupt());
+  EXPECT_EQ(trickle.unknown_skipped(), 1u);
+
+  // An unknown type with a *broken* body length still poisons: skipping is
+  // only safe when the framing itself is sound.
+  FrameDecoder strict;
+  auto bad = future;
+  bad[4] ^= 0xFF;  // break the magic on the unknown-type frame
+  strict.feed(bad.data(), bad.size());
+  EXPECT_TRUE(strict.corrupt());
+  EXPECT_EQ(strict.unknown_skipped(), 0u);
 }
 
 TEST(FrameDecoder, RandomizedChunkedStream) {
