@@ -1,0 +1,369 @@
+// perqd data-plane throughput: baseline poll-per-call loop vs the epoll
+// reactor + serialize-once broadcast + pooled frame I/O.
+//
+// Both modes run the same lockstep exchange over loopback TCP -- na agents
+// each send Telemetry + Heartbeat, the controller drains everything and
+// broadcasts one CapPlan with na entries, every agent reads its copy:
+//
+//   * baseline   rebuilds the descriptor vector for every wait_readable()
+//                call, drains with receive() (a fresh vector per call), and
+//                re-encodes the CapPlan once per connection via send().
+//                This is the pre-reactor data plane, byte-for-byte.
+//   * optimized  registers descriptors once with the epoll Reactor, drains
+//                into a reused scratch vector via receive_into(), and
+//                encodes the CapPlan once into a pooled SharedFrame fanned
+//                out with send_frame().
+//
+// ticks/sec is measured over the controller phase only: from the start of
+// the inbound drain to the last broadcast byte accepted by the kernel. The
+// na simulated agents are load generators sharing the bench process; their
+// own encode/decode cost runs outside the timed window because in a real
+// deployment it runs on na other machines. The full lockstep-loop rate
+// (controller + load generators serialized) is reported alongside as
+// loop_ticks_per_s for transparency. Also reported: controller CPU per tick
+// (CLOCK_THREAD_CPUTIME_ID over the same window) and process-wide heap
+// allocations + allocated bytes per tick (global operator new hook). The
+// baseline broadcast encodes O(na^2) bytes per tick, the optimized path
+// O(na) -- that is where the gap grows with na.
+//
+// Output: a stdout table plus BENCH_daemon_throughput.json in the working
+// directory. Usage: bench_daemon_throughput [na...] (default 16 64 256 1024).
+#include <sys/resource.h>
+#include <time.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "net/frame_pool.hpp"
+#include "net/reactor.hpp"
+#include "net/tcp.hpp"
+#include "net/tcp_connection.hpp"
+#include "net/transport.hpp"
+#include "proto/message.hpp"
+#include "util/require.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_alloc_bytes{0};
+
+}  // namespace
+
+// Process-wide allocation accounting: every operator new funnels through
+// here so the per-tick numbers cover proto, net, and harness code alike.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (!p) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t& t) noexcept {
+  return ::operator new(size, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace perq::bench {
+namespace {
+
+double thread_cpu_ms() {
+  struct timespec ts{};
+  ::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
+}
+
+struct ModeResult {
+  double ticks_per_s = 0.0;       ///< controller-phase rate (see header)
+  double loop_ticks_per_s = 0.0;  ///< full lockstep loop incl. load generators
+  double ctrl_cpu_ms_per_tick = 0.0;
+  double allocs_per_tick = 0.0;
+  double alloc_bytes_per_tick = 0.0;
+};
+
+/// One lockstep controller + na in-process agents over loopback TCP.
+class Harness {
+ public:
+  Harness(std::size_t na, bool optimized) : na_(na), optimized_(optimized) {
+    auto listener = transport_.listen("127.0.0.1:0");
+    const std::string address =
+        "127.0.0.1:" + std::to_string(net::listener_port(*listener));
+    for (std::size_t i = 0; i < na_; ++i) {
+      auto c = transport_.connect_timeout(address, 5000);
+      PERQ_REQUIRE(c != nullptr, "agent connect failed");
+      agents_.push_back(std::move(c));
+      // Interleave accepts so the backlog never has to hold the whole fleet.
+      if ((i & 63u) == 63u) accept_pending(*listener);
+    }
+    while (ctrl_.size() < na_) accept_pending(*listener);
+    listener->close();
+    if (optimized_) {
+      for (const auto& c : ctrl_) ctrl_reactor_.add(c->fd());
+      for (const auto& c : agents_) agent_reactor_.add(c->fd());
+    }
+  }
+
+  void tick(std::uint64_t t) {
+    // Load-generation phase: every agent reports in.
+    proto::Telemetry tel;
+    proto::Heartbeat hb;
+    for (std::size_t i = 0; i < na_; ++i) {
+      tel.agent_id = static_cast<std::uint32_t>(i);
+      tel.tick = t;
+      tel.job_id = static_cast<std::int32_t>(i);
+      tel.cap_w = 200.0;
+      tel.ips = 1e9 + static_cast<double>(t);
+      tel.power_w = 180.0;
+      hb.agent_id = static_cast<std::uint32_t>(i);
+      hb.tick = t;
+      hb.budget_total_w = 1e5;
+      agents_[i]->send(proto::Message{tel});
+      agents_[i]->send(proto::Message{hb});
+    }
+
+    // Controller phase (the timed window): drain 2*na messages, broadcast,
+    // flush until the kernel has accepted every broadcast byte. The plan
+    // (~26 B/agent) fits loopback socket buffers, so the flush loop
+    // completes without the load generators draining concurrently.
+    const auto wall0 = std::chrono::steady_clock::now();
+    const double cpu0 = thread_cpu_ms();
+    std::size_t got = 0;
+    while (got < 2 * na_) {
+      wait_ctrl();
+      if (optimized_) {
+        inbox_.clear();
+        for (const auto& c : ctrl_) c->receive_into(inbox_);
+        got += inbox_.size();
+      } else {
+        for (const auto& c : ctrl_) got += c->receive().size();
+      }
+    }
+    plan_.tick = t;
+    plan_.entries.resize(na_);
+    for (std::size_t i = 0; i < na_; ++i) {
+      plan_.entries[i].job_id = static_cast<std::int32_t>(i);
+      plan_.entries[i].cap_w = 150.0 + static_cast<double>(t % 7);
+      plan_.entries[i].target_ips = 2e9;
+    }
+    if (optimized_) {
+      auto buf = pool_.acquire();
+      proto::encode_into(proto::Message{plan_}, *buf);
+      const net::SharedFrame frame = net::FramePool::freeze(buf);
+      for (const auto& c : ctrl_) c->send_frame(frame);
+    } else {
+      const proto::Message pm{plan_};
+      for (const auto& c : ctrl_) c->send(pm);
+    }
+    std::size_t pending;
+    do {
+      pending = 0;
+      for (const auto& c : ctrl_) {
+        c->flush();
+        pending += static_cast<net::TcpConnection*>(c.get())->pending_bytes();
+      }
+    } while (pending > 0);
+    ctrl_cpu_ms_ += thread_cpu_ms() - cpu0;
+    ctrl_wall_ms_ +=
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  wall0)
+            .count();
+
+    // Load-generation phase: every agent reads its plan copy.
+    std::size_t plans = 0;
+    while (plans < na_) {
+      wait_agents();
+      if (optimized_) {
+        inbox_.clear();
+        for (const auto& c : agents_) c->receive_into(inbox_);
+        plans += inbox_.size();
+      } else {
+        for (const auto& c : agents_) plans += c->receive().size();
+      }
+    }
+  }
+
+  double take_ctrl_cpu_ms() {
+    const double v = ctrl_cpu_ms_;
+    ctrl_cpu_ms_ = 0.0;
+    return v;
+  }
+
+  double take_ctrl_wall_ms() {
+    const double v = ctrl_wall_ms_;
+    ctrl_wall_ms_ = 0.0;
+    return v;
+  }
+
+ private:
+  void accept_pending(net::Listener& listener) {
+    for (auto& c : listener.accept_new()) ctrl_.push_back(std::move(c));
+  }
+
+  void wait_ctrl() {
+    if (optimized_) {
+      ctrl_reactor_.wait(50);
+      return;
+    }
+    fds_.clear();
+    for (const auto& c : ctrl_) fds_.push_back(c->fd());
+    net::wait_readable(fds_, 50);
+  }
+
+  void wait_agents() {
+    if (optimized_) {
+      agent_reactor_.wait(50);
+      return;
+    }
+    fds_.clear();
+    for (const auto& c : agents_) fds_.push_back(c->fd());
+    net::wait_readable(fds_, 50);
+  }
+
+  std::size_t na_;
+  bool optimized_;
+  net::TcpTransport transport_;
+  std::vector<std::unique_ptr<net::Connection>> ctrl_;
+  std::vector<std::unique_ptr<net::Connection>> agents_;
+  net::Reactor ctrl_reactor_{net::Reactor::Backend::kEpoll};
+  net::Reactor agent_reactor_{net::Reactor::Backend::kEpoll};
+  net::FramePool pool_;
+  std::vector<proto::Message> inbox_;
+  std::vector<int> fds_;
+  proto::CapPlan plan_;
+  double ctrl_cpu_ms_ = 0.0;
+  double ctrl_wall_ms_ = 0.0;
+};
+
+ModeResult run_mode(std::size_t na, bool optimized) {
+  Harness h(na, optimized);
+  // Warm-up past decoder compaction thresholds and buffer/pool growth so
+  // the measured window is steady state.
+  const std::size_t warm = 12;
+  const std::size_t measured = na >= 256 ? 30 : 4096 / na;
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < warm; ++i) h.tick(t++);
+  h.take_ctrl_cpu_ms();
+  h.take_ctrl_wall_ms();
+  const std::uint64_t a0 = g_allocs.load();
+  const std::uint64_t b0 = g_alloc_bytes.load();
+  const auto w0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < measured; ++i) h.tick(t++);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+          .count();
+  ModeResult r;
+  const double ticks = static_cast<double>(measured);
+  r.ticks_per_s = ticks / (h.take_ctrl_wall_ms() * 1e-3);
+  r.loop_ticks_per_s = ticks / wall_s;
+  r.ctrl_cpu_ms_per_tick = h.take_ctrl_cpu_ms() / ticks;
+  r.allocs_per_tick = static_cast<double>(g_allocs.load() - a0) / ticks;
+  r.alloc_bytes_per_tick =
+      static_cast<double>(g_alloc_bytes.load() - b0) / ticks;
+  return r;
+}
+
+struct Row {
+  std::size_t na = 0;
+  ModeResult baseline;
+  ModeResult optimized;
+};
+
+void raise_fd_limit(rlim_t want) {
+  struct rlimit rl{};
+  PERQ_REQUIRE(::getrlimit(RLIMIT_NOFILE, &rl) == 0, "getrlimit failed");
+  if (rl.rlim_cur >= want) return;
+  rl.rlim_cur = rl.rlim_max == RLIM_INFINITY ? want
+                                             : std::min(want, rl.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &rl);
+}
+
+}  // namespace
+}  // namespace perq::bench
+
+int main(int argc, char** argv) {
+  using namespace perq::bench;
+  banner("Daemon data-plane throughput",
+         "poll-per-call + per-connection re-encode vs epoll reactor + "
+         "serialize-once broadcast");
+
+  std::vector<std::size_t> sweep;
+  for (int i = 1; i < argc; ++i) {
+    sweep.push_back(static_cast<std::size_t>(std::atol(argv[i])));
+    PERQ_REQUIRE(sweep.back() > 0, "agent counts must be positive");
+  }
+  if (sweep.empty()) sweep = {16, 64, 256, 1024};
+
+  std::size_t max_na = 0;
+  for (std::size_t na : sweep) max_na = std::max(max_na, na);
+  // 2 descriptors per agent (controller side + agent side) plus slack.
+  raise_fd_limit(static_cast<rlim_t>(2 * max_na + 64));
+
+  std::vector<Row> rows;
+  std::printf(
+      "    na     mode   ctrl-ticks/s   loop-ticks/s   ctrl-cpu(ms)"
+      "   allocs/tick   alloc-KB/tick\n");
+  for (std::size_t na : sweep) {
+    Row row;
+    row.na = na;
+    row.baseline = run_mode(na, /*optimized=*/false);
+    row.optimized = run_mode(na, /*optimized=*/true);
+    for (const auto* m : {&row.baseline, &row.optimized}) {
+      std::printf("  %4zu %8s  %12.1f   %12.1f   %12.4f   %11.1f   %13.1f\n",
+                  na, m == &row.baseline ? "poll" : "epoll", m->ticks_per_s,
+                  m->loop_ticks_per_s, m->ctrl_cpu_ms_per_tick,
+                  m->allocs_per_tick, m->alloc_bytes_per_tick / 1024.0);
+    }
+    std::printf("  %4zu  speedup  %11.2fx\n", na,
+                row.optimized.ticks_per_s / row.baseline.ticks_per_s);
+    rows.push_back(row);
+  }
+
+  FILE* json = std::fopen("BENCH_daemon_throughput.json", "w");
+  PERQ_REQUIRE(json != nullptr, "cannot open BENCH_daemon_throughput.json");
+  std::fprintf(json, "{\n  \"bench\": \"daemon_throughput\",\n  \"rows\": [\n");
+  double last_speedup = 0.0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    const double speedup = r.optimized.ticks_per_s / r.baseline.ticks_per_s;
+    last_speedup = speedup;
+    std::fprintf(
+        json,
+        "    {\"agents\": %zu,\n"
+        "     \"baseline\": {\"ticks_per_s\": %.3f, \"loop_ticks_per_s\": %.3f,"
+        " \"ctrl_cpu_ms_per_tick\": %.5f,"
+        " \"allocs_per_tick\": %.1f, \"alloc_bytes_per_tick\": %.1f},\n"
+        "     \"optimized\": {\"ticks_per_s\": %.3f, \"loop_ticks_per_s\": %.3f,"
+        " \"ctrl_cpu_ms_per_tick\": %.5f,"
+        " \"allocs_per_tick\": %.1f, \"alloc_bytes_per_tick\": %.1f},\n"
+        "     \"speedup\": %.3f}%s\n",
+        r.na, r.baseline.ticks_per_s, r.baseline.loop_ticks_per_s,
+        r.baseline.ctrl_cpu_ms_per_tick, r.baseline.allocs_per_tick,
+        r.baseline.alloc_bytes_per_tick, r.optimized.ticks_per_s,
+        r.optimized.loop_ticks_per_s, r.optimized.ctrl_cpu_ms_per_tick,
+        r.optimized.allocs_per_tick, r.optimized.alloc_bytes_per_tick, speedup,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"speedup_max_na\": %.3f\n}\n", last_speedup);
+  std::fclose(json);
+  std::printf("\nJSON written to BENCH_daemon_throughput.json\n");
+  return 0;
+}

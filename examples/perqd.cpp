@@ -132,7 +132,7 @@ int main(int argc, char** argv) {
                 listen.c_str());
     bool saw_domain = false;
     for (;;) {
-      net::wait_readable(arbiter.fds(), 50);
+      arbiter.wait(50);
       if (arbiter.service()) {
         std::printf("grant round: tick %-6llu  budget %.0f W  fenced %.0f W  "
                     "reserved %.0f W\n",
@@ -189,7 +189,7 @@ int main(int argc, char** argv) {
               wc_nodes, f);
   bool saw_agent = false;
   for (;;) {
-    net::wait_readable(controller.fds(), 50);
+    controller.wait(50);
     if (controller.service()) {
       const auto& s = controller.last_stats();
       std::printf(

@@ -6,7 +6,16 @@
 # event-loop code in src/net + src/daemon is always exercised under the
 # sanitizers. Leg 3 is UBSan alone (PERQ_UBSAN=ON, non-recoverable): no
 # ASan interceptors, so RelWithDebInfo optimization stays on and UB that
-# only optimized code hits still aborts the suite.
+# only optimized code hits still aborts the suite. Leg 4 is TSan
+# (PERQ_TSAN=ON) over the threaded subset: the epoll/poll reactor and
+# frame I/O (Reactor/Tcp/Daemon tests run a controller thread against the
+# main thread) plus the ThreadPool paths (MpcController::decide fans out
+# per-job work via parallel_for).
+#
+# A perf-smoke leg then runs bench_daemon_throughput at na=16 on the plain
+# build and validates the shape of BENCH_daemon_throughput.json, so a
+# regression that breaks the bench binary or its schema fails the gate
+# before anyone burns a full sweep on it.
 #
 #   scripts/tier1.sh                        # all legs
 #   PERQ_SKIP_SANITIZE=1 scripts/tier1.sh   # plain leg only (quick iteration)
@@ -18,6 +27,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
 UBSAN_BUILD_DIR=${UBSAN_BUILD_DIR:-build-ubsan}
+TSAN_BUILD_DIR=${TSAN_BUILD_DIR:-build-tsan}
 
 cmake -B "$BUILD_DIR" -S . -DPERQ_SANITIZE=OFF
 cmake --build "$BUILD_DIR" -j
@@ -31,6 +41,29 @@ for scenario in drop delay corrupt crash partition mix domain-partition; do
   "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 1912
 done
 
+# Perf smoke: the data-plane bench must run and emit a well-formed JSON
+# report (schema check only -- thresholds would flake on shared CI hosts).
+(
+  cd "$BUILD_DIR"
+  ./bench/bench_daemon_throughput 16
+  python3 - <<'EOF'
+import json
+with open("BENCH_daemon_throughput.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "daemon_throughput", doc
+assert isinstance(doc["rows"], list) and doc["rows"], "rows missing/empty"
+for row in doc["rows"]:
+    assert row["agents"] > 0
+    for mode in ("baseline", "optimized"):
+        for key in ("ticks_per_s", "loop_ticks_per_s", "ctrl_cpu_ms_per_tick",
+                    "allocs_per_tick", "alloc_bytes_per_tick"):
+            assert row[mode][key] >= 0.0, (mode, key, row)
+    assert row["speedup"] > 0.0
+assert doc["speedup_max_na"] > 0.0
+print("BENCH_daemon_throughput.json schema OK")
+EOF
+)
+
 if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$ASAN_BUILD_DIR" -S . -DPERQ_SANITIZE=ON
   cmake --build "$ASAN_BUILD_DIR" -j
@@ -39,4 +72,10 @@ if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$UBSAN_BUILD_DIR" -S . -DPERQ_UBSAN=ON
   cmake --build "$UBSAN_BUILD_DIR" -j
   ctest --test-dir "$UBSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+  # TSan leg: the threaded subset (reactor + frame I/O + ThreadPool users).
+  cmake -B "$TSAN_BUILD_DIR" -S . -DPERQ_TSAN=ON
+  cmake --build "$TSAN_BUILD_DIR" -j
+  ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
+    -R 'Reactor|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc' "$@"
 fi

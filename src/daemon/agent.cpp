@@ -84,7 +84,9 @@ void NodeAgent::publish(const core::TickView& view) {
 std::optional<proto::CapPlan> NodeAgent::poll_plan() {
   if (hung_ || !connected()) return std::nullopt;
   std::optional<proto::CapPlan> newest;
-  for (proto::Message& m : conn_->receive()) {
+  inbox_.clear();
+  conn_->receive_into(inbox_);  // reused scratch: no per-poll allocation
+  for (proto::Message& m : inbox_) {
     if (auto* plan = std::get_if<proto::CapPlan>(&m)) {
       if (!newest || plan->tick >= newest->tick) newest = std::move(*plan);
     }

@@ -84,6 +84,7 @@ class NodeAgent {
   /// Running jobs as of the last publish, engine order (plan application
   /// needs their node lists).
   std::vector<const sched::Job*> last_running_;
+  std::vector<proto::Message> inbox_;  ///< reused poll_plan drain scratch
 };
 
 }  // namespace perq::daemon

@@ -19,9 +19,13 @@ constexpr std::uint64_t kMaxTickJump = 1024;
 
 PerqController::PerqController(std::unique_ptr<net::Listener> listener,
                                core::PerqPolicy& policy, ControllerConfig cfg)
-    : listener_(std::move(listener)), policy_(policy), cfg_(std::move(cfg)) {
+    : listener_(std::move(listener)),
+      policy_(policy),
+      cfg_(std::move(cfg)),
+      reactor_(cfg_.reactor_backend) {
   PERQ_REQUIRE(listener_ != nullptr, "controller needs a listener");
   PERQ_REQUIRE(cfg_.stale_after_ticks >= 1, "stale_after_ticks must be >= 1");
+  reactor_.add(listener_->fd());  // no-op for loopback (fd -1)
 }
 
 PerqController::~PerqController() = default;
@@ -35,6 +39,8 @@ void PerqController::attach_arbiter(std::unique_ptr<net::Connection> conn,
   arbiter_conn_ = std::move(conn);
   domain_id_ = domain_id;
   domain_count_ = domain_count;
+  arbiter_reg_fd_ = arbiter_conn_->fd();
+  reactor_.add(arbiter_reg_fd_);
 }
 
 double PerqController::budget_scope_w() const {
@@ -51,7 +57,9 @@ double PerqController::budget_scope_w() const {
 
 void PerqController::pump_arbiter() {
   if (arbiter_conn_ == nullptr || !arbiter_conn_->open()) return;
-  for (const proto::Message& m : arbiter_conn_->receive()) {
+  arbiter_inbox_.clear();
+  arbiter_conn_->receive_into(arbiter_inbox_);
+  for (const proto::Message& m : arbiter_inbox_) {
     const auto* g = std::get_if<proto::BudgetGrant>(&m);
     if (g == nullptr) {
       // Only grants flow controller-ward on this link.
@@ -79,8 +87,10 @@ void PerqController::pump_arbiter() {
       grant_tick_ = g->tick;
     }
   }
-  if (!arbiter_conn_->open() && arbiter_conn_->corrupt()) {
-    ++counters_.frames_corrupt;
+  if (!arbiter_conn_->open()) {
+    if (arbiter_conn_->corrupt()) ++counters_.frames_corrupt;
+    reactor_.remove(arbiter_reg_fd_);
+    arbiter_reg_fd_ = -1;
   }
 }
 
@@ -139,19 +149,60 @@ void PerqController::pump() {
   for (auto& conn : listener_->accept_new()) {
     Session s;
     s.conn = std::move(conn);
+    s.reg_fd = s.conn->fd();
+    reactor_.add(s.reg_fd);
     sessions_.push_back(std::move(s));
   }
+  // Drain first, ingest second: epoll readiness order is nondeterministic,
+  // so arrival order must never shape the decision state. Every open
+  // session's bytes land in its inbox (reused, so steady state is
+  // allocation-free), then ingestion runs in canonical order below.
   for (auto& session : sessions_) {
     if (!session.conn->open()) continue;
-    for (const proto::Message& m : session.conn->receive()) {
+    session.conn->receive_into(session.inbox);
+  }
+  // Hellos first, in accept order: they only bind agent ids (and supersede
+  // dead sessions keyed by that id), and must land before the id-ordered
+  // pass so a just-connected agent sorts under its real id.
+  for (auto& session : sessions_) {
+    for (const proto::Message& m : session.inbox) {
+      if (std::holds_alternative<proto::Hello>(m) && session.conn->open()) {
+        ingest(session, m);
+      }
+    }
+  }
+  // Everything else in ascending agent-id order -- the canonical
+  // (tick, node-id) processing order. Frames within one session stay FIFO
+  // (per-connection ordering), which fixes the tick order per agent;
+  // unbound sessions (no Hello yet) go last, in accept order.
+  ingest_order_.clear();
+  for (std::size_t i = 0; i < sessions_.size(); ++i) ingest_order_.push_back(i);
+  std::stable_sort(ingest_order_.begin(), ingest_order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     const Session& sa = sessions_[a];
+                     const Session& sb = sessions_[b];
+                     if (sa.helloed != sb.helloed) return sa.helloed;
+                     return sa.helloed && sa.agent_id < sb.agent_id;
+                   });
+  for (const std::size_t idx : ingest_order_) {
+    Session& session = sessions_[idx];
+    for (const proto::Message& m : session.inbox) {
+      if (std::holds_alternative<proto::Hello>(m)) continue;  // done above
+      if (!session.conn->open()) break;  // closed mid-inbox (protocol violation)
       ingest(session, m);
     }
+    session.inbox.clear();  // capacity survives for the next pump
   }
   // Reap closed sessions (includes those superseded by a rejoin Hello). A
   // connection killed by its FrameDecoder died to a corrupt byte stream,
-  // not an orderly close -- account it before it disappears.
+  // not an orderly close -- account it before it disappears. The reactor
+  // must forget the fd before the next wait(): the poll backend would spin
+  // on POLLNVAL, and a recycled fd number would alias a new connection.
   for (const Session& s : sessions_) {
-    if (!s.conn->open() && s.conn->corrupt()) ++counters_.frames_corrupt;
+    if (!s.conn->open()) {
+      if (s.conn->corrupt()) ++counters_.frames_corrupt;
+      reactor_.remove(s.reg_fd);
+    }
   }
   std::erase_if(sessions_, [](const Session& s) { return !s.conn->open(); });
   pump_arbiter();
@@ -402,8 +453,18 @@ const proto::CapPlan& PerqController::decide() {
 
   clamp_plan();
 
-  for (Session& s : sessions_) {
-    if (s.conn->open() && !s.said_bye) s.conn->send(plan_);
+  // Serialize-once broadcast: the plan is encoded exactly once into a
+  // pooled buffer; every connection queues a reference to the same bytes
+  // (TCP writev's them out with partial-write resume, loopback decodes the
+  // bit-exact frame back into a message). The pool slot recycles once the
+  // last connection finishes sending, so steady state never allocates.
+  {
+    auto buf = frame_pool_.acquire();
+    proto::encode_into(plan_, *buf);
+    const net::SharedFrame frame = net::FramePool::freeze(buf);
+    for (Session& s : sessions_) {
+      if (s.conn->open() && !s.said_bye) s.conn->send_frame(frame);
+    }
   }
 
   stats_.tick = tick;

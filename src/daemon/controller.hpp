@@ -45,6 +45,8 @@
 
 #include "core/perq_policy.hpp"
 #include "core/robustness.hpp"
+#include "net/frame_pool.hpp"
+#include "net/reactor.hpp"
 #include "net/transport.hpp"
 #include "sched/job.hpp"
 #include "trace/trace.hpp"
@@ -62,6 +64,9 @@ struct ControllerConfig {
   /// (0 disables periodic snapshots). Empty path disables entirely.
   std::string snapshot_path;
   std::uint64_t snapshot_every_ticks = 0;
+  /// Readiness backend for wait(): epoll on Linux, poll(2) as the portable
+  /// fallback. The two are proven interchangeable by the bit-identity test.
+  net::Reactor::Backend reactor_backend = net::Reactor::default_backend();
 };
 
 /// Saturates a cap plan into the plant's feasible set: every cap is forced
@@ -136,7 +141,20 @@ class PerqController {
 
   /// Drains the network: accepts agents, ingests every pending message,
   /// reaps dead connections.
+  ///
+  /// Determinism contract: readiness order (which epoll reports in
+  /// whatever order it likes) never reaches the decision state. Every
+  /// session is drained into its inbox first; Hellos are processed in
+  /// accept order (they only bind agent ids), and everything else is then
+  /// ingested in ascending agent-id order -- the canonical (tick, node-id)
+  /// order, since each agent's frames are FIFO within its connection and
+  /// tick batching is completed before any decision.
   void pump();
+
+  /// Blocks until a registered descriptor (listener, sessions, arbiter
+  /// link) is readable, at most timeout_ms. Returns the ready count (0 on
+  /// timeout). Pure pacing sleep when nothing is registered (loopback).
+  int wait(int timeout_ms) { return reactor_.wait(timeout_ms); }
 
   /// True when a tick newer than the last decision has telemetry pending.
   bool tick_pending() const;
@@ -197,6 +215,10 @@ class PerqController {
     std::uint64_t last_tick = 0;
     bool any_message = false;
     bool counted_stale = false;  ///< stale transition already counted
+    int reg_fd = -1;             ///< fd registered with the reactor
+    /// Per-pump inbox, reused across ticks (capacity kept) so a steady-
+    /// state drain never allocates.
+    std::vector<proto::Message> inbox;
   };
 
   struct Shadow {
@@ -219,7 +241,10 @@ class PerqController {
   std::unique_ptr<net::Listener> listener_;
   core::PerqPolicy& policy_;
   ControllerConfig cfg_;
+  net::Reactor reactor_;
+  net::FramePool frame_pool_;  ///< serialize-once broadcast buffers
   std::vector<Session> sessions_;
+  std::vector<std::size_t> ingest_order_;  ///< scratch: session indices
   std::map<int, Shadow> shadows_;
   proto::Heartbeat hb_{};
   bool have_hb_ = false;
@@ -238,6 +263,8 @@ class PerqController {
 
   // Hierarchical mode state (all inert while arbiter_conn_ is null).
   std::unique_ptr<net::Connection> arbiter_conn_;
+  int arbiter_reg_fd_ = -1;  ///< arbiter link fd registered with the reactor
+  std::vector<proto::Message> arbiter_inbox_;  ///< reused drain scratch
   std::uint32_t domain_id_ = 0;
   std::uint32_t domain_count_ = 1;
   bool any_grant_ = false;

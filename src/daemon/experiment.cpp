@@ -49,7 +49,10 @@ DaemonPlant::DaemonPlant(const core::EngineConfig& cfg,
                          net::Transport& transport,
                          const std::vector<std::string>& addresses,
                          const PlantConfig& pcfg)
-    : engine_(cfg), pcfg_(pcfg), groups_(addresses.size()) {
+    : engine_(cfg),
+      pcfg_(pcfg),
+      groups_(addresses.size()),
+      reactor_(pcfg.reactor_backend) {
   PERQ_REQUIRE(groups_ >= 1, "plant needs at least one controller address");
   PERQ_REQUIRE(pcfg_.agents >= groups_,
                "need at least one agent per controller");
@@ -75,6 +78,18 @@ DaemonPlant::DaemonPlant(const core::EngineConfig& cfg,
     backoff_.emplace_back(pcfg_.reconnect_backoff,
                           pcfg_.backoff_seed + static_cast<std::uint64_t>(i));
     begin += len;
+  }
+  reg_fds_.assign(agents_.size(), -1);
+  sync_reactor();
+}
+
+void DaemonPlant::sync_reactor() {
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const int fd = agents_[i]->fd();
+    if (fd == reg_fds_[i]) continue;
+    reactor_.remove(reg_fds_[i]);  // no-op for -1 / never-registered
+    reactor_.add(fd);              // no-op for -1 (loopback, disconnected)
+    reg_fds_[i] = fd;
   }
 }
 
@@ -103,12 +118,11 @@ bool DaemonPlant::step(const std::function<void()>& service) {
     }
     if (have == groups_) break;
     if (std::chrono::steady_clock::now() >= deadline) break;
-    // Block briefly on the agent sockets (a plain 1 ms tick for loopback,
-    // where fds are -1 and the poll degenerates to a sleep).
-    std::vector<int> fds;
-    fds.reserve(agents_.size());
-    for (const auto& agent : agents_) fds.push_back(agent->fd());
-    net::wait_readable(fds, 1);
+    // Block briefly on the agent sockets through the persistent reactor (a
+    // plain 1 ms tick for loopback, where fds are -1 and never registered,
+    // so the wait degenerates to a sleep).
+    sync_reactor();
+    reactor_.wait(1);
   }
 
   // Merge the per-controller plans (group order; one address reduces this
@@ -248,6 +262,39 @@ core::RunResult run_loopback_daemon_experiment(const core::EngineConfig& cfg,
 
   PlantConfig pcfg;
   pcfg.agents = agents;
+  DaemonPlant plant(cfg, transport, address, pcfg);
+  controller.pump();
+
+  while (!plant.done()) {
+    plant.step([&controller] { controller.service(); });
+  }
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) plant.agent(i).bye();
+  controller.pump();
+  return plant.finish(policy.name());
+}
+
+core::RunResult run_tcp_daemon_experiment(const core::EngineConfig& cfg,
+                                          core::PerqPolicy& policy,
+                                          std::size_t agents,
+                                          const ControllerConfig& ccfg,
+                                          net::Reactor::Backend backend) {
+  net::TcpTransport transport;
+  auto listener = transport.listen("127.0.0.1:0");
+  const std::string address =
+      "127.0.0.1:" + std::to_string(net::listener_port(*listener));
+
+  ControllerConfig controller_cfg = ccfg;
+  controller_cfg.reactor_backend = backend;
+  PerqController controller(std::move(listener), policy, controller_cfg);
+
+  PlantConfig pcfg;
+  pcfg.agents = agents;
+  pcfg.reactor_backend = backend;
+  // Lockstep over the kernel loopback device: frames are never dropped,
+  // only briefly in flight. A generous timeout keeps a slow CI machine
+  // from turning an in-flight plan into a held tick (which would fork the
+  // run from the loopback/in-process reference).
+  pcfg.plan_timeout_ms = 60000;
   DaemonPlant plant(cfg, transport, address, pcfg);
   controller.pump();
 

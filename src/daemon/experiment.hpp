@@ -25,6 +25,7 @@
 #include "core/robustness.hpp"
 #include "daemon/agent.hpp"
 #include "daemon/controller.hpp"
+#include "net/reactor.hpp"
 #include "net/transport.hpp"
 #include "util/backoff.hpp"
 
@@ -33,6 +34,8 @@ namespace perq::daemon {
 struct PlantConfig {
   std::size_t agents = 1;      ///< node-agent count; nodes split evenly
   int plan_timeout_ms = 2000;  ///< wait for a cap plan before holding caps
+  /// Readiness backend for the plan-wait loop (see ControllerConfig).
+  net::Reactor::Backend reactor_backend = net::Reactor::default_backend();
   /// How long the constructor keeps retrying the initial connect before
   /// giving up (covers the plant-before-controller start order). <= 0
   /// preserves the strict behavior: one attempt, fail loudly.
@@ -103,6 +106,11 @@ class DaemonPlant {
   }
 
  private:
+  /// Reconciles the reactor's interest set with the agents' current fds
+  /// (connections die and reconnect between steps). O(agents) integer
+  /// compares when nothing changed.
+  void sync_reactor();
+
   core::SimulationEngine engine_;
   PlantConfig pcfg_;
   std::size_t groups_ = 1;  ///< controller count; agent i dials group i % K
@@ -110,6 +118,8 @@ class DaemonPlant {
   std::vector<Backoff> backoff_;  ///< reconnect pacing, one per agent
   core::RobustnessCounters counters_;
   std::uint64_t ticks_ = 0;  ///< completed step() calls (backoff clock)
+  net::Reactor reactor_;
+  std::vector<int> reg_fds_;  ///< fd registered per agent (-1 = none)
 };
 
 /// Runs a full experiment through controller + agents over the loopback
@@ -119,5 +129,16 @@ core::RunResult run_loopback_daemon_experiment(const core::EngineConfig& cfg,
                                                core::PerqPolicy& policy,
                                                std::size_t agents = 1,
                                                const ControllerConfig& ccfg = {});
+
+/// Same experiment over real loopback-TCP sockets, single-threaded and
+/// lockstep (the controller is serviced from the plant's wait loop).
+/// `backend` selects the readiness backend on both sides. Decisions depend
+/// only on complete tick batches -- never on readiness or arrival order --
+/// so this run is bit-identical to the loopback and in-process runs, which
+/// is exactly what the epoll-vs-poll determinism test asserts.
+core::RunResult run_tcp_daemon_experiment(
+    const core::EngineConfig& cfg, core::PerqPolicy& policy,
+    std::size_t agents = 1, const ControllerConfig& ccfg = {},
+    net::Reactor::Backend backend = net::Reactor::default_backend());
 
 }  // namespace perq::daemon

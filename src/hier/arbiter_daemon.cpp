@@ -17,21 +17,28 @@ ArbiterDaemon::ArbiterDaemon(std::unique_ptr<net::Listener> listener,
                              std::size_t domains, ArbiterDaemonConfig cfg)
     : listener_(std::move(listener)),
       cfg_(cfg),
+      reactor_(cfg.reactor_backend),
       arbiter_(domains),
       slots_(domains) {
   PERQ_REQUIRE(listener_ != nullptr, "arbiter daemon needs a listener");
   PERQ_REQUIRE(cfg_.stale_after_ticks >= 1, "stale_after_ticks must be >= 1");
+  reactor_.add(listener_->fd());
 }
 
 void ArbiterDaemon::pump() {
   for (auto& conn : listener_->accept_new()) {
     Session s;
     s.conn = std::move(conn);
+    s.reg_fd = s.conn->fd();
+    reactor_.add(s.reg_fd);
     sessions_.push_back(std::move(s));
   }
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
-    if (!sessions_[i].conn->open()) continue;
-    for (const proto::Message& m : sessions_[i].conn->receive()) {
+    Session& session = sessions_[i];
+    if (!session.conn->open()) continue;
+    session.inbox.clear();
+    session.conn->receive_into(session.inbox);
+    for (const proto::Message& m : session.inbox) {
       ingest(i, m);
     }
   }
@@ -43,6 +50,7 @@ void ArbiterDaemon::pump() {
   // domain's controller reconnects and reports again).
   for (std::size_t i = sessions_.size(); i-- > 0;) {
     if (sessions_[i].conn->open()) continue;
+    reactor_.remove(sessions_[i].reg_fd);
     for (DomainSlot& slot : slots_) {
       if (slot.session == i) {
         slot.session = SIZE_MAX;
@@ -156,7 +164,13 @@ bool ArbiterDaemon::try_decide() {
     g.tick = t;
     g.grant_w = grants[d.domain_id];
     g.cluster_budget_w = budget_w;
-    sessions_[slot.session].conn->send(g);
+    // Grants differ per domain (no common frame to share), but encoding
+    // into a pooled buffer keeps the steady-state grant round allocation
+    // free: the pool recycles a slot as soon as the connection's outbound
+    // queue releases it.
+    auto buf = frame_pool_.acquire();
+    proto::encode_into(proto::Message{g}, *buf);
+    sessions_[slot.session].conn->send_frame(net::FramePool::freeze(buf));
   }
 
   decided_tick_ = t;

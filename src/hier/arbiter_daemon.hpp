@@ -30,6 +30,8 @@
 
 #include "core/robustness.hpp"
 #include "hier/arbiter.hpp"
+#include "net/frame_pool.hpp"
+#include "net/reactor.hpp"
 #include "net/transport.hpp"
 
 namespace perq::hier {
@@ -38,6 +40,8 @@ struct ArbiterDaemonConfig {
   /// Ticks a domain controller may lag the newest report before the
   /// arbiter stops waiting for it (its grant is then fenced).
   std::uint64_t stale_after_ticks = 3;
+  /// Readiness backend for wait() (see ControllerConfig::reactor_backend).
+  net::Reactor::Backend reactor_backend = net::Reactor::default_backend();
 };
 
 class ArbiterDaemon {
@@ -85,11 +89,19 @@ class ArbiterDaemon {
   /// Pollable descriptors (listener + sessions) for net::wait_readable.
   std::vector<int> fds() const;
 
+  /// Blocks until a registered descriptor is readable, at most timeout_ms.
+  /// Returns the ready count (0 on timeout); pacing sleep when nothing is
+  /// registered (loopback).
+  int wait(int timeout_ms) { return reactor_.wait(timeout_ms); }
+
  private:
   struct Session {
     std::unique_ptr<net::Connection> conn;
     bool bound = false;
     std::uint32_t domain_id = 0;
+    int reg_fd = -1;  ///< fd registered with the reactor
+    /// Per-pump inbox, reused across ticks (capacity kept).
+    std::vector<proto::Message> inbox;
   };
 
   /// Per-domain view assembled from the wire.
@@ -105,6 +117,8 @@ class ArbiterDaemon {
 
   std::unique_ptr<net::Listener> listener_;
   ArbiterDaemonConfig cfg_;
+  net::Reactor reactor_;
+  net::FramePool frame_pool_;  ///< serialize-once grant buffers
   BudgetArbiter arbiter_;
   std::vector<Session> sessions_;
   std::vector<DomainSlot> slots_;

@@ -1,0 +1,51 @@
+// Shared immutable frames + a reuse pool for serialize-once broadcast.
+//
+// The controller encodes each CapPlan exactly once into a SharedFrame and
+// hands the same buffer to every connection; TCP connections queue the
+// shared_ptr (no copy) and writev it out with partial-write resume. The
+// pool recycles buffers: a slot whose use_count() has dropped back to 1
+// (every connection finished sending it) is cleared -- capacity kept --
+// and reused, so a steady-state broadcast tick allocates nothing once the
+// pool has warmed up to the broadcast depth the connections can lag by.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace perq::net {
+
+/// One encoded wire frame (length prefix included), immutable once shared.
+using SharedFrame = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+class FramePool {
+ public:
+  /// Returns a writable buffer to encode into. Reuses the first slot no
+  /// connection holds anymore; grows the pool only when every slot is
+  /// still in flight.
+  std::shared_ptr<std::vector<std::uint8_t>> acquire() {
+    for (auto& slot : slots_) {
+      if (slot.use_count() == 1) {
+        slot->clear();  // capacity survives: steady state never reallocates
+        return slot;
+      }
+    }
+    slots_.push_back(std::make_shared<std::vector<std::uint8_t>>());
+    return slots_.back();
+  }
+
+  /// Freezes a buffer from acquire() into the immutable broadcast view.
+  /// The pool's own reference keeps the slot alive for reuse; aliasing
+  /// instead of converting keeps the control block shared so use_count()
+  /// still sees every outstanding connection reference.
+  static SharedFrame freeze(const std::shared_ptr<std::vector<std::uint8_t>>& buf) {
+    return SharedFrame(buf, buf.get());
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<std::vector<std::uint8_t>>> slots_;
+};
+
+}  // namespace perq::net

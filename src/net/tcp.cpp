@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "net/tcp_connection.hpp"
 #include "util/require.hpp"
 
 namespace perq::net {
@@ -41,90 +42,6 @@ bool parse_address(const std::string& address, sockaddr_in* out) {
   out->sin_port = htons(static_cast<std::uint16_t>(port));
   return ::inet_pton(AF_INET, host.c_str(), &out->sin_addr) == 1;
 }
-
-class TcpConnection final : public Connection {
- public:
-  explicit TcpConnection(int fd) : fd_(fd) {
-    const int one = 1;
-    // Telemetry frames are tiny and latency-sensitive; never Nagle-delay.
-    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  }
-
-  ~TcpConnection() override { close(); }
-
-  bool send(const proto::Message& m) override {
-    if (fd_ < 0) return false;
-    const auto frame = proto::encode(m);
-    sendbuf_.insert(sendbuf_.end(), frame.begin(), frame.end());
-    flush_writes();
-    return fd_ >= 0;
-  }
-
-  std::vector<proto::Message> receive() override {
-    if (fd_ >= 0) {
-      flush_writes();
-      std::uint8_t chunk[16384];
-      for (;;) {
-        const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-        if (n > 0) {
-          decoder_.feed(chunk, static_cast<std::size_t>(n));
-          if (decoder_.corrupt()) {
-            close();  // unrecoverable framing: drop the peer
-            break;
-          }
-          continue;
-        }
-        if (n == 0) {
-          close();  // orderly peer shutdown
-          break;
-        }
-        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        if (errno == EINTR) continue;
-        close();  // hard error
-        break;
-      }
-    }
-    return decoder_.take();
-  }
-
-  bool open() const override { return fd_ >= 0; }
-
-  bool corrupt() const override { return decoder_.corrupt(); }
-
-  void close() override {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-  }
-
-  int fd() const override { return fd_; }
-
- private:
-  void flush_writes() {
-    while (!sendbuf_.empty() && fd_ >= 0) {
-      const ssize_t n = ::send(fd_, sendbuf_.data() + sent_, sendbuf_.size() - sent_,
-                               MSG_NOSIGNAL);
-      if (n > 0) {
-        sent_ += static_cast<std::size_t>(n);
-        if (sent_ == sendbuf_.size()) {
-          sendbuf_.clear();
-          sent_ = 0;
-        }
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-      if (n < 0 && errno == EINTR) continue;
-      close();  // EPIPE/ECONNRESET/...
-      return;
-    }
-  }
-
-  int fd_;
-  std::vector<std::uint8_t> sendbuf_;
-  std::size_t sent_ = 0;  // prefix of sendbuf_ already written
-  proto::FrameDecoder decoder_;
-};
 
 class TcpListener final : public Listener {
  public:
@@ -171,7 +88,10 @@ std::unique_ptr<Listener> TcpTransport::listen(const std::string& address) {
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 64) != 0) {
+      // The controller accepts lazily (only inside pump()), so every agent
+      // of a large plant may be parked in the backlog at once; 64 would
+      // refuse agent 65 of a 1024-agent fleet before the first accept.
+      ::listen(fd, 1024) != 0) {
     const int err = errno;
     ::close(fd);
     PERQ_REQUIRE(false, "cannot listen on " + address + ": " + std::strerror(err));

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "net/frame_pool.hpp"
 #include "proto/message.hpp"
 
 namespace perq::net {
@@ -30,9 +31,33 @@ class Connection {
   /// when the connection is closed.
   virtual bool send(const proto::Message& m) = 0;
 
+  /// Queues an already-encoded frame (serialize-once broadcast): the
+  /// transport shares the buffer instead of re-encoding per connection.
+  /// The default decodes and falls back to send() so in-process transports
+  /// keep their message-level delivery semantics; the frame is a bit-exact
+  /// wire image, so the round trip is lossless (doubles travel as raw
+  /// IEEE-754 bits).
+  virtual bool send_frame(const SharedFrame& f) {
+    if (!f || f->size() < 4) return false;
+    auto m = proto::parse_frame(f->data() + 4, f->size() - 4);
+    return m.has_value() && send(*m);
+  }
+
   /// Drains every message that has arrived since the last call. Progresses
   /// I/O as a side effect (flushes pending writes on socket transports).
   virtual std::vector<proto::Message> receive() = 0;
+
+  /// Like receive(), but appends into a caller-owned vector so hot paths
+  /// can reuse one scratch buffer per tick instead of materializing a
+  /// fresh vector per call. Default adapts receive(); socket transports
+  /// override with a genuinely allocation-free path.
+  virtual void receive_into(std::vector<proto::Message>& out) {
+    for (auto& m : receive()) out.push_back(std::move(m));
+  }
+
+  /// Progresses any pending outbound bytes without reading. No-op for
+  /// transports with synchronous delivery.
+  virtual void flush() {}
 
   /// True until the peer closes, an I/O error occurs, or the inbound stream
   /// turns out to be corrupt.

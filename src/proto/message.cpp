@@ -206,14 +206,20 @@ std::string to_string(MsgType t) {
 }
 
 std::vector<std::uint8_t> encode(const Message& m) {
-  WireWriter w;
+  std::vector<std::uint8_t> out;
+  encode_into(m, out);
+  return out;
+}
+
+void encode_into(const Message& m, std::vector<std::uint8_t>& out) {
+  out.clear();
+  WireWriter w(out);
   w.u32(0);  // length placeholder, patched below
   w.u16(kMagic);
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(type_of(m)));
   std::visit([&w](const auto& msg) { write_body(w, msg); }, m);
   w.patch_u32(0, static_cast<std::uint32_t>(w.size() - 4));
-  return w.take();
 }
 
 std::optional<Message> parse_frame(const std::uint8_t* data, std::size_t size) {
@@ -301,6 +307,11 @@ std::vector<Message> FrameDecoder::take() {
   std::vector<Message> msgs = std::move(out_);
   out_.clear();
   return msgs;
+}
+
+void FrameDecoder::drain(std::vector<Message>& out) {
+  for (Message& m : out_) out.push_back(std::move(m));
+  out_.clear();
 }
 
 }  // namespace perq::proto

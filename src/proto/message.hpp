@@ -158,6 +158,11 @@ std::string to_string(MsgType t);
 /// Serializes a message into one complete frame (length prefix included).
 std::vector<std::uint8_t> encode(const Message& m);
 
+/// Serializes into a caller-owned buffer (cleared first, capacity kept).
+/// Hot paths hold one scratch vector per connection/endpoint so that
+/// steady-state encodes are allocation-free once the buffer has warmed up.
+void encode_into(const Message& m, std::vector<std::uint8_t>& out);
+
 /// Parses the post-length portion of a frame (magic..body). Returns nullopt
 /// on any malformation; never throws, never reads out of bounds.
 std::optional<Message> parse_frame(const std::uint8_t* data, std::size_t size);
@@ -175,6 +180,12 @@ class FrameDecoder {
 
   /// Moves out the messages decoded so far.
   std::vector<Message> take();
+
+  /// Appends the messages decoded so far to `out` and clears the internal
+  /// list *keeping its capacity* -- unlike take(), which moves the vector
+  /// (and its allocation) out. Receive hot paths call this with a
+  /// persistent scratch vector so a steady-state tick never allocates.
+  void drain(std::vector<Message>& out);
 
   bool corrupt() const { return corrupt_; }
   const std::string& error() const { return error_; }

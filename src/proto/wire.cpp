@@ -4,16 +4,16 @@ namespace perq::proto {
 
 void WireWriter::str(const std::string& s) {
   u32(static_cast<std::uint32_t>(s.size()));
-  buf_.insert(buf_.end(), s.begin(), s.end());
+  buf_->insert(buf_->end(), s.begin(), s.end());
 }
 
 void WireWriter::bytes(const std::uint8_t* data, std::size_t n) {
-  buf_.insert(buf_.end(), data, data + n);
+  buf_->insert(buf_->end(), data, data + n);
 }
 
 void WireWriter::patch_u32(std::size_t offset, std::uint32_t v) {
   for (std::size_t i = 0; i < 4; ++i) {
-    buf_[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    (*buf_)[offset + i] = static_cast<std::uint8_t>(v >> (8 * i));
   }
 }
 

@@ -19,9 +19,18 @@
 namespace perq::proto {
 
 /// Appends fixed-width little-endian values to a byte buffer.
+///
+/// By default the writer owns its buffer (and take() moves it out). The
+/// external-buffer constructor retargets every append at a caller-owned
+/// vector instead: hot paths keep one scratch vector alive across frames,
+/// so steady-state encodes reuse its capacity and never touch the heap.
 class WireWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  WireWriter() : buf_(&own_) {}
+  /// Appends into `out` (not cleared: the caller chooses append vs reuse).
+  explicit WireWriter(std::vector<std::uint8_t>& out) : buf_(&out) {}
+
+  void u8(std::uint8_t v) { buf_->push_back(v); }
   void u16(std::uint16_t v) { append_le(v); }
   void u32(std::uint32_t v) { append_le(v); }
   void u64(std::uint64_t v) { append_le(v); }
@@ -30,9 +39,9 @@ class WireWriter {
   void str(const std::string& s);
   void bytes(const std::uint8_t* data, std::size_t n);
 
-  const std::vector<std::uint8_t>& data() const { return buf_; }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-  std::size_t size() const { return buf_.size(); }
+  const std::vector<std::uint8_t>& data() const { return *buf_; }
+  std::vector<std::uint8_t> take() { return std::move(*buf_); }
+  std::size_t size() const { return buf_->size(); }
 
   /// Overwrites 4 bytes at `offset` (for back-patching length prefixes).
   void patch_u32(std::size_t offset, std::uint32_t v);
@@ -41,11 +50,12 @@ class WireWriter {
   template <typename T>
   void append_le(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      buf_->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
     }
   }
 
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* buf_;
 };
 
 /// Reads fixed-width little-endian values from a byte span; sticky failure.

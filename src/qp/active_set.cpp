@@ -605,6 +605,14 @@ QpResult solve(const StructuredQp& p, const linalg::Vector& warm_start,
   if (opts.max_iterations > 0) {
     as_opts.max_iterations = opts.max_iterations;
     pg_opts.max_iterations = opts.max_iterations;
+  } else if (warm_start.size() != p.size()) {
+    // Cold start: the working set has no prior, so the active set discovers
+    // the solution one constraint flip at a time and its default budget of
+    // 50(n+nb)+100 iterations mostly funds thrash before the KKT check
+    // rejects the result anyway. A tight adaptive bound hands off to FISTA
+    // early; warm-started solves keep the full budget since they certify in
+    // a handful of flips.
+    as_opts.max_iterations = 2 * (p.size() + p.budgets.size()) + 25;
   }
   // Up to this size the incrementally-factorized active set is the fastest
   // certified path (the one-off O(nf^3) Cholesky is amortized across all

@@ -144,10 +144,43 @@ QpResult solve_projected_gradient(const QpProblem& p, const linalg::Vector& x0,
 QpResult solve_projected_gradient(const StructuredQp& p, const linalg::Vector& x0,
                                   const PgOptions& opts) {
   p.validate();
-  // Gershgorin is a true upper bound on ||Q||_2 (power iteration can only
-  // under-estimate, which would make the step size unsafe); it is also
-  // O(nnz) versus 50 matrix products.
-  return fista(p, x0, p.gershgorin_bound(), opts);
+  // Heterogeneous per-job estimator slopes enter the tracking residuals
+  // squared, so the Q diagonal spans orders of magnitude across jobs; an
+  // unscaled gradient step moves every coordinate at 1/L_max and the
+  // low-curvature coordinates crawl. Jacobi scaling (z = S x with
+  // s_i = sqrt(Q_ii)) equalizes the spread, cutting the iteration count by
+  // roughly the square root of the removed condition-number factor. The
+  // scaled problem keeps the box + budget shape, so the exact same FISTA
+  // and projection machinery runs on it unchanged.
+  const linalg::Vector d = p.hessian_diagonal();
+  double dmax = 0.0;
+  for (double v : d) dmax = std::max(dmax, v);
+  if (dmax <= 0.0) {
+    // Gershgorin is a true upper bound on ||Q||_2 (power iteration can only
+    // under-estimate, which would make the step size unsafe); it is also
+    // O(nnz) versus 50 matrix products.
+    return fista(p, x0, p.gershgorin_bound(), opts);
+  }
+  linalg::Vector s(d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    s[i] = std::sqrt(std::max(d[i], dmax * 1e-12));
+  }
+  const StructuredQp sp = p.jacobi_scaled(s);
+  linalg::Vector z0;
+  if (x0.size() == p.size()) {
+    z0 = x0;
+    for (std::size_t i = 0; i < z0.size(); ++i) z0[i] *= s[i];
+  }
+  QpResult r = fista(sp, z0, sp.gershgorin_bound(), opts);
+  if (r.status == SolveStatus::kInfeasible) return r;
+  for (std::size_t i = 0; i < r.x.size(); ++i) r.x[i] /= s[i];
+  // The scaling round-trip can leave ulp-level bound violations; re-project
+  // so callers see an exactly feasible point, then restate the objective
+  // and multipliers against the original (unscaled) problem.
+  project_feasible(p, r.x, 1e-12);
+  r.objective = p.objective(r.x);
+  reconstruct_multipliers(p, r);
+  return r;
 }
 
 }  // namespace perq::qp

@@ -157,6 +157,63 @@ double StructuredQp::gershgorin_bound() const {
   return bound;
 }
 
+linalg::Vector StructuredQp::hessian_diagonal() const {
+  linalg::Vector d = diag_;
+  for (const auto& row : rows_) {
+    for (std::size_t k = 0; k < row.idx.size(); ++k) {
+      d[row.idx[k]] += row.w * row.coef[k] * row.coef[k];
+    }
+  }
+  for (const auto& pr : pairs_) {
+    d[pr.a] += pr.w;
+    d[pr.b] += pr.w;
+  }
+  return d;
+}
+
+StructuredQp StructuredQp::jacobi_scaled(const linalg::Vector& s) const {
+  PERQ_REQUIRE(s.size() == n_, "scale size mismatch");
+  StructuredQp out(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    PERQ_REQUIRE(s[i] > 0.0, "scale factors must be positive");
+    out.diag_[i] = diag_[i] / (s[i] * s[i]);
+    out.c_[i] = c_[i] / s[i];
+    out.lb[i] = lb[i] * s[i];
+    out.ub[i] = ub[i] * s[i];
+  }
+  // Terms are copied with their stored (already doubled) weights and the
+  // coefficients rescaled in place, bypassing the builder methods: those
+  // would re-accumulate c_, which is already fully scaled above.
+  out.rows_.reserve(rows_.size() + pairs_.size());
+  for (const auto& row : rows_) {
+    Residual r = row;
+    for (std::size_t k = 0; k < r.idx.size(); ++k) r.coef[k] /= s[r.idx[k]];
+    const auto row_id = static_cast<std::uint32_t>(out.rows_.size());
+    for (std::size_t k = 0; k < r.idx.size(); ++k) {
+      out.var_rows_[r.idx[k]].emplace_back(row_id, static_cast<std::uint32_t>(k));
+    }
+    out.rows_.push_back(std::move(r));
+  }
+  // A pair couples its endpoints with unit coefficients; scaling makes the
+  // coefficients unequal, so each pair becomes a two-entry residual row
+  // (same Q contribution, zero linear term).
+  for (const auto& pr : pairs_) {
+    Residual r;
+    r.idx = {pr.a, pr.b};
+    r.coef = {1.0 / s[pr.a], -1.0 / s[pr.b]};
+    r.w = pr.w;
+    const auto row_id = static_cast<std::uint32_t>(out.rows_.size());
+    out.var_rows_[pr.a].emplace_back(row_id, 0);
+    out.var_rows_[pr.b].emplace_back(row_id, 1);
+    out.rows_.push_back(std::move(r));
+  }
+  out.budgets = budgets;
+  for (auto& bc : out.budgets) {
+    for (std::size_t k = 0; k < bc.index.size(); ++k) bc.weight[k] /= s[bc.index[k]];
+  }
+  return out;
+}
+
 double StructuredQp::q_entry(std::size_t i, std::size_t j) const {
   PERQ_REQUIRE(i < n_ && j < n_, "entry index out of range");
   double v = 0.0;

@@ -48,7 +48,7 @@ TEST(TcpEndToEnd, FourAgentsOneHangsRunCompletes) {
   std::atomic<bool> saw_row_shrink{false};
   std::thread controller_thread([&] {
     while (!stop.load(std::memory_order_relaxed)) {
-      net::wait_readable(controller.fds(), 5);
+      controller.wait(5);
       if (controller.service()) {
         const auto& s = controller.last_stats();
         if (s.held_jobs > 0) saw_held.store(true);

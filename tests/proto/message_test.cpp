@@ -2,10 +2,44 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 
 #include "proto/wire.hpp"
 #include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the zero-steady-state-allocation contract of
+// encode_into() and FrameDecoder. Replacing operator new is per-binary and
+// message_test.cpp is the only translation unit in test_proto.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace perq::proto {
 namespace {
@@ -420,6 +454,69 @@ TEST(FrameDecoder, RandomizedChunkedStream) {
   }
   EXPECT_EQ(got, sent);
   EXPECT_FALSE(dec.corrupt());
+}
+
+TEST(Allocation, EncodeIntoMatchesEncodeByteForByte) {
+  const Message msgs[] = {Message{sample_hello()}, Message{sample_telemetry()},
+                          Message{sample_plan()}, Message{sample_heartbeat()}};
+  std::vector<std::uint8_t> reused;
+  for (const Message& m : msgs) {
+    const auto fresh = encode(m);
+    encode_into(m, reused);
+    EXPECT_EQ(reused, fresh);
+  }
+}
+
+TEST(Allocation, EncodeIntoReusedBufferDoesNotAllocate) {
+  const Message telemetry = sample_telemetry();
+  const Message plan = sample_plan();
+  std::vector<std::uint8_t> buf;
+  encode_into(plan, buf);  // warm-up: grow to the largest frame's capacity
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) {
+    encode_into(telemetry, buf);
+    encode_into(plan, buf);
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "encode_into allocated " << (after - before)
+      << " times on a warm buffer";
+}
+
+TEST(Allocation, DecoderSteadyStateDrainDoesNotAllocate) {
+  // The steady-state uplink: fixed-size frames (telemetry + heartbeat) fed
+  // through one persistent decoder, drained into one reused inbox. After
+  // warm-up the whole feed/parse/drain cycle must be allocation-free;
+  // CapPlan is excluded because materializing its entries vector allocates
+  // by design (the zero-alloc contract covers framing, not dynamic bodies).
+  std::vector<std::uint8_t> frame_t;
+  std::vector<std::uint8_t> frame_hb;
+  encode_into(Message{sample_telemetry()}, frame_t);
+  encode_into(Message{sample_heartbeat()}, frame_hb);
+
+  FrameDecoder dec;
+  std::vector<Message> inbox;
+  auto tick = [&] {
+    dec.feed(frame_t.data(), frame_t.size());
+    dec.feed(frame_hb.data(), frame_hb.size());
+    inbox.clear();
+    dec.drain(inbox);
+  };
+  // Warm-up must cross the decoder's 4096-byte compaction threshold at
+  // least once so the backing buffer reaches its steady-state capacity.
+  for (int i = 0; i < 64; ++i) tick();
+  ASSERT_EQ(inbox.size(), 2u);
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) tick();
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "decoder steady state allocated " << (after - before) << " times";
+  EXPECT_FALSE(dec.corrupt());
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<Telemetry>(inbox[0]));
+  EXPECT_TRUE(std::holds_alternative<Heartbeat>(inbox[1]));
 }
 
 }  // namespace
