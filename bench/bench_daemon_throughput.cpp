@@ -1,9 +1,10 @@
 // perqd data-plane throughput: baseline poll-per-call loop vs the epoll
-// reactor + serialize-once broadcast + pooled frame I/O.
+// reactor + serialize-once broadcast + pooled frame I/O, vs the sharded
+// data plane (reactor shards on a worker pool + delta-encoded CapPlans).
 //
-// Both modes run the same lockstep exchange over loopback TCP -- na agents
-// each send Telemetry + Heartbeat, the controller drains everything and
-// broadcasts one CapPlan with na entries, every agent reads its copy:
+// All modes run the same lockstep exchange -- na agents each send
+// Telemetry + Heartbeat, the controller drains everything and broadcasts a
+// cap plan, every agent reads its copy:
 //
 //   * baseline   rebuilds the descriptor vector for every wait_readable()
 //                call, drains with receive() (a fresh vector per call), and
@@ -11,8 +12,19 @@
 //                This is the pre-reactor data plane, byte-for-byte.
 //   * optimized  registers descriptors once with the epoll Reactor, drains
 //                into a reused scratch vector via receive_into(), and
-//                encodes the CapPlan once into a pooled SharedFrame fanned
-//                out with send_frame().
+//                encodes the full CapPlan once into a pooled SharedFrame
+//                fanned out with send_frame(). This is the PR-5 data plane.
+//   * sharded    partitions the na connections round robin across S reactor
+//                shards, drains them in S pool-worker tasks (one epoll set,
+//                one frame pool, one scratch inbox per shard), and
+//                broadcasts delta-encoded CapPlans: each tick only ~1/16 of
+//                the caps move, so most broadcasts are a CapPlanDelta a
+//                fraction of the full plan's size (a full plan goes out
+//                every 8th tick as the resync anchor, mirroring perqd's
+//                full_plan_every_ticks). Agent 0 patches every delta onto
+//                its copy of the previous plan and the harness asserts the
+//                chain applies cleanly, so the measured stream is a valid
+//                delta protocol run, not just bytes.
 //
 // ticks/sec is measured over the controller phase only: from the start of
 // the inbound drain to the last broadcast byte accepted by the kernel. The
@@ -21,13 +33,23 @@
 // deployment it runs on na other machines. The full lockstep-loop rate
 // (controller + load generators serialized) is reported alongside as
 // loop_ticks_per_s for transparency. Also reported: controller CPU per tick
-// (CLOCK_THREAD_CPUTIME_ID over the same window) and process-wide heap
-// allocations + allocated bytes per tick (global operator new hook). The
-// baseline broadcast encodes O(na^2) bytes per tick, the optimized path
-// O(na) -- that is where the gap grows with na.
+// (CLOCK_THREAD_CPUTIME_ID; for sharded rows, measured inside each shard
+// task and reported per shard), process-wide heap allocations + allocated
+// bytes per tick (global operator new hook), and the delta hit rate (share
+// of broadcasts that went out as deltas).
 //
-// Output: a stdout table plus BENCH_daemon_throughput.json in the working
-// directory. Usage: bench_daemon_throughput [na...] (default 16 64 256 1024).
+// Transport: rows run over loopback TCP while 2*na + slack descriptors fit
+// the RLIMIT_NOFILE hard cap; beyond that (na = 16384 needs ~33k fds, more
+// than this container's unraisable 20k cap) the sharded rows fall back to
+// the in-process loopback transport -- the identical sharded drain and
+// delta path minus the kernel socket hop -- and are tagged
+// "transport": "loopback" in the JSON so TCP and loopback numbers are
+// never compared as equals.
+//
+// Output: a stdout table plus a JSON report (default
+// <repo-root>/BENCH_daemon_throughput.json; override with --output PATH).
+// Usage: bench_daemon_throughput [--shards S1,S2,...] [--output PATH] [na...]
+// (defaults: na 16 64 256 1024, shards 1 2).
 #include <sys/resource.h>
 #include <time.h>
 
@@ -36,6 +58,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <future>
 #include <memory>
 #include <new>
 #include <string>
@@ -43,12 +68,15 @@
 
 #include "common.hpp"
 #include "net/frame_pool.hpp"
+#include "net/loopback.hpp"
 #include "net/reactor.hpp"
 #include "net/tcp.hpp"
 #include "net/tcp_connection.hpp"
 #include "net/transport.hpp"
+#include "proto/delta.hpp"
 #include "proto/message.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -281,19 +309,350 @@ ModeResult run_mode(std::size_t na, bool optimized) {
   return r;
 }
 
-struct Row {
-  std::size_t na = 0;
-  ModeResult baseline;
-  ModeResult optimized;
+struct ShardedResult {
+  std::size_t shards = 0;
+  bool tcp = true;
+  double ticks_per_s = 0.0;
+  double loop_ticks_per_s = 0.0;
+  double ctrl_cpu_ms_per_tick = 0.0;            ///< summed over shards
+  std::vector<double> shard_cpu_ms_per_tick;    ///< one entry per shard
+  double delta_hit_rate = 0.0;  ///< deltas / broadcasts in the window
+  double allocs_per_tick = 0.0;
+  double alloc_bytes_per_tick = 0.0;
 };
 
-void raise_fd_limit(rlim_t want) {
+/// The sharded data plane as a lockstep harness: connections partitioned
+/// round robin across S shards, drained in S worker tasks (one epoll set,
+/// one frame pool, one inbox per shard), broadcasts delta-encoded with a
+/// periodic full-plan anchor. The controller phase is the parallel section
+/// between the two joins.
+class ShardedHarness {
+ public:
+  /// The ControllerConfig::full_plan_every_ticks default.
+  static constexpr std::uint64_t kFullPlanEvery = 16;
+  static constexpr std::uint64_t kChurnPeriod = 16;  ///< 1/16 caps move/tick
+
+  ShardedHarness(std::size_t na, std::size_t shards, bool tcp)
+      : na_(na), shards_(shards), tcp_(tcp), pool_(shards) {
+    if (tcp_) {
+      tcp_transport_ = std::make_unique<net::TcpTransport>();
+      auto listener = tcp_transport_->listen("127.0.0.1:0");
+      const std::string address =
+          "127.0.0.1:" + std::to_string(net::listener_port(*listener));
+      for (std::size_t i = 0; i < na_; ++i) {
+        auto c = tcp_transport_->connect_timeout(address, 5000);
+        PERQ_REQUIRE(c != nullptr, "agent connect failed");
+        agents_.push_back(std::move(c));
+        if ((i & 63u) == 63u) accept_pending(*listener);
+      }
+      while (ctrl_.size() < na_) accept_pending(*listener);
+      listener->close();
+    } else {
+      loop_transport_ = std::make_unique<net::LoopbackTransport>();
+      auto listener = loop_transport_->listen("bench");
+      for (std::size_t i = 0; i < na_; ++i) {
+        agents_.push_back(loop_transport_->connect("bench"));
+        PERQ_REQUIRE(agents_.back() != nullptr, "loopback connect failed");
+        accept_pending(*listener);
+      }
+      PERQ_REQUIRE(ctrl_.size() == na_, "loopback accept mismatch");
+      listener->close();
+    }
+
+    shard_members_.resize(shards_);
+    for (std::size_t i = 0; i < na_; ++i) {
+      shard_members_[i % shards_].push_back(i);
+    }
+    pools_.resize(shards_);
+    inboxes_.resize(shards_);
+    shard_cpu_ms_.assign(shards_, 0.0);
+    if (tcp_) {
+      for (std::size_t s = 0; s < shards_; ++s) {
+        reactors_.push_back(
+            std::make_unique<net::Reactor>(net::Reactor::Backend::kEpoll));
+        for (const std::size_t i : shard_members_[s]) {
+          reactors_[s]->add(ctrl_[i]->fd());
+        }
+      }
+      for (const auto& c : agents_) agent_reactor_.add(c->fd());
+    }
+  }
+
+  void tick(std::uint64_t t) {
+    // Load-generation phase: every agent reports in.
+    proto::Telemetry tel;
+    proto::Heartbeat hb;
+    for (std::size_t i = 0; i < na_; ++i) {
+      tel.agent_id = static_cast<std::uint32_t>(i);
+      tel.tick = t;
+      tel.job_id = static_cast<std::int32_t>(i);
+      tel.cap_w = 200.0;
+      tel.ips = 1e9 + static_cast<double>(t);
+      tel.power_w = 180.0;
+      hb.agent_id = static_cast<std::uint32_t>(i);
+      hb.tick = t;
+      hb.budget_total_w = 1e5;
+      agents_[i]->send(proto::Message{tel});
+      agents_[i]->send(proto::Message{hb});
+    }
+
+    // Controller phase (timed): parallel per-shard drain, serial plan
+    // build + delta decision, parallel per-shard encode + fan-out.
+    const auto wall0 = std::chrono::steady_clock::now();
+    {
+      std::vector<std::future<void>> joins;
+      for (std::size_t s = 0; s < shards_; ++s) {
+        if (shard_members_[s].empty()) continue;
+        joins.push_back(pool_.submit([this, s] { drain_shard(s); }));
+      }
+      for (auto& j : joins) j.get();
+    }
+
+    // Mutate the 1/16 churn slice of the persistent plan; everything else
+    // keeps last tick's bit pattern, which is what makes the delta small.
+    plan_.tick = t;
+    if (plan_.entries.empty()) {
+      plan_.entries.resize(na_);
+      for (std::size_t i = 0; i < na_; ++i) {
+        plan_.entries[i].job_id = static_cast<std::int32_t>(i);
+        plan_.entries[i].cap_w = 150.0 + static_cast<double>(i % 7);
+        plan_.entries[i].target_ips = 2e9;
+      }
+    }
+    for (std::size_t i = t % kChurnPeriod; i < na_; i += kChurnPeriod) {
+      plan_.entries[i].cap_w =
+          150.0 + static_cast<double>((t + i) % 7) + 0.5;
+    }
+
+    bool send_delta = false;
+    if (have_base_ && (t % kFullPlanEvery) != 0) {
+      proto::make_delta(base_plan_, plan_, delta_);
+      // Same wire-size guard the controller applies: fall back to the full
+      // plan when the delta would not actually be smaller.
+      send_delta = 24 + 22 * delta_.ops.size() < 12 + 21 * plan_.entries.size();
+    }
+    // One Message copy per tick, shared read-only by every shard task.
+    msg_ = send_delta ? proto::Message{delta_} : proto::Message{plan_};
+    ++broadcasts_;
+    if (send_delta) ++deltas_;
+
+    {
+      std::vector<std::future<void>> joins;
+      for (std::size_t s = 0; s < shards_; ++s) {
+        if (shard_members_[s].empty()) continue;
+        joins.push_back(pool_.submit([this, s] { broadcast_shard(s); }));
+      }
+      for (auto& j : joins) j.get();
+    }
+    base_plan_ = plan_;  // canonical image (job ids ascend by construction)
+    have_base_ = true;
+    ctrl_wall_ms_ +=
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  wall0)
+            .count();
+
+    // Load-generation phase: every agent reads its copy in place (nothing
+    // moved or copied -- consume_received/drain hand out references, so
+    // the agent side is allocation-free at steady state too). Agent 0
+    // patches deltas onto its shadow of the previous plan and the harness
+    // asserts the chain applies -- the measured stream must be a valid
+    // protocol run, not just bytes on the floor.
+    const auto on_a0 = [this](const proto::Message& m) {
+      if (const auto* full = std::get_if<proto::CapPlan>(&m)) {
+        a0_base_ = *full;  // copy-assign: capacity reused after warm-up
+        proto::canonicalize(a0_base_);
+        a0_have_base_ = true;
+      } else if (const auto* d = std::get_if<proto::CapPlanDelta>(&m)) {
+        PERQ_REQUIRE(
+            a0_have_base_ && proto::apply_delta(a0_base_, *d, a0_patch_),
+            "delta chain broke on a lossless transport");
+        std::swap(a0_base_, a0_patch_);
+      }
+    };
+    std::size_t plans = 0;
+    bool is_a0 = false;
+    const std::function<void(const proto::Message&)> sink =
+        [&plans, &is_a0, &on_a0](const proto::Message& m) {
+          ++plans;
+          if (is_a0) on_a0(m);
+        };
+    while (plans < na_) {
+      if (tcp_) agent_reactor_.wait(50);
+      for (std::size_t i = 0; i < na_; ++i) {
+        is_a0 = i == 0;
+        if (tcp_) {
+          static_cast<net::TcpConnection*>(agents_[i].get())
+              ->consume_received(sink);
+        } else {
+          static_cast<net::LoopbackConnection*>(agents_[i].get())->drain(sink);
+        }
+      }
+    }
+  }
+
+  double take_ctrl_wall_ms() {
+    const double v = ctrl_wall_ms_;
+    ctrl_wall_ms_ = 0.0;
+    return v;
+  }
+
+  std::vector<double> take_shard_cpu_ms() {
+    std::vector<double> v = shard_cpu_ms_;
+    shard_cpu_ms_.assign(shards_, 0.0);
+    return v;
+  }
+
+  void take_broadcast_counters(std::uint64_t* broadcasts, std::uint64_t* deltas) {
+    *broadcasts = broadcasts_;
+    *deltas = deltas_;
+    broadcasts_ = 0;
+    deltas_ = 0;
+  }
+
+ private:
+  void accept_pending(net::Listener& listener) {
+    for (auto& c : listener.accept_new()) ctrl_.push_back(std::move(c));
+  }
+
+  void drain_shard(std::size_t s) {
+    const double cpu0 = thread_cpu_ms();
+    const std::size_t want = 2 * shard_members_[s].size();
+    std::size_t got = 0;
+    auto& inbox = inboxes_[s];
+    while (got < want) {
+      if (tcp_) reactors_[s]->wait(50);
+      inbox.clear();
+      for (const std::size_t i : shard_members_[s]) {
+        ctrl_[i]->receive_into(inbox);
+      }
+      got += inbox.size();
+    }
+    shard_cpu_ms_[s] += thread_cpu_ms() - cpu0;
+  }
+
+  void broadcast_shard(std::size_t s) {
+    const double cpu0 = thread_cpu_ms();
+    auto buf = pools_[s].acquire();
+    proto::encode_into(msg_, *buf);
+    const net::SharedFrame frame = net::FramePool::freeze(buf);
+    if (tcp_) {
+      for (const std::size_t i : shard_members_[s]) {
+        ctrl_[i]->send_frame(frame);
+      }
+      std::size_t pending;
+      do {
+        pending = 0;
+        for (const std::size_t i : shard_members_[s]) {
+          ctrl_[i]->flush();
+          pending +=
+              static_cast<net::TcpConnection*>(ctrl_[i].get())->pending_bytes();
+        }
+      } while (pending > 0);
+    } else {
+      // Colocated fan-out: pay the wire round trip once per shard (encode
+      // above, decode here -- the same work a socket path does once), then
+      // deliver by refcount. The default send_frame would decode per
+      // connection, billing the data plane O(na * plan) for work a real
+      // deployment does on na separate hosts.
+      auto decoded = proto::parse_frame(frame->data() + 4, frame->size() - 4);
+      PERQ_REQUIRE(decoded.has_value(), "broadcast frame failed to decode");
+      const auto shared =
+          std::make_shared<const proto::Message>(std::move(*decoded));
+      for (const std::size_t i : shard_members_[s]) {
+        static_cast<net::LoopbackConnection*>(ctrl_[i].get())
+            ->send_shared(shared);
+      }
+    }
+    shard_cpu_ms_[s] += thread_cpu_ms() - cpu0;
+  }
+
+  std::size_t na_;
+  std::size_t shards_;
+  bool tcp_;
+  ThreadPool pool_;  ///< S workers: one per shard task
+  std::unique_ptr<net::TcpTransport> tcp_transport_;
+  std::unique_ptr<net::LoopbackTransport> loop_transport_;
+  std::vector<std::unique_ptr<net::Connection>> ctrl_;
+  std::vector<std::unique_ptr<net::Connection>> agents_;
+  std::vector<std::vector<std::size_t>> shard_members_;
+  std::vector<std::unique_ptr<net::Reactor>> reactors_;  ///< tcp only
+  net::Reactor agent_reactor_{net::Reactor::Backend::kEpoll};
+  std::vector<net::FramePool> pools_;
+  std::vector<std::vector<proto::Message>> inboxes_;
+  proto::CapPlan plan_;       ///< persistent plan image, churned per tick
+  proto::CapPlan base_plan_;  ///< previous broadcast (delta base)
+  proto::CapPlanDelta delta_;
+  proto::Message msg_;  ///< this tick's broadcast, shared by shard tasks
+  bool have_base_ = false;
+  proto::CapPlan a0_base_;  ///< agent 0's shadow of the last broadcast
+  proto::CapPlan a0_patch_;
+  bool a0_have_base_ = false;
+  std::uint64_t broadcasts_ = 0;
+  std::uint64_t deltas_ = 0;
+  std::vector<double> shard_cpu_ms_;
+  double ctrl_wall_ms_ = 0.0;
+};
+
+ShardedResult run_sharded(std::size_t na, std::size_t shards, bool tcp) {
+  ShardedHarness h(na, shards, tcp);
+  const std::size_t warm = na >= 4096 ? 4 : 12;
+  const std::size_t measured =
+      na >= 4096 ? 10 : (na >= 256 ? 30 : 4096 / na);
+  std::uint64_t t = 0;
+  for (std::size_t i = 0; i < warm; ++i) h.tick(t++);
+  h.take_ctrl_wall_ms();
+  h.take_shard_cpu_ms();
+  std::uint64_t b_drop, d_drop;
+  h.take_broadcast_counters(&b_drop, &d_drop);
+  const std::uint64_t a0 = g_allocs.load();
+  const std::uint64_t b0 = g_alloc_bytes.load();
+  const auto w0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < measured; ++i) h.tick(t++);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+          .count();
+  ShardedResult r;
+  r.shards = shards;
+  r.tcp = tcp;
+  const double ticks = static_cast<double>(measured);
+  r.ticks_per_s = ticks / (h.take_ctrl_wall_ms() * 1e-3);
+  r.loop_ticks_per_s = ticks / wall_s;
+  r.shard_cpu_ms_per_tick = h.take_shard_cpu_ms();
+  for (double& v : r.shard_cpu_ms_per_tick) {
+    v /= ticks;
+    r.ctrl_cpu_ms_per_tick += v;
+  }
+  std::uint64_t broadcasts = 0, deltas = 0;
+  h.take_broadcast_counters(&broadcasts, &deltas);
+  r.delta_hit_rate = broadcasts > 0
+                         ? static_cast<double>(deltas) /
+                               static_cast<double>(broadcasts)
+                         : 0.0;
+  r.allocs_per_tick = static_cast<double>(g_allocs.load() - a0) / ticks;
+  r.alloc_bytes_per_tick =
+      static_cast<double>(g_alloc_bytes.load() - b0) / ticks;
+  return r;
+}
+
+struct Row {
+  std::size_t na = 0;
+  bool has_modes = false;  ///< baseline/optimized legs ran (fd budget fit)
+  bool has_baseline = false;
+  ModeResult baseline;
+  ModeResult optimized;
+  std::vector<ShardedResult> sharded;
+};
+
+rlim_t raise_fd_limit(rlim_t want) {
   struct rlimit rl{};
   PERQ_REQUIRE(::getrlimit(RLIMIT_NOFILE, &rl) == 0, "getrlimit failed");
-  if (rl.rlim_cur >= want) return;
-  rl.rlim_cur = rl.rlim_max == RLIM_INFINITY ? want
-                                             : std::min(want, rl.rlim_max);
-  ::setrlimit(RLIMIT_NOFILE, &rl);
+  if (rl.rlim_cur < want) {
+    rl.rlim_cur = rl.rlim_max == RLIM_INFINITY ? want
+                                               : std::min(want, rl.rlim_max);
+    ::setrlimit(RLIMIT_NOFILE, &rl);
+    PERQ_REQUIRE(::getrlimit(RLIMIT_NOFILE, &rl) == 0, "getrlimit failed");
+  }
+  return rl.rlim_cur;
 }
 
 }  // namespace
@@ -302,68 +661,151 @@ void raise_fd_limit(rlim_t want) {
 int main(int argc, char** argv) {
   using namespace perq::bench;
   banner("Daemon data-plane throughput",
-         "poll-per-call + per-connection re-encode vs epoll reactor + "
-         "serialize-once broadcast");
+         "poll-per-call vs epoll reactor + serialize-once broadcast vs "
+         "sharded reactors + delta-encoded CapPlans");
 
   std::vector<std::size_t> sweep;
+  std::vector<std::size_t> shard_sweep;
+#ifdef PERQ_REPO_ROOT
+  std::string output = std::string(PERQ_REPO_ROOT) + "/BENCH_daemon_throughput.json";
+#else
+  std::string output = "BENCH_daemon_throughput.json";
+#endif
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--output") == 0 && i + 1 < argc) {
+      output = argv[++i];
+      continue;
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        PERQ_REQUIRE(end != p && v > 0, "--shards wants positive integers");
+        shard_sweep.push_back(static_cast<std::size_t>(v));
+        p = *end == ',' ? end + 1 : end;
+      }
+      continue;
+    }
     sweep.push_back(static_cast<std::size_t>(std::atol(argv[i])));
     PERQ_REQUIRE(sweep.back() > 0, "agent counts must be positive");
   }
   if (sweep.empty()) sweep = {16, 64, 256, 1024};
+  if (shard_sweep.empty()) shard_sweep = {1, 2};
 
   std::size_t max_na = 0;
   for (std::size_t na : sweep) max_na = std::max(max_na, na);
-  // 2 descriptors per agent (controller side + agent side) plus slack.
-  raise_fd_limit(static_cast<rlim_t>(2 * max_na + 64));
+  // 2 descriptors per agent (controller side + agent side) plus slack. The
+  // hard cap may be below what the biggest row wants; those rows fall back
+  // to the loopback transport (and are tagged as such in the JSON).
+  const rlim_t fd_limit =
+      raise_fd_limit(static_cast<rlim_t>(2 * max_na + 64));
 
   std::vector<Row> rows;
   std::printf(
       "    na     mode   ctrl-ticks/s   loop-ticks/s   ctrl-cpu(ms)"
-      "   allocs/tick   alloc-KB/tick\n");
+      "   allocs/tick   alloc-KB/tick   delta-hit\n");
   for (std::size_t na : sweep) {
     Row row;
     row.na = na;
-    row.baseline = run_mode(na, /*optimized=*/false);
-    row.optimized = run_mode(na, /*optimized=*/true);
-    for (const auto* m : {&row.baseline, &row.optimized}) {
-      std::printf("  %4zu %8s  %12.1f   %12.1f   %12.4f   %11.1f   %13.1f\n",
-                  na, m == &row.baseline ? "poll" : "epoll", m->ticks_per_s,
-                  m->loop_ticks_per_s, m->ctrl_cpu_ms_per_tick,
-                  m->allocs_per_tick, m->alloc_bytes_per_tick / 1024.0);
+    const bool fits_tcp = static_cast<rlim_t>(2 * na + 64) <= fd_limit;
+    // The poll baseline re-encodes O(na^2) broadcast bytes per tick; past
+    // 1024 agents a single measured window takes minutes for a number
+    // whose trend is already unambiguous, so the leg is capped there.
+    row.has_baseline = fits_tcp && na <= 1024;
+    row.has_modes = fits_tcp;
+    if (row.has_baseline) row.baseline = run_mode(na, /*optimized=*/false);
+    if (row.has_modes) row.optimized = run_mode(na, /*optimized=*/true);
+    if (row.has_baseline) {
+      const ModeResult& m = row.baseline;
+      std::printf("  %5zu %9s  %12.1f   %12.1f   %12.4f   %11.1f   %13.1f   %9s\n",
+                  na, "poll", m.ticks_per_s, m.loop_ticks_per_s,
+                  m.ctrl_cpu_ms_per_tick, m.allocs_per_tick,
+                  m.alloc_bytes_per_tick / 1024.0, "-");
     }
-    std::printf("  %4zu  speedup  %11.2fx\n", na,
-                row.optimized.ticks_per_s / row.baseline.ticks_per_s);
+    if (row.has_modes) {
+      const ModeResult& m = row.optimized;
+      std::printf("  %5zu %9s  %12.1f   %12.1f   %12.4f   %11.1f   %13.1f   %9s\n",
+                  na, "epoll", m.ticks_per_s, m.loop_ticks_per_s,
+                  m.ctrl_cpu_ms_per_tick, m.allocs_per_tick,
+                  m.alloc_bytes_per_tick / 1024.0, "-");
+    }
+    for (const std::size_t s : shard_sweep) {
+      const ShardedResult sr = run_sharded(na, s, fits_tcp);
+      char mode[32];
+      std::snprintf(mode, sizeof mode, "S=%zu%s", s, sr.tcp ? "" : "*");
+      std::printf("  %5zu %9s  %12.1f   %12.1f   %12.4f   %11.1f   %13.1f   %8.2f%%\n",
+                  na, mode, sr.ticks_per_s, sr.loop_ticks_per_s,
+                  sr.ctrl_cpu_ms_per_tick, sr.allocs_per_tick,
+                  sr.alloc_bytes_per_tick / 1024.0, 100.0 * sr.delta_hit_rate);
+      row.sharded.push_back(sr);
+    }
+    if (row.has_baseline) {
+      std::printf("  %5zu   speedup  %11.2fx\n", na,
+                  row.optimized.ticks_per_s / row.baseline.ticks_per_s);
+    }
     rows.push_back(row);
   }
+  std::printf("  (* = loopback transport: fd demand exceeded the hard "
+              "RLIMIT_NOFILE cap of %llu)\n",
+              static_cast<unsigned long long>(fd_limit));
 
-  FILE* json = std::fopen("BENCH_daemon_throughput.json", "w");
-  PERQ_REQUIRE(json != nullptr, "cannot open BENCH_daemon_throughput.json");
-  std::fprintf(json, "{\n  \"bench\": \"daemon_throughput\",\n  \"rows\": [\n");
+  FILE* json = std::fopen(output.c_str(), "w");
+  PERQ_REQUIRE(json != nullptr, "cannot open the --output path");
+  std::fprintf(json, "{\n  \"bench\": \"daemon_throughput\",\n");
+  std::fprintf(json, "  \"fd_limit\": %llu,\n",
+               static_cast<unsigned long long>(fd_limit));
+  std::fprintf(json, "  \"rows\": [\n");
   double last_speedup = 0.0;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
+  bool first = true;
+  for (const Row& r : rows) {
+    if (!r.has_baseline) continue;
     const double speedup = r.optimized.ticks_per_s / r.baseline.ticks_per_s;
     last_speedup = speedup;
     std::fprintf(
         json,
-        "    {\"agents\": %zu,\n"
+        "%s    {\"agents\": %zu,\n"
         "     \"baseline\": {\"ticks_per_s\": %.3f, \"loop_ticks_per_s\": %.3f,"
         " \"ctrl_cpu_ms_per_tick\": %.5f,"
         " \"allocs_per_tick\": %.1f, \"alloc_bytes_per_tick\": %.1f},\n"
         "     \"optimized\": {\"ticks_per_s\": %.3f, \"loop_ticks_per_s\": %.3f,"
         " \"ctrl_cpu_ms_per_tick\": %.5f,"
         " \"allocs_per_tick\": %.1f, \"alloc_bytes_per_tick\": %.1f},\n"
-        "     \"speedup\": %.3f}%s\n",
-        r.na, r.baseline.ticks_per_s, r.baseline.loop_ticks_per_s,
-        r.baseline.ctrl_cpu_ms_per_tick, r.baseline.allocs_per_tick,
-        r.baseline.alloc_bytes_per_tick, r.optimized.ticks_per_s,
-        r.optimized.loop_ticks_per_s, r.optimized.ctrl_cpu_ms_per_tick,
-        r.optimized.allocs_per_tick, r.optimized.alloc_bytes_per_tick, speedup,
-        i + 1 < rows.size() ? "," : "");
+        "     \"speedup\": %.3f}",
+        first ? "" : ",\n", r.na, r.baseline.ticks_per_s,
+        r.baseline.loop_ticks_per_s, r.baseline.ctrl_cpu_ms_per_tick,
+        r.baseline.allocs_per_tick, r.baseline.alloc_bytes_per_tick,
+        r.optimized.ticks_per_s, r.optimized.loop_ticks_per_s,
+        r.optimized.ctrl_cpu_ms_per_tick, r.optimized.allocs_per_tick,
+        r.optimized.alloc_bytes_per_tick, speedup);
+    first = false;
   }
-  std::fprintf(json, "  ],\n  \"speedup_max_na\": %.3f\n}\n", last_speedup);
+  std::fprintf(json, "\n  ],\n  \"sharded\": [\n");
+  first = true;
+  for (const Row& r : rows) {
+    for (const ShardedResult& s : r.sharded) {
+      std::fprintf(json,
+                   "%s    {\"agents\": %zu, \"shards\": %zu,"
+                   " \"transport\": \"%s\",\n"
+                   "     \"ticks_per_s\": %.3f, \"loop_ticks_per_s\": %.3f,"
+                   " \"ctrl_cpu_ms_per_tick\": %.5f,\n"
+                   "     \"shard_cpu_ms_per_tick\": [",
+                   first ? "" : ",\n", r.na, s.shards,
+                   s.tcp ? "tcp" : "loopback", s.ticks_per_s,
+                   s.loop_ticks_per_s, s.ctrl_cpu_ms_per_tick);
+      for (std::size_t i = 0; i < s.shard_cpu_ms_per_tick.size(); ++i) {
+        std::fprintf(json, "%s%.5f", i == 0 ? "" : ", ",
+                     s.shard_cpu_ms_per_tick[i]);
+      }
+      std::fprintf(json,
+                   "],\n     \"delta_hit_rate\": %.4f,"
+                   " \"allocs_per_tick\": %.1f,"
+                   " \"alloc_bytes_per_tick\": %.1f}",
+                   s.delta_hit_rate, s.allocs_per_tick, s.alloc_bytes_per_tick);
+      first = false;
+    }
+  }
+  std::fprintf(json, "\n  ],\n  \"speedup_max_na\": %.3f\n}\n", last_speedup);
   std::fclose(json);
-  std::printf("\nJSON written to BENCH_daemon_throughput.json\n");
+  std::printf("\nJSON written to %s\n", output.c_str());
   return 0;
 }

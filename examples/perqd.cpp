@@ -3,6 +3,7 @@
 //   ./examples/perqd --listen 127.0.0.1:7421 --wc-nodes 32 --f 2.0
 //                    [--ratio 8] [--stale-ticks 3] [--grace-ms 250]
 //                    [--snapshot perqd.snap --snapshot-every 10]
+//                    [--shards 4] [--no-delta] [--full-every 16]
 //
 // Identifies the node model, then serves cap plans to perq_agent plants
 // until every agent has left. --wc-nodes and --f size the policy's target
@@ -50,6 +51,10 @@ void usage(const char* argv0) {
       "  --grace-ms <ms>        decide grace for lagging agents (default 250)\n"
       "  --snapshot <path>      controller state snapshot file\n"
       "  --snapshot-every <n>   snapshot every n decisions (default 10)\n"
+      "  --shards <s>           reactor shards for the data plane (default 1)\n"
+      "  --no-delta             always broadcast full CapPlans, never deltas\n"
+      "  --full-every <n>       full-plan resync cadence with deltas on\n"
+      "                         (default 16; 0 = deltas only after joins)\n"
       "  --domains <k>          budget domain count (default 1: monolithic)\n"
       "  --domain <d>           run domain d's controller (needs --arbiter)\n"
       "  --arbiter <host:port>  arbiter address for a domain controller\n"
@@ -97,6 +102,9 @@ int main(int argc, char** argv) {
     else if (arg == "--grace-ms") ccfg.decide_grace_ms = static_cast<int>(parse_num(argv[0], "--grace-ms", next()));
     else if (arg == "--snapshot") ccfg.snapshot_path = next();
     else if (arg == "--snapshot-every") ccfg.snapshot_every_ticks = static_cast<std::uint64_t>(parse_num(argv[0], "--snapshot-every", next()));
+    else if (arg == "--shards") ccfg.shards = static_cast<std::size_t>(parse_num(argv[0], "--shards", next()));
+    else if (arg == "--no-delta") ccfg.delta_broadcast = false;
+    else if (arg == "--full-every") ccfg.full_plan_every_ticks = static_cast<std::uint64_t>(parse_num(argv[0], "--full-every", next()));
     else if (arg == "--domains") domains = static_cast<std::size_t>(parse_num(argv[0], "--domains", next()));
     else if (arg == "--domain") domain = static_cast<long>(parse_num(argv[0], "--domain", next()));
     else if (arg == "--arbiter") arbiter_addr = next();
@@ -108,6 +116,10 @@ int main(int argc, char** argv) {
 
   if (domains < 1) {
     std::fprintf(stderr, "%s: --domains must be >= 1\n", argv[0]);
+    return 2;
+  }
+  if (ccfg.shards < 1) {
+    std::fprintf(stderr, "%s: --shards must be >= 1\n", argv[0]);
     return 2;
   }
   if (domain >= 0 && static_cast<std::size_t>(domain) >= domains) {
@@ -127,9 +139,11 @@ int main(int argc, char** argv) {
     net::TcpTransport transport;
     hier::ArbiterDaemonConfig acfg;
     acfg.stale_after_ticks = ccfg.stale_after_ticks;
+    acfg.shards = ccfg.shards;
     hier::ArbiterDaemon arbiter(transport.listen(listen), domains, acfg);
-    std::printf("perq-arbiter: serving %zu domains on %s\n", domains,
-                listen.c_str());
+    std::printf("perq-arbiter: serving %zu domains on %s (%zu shard%s)\n",
+                domains, listen.c_str(), acfg.shards,
+                acfg.shards == 1 ? "" : "s");
     bool saw_domain = false;
     for (;;) {
       arbiter.wait(50);
@@ -185,8 +199,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("perqd: serving on %s (wc-nodes %zu, f %.2f)\n", listen.c_str(),
-              wc_nodes, f);
+  std::printf("perqd: serving on %s (wc-nodes %zu, f %.2f, %zu shard%s, "
+              "%s broadcasts)\n",
+              listen.c_str(), wc_nodes, f, ccfg.shards,
+              ccfg.shards == 1 ? "" : "s",
+              ccfg.delta_broadcast ? "delta" : "full-plan");
   bool saw_agent = false;
   for (;;) {
     controller.wait(50);

@@ -9,13 +9,15 @@
 # only optimized code hits still aborts the suite. Leg 4 is TSan
 # (PERQ_TSAN=ON) over the threaded subset: the epoll/poll reactor and
 # frame I/O (Reactor/Tcp/Daemon tests run a controller thread against the
-# main thread) plus the ThreadPool paths (MpcController::decide fans out
-# per-job work via parallel_for).
+# main thread), the sharded pump (Shard* tests drain per-shard inboxes on
+# ThreadPool workers), plus the other ThreadPool paths
+# (MpcController::decide fans out per-job work via parallel_for).
 #
-# A perf-smoke leg then runs bench_daemon_throughput at na=16 on the plain
-# build and validates the shape of BENCH_daemon_throughput.json, so a
-# regression that breaks the bench binary or its schema fails the gate
-# before anyone burns a full sweep on it.
+# A perf-smoke leg then runs bench_daemon_throughput at na=64 with two
+# reactor shards on the plain build and validates the shape of
+# BENCH_daemon_throughput.json -- including the sharded rows (per-shard
+# CPU, delta hit rate) -- so a regression that breaks the bench binary or
+# its schema fails the gate before anyone burns a full sweep on it.
 #
 #   scripts/tier1.sh                        # all legs
 #   PERQ_SKIP_SANITIZE=1 scripts/tier1.sh   # plain leg only (quick iteration)
@@ -43,11 +45,15 @@ done
 
 # Perf smoke: the data-plane bench must run and emit a well-formed JSON
 # report (schema check only -- thresholds would flake on shared CI hosts).
+# --output keeps the smoke artifact inside the build tree; the repo-root
+# default path is reserved for real sweeps.
 (
   cd "$BUILD_DIR"
-  ./bench/bench_daemon_throughput 16
+  ./bench/bench_daemon_throughput --shards 2 \
+    --output BENCH_daemon_throughput.json 64
   python3 - <<'EOF'
 import json
+import math
 with open("BENCH_daemon_throughput.json") as f:
     doc = json.load(f)
 assert doc["bench"] == "daemon_throughput", doc
@@ -60,7 +66,20 @@ for row in doc["rows"]:
             assert row[mode][key] >= 0.0, (mode, key, row)
     assert row["speedup"] > 0.0
 assert doc["speedup_max_na"] > 0.0
-print("BENCH_daemon_throughput.json schema OK")
+sharded = doc["sharded"]
+assert isinstance(sharded, list) and sharded, "sharded rows missing/empty"
+assert {r["shards"] for r in sharded} == {2}, sharded  # what --shards asked for
+for row in sharded:
+    assert row["agents"] > 0 and row["shards"] > 0
+    assert row["transport"] in ("tcp", "loopback"), row
+    for key in ("ticks_per_s", "loop_ticks_per_s", "ctrl_cpu_ms_per_tick",
+                "delta_hit_rate", "allocs_per_tick", "alloc_bytes_per_tick"):
+        assert math.isfinite(row[key]) and row[key] >= 0.0, (key, row)
+    assert 0.0 <= row["delta_hit_rate"] <= 1.0, row
+    cpus = row["shard_cpu_ms_per_tick"]
+    assert len(cpus) == row["shards"], row
+    assert all(math.isfinite(c) and c >= 0.0 for c in cpus), row
+print("BENCH_daemon_throughput.json schema OK (incl. sharded rows)")
 EOF
 )
 
@@ -77,5 +96,5 @@ if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . -DPERQ_TSAN=ON
   cmake --build "$TSAN_BUILD_DIR" -j
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Reactor|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc' "$@"
+    -R 'Reactor|Shard|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc' "$@"
 fi

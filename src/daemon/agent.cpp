@@ -1,5 +1,6 @@
 #include "daemon/agent.hpp"
 
+#include "proto/delta.hpp"
 #include "util/require.hpp"
 
 namespace perq::daemon {
@@ -88,7 +89,30 @@ std::optional<proto::CapPlan> NodeAgent::poll_plan() {
   conn_->receive_into(inbox_);  // reused scratch: no per-poll allocation
   for (proto::Message& m : inbox_) {
     if (auto* plan = std::get_if<proto::CapPlan>(&m)) {
+      // Full plan: becomes the new delta base (canonical image) and, when
+      // newest, the plan to actuate -- returned exactly as received, so
+      // full-plan-only deployments are bit-for-bit unchanged.
+      base_plan_ = *plan;
+      proto::canonicalize(base_plan_);
+      have_base_ = true;
       if (!newest || plan->tick >= newest->tick) newest = std::move(*plan);
+      continue;
+    }
+    if (auto* delta = std::get_if<proto::CapPlanDelta>(&m)) {
+      // Frames are processed in arrival order, so each delta chains off
+      // the immediately preceding broadcast. A chain break (missed frame,
+      // controller restart) rejects the delta whole: stale caps persist
+      // physically on the nodes, holding is the safe default, and the
+      // controller's next full plan resynchronizes the base.
+      if (!have_base_ || !proto::apply_delta(base_plan_, *delta, patched_)) {
+        ++deltas_rejected_;
+        have_base_ = false;  // the chain is broken until the next full plan
+        continue;
+      }
+      ++deltas_applied_;
+      std::swap(base_plan_, patched_);
+      if (!newest || base_plan_.tick >= newest->tick) newest = base_plan_;
+      continue;
     }
   }
   return newest;
@@ -129,6 +153,10 @@ void NodeAgent::reconnect(std::unique_ptr<net::Connection> conn) {
   if (conn_ != nullptr) conn_->close();
   conn_ = std::move(conn);
   hung_ = false;
+  // The delta chain does not survive the old connection: broadcasts were
+  // lost while down. The Hello below makes the controller send a full
+  // plan, which re-establishes the base.
+  have_base_ = false;
   hello();
 }
 

@@ -53,7 +53,17 @@ class NodeAgent {
   void publish(const core::TickView& view);
 
   /// Drains the connection; returns the newest cap plan received, if any.
+  /// CapPlanDelta frames are patched onto the plan of the previous
+  /// broadcast (kept in canonical job-id order); a delta that does not
+  /// apply -- stale base tick after a missed frame, unknown job id,
+  /// mangled count -- is rejected whole and the agent holds its caps until
+  /// the controller's next full plan resynchronizes it.
   std::optional<proto::CapPlan> poll_plan();
+
+  /// Deltas rejected by the chain check so far (resync accounting).
+  std::uint64_t deltas_rejected() const { return deltas_rejected_; }
+  /// Deltas successfully applied so far.
+  std::uint64_t deltas_applied() const { return deltas_applied_; }
 
   /// Applies a plan to this agent's node slice: for every job published in
   /// the last tick whose plan entry exists, caps the job's nodes that fall
@@ -85,6 +95,13 @@ class NodeAgent {
   /// needs their node lists).
   std::vector<const sched::Job*> last_running_;
   std::vector<proto::Message> inbox_;  ///< reused poll_plan drain scratch
+  /// Delta base: canonical image of the last broadcast plan received
+  /// (reset on reconnect -- the controller sends a joiner a full plan).
+  proto::CapPlan base_plan_;
+  proto::CapPlan patched_;  ///< reused apply_delta output scratch
+  bool have_base_ = false;
+  std::uint64_t deltas_rejected_ = 0;
+  std::uint64_t deltas_applied_ = 0;
 };
 
 }  // namespace perq::daemon

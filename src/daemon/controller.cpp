@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 #include <limits>
 
 #include "apps/app_model.hpp"
 #include "apps/catalog.hpp"
 #include "daemon/snapshot.hpp"
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace perq::daemon {
 
@@ -22,10 +24,17 @@ PerqController::PerqController(std::unique_ptr<net::Listener> listener,
     : listener_(std::move(listener)),
       policy_(policy),
       cfg_(std::move(cfg)),
-      reactor_(cfg_.reactor_backend) {
+      reactor_(std::max<std::size_t>(1, cfg_.shards), cfg_.reactor_backend) {
   PERQ_REQUIRE(listener_ != nullptr, "controller needs a listener");
   PERQ_REQUIRE(cfg_.stale_after_ticks >= 1, "stale_after_ticks must be >= 1");
-  reactor_.add(listener_->fd());  // no-op for loopback (fd -1)
+  cfg_.shards = std::max<std::size_t>(1, cfg_.shards);
+  frame_pools_.resize(cfg_.shards);
+  shard_order_.resize(cfg_.shards);
+  reactor_.add(listener_->fd(), 0);  // no-op for loopback (fd -1)
+}
+
+ThreadPool& PerqController::pool() {
+  return cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::shared();
 }
 
 PerqController::~PerqController() = default;
@@ -40,7 +49,7 @@ void PerqController::attach_arbiter(std::unique_ptr<net::Connection> conn,
   domain_id_ = domain_id;
   domain_count_ = domain_count;
   arbiter_reg_fd_ = arbiter_conn_->fd();
-  reactor_.add(arbiter_reg_fd_);
+  reactor_.add(arbiter_reg_fd_, 0);
 }
 
 double PerqController::budget_scope_w() const {
@@ -89,7 +98,7 @@ void PerqController::pump_arbiter() {
   }
   if (!arbiter_conn_->open()) {
     if (arbiter_conn_->corrupt()) ++counters_.frames_corrupt;
-    reactor_.remove(arbiter_reg_fd_);
+    reactor_.remove(arbiter_reg_fd_, 0);
     arbiter_reg_fd_ = -1;
   }
 }
@@ -150,17 +159,17 @@ void PerqController::pump() {
     Session s;
     s.conn = std::move(conn);
     s.reg_fd = s.conn->fd();
-    reactor_.add(s.reg_fd);
+    s.shard = next_shard_;
+    next_shard_ = (next_shard_ + 1) % cfg_.shards;
+    reactor_.add(s.reg_fd, s.shard);
     sessions_.push_back(std::move(s));
   }
   // Drain first, ingest second: epoll readiness order is nondeterministic,
   // so arrival order must never shape the decision state. Every open
   // session's bytes land in its inbox (reused, so steady state is
-  // allocation-free), then ingestion runs in canonical order below.
-  for (auto& session : sessions_) {
-    if (!session.conn->open()) continue;
-    session.conn->receive_into(session.inbox);
-  }
+  // allocation-free) -- one worker task per shard when sharded -- then
+  // ingestion runs in canonical order below.
+  drain_sessions();
   // Hellos first, in accept order: they only bind agent ids (and supersede
   // dead sessions keyed by that id), and must land before the id-ordered
   // pass so a just-connected agent sorts under its real id.
@@ -174,16 +183,10 @@ void PerqController::pump() {
   // Everything else in ascending agent-id order -- the canonical
   // (tick, node-id) processing order. Frames within one session stay FIFO
   // (per-connection ordering), which fixes the tick order per agent;
-  // unbound sessions (no Hello yet) go last, in accept order.
-  ingest_order_.clear();
-  for (std::size_t i = 0; i < sessions_.size(); ++i) ingest_order_.push_back(i);
-  std::stable_sort(ingest_order_.begin(), ingest_order_.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     const Session& sa = sessions_[a];
-                     const Session& sb = sessions_[b];
-                     if (sa.helloed != sb.helloed) return sa.helloed;
-                     return sa.helloed && sa.agent_id < sb.agent_id;
-                   });
+  // unbound sessions (no Hello yet) go last, in accept order. The order is
+  // assembled from per-shard sorted batches merged through a reduction
+  // tree -- identical to one global sort, whatever the shard count.
+  build_ingest_order();
   for (const std::size_t idx : ingest_order_) {
     Session& session = sessions_[idx];
     for (const proto::Message& m : session.inbox) {
@@ -201,11 +204,99 @@ void PerqController::pump() {
   for (const Session& s : sessions_) {
     if (!s.conn->open()) {
       if (s.conn->corrupt()) ++counters_.frames_corrupt;
-      reactor_.remove(s.reg_fd);
+      reactor_.remove(s.reg_fd, s.shard);
     }
   }
   std::erase_if(sessions_, [](const Session& s) { return !s.conn->open(); });
   pump_arbiter();
+}
+
+void PerqController::drain_sessions() {
+  if (cfg_.shards == 1) {
+    for (auto& session : sessions_) {
+      if (!session.conn->open()) continue;
+      session.conn->receive_into(session.inbox);
+    }
+    return;
+  }
+  // Partition session indices by shard (scratch reused across pumps), then
+  // drain each shard's partition in its own task. Tasks touch disjoint
+  // sessions and disjoint connections, so no state is shared; everything
+  // order-dependent happens after the join, in canonical order.
+  for (auto& members : shard_order_) members.clear();
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    shard_order_[sessions_[i].shard].push_back(i);
+  }
+  std::vector<std::future<void>> joins;
+  joins.reserve(cfg_.shards);
+  for (std::size_t s = 0; s < cfg_.shards; ++s) {
+    if (shard_order_[s].empty()) continue;
+    joins.push_back(pool().submit([this, s] {
+      for (const std::size_t idx : shard_order_[s]) {
+        Session& session = sessions_[idx];
+        if (!session.conn->open()) continue;
+        session.conn->receive_into(session.inbox);
+      }
+    }));
+  }
+  for (auto& j : joins) j.get();
+}
+
+void PerqController::build_ingest_order() {
+  // Canonical key, totalized by accept index so per-shard sorts and the
+  // merge agree on every tie: helloed sessions first, ascending agent id,
+  // accept order among equals -- exactly the stable_sort the single pump
+  // used, so S=1 and S=N produce one and the same sequence.
+  const auto less = [this](std::size_t a, std::size_t b) {
+    const Session& sa = sessions_[a];
+    const Session& sb = sessions_[b];
+    if (sa.helloed != sb.helloed) return sa.helloed;
+    if (sa.helloed && sa.agent_id != sb.agent_id) {
+      return sa.agent_id < sb.agent_id;
+    }
+    return a < b;
+  };
+  if (cfg_.shards == 1) {
+    ingest_order_.clear();
+    for (std::size_t i = 0; i < sessions_.size(); ++i) {
+      ingest_order_.push_back(i);
+    }
+    std::sort(ingest_order_.begin(), ingest_order_.end(), less);
+    return;
+  }
+  // Per-shard batches (membership may have moved in the Hello pass: a
+  // re-homed session sorts under its new shard, which only permutes batch
+  // boundaries, never the merged order).
+  for (auto& batch : shard_order_) batch.clear();
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    shard_order_[sessions_[i].shard].push_back(i);
+  }
+  for (auto& batch : shard_order_) std::sort(batch.begin(), batch.end(), less);
+  // Reduction tree: pairwise-merge sorted batches until one remains. The
+  // key is a total order, so the tree's shape cannot influence the result.
+  std::size_t width = shard_order_.size();
+  merge_scratch_.resize(shard_order_.size());
+  auto* level = &shard_order_;
+  auto* next = &merge_scratch_;
+  while (width > 1) {
+    const std::size_t half = (width + 1) / 2;
+    for (std::size_t p = 0; p < half; ++p) {
+      auto& out = (*next)[p];
+      out.clear();
+      const std::size_t lhs = 2 * p;
+      const std::size_t rhs = 2 * p + 1;
+      if (rhs < width) {
+        std::merge((*level)[lhs].begin(), (*level)[lhs].end(),
+                   (*level)[rhs].begin(), (*level)[rhs].end(),
+                   std::back_inserter(out), less);
+      } else {
+        out = (*level)[lhs];
+      }
+    }
+    std::swap(level, next);
+    width = half;
+  }
+  ingest_order_ = (*level)[0];
 }
 
 void PerqController::ingest(Session& session, const proto::Message& m) {
@@ -221,6 +312,16 @@ void PerqController::ingest(Session& session, const proto::Message& m) {
     }
     session.helloed = true;
     session.agent_id = hello->agent_id;
+    // Re-home the session to its id-stable shard (accept order assigned a
+    // provisional round-robin slot). Also force the next broadcast to be a
+    // full plan: a joiner has no delta base to patch.
+    const std::size_t home = hello->agent_id % cfg_.shards;
+    if (home != session.shard) {
+      reactor_.remove(session.reg_fd, session.shard);
+      session.shard = home;
+      reactor_.add(session.reg_fd, session.shard);
+    }
+    force_full_ = true;
     return;
   }
   if (const auto* bye = std::get_if<proto::Bye>(&m)) {
@@ -452,20 +553,7 @@ const proto::CapPlan& PerqController::decide() {
   }
 
   clamp_plan();
-
-  // Serialize-once broadcast: the plan is encoded exactly once into a
-  // pooled buffer; every connection queues a reference to the same bytes
-  // (TCP writev's them out with partial-write resume, loopback decodes the
-  // bit-exact frame back into a message). The pool slot recycles once the
-  // last connection finishes sending, so steady state never allocates.
-  {
-    auto buf = frame_pool_.acquire();
-    proto::encode_into(plan_, *buf);
-    const net::SharedFrame frame = net::FramePool::freeze(buf);
-    for (Session& s : sessions_) {
-      if (s.conn->open() && !s.said_bye) s.conn->send_frame(frame);
-    }
-  }
+  broadcast_plan();
 
   stats_.tick = tick;
   stats_.fresh_jobs = fresh.size();
@@ -527,6 +615,70 @@ bool PerqController::service() {
     return true;
   }
   return false;
+}
+
+void PerqController::broadcast_plan() {
+  // Delta-or-full decision. The canonical (job-id-sorted) image of the
+  // outgoing plan is what in-sync agents hold as their patch base, so the
+  // diff runs between consecutive canonical images. Full plans go out on
+  // the first decision, whenever an agent (re)joined since the last
+  // broadcast (it has no base), on the periodic resync beat, and whenever
+  // the delta would not actually be smaller on the wire.
+  sorted_plan_ = plan_;
+  proto::canonicalize(sorted_plan_);
+  bool send_delta = false;
+  if (cfg_.delta_broadcast && have_base_plan_ && !force_full_ &&
+      (cfg_.full_plan_every_ticks == 0 ||
+       decisions_since_full_ + 1 < cfg_.full_plan_every_ticks)) {
+    proto::make_delta(base_plan_, sorted_plan_, delta_);
+    // Wire economics, exact body sizes: delta header 24B + 22B/op vs full
+    // header 12B + 21B/entry.
+    const std::size_t delta_bytes = 24 + 22 * delta_.ops.size();
+    const std::size_t full_bytes = 12 + 21 * plan_.entries.size();
+    send_delta = delta_bytes < full_bytes;
+  }
+
+  // Serialize-once, per shard: each shard's worker encodes the broadcast
+  // exactly once from its own frame pool; every connection of the shard
+  // queues a reference to the same bytes (TCP writev's them out with
+  // partial-write resume, loopback decodes the bit-exact frame back into a
+  // message). Pool slots recycle once the last connection finishes
+  // sending, so steady state never allocates.
+  const auto broadcast_shard = [this, send_delta](std::size_t shard) {
+    auto buf = frame_pools_[shard].acquire();
+    if (send_delta) {
+      proto::encode_into(delta_, *buf);
+    } else {
+      proto::encode_into(plan_, *buf);
+    }
+    const net::SharedFrame frame = net::FramePool::freeze(buf);
+    for (Session& s : sessions_) {
+      if (s.shard == shard && s.conn->open() && !s.said_bye) {
+        s.conn->send_frame(frame);
+      }
+    }
+  };
+  if (cfg_.shards == 1) {
+    broadcast_shard(0);
+  } else {
+    std::vector<std::future<void>> joins;
+    joins.reserve(cfg_.shards);
+    for (std::size_t s = 0; s < cfg_.shards; ++s) {
+      joins.push_back(pool().submit([&broadcast_shard, s] { broadcast_shard(s); }));
+    }
+    for (auto& j : joins) j.get();
+  }
+
+  std::swap(base_plan_, sorted_plan_);
+  have_base_plan_ = true;
+  if (send_delta) {
+    ++decisions_since_full_;
+    ++delta_broadcasts_;
+  } else {
+    decisions_since_full_ = 0;
+    force_full_ = false;
+    ++full_broadcasts_;
+  }
 }
 
 bool clamp_cap_plan(proto::CapPlan& plan, double budget_for_busy_w,
@@ -657,6 +809,12 @@ void PerqController::restore(const ControllerState& s) {
   granted_w_ = s.granted_w;
   grant_tick_ = s.grant_tick;
   any_report_ = false;  // re-report the pending tick after a restart
+  // Delta state is deliberately not part of the snapshot: a restarted
+  // controller does not know which plan image the agents hold, so the
+  // first post-restore broadcast is always a full plan.
+  have_base_plan_ = false;
+  force_full_ = true;
+  decisions_since_full_ = 0;
 }
 
 }  // namespace perq::daemon

@@ -47,9 +47,15 @@
 #include "core/robustness.hpp"
 #include "net/frame_pool.hpp"
 #include "net/reactor.hpp"
+#include "net/sharded_reactor.hpp"
 #include "net/transport.hpp"
+#include "proto/delta.hpp"
 #include "sched/job.hpp"
 #include "trace/trace.hpp"
+
+namespace perq {
+class ThreadPool;
+}
 
 namespace perq::daemon {
 
@@ -67,6 +73,23 @@ struct ControllerConfig {
   /// Readiness backend for wait(): epoll on Linux, poll(2) as the portable
   /// fallback. The two are proven interchangeable by the bit-identity test.
   net::Reactor::Backend reactor_backend = net::Reactor::default_backend();
+  /// Data-plane shards: sessions are partitioned by agent id into this many
+  /// reactor shards, each with its own epoll set and frame pool, drained by
+  /// worker tasks. 1 keeps the single-threaded pump; any S produces
+  /// bit-identical decisions (the canonical merge order is shard-blind).
+  std::size_t shards = 1;
+  /// Worker pool for shard tasks; null uses ThreadPool::shared(). Ignored
+  /// when shards == 1.
+  ThreadPool* pool = nullptr;
+  /// Delta-encode broadcasts: send CapPlanDelta frames carrying only the
+  /// caps that changed since the previous broadcast, falling back to the
+  /// full CapPlan whenever an agent (re)joined, the delta would not be
+  /// smaller, or the periodic resync below comes due.
+  bool delta_broadcast = true;
+  /// Broadcast the full plan at least every N decisions even when deltas
+  /// apply, bounding how long a desynchronized agent (missed frame) holds
+  /// stale caps. 0 means no periodic resync (joins still force full plans).
+  std::uint64_t full_plan_every_ticks = 16;
 };
 
 /// Saturates a cap plan into the plant's feasible set: every cap is forced
@@ -144,11 +167,15 @@ class PerqController {
   ///
   /// Determinism contract: readiness order (which epoll reports in
   /// whatever order it likes) never reaches the decision state. Every
-  /// session is drained into its inbox first; Hellos are processed in
+  /// session is drained into its inbox first -- in parallel across the
+  /// reactor shards when cfg.shards > 1 -- then Hellos are processed in
   /// accept order (they only bind agent ids), and everything else is then
-  /// ingested in ascending agent-id order -- the canonical (tick, node-id)
-  /// order, since each agent's frames are FIFO within its connection and
-  /// tick batching is completed before any decision.
+  /// ingested in ascending agent-id order: per-shard sorted batches merged
+  /// through a reduction tree into one canonical sequence, identical to
+  /// the single-pump sort regardless of shard count or arrival order.
+  /// Each agent's frames stay FIFO within its connection and tick batching
+  /// completes before any decision, so this is the canonical
+  /// (tick, node-id) order of the bit-identity contract.
   void pump();
 
   /// Blocks until a registered descriptor (listener, sessions, arbiter
@@ -194,6 +221,11 @@ class PerqController {
   /// The most recently broadcast cap plan (valid after the first decide()).
   const proto::CapPlan& last_plan() const { return plan_; }
 
+  /// Broadcast accounting: how many decide() broadcasts went out as deltas
+  /// vs full plans (their sum is the decision count).
+  std::uint64_t delta_broadcasts() const { return delta_broadcasts_; }
+  std::uint64_t full_broadcasts() const { return full_broadcasts_; }
+
   /// Merged robustness counters: controller-side accounting (corrupt frames,
   /// stale transitions, clamp activations) plus the policy's solver-fallback
   /// count, so one read gives the full picture for the perqd console.
@@ -216,6 +248,10 @@ class PerqController {
     bool any_message = false;
     bool counted_stale = false;  ///< stale transition already counted
     int reg_fd = -1;             ///< fd registered with the reactor
+    /// Reactor shard this session lives in: accept-order round robin until
+    /// the Hello binds the agent id, then re-homed to agent_id % shards so
+    /// the partition is stable across reconnects.
+    std::size_t shard = 0;
     /// Per-pump inbox, reused across ticks (capacity kept) so a steady-
     /// state drain never allocates.
     std::vector<proto::Message> inbox;
@@ -237,14 +273,25 @@ class PerqController {
   void write_snapshot() const;
   void pump_arbiter();
   void send_domain_report();
+  void drain_sessions();
+  void build_ingest_order();
+  void broadcast_plan();
+  ThreadPool& pool();
 
   std::unique_ptr<net::Listener> listener_;
   core::PerqPolicy& policy_;
   ControllerConfig cfg_;
-  net::Reactor reactor_;
-  net::FramePool frame_pool_;  ///< serialize-once broadcast buffers
+  net::ShardedReactor reactor_;
+  /// One frame pool per shard: broadcast frames are encoded once per shard
+  /// by that shard's worker, so pools are never shared across threads.
+  std::vector<net::FramePool> frame_pools_;
+  std::size_t next_shard_ = 0;  ///< accept-order round robin (pre-Hello)
   std::vector<Session> sessions_;
   std::vector<std::size_t> ingest_order_;  ///< scratch: session indices
+  /// Reduction-tree scratch: per-shard session batches (sorted by the
+  /// canonical key) and the pairwise-merge ping-pong buffers.
+  std::vector<std::vector<std::size_t>> shard_order_;
+  std::vector<std::vector<std::size_t>> merge_scratch_;
   std::map<int, Shadow> shadows_;
   proto::Heartbeat hb_{};
   bool have_hb_ = false;
@@ -255,6 +302,16 @@ class PerqController {
   proto::CapPlan plan_;
   DecideStats stats_;
   core::RobustnessCounters counters_;
+  // Delta-broadcast state: the canonical (job-id-sorted) image of the last
+  // broadcast plan, which every in-sync agent also holds as its patch base.
+  proto::CapPlan base_plan_;
+  proto::CapPlan sorted_plan_;   ///< scratch: canonical image of plan_
+  proto::CapPlanDelta delta_;    ///< scratch: diff against base_plan_
+  bool have_base_plan_ = false;
+  bool force_full_ = true;       ///< a (re)joined agent needs a full plan
+  std::uint64_t decisions_since_full_ = 0;
+  std::uint64_t delta_broadcasts_ = 0;
+  std::uint64_t full_broadcasts_ = 0;
   std::vector<sched::Job*> fresh_running_;  ///< scratch for PolicyContext
   /// When the pending tick first became visible (grace accounting).
   std::chrono::steady_clock::time_point pending_since_{};

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 
 #include "util/require.hpp"
+#include "util/thread_pool.hpp"
 
 namespace perq::hier {
 
@@ -17,12 +19,44 @@ ArbiterDaemon::ArbiterDaemon(std::unique_ptr<net::Listener> listener,
                              std::size_t domains, ArbiterDaemonConfig cfg)
     : listener_(std::move(listener)),
       cfg_(cfg),
-      reactor_(cfg.reactor_backend),
+      reactor_(std::max<std::size_t>(1, cfg.shards), cfg.reactor_backend),
       arbiter_(domains),
       slots_(domains) {
   PERQ_REQUIRE(listener_ != nullptr, "arbiter daemon needs a listener");
   PERQ_REQUIRE(cfg_.stale_after_ticks >= 1, "stale_after_ticks must be >= 1");
-  reactor_.add(listener_->fd());
+  cfg_.shards = std::max<std::size_t>(1, cfg_.shards);
+  shard_order_.resize(cfg_.shards);
+  reactor_.add(listener_->fd(), 0);
+}
+
+ThreadPool& ArbiterDaemon::pool() {
+  return cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::shared();
+}
+
+void ArbiterDaemon::drain_sessions() {
+  if (cfg_.shards == 1) {
+    for (Session& session : sessions_) {
+      session.inbox.clear();
+      if (session.conn->open()) session.conn->receive_into(session.inbox);
+    }
+    return;
+  }
+  for (auto& order : shard_order_) order.clear();
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    sessions_[i].inbox.clear();
+    if (sessions_[i].conn->open()) shard_order_[sessions_[i].shard].push_back(i);
+  }
+  std::vector<std::future<void>> joins;
+  for (const auto& order : shard_order_) {
+    if (order.empty()) continue;
+    joins.push_back(pool().submit([this, &order] {
+      for (std::size_t i : order) {
+        Session& session = sessions_[i];
+        session.conn->receive_into(session.inbox);
+      }
+    }));
+  }
+  for (auto& j : joins) j.get();
 }
 
 void ArbiterDaemon::pump() {
@@ -30,15 +64,20 @@ void ArbiterDaemon::pump() {
     Session s;
     s.conn = std::move(conn);
     s.reg_fd = s.conn->fd();
-    reactor_.add(s.reg_fd);
+    s.shard = next_shard_;
+    next_shard_ = (next_shard_ + 1) % cfg_.shards;
+    reactor_.add(s.reg_fd, s.shard);
     sessions_.push_back(std::move(s));
   }
+  // Drain (possibly in parallel across shards), then ingest serially in
+  // session-index order: the newest-report-wins slot update is the same
+  // whichever shard's bytes landed first.
+  drain_sessions();
+  // Messages drained from a connection that closed mid-receive still count
+  // (the old serial pump ingested them too); sessions closed before the
+  // drain have empty inboxes.
   for (std::size_t i = 0; i < sessions_.size(); ++i) {
-    Session& session = sessions_[i];
-    if (!session.conn->open()) continue;
-    session.inbox.clear();
-    session.conn->receive_into(session.inbox);
-    for (const proto::Message& m : session.inbox) {
+    for (const proto::Message& m : sessions_[i].inbox) {
       ingest(i, m);
     }
   }
@@ -50,7 +89,7 @@ void ArbiterDaemon::pump() {
   // domain's controller reconnects and reports again).
   for (std::size_t i = sessions_.size(); i-- > 0;) {
     if (sessions_[i].conn->open()) continue;
-    reactor_.remove(sessions_[i].reg_fd);
+    reactor_.remove(sessions_[i].reg_fd, sessions_[i].shard);
     for (DomainSlot& slot : slots_) {
       if (slot.session == i) {
         slot.session = SIZE_MAX;

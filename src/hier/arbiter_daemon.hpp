@@ -32,7 +32,12 @@
 #include "hier/arbiter.hpp"
 #include "net/frame_pool.hpp"
 #include "net/reactor.hpp"
+#include "net/sharded_reactor.hpp"
 #include "net/transport.hpp"
+
+namespace perq {
+class ThreadPool;
+}  // namespace perq
 
 namespace perq::hier {
 
@@ -42,6 +47,13 @@ struct ArbiterDaemonConfig {
   std::uint64_t stale_after_ticks = 3;
   /// Readiness backend for wait() (see ControllerConfig::reactor_backend).
   net::Reactor::Backend reactor_backend = net::Reactor::default_backend();
+  /// Reactor shards for the session drain (sessions are assigned round
+  /// robin at accept). 1 keeps the original serial pump; the grant math
+  /// in try_decide() is serial regardless, so any S is bit-identical.
+  std::size_t shards = 1;
+  /// Worker pool for the per-shard drain (nullptr: process-wide shared
+  /// pool). Only consulted when shards > 1.
+  ThreadPool* pool = nullptr;
 };
 
 class ArbiterDaemon {
@@ -99,7 +111,8 @@ class ArbiterDaemon {
     std::unique_ptr<net::Connection> conn;
     bool bound = false;
     std::uint32_t domain_id = 0;
-    int reg_fd = -1;  ///< fd registered with the reactor
+    int reg_fd = -1;          ///< fd registered with the reactor
+    std::size_t shard = 0;    ///< reactor shard this session lives on
     /// Per-pump inbox, reused across ticks (capacity kept).
     std::vector<proto::Message> inbox;
   };
@@ -114,14 +127,23 @@ class ArbiterDaemon {
 
   void ingest(std::size_t session_index, const proto::Message& m);
   bool try_decide();
+  /// Fills every open session's inbox: serial for shards == 1, otherwise
+  /// one drain task per non-empty shard on the worker pool. Ingestion
+  /// stays serial in session-index order either way, so the decision
+  /// state never depends on drain scheduling.
+  void drain_sessions();
+  ThreadPool& pool();
 
   std::unique_ptr<net::Listener> listener_;
   ArbiterDaemonConfig cfg_;
-  net::Reactor reactor_;
+  net::ShardedReactor reactor_;
   net::FramePool frame_pool_;  ///< serialize-once grant buffers
   BudgetArbiter arbiter_;
   std::vector<Session> sessions_;
   std::vector<DomainSlot> slots_;
+  std::size_t next_shard_ = 0;  ///< round-robin accept assignment
+  /// Per-shard session-index scratch for the parallel drain.
+  std::vector<std::vector<std::size_t>> shard_order_;
   core::RobustnessCounters counters_;  ///< arbiter-side screening only
   bool any_decision_ = false;
   std::uint64_t decided_tick_ = 0;

@@ -7,59 +7,97 @@
 
 namespace perq::net {
 
-namespace {
+/// One queued message: either owned in place (send) or jointly owned with
+/// every other recipient of the same broadcast (send_shared).
+struct LoopbackItem {
+  proto::Message msg;
+  std::shared_ptr<const proto::Message> shared;
+
+  const proto::Message& view() const { return shared ? *shared : msg; }
+};
 
 /// Shared state of one connection: a queue per direction plus open flags.
-struct QueuePair {
+struct LoopbackQueue {
   std::mutex mu;
-  std::deque<proto::Message> to_server;
-  std::deque<proto::Message> to_client;
+  std::deque<LoopbackItem> to_server;
+  std::deque<LoopbackItem> to_client;
   bool server_open = true;
   bool client_open = true;
 };
 
-class LoopbackConnection final : public Connection {
- public:
-  LoopbackConnection(std::shared_ptr<QueuePair> q, bool is_server)
-      : q_(std::move(q)), is_server_(is_server) {}
+LoopbackConnection::LoopbackConnection(std::shared_ptr<LoopbackQueue> q,
+                                       bool is_server)
+    : q_(std::move(q)), is_server_(is_server) {}
 
-  ~LoopbackConnection() override { close(); }
+LoopbackConnection::~LoopbackConnection() { close(); }
 
-  bool send(const proto::Message& m) override {
-    std::lock_guard lock(q_->mu);
-    if (!my_open() || !peer_open()) return false;
-    (is_server_ ? q_->to_client : q_->to_server).push_back(m);
-    return true;
+bool LoopbackConnection::send(const proto::Message& m) {
+  std::lock_guard lock(q_->mu);
+  if (!my_open() || !peer_open()) return false;
+  (is_server_ ? q_->to_client : q_->to_server).push_back({m, nullptr});
+  return true;
+}
+
+bool LoopbackConnection::send_shared(std::shared_ptr<const proto::Message> m) {
+  if (m == nullptr) return false;
+  std::lock_guard lock(q_->mu);
+  if (!my_open() || !peer_open()) return false;
+  (is_server_ ? q_->to_client : q_->to_server)
+      .push_back({proto::Message{}, std::move(m)});
+  return true;
+}
+
+std::vector<proto::Message> LoopbackConnection::receive() {
+  std::lock_guard lock(q_->mu);
+  auto& inbox = is_server_ ? q_->to_server : q_->to_client;
+  std::vector<proto::Message> out;
+  out.reserve(inbox.size());
+  for (LoopbackItem& it : inbox) {
+    out.push_back(it.shared ? *it.shared : std::move(it.msg));
   }
+  inbox.clear();
+  return out;
+}
 
-  std::vector<proto::Message> receive() override {
-    std::lock_guard lock(q_->mu);
-    auto& inbox = is_server_ ? q_->to_server : q_->to_client;
-    std::vector<proto::Message> out(inbox.begin(), inbox.end());
-    inbox.clear();
-    return out;
+void LoopbackConnection::receive_into(std::vector<proto::Message>& out) {
+  std::lock_guard lock(q_->mu);
+  auto& inbox = is_server_ ? q_->to_server : q_->to_client;
+  for (LoopbackItem& it : inbox) {
+    out.push_back(it.shared ? *it.shared : std::move(it.msg));
   }
+  inbox.clear();
+}
 
-  bool open() const override {
-    std::lock_guard lock(q_->mu);
-    // Like a socket: stays readable-open until the inbox drains even if the
-    // peer already closed, so no queued message is lost on shutdown.
-    const auto& inbox = is_server_ ? q_->to_server : q_->to_client;
-    return my_open() && (peer_open() || !inbox.empty());
-  }
+void LoopbackConnection::drain(
+    const std::function<void(const proto::Message&)>& f) {
+  std::lock_guard lock(q_->mu);
+  auto& inbox = is_server_ ? q_->to_server : q_->to_client;
+  for (const LoopbackItem& it : inbox) f(it.view());
+  inbox.clear();
+}
 
-  void close() override {
-    std::lock_guard lock(q_->mu);
-    (is_server_ ? q_->server_open : q_->client_open) = false;
-  }
+bool LoopbackConnection::open() const {
+  std::lock_guard lock(q_->mu);
+  // Like a socket: stays readable-open until the inbox drains even if the
+  // peer already closed, so no queued message is lost on shutdown.
+  const auto& inbox = is_server_ ? q_->to_server : q_->to_client;
+  return my_open() && (peer_open() || !inbox.empty());
+}
 
- private:
-  bool my_open() const { return is_server_ ? q_->server_open : q_->client_open; }
-  bool peer_open() const { return is_server_ ? q_->client_open : q_->server_open; }
+void LoopbackConnection::close() {
+  std::lock_guard lock(q_->mu);
+  (is_server_ ? q_->server_open : q_->client_open) = false;
+}
 
-  std::shared_ptr<QueuePair> q_;
-  bool is_server_;
-};
+bool LoopbackConnection::my_open() const {
+  return is_server_ ? q_->server_open : q_->client_open;
+}
+
+bool LoopbackConnection::peer_open() const {
+  return is_server_ ? q_->client_open : q_->server_open;
+}
+
+namespace {
 
 struct ListenerState {
   std::mutex mu;
@@ -127,7 +165,7 @@ std::unique_ptr<Connection> LoopbackTransport::connect(const std::string& addres
                  "no loopback listener at: " + address);
     state = it->second;
   }
-  auto pair = std::make_shared<QueuePair>();
+  auto pair = std::make_shared<LoopbackQueue>();
   auto client = std::make_unique<LoopbackConnection>(pair, /*is_server=*/false);
   {
     std::lock_guard lock(state->mu);

@@ -8,12 +8,52 @@
 // transport also works when the controller runs on its own thread.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 
 #include "net/transport.hpp"
 
 namespace perq::net {
+
+struct LoopbackQueue;
+
+/// One endpoint of an in-process connection. Beyond the Connection
+/// interface it offers two colocated-fleet fast paths that a socket cannot:
+/// refcounted broadcast delivery (send_shared: one decoded message fanned
+/// out to thousands of peers without a copy per connection) and in-place
+/// receive (drain: the callback reads queued messages where they sit, so a
+/// steady-state tick moves zero message bytes).
+class LoopbackConnection final : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<LoopbackQueue> q, bool is_server);
+  ~LoopbackConnection() override;
+
+  bool send(const proto::Message& m) override;
+  std::vector<proto::Message> receive() override;
+  void receive_into(std::vector<proto::Message>& out) override;
+  bool open() const override;
+  void close() override;
+
+  /// Queues a message owned jointly with the caller (and every other
+  /// recipient of the same broadcast): delivery is a refcount bump, not a
+  /// copy. FIFO order with send() is preserved. receive()/receive_into()
+  /// still yield owned values (they copy shared messages out); drain() is
+  /// the copy-free way to read them.
+  bool send_shared(std::shared_ptr<const proto::Message> m);
+
+  /// Calls `f` on every queued inbound message in FIFO order without
+  /// copying or moving it, then clears the queue. The references are only
+  /// valid inside the call.
+  void drain(const std::function<void(const proto::Message&)>& f);
+
+ private:
+  bool my_open() const;
+  bool peer_open() const;
+
+  std::shared_ptr<LoopbackQueue> q_;
+  bool is_server_;
+};
 
 class LoopbackTransport final : public Transport {
  public:

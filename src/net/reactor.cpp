@@ -100,7 +100,16 @@ int Reactor::wait(int timeout_ms) {
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   if (fds_.empty()) {
     // Nothing registered: pure pacing sleep, same as wait_readable({}, ms).
-    if (timeout_ms > 0) ::poll(nullptr, 0, timeout_ms);
+    // EINTR must be retried against the deadline like the registered paths
+    // below do -- an early return here would surface as an empty readiness
+    // set indistinguishable from a real timeout, silently shortening the
+    // caller's pacing interval whenever a signal lands mid-sleep.
+    while (timeout_ms > 0) {
+      const int left = remaining_ms(deadline);
+      if (left <= 0) break;
+      if (::poll(nullptr, 0, left) >= 0) break;
+      if (errno != EINTR) break;
+    }
     return 0;
   }
 #ifdef __linux__

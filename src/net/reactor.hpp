@@ -70,6 +70,12 @@ class Reactor {
   Backend backend() const { return backend_; }
   std::size_t size() const { return fds_.size(); }
 
+  /// The backing epoll descriptor (kEpoll), or -1 on the poll backend. An
+  /// epoll fd is itself pollable -- readable while events are pending --
+  /// which is what lets ShardedReactor wait on S shard reactors at once
+  /// without flattening their interest sets.
+  int pollable_fd() const { return epfd_; }
+
  private:
   Backend backend_;
   int epfd_ = -1;              ///< epoll instance (kEpoll only)

@@ -1,0 +1,79 @@
+// Sharded readiness reactor: S independent interest sets under one wait.
+//
+// The sharded data plane partitions connections by agent id into S shards,
+// each drained by its own worker task. Readiness must shard the same way:
+// a worker polling a shared interest set would either contend on one epoll
+// or see other shards' fds. ShardedReactor keeps one inner Reactor per
+// shard -- its own epoll set, registered once per connection -- and makes
+// the *combined* wait cheap by exploiting that an epoll fd is itself
+// pollable: wait() polls the S shard descriptors (S is small, one pollfd
+// each) and then lets only the ready shards collect their events.
+//
+// Worker tasks never call wait(); they call shard(s).wait(0) -- a
+// non-blocking collect on their own reactor -- or simply drain their
+// sessions directly. The combined wait exists for the single-threaded
+// service loops (perqd's pacing wait), which need "anything ready
+// anywhere, or timeout".
+//
+// On the kPoll backend readiness is a flat poll(2) either way, so the
+// shards share one inner reactor and the shard argument only routes
+// bookkeeping -- semantics (including ready() order) are identical.
+//
+// Determinism: like Reactor, ready() is sorted ascending by fd, and
+// nothing about shard structure reaches the caller's processing order.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "net/reactor.hpp"
+
+namespace perq::net {
+
+class ShardedReactor {
+ public:
+  explicit ShardedReactor(std::size_t shards,
+                          Reactor::Backend backend = Reactor::default_backend());
+
+  std::size_t shards() const { return shards_; }
+  Reactor::Backend backend() const { return backend_; }
+
+  /// The shard's own reactor (kEpoll: a distinct instance per shard;
+  /// kPoll: every index aliases the single flat reactor).
+  Reactor& shard(std::size_t s) { return *reactors_[index(s)]; }
+
+  /// Registers `fd` for readability in shard `s`. Ignored when fd < 0 or
+  /// already registered (same idiom as Reactor::add).
+  void add(int fd, std::size_t s) { shard(s).add(fd); }
+
+  /// Deregisters `fd` from shard `s`. The caller owns the fd -> shard
+  /// mapping; removing from the wrong shard is a silent no-op, exactly as
+  /// removing an unregistered fd is.
+  void remove(int fd, std::size_t s) { shard(s).remove(fd); }
+
+  /// Blocks up to `timeout_ms` for readability anywhere; returns the ready
+  /// count (0 on timeout) and fills ready() with the union of the ready
+  /// shards' fds, sorted ascending. EINTR is retried against the deadline.
+  /// Empty interest sets degrade to a pacing sleep, like Reactor::wait.
+  int wait(int timeout_ms);
+
+  /// Fds readable at the last wait(), sorted ascending.
+  const std::vector<int>& ready() const { return ready_; }
+
+  /// Total registered fds across all shards.
+  std::size_t size() const;
+
+ private:
+  std::size_t index(std::size_t s) const {
+    return reactors_.size() == 1 ? 0 : s % shards_;
+  }
+
+  std::size_t shards_;
+  Reactor::Backend backend_;
+  /// kEpoll: one reactor per shard. kPoll: a single shared flat reactor.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<int> ready_;
+};
+
+}  // namespace perq::net

@@ -1,0 +1,107 @@
+#include "proto/delta.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace perq::proto {
+
+namespace {
+
+/// Bit-exact payload equality: the delta must reproduce the full plan's
+/// bytes, so NaN payloads and signed zeros compare as their bit patterns,
+/// not by IEEE semantics.
+bool same_payload(const CapEntry& a, const CapEntry& b) {
+  return std::bit_cast<std::uint64_t>(a.cap_w) ==
+             std::bit_cast<std::uint64_t>(b.cap_w) &&
+         std::bit_cast<std::uint64_t>(a.target_ips) ==
+             std::bit_cast<std::uint64_t>(b.target_ips) &&
+         a.held == b.held;
+}
+
+}  // namespace
+
+void canonicalize(CapPlan& plan) {
+  std::sort(plan.entries.begin(), plan.entries.end(),
+            [](const CapEntry& a, const CapEntry& b) {
+              return a.job_id < b.job_id;
+            });
+}
+
+void make_delta(const CapPlan& base, const CapPlan& next, CapPlanDelta& out) {
+  out.tick = next.tick;
+  out.base_tick = base.tick;
+  out.result_entries = static_cast<std::uint32_t>(next.entries.size());
+  out.ops.clear();
+
+  std::size_t i = 0;  // base cursor
+  std::size_t j = 0;  // next cursor
+  while (i < base.entries.size() && j < next.entries.size()) {
+    const CapEntry& b = base.entries[i];
+    const CapEntry& n = next.entries[j];
+    if (b.job_id < n.job_id) {
+      out.ops.push_back({kDeltaRemove, CapEntry{b.job_id, 0.0, 0.0, 0}});
+      ++i;
+    } else if (n.job_id < b.job_id) {
+      out.ops.push_back({kDeltaInsert, n});
+      ++j;
+    } else {
+      if (!same_payload(b, n)) out.ops.push_back({kDeltaUpdate, n});
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < base.entries.size(); ++i) {
+    out.ops.push_back({kDeltaRemove, CapEntry{base.entries[i].job_id, 0.0, 0.0, 0}});
+  }
+  for (; j < next.entries.size(); ++j) {
+    out.ops.push_back({kDeltaInsert, next.entries[j]});
+  }
+}
+
+bool apply_delta(const CapPlan& base, const CapPlanDelta& d, CapPlan& out) {
+  if (base.tick != d.base_tick) return false;
+
+  out.tick = d.tick;
+  out.entries.clear();
+
+  std::size_t i = 0;  // base cursor
+  bool any_op = false;
+  std::int32_t prev_op_id = 0;
+  for (const CapDeltaOp& o : d.ops) {
+    // Canonical grammar: strictly ascending op ids (also rejects duplicate
+    // ops for one job, which would make application order-dependent).
+    if (any_op && o.entry.job_id <= prev_op_id) return false;
+    any_op = true;
+    prev_op_id = o.entry.job_id;
+
+    while (i < base.entries.size() && base.entries[i].job_id < o.entry.job_id) {
+      out.entries.push_back(base.entries[i]);
+      ++i;
+    }
+    const bool present =
+        i < base.entries.size() && base.entries[i].job_id == o.entry.job_id;
+    switch (o.op) {
+      case kDeltaUpdate:
+        if (!present) return false;  // update of an unknown job id
+        out.entries.push_back(o.entry);
+        ++i;
+        break;
+      case kDeltaInsert:
+        if (present) return false;  // insert of an id already in the base
+        out.entries.push_back(o.entry);
+        break;
+      case kDeltaRemove:
+        if (!present) return false;  // remove of an unknown job id
+        ++i;
+        break;
+      default:
+        return false;
+    }
+  }
+  for (; i < base.entries.size(); ++i) out.entries.push_back(base.entries[i]);
+
+  return out.entries.size() == static_cast<std::size_t>(d.result_entries);
+}
+
+}  // namespace perq::proto

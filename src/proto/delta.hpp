@@ -1,0 +1,47 @@
+// CapPlan delta encoding: diff and patch between consecutive broadcasts.
+//
+// At scale the cap plan is the broadcast bandwidth bill: na agents each
+// decode an O(jobs) plan every control interval even when only a handful of
+// caps moved. A CapPlanDelta carries just the changed entries; the agent
+// patches its copy of the previous plan and actuates the reconstructed one.
+//
+// Canonical form keeps both sides honest:
+//   * A delta's base and result plans are ordered by ascending job id
+//     (canonicalize() produces that order), and its ops are strictly
+//     ascending by job id -- the diff of two sorted lists. apply_delta
+//     rejects any delta violating this grammar.
+//   * Payload comparison is bit-exact (doubles compared as raw IEEE-754
+//     bits), so a reconstructed plan carries byte-identical caps and
+//     targets to the full plan it stands in for. Entry *order* of a
+//     reconstructed plan is the canonical sorted order, not the
+//     controller's policy order; every consumer looks entries up by job id,
+//     so cap trajectories are unaffected.
+//   * apply_delta is all-or-nothing: a stale base tick (missed broadcast,
+//     fresh rejoin), an op on an unknown job id, an insert of an existing
+//     id, or a result count mismatch rejects the whole delta and leaves the
+//     output untouched. The receiver then holds its caps until the next
+//     full CapPlan resynchronizes it.
+#pragma once
+
+#include "proto/message.hpp"
+
+namespace perq::proto {
+
+/// Sorts a plan's entries into the canonical delta order (ascending job
+/// id). Job ids are unique within a plan, so the order is total.
+void canonicalize(CapPlan& plan);
+
+/// Diffs `next` against `base` into `out` (cleared first, capacity kept).
+/// Both plans must be in canonical order. Unchanged entries (bit-identical
+/// cap_w, target_ips, held) produce no op.
+void make_delta(const CapPlan& base, const CapPlan& next, CapPlanDelta& out);
+
+/// Patches `base` with `d` into `out` (cleared first, capacity kept).
+/// Returns false -- with `out` unspecified -- when the delta does not
+/// apply: base tick mismatch, non-canonical op order, update/remove of a
+/// job id absent from the base, insert of one already present, or a
+/// patched entry count different from d.result_entries. The caller must
+/// not actuate a rejected delta.
+bool apply_delta(const CapPlan& base, const CapPlanDelta& d, CapPlan& out);
+
+}  // namespace perq::proto

@@ -82,6 +82,20 @@ void write_body(WireWriter& w, const BudgetGrant& m) {
   w.f64(m.cluster_budget_w);
 }
 
+void write_body(WireWriter& w, const CapPlanDelta& m) {
+  w.u64(m.tick);
+  w.u64(m.base_tick);
+  w.u32(m.result_entries);
+  w.u32(static_cast<std::uint32_t>(m.ops.size()));
+  for (const CapDeltaOp& o : m.ops) {
+    w.u8(o.op);
+    w.i32(o.entry.job_id);
+    w.f64(o.entry.cap_w);
+    w.f64(o.entry.target_ips);
+    w.u8(o.entry.held);
+  }
+}
+
 Hello read_hello(WireReader& r) {
   Hello m;
   m.agent_id = r.u32();
@@ -108,13 +122,13 @@ Telemetry read_telemetry(WireReader& r) {
   return m;
 }
 
-std::optional<CapPlan> read_cap_plan(WireReader& r) {
-  CapPlan m;
+bool read_cap_plan(WireReader& r, CapPlan& m) {
+  m.entries.clear();  // capacity kept: the reuse contract of parse_frame_into
   m.tick = r.u64();
   const std::uint32_t n = r.u32();
   // Each entry is at least 21 bytes; a count that cannot fit in the
   // remaining body is a forged length, not a short read.
-  if (!r.ok() || static_cast<std::size_t>(n) * 21 > r.remaining()) return std::nullopt;
+  if (!r.ok() || static_cast<std::size_t>(n) * 21 > r.remaining()) return false;
   m.entries.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     CapEntry e;
@@ -124,7 +138,7 @@ std::optional<CapPlan> read_cap_plan(WireReader& r) {
     e.held = r.u8();
     m.entries.push_back(e);
   }
-  return m;
+  return true;
 }
 
 Heartbeat read_heartbeat(WireReader& r) {
@@ -177,6 +191,39 @@ BudgetGrant read_budget_grant(WireReader& r) {
   return m;
 }
 
+bool read_cap_plan_delta(WireReader& r, CapPlanDelta& m) {
+  m.ops.clear();  // capacity kept: the reuse contract of parse_frame_into
+  m.tick = r.u64();
+  m.base_tick = r.u64();
+  m.result_entries = r.u32();
+  const std::uint32_t n = r.u32();
+  // Each op is exactly 22 bytes; a count that cannot fit in the remaining
+  // body is a forged length, not a short read.
+  if (!r.ok() || static_cast<std::size_t>(n) * 22 > r.remaining()) return false;
+  m.ops.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CapDeltaOp o;
+    o.op = r.u8();
+    o.entry.job_id = r.i32();
+    o.entry.cap_w = r.f64();
+    o.entry.target_ips = r.f64();
+    o.entry.held = r.u8();
+    // An op byte outside the known set is a malformed body, not forward
+    // compatibility: the frame type is known, so its grammar is fixed.
+    if (o.op > kDeltaRemove) return false;
+    m.ops.push_back(o);
+  }
+  return true;
+}
+
+/// Reuses `out`'s current alternative when it already is a T (dynamic
+/// bodies keep their capacity); otherwise switches the variant to T.
+template <typename T>
+T& slot_as(Message& out) {
+  if (T* p = std::get_if<T>(&out)) return *p;
+  return out.emplace<T>();
+}
+
 }  // namespace
 
 MsgType type_of(const Message& m) {
@@ -188,6 +235,7 @@ MsgType type_of(const Message& m) {
     MsgType operator()(const Bye&) const { return MsgType::kBye; }
     MsgType operator()(const DomainReport&) const { return MsgType::kDomainReport; }
     MsgType operator()(const BudgetGrant&) const { return MsgType::kBudgetGrant; }
+    MsgType operator()(const CapPlanDelta&) const { return MsgType::kCapPlanDelta; }
   };
   return std::visit(Visitor{}, m);
 }
@@ -201,6 +249,7 @@ std::string to_string(MsgType t) {
     case MsgType::kBye: return "Bye";
     case MsgType::kDomainReport: return "DomainReport";
     case MsgType::kBudgetGrant: return "BudgetGrant";
+    case MsgType::kCapPlanDelta: return "CapPlanDelta";
   }
   return "unknown";
 }
@@ -223,31 +272,35 @@ void encode_into(const Message& m, std::vector<std::uint8_t>& out) {
 }
 
 std::optional<Message> parse_frame(const std::uint8_t* data, std::size_t size) {
-  WireReader r(data, size);
-  if (r.u16() != kMagic) return std::nullopt;
-  if (r.u8() != kVersion) return std::nullopt;
-  const std::uint8_t type = r.u8();
-  if (!r.ok()) return std::nullopt;
+  Message m;
+  if (!parse_frame_into(data, size, m)) return std::nullopt;
+  return m;
+}
 
-  std::optional<Message> m;
+bool parse_frame_into(const std::uint8_t* data, std::size_t size, Message& out) {
+  WireReader r(data, size);
+  if (r.u16() != kMagic) return false;
+  if (r.u8() != kVersion) return false;
+  const std::uint8_t type = r.u8();
+  if (!r.ok()) return false;
+
   switch (static_cast<MsgType>(type)) {
-    case MsgType::kHello: m = read_hello(r); break;
-    case MsgType::kTelemetry: m = read_telemetry(r); break;
-    case MsgType::kCapPlan: {
-      auto plan = read_cap_plan(r);
-      if (!plan) return std::nullopt;
-      m = std::move(*plan);
+    case MsgType::kHello: out = read_hello(r); break;
+    case MsgType::kTelemetry: out = read_telemetry(r); break;
+    case MsgType::kCapPlan:
+      if (!read_cap_plan(r, slot_as<CapPlan>(out))) return false;
       break;
-    }
-    case MsgType::kHeartbeat: m = read_heartbeat(r); break;
-    case MsgType::kBye: m = read_bye(r); break;
-    case MsgType::kDomainReport: m = read_domain_report(r); break;
-    case MsgType::kBudgetGrant: m = read_budget_grant(r); break;
-    default: return std::nullopt;
+    case MsgType::kHeartbeat: out = read_heartbeat(r); break;
+    case MsgType::kBye: out = read_bye(r); break;
+    case MsgType::kDomainReport: out = read_domain_report(r); break;
+    case MsgType::kBudgetGrant: out = read_budget_grant(r); break;
+    case MsgType::kCapPlanDelta:
+      if (!read_cap_plan_delta(r, slot_as<CapPlanDelta>(out))) return false;
+      break;
+    default: return false;
   }
   // Truncated body (a read overran) or trailing junk both reject.
-  if (!r.exhausted()) return std::nullopt;
-  return m;
+  return r.exhausted();
 }
 
 void FrameDecoder::poison(const std::string& why) {
@@ -271,8 +324,12 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
     }
     if (avail < 4 + static_cast<std::size_t>(len)) break;  // frame incomplete
     const std::uint8_t* frame = buf_.data() + consumed_ + 4;
-    auto msg = parse_frame(frame, len);
-    if (!msg) {
+    // Decode into the next pool slot: a slot that carries the same frame
+    // type every tick (e.g. the broadcast plan) reuses its capacity, so
+    // the steady-state decode never allocates. A failed parse leaves the
+    // slot unspecified, which is fine -- it is not counted live.
+    if (live_ == out_.size()) out_.emplace_back();
+    if (!parse_frame_into(frame, len, out_[live_])) {
       // Forward compatibility: a frame whose framing is intact (magic and
       // version verify, length prefix already validated) but whose type
       // byte we do not know is a *newer* peer talking, not corruption.
@@ -283,7 +340,7 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
       const std::uint8_t type = hdr.u8();
       const bool known =
           type >= static_cast<std::uint8_t>(MsgType::kHello) &&
-          type <= static_cast<std::uint8_t>(MsgType::kBudgetGrant);
+          type <= static_cast<std::uint8_t>(MsgType::kCapPlanDelta);
       if (framing_ok && hdr.ok() && !known) {
         ++unknown_skipped_;
         consumed_ += 4 + len;
@@ -292,7 +349,7 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
       poison("malformed frame body");
       return;
     }
-    out_.push_back(std::move(*msg));
+    ++live_;
     consumed_ += 4 + len;
   }
   // Compact once the parsed prefix dominates the buffer.
@@ -304,14 +361,16 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
 }
 
 std::vector<Message> FrameDecoder::take() {
-  std::vector<Message> msgs = std::move(out_);
-  out_.clear();
+  std::vector<Message> msgs;
+  msgs.reserve(live_);
+  for (std::size_t i = 0; i < live_; ++i) msgs.push_back(std::move(out_[i]));
+  live_ = 0;
   return msgs;
 }
 
 void FrameDecoder::drain(std::vector<Message>& out) {
-  for (Message& m : out_) out.push_back(std::move(m));
-  out_.clear();
+  for (std::size_t i = 0; i < live_; ++i) out.push_back(std::move(out_[i]));
+  live_ = 0;
 }
 
 }  // namespace perq::proto

@@ -25,6 +25,9 @@
 //   Bye          agent -> controller    graceful leave (no staleness alarm)
 //   DomainReport domain ctl -> arbiter  demand + utility for one budget domain
 //   BudgetGrant  arbiter -> domain ctl  the domain's watt allocation this tick
+//   CapPlanDelta controller -> agents   only the caps that changed since the
+//                                       last broadcast plan (full CapPlan is
+//                                       the rejoin/resync fallback)
 #pragma once
 
 #include <cstdint>
@@ -50,6 +53,7 @@ enum class MsgType : std::uint8_t {
   kBye = 5,
   kDomainReport = 6,
   kBudgetGrant = 7,
+  kCapPlanDelta = 8,
 };
 
 /// Agent introduction: which slice of the machine room it speaks for.
@@ -149,8 +153,35 @@ struct BudgetGrant {
   double cluster_budget_w = 0.0;   ///< total the grants were carved from
 };
 
+/// CapPlanDelta op kinds. Update and insert carry a full CapEntry; remove
+/// carries only the job id (its entry fields are ignored on the wire level
+/// but still travel, keeping every op fixed-width).
+inline constexpr std::uint8_t kDeltaUpdate = 0;
+inline constexpr std::uint8_t kDeltaInsert = 1;
+inline constexpr std::uint8_t kDeltaRemove = 2;
+
+struct CapDeltaOp {
+  std::uint8_t op = kDeltaUpdate;
+  CapEntry entry;
+};
+
+/// Differential cap broadcast: patches the receiver's copy of the plan for
+/// `base_tick` into the plan for `tick`. The receiver's base plan is kept
+/// sorted by job id (apply_delta's canonical order); `result_entries` is
+/// the entry count of the patched plan, an end-to-end integrity check. A
+/// receiver whose base does not match `base_tick` (missed broadcast, fresh
+/// rejoin) must reject the delta and hold its caps until the next full
+/// CapPlan resynchronizes it -- the controller periodically broadcasts the
+/// full plan and always does so when a new agent joined.
+struct CapPlanDelta {
+  std::uint64_t tick = 0;
+  std::uint64_t base_tick = 0;
+  std::uint32_t result_entries = 0;
+  std::vector<CapDeltaOp> ops;
+};
+
 using Message = std::variant<Hello, Telemetry, CapPlan, Heartbeat, Bye,
-                             DomainReport, BudgetGrant>;
+                             DomainReport, BudgetGrant, CapPlanDelta>;
 
 MsgType type_of(const Message& m);
 std::string to_string(MsgType t);
@@ -167,6 +198,14 @@ void encode_into(const Message& m, std::vector<std::uint8_t>& out);
 /// on any malformation; never throws, never reads out of bounds.
 std::optional<Message> parse_frame(const std::uint8_t* data, std::size_t size);
 
+/// Parses into a caller-owned Message, reusing its heap state: when `out`
+/// already holds the same alternative, dynamic bodies (CapPlan::entries,
+/// CapPlanDelta::ops) are cleared and refilled in place, so a slot that
+/// sees the same frame type every tick decodes allocation-free once its
+/// capacity has warmed up. Returns false on any malformation, in which
+/// case `out` is unspecified (the caller must not read it).
+bool parse_frame_into(const std::uint8_t* data, std::size_t size, Message& out);
+
 /// Incremental stream decoder: feed raw bytes, take out complete messages.
 /// A malformed frame poisons the decoder permanently (stream framing is
 /// unrecoverable once corrupt); `error()` says why.
@@ -182,10 +221,23 @@ class FrameDecoder {
   std::vector<Message> take();
 
   /// Appends the messages decoded so far to `out` and clears the internal
-  /// list *keeping its capacity* -- unlike take(), which moves the vector
-  /// (and its allocation) out. Receive hot paths call this with a
-  /// persistent scratch vector so a steady-state tick never allocates.
+  /// list *keeping its capacity* -- unlike take(), which materializes a
+  /// fresh vector. Receive hot paths call this with a persistent scratch
+  /// vector so a steady-state tick never allocates in the framing layer
+  /// (moved-out dynamic bodies still surrender their capacity).
   void drain(std::vector<Message>& out);
+
+  /// In-place consumption: calls `f(Message&)` for each decoded message,
+  /// then resets the logical count. Nothing is moved or copied -- the
+  /// message slots persist across feed/consume cycles, so a slot that
+  /// carries the same frame type every tick (the broadcast steady state)
+  /// reuses its dynamic-body capacity and the whole decode path is
+  /// allocation-free. The references are only valid inside the call.
+  template <typename F>
+  void consume(F&& f) {
+    for (std::size_t i = 0; i < live_; ++i) f(out_[i]);
+    live_ = 0;
+  }
 
   bool corrupt() const { return corrupt_; }
   const std::string& error() const { return error_; }
@@ -198,7 +250,10 @@ class FrameDecoder {
 
   std::vector<std::uint8_t> buf_;
   std::size_t consumed_ = 0;  ///< bytes of buf_ already parsed
+  /// Slot pool: indices [0, live_) are decoded-but-unconsumed messages;
+  /// slots past live_ are retained for their warmed-up capacity.
   std::vector<Message> out_;
+  std::size_t live_ = 0;
   bool corrupt_ = false;
   std::string error_;
   std::uint64_t unknown_skipped_ = 0;

@@ -1,0 +1,240 @@
+// CapPlanDelta contract tests: the diff/patch pair reconstructs plans
+// bit-for-bit, the wire codec round-trips deltas exactly, and apply_delta
+// rejects -- whole, with no partial state -- every malformed delta a lossy
+// or adversarial channel can produce: stale chain epoch, unknown job id,
+// insert collisions, out-of-order ops, lying result counts, truncation.
+#include "proto/delta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+
+#include "proto/message.hpp"
+#include "proto/wire.hpp"
+
+namespace perq::proto {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+CapPlan canonical_plan(std::uint64_t tick) {
+  CapPlan p;
+  p.tick = tick;
+  p.entries.push_back({-9, 140.0, 1.0e9, 0});
+  p.entries.push_back({2, 250.0, 2.5e9, 0});
+  p.entries.push_back({5, 115.5, 0.0, 1});
+  p.entries.push_back({300, 290.0, 1.25e9, 0});
+  return p;
+}
+
+void expect_plans_bit_identical(const CapPlan& a, const CapPlan& b) {
+  EXPECT_EQ(a.tick, b.tick);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].job_id, b.entries[i].job_id) << "entry " << i;
+    EXPECT_EQ(bits(a.entries[i].cap_w), bits(b.entries[i].cap_w))
+        << "entry " << i;
+    EXPECT_EQ(bits(a.entries[i].target_ips), bits(b.entries[i].target_ips))
+        << "entry " << i;
+    EXPECT_EQ(a.entries[i].held, b.entries[i].held) << "entry " << i;
+  }
+}
+
+/// Frame body (everything after the length prefix) of one message.
+std::vector<std::uint8_t> body_of(const Message& m) {
+  const auto frame = encode(m);
+  return std::vector<std::uint8_t>(frame.begin() + 4, frame.end());
+}
+
+TEST(CapPlanDelta, DiffThenPatchReconstructsBitForBit) {
+  const CapPlan base = canonical_plan(10);
+  CapPlan next = canonical_plan(11);
+  next.entries[1].cap_w = 199.0;             // update
+  next.entries.erase(next.entries.begin());  // remove job -9
+  next.entries.push_back({301, 180.0, 3e9, 0});  // insert at the tail
+
+  CapPlanDelta d;
+  make_delta(base, next, d);
+  EXPECT_EQ(d.tick, 11u);
+  EXPECT_EQ(d.base_tick, 10u);
+  EXPECT_EQ(d.result_entries, next.entries.size());
+  EXPECT_EQ(d.ops.size(), 3u);  // one remove, one update, one insert
+
+  CapPlan out;
+  ASSERT_TRUE(apply_delta(base, d, out));
+  expect_plans_bit_identical(out, next);
+}
+
+TEST(CapPlanDelta, UnchangedPlanDiffsToZeroOps) {
+  const CapPlan base = canonical_plan(4);
+  CapPlan next = canonical_plan(5);  // same payloads, new tick
+  CapPlanDelta d;
+  make_delta(base, next, d);
+  EXPECT_TRUE(d.ops.empty());
+  CapPlan out;
+  ASSERT_TRUE(apply_delta(base, d, out));
+  expect_plans_bit_identical(out, next);
+}
+
+TEST(CapPlanDelta, PayloadComparisonIsBitExactNotValueish) {
+  const CapPlan base = canonical_plan(1);
+  CapPlan next = canonical_plan(2);
+  // -0.0 == 0.0 numerically but differs in bits: the diff must carry it,
+  // or the receiver's reconstruction drifts from the broadcast image.
+  next.entries[2].target_ips = -0.0;
+  CapPlanDelta d;
+  make_delta(base, next, d);
+  EXPECT_EQ(d.ops.size(), 1u);
+  CapPlan out;
+  ASSERT_TRUE(apply_delta(base, d, out));
+  expect_plans_bit_identical(out, next);
+}
+
+TEST(CapPlanDelta, WireRoundTripIsBitExact) {
+  const CapPlan base = canonical_plan(7);
+  CapPlan next = canonical_plan(8);
+  next.entries[0].cap_w = 123.0625;
+  next.entries.push_back({999, 205.0, 4.5e9, 1});
+  CapPlanDelta d;
+  make_delta(base, next, d);
+
+  const auto body = body_of(Message{d});
+  const auto m = parse_frame(body.data(), body.size());
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(type_of(*m), MsgType::kCapPlanDelta);
+  const auto& rt = std::get<CapPlanDelta>(*m);
+  EXPECT_EQ(rt.tick, d.tick);
+  EXPECT_EQ(rt.base_tick, d.base_tick);
+  EXPECT_EQ(rt.result_entries, d.result_entries);
+  ASSERT_EQ(rt.ops.size(), d.ops.size());
+  for (std::size_t i = 0; i < d.ops.size(); ++i) {
+    EXPECT_EQ(rt.ops[i].op, d.ops[i].op);
+    EXPECT_EQ(rt.ops[i].entry.job_id, d.ops[i].entry.job_id);
+    EXPECT_EQ(bits(rt.ops[i].entry.cap_w), bits(d.ops[i].entry.cap_w));
+    EXPECT_EQ(bits(rt.ops[i].entry.target_ips), bits(d.ops[i].entry.target_ips));
+    EXPECT_EQ(rt.ops[i].entry.held, d.ops[i].entry.held);
+  }
+
+  CapPlan out;
+  ASSERT_TRUE(apply_delta(base, rt, out));
+  expect_plans_bit_identical(out, next);
+}
+
+TEST(CapPlanDeltaReject, EveryTruncationOfTheFrame) {
+  const CapPlan base = canonical_plan(7);
+  CapPlan next = canonical_plan(8);
+  next.entries[1].cap_w = 201.0;
+  CapPlanDelta d;
+  make_delta(base, next, d);
+  const auto body = body_of(Message{d});
+  for (std::size_t n = 0; n < body.size(); ++n) {
+    EXPECT_FALSE(parse_frame(body.data(), n).has_value())
+        << "delta truncated to " << n << " bytes parsed";
+  }
+}
+
+TEST(CapPlanDeltaReject, OpCountLyingAboutBody) {
+  const CapPlan base = canonical_plan(7);
+  CapPlan next = canonical_plan(8);
+  next.entries[1].cap_w = 201.0;
+  CapPlanDelta d;
+  make_delta(base, next, d);
+  auto body = body_of(Message{d});
+  // The op count lives after header(4) + tick(8) + base_tick(8) +
+  // result_entries(4). Claim more ops than the body carries.
+  body[24] = 0xFF;
+  body[25] = 0xFF;
+  EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
+}
+
+TEST(CapPlanDeltaReject, UnknownOpKindOnTheWire) {
+  const CapPlan base = canonical_plan(7);
+  CapPlan next = canonical_plan(8);
+  next.entries[1].cap_w = 201.0;
+  CapPlanDelta d;
+  make_delta(base, next, d);
+  auto body = body_of(Message{d});
+  body[28] = 7;  // first op's kind byte: no such op
+  EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
+}
+
+TEST(CapPlanDeltaReject, StaleBaseTick) {
+  const CapPlan base = canonical_plan(10);
+  CapPlan next = canonical_plan(11);
+  next.entries[0].cap_w = 1.0;
+  CapPlanDelta d;
+  make_delta(base, next, d);
+  const CapPlan wrong_base = canonical_plan(9);  // e.g. a missed broadcast
+  CapPlan out;
+  EXPECT_FALSE(apply_delta(wrong_base, d, out));
+}
+
+TEST(CapPlanDeltaReject, UpdateOfUnknownJobId) {
+  const CapPlan base = canonical_plan(3);
+  CapPlanDelta d;
+  d.tick = 4;
+  d.base_tick = 3;
+  d.result_entries = static_cast<std::uint32_t>(base.entries.size());
+  d.ops.push_back({kDeltaUpdate, {777, 100.0, 0.0, 0}});  // id not in base
+  CapPlan out;
+  EXPECT_FALSE(apply_delta(base, d, out));
+  d.ops[0].op = kDeltaRemove;
+  d.result_entries -= 1;
+  EXPECT_FALSE(apply_delta(base, d, out));
+}
+
+TEST(CapPlanDeltaReject, InsertOfExistingJobId) {
+  const CapPlan base = canonical_plan(3);
+  CapPlanDelta d;
+  d.tick = 4;
+  d.base_tick = 3;
+  d.result_entries = static_cast<std::uint32_t>(base.entries.size()) + 1;
+  d.ops.push_back({kDeltaInsert, {2, 100.0, 0.0, 0}});  // job 2 exists
+  CapPlan out;
+  EXPECT_FALSE(apply_delta(base, d, out));
+}
+
+TEST(CapPlanDeltaReject, OutOfOrderOps) {
+  const CapPlan base = canonical_plan(3);
+  CapPlanDelta d;
+  d.tick = 4;
+  d.base_tick = 3;
+  d.result_entries = static_cast<std::uint32_t>(base.entries.size());
+  d.ops.push_back({kDeltaUpdate, {5, 100.0, 0.0, 0}});
+  d.ops.push_back({kDeltaUpdate, {2, 101.0, 0.0, 0}});  // descending: invalid
+  CapPlan out;
+  EXPECT_FALSE(apply_delta(base, d, out));
+  // Duplicates are equally non-canonical.
+  d.ops[1].entry.job_id = 5;
+  EXPECT_FALSE(apply_delta(base, d, out));
+}
+
+TEST(CapPlanDeltaReject, ResultCountMismatch) {
+  const CapPlan base = canonical_plan(3);
+  CapPlan next = canonical_plan(4);
+  next.entries[1].cap_w = 222.0;
+  CapPlanDelta d;
+  make_delta(base, next, d);
+  d.result_entries += 1;  // integrity check must catch the lie
+  CapPlan out;
+  EXPECT_FALSE(apply_delta(base, d, out));
+}
+
+TEST(CapPlanDelta, CanonicalizeSortsByJobId) {
+  CapPlan p;
+  p.tick = 1;
+  p.entries.push_back({300, 1.0, 0.0, 0});
+  p.entries.push_back({-9, 2.0, 0.0, 0});
+  p.entries.push_back({5, 3.0, 0.0, 1});
+  canonicalize(p);
+  ASSERT_EQ(p.entries.size(), 3u);
+  EXPECT_EQ(p.entries[0].job_id, -9);
+  EXPECT_EQ(p.entries[1].job_id, 5);
+  EXPECT_EQ(p.entries[2].job_id, 300);
+  EXPECT_EQ(p.entries[2].held, 0);
+  EXPECT_EQ(bits(p.entries[1].cap_w), bits(3.0));
+}
+
+}  // namespace
+}  // namespace perq::proto

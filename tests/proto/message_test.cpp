@@ -519,5 +519,88 @@ TEST(Allocation, DecoderSteadyStateDrainDoesNotAllocate) {
   EXPECT_TRUE(std::holds_alternative<Heartbeat>(inbox[1]));
 }
 
+TEST(Allocation, ParseFrameIntoReusesDynamicBodyCapacity) {
+  std::vector<std::uint8_t> frame_p;
+  std::vector<std::uint8_t> frame_d;
+  encode_into(Message{sample_plan()}, frame_p);
+  CapPlanDelta delta;
+  delta.tick = 100;
+  delta.base_tick = 99;
+  delta.result_entries = 3;
+  delta.ops.push_back({kDeltaUpdate, {1, 260.0, 2.6e9, 0}});
+  delta.ops.push_back({kDeltaInsert, {5, 100.0, 1.0e9, 1}});
+  encode_into(Message{delta}, frame_d);
+
+  Message slot;
+  ASSERT_TRUE(parse_frame_into(frame_p.data() + 4, frame_p.size() - 4, slot));
+  const CapEntry* entries = std::get<CapPlan>(slot).entries.data();
+
+  // Re-decoding the same alternative reuses its heap state: no allocation,
+  // same backing array, values fully overwritten.
+  std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  ASSERT_TRUE(parse_frame_into(frame_p.data() + 4, frame_p.size() - 4, slot));
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - before, 0u);
+  const auto& p = std::get<CapPlan>(slot);
+  EXPECT_EQ(p.entries.data(), entries);
+  ASSERT_EQ(p.entries.size(), 3u);
+  EXPECT_EQ(p.tick, 99u);
+  EXPECT_EQ(p.entries[1].job_id, -7);
+
+  // Switching alternatives re-seats the variant (allocation allowed); once
+  // the slot has carried a delta, re-decoding deltas is free too.
+  ASSERT_TRUE(parse_frame_into(frame_d.data() + 4, frame_d.size() - 4, slot));
+  const CapDeltaOp* ops = std::get<CapPlanDelta>(slot).ops.data();
+  before = g_allocs.load(std::memory_order_relaxed);
+  ASSERT_TRUE(parse_frame_into(frame_d.data() + 4, frame_d.size() - 4, slot));
+  EXPECT_EQ(g_allocs.load(std::memory_order_relaxed) - before, 0u);
+  const auto& d = std::get<CapPlanDelta>(slot);
+  EXPECT_EQ(d.ops.data(), ops);
+  ASSERT_EQ(d.ops.size(), 2u);
+  EXPECT_EQ(d.tick, 100u);
+  EXPECT_EQ(d.base_tick, 99u);
+  EXPECT_EQ(d.ops[1].op, kDeltaInsert);
+  EXPECT_EQ(d.ops[1].entry.job_id, 5);
+}
+
+TEST(Allocation, DecoderConsumeSteadyStateIsAllocationFreeForPlans) {
+  // consume() hands out in-place references to persistent slots, so even
+  // dynamic-body frames (plan + delta) decode allocation-free once every
+  // slot has carried its frame type -- the property drain() cannot offer
+  // because it must surrender owned vectors to the caller.
+  std::vector<std::uint8_t> frame_p;
+  std::vector<std::uint8_t> frame_d;
+  encode_into(Message{sample_plan()}, frame_p);
+  CapPlanDelta delta;
+  delta.tick = 100;
+  delta.base_tick = 99;
+  delta.result_entries = 2;
+  delta.ops.push_back({kDeltaRemove, {-7, 0.0, 0.0, 0}});
+  encode_into(Message{delta}, frame_d);
+
+  FrameDecoder dec;
+  std::size_t plans = 0;
+  std::size_t deltas = 0;
+  auto tick = [&] {
+    dec.feed(frame_p.data(), frame_p.size());
+    dec.feed(frame_d.data(), frame_d.size());
+    dec.consume([&](const Message& m) {
+      if (std::holds_alternative<CapPlan>(m)) ++plans;
+      if (std::holds_alternative<CapPlanDelta>(m)) ++deltas;
+    });
+  };
+  // Warm-up: seats each slot's alternative and crosses the decoder's
+  // compaction threshold so the backing buffer reaches steady capacity.
+  for (int i = 0; i < 64; ++i) tick();
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 256; ++i) tick();
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "consume steady state allocated " << (after - before) << " times";
+  EXPECT_FALSE(dec.corrupt());
+  EXPECT_EQ(plans, 320u);
+  EXPECT_EQ(deltas, 320u);
+}
+
 }  // namespace
 }  // namespace perq::proto
