@@ -17,6 +17,8 @@
 #include "core/robustness.hpp"
 #include "daemon/experiment.hpp"
 #include "net/tcp.hpp"
+#include "util/cli.hpp"
+#include "util/require.hpp"
 
 namespace {
 
@@ -35,46 +37,43 @@ void usage(const char* argv0) {
       argv0);
 }
 
-double parse_num(const char* argv0, const char* flag, const char* s) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0') {
-    std::fprintf(stderr, "%s: %s expects a number, got '%s'\n", argv0, flag, s);
-    std::exit(2);
-  }
-  return v;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace perq;
+  using cli::parse_double_in;
+  using cli::parse_u64_in;
   std::string address = "127.0.0.1:7421";
   std::size_t agents = 4, wc_nodes = 32;
   double f = 2.0, hours = 1.0, interval = 10.0, connect_wait_s = 10.0;
   std::uint64_t seed = 11;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        PERQ_REQUIRE(i + 1 < argc, arg + ": missing value");
+        return argv[++i];
+      };
+      if (arg == "--connect") address = next();
+      else if (arg == "--agents") agents = parse_u64_in(arg, next(), 1, 4096);
+      else if (arg == "--hours") hours = parse_double_in(arg, next(), 0.01, 1e6);
+      else if (arg == "--wc-nodes") wc_nodes = parse_u64_in(arg, next(), 1, 65536);
+      else if (arg == "--f") f = parse_double_in(arg, next(), 1.0, 3.0);
+      else if (arg == "--seed") seed = cli::parse_u64(arg, next());
+      else if (arg == "--interval") interval = parse_double_in(arg, next(), 0.1, 1e6);
+      else if (arg == "--connect-wait-s") connect_wait_s = parse_double_in(arg, next(), 0.0, 3600.0);
+      else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
-        std::exit(2);
+        return 0;
+      } else {
+        PERQ_REQUIRE(false, "unknown option " + arg);
       }
-      return argv[++i];
-    };
-    if (arg == "--connect") address = next();
-    else if (arg == "--agents") agents = static_cast<std::size_t>(parse_num(argv[0], "--agents", next()));
-    else if (arg == "--hours") hours = parse_num(argv[0], "--hours", next());
-    else if (arg == "--wc-nodes") wc_nodes = static_cast<std::size_t>(parse_num(argv[0], "--wc-nodes", next()));
-    else if (arg == "--f") f = parse_num(argv[0], "--f", next());
-    else if (arg == "--seed") seed = static_cast<std::uint64_t>(parse_num(argv[0], "--seed", next()));
-    else if (arg == "--interval") interval = parse_num(argv[0], "--interval", next());
-    else if (arg == "--connect-wait-s") connect_wait_s = parse_num(argv[0], "--connect-wait-s", next());
-    else {
-      usage(argv[0]);
-      return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  } catch (const precondition_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
+    return 2;
   }
 
   core::EngineConfig cfg;

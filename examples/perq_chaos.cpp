@@ -29,6 +29,8 @@
 
 #include "core/node_model.hpp"
 #include "fault/chaos.hpp"
+#include "util/cli.hpp"
+#include "util/require.hpp"
 
 namespace {
 
@@ -53,24 +55,29 @@ int main(int argc, char** argv) {
   std::size_t agents = 4;
   std::size_t domains = 2;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        PERQ_REQUIRE(i + 1 < argc, arg + ": missing value");
+        return argv[++i];
+      };
+      if (arg == "--scenario") scenario = next();
+      else if (arg == "--seed") seed = cli::parse_u64(arg, next());
+      else if (arg == "--ticks") ticks = cli::parse_u64(arg, next());
+      else if (arg == "--agents") agents = cli::parse_u64_in(arg, next(), 1, 4096);
+      else if (arg == "--domains") domains = cli::parse_u64_in(arg, next(), 1, 4096);
+      else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
-        std::exit(2);
+        return 0;
+      } else {
+        PERQ_REQUIRE(false, "unknown option " + arg);
       }
-      return argv[++i];
-    };
-    if (arg == "--scenario") scenario = next();
-    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
-    else if (arg == "--ticks") ticks = static_cast<std::uint64_t>(std::strtoull(next(), nullptr, 10));
-    else if (arg == "--agents") agents = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
-    else if (arg == "--domains") domains = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
-    else {
-      usage(argv[0]);
-      return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  } catch (const precondition_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
+    return 2;
   }
 
   if (scenario == "domain-partition") {

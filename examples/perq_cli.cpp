@@ -17,7 +17,9 @@
 #include "core/perq_policy.hpp"
 #include "metrics/metrics.hpp"
 #include "policy/policy.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/require.hpp"
 
 namespace {
 
@@ -38,60 +40,47 @@ void usage(const char* argv0) {
       argv0);
 }
 
-double parse_num(const char* flag, const char* s) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0') {
-    std::fprintf(stderr, "%s: not a number: '%s'\n", flag, s);
-    std::exit(2);
-  }
-  return v;
-}
-
-std::uint64_t parse_uint(const char* flag, const char* s) {
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0') {
-    std::fprintf(stderr, "%s: not a non-negative integer: '%s'\n", flag, s);
-    std::exit(2);
-  }
-  return v;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace perq;
+  using cli::parse_double_in;
+  using cli::parse_u64_in;
   std::string system = "trinity", policy_name = "perq", csv_out;
   double f = 2.0, hours = 12.0, interval = 10.0, ratio = 8.0;
   std::size_t wc_nodes = 32, max_job_nodes = 8;
   std::uint64_t seed = 11;
   bool easy = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        PERQ_REQUIRE(i + 1 < argc, arg + ": missing value");
+        return argv[++i];
+      };
+      if (arg == "--system") system = next();
+      else if (arg == "--policy") policy_name = next();
+      else if (arg == "--f") f = parse_double_in(arg, next(), 1.0, 3.0);
+      else if (arg == "--hours") hours = parse_double_in(arg, next(), 0.01, 1e6);
+      else if (arg == "--wc-nodes") wc_nodes = parse_u64_in(arg, next(), 1, 65536);
+      else if (arg == "--max-job-nodes") max_job_nodes = parse_u64_in(arg, next(), 1, 65536);
+      else if (arg == "--seed") seed = cli::parse_u64(arg, next());
+      else if (arg == "--interval") interval = parse_double_in(arg, next(), 0.1, 1e6);
+      else if (arg == "--ratio") ratio = parse_double_in(arg, next(), 1.0, 1e6);
+      else if (arg == "--easy") easy = true;
+      else if (arg == "--csv") csv_out = next();
+      else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
-        std::exit(2);
+        return 0;
+      } else {
+        PERQ_REQUIRE(false, "unknown option " + arg);
       }
-      return argv[++i];
-    };
-    if (arg == "--system") system = next();
-    else if (arg == "--policy") policy_name = next();
-    else if (arg == "--f") f = parse_num("--f", next());
-    else if (arg == "--hours") hours = parse_num("--hours", next());
-    else if (arg == "--wc-nodes") wc_nodes = parse_uint("--wc-nodes", next());
-    else if (arg == "--max-job-nodes") max_job_nodes = parse_uint("--max-job-nodes", next());
-    else if (arg == "--seed") seed = parse_uint("--seed", next());
-    else if (arg == "--interval") interval = parse_num("--interval", next());
-    else if (arg == "--ratio") ratio = parse_num("--ratio", next());
-    else if (arg == "--easy") easy = true;
-    else if (arg == "--csv") csv_out = next();
-    else {
-      usage(argv[0]);
-      return arg == "--help" || arg == "-h" ? 0 : 2;
     }
+  } catch (const precondition_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
+    return 2;
   }
 
   core::EngineConfig cfg;

@@ -37,6 +37,8 @@
 #include "daemon/snapshot.hpp"
 #include "hier/arbiter_daemon.hpp"
 #include "net/tcp.hpp"
+#include "util/cli.hpp"
+#include "util/require.hpp"
 
 namespace {
 
@@ -62,20 +64,12 @@ void usage(const char* argv0) {
       argv0);
 }
 
-double parse_num(const char* argv0, const char* flag, const char* s) {
-  char* end = nullptr;
-  const double v = std::strtod(s, &end);
-  if (end == s || *end != '\0') {
-    std::fprintf(stderr, "%s: %s expects a number, got '%s'\n", argv0, flag, s);
-    std::exit(2);
-  }
-  return v;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace perq;
+  using cli::parse_double_in;
+  using cli::parse_u64_in;
   std::string listen = "127.0.0.1:7421";
   std::string arbiter_addr;
   std::size_t wc_nodes = 32;
@@ -85,51 +79,41 @@ int main(int argc, char** argv) {
   daemon::ControllerConfig ccfg;
   ccfg.snapshot_every_ticks = 10;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        PERQ_REQUIRE(i + 1 < argc, arg + ": missing value");
+        return argv[++i];
+      };
+      if (arg == "--listen") listen = next();
+      else if (arg == "--wc-nodes") wc_nodes = parse_u64_in(arg, next(), 1, 65536);
+      else if (arg == "--f") f = parse_double_in(arg, next(), 1.0, 3.0);
+      else if (arg == "--ratio") ratio = parse_double_in(arg, next(), 1.0, 1e6);
+      else if (arg == "--stale-ticks") ccfg.stale_after_ticks = parse_u64_in(arg, next(), 1, 1000000);
+      else if (arg == "--grace-ms") ccfg.decide_grace_ms = static_cast<int>(parse_u64_in(arg, next(), 0, 600000));
+      else if (arg == "--snapshot") ccfg.snapshot_path = next();
+      else if (arg == "--snapshot-every") ccfg.snapshot_every_ticks = cli::parse_u64(arg, next());
+      else if (arg == "--shards") ccfg.shards = parse_u64_in(arg, next(), 1, 1024);
+      else if (arg == "--no-delta") ccfg.delta_broadcast = false;
+      else if (arg == "--full-every") ccfg.full_plan_every_ticks = cli::parse_u64(arg, next());
+      else if (arg == "--domains") domains = parse_u64_in(arg, next(), 1, 4096);
+      else if (arg == "--domain") domain = static_cast<long>(parse_u64_in(arg, next(), 0, 4095));
+      else if (arg == "--arbiter") arbiter_addr = next();
+      else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
-        std::exit(2);
+        return 0;
+      } else {
+        PERQ_REQUIRE(false, "unknown option " + arg);
       }
-      return argv[++i];
-    };
-    if (arg == "--listen") listen = next();
-    else if (arg == "--wc-nodes") wc_nodes = static_cast<std::size_t>(parse_num(argv[0], "--wc-nodes", next()));
-    else if (arg == "--f") f = parse_num(argv[0], "--f", next());
-    else if (arg == "--ratio") ratio = parse_num(argv[0], "--ratio", next());
-    else if (arg == "--stale-ticks") ccfg.stale_after_ticks = static_cast<std::uint64_t>(parse_num(argv[0], "--stale-ticks", next()));
-    else if (arg == "--grace-ms") ccfg.decide_grace_ms = static_cast<int>(parse_num(argv[0], "--grace-ms", next()));
-    else if (arg == "--snapshot") ccfg.snapshot_path = next();
-    else if (arg == "--snapshot-every") ccfg.snapshot_every_ticks = static_cast<std::uint64_t>(parse_num(argv[0], "--snapshot-every", next()));
-    else if (arg == "--shards") ccfg.shards = static_cast<std::size_t>(parse_num(argv[0], "--shards", next()));
-    else if (arg == "--no-delta") ccfg.delta_broadcast = false;
-    else if (arg == "--full-every") ccfg.full_plan_every_ticks = static_cast<std::uint64_t>(parse_num(argv[0], "--full-every", next()));
-    else if (arg == "--domains") domains = static_cast<std::size_t>(parse_num(argv[0], "--domains", next()));
-    else if (arg == "--domain") domain = static_cast<long>(parse_num(argv[0], "--domain", next()));
-    else if (arg == "--arbiter") arbiter_addr = next();
-    else {
-      usage(argv[0]);
-      return arg == "--help" || arg == "-h" ? 0 : 2;
     }
-  }
-
-  if (domains < 1) {
-    std::fprintf(stderr, "%s: --domains must be >= 1\n", argv[0]);
-    return 2;
-  }
-  if (ccfg.shards < 1) {
-    std::fprintf(stderr, "%s: --shards must be >= 1\n", argv[0]);
-    return 2;
-  }
-  if (domain >= 0 && static_cast<std::size_t>(domain) >= domains) {
-    std::fprintf(stderr, "%s: --domain %ld out of range for --domains %zu\n",
-                 argv[0], domain, domains);
-    return 2;
-  }
-  if (domain >= 0 && arbiter_addr.empty()) {
-    std::fprintf(stderr, "%s: --domain requires --arbiter <host:port>\n",
-                 argv[0]);
+    PERQ_REQUIRE(domain < 0 || static_cast<std::size_t>(domain) < domains,
+                 "--domain: out of range for --domains");
+    PERQ_REQUIRE(domain < 0 || !arbiter_addr.empty(),
+                 "--domain: requires --arbiter <host:port>");
+  } catch (const precondition_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
     return 2;
   }
 

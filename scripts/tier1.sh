@@ -17,7 +17,10 @@
 # reactor shards on the plain build and validates the shape of
 # BENCH_daemon_throughput.json -- including the sharded rows (per-shard
 # CPU, delta hit rate) -- so a regression that breaks the bench binary or
-# its schema fails the gate before anyone burns a full sweep on it.
+# its schema fails the gate before anyone burns a full sweep on it. A
+# replay-smoke leg does the same for perq_replay: 10k jobs through the
+# SchedCtl/accounting stack, audit JSON schema-checked, all jobs complete,
+# fairness >= 0.5.
 #
 #   scripts/tier1.sh                        # all legs
 #   PERQ_SKIP_SANITIZE=1 scripts/tier1.sh   # plain leg only (quick iteration)
@@ -83,6 +86,40 @@ print("BENCH_daemon_throughput.json schema OK (incl. sharded rows)")
 EOF
 )
 
+# Replay smoke: a 10k-job SLURM-shaped trace through the SchedCtl +
+# accounting stack. Validates the audit JSON schema and the two run-level
+# guarantees the 1M acceptance run relies on: every submitted job
+# completes, and the fairness audit clears 0.5 (water-filling should land
+# it near 1.0; 0.5 catches an allocator that starves half the machine
+# without flaking on workload shape).
+(
+  cd "$BUILD_DIR"
+  ./examples/perq_replay --jobs 10000 --wc-nodes 64 \
+    --out REPLAY_audit_smoke.json --csv REPLAY_smoke.csv
+  python3 - <<'EOF'
+import json
+import math
+with open("REPLAY_audit_smoke.json") as f:
+    doc = json.load(f)
+assert doc["bench"] == "replay_audit", doc
+assert doc["jobs"] == 10000, doc
+assert isinstance(doc["points"], list) and doc["points"], "points missing"
+for p in doc["points"]:
+    assert p["jobs_completed"] == doc["jobs"], p
+    assert p["machine_nodes"] >= doc["worst_case_nodes"], p
+    for key in ("jobs_per_day", "makespan_days", "mean_wait_hours",
+                "mean_slowdown", "utilization", "total_node_hours",
+                "total_energy_mwh"):
+        assert math.isfinite(p[key]) and p[key] >= 0.0, (key, p)
+    assert 0.5 <= p["fairness_fraction"] <= 1.0, p
+    assert 0.0 < p["utilization"] <= 1.0, p
+fs = [p["f"] for p in doc["points"]]
+assert fs == sorted(fs) and len(set(fs)) == len(fs), fs
+print("REPLAY_audit_smoke.json schema OK (%d factors, fairness >= 0.5)"
+      % len(fs))
+EOF
+)
+
 if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$ASAN_BUILD_DIR" -S . -DPERQ_SANITIZE=ON
   cmake --build "$ASAN_BUILD_DIR" -j
@@ -96,5 +133,5 @@ if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . -DPERQ_TSAN=ON
   cmake --build "$TSAN_BUILD_DIR" -j
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Reactor|Shard|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc' "$@"
+    -R 'Reactor|Shard|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc|Replay' "$@"
 fi

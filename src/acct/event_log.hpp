@@ -1,0 +1,71 @@
+// Durable append-only event log: the storage engine under the accounting
+// store (the slurmdbd side of the house).
+//
+// File layout:
+//
+//   "PQACCT01"                                    8-byte magic
+//   [u32 len][u32 crc32(payload)][payload] ...    records, little-endian
+//
+// Appends are buffered stdio writes; flush() makes them visible to a
+// reopening reader. Recovery is replay-on-open: open() scans the file,
+// hands every intact payload to the caller's replay callback, and truncates
+// the first torn or corrupt record and everything after it (a crash can
+// only lose the suffix that was mid-write -- every prefix the scan accepts
+// is exactly what a pre-crash reader saw). An empty path runs the log
+// in-memory only: appends are counted but nothing is stored.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace perq::acct {
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte span.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+class EventLog {
+ public:
+  using ReplayFn = std::function<void(const std::uint8_t* payload,
+                                      std::size_t size)>;
+
+  /// Payloads above this are rejected on append and treated as corruption
+  /// on replay (no legitimate accounting record comes close).
+  static constexpr std::uint32_t kMaxPayload = 1u << 20;
+
+  EventLog() = default;
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Opens (creating if absent) the log at `path`, replays every intact
+  /// record into `replay`, and truncates any torn tail. Empty `path` =
+  /// in-memory mode: nothing persisted, replay never called.
+  void open(const std::string& path, const ReplayFn& replay);
+
+  /// Appends one record (open() first). Buffered; flush() to publish.
+  void append(const std::vector<std::uint8_t>& payload);
+
+  void flush();
+
+  bool persistent() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  /// Records accepted: replayed on open + appended since.
+  std::uint64_t record_count() const { return record_count_; }
+  /// Records recovered by the open() scan (diagnostics).
+  std::uint64_t replayed_count() const { return replayed_count_; }
+  /// True when open() found and cut a torn tail.
+  bool truncated_tail() const { return truncated_tail_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool opened_ = false;
+  std::uint64_t record_count_ = 0;
+  std::uint64_t replayed_count_ = 0;
+  bool truncated_tail_ = false;
+};
+
+}  // namespace perq::acct

@@ -43,7 +43,8 @@ std::size_t recommended_job_count(const EngineConfig& cfg) {
 SimulationEngine::SimulationEngine(const EngineConfig& cfg)
     : cfg_(cfg),
       cluster_(cluster_config(cfg)),
-      scheduler_(cfg.backfill_window, cfg.backfill_mode) {
+      scheduler_(cfg.backfill_window, cfg.backfill_mode,
+                 cfg.backfill_max_head_bypass) {
   PERQ_REQUIRE(cfg_.duration_s > 0.0, "duration must be positive");
   PERQ_REQUIRE(cfg_.control_interval_s > 0.0, "control interval must be positive");
 
@@ -56,7 +57,16 @@ SimulationEngine::SimulationEngine(const EngineConfig& cfg)
                  "trace contains a job larger than the cluster");
     jobs_.emplace_back(spec, &catalog[spec.app_index]);
   }
-  for (auto& job : jobs_) scheduler_.enqueue(&job);
+  // Jobs enter the scheduler when their submit time is reached (begin_tick);
+  // a stable sort by (submit_time, id) keeps submit-order ties in trace
+  // order, so all-zero submit times reproduce the old enqueue-all order.
+  arrival_order_.resize(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) arrival_order_[i] = i;
+  std::stable_sort(arrival_order_.begin(), arrival_order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return jobs_[a].spec().submit_time_s <
+                            jobs_[b].spec().submit_time_s;
+                   });
 
   running_.reserve(jobs_.size());
   last_power_.reserve(jobs_.size());
@@ -71,6 +81,14 @@ SimulationEngine::SimulationEngine(const EngineConfig& cfg)
 const TickView& SimulationEngine::begin_tick() {
   PERQ_REQUIRE(!done(), "begin_tick past the horizon");
   PERQ_REQUIRE(phase_ == Phase::kIdle, "begin_tick out of phase");
+
+  // Arrival plumbing: hand every job whose submit time has been reached to
+  // the scheduler before this tick's placement pass.
+  while (next_arrival_ < arrival_order_.size() &&
+         jobs_[arrival_order_[next_arrival_]].spec().submit_time_s <= now_s_) {
+    scheduler_.enqueue(&jobs_[arrival_order_[next_arrival_]]);
+    ++next_arrival_;
+  }
 
   view_.started.clear();
   for (sched::Job* started : scheduler_.schedule(cluster_, now_s_, &running_)) {

@@ -41,6 +41,8 @@ struct EngineConfig {
   sim::NodeConfig node;                 ///< per-node simulation tunables
   std::size_t backfill_window = 64;     ///< scheduler lookahead
   sched::BackfillMode backfill_mode = sched::BackfillMode::kAggressive;
+  /// Aggressive-backfill starvation guard (see Scheduler); 0 = unlimited.
+  std::size_t backfill_max_head_bypass = 0;
   std::vector<int> traced_jobs;         ///< ids to record per-interval series for
 };
 
@@ -160,6 +162,12 @@ class SimulationEngine {
   EngineConfig cfg_;
   sim::Cluster cluster_;
   std::vector<sched::Job> jobs_;  ///< owning storage; never reallocated
+  /// Arrival plumbing: job indices sorted by (submit_time, id); the prefix
+  /// [0, next_arrival_) has been handed to the scheduler. Traces without
+  /// submit times collapse to "everything arrives before the first tick",
+  /// which is bit-identical to the pre-arrival enqueue-all-in-constructor.
+  std::vector<std::size_t> arrival_order_;
+  std::size_t next_arrival_ = 0;
   sched::Scheduler scheduler_;
   std::vector<sched::Job*> running_;
   std::vector<double> last_power_;  ///< last-interval draw, aligned with running_

@@ -9,6 +9,7 @@ std::string to_string(JobState s) {
     case JobState::kQueued: return "queued";
     case JobState::kRunning: return "running";
     case JobState::kFinished: return "finished";
+    case JobState::kCancelled: return "cancelled";
   }
   return "unknown";
 }
@@ -43,6 +44,26 @@ void Job::finish(double now) {
   state_ = JobState::kFinished;
   finish_time_s_ = now;
   node_ids_.clear();
+}
+
+void Job::cancel(double now) {
+  PERQ_REQUIRE(state_ == JobState::kQueued || state_ == JobState::kRunning,
+               "cancelling a job that already ended");
+  state_ = JobState::kCancelled;
+  finish_time_s_ = now;
+  node_ids_.clear();
+}
+
+void Job::requeue() {
+  PERQ_REQUIRE(state_ == JobState::kRunning, "requeueing a non-running job");
+  state_ = JobState::kQueued;
+  node_ids_.clear();
+  progress_s_ = 0.0;
+  start_time_s_ = -1.0;
+  finish_time_s_ = -1.0;
+  last_job_ips_ = 0.0;
+  last_cap_w_ = 0.0;
+  last_min_perf_ = 1.0;
 }
 
 std::size_t Job::current_phase() const {

@@ -17,7 +17,7 @@
 
 namespace perq::sched {
 
-enum class JobState { kQueued, kRunning, kFinished };
+enum class JobState { kQueued, kRunning, kFinished, kCancelled };
 
 std::string to_string(JobState s);
 
@@ -43,6 +43,23 @@ class Job {
 
   /// Transitions kRunning -> kFinished (engine calls after work_complete()).
   void finish(double now);
+
+  /// Transitions kQueued|kRunning -> kCancelled (controller-initiated kill;
+  /// the caller releases any held nodes first).
+  void cancel(double now);
+
+  /// Transitions kRunning -> kQueued, discarding all progress: the SLURM
+  /// requeue semantics (the job restarts from scratch on its next start).
+  /// The caller releases the held nodes first.
+  void requeue();
+
+  /// The walltime the scheduler may assume: the user's estimate when the
+  /// trace carries one, else the reference runtime (oracle fallback for
+  /// estimate-free traces). EASY backfill reserves off this value.
+  double walltime_est_s() const {
+    return spec_.walltime_est_s > 0.0 ? spec_.walltime_est_s
+                                      : spec_.runtime_ref_s;
+  }
 
   /// Application phase index for the *next* interval; phases advance with
   /// job progress (iterations), not wall time, so a throttled job stays in

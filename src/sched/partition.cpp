@@ -1,0 +1,55 @@
+#include "sched/partition.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace perq::sched {
+
+std::string to_string(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kOk: return "ok";
+    case AdmitResult::kTooManyNodes: return "too-many-nodes";
+    case AdmitResult::kWalltimeExceeded: return "walltime-exceeded";
+  }
+  return "unknown";
+}
+
+Partition::Partition(PartitionConfig cfg, std::size_t machine_nodes,
+                     std::size_t backfill_window, BackfillMode mode,
+                     std::size_t max_head_bypass)
+    : cfg_(std::move(cfg)),
+      scheduler_(backfill_window, mode, max_head_bypass) {
+  PERQ_REQUIRE(!cfg_.name.empty(), "partition needs a name");
+  PERQ_REQUIRE(machine_nodes >= 1, "partition needs a machine");
+  if (cfg_.max_nodes == 0 || cfg_.max_nodes > machine_nodes) {
+    cfg_.max_nodes = machine_nodes;
+  }
+  if (cfg_.max_job_nodes == 0 || cfg_.max_job_nodes > cfg_.max_nodes) {
+    cfg_.max_job_nodes = cfg_.max_nodes;
+  }
+  PERQ_REQUIRE(cfg_.max_walltime_s >= 0.0, "walltime ceiling must be >= 0");
+}
+
+AdmitResult Partition::admit(const Job& job) const {
+  if (job.spec().nodes > cfg_.max_job_nodes) return AdmitResult::kTooManyNodes;
+  if (cfg_.max_walltime_s > 0.0 && job.walltime_est_s() > cfg_.max_walltime_s) {
+    return AdmitResult::kWalltimeExceeded;
+  }
+  return AdmitResult::kOk;
+}
+
+void Partition::note_started(Job* job) {
+  running_.push_back(job);
+  nodes_in_use_ += job->spec().nodes;
+}
+
+void Partition::note_departed(Job* job) {
+  const auto it = std::find(running_.begin(), running_.end(), job);
+  PERQ_ASSERT(it != running_.end(), "departing job not running in partition");
+  running_.erase(it);  // preserve start order for the EASY shadow walk
+  PERQ_ASSERT(nodes_in_use_ >= job->spec().nodes, "partition node accounting");
+  nodes_in_use_ -= job->spec().nodes;
+}
+
+}  // namespace perq::sched

@@ -1,0 +1,82 @@
+// Named scheduler partitions (the slurmctld partition table).
+//
+// A partition is a named slice of the machine with its own admission limits
+// and scheduling priority: a per-job size ceiling, a per-job walltime
+// ceiling (checked against the *estimate* -- the controller never sees true
+// runtimes), and a concurrent-node ceiling that bounds how much of the
+// cluster the partition's running jobs may hold at once. Placement runs
+// partitions in descending priority order, each with its own FCFS+backfill
+// core (scheduler.hpp) fed from the SchedCtl submit queue.
+//
+// Nodes are fungible here (the cluster is a free-list, not a topology), so
+// a partition's "node set" is a capacity, not an enumeration; that is the
+// one deliberate simplification versus SLURM's per-partition node lists.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace perq::sched {
+
+/// Static description of one partition.
+struct PartitionConfig {
+  std::string name = "batch";
+  int priority = 0;               ///< higher = placed first
+  std::size_t max_nodes = 0;      ///< concurrent-node ceiling (0 = machine)
+  std::size_t max_job_nodes = 0;  ///< per-job size ceiling (0 = max_nodes)
+  double max_walltime_s = 0.0;    ///< per-job estimate ceiling (0 = unlimited)
+};
+
+/// Why a submission was refused.
+enum class AdmitResult {
+  kOk,
+  kTooManyNodes,      ///< job larger than the partition's per-job ceiling
+  kWalltimeExceeded,  ///< estimate above the partition's walltime ceiling
+};
+
+std::string to_string(AdmitResult r);
+
+/// Runtime state of one partition: its config, its backfill core, and the
+/// jobs it currently has on the machine.
+class Partition {
+ public:
+  /// `machine_nodes` resolves the 0-defaults in `cfg`.
+  Partition(PartitionConfig cfg, std::size_t machine_nodes,
+            std::size_t backfill_window, BackfillMode mode,
+            std::size_t max_head_bypass);
+
+  const PartitionConfig& config() const { return cfg_; }
+  const std::string& name() const { return cfg_.name; }
+
+  /// Checks a job against the per-job admission limits.
+  AdmitResult admit(const Job& job) const;
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+  /// Jobs of this partition currently on the machine, in start order (the
+  /// order EASY's shadow-time computation walks).
+  const std::vector<Job*>& running() const { return running_; }
+  std::vector<Job*>& running() { return running_; }
+
+  std::size_t nodes_in_use() const { return nodes_in_use_; }
+
+  /// Nodes this partition may still take under its concurrent ceiling.
+  std::size_t headroom() const {
+    return cfg_.max_nodes > nodes_in_use_ ? cfg_.max_nodes - nodes_in_use_ : 0;
+  }
+
+  void note_started(Job* job);
+  void note_departed(Job* job);  ///< finished, cancelled, or requeued
+
+ private:
+  PartitionConfig cfg_;
+  Scheduler scheduler_;
+  std::vector<Job*> running_;
+  std::size_t nodes_in_use_ = 0;
+};
+
+}  // namespace perq::sched

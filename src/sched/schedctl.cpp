@@ -1,0 +1,205 @@
+#include "sched/schedctl.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace perq::sched {
+
+std::string to_string(JobEvent e) {
+  switch (e) {
+    case JobEvent::kSubmitted: return "submitted";
+    case JobEvent::kEligible: return "eligible";
+    case JobEvent::kStarted: return "started";
+    case JobEvent::kFinished: return "finished";
+    case JobEvent::kCancelled: return "cancelled";
+    case JobEvent::kRequeued: return "requeued";
+  }
+  return "unknown";
+}
+
+SchedCtl::SchedCtl(SchedCtlConfig cfg, std::size_t machine_nodes)
+    : cfg_(std::move(cfg)) {
+  PERQ_REQUIRE(machine_nodes >= 1, "controller needs a machine");
+  if (cfg_.partitions.empty()) cfg_.partitions.push_back(PartitionConfig{});
+  partitions_.reserve(cfg_.partitions.size());
+  for (const auto& pc : cfg_.partitions) {
+    for (const auto& existing : partitions_) {
+      PERQ_REQUIRE(existing.name() != pc.name, "duplicate partition name");
+    }
+    partitions_.emplace_back(pc, machine_nodes, cfg_.backfill_window,
+                             cfg_.backfill_mode, cfg_.max_head_bypass);
+  }
+  priority_order_.resize(partitions_.size());
+  for (std::size_t i = 0; i < priority_order_.size(); ++i) {
+    priority_order_[i] = i;
+  }
+  std::stable_sort(priority_order_.begin(), priority_order_.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return partitions_[a].config().priority >
+                            partitions_[b].config().priority;
+                   });
+}
+
+std::size_t SchedCtl::partition_index(const std::string& name) const {
+  if (name.empty()) return 0;
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    if (partitions_[i].name() == name) return i;
+  }
+  PERQ_REQUIRE(false, "unknown partition: " + name);
+  return 0;  // unreachable
+}
+
+AdmitResult SchedCtl::submit(const trace::JobSpec& spec,
+                             const apps::AppModel* app,
+                             const std::string& partition_name) {
+  PERQ_REQUIRE(app != nullptr, "job needs an application model");
+  PERQ_REQUIRE(index_by_id_.find(spec.id) == index_by_id_.end(),
+               "duplicate job id");
+  const std::size_t pidx = partition_index(partition_name);
+
+  // Admission is checked against a throwaway Job so a refusal leaves no
+  // trace in the controller's tables.
+  {
+    Job probe(spec, app);
+    const AdmitResult verdict = partitions_[pidx].admit(probe);
+    if (verdict != AdmitResult::kOk) return verdict;
+  }
+
+  const std::size_t idx = jobs_.size();
+  jobs_.emplace_back(spec, app);
+  JobRecord rec;
+  rec.job = &jobs_.back();
+  rec.partition = static_cast<std::uint32_t>(pidx);
+  rec.submit_s = spec.submit_time_s;
+  records_.push_back(rec);
+  index_by_id_.emplace(spec.id, idx);
+  pending_.emplace(spec.submit_time_s, idx);
+  fire(JobEvent::kSubmitted, records_[idx]);
+  return AdmitResult::kOk;
+}
+
+double SchedCtl::next_submit_time() const {
+  if (pending_.empty()) return std::numeric_limits<double>::infinity();
+  return pending_.top().first;
+}
+
+std::vector<Job*> SchedCtl::schedule_pass(sim::Cluster& cluster, double now) {
+  // Release due submissions to their partition queues.
+  while (!pending_.empty() && pending_.top().first <= now) {
+    const std::size_t idx = pending_.top().second;
+    pending_.pop();
+    JobRecord& rec = records_[idx];
+    // Cancelled while pending: the record already ended; skip silently.
+    if (rec.job->state() == JobState::kCancelled) continue;
+    rec.eligible_s = now;
+    partitions_[rec.partition].scheduler().enqueue(rec.job);
+    fire(JobEvent::kEligible, rec);
+  }
+
+  // Place, highest-priority partition first, against the shared free pool.
+  std::vector<Job*> started;
+  for (const std::size_t pidx : priority_order_) {
+    Partition& part = partitions_[pidx];
+    if (part.scheduler().queue_empty()) continue;
+    const std::vector<Job*> placed = part.scheduler().schedule(
+        cluster, now, &part.running(), part.headroom());
+    for (Job* job : placed) {
+      part.note_started(job);
+      JobRecord& rec = records_[index_by_id_.at(job->spec().id)];
+      if (rec.start_s < 0.0) rec.start_s = now;  // keep first-start on requeue
+      ++running_count_;
+      fire(JobEvent::kStarted, rec);
+    }
+    started.insert(started.end(), placed.begin(), placed.end());
+  }
+  return started;
+}
+
+void SchedCtl::complete(Job* job, sim::Cluster& cluster, double now) {
+  PERQ_REQUIRE(job != nullptr && job->state() == JobState::kRunning,
+               "complete() needs a running job");
+  JobRecord& rec = records_[index_by_id_.at(job->spec().id)];
+  const std::vector<std::size_t> nodes = job->node_ids();
+  job->finish(now);
+  cluster.release(nodes);
+  partitions_[rec.partition].note_departed(job);
+  rec.end_s = now;
+  PERQ_ASSERT(running_count_ > 0, "controller running-count accounting");
+  --running_count_;
+  ++finished_count_;
+  fire(JobEvent::kFinished, rec);
+}
+
+bool SchedCtl::cancel(int job_id, sim::Cluster& cluster, double now) {
+  JobRecord* rec = find(job_id);
+  if (rec == nullptr) return false;
+  Job* job = rec->job;
+  switch (job->state()) {
+    case JobState::kQueued: {
+      // Eligible jobs sit in the partition queue; pending ones are lazily
+      // skipped when their submit time comes due.
+      Partition& part = partitions_[rec->partition];
+      part.scheduler().remove(job);
+      job->cancel(now);
+      break;
+    }
+    case JobState::kRunning: {
+      const std::vector<std::size_t> nodes = job->node_ids();
+      job->cancel(now);
+      cluster.release(nodes);
+      partitions_[rec->partition].note_departed(job);
+      PERQ_ASSERT(running_count_ > 0, "controller running-count accounting");
+      --running_count_;
+      break;
+    }
+    default:
+      return false;  // already finished or cancelled
+  }
+  rec->end_s = now;
+  ++cancelled_count_;
+  fire(JobEvent::kCancelled, *rec);
+  return true;
+}
+
+bool SchedCtl::requeue(int job_id, sim::Cluster& cluster, double now) {
+  JobRecord* rec = find(job_id);
+  if (rec == nullptr || rec->job->state() != JobState::kRunning) return false;
+  Job* job = rec->job;
+  const std::vector<std::size_t> nodes = job->node_ids();
+  cluster.release(nodes);
+  partitions_[rec->partition].note_departed(job);
+  job->requeue();
+  partitions_[rec->partition].scheduler().enqueue(job);
+  PERQ_ASSERT(running_count_ > 0, "controller running-count accounting");
+  --running_count_;
+  ++rec->requeues;
+  fire(JobEvent::kRequeued, *rec);
+  (void)now;
+  return true;
+}
+
+const JobRecord* SchedCtl::record(int job_id) const {
+  const auto it = index_by_id_.find(job_id);
+  return it == index_by_id_.end() ? nullptr : &records_[it->second];
+}
+
+Job* SchedCtl::job(int job_id) {
+  const auto it = index_by_id_.find(job_id);
+  return it == index_by_id_.end() ? nullptr : &jobs_[it->second];
+}
+
+std::size_t SchedCtl::queued() const {
+  std::size_t n = 0;
+  for (const auto& part : partitions_) n += part.scheduler().queued_count();
+  return n;
+}
+
+JobRecord* SchedCtl::find(int job_id) {
+  const auto it = index_by_id_.find(job_id);
+  return it == index_by_id_.end() ? nullptr : &records_[it->second];
+}
+
+}  // namespace perq::sched

@@ -1,0 +1,152 @@
+// SchedCtl: the controller layer over the FCFS+backfill core, modeled on
+// the slurmctld job/partition managers.
+//
+// SchedCtl owns the jobs of an experiment and drives their lifecycle
+//
+//   submit -> (pending) -> eligible -> running -> finished
+//                |             |          |-> cancelled
+//                |             |-> cancelled
+//                |-> cancelled          |-> requeued -> eligible -> ...
+//
+// through named partitions (partition.hpp). A submission is validated
+// against its partition's admission limits, waits in the submit queue until
+// its submit time is reached (arrival model), then queues on the
+// partition's own FCFS/EASY-backfill scheduler. Placement passes serve
+// partitions in descending priority order against the shared cluster
+// free-list, each capped by its partition's concurrent-node ceiling.
+//
+// Every lifecycle transition fires the event hook -- the seam the durable
+// accounting store (src/acct) records through, kept as a callback so the
+// controller has no dependency on the accounting layer (the slurmctld /
+// slurmdbd split).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/app_model.hpp"
+#include "sched/partition.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cluster.hpp"
+#include "trace/trace.hpp"
+
+namespace perq::sched {
+
+/// Lifecycle transitions surfaced to the event hook.
+enum class JobEvent {
+  kSubmitted,  ///< accepted into the submit queue
+  kEligible,   ///< submit time reached; queued on the partition scheduler
+  kStarted,    ///< placed on nodes
+  kFinished,   ///< work complete
+  kCancelled,  ///< killed (queued or running)
+  kRequeued,   ///< evicted and returned to the partition queue
+};
+
+std::string to_string(JobEvent e);
+
+/// Controller-side record of one job (what slurmctld tracks per job).
+struct JobRecord {
+  Job* job = nullptr;
+  std::uint32_t partition = 0;   ///< index into SchedCtl::partitions()
+  double submit_s = 0.0;
+  double eligible_s = -1.0;
+  double start_s = -1.0;
+  double end_s = -1.0;           ///< finish or cancel time
+  std::uint32_t requeues = 0;
+};
+
+struct SchedCtlConfig {
+  /// Partition table; empty = one default "batch" partition over the whole
+  /// machine. Order breaks priority ties.
+  std::vector<PartitionConfig> partitions;
+  std::size_t backfill_window = 64;
+  BackfillMode backfill_mode = BackfillMode::kEasy;
+  std::size_t max_head_bypass = 0;  ///< starvation guard (see scheduler.hpp)
+};
+
+class SchedCtl {
+ public:
+  using EventHook = std::function<void(JobEvent, const JobRecord&)>;
+
+  /// `machine_nodes` sizes the partition defaults (usually cluster.size()).
+  SchedCtl(SchedCtlConfig cfg, std::size_t machine_nodes);
+
+  /// Installs the lifecycle hook (replaces any previous one).
+  void set_event_hook(EventHook hook) { hook_ = std::move(hook); }
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  Partition& partition(std::size_t i) { return partitions_[i]; }
+
+  /// Index of the named partition ("" = the default, index 0).
+  std::size_t partition_index(const std::string& name) const;
+
+  /// Submits one job into `partition_name`, validating against the
+  /// partition's admission limits. The job object is owned by SchedCtl and
+  /// stays pinned for the controller's lifetime. `spec.submit_time_s`
+  /// gates eligibility. Returns kOk and fires kSubmitted on acceptance.
+  AdmitResult submit(const trace::JobSpec& spec, const apps::AppModel* app,
+                     const std::string& partition_name = "");
+
+  /// Earliest submit time still waiting in the submit queue (infinity when
+  /// none) -- the replay loop's next-arrival event.
+  double next_submit_time() const;
+
+  /// Releases due submissions to their partition queues and runs one
+  /// placement pass (partitions in descending priority) against `cluster`.
+  /// Returns the jobs started this pass.
+  std::vector<Job*> schedule_pass(sim::Cluster& cluster, double now);
+
+  /// Departure: the caller determined `job`'s work is complete. Releases
+  /// its nodes and retires it.
+  void complete(Job* job, sim::Cluster& cluster, double now);
+
+  /// Cancels a job in any live state (pending, eligible, or running);
+  /// returns false when the job is unknown or already ended.
+  bool cancel(int job_id, sim::Cluster& cluster, double now);
+
+  /// Evicts a running job and returns it to the back of its partition
+  /// queue, discarding progress (SLURM requeue). False when not running.
+  bool requeue(int job_id, sim::Cluster& cluster, double now);
+
+  const JobRecord* record(int job_id) const;
+  Job* job(int job_id);
+
+  std::size_t submitted() const { return records_.size(); }
+  std::size_t pending() const { return pending_.size(); }
+  std::size_t running() const { return running_count_; }
+  std::size_t finished() const { return finished_count_; }
+  std::size_t cancelled() const { return cancelled_count_; }
+
+  /// Jobs queued (eligible, not yet placed) across all partitions.
+  std::size_t queued() const;
+
+ private:
+  void fire(JobEvent e, const JobRecord& r) {
+    if (hook_) hook_(e, r);
+  }
+  JobRecord* find(int job_id);
+
+  SchedCtlConfig cfg_;
+  std::vector<Partition> partitions_;
+  std::vector<std::size_t> priority_order_;  ///< partition indices, desc priority
+  std::deque<Job> jobs_;                     ///< owning storage, pointer-stable
+  std::deque<JobRecord> records_;            ///< parallel to jobs_
+  std::unordered_map<int, std::size_t> index_by_id_;
+  /// Submit queue: (submit_time, record index), earliest first.
+  using PendingEntry = std::pair<double, std::size_t>;
+  std::priority_queue<PendingEntry, std::vector<PendingEntry>,
+                      std::greater<PendingEntry>>
+      pending_;
+  EventHook hook_;
+  std::size_t running_count_ = 0;
+  std::size_t finished_count_ = 0;
+  std::size_t cancelled_count_ = 0;
+};
+
+}  // namespace perq::sched

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "util/require.hpp"
 
 namespace perq::sched {
 
-Scheduler::Scheduler(std::size_t backfill_window, BackfillMode mode)
-    : backfill_window_(backfill_window), mode_(mode) {}
+Scheduler::Scheduler(std::size_t backfill_window, BackfillMode mode,
+                     std::size_t max_head_bypass)
+    : backfill_window_(backfill_window),
+      mode_(mode),
+      max_head_bypass_(max_head_bypass) {}
 
 void Scheduler::enqueue(Job* job) {
   PERQ_REQUIRE(job != nullptr, "cannot enqueue a null job");
@@ -17,24 +19,61 @@ void Scheduler::enqueue(Job* job) {
   queue_.push_back(job);
 }
 
+bool Scheduler::remove(const Job* job) {
+  const auto it = std::find(queue_.begin(), queue_.end(), job);
+  if (it == queue_.end()) return false;
+  if (job == bypassed_head_) {
+    bypassed_head_ = nullptr;
+    head_bypass_ = 0;
+  }
+  queue_.erase(it);
+  return true;
+}
+
 std::vector<Job*> Scheduler::schedule(sim::Cluster& cluster, double now,
-                                      const std::vector<Job*>* running) {
+                                      const std::vector<Job*>* running,
+                                      std::size_t node_limit) {
   std::vector<Job*> started;
+  std::size_t node_budget = node_limit;
+  const auto effective_free = [&] {
+    return std::min(cluster.free_count(), node_budget);
+  };
 
   // FCFS prefix: start head jobs while they fit.
   while (!queue_.empty()) {
     Job* head = queue_.front();
+    if (head->spec().nodes > effective_free()) break;
     auto nodes = cluster.allocate(head->spec().nodes);
-    if (nodes.empty()) break;
+    PERQ_ASSERT(!nodes.empty(), "allocation failed despite free-count check");
+    node_budget -= head->spec().nodes;
     head->start(now, std::move(nodes));
     started.push_back(head);
     queue_.pop_front();
   }
-  if (queue_.empty() || backfill_window_ == 0) return started;
+  backfill_suspended_ = false;
+  if (queue_.empty()) {
+    // No blocked head: nothing is being bypassed.
+    bypassed_head_ = nullptr;
+    head_bypass_ = 0;
+    return started;
+  }
+  if (backfill_window_ == 0) return started;
+
+  // Starvation guard: a new blocked head restarts the bypass count; once
+  // the same head has been bypassed max_head_bypass_ times, backfill stops
+  // until the head gets on the machine.
+  if (queue_.front() != bypassed_head_) {
+    bypassed_head_ = queue_.front();
+    head_bypass_ = 0;
+  }
+  if (max_head_bypass_ > 0 && head_bypass_ >= max_head_bypass_) {
+    backfill_suspended_ = true;
+    return started;
+  }
 
   // EASY reservation for the blocked head: walk the running jobs' estimated
-  // completions (start + user runtime estimate; the trace reference runtime
-  // plays the role of the user estimate) until enough nodes accumulate.
+  // completions (start + the user's walltime estimate) until enough nodes
+  // accumulate.
   double shadow_time = std::numeric_limits<double>::infinity();
   std::size_t nodes_free_at_shadow = 0;
   if (mode_ == BackfillMode::kEasy) {
@@ -42,11 +81,11 @@ std::vector<Job*> Scheduler::schedule(sim::Cluster& cluster, double now,
     const Job* head = queue_.front();
     std::vector<std::pair<double, std::size_t>> completions;  // (est end, nodes)
     for (const Job* job : *running) {
-      const double est_end = job->start_time_s() + job->spec().runtime_ref_s;
+      const double est_end = job->start_time_s() + job->walltime_est_s();
       completions.emplace_back(std::max(est_end, now), job->spec().nodes);
     }
     std::sort(completions.begin(), completions.end());
-    std::size_t free_nodes = cluster.free_count();
+    std::size_t free_nodes = effective_free();
     shadow_time = now;
     for (const auto& [end, n] : completions) {
       if (free_nodes >= head->spec().nodes) break;
@@ -62,8 +101,11 @@ std::vector<Job*> Scheduler::schedule(sim::Cluster& cluster, double now,
     last_shadow_time_ = std::isfinite(shadow_time) ? shadow_time : -1.0;
   }
   // Nodes the head leaves unused at its reservation: backfill jobs that fit
-  // inside this surplus can never delay the head regardless of runtime.
-  const std::size_t shadow_surplus =
+  // inside this surplus can never delay the head regardless of runtime. The
+  // surplus is consumed by each admitted job expected to outlive the
+  // reservation -- admitting several against the same surplus would delay
+  // the head.
+  std::size_t shadow_surplus =
       mode_ == BackfillMode::kEasy && !queue_.empty() &&
               nodes_free_at_shadow >= queue_.front()->spec().nodes
           ? nodes_free_at_shadow - queue_.front()->spec().nodes
@@ -71,27 +113,39 @@ std::vector<Job*> Scheduler::schedule(sim::Cluster& cluster, double now,
 
   // Backfill behind the blocked head. Erasing from a deque mid-scan is fine
   // at these sizes.
+  bool bypassed = false;
   std::size_t examined = 0;
   for (auto it = queue_.begin() + 1;
-       it != queue_.end() && examined < backfill_window_ && cluster.free_count() > 0;
+       it != queue_.end() && examined < backfill_window_ && effective_free() > 0;
        ++examined) {
     Job* candidate = *it;
-    const bool fits_now = candidate->spec().nodes <= cluster.free_count();
+    const bool fits_now = candidate->spec().nodes <= effective_free();
     bool allowed = fits_now;
+    bool consumes_surplus = false;
     if (allowed && mode_ == BackfillMode::kEasy) {
-      const double est_end = now + candidate->spec().runtime_ref_s;
-      allowed = est_end <= shadow_time || candidate->spec().nodes <= shadow_surplus;
+      const double est_end = now + candidate->walltime_est_s();
+      if (est_end <= shadow_time) {
+        // Returns its nodes before the reservation; no surplus consumed.
+      } else if (candidate->spec().nodes <= shadow_surplus) {
+        consumes_surplus = true;
+      } else {
+        allowed = false;
+      }
     }
     if (allowed) {
+      if (consumes_surplus) shadow_surplus -= candidate->spec().nodes;
       auto nodes = cluster.allocate(candidate->spec().nodes);
       PERQ_ASSERT(!nodes.empty(), "allocation failed despite free-count check");
+      node_budget -= candidate->spec().nodes;
       candidate->start(now, std::move(nodes));
       started.push_back(candidate);
+      bypassed = true;
       it = queue_.erase(it);
     } else {
       ++it;
     }
   }
+  if (bypassed) ++head_bypass_;
   return started;
 }
 

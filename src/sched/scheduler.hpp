@@ -5,16 +5,22 @@
 // Two backfill flavors are provided:
 //  * kAggressive -- first-fit over a bounded lookahead window: any later job
 //    that fits the free nodes starts immediately. Maximum utilization, can
-//    starve the head indefinitely.
+//    starve the head indefinitely -- unless the head-bypass guard below is
+//    armed.
 //  * kEasy -- EASY backfilling: the blocked head gets a reservation at the
-//    earliest time enough nodes free up (per the running jobs' runtime
-//    estimates); later jobs may only start if they do not delay that
+//    earliest time enough nodes free up (per the running jobs' *walltime
+//    estimates*); later jobs may only start if they do not delay that
 //    reservation.
+// Reservations and backfill windows are computed from Job::walltime_est_s()
+// -- the user's (inflated) estimate when the trace carries one, the true
+// runtime otherwise. Real schedulers never see true runtimes.
+//
 // All power-provisioning policies in the evaluation share one scheduler
 // configuration, so throughput differences come from power allocation alone.
 #pragma once
 
 #include <deque>
+#include <limits>
 #include <vector>
 
 #include "sched/job.hpp"
@@ -28,34 +34,58 @@ class Scheduler {
  public:
   /// `backfill_window`: how many queued jobs past the head are examined for
   /// backfill each scheduling pass (0 = pure FCFS).
+  /// `max_head_bypass`: starvation guard for kAggressive -- after this many
+  /// consecutive passes in which the blocked head was bypassed by at least
+  /// one backfilled job, backfill is suspended until the head starts.
+  /// 0 = unlimited bypassing (the historical behavior).
   explicit Scheduler(std::size_t backfill_window = 64,
-                     BackfillMode mode = BackfillMode::kAggressive);
+                     BackfillMode mode = BackfillMode::kAggressive,
+                     std::size_t max_head_bypass = 0);
 
   BackfillMode mode() const { return mode_; }
 
   /// Appends a job (non-owning; jobs outlive the scheduler pass).
   void enqueue(Job* job);
 
+  /// Removes a queued job (cancel path). Returns false when not queued here.
+  bool remove(const Job* job);
+
   std::size_t queued_count() const { return queue_.size(); }
   bool queue_empty() const { return queue_.empty(); }
+  const Job* head() const { return queue_.empty() ? nullptr : queue_.front(); }
 
   /// Starts as many jobs as fit on the cluster's free nodes: first the
   /// FCFS prefix, then backfill within the lookahead window. Returns the
   /// jobs started this pass. In kEasy mode, `running` (the currently
   /// executing jobs) is required to compute the head's reservation; in
-  /// kAggressive mode it is ignored.
-  std::vector<Job*> schedule(sim::Cluster& cluster, double now,
-                             const std::vector<Job*>* running = nullptr);
+  /// kAggressive mode it is ignored. `node_limit` caps how many nodes this
+  /// pass may allocate in total (a partition's free headroom); the default
+  /// is unlimited.
+  std::vector<Job*> schedule(
+      sim::Cluster& cluster, double now,
+      const std::vector<Job*>* running = nullptr,
+      std::size_t node_limit = std::numeric_limits<std::size_t>::max());
 
   /// The head job's reservation time computed on the last kEasy pass where
   /// the head was blocked (negative when not applicable). Exposed for tests
   /// and diagnostics.
   double last_shadow_time() const { return last_shadow_time_; }
 
+  /// Consecutive passes the current blocked head has been bypassed by
+  /// backfill (resets when the head starts or changes).
+  std::size_t head_bypass_passes() const { return head_bypass_; }
+
+  /// True when the starvation guard suppressed backfill on the last pass.
+  bool backfill_suspended() const { return backfill_suspended_; }
+
  private:
   std::size_t backfill_window_;
   BackfillMode mode_;
+  std::size_t max_head_bypass_;
   double last_shadow_time_ = -1.0;
+  std::size_t head_bypass_ = 0;
+  const Job* bypassed_head_ = nullptr;
+  bool backfill_suspended_ = false;
   std::deque<Job*> queue_;
 };
 

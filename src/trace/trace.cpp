@@ -157,12 +157,32 @@ std::size_t sample_tardis_nodes(Rng& rng, std::size_t max_nodes) {
 std::vector<JobSpec> generate_trace(const TraceConfig& cfg) {
   PERQ_REQUIRE(cfg.job_count >= 1, "trace must contain at least one job");
   PERQ_REQUIRE(cfg.max_job_nodes >= 1, "max_job_nodes must be >= 1");
+  PERQ_REQUIRE(cfg.estimate_pad_median >= 0.0, "estimate pad must be >= 0");
+  PERQ_REQUIRE(cfg.estimate_pad_sigma >= 0.0, "estimate sigma must be >= 0");
+  PERQ_REQUIRE(cfg.estimate_pad_max >= 1.0, "estimate pad cap must be >= 1");
+  PERQ_REQUIRE(cfg.arrival_span_s >= 0.0, "arrival span must be >= 0");
   const auto runtime = RuntimeDistribution::for_system(cfg.system);
   const auto& catalog = apps::ecp_catalog();
   Rng rng(cfg.seed);
+  // Secondary stream for estimates / arrivals / users: the primary stream
+  // above must emit exactly the draws it always has (see TraceConfig note).
+  Rng aux(cfg.seed ^ 0x5eed0e57a11c0de5ull);
+
+  std::vector<double> user_weights;
+  if (cfg.user_count > 1) {
+    user_weights.reserve(cfg.user_count);
+    for (std::size_t u = 0; u < cfg.user_count; ++u) {
+      user_weights.push_back(1.0 / static_cast<double>(u + 1));
+    }
+  }
+  const double arrival_rate =
+      cfg.arrival_span_s > 0.0
+          ? static_cast<double>(cfg.job_count) / cfg.arrival_span_s
+          : 0.0;
 
   std::vector<JobSpec> jobs;
   jobs.reserve(cfg.job_count);
+  double arrival_t = 0.0;
   for (std::size_t i = 0; i < cfg.job_count; ++i) {
     JobSpec j;
     j.id = static_cast<int>(i);
@@ -180,6 +200,25 @@ std::vector<JobSpec> generate_trace(const TraceConfig& cfg) {
     j.app_index = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(catalog.size()) - 1));
     j.phase_offset_s = rng.uniform(0.0, 1200.0);
+
+    if (cfg.estimate_pad_median > 0.0) {
+      // Pad factor >= 1 (users over-request), rounded up to 5-minute
+      // granularity: estimates cluster on round walltimes.
+      const double pad =
+          std::clamp(cfg.estimate_pad_median *
+                         aux.lognormal(0.0, cfg.estimate_pad_sigma),
+                     1.0, cfg.estimate_pad_max);
+      constexpr double kGranule = 300.0;
+      j.walltime_est_s =
+          std::ceil(j.runtime_ref_s * pad / kGranule) * kGranule;
+    }
+    if (arrival_rate > 0.0) {
+      arrival_t += aux.exponential(arrival_rate);
+      j.submit_time_s = arrival_t;
+    }
+    if (cfg.user_count > 1) {
+      j.user_id = static_cast<std::uint32_t>(aux.weighted_index(user_weights));
+    }
     jobs.push_back(j);
   }
   return jobs;

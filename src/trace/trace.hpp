@@ -27,6 +27,15 @@ struct JobSpec {
   double runtime_ref_s = 0.0;   ///< runtime at full power (seconds)
   std::size_t app_index = 0;    ///< index into apps::ecp_catalog()
   double phase_offset_s = 0.0;  ///< random offset into the app's phase cycle
+  /// User-supplied walltime estimate (seconds). Real schedulers never see
+  /// the true runtime: users request padded, round-number walltimes, and
+  /// EASY backfill reserves off those estimates. 0 = no estimate (consumers
+  /// fall back to runtime_ref_s, the oracle behavior of older traces).
+  double walltime_est_s = 0.0;
+  /// Submission time (seconds into the experiment). 0 = available at start,
+  /// which reproduces the pre-arrival-model "full backlog" population.
+  double submit_time_s = 0.0;
+  std::uint32_t user_id = 0;    ///< submitting user (accounting association)
 };
 
 /// Which machine's published statistics to match.
@@ -65,11 +74,33 @@ class RuntimeDistribution {
 };
 
 /// Trace generation parameters.
+///
+/// The estimate / arrival / user fields draw from a *secondary* RNG stream
+/// derived from `seed`, so enabling them (or tuning their knobs) never
+/// perturbs the primary stream that samples node counts and runtimes: a
+/// trace's (nodes, runtime, app, phase) sequence is bit-identical to the
+/// pre-estimate generator for every seed.
 struct TraceConfig {
   SystemModel system = SystemModel::kMira;
   std::size_t job_count = 2000;   ///< jobs to synthesize (backlog kept full)
   std::size_t max_job_nodes = 32; ///< cap on a single job's node count
   std::uint64_t seed = 1;
+  /// Walltime-estimate synthesis: users pad the true runtime by a lognormal
+  /// factor (median `estimate_pad_median`, shape `estimate_pad_sigma`),
+  /// clamped to [1, estimate_pad_max] x runtime and rounded *up* to 5-minute
+  /// granularity -- the round-number inflation real traces show. Median 1
+  /// with sigma 0 yields exact (oracle) estimates; estimate_pad_median = 0
+  /// disables synthesis entirely (walltime_est_s stays 0).
+  double estimate_pad_median = 1.6;
+  double estimate_pad_sigma = 0.45;
+  double estimate_pad_max = 10.0;
+  /// Arrival model: when > 0, submit times are a Poisson process over
+  /// [0, arrival_span_s] (exponential gaps, sorted by construction). 0 keeps
+  /// every job available at t = 0.
+  double arrival_span_s = 0.0;
+  /// Submitting-user population: users sampled Zipf-style (rank-weight
+  /// 1/(rank+1)) over `user_count` users. <= 1 assigns everyone user 0.
+  std::size_t user_count = 1;
 };
 
 /// Generates `cfg.job_count` jobs. Application assignment is uniform over

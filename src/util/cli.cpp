@@ -1,0 +1,77 @@
+#include "util/cli.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace perq::cli {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& flag, const std::string& text,
+                       const std::string& why) {
+  throw precondition_error(flag + ": " + why + ": '" + text + "'");
+}
+
+}  // namespace
+
+double parse_double(const std::string& flag, const std::string& text) {
+  if (text.empty()) fail(flag, text, "expected a number");
+  // strtod accepts leading whitespace, hex floats, and inf/nan; a strict
+  // flag value is plain decimal, so screen the first character ourselves.
+  const char c0 = text.front();
+  if (!(c0 == '+' || c0 == '-' || c0 == '.' || (c0 >= '0' && c0 <= '9'))) {
+    fail(flag, text, "expected a number");
+  }
+  if (text.find('x') != std::string::npos || text.find('X') != std::string::npos) {
+    fail(flag, text, "expected a decimal number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) fail(flag, text, "trailing garbage");
+  if (errno == ERANGE || !std::isfinite(v)) fail(flag, text, "out of range");
+  return v;
+}
+
+double parse_double_in(const std::string& flag, const std::string& text,
+                       double lo, double hi) {
+  PERQ_REQUIRE(lo <= hi, "malformed range");
+  const double v = parse_double(flag, text);
+  if (v < lo || v > hi) {
+    fail(flag, text,
+         "must be in [" + std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& text) {
+  if (text.empty()) fail(flag, text, "expected a non-negative integer");
+  for (char c : text) {
+    if (c < '0' || c > '9') fail(flag, text, "expected a non-negative integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) fail(flag, text, "trailing garbage");
+  if (errno == ERANGE || v > std::numeric_limits<std::uint64_t>::max()) {
+    fail(flag, text, "out of range");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::uint64_t parse_u64_in(const std::string& flag, const std::string& text,
+                           std::uint64_t lo, std::uint64_t hi) {
+  PERQ_REQUIRE(lo <= hi, "malformed range");
+  const std::uint64_t v = parse_u64(flag, text);
+  if (v < lo || v > hi) {
+    fail(flag, text,
+         "must be in [" + std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+}  // namespace perq::cli

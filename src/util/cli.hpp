@@ -1,0 +1,35 @@
+// Strict command-line numeric parsing shared by the example binaries.
+//
+// Every PERQ CLI used to carry its own copy of a strtod-based parse_num;
+// the copies drifted (perq_chaos accepted trailing garbage, perq_cli
+// rejected it). These helpers are the single strict implementation: the
+// whole token must parse, the value must be finite, and an optional
+// [lo, hi] range is enforced. Failures throw perq::precondition_error with
+// a message naming the offending flag, so binaries can turn them into a
+// usage line + exit(2) in one catch block and tests can exercise the
+// failure paths without spawning processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace perq::cli {
+
+/// Parses `text` as a finite double. `flag` names the option in error
+/// messages ("--f"). Rejects empty strings, trailing garbage ("1.5x"),
+/// inf/nan, and hex floats.
+double parse_double(const std::string& flag, const std::string& text);
+
+/// parse_double plus an inclusive [lo, hi] range check.
+double parse_double_in(const std::string& flag, const std::string& text,
+                       double lo, double hi);
+
+/// Parses `text` as a non-negative decimal integer. Rejects signs, trailing
+/// garbage, and values that overflow uint64.
+std::uint64_t parse_u64(const std::string& flag, const std::string& text);
+
+/// parse_u64 plus an inclusive [lo, hi] range check.
+std::uint64_t parse_u64_in(const std::string& flag, const std::string& text,
+                           std::uint64_t lo, std::uint64_t hi);
+
+}  // namespace perq::cli

@@ -1,0 +1,203 @@
+#include "acct/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "acct/event_log.hpp"
+#include "util/require.hpp"
+
+namespace perq::acct {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "perq_acct_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static void run_small_workload(Store& store) {
+    store.record_submit(/*job=*/1, /*user=*/7, /*app=*/2, /*nodes=*/64,
+                        /*submit=*/0.0, /*est=*/3600.0);
+    store.record_submit(2, 7, 3, 32, 10.0, 1800.0);
+    store.record_submit(3, 9, 0, 16, 20.0, 900.0);
+    store.record_start(1, 5.0);
+    store.record_start(2, 15.0);
+    store.record_requeue(2, 100.0);
+    store.record_start(2, 200.0);
+    EndInfo e1;
+    e1.end_s = 4000.0;
+    e1.runtime_s = 3995.0;
+    e1.baseline_runtime_s = 4100.0;  // beat equal share
+    e1.node_hours = 64 * 3995.0 / 3600.0;
+    e1.energy_j = 5.0e8;
+    store.record_end(1, e1);
+    EndInfo e2;
+    e2.end_s = 2200.0;
+    e2.runtime_s = 2000.0;
+    e2.baseline_runtime_s = 1900.0;  // lost to equal share
+    e2.node_hours = 32 * 2000.0 / 3600.0;
+    e2.energy_j = 1.0e8;
+    store.record_end(2, e2);
+    EndInfo e3;
+    e3.end_s = 50.0;
+    e3.cancelled = true;
+    store.record_end(3, e3);
+    store.flush();
+  }
+
+  static void check_small_workload(const Store& store) {
+    EXPECT_EQ(store.submitted(), 3u);
+    EXPECT_EQ(store.ended(), 2u);
+    EXPECT_EQ(store.cancelled(), 1u);
+    EXPECT_DOUBLE_EQ(store.fraction_beating_equal_share(), 0.5);
+    EXPECT_DOUBLE_EQ(store.total_energy_j(), 6.0e8);
+
+    const JobAcct* j1 = store.job(1);
+    ASSERT_NE(j1, nullptr);
+    EXPECT_EQ(j1->phase, JobPhase::kEnded);
+    EXPECT_EQ(j1->user_id, 7u);
+    EXPECT_EQ(j1->nodes, 64u);
+    EXPECT_DOUBLE_EQ(j1->start_s, 5.0);
+    EXPECT_DOUBLE_EQ(j1->runtime_s, 3995.0);
+    EXPECT_TRUE(j1->beat_equal_share());
+
+    const JobAcct* j2 = store.job(2);
+    ASSERT_NE(j2, nullptr);
+    EXPECT_EQ(j2->requeues, 1u);
+    EXPECT_DOUBLE_EQ(j2->start_s, 15.0);  // first start preserved
+    EXPECT_FALSE(j2->beat_equal_share());
+
+    const JobAcct* j3 = store.job(3);
+    ASSERT_NE(j3, nullptr);
+    EXPECT_EQ(j3->phase, JobPhase::kCancelled);
+
+    const UserAcct* u7 = store.user(7);
+    ASSERT_NE(u7, nullptr);
+    EXPECT_EQ(u7->jobs_submitted, 2u);
+    EXPECT_EQ(u7->jobs_ended, 2u);
+    EXPECT_EQ(u7->beat_equal_share, 1u);
+    const UserAcct* u9 = store.user(9);
+    ASSERT_NE(u9, nullptr);
+    EXPECT_EQ(u9->jobs_cancelled, 1u);
+  }
+
+  std::string path_;
+};
+
+TEST_F(StoreTest, InMemoryStoreTracksLifecycle) {
+  Store store;  // no path: nothing persisted
+  run_small_workload(store);
+  check_small_workload(store);
+  EXPECT_FALSE(store.log().persistent());
+}
+
+TEST_F(StoreTest, ReopenRebuildsIdenticalState) {
+  {
+    Store store(path_);
+    run_small_workload(store);
+    check_small_workload(store);
+  }
+  Store reopened(path_);
+  EXPECT_EQ(reopened.log().replayed_count(), 10u);
+  EXPECT_FALSE(reopened.log().truncated_tail());
+  check_small_workload(reopened);
+}
+
+TEST_F(StoreTest, CrashMidRecordReplaysTheIntactPrefix) {
+  {
+    Store store(path_);
+    run_small_workload(store);
+  }
+  // Chop the file mid-way through the final record, as a crash between
+  // buffered writes would.
+  std::uintmax_t size = 0;
+  {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    ASSERT_TRUE(in.good());
+    size = static_cast<std::uintmax_t>(in.tellg());
+  }
+  ASSERT_EQ(::truncate(path_.c_str(), static_cast<off_t>(size - 5)), 0);
+
+  Store recovered(path_);
+  EXPECT_TRUE(recovered.log().truncated_tail());
+  // The last record (job 3's cancellation) is gone; everything before it
+  // must match exactly what the writer saw at that point.
+  EXPECT_EQ(recovered.log().replayed_count(), 9u);
+  EXPECT_EQ(recovered.submitted(), 3u);
+  EXPECT_EQ(recovered.ended(), 2u);
+  EXPECT_EQ(recovered.cancelled(), 0u);
+  ASSERT_NE(recovered.job(3), nullptr);
+  EXPECT_EQ(recovered.job(3)->phase, JobPhase::kSubmitted);
+
+  // Recovery truncated the torn tail, so appending resumes cleanly.
+  EndInfo e3;
+  e3.end_s = 50.0;
+  e3.cancelled = true;
+  recovered.record_end(3, e3);
+  recovered.flush();
+  Store again(path_);
+  EXPECT_EQ(again.cancelled(), 1u);
+  check_small_workload(again);
+}
+
+TEST_F(StoreTest, CorruptBytesCutTheTailNotThePrefix) {
+  {
+    Store store(path_);
+    run_small_workload(store);
+  }
+  // Flip one payload byte inside the 6th record: CRC catches it, and that
+  // record plus everything after is discarded.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  std::vector<char> bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+  // Walk the record framing to find the 6th record's payload offset.
+  std::size_t off = 8;  // magic
+  for (int rec = 0; rec < 5; ++rec) {
+    const auto len = static_cast<std::uint32_t>(
+        static_cast<unsigned char>(bytes[off])) |
+        static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[off + 1]))
+            << 8;
+    off += 8 + len;
+  }
+  f.clear();
+  f.seekp(static_cast<std::streamoff>(off + 8 + 2));
+  const char flipped = static_cast<char>(bytes[off + 8 + 2] ^ 0x40);
+  f.write(&flipped, 1);
+  f.close();
+
+  Store recovered(path_);
+  EXPECT_TRUE(recovered.log().truncated_tail());
+  EXPECT_EQ(recovered.log().replayed_count(), 5u);
+  EXPECT_EQ(recovered.submitted(), 3u);  // submits were the first 3 records
+  EXPECT_EQ(recovered.ended(), 0u);
+}
+
+TEST_F(StoreTest, RejectsAForeignFile) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "definitely not an accounting log";
+  }
+  EXPECT_THROW(Store store(path_), perq::precondition_error);
+}
+
+TEST_F(StoreTest, Crc32MatchesKnownVectors) {
+  // IEEE 802.3 check value for "123456789".
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check, sizeof(check)), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace perq::acct

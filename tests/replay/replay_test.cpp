@@ -1,0 +1,122 @@
+#include "replay/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace perq::replay {
+namespace {
+
+ReplayConfig small_config() {
+  ReplayConfig cfg;
+  cfg.trace.system = trace::SystemModel::kMira;
+  cfg.trace.job_count = 400;
+  cfg.trace.max_job_nodes = 16;
+  cfg.trace.seed = 11;
+  cfg.trace.arrival_span_s = 2.0 * 86400.0;
+  cfg.trace.user_count = 20;
+  cfg.worst_case_nodes = 32;
+  cfg.over_provision_factor = 1.5;
+  cfg.backfill_mode = sched::BackfillMode::kEasy;
+  return cfg;
+}
+
+TEST(ReplayTest, DrainsTheWorkloadAndAuditsSanely) {
+  acct::Store store;
+  const ReplayResult res = run_replay(small_config(), &store);
+
+  EXPECT_EQ(res.jobs_submitted, 400u);
+  EXPECT_EQ(res.jobs_completed, 400u);
+  EXPECT_EQ(store.ended(), 400u);
+  EXPECT_GT(res.makespan_s, 0.0);
+  EXPECT_GT(res.jobs_per_day, 0.0);
+  EXPECT_GT(res.utilization, 0.0);
+  EXPECT_LE(res.utilization, 1.0);
+  EXPECT_GE(res.mean_slowdown, 1.0 - 1e-9);
+  EXPECT_GE(res.mean_wait_s, 0.0);
+  EXPECT_GT(res.total_energy_j, 0.0);
+  EXPECT_GT(res.events, 400u);
+
+  // Fairness audit: overprovisioning + water-filling should let a clear
+  // majority of jobs beat the static equal-share baseline.
+  EXPECT_GE(res.fairness_fraction, 0.5);
+  EXPECT_LE(res.fairness_fraction, 1.0);
+
+  // Per-job records landed in the association index.
+  EXPECT_EQ(store.jobs().size(), 400u);
+  EXPECT_GE(store.users().size(), 2u);
+}
+
+TEST(ReplayTest, IsSeedDeterministic) {
+  const ReplayResult a = run_replay(small_config());
+  const ReplayResult b = run_replay(small_config());
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);  // bit-exact, not approximate
+  EXPECT_EQ(a.jobs_per_day, b.jobs_per_day);
+  EXPECT_EQ(a.fairness_fraction, b.fairness_fraction);
+  EXPECT_EQ(a.mean_wait_s, b.mean_wait_s);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.reallocations, b.reallocations);
+}
+
+TEST(ReplayTest, DifferentSeedsDiffer) {
+  ReplayConfig cfg = small_config();
+  const ReplayResult a = run_replay(cfg);
+  cfg.trace.seed = 12;
+  const ReplayResult b = run_replay(cfg);
+  EXPECT_NE(a.makespan_s, b.makespan_s);
+}
+
+TEST(ReplayTest, SweepMatchesIndividualRunsAndMoreNodesHelp) {
+  const ReplayConfig base = small_config();
+  const std::vector<double> factors = {1.0, 1.5};
+  const auto sweep = run_replay_sweep(base, factors, 2);
+  ASSERT_EQ(sweep.size(), 2u);
+
+  // The pool fan-out must not change results: each entry equals a solo run.
+  ReplayConfig solo = base;
+  solo.over_provision_factor = 1.0;
+  const ReplayResult ref = run_replay(solo);
+  EXPECT_EQ(sweep[0].makespan_s, ref.makespan_s);
+  EXPECT_EQ(sweep[0].fairness_fraction, ref.fairness_fraction);
+
+  // f = 1.5 fields 48 nodes against 32: the same backlog drains no slower.
+  EXPECT_EQ(sweep[1].machine_nodes, 48u);
+  EXPECT_LE(sweep[1].makespan_s, sweep[0].makespan_s + 1e-6);
+}
+
+TEST(ReplayTest, PersistsTheAuditTrail) {
+  const std::string path = ::testing::TempDir() + "perq_replay_acct.log";
+  std::remove(path.c_str());
+  ReplayConfig cfg = small_config();
+  cfg.trace.job_count = 50;
+  cfg.acct_path = path;
+  const ReplayResult res = run_replay(cfg);
+  EXPECT_EQ(res.jobs_completed, 50u);
+
+  // Reopen the log cold: the rebuilt store must tell the same story.
+  acct::Store reopened(path);
+  EXPECT_EQ(reopened.ended(), 50u);
+  EXPECT_EQ(reopened.fraction_beating_equal_share(), res.fairness_fraction);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayTest, PartitionedMachineStillDrains) {
+  ReplayConfig cfg = small_config();
+  cfg.trace.job_count = 200;
+  sched::PartitionConfig small;
+  small.name = "small";
+  small.priority = 5;
+  small.max_job_nodes = 4;
+  sched::PartitionConfig wide;
+  wide.name = "wide";
+  cfg.partitions = {small, wide};
+  const ReplayResult res = run_replay(cfg);
+  EXPECT_EQ(res.jobs_completed, 200u);
+  EXPECT_GE(res.fairness_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace perq::replay

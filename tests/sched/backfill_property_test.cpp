@@ -1,0 +1,214 @@
+// Randomized properties of the backfill core, seed-deterministic via
+// perq::Rng (no test-framework RNG, so failures replay exactly).
+//
+//  * kEasy never delays the blocked head's reservation: replaying any
+//    random workload, the head must start no later than the shadow time
+//    quoted when it first blocked (estimates are upper bounds, so backfill
+//    that respects them can only leave the head where it was -- or better).
+//  * kAggressive with the head-bypass guard armed cannot starve the head:
+//    after at most `max_head_bypass` bypassing passes, backfill is
+//    suspended and the head drains to the front of the machine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace perq::sched {
+namespace {
+
+struct RandomWorkload {
+  std::vector<std::unique_ptr<Job>> jobs;
+  std::vector<Job*> queue;
+};
+
+RandomWorkload make_workload(Rng& rng, std::size_t machine_nodes,
+                             std::size_t job_count) {
+  RandomWorkload w;
+  for (std::size_t i = 0; i < job_count; ++i) {
+    trace::JobSpec s;
+    s.id = static_cast<int>(i);
+    s.nodes = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(machine_nodes)));
+    s.runtime_ref_s = 60.0 * static_cast<double>(rng.uniform_int(1, 240));
+    // Estimates are inflated upper bounds, as the trace synthesizer makes.
+    s.walltime_est_s = s.runtime_ref_s * (1.0 + rng.uniform());
+    s.app_index = 0;
+    w.jobs.push_back(std::make_unique<Job>(s, &apps::find_app("ASPA")));
+    w.queue.push_back(w.jobs.back().get());
+  }
+  return w;
+}
+
+/// Replays one random workload through a scheduler at full perf (caps off),
+/// in fixed steps. Returns per-job start times indexed by job id.
+/// `mode`/`max_head_bypass` configure the scheduler; when `easy_check` is
+/// set, the head's quoted shadow time is asserted as an upper bound on its
+/// actual start.
+std::vector<double> replay(Rng& rng, BackfillMode mode,
+                           std::size_t max_head_bypass, bool easy_check) {
+  constexpr std::size_t kMachine = 32;
+  constexpr double kStep = 30.0;
+
+  sim::ClusterConfig ccfg;
+  ccfg.worst_case_nodes = kMachine;
+  ccfg.over_provision_factor = 1.0;
+  sim::Cluster cluster(ccfg);
+
+  RandomWorkload w = make_workload(rng, kMachine, 40);
+  Scheduler sched(/*backfill_window=*/16, mode, max_head_bypass);
+  for (Job* j : w.queue) sched.enqueue(j);
+
+  std::vector<double> starts(w.jobs.size(), -1.0);
+  std::vector<Job*> running;
+  // Promise made to the currently blocked head: (job id, shadow bound).
+  int promised_head = -1;
+  double promised_time = -1.0;
+
+  double now = 0.0;
+  while ((!sched.queue_empty() || !running.empty()) && now < 1e7) {
+    const Job* head_before = sched.head();
+    auto started = sched.schedule(cluster, now, &running);
+    for (Job* j : started) {
+      running.push_back(j);
+      starts[static_cast<std::size_t>(j->spec().id)] = now;
+      if (easy_check && j->spec().id == promised_head) {
+        // The core EASY invariant: backfill never pushed the head past the
+        // reservation it was quoted when it first blocked.
+        EXPECT_LE(now, promised_time)
+            << "head " << promised_head << " delayed past its reservation";
+        promised_head = -1;
+      }
+    }
+    if (easy_check && sched.head() != nullptr &&
+        sched.last_shadow_time() >= 0.0) {
+      const int head_id = sched.head()->spec().id;
+      if (head_id != promised_head) {  // head changed: record its first quote
+        promised_head = head_id;
+        promised_time = sched.last_shadow_time();
+      }
+      // A later quote for the same head may only move earlier (or hold).
+      EXPECT_LE(sched.last_shadow_time(), promised_time + 1e-9);
+      promised_time = std::min(promised_time, sched.last_shadow_time());
+    }
+    (void)head_before;
+
+    now += kStep;
+    // Full-power physics: progress == wall time.
+    for (auto it = running.begin(); it != running.end();) {
+      Job* j = *it;
+      j->record_interval(kStep, 1.0, 1.0, 290.0);
+      if (j->work_complete()) {
+        const std::vector<std::size_t> nodes = j->node_ids();
+        j->finish(now);
+        cluster.release(nodes);
+        it = running.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  EXPECT_TRUE(sched.queue_empty()) << "workload did not drain";
+  return starts;
+}
+
+TEST(BackfillPropertyTest, EasyNeverDelaysTheHeadReservation) {
+  Rng rng(0xEA51B041DULL);
+  for (int trial = 0; trial < 25; ++trial) {
+    replay(rng, BackfillMode::kEasy, 0, /*easy_check=*/true);
+  }
+}
+
+TEST(BackfillPropertyTest, EasyReplayIsSeedDeterministic) {
+  Rng a(42), b(42);
+  const auto sa = replay(a, BackfillMode::kEasy, 0, false);
+  const auto sb = replay(b, BackfillMode::kEasy, 0, false);
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(BackfillPropertyTest, GuardedAggressiveDrainsEveryHead) {
+  // Every random workload must drain (asserted inside replay) even with
+  // aggressive backfill, because the guard bounds head bypassing.
+  Rng rng(0x57A21ED0ULL);
+  for (int trial = 0; trial < 10; ++trial) {
+    replay(rng, BackfillMode::kAggressive, 3, false);
+  }
+}
+
+TEST(StarvationGuardTest, CapsHeadBypassPassesAndResumesAfterHeadStarts) {
+  sim::ClusterConfig ccfg;
+  ccfg.worst_case_nodes = 8;
+  ccfg.over_provision_factor = 1.0;
+  sim::Cluster cluster(ccfg);
+
+  auto make = [&](int id, std::size_t nodes) {
+    trace::JobSpec s;
+    s.id = id;
+    s.nodes = nodes;
+    s.runtime_ref_s = 1000.0;
+    s.app_index = 0;
+    return std::make_unique<Job>(s, &apps::find_app("ASPA"));
+  };
+
+  std::vector<std::unique_ptr<Job>> jobs;
+  Scheduler sched(/*backfill_window=*/64, BackfillMode::kAggressive,
+                  /*max_head_bypass=*/2);
+
+  jobs.push_back(make(0, 6));  // occupies 6 of 8
+  sched.enqueue(jobs.back().get());
+  jobs.push_back(make(1, 4));  // head: blocked (only 2 free)
+  sched.enqueue(jobs.back().get());
+  // An endless supply of 1-node fillers that would classically starve it.
+  for (int i = 2; i < 10; ++i) {
+    jobs.push_back(make(i, 1));
+    sched.enqueue(jobs.back().get());
+  }
+
+  auto finish = [&](std::size_t idx, double now) {
+    const std::vector<std::size_t> nodes = jobs[idx]->node_ids();
+    jobs[idx]->finish(now);
+    cluster.release(nodes);
+  };
+
+  // Pass 1: job0 starts FCFS (6 nodes), head job1 blocked (needs 4, 2
+  // free), fillers take the remaining nodes -> first bypass.
+  auto s0 = sched.schedule(cluster, 0.0);
+  ASSERT_EQ(s0.size(), 3u);
+  EXPECT_EQ(s0[0]->spec().id, 0);
+  EXPECT_EQ(s0[1]->spec().id, 2);
+  EXPECT_EQ(s0[2]->spec().id, 3);
+  EXPECT_EQ(sched.head_bypass_passes(), 1u);
+  EXPECT_FALSE(sched.backfill_suspended());
+
+  // Pass 2: a filler's node frees up and another filler grabs it -> second
+  // bypass, reaching the limit.
+  finish(2, 5.0);
+  auto s1 = sched.schedule(cluster, 10.0);
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0]->spec().id, 4);
+  EXPECT_EQ(sched.head_bypass_passes(), 2u);
+
+  // Pass 3: another node frees up, but the guard is at its limit:
+  // backfill is suspended and the node is held for the head.
+  finish(3, 15.0);
+  auto s2 = sched.schedule(cluster, 20.0);
+  EXPECT_TRUE(s2.empty());
+  EXPECT_TRUE(sched.backfill_suspended());
+  EXPECT_EQ(cluster.free_count(), 1u);
+
+  // Drain job 0 so the head fits; the head starts, the guard resets, and
+  // backfill resumes behind it.
+  finish(0, 30.0);
+  auto s3 = sched.schedule(cluster, 30.0);
+  ASSERT_FALSE(s3.empty());
+  EXPECT_EQ(s3.front()->spec().id, 1);  // the head finally starts
+  EXPECT_EQ(sched.head_bypass_passes(), 0u);
+  EXPECT_FALSE(sched.backfill_suspended());
+}
+
+}  // namespace
+}  // namespace perq::sched

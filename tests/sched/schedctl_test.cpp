@@ -1,0 +1,213 @@
+#include "sched/schedctl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/catalog.hpp"
+#include "util/require.hpp"
+
+namespace perq::sched {
+namespace {
+
+class SchedCtlTest : public ::testing::Test {
+ protected:
+  SchedCtlTest() : cluster_(make_cluster()) {}
+
+  static sim::Cluster make_cluster() {
+    sim::ClusterConfig cfg;
+    cfg.worst_case_nodes = 16;
+    cfg.over_provision_factor = 1.0;
+    return sim::Cluster(cfg);
+  }
+
+  static trace::JobSpec spec(int id, std::size_t nodes, double runtime = 100.0,
+                             double submit = 0.0, double estimate = 0.0) {
+    trace::JobSpec s;
+    s.id = id;
+    s.nodes = nodes;
+    s.runtime_ref_s = runtime;
+    s.walltime_est_s = estimate;
+    s.submit_time_s = submit;
+    s.app_index = 0;
+    return s;
+  }
+
+  static const apps::AppModel* app() { return &apps::find_app("ASPA"); }
+
+  sim::Cluster cluster_;
+};
+
+TEST_F(SchedCtlTest, DefaultPartitionCoversTheMachine) {
+  SchedCtl ctl(SchedCtlConfig{}, 16);
+  ASSERT_EQ(ctl.partitions().size(), 1u);
+  EXPECT_EQ(ctl.partitions()[0].name(), "batch");
+  EXPECT_EQ(ctl.partitions()[0].config().max_nodes, 16u);
+  EXPECT_EQ(ctl.partitions()[0].config().max_job_nodes, 16u);
+}
+
+TEST_F(SchedCtlTest, LifecycleFiresHooksInOrder) {
+  SchedCtl ctl(SchedCtlConfig{}, 16);
+  std::vector<std::pair<JobEvent, int>> events;
+  ctl.set_event_hook([&](JobEvent e, const JobRecord& r) {
+    events.emplace_back(e, r.job->spec().id);
+  });
+
+  ASSERT_EQ(ctl.submit(spec(1, 4), app()), AdmitResult::kOk);
+  auto started = ctl.schedule_pass(cluster_, 0.0);
+  ASSERT_EQ(started.size(), 1u);
+  ctl.complete(started[0], cluster_, 50.0);
+
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], std::make_pair(JobEvent::kSubmitted, 1));
+  EXPECT_EQ(events[1], std::make_pair(JobEvent::kEligible, 1));
+  EXPECT_EQ(events[2], std::make_pair(JobEvent::kStarted, 1));
+  EXPECT_EQ(events[3], std::make_pair(JobEvent::kFinished, 1));
+
+  const JobRecord* rec = ctl.record(1);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->eligible_s, 0.0);
+  EXPECT_EQ(rec->start_s, 0.0);
+  EXPECT_EQ(rec->end_s, 50.0);
+  EXPECT_EQ(ctl.finished(), 1u);
+  EXPECT_EQ(cluster_.free_count(), 16u);
+}
+
+TEST_F(SchedCtlTest, SubmitTimeGatesEligibility) {
+  SchedCtl ctl(SchedCtlConfig{}, 16);
+  ASSERT_EQ(ctl.submit(spec(1, 4, 100.0, /*submit=*/30.0), app()),
+            AdmitResult::kOk);
+  EXPECT_EQ(ctl.next_submit_time(), 30.0);
+
+  EXPECT_TRUE(ctl.schedule_pass(cluster_, 0.0).empty());
+  EXPECT_EQ(ctl.pending(), 1u);
+
+  auto started = ctl.schedule_pass(cluster_, 30.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(ctl.record(1)->eligible_s, 30.0);
+}
+
+TEST_F(SchedCtlTest, AdmissionEnforcesPartitionLimits) {
+  PartitionConfig pc;
+  pc.name = "small";
+  pc.max_job_nodes = 4;
+  pc.max_walltime_s = 3600.0;
+  SchedCtlConfig cfg;
+  cfg.partitions.push_back(pc);
+  SchedCtl ctl(cfg, 16);
+
+  EXPECT_EQ(ctl.submit(spec(1, 8), app(), "small"),
+            AdmitResult::kTooManyNodes);
+  EXPECT_EQ(ctl.submit(spec(2, 2, 100.0, 0.0, /*estimate=*/7200.0), app(),
+                       "small"),
+            AdmitResult::kWalltimeExceeded);
+  EXPECT_EQ(ctl.submit(spec(3, 2, 100.0, 0.0, 1800.0), app(), "small"),
+            AdmitResult::kOk);
+  // Refused submissions leave no record behind.
+  EXPECT_EQ(ctl.record(1), nullptr);
+  EXPECT_EQ(ctl.record(2), nullptr);
+  EXPECT_EQ(ctl.submitted(), 1u);
+}
+
+TEST_F(SchedCtlTest, HigherPriorityPartitionPlacesFirst) {
+  PartitionConfig lo;
+  lo.name = "batch";
+  lo.priority = 0;
+  PartitionConfig hi;
+  hi.name = "urgent";
+  hi.priority = 10;
+  SchedCtlConfig cfg;
+  cfg.partitions = {lo, hi};
+  SchedCtl ctl(cfg, 16);
+
+  // Both want 10 of 16 nodes; only the urgent one can start.
+  ASSERT_EQ(ctl.submit(spec(1, 10), app(), "batch"), AdmitResult::kOk);
+  ASSERT_EQ(ctl.submit(spec(2, 10), app(), "urgent"), AdmitResult::kOk);
+  auto started = ctl.schedule_pass(cluster_, 0.0);
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(started[0]->spec().id, 2);
+  EXPECT_EQ(ctl.queued(), 1u);
+}
+
+TEST_F(SchedCtlTest, ConcurrentNodeCeilingBoundsAPartition) {
+  PartitionConfig pc;
+  pc.name = "capped";
+  pc.max_nodes = 8;
+  SchedCtlConfig cfg;
+  cfg.partitions.push_back(pc);
+  SchedCtl ctl(cfg, 16);
+
+  ASSERT_EQ(ctl.submit(spec(1, 6), app()), AdmitResult::kOk);
+  ASSERT_EQ(ctl.submit(spec(2, 6), app()), AdmitResult::kOk);
+  auto started = ctl.schedule_pass(cluster_, 0.0);
+  // 6 + 6 > 8: the second job must wait even though the machine has room.
+  ASSERT_EQ(started.size(), 1u);
+  EXPECT_EQ(ctl.partitions()[0].nodes_in_use(), 6u);
+  EXPECT_EQ(ctl.queued(), 1u);
+
+  ctl.complete(started[0], cluster_, 100.0);
+  auto second = ctl.schedule_pass(cluster_, 100.0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0]->spec().id, 2);
+}
+
+TEST_F(SchedCtlTest, CancelWorksInEveryLiveState) {
+  SchedCtl ctl(SchedCtlConfig{}, 16);
+  ASSERT_EQ(ctl.submit(spec(1, 20), app()), AdmitResult::kTooManyNodes);
+  ASSERT_EQ(ctl.submit(spec(2, 16), app()), AdmitResult::kOk);       // will run
+  ASSERT_EQ(ctl.submit(spec(3, 16), app()), AdmitResult::kOk);       // queued
+  ASSERT_EQ(ctl.submit(spec(4, 1, 100.0, 500.0), app()), AdmitResult::kOk);
+
+  auto started = ctl.schedule_pass(cluster_, 0.0);
+  ASSERT_EQ(started.size(), 1u);
+
+  EXPECT_TRUE(ctl.cancel(3, cluster_, 10.0));   // eligible, queued
+  EXPECT_TRUE(ctl.cancel(2, cluster_, 10.0));   // running
+  EXPECT_TRUE(ctl.cancel(4, cluster_, 10.0));   // still pending
+  EXPECT_FALSE(ctl.cancel(2, cluster_, 11.0));  // already ended
+  EXPECT_FALSE(ctl.cancel(99, cluster_, 11.0)); // unknown
+
+  EXPECT_EQ(ctl.cancelled(), 3u);
+  EXPECT_EQ(ctl.running(), 0u);
+  EXPECT_EQ(cluster_.free_count(), 16u);
+
+  // The pending cancel is lazily skipped when its submit time comes due.
+  EXPECT_TRUE(ctl.schedule_pass(cluster_, 500.0).empty());
+  EXPECT_EQ(ctl.queued(), 0u);
+}
+
+TEST_F(SchedCtlTest, RequeueDiscardsProgressAndKeepsFirstStart) {
+  SchedCtl ctl(SchedCtlConfig{}, 16);
+  ASSERT_EQ(ctl.submit(spec(1, 4), app()), AdmitResult::kOk);
+  auto started = ctl.schedule_pass(cluster_, 0.0);
+  ASSERT_EQ(started.size(), 1u);
+  Job* job = started[0];
+  job->record_interval(40.0, 1.0, 1.0, 100.0);
+
+  ASSERT_TRUE(ctl.requeue(1, cluster_, 60.0));
+  EXPECT_EQ(job->state(), JobState::kQueued);
+  EXPECT_EQ(job->progress_s(), 0.0);
+  EXPECT_EQ(cluster_.free_count(), 16u);
+  EXPECT_EQ(ctl.record(1)->requeues, 1u);
+
+  auto again = ctl.schedule_pass(cluster_, 120.0);
+  ASSERT_EQ(again.size(), 1u);
+  EXPECT_EQ(again[0], job);
+  EXPECT_EQ(ctl.record(1)->start_s, 0.0);  // first start is preserved
+  EXPECT_FALSE(ctl.requeue(2, cluster_, 130.0));
+}
+
+TEST_F(SchedCtlTest, DuplicateIdsAndUnknownPartitionsAreRejected) {
+  SchedCtl ctl(SchedCtlConfig{}, 16);
+  ASSERT_EQ(ctl.submit(spec(1, 2), app()), AdmitResult::kOk);
+  EXPECT_THROW(ctl.submit(spec(1, 2), app()), perq::precondition_error);
+  EXPECT_THROW(ctl.submit(spec(2, 2), app(), "nope"), perq::precondition_error);
+  SchedCtlConfig dup;
+  dup.partitions = {PartitionConfig{}, PartitionConfig{}};
+  EXPECT_THROW(SchedCtl(dup, 16), perq::precondition_error);
+}
+
+}  // namespace
+}  // namespace perq::sched

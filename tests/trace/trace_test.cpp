@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "apps/catalog.hpp"
@@ -187,6 +188,84 @@ TEST(TraceStats, ComputesSummary) {
 }
 
 TEST(TraceStats, RejectsEmpty) { EXPECT_THROW(compute_stats({}), precondition_error); }
+
+TEST(Trace, WalltimeEstimatesAreInflatedRoundedAndSeeded) {
+  auto jobs = generate_trace(small_trace(SystemModel::kMira, 9));
+  auto again = generate_trace(small_trace(SystemModel::kMira, 9));
+  double pad_sum = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& j = jobs[i];
+    ASSERT_GT(j.walltime_est_s, 0.0);
+    // Never below the true runtime, never beyond the pad cap (+ rounding).
+    EXPECT_GE(j.walltime_est_s, j.runtime_ref_s);
+    EXPECT_LE(j.walltime_est_s, 10.0 * j.runtime_ref_s + 300.0);
+    // Round-number walltimes: 5-minute granularity.
+    EXPECT_DOUBLE_EQ(std::fmod(j.walltime_est_s, 300.0), 0.0);
+    EXPECT_DOUBLE_EQ(j.walltime_est_s, again[i].walltime_est_s);
+    pad_sum += j.walltime_est_s / j.runtime_ref_s;
+  }
+  // Estimates are inflated on average (median pad 1.6).
+  EXPECT_GT(pad_sum / static_cast<double>(jobs.size()), 1.3);
+}
+
+TEST(Trace, EstimateSynthesisDoesNotPerturbThePrimaryStream) {
+  // The pre-estimate generator must be recoverable bit-for-bit: disabling
+  // estimates (or changing their knobs) leaves nodes/runtime/app/phase
+  // untouched for the same seed.
+  auto base = small_trace(SystemModel::kTrinity, 13);
+  auto no_est = base;
+  no_est.estimate_pad_median = 0.0;
+  auto wide_est = base;
+  wide_est.estimate_pad_sigma = 1.3;
+  const auto a = generate_trace(base);
+  const auto b = generate_trace(no_est);
+  const auto c = generate_trace(wide_est);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+    EXPECT_DOUBLE_EQ(a[i].runtime_ref_s, b[i].runtime_ref_s);
+    EXPECT_EQ(a[i].app_index, b[i].app_index);
+    EXPECT_DOUBLE_EQ(a[i].phase_offset_s, b[i].phase_offset_s);
+    EXPECT_DOUBLE_EQ(b[i].walltime_est_s, 0.0);
+    EXPECT_EQ(a[i].nodes, c[i].nodes);
+    EXPECT_DOUBLE_EQ(a[i].runtime_ref_s, c[i].runtime_ref_s);
+  }
+}
+
+TEST(Trace, ArrivalsArePoissonOverTheSpan) {
+  auto cfg = small_trace(SystemModel::kTrinity, 21);
+  cfg.job_count = 10000;
+  cfg.arrival_span_s = 86400.0;
+  const auto jobs = generate_trace(cfg);
+  double prev = 0.0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.submit_time_s, prev);  // non-decreasing by construction
+    prev = j.submit_time_s;
+  }
+  // Mean arrival time of a homogeneous process over [0, span] ~ span/2.
+  double sum = 0.0;
+  for (const auto& j : jobs) sum += j.submit_time_s;
+  EXPECT_NEAR(sum / static_cast<double>(jobs.size()), 43200.0, 4000.0);
+  // Default config: everyone arrives at t = 0.
+  for (const auto& j : generate_trace(small_trace(SystemModel::kTrinity))) {
+    EXPECT_DOUBLE_EQ(j.submit_time_s, 0.0);
+  }
+}
+
+TEST(Trace, UsersFollowAZipfishSplit) {
+  auto cfg = small_trace(SystemModel::kMira, 4);
+  cfg.job_count = 10000;
+  cfg.user_count = 16;
+  const auto jobs = generate_trace(cfg);
+  std::vector<int> counts(cfg.user_count, 0);
+  for (const auto& j : jobs) {
+    ASSERT_LT(j.user_id, cfg.user_count);
+    ++counts[j.user_id];
+  }
+  EXPECT_GT(counts[0], counts[8]);  // heavy head
+  int active = 0;
+  for (int c : counts) active += c > 0;
+  EXPECT_EQ(active, 16);  // long tail still present
+}
 
 TEST(TraceStats, GeneratedTraceMatchesTargets) {
   auto cfg = small_trace(SystemModel::kMira);
