@@ -8,10 +8,12 @@
 // actuating the returned cap plans on its own node slice. Intervals where
 // no plan arrived in time fall back to holding the previous caps (counted
 // and reported at the end). --wc-nodes and --f must match the perqd flags.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "core/engine.hpp"
 #include "core/robustness.hpp"
@@ -33,7 +35,17 @@ void usage(const char* argv0) {
       "  --seed <s>             trace seed (default 11)\n"
       "  --interval <s>         control interval (default 10)\n"
       "  --connect-wait-s <s>   keep retrying the initial connect for this\n"
-      "                         long (default 10; 0 = single attempt)\n",
+      "                         long (default 10; 0 = single attempt)\n"
+      "  --failover <a,b,...>   warm-standby candidate addresses, tried in\n"
+      "                         order after --failover-after held ticks\n"
+      "                         (--connect is prepended if absent)\n"
+      "  --failover-after <n>   held ticks before dialing the next candidate\n"
+      "                         (default 3)\n"
+      "  --failsafe-after <n>   held ticks before held caps decay toward the\n"
+      "                         safe floor (default 0: hold forever)\n"
+      "  --pace-ms <ms>         sleep per control tick (default 0: free-run;\n"
+      "                         failover smoke tests use it to keep the run\n"
+      "                         alive across a scripted controller kill)\n",
       argv0);
 }
 
@@ -44,6 +56,8 @@ int main(int argc, char** argv) {
   using cli::parse_double_in;
   using cli::parse_u64_in;
   std::string address = "127.0.0.1:7421";
+  std::string failover;
+  std::size_t failover_after = 3, failsafe_after = 0, pace_ms = 0;
   std::size_t agents = 4, wc_nodes = 32;
   double f = 2.0, hours = 1.0, interval = 10.0, connect_wait_s = 10.0;
   std::uint64_t seed = 11;
@@ -63,6 +77,10 @@ int main(int argc, char** argv) {
       else if (arg == "--seed") seed = cli::parse_u64(arg, next());
       else if (arg == "--interval") interval = parse_double_in(arg, next(), 0.1, 1e6);
       else if (arg == "--connect-wait-s") connect_wait_s = parse_double_in(arg, next(), 0.0, 3600.0);
+      else if (arg == "--failover") failover = next();
+      else if (arg == "--failover-after") failover_after = parse_u64_in(arg, next(), 1, 1000000);
+      else if (arg == "--failsafe-after") failsafe_after = parse_u64_in(arg, next(), 0, 1000000);
+      else if (arg == "--pace-ms") pace_ms = parse_u64_in(arg, next(), 0, 60000);
       else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
         return 0;
@@ -92,6 +110,24 @@ int main(int argc, char** argv) {
   // Tolerate the agent-before-controller start order: keep dialing for the
   // configured window instead of failing on the first refused connect.
   pcfg.connect_wait_ms = static_cast<int>(connect_wait_s * 1000.0);
+  pcfg.failsafe_after_ticks = failsafe_after;
+  if (!failover.empty()) {
+    std::vector<std::string> candidates;
+    std::size_t pos = 0;
+    while (pos <= failover.size()) {
+      const std::size_t comma = failover.find(',', pos);
+      const std::string c = failover.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      if (!c.empty()) candidates.push_back(c);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (candidates.empty() || candidates.front() != address) {
+      candidates.insert(candidates.begin(), address);
+    }
+    pcfg.failover_addresses = {candidates};
+    pcfg.failover_after_held_ticks = failover_after;
+  }
   daemon::DaemonPlant plant(cfg, transport, address, pcfg);
 
   std::printf("perq_agent: %zu agents over %zu nodes, driving %s via %.1f h\n",
@@ -101,11 +137,26 @@ int main(int argc, char** argv) {
   while (!plant.done()) {
     if (!plant.step()) {
       ++held_ticks;
-      // Controller away? Hold caps (already done by step) and keep knocking.
-      if (const std::size_t n = plant.reconnect_lost(transport, address)) {
-        std::printf("  t=%6.0f s  reconnected %zu agents\n",
-                    plant.engine().now_s(), n);
+      // Controller away? Hold caps (already done by step) and keep
+      // knocking -- through the failover candidate list when one is
+      // configured, so a promoted standby picks these agents up.
+      const std::size_t n =
+          pcfg.failover_addresses.empty()
+              ? plant.reconnect_lost(transport, address)
+              : plant.reconnect_failover(transport);
+      if (n > 0) {
+        std::printf("  t=%6.0f s  reconnected %zu agents (candidate %zu)\n",
+                    plant.engine().now_s(), n,
+                    pcfg.failover_addresses.empty() ? 0
+                                                    : plant.failover_cursor(0));
       }
+    } else if (!pcfg.failover_addresses.empty()) {
+      // A fenced agent (deposed-primary rejection) must move on even on
+      // ticks where the other agents' plans still arrive.
+      plant.reconnect_failover(transport);
+    }
+    if (pace_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
     }
     ++ticks;
     if (ticks % 60 == 0) {

@@ -25,6 +25,26 @@
 // --arbiter every interval and optimizes over the grants it gets back.
 // --domains 1 (the default) is the monolithic controller, bit-identical
 // to every release before domains existed.
+//
+// High availability (warm standby, see DESIGN.md section 5h):
+//
+//   ./examples/perqd --standby-of 127.0.0.1:7421 --listen 127.0.0.1:7422 \
+//                    [--takeover-ms 2000]                       # standby
+//   ./examples/perqd --listen 127.0.0.1:7421 \
+//                    --replicate-to 127.0.0.1:7422              # primary
+//
+// Start the standby first: the primary dials it and streams every tick's
+// canonical inputs (ReplTick) plus periodic full snapshots, so the standby
+// replays the primary's decisions bit for bit without ever broadcasting.
+// When the replication stream goes silent for --takeover-ms the standby
+// promotes itself -- bumping the controller epoch so agents (and the
+// arbiter) fence anything the deposed primary might still send -- and
+// serves agents that fail over to its address. --replication-log gives
+// either role a crash-durable WAL of the same stream: on restart perqd
+// replays it and resumes with bit-identical decision state.
+#include <chrono>
+#include <memory>
+#include <thread>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,7 +80,14 @@ void usage(const char* argv0) {
       "  --domains <k>          budget domain count (default 1: monolithic)\n"
       "  --domain <d>           run domain d's controller (needs --arbiter)\n"
       "  --arbiter <host:port>  arbiter address for a domain controller\n"
-      "  (--domains k without --domain runs the arbiter itself)\n",
+      "  (--domains k without --domain runs the arbiter itself)\n"
+      "  --replicate-to <h:p>   stream decision state to a warm standby\n"
+      "  --standby-of <h:p>     run as warm standby of that primary (the\n"
+      "                         primary dials this perqd's --listen address)\n"
+      "  --takeover-ms <ms>     standby: promote after this much replication\n"
+      "                         silence (default 2000)\n"
+      "  --replication-log <p>  crash-durable WAL of the replication stream;\n"
+      "                         replayed on startup\n",
       argv0);
 }
 
@@ -72,6 +99,8 @@ int main(int argc, char** argv) {
   using cli::parse_u64_in;
   std::string listen = "127.0.0.1:7421";
   std::string arbiter_addr;
+  std::string replicate_to, standby_of, repl_log;
+  int takeover_ms = 2000;
   std::size_t wc_nodes = 32;
   std::size_t domains = 1;
   long domain = -1;
@@ -100,6 +129,10 @@ int main(int argc, char** argv) {
       else if (arg == "--domains") domains = parse_u64_in(arg, next(), 1, 4096);
       else if (arg == "--domain") domain = static_cast<long>(parse_u64_in(arg, next(), 0, 4095));
       else if (arg == "--arbiter") arbiter_addr = next();
+      else if (arg == "--replicate-to") replicate_to = next();
+      else if (arg == "--standby-of") { standby_of = next(); ccfg.standby = true; }
+      else if (arg == "--takeover-ms") takeover_ms = static_cast<int>(parse_u64_in(arg, next(), 1, 3600000));
+      else if (arg == "--replication-log") repl_log = next();
       else if (arg == "--help" || arg == "-h") {
         usage(argv[0]);
         return 0;
@@ -111,6 +144,11 @@ int main(int argc, char** argv) {
                  "--domain: out of range for --domains");
     PERQ_REQUIRE(domain < 0 || !arbiter_addr.empty(),
                  "--domain: requires --arbiter <host:port>");
+    PERQ_REQUIRE(standby_of.empty() || replicate_to.empty(),
+                 "--standby-of: a standby cannot replicate onward");
+    PERQ_REQUIRE((standby_of.empty() && replicate_to.empty()) ||
+                     (domains == 1 && domain < 0),
+                 "HA roles apply to the monolithic controller");
   } catch (const precondition_error& e) {
     std::fprintf(stderr, "%s\n", e.what());
     usage(argv[0]);
@@ -183,14 +221,84 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!repl_log.empty()) {
+    controller.open_replication_log(repl_log);
+    if (controller.replicated_decides() > 0) {
+      std::printf("perqd: replayed %llu replicated decides from %s "
+                  "(tick %llu, epoch %llu)\n",
+                  static_cast<unsigned long long>(
+                      controller.replicated_decides()),
+                  repl_log.c_str(),
+                  static_cast<unsigned long long>(
+                      controller.last_replicated_tick()),
+                  static_cast<unsigned long long>(controller.epoch()));
+    }
+  }
+  if (!replicate_to.empty()) {
+    // The standby may still be starting up (it identifies its node model
+    // before binding): keep dialing for a few seconds, like the agents do.
+    std::unique_ptr<net::Connection> down;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (;;) {
+      down = transport.connect(replicate_to);
+      if ((down != nullptr && down->open()) ||
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    if (down == nullptr || !down->open()) {
+      std::fprintf(stderr, "%s: cannot reach standby at %s\n", argv[0],
+                   replicate_to.c_str());
+      return 1;
+    }
+    controller.attach_standby(std::move(down));
+    std::printf("perqd: replicating to warm standby at %s\n",
+                replicate_to.c_str());
+  }
+  if (ccfg.standby) {
+    std::printf("perqd: warm standby of %s; promoting after %d ms of "
+                "replication silence\n",
+                standby_of.c_str(), takeover_ms);
+  }
+
   std::printf("perqd: serving on %s (wc-nodes %zu, f %.2f, %zu shard%s, "
               "%s broadcasts)\n",
               listen.c_str(), wc_nodes, f, ccfg.shards,
               ccfg.shards == 1 ? "" : "s",
               ccfg.delta_broadcast ? "delta" : "full-plan");
   bool saw_agent = false;
+  std::uint64_t last_repl = controller.replicated_decides();
+  bool saw_repl = false;
+  auto last_progress = std::chrono::steady_clock::now();
   for (;;) {
     controller.wait(50);
+    if (controller.standby()) {
+      // Warm standby: replay the replication stream; decide nothing on our
+      // own clock. The takeover timer starts at the first replicated decide
+      // -- a standby that never heard from its primary has nothing
+      // authoritative to promote from.
+      controller.service();
+      const std::uint64_t repl = controller.replicated_decides();
+      const auto now = std::chrono::steady_clock::now();
+      if (repl != last_repl) {
+        last_repl = repl;
+        last_progress = now;
+        saw_repl = true;
+      } else if (saw_repl &&
+                 now - last_progress >
+                     std::chrono::milliseconds(takeover_ms)) {
+        controller.promote();
+        std::printf("perqd: replication silent for %d ms -- promoting to "
+                    "primary at tick %llu (epoch %llu)\n",
+                    takeover_ms,
+                    static_cast<unsigned long long>(
+                        controller.last_replicated_tick()),
+                    static_cast<unsigned long long>(controller.epoch()));
+      }
+      continue;
+    }
     if (controller.service()) {
       const auto& s = controller.last_stats();
       std::printf(

@@ -40,11 +40,48 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 
 # Chaos leg: the full perqd loop under every fault scenario with fixed
 # deterministic seeds. perq_chaos exits non-zero if any run-level safety
-# invariant is breached on any tick.
-for scenario in drop delay corrupt crash partition mix domain-partition; do
+# invariant is breached on any tick. The failover scenario additionally
+# asserts the tight-handover trajectory is bit-identical to a crash-free
+# run and that a deposed primary is fenced by epoch.
+for scenario in drop delay corrupt crash partition mix domain-partition failover; do
   "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 7
   "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 1912
 done
+
+# Failover smoke: the deployable HA path over real TCP. A standby and a
+# primary (--replicate-to) serve two paced agents; the primary is killed
+# mid-run, the standby must detect the replication silence, promote, pick
+# the failed-over agents up, and serve the rest of the run cleanly.
+(
+  cd "$BUILD_DIR"
+  PA=127.0.0.1:7471 PB=127.0.0.1:7472
+  rm -f FAILOVER_standby.log FAILOVER_agent.log FAILOVER_primary.log
+  trap 'kill -9 $(jobs -p) 2>/dev/null || true' EXIT
+  ./examples/perqd --listen "$PB" --standby-of "$PA" --takeover-ms 1500 \
+    --wc-nodes 16 > FAILOVER_standby.log 2>&1 &
+  STANDBY=$!
+  ./examples/perqd --listen "$PA" --replicate-to "$PB" \
+    --wc-nodes 16 > FAILOVER_primary.log 2>&1 &
+  PRIMARY=$!
+  ./examples/perq_agent --connect "$PA" --agents 2 --wc-nodes 16 \
+    --hours 0.25 --failover "$PA,$PB" --failover-after 2 \
+    --pace-ms 100 > FAILOVER_agent.log 2>&1 &
+  AGENT=$!
+  sleep 4
+  kill -9 "$PRIMARY" 2>/dev/null || true
+  if ! wait "$AGENT"; then
+    echo "failover smoke: agent failed"; cat FAILOVER_agent.log; exit 1
+  fi
+  if ! wait "$STANDBY"; then
+    echo "failover smoke: standby failed"; cat FAILOVER_standby.log; exit 1
+  fi
+  grep -q "promoting to primary" FAILOVER_standby.log || {
+    echo "failover smoke: standby never promoted"
+    cat FAILOVER_standby.log
+    exit 1
+  }
+  echo "failover smoke OK: standby promoted and finished the run"
+)
 
 # Perf smoke: the data-plane bench must run and emit a well-formed JSON
 # report (schema check only -- thresholds would flake on shared CI hosts).
@@ -133,5 +170,5 @@ if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . -DPERQ_TSAN=ON
   cmake --build "$TSAN_BUILD_DIR" -j
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Reactor|Shard|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc|Replay' "$@"
+    -R 'Reactor|Shard|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc|Replay|Replication|Failover|EpochFence|FailSafe' "$@"
 fi

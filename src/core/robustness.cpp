@@ -5,16 +5,19 @@
 namespace perq::core {
 
 std::string to_string(const RobustnessCounters& c) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "dropped %llu  corrupt %llu  reconnects %llu  stale %llu  "
-                "solver-fallbacks %llu  clamps %llu",
+                "solver-fallbacks %llu  clamps %llu  failsafe %llu  "
+                "stale-epoch %llu",
                 static_cast<unsigned long long>(c.frames_dropped),
                 static_cast<unsigned long long>(c.frames_corrupt),
                 static_cast<unsigned long long>(c.reconnect_attempts),
                 static_cast<unsigned long long>(c.stale_transitions),
                 static_cast<unsigned long long>(c.solver_fallbacks),
-                static_cast<unsigned long long>(c.clamp_activations));
+                static_cast<unsigned long long>(c.clamp_activations),
+                static_cast<unsigned long long>(c.failsafe_activations),
+                static_cast<unsigned long long>(c.stale_epoch_frames));
   return buf;
 }
 

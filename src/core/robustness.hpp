@@ -34,6 +34,13 @@ struct RobustnessCounters {
   /// Decisions where the controller's defensive clamp had to adjust a cap
   /// plan (box bounds or budget row) before broadcast.
   std::uint64_t clamp_activations = 0;
+  /// Ticks where the plant's agent-local fail-safe decayed held caps toward
+  /// the safe floor because no plan had arrived for the configured number
+  /// of intervals (controller presumed dead, caps must not stay high).
+  std::uint64_t failsafe_activations = 0;
+  /// Frames rejected by epoch fencing: a deposed controller (or a report
+  /// from one, at the arbiter) kept talking after a newer epoch was seen.
+  std::uint64_t stale_epoch_frames = 0;
 
   RobustnessCounters& operator+=(const RobustnessCounters& o) {
     frames_dropped += o.frames_dropped;
@@ -42,12 +49,15 @@ struct RobustnessCounters {
     stale_transitions += o.stale_transitions;
     solver_fallbacks += o.solver_fallbacks;
     clamp_activations += o.clamp_activations;
+    failsafe_activations += o.failsafe_activations;
+    stale_epoch_frames += o.stale_epoch_frames;
     return *this;
   }
 
   std::uint64_t total() const {
     return frames_dropped + frames_corrupt + reconnect_attempts +
-           stale_transitions + solver_fallbacks + clamp_activations;
+           stale_transitions + solver_fallbacks + clamp_activations +
+           failsafe_activations + stale_epoch_frames;
   }
 };
 

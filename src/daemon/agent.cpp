@@ -30,6 +30,10 @@ void NodeAgent::hello() {
   h.agent_id = id_;
   h.node_begin = static_cast<std::uint32_t>(node_begin_);
   h.node_end = static_cast<std::uint32_t>(node_end_);
+  // Report the delta base still held (if any): a rejoin whose base matches
+  // the controller's keeps riding deltas instead of forcing a full plan.
+  h.has_plan = have_base_ ? 1 : 0;
+  h.last_plan_tick = have_base_ ? base_plan_.tick : 0;
   conn_->send(h);
 }
 
@@ -88,7 +92,25 @@ std::optional<proto::CapPlan> NodeAgent::poll_plan() {
   inbox_.clear();
   conn_->receive_into(inbox_);  // reused scratch: no per-poll allocation
   for (proto::Message& m : inbox_) {
+    if (const auto* ann = std::get_if<proto::PromoteAnnounce>(&m)) {
+      // Epoch fencing handshake. A peer announcing an epoch below the
+      // newest ever seen is a deposed primary that resumed talking: drop
+      // the connection, never apply anything further from it.
+      if (ann->epoch < max_epoch_) {
+        fence_connection();
+        break;
+      }
+      conn_epoch_ = ann->epoch;
+      max_epoch_ = std::max(max_epoch_, ann->epoch);
+      continue;
+    }
     if (auto* plan = std::get_if<proto::CapPlan>(&m)) {
+      if (conn_epoch_ < max_epoch_) {
+        // The plan is from a connection whose controller has since been
+        // superseded (the agent learned a newer epoch elsewhere).
+        fence_connection();
+        break;
+      }
       // Full plan: becomes the new delta base (canonical image) and, when
       // newest, the plan to actuate -- returned exactly as received, so
       // full-plan-only deployments are bit-for-bit unchanged.
@@ -99,6 +121,10 @@ std::optional<proto::CapPlan> NodeAgent::poll_plan() {
       continue;
     }
     if (auto* delta = std::get_if<proto::CapPlanDelta>(&m)) {
+      if (conn_epoch_ < max_epoch_) {
+        fence_connection();
+        break;
+      }
       // Frames are processed in arrival order, so each delta chains off
       // the immediately preceding broadcast. A chain break (missed frame,
       // controller restart) rejects the delta whole: stale caps persist
@@ -153,11 +179,26 @@ void NodeAgent::reconnect(std::unique_ptr<net::Connection> conn) {
   if (conn_ != nullptr) conn_->close();
   conn_ = std::move(conn);
   hung_ = false;
-  // The delta chain does not survive the old connection: broadcasts were
-  // lost while down. The Hello below makes the controller send a full
-  // plan, which re-establishes the base.
-  have_base_ = false;
+  fenced_ = false;
+  conn_epoch_ = 0;  // the new peer announces its epoch on accept
+  // The delta base deliberately survives: the Hello reports its tick, and
+  // the controller keeps the chain alive when the base matches its own
+  // canonical image (no broadcast was missed) instead of always paying a
+  // full-plan resync.
   hello();
+}
+
+void NodeAgent::fence_connection() {
+  ++stale_epoch_frames_;
+  fenced_ = true;
+  if (conn_ != nullptr) {
+    if (conn_->open()) {
+      proto::Bye b;
+      b.agent_id = id_;
+      conn_->send(b);
+    }
+    conn_->close();
+  }
 }
 
 }  // namespace perq::daemon

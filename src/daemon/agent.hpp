@@ -65,6 +65,16 @@ class NodeAgent {
   /// Deltas successfully applied so far.
   std::uint64_t deltas_applied() const { return deltas_applied_; }
 
+  /// Frames rejected by epoch fencing: plans (or announces) from a
+  /// controller whose epoch is below the newest this agent has ever seen.
+  std::uint64_t stale_epoch_frames() const { return stale_epoch_frames_; }
+  /// True when the current connection was dropped by the fence (the peer
+  /// is a deposed primary); the plant reacts by dialing the next candidate
+  /// controller address.
+  bool fenced() const { return fenced_; }
+  /// Newest controller epoch ever seen (0 before any PromoteAnnounce).
+  std::uint64_t max_epoch() const { return max_epoch_; }
+
   /// Applies a plan to this agent's node slice: for every job published in
   /// the last tick whose plan entry exists, caps the job's nodes that fall
   /// inside [node_begin, node_end).
@@ -79,12 +89,21 @@ class NodeAgent {
   /// Graceful leave: sends Bye and closes (no staleness alarm).
   void bye();
 
+  /// Abandons the current connection without a Bye (the peer is presumed
+  /// dead or deposed -- failover, not leave). reconnect() re-introduces.
+  void drop() {
+    if (conn_ != nullptr) conn_->close();
+  }
+
   /// Rejoin after a crash or controller restart: swap in a fresh
   /// connection, clear the hang, and re-introduce. The next publish()
   /// resynchronizes the controller's shadow state.
   void reconnect(std::unique_ptr<net::Connection> conn);
 
  private:
+  /// Drops the current connection because its peer is a deposed primary:
+  /// counts the stale frame, Byes the peer, closes, and flags fenced().
+  void fence_connection();
   std::uint32_t id_;
   std::unique_ptr<net::Connection> conn_;
   sim::Cluster* cluster_;
@@ -95,13 +114,22 @@ class NodeAgent {
   /// needs their node lists).
   std::vector<const sched::Job*> last_running_;
   std::vector<proto::Message> inbox_;  ///< reused poll_plan drain scratch
-  /// Delta base: canonical image of the last broadcast plan received
-  /// (reset on reconnect -- the controller sends a joiner a full plan).
+  /// Delta base: canonical image of the last broadcast plan received. It
+  /// survives reconnect -- the Hello reports its tick, and the controller
+  /// keeps the delta chain alive when the base still matches its own.
   proto::CapPlan base_plan_;
   proto::CapPlan patched_;  ///< reused apply_delta output scratch
   bool have_base_ = false;
   std::uint64_t deltas_rejected_ = 0;
   std::uint64_t deltas_applied_ = 0;
+  /// Epoch fencing (see proto::PromoteAnnounce): the epoch announced on the
+  /// current connection, the newest epoch ever seen across connections, and
+  /// how many frames the fence has rejected. 0/0 keeps every check inert
+  /// for deployments that never fail over.
+  std::uint64_t conn_epoch_ = 0;
+  std::uint64_t max_epoch_ = 0;
+  std::uint64_t stale_epoch_frames_ = 0;
+  bool fenced_ = false;
 };
 
 }  // namespace perq::daemon

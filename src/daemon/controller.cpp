@@ -5,8 +5,10 @@
 #include <future>
 #include <limits>
 
+#include "acct/event_log.hpp"  // acct::crc32
 #include "apps/app_model.hpp"
 #include "apps/catalog.hpp"
+#include "daemon/replication.hpp"
 #include "daemon/snapshot.hpp"
 #include "util/require.hpp"
 #include "util/thread_pool.hpp"
@@ -17,6 +19,10 @@ namespace {
 /// Ticks advance by one control interval; a frame claiming a tick this far
 /// beyond everything seen so far is a corrupted integer, not a fast clock.
 constexpr std::uint64_t kMaxTickJump = 1024;
+/// Replication batch ceiling: the batch plus the ReplTick envelope must fit
+/// one frame. A batch that outgrows this falls back to a full ReplSnapshot
+/// for that decide (correct, just heavier).
+constexpr std::size_t kMaxReplBatchBytes = proto::kMaxFrameBytes - 64;
 }  // namespace
 
 PerqController::PerqController(std::unique_ptr<net::Listener> listener,
@@ -27,6 +33,7 @@ PerqController::PerqController(std::unique_ptr<net::Listener> listener,
       reactor_(std::max<std::size_t>(1, cfg_.shards), cfg_.reactor_backend) {
   PERQ_REQUIRE(listener_ != nullptr, "controller needs a listener");
   PERQ_REQUIRE(cfg_.stale_after_ticks >= 1, "stale_after_ticks must be >= 1");
+  standby_ = cfg_.standby;
   cfg_.shards = std::max<std::size_t>(1, cfg_.shards);
   frame_pools_.resize(cfg_.shards);
   shard_order_.resize(cfg_.shards);
@@ -75,26 +82,7 @@ void PerqController::pump_arbiter() {
       ++counters_.frames_corrupt;
       continue;
     }
-    // Sanity screen, same spirit as the heartbeat screen: the grant becomes
-    // the budget row, so a bit-flipped one must not starve or over-provision
-    // the domain. The cluster budget in the grant cross-checks the value.
-    const bool insane =
-        !std::isfinite(g->grant_w) || g->grant_w < 0.0 ||
-        !std::isfinite(g->cluster_budget_w) ||
-        g->grant_w > g->cluster_budget_w * (1.0 + 1e-9) + 1e-6 ||
-        (have_hb_ &&
-         g->grant_w > hb_.budget_total_w * (1.0 + 1e-9) + 1e-6) ||
-        (any_tick_seen_ && g->tick > current_tick_ + kMaxTickJump) ||
-        g->domain_id != domain_id_;
-    if (insane) {
-      ++counters_.frames_corrupt;
-      continue;
-    }
-    if (!any_grant_ || g->tick >= grant_tick_) {
-      any_grant_ = true;
-      granted_w_ = g->grant_w;
-      grant_tick_ = g->tick;
-    }
+    if (accept_grant(*g)) record_repl(m);
   }
   if (!arbiter_conn_->open()) {
     if (arbiter_conn_->corrupt()) ++counters_.frames_corrupt;
@@ -148,6 +136,9 @@ void PerqController::send_domain_report() {
   r.stale_transitions = c.stale_transitions;
   r.solver_fallbacks = c.solver_fallbacks;
   r.clamp_activations = c.clamp_activations;
+  r.failsafe_activations = c.failsafe_activations;
+  r.stale_epoch_frames = c.stale_epoch_frames;
+  r.controller_epoch = epoch_;
 
   arbiter_conn_->send(r);
   any_report_ = true;
@@ -162,6 +153,10 @@ void PerqController::pump() {
     s.shard = next_shard_;
     next_shard_ = (next_shard_ + 1) % cfg_.shards;
     reactor_.add(s.reg_fd, s.shard);
+    // Epoch fencing handshake: every peer learns this controller's epoch
+    // the moment it connects, so an agent that failed over to a newer
+    // primary recognizes (and rejects) a deposed one it later redials.
+    s.conn->send(proto::PromoteAnnounce{epoch_, current_tick_});
     sessions_.push_back(std::move(s));
   }
   // Drain first, ingest second: epoll readiness order is nondeterministic,
@@ -313,23 +308,77 @@ void PerqController::ingest(Session& session, const proto::Message& m) {
     session.helloed = true;
     session.agent_id = hello->agent_id;
     // Re-home the session to its id-stable shard (accept order assigned a
-    // provisional round-robin slot). Also force the next broadcast to be a
-    // full plan: a joiner has no delta base to patch.
+    // provisional round-robin slot).
     const std::size_t home = hello->agent_id % cfg_.shards;
     if (home != session.shard) {
       reactor_.remove(session.reg_fd, session.shard);
       session.shard = home;
       reactor_.add(session.reg_fd, session.shard);
     }
-    force_full_ = true;
+    // The delta-vs-full resync decision lives in ingest_state so a standby
+    // replaying this Hello tracks the same broadcast sequencing.
+    record_repl(m);
+    ingest_state(m);
     return;
   }
-  if (const auto* bye = std::get_if<proto::Bye>(&m)) {
-    (void)bye;
+  if (std::holds_alternative<proto::Bye>(m)) {
     session.said_bye = true;
     session.conn->close();
+    record_repl(m);
     return;
   }
+  if (const auto* hb = std::get_if<proto::Heartbeat>(&m)) {
+    if (standby_) return;  // pre-promotion: the replication stream owns state
+    if (!ingest_state(m)) return;  // screened out (accounted inside)
+    session.last_tick = std::max(session.last_tick, hb->tick);
+    record_repl(m);
+    return;
+  }
+  if (const auto* t = std::get_if<proto::Telemetry>(&m)) {
+    if (standby_) return;
+    if (!ingest_state(m)) return;
+    session.last_tick = std::max(session.last_tick, t->tick);
+    record_repl(m);
+    return;
+  }
+  if (const auto* rt = std::get_if<proto::ReplTick>(&m)) {
+    // Replication stream frames are meaningful only on a standby; a primary
+    // receiving one is talking to a confused peer.
+    if (standby_) {
+      apply_repl_tick(*rt);
+    } else {
+      session.conn->close();
+    }
+    return;
+  }
+  if (const auto* rs = std::get_if<proto::ReplSnapshot>(&m)) {
+    if (standby_) {
+      apply_repl_snapshot(*rs);
+    } else {
+      session.conn->close();
+    }
+    return;
+  }
+  if (std::holds_alternative<proto::PromoteAnnounce>(m)) {
+    // Controllers announce epochs; they never act on a peer's announce
+    // (agents do the fencing). Harmless -- ignore.
+    return;
+  }
+  // CapPlan from an agent is a protocol violation; drop the peer.
+  session.conn->close();
+}
+
+bool PerqController::ingest_state(const proto::Message& m) {
+  if (const auto* hello = std::get_if<proto::Hello>(&m)) {
+    // Resync decision: a (re)joiner that still holds the canonical image we
+    // diff against (it reports the tick of its applied base plan) can keep
+    // riding deltas; anyone else forces the next broadcast to a full plan.
+    const bool base_matches = have_base_plan_ && hello->has_plan != 0 &&
+                              hello->last_plan_tick == base_plan_.tick;
+    if (!base_matches) force_full_ = true;
+    return true;
+  }
+  if (std::holds_alternative<proto::Bye>(m)) return true;  // leave: no state
   if (const auto* hb = std::get_if<proto::Heartbeat>(&m)) {
     // Sanity screen: a heartbeat drives the budget row the policy optimizes
     // over, so a bit-flipped one (non-finite watts, busy > total, a budget
@@ -348,9 +397,8 @@ void PerqController::ingest(Session& session, const proto::Message& m) {
         (any_tick_seen_ && hb->tick > current_tick_ + kMaxTickJump);
     if (insane) {
       ++counters_.frames_corrupt;
-      return;
+      return false;
     }
-    session.last_tick = std::max(session.last_tick, hb->tick);
     if (!any_tick_seen_ || hb->tick >= current_tick_) {
       current_tick_ = hb->tick;
       any_tick_seen_ = true;
@@ -370,17 +418,18 @@ void PerqController::ingest(Session& session, const proto::Message& m) {
         ++it;
       }
     }
-    return;
+    return true;
   }
   if (const auto* t = std::get_if<proto::Telemetry>(&m)) {
-    on_telemetry(session, *t);
-    return;
+    return on_telemetry(*t);
   }
-  // CapPlan from an agent is a protocol violation; drop the peer.
-  session.conn->close();
+  if (const auto* g = std::get_if<proto::BudgetGrant>(&m)) {
+    return accept_grant(*g);
+  }
+  return false;
 }
 
-void PerqController::on_telemetry(Session& session, const proto::Telemetry& t) {
+bool PerqController::on_telemetry(const proto::Telemetry& t) {
   // Sanity screen before any state is touched: telemetry feeds the shadow
   // jobs and through them the estimators, so one bit-flipped frame (NaN
   // progress, negative IPS, a cap beyond TDP, a far-future tick) could
@@ -394,10 +443,9 @@ void PerqController::on_telemetry(Session& session, const proto::Telemetry& t) {
       (any_tick_seen_ && t.tick > current_tick_ + kMaxTickJump);
   if (insane) {
     ++counters_.frames_corrupt;
-    return;
+    return false;
   }
 
-  session.last_tick = std::max(session.last_tick, t.tick);
   if (!any_tick_seen_ || t.tick > current_tick_) {
     current_tick_ = t.tick;
     any_tick_seen_ = true;
@@ -410,13 +458,16 @@ void PerqController::on_telemetry(Session& session, const proto::Telemetry& t) {
       policy_.on_job_finished(it->second.job);
       shadows_.erase(it);
     }
-    return;
+    return true;
   }
 
   const auto& catalog = apps::ecp_catalog();
   if (t.app_index >= catalog.size() || t.nodes == 0 || !(t.runtime_ref_s > 0.0)) {
     ++counters_.frames_corrupt;
-    return;  // semantically invalid; ignore rather than poison the session
+    // Semantically invalid; the tick still counted (the frame is well-formed
+    // enough to prove the agent is alive), so the caller records it and a
+    // replay re-rejects it identically.
+    return true;
   }
 
   auto it = shadows_.find(id);
@@ -435,6 +486,30 @@ void PerqController::on_telemetry(Session& session, const proto::Telemetry& t) {
   shadow.last_tick = t.tick;
   shadow.seq = t.seq;
   shadow.feeder = t.agent_id;
+  return true;
+}
+
+bool PerqController::accept_grant(const proto::BudgetGrant& g) {
+  // Sanity screen, same spirit as the heartbeat screen: the grant becomes
+  // the budget row, so a bit-flipped one must not starve or over-provision
+  // the domain. The cluster budget in the grant cross-checks the value.
+  const bool insane =
+      !std::isfinite(g.grant_w) || g.grant_w < 0.0 ||
+      !std::isfinite(g.cluster_budget_w) ||
+      g.grant_w > g.cluster_budget_w * (1.0 + 1e-9) + 1e-6 ||
+      (have_hb_ && g.grant_w > hb_.budget_total_w * (1.0 + 1e-9) + 1e-6) ||
+      (any_tick_seen_ && g.tick > current_tick_ + kMaxTickJump) ||
+      g.domain_id != domain_id_;
+  if (insane) {
+    ++counters_.frames_corrupt;
+    return false;
+  }
+  if (!any_grant_ || g.tick >= grant_tick_) {
+    any_grant_ = true;
+    granted_w_ = g.grant_w;
+    grant_tick_ = g.tick;
+  }
+  return true;
 }
 
 bool PerqController::session_stale(const Session& s) const {
@@ -580,8 +655,13 @@ const proto::CapPlan& PerqController::decide() {
   any_decision_ = true;
   pending_timer_armed_ = false;
 
+  // Replicate this decide's canonical inputs before anything else can
+  // happen: the batch plus the plan crc is everything a standby needs to
+  // reproduce (and verify) the decision just made.
+  if (replicating() && !replaying_) emit_repl_tick(tick);
+
   if (!cfg_.snapshot_path.empty() && cfg_.snapshot_every_ticks > 0 &&
-      tick % cfg_.snapshot_every_ticks == 0) {
+      tick % cfg_.snapshot_every_ticks == 0 && !replaying_) {
     write_snapshot();
   }
   return plan_;
@@ -589,6 +669,9 @@ const proto::CapPlan& PerqController::decide() {
 
 bool PerqController::service() {
   pump();
+  // A standby decides only through the replication stream (inside pump's
+  // apply of a ReplTick), never off its own clock or grace timer.
+  if (standby_) return false;
   if (!tick_pending()) return false;
   // Hier mode: demand goes out as soon as the tick is visible; the arbiter
   // answers with a grant, and a decision ideally waits for it. The grace
@@ -626,6 +709,14 @@ void PerqController::broadcast_plan() {
   // the delta would not actually be smaller on the wire.
   sorted_plan_ = plan_;
   proto::canonicalize(sorted_plan_);
+  // Replication integrity: crc32 of the canonical plan encoding travels in
+  // the ReplTick so the standby can prove its replayed decision bit-equal.
+  // Gated so the non-replicated data plane never pays the extra encode.
+  if (standby_ || standby_conn_ != nullptr || repl_log_ != nullptr) {
+    crc_msg_ = sorted_plan_;
+    proto::encode_into(crc_msg_, repl_scratch_);
+    last_plan_crc_ = acct::crc32(repl_scratch_.data(), repl_scratch_.size());
+  }
   bool send_delta = false;
   if (cfg_.delta_broadcast && have_base_plan_ && !force_full_ &&
       (cfg_.full_plan_every_ticks == 0 ||
@@ -658,7 +749,11 @@ void PerqController::broadcast_plan() {
       }
     }
   };
-  if (cfg_.shards == 1) {
+  if (standby_) {
+    // A standby replays decide() for state continuity but serves no agents:
+    // skip the send, keep every piece of delta bookkeeping below identical
+    // to the primary's so behavior after promote() matches it bit-exactly.
+  } else if (cfg_.shards == 1) {
     broadcast_shard(0);
   } else {
     std::vector<std::future<void>> joins;
@@ -757,6 +852,186 @@ void PerqController::write_snapshot() const {
   save_snapshot(cfg_.snapshot_path, state());
 }
 
+void PerqController::attach_standby(std::unique_ptr<net::Connection> conn) {
+  PERQ_REQUIRE(!standby_, "a standby cannot replicate onward");
+  PERQ_REQUIRE(conn != nullptr, "attach_standby needs a connection");
+  standby_conn_ = std::move(conn);
+  // Bootstrap: the very first thing on the stream is full state, so the
+  // standby is decision-equivalent before the first ReplTick arrives.
+  emit_repl_snapshot();
+}
+
+void PerqController::open_replication_log(const std::string& path) {
+  PERQ_REQUIRE(repl_log_ == nullptr, "replication log already open");
+  repl_log_ = std::make_unique<ReplicationLog>();
+  // Replay the longest valid prefix into this controller through the same
+  // apply path a streaming standby uses; `replaying_` suppresses
+  // re-emission (the records are already in the log) and snapshot writes.
+  replaying_ = true;
+  repl_log_->open(path, [this](const std::uint8_t* data, std::size_t n) {
+    proto::Message m;
+    if (!proto::parse_frame_into(data, n, m)) {
+      ++repl_rejected_;
+      return;
+    }
+    if (const auto* rt = std::get_if<proto::ReplTick>(&m)) {
+      apply_repl_tick(*rt);
+    } else if (const auto* rs = std::get_if<proto::ReplSnapshot>(&m)) {
+      apply_repl_snapshot(*rs);
+    } else {
+      ++repl_rejected_;
+    }
+  });
+  replaying_ = false;
+}
+
+void PerqController::promote() {
+  PERQ_REQUIRE(standby_, "promote() is only valid on a standby");
+  standby_ = false;
+  // Strictly above everything the old primary could ever have announced:
+  // its own epoch is <= max(snapshot epoch, newest stream epoch).
+  epoch_ = std::max(epoch_, repl_epoch_) + 1;
+  // Reconnecting agents hold plan images served by the dead primary; their
+  // Hellos renegotiate delta resumption, but until then the only safe
+  // broadcast is a full plan.
+  have_base_plan_ = false;
+  force_full_ = true;
+  decisions_since_full_ = 0;
+  any_report_ = false;
+  for (Session& s : sessions_) {
+    if (!s.conn->open() || s.said_bye) continue;
+    s.conn->send(proto::PromoteAnnounce{epoch_, current_tick_});
+  }
+}
+
+void PerqController::record_repl(const proto::Message& m) {
+  if (!replicating() || replaying_) return;
+  proto::encode_into(m, repl_scratch_);
+  if (repl_batch_.size() + repl_scratch_.size() > kMaxReplBatchBytes) {
+    // This decide's inputs no longer fit one ReplTick; emit_repl_tick falls
+    // back to a full ReplSnapshot, which subsumes the whole batch.
+    repl_overflow_ = true;
+    return;
+  }
+  repl_batch_.insert(repl_batch_.end(), repl_scratch_.begin(),
+                     repl_scratch_.end());
+}
+
+void PerqController::emit_repl_tick(std::uint64_t tick) {
+  if (repl_overflow_) {
+    emit_repl_snapshot();
+    return;
+  }
+  proto::ReplTick rt;
+  rt.epoch = epoch_;
+  rt.tick = tick;
+  rt.plan_crc = last_plan_crc_;
+  rt.batch = std::move(repl_batch_);
+  proto::Message m(std::move(rt));
+  if (standby_conn_ != nullptr && standby_conn_->open()) {
+    standby_conn_->send(m);
+  }
+  if (repl_log_ != nullptr) {
+    proto::encode_into(m, repl_scratch_);
+    repl_log_->append(repl_scratch_.data() + 4, repl_scratch_.size() - 4);
+  }
+  // Reclaim the batch buffer's capacity for the next decide.
+  repl_batch_ = std::move(std::get<proto::ReplTick>(m).batch);
+  repl_batch_.clear();
+  ++replicated_decides_;
+  repl_last_tick_ = tick;
+  ++decides_since_repl_snapshot_;
+  if (cfg_.replicate_snapshot_every > 0 &&
+      decides_since_repl_snapshot_ >= cfg_.replicate_snapshot_every) {
+    emit_repl_snapshot();
+  }
+}
+
+void PerqController::emit_repl_snapshot() {
+  proto::Message m = proto::ReplSnapshot{epoch_, encode_snapshot(state())};
+  if (standby_conn_ != nullptr && standby_conn_->open()) {
+    standby_conn_->send(m);
+  }
+  if (repl_log_ != nullptr) {
+    proto::encode_into(m, repl_scratch_);
+    repl_log_->rewrite_with_snapshot(std::vector<std::uint8_t>(
+        repl_scratch_.begin() + 4, repl_scratch_.end()));
+  }
+  decides_since_repl_snapshot_ = 0;
+  repl_batch_.clear();
+  repl_overflow_ = false;
+}
+
+void PerqController::apply_repl_tick(const proto::ReplTick& rt) {
+  // All-or-nothing: every inner frame must parse before any is applied, so
+  // a truncated or bit-flipped batch can never leave half a decide behind.
+  repl_msgs_.clear();
+  const std::uint8_t* p = rt.batch.data();
+  std::size_t left = rt.batch.size();
+  while (left > 0) {
+    if (left < 4) {
+      ++repl_rejected_;
+      return;
+    }
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+    if (len == 0 || len > proto::kMaxFrameBytes || len > left - 4) {
+      ++repl_rejected_;
+      return;
+    }
+    proto::Message m;
+    if (!proto::parse_frame_into(p + 4, len, m)) {
+      ++repl_rejected_;
+      return;
+    }
+    repl_msgs_.push_back(std::move(m));
+    p += 4 + len;
+    left -= 4 + len;
+  }
+  for (const proto::Message& m : repl_msgs_) ingest_state(m);
+  repl_epoch_ = std::max(repl_epoch_, rt.epoch);
+  epoch_ = std::max(epoch_, rt.epoch);  // mirror the primary's epoch
+  ++replicated_decides_;
+  repl_last_tick_ = rt.tick;
+  // A live standby with its own WAL persists the record it just applied,
+  // making a promoted-then-crashed standby recoverable from disk too.
+  if (standby_ && repl_log_ != nullptr && !replaying_) {
+    proto::Message m{rt};
+    proto::encode_into(m, repl_scratch_);
+    repl_log_->append(repl_scratch_.data() + 4, repl_scratch_.size() - 4);
+  }
+  if (tick_pending()) {
+    const bool was_replaying = replaying_;
+    replaying_ = true;  // the replayed decide must not re-emit or snapshot
+    decide();
+    replaying_ = was_replaying;
+    if (last_plan_crc_ != rt.plan_crc) ++repl_divergence_;
+  }
+}
+
+void PerqController::apply_repl_snapshot(const proto::ReplSnapshot& rs) {
+  std::string why;
+  std::optional<ControllerState> s =
+      decode_snapshot(rs.snapshot.data(), rs.snapshot.size(), &why);
+  if (!s.has_value()) {
+    ++repl_rejected_;
+    return;
+  }
+  restore(*s);
+  repl_epoch_ = std::max(repl_epoch_, rs.epoch);
+  epoch_ = std::max(epoch_, rs.epoch);
+  ++replicated_decides_;
+  repl_last_tick_ = s->last_decided_tick;
+  if (standby_ && repl_log_ != nullptr && !replaying_) {
+    proto::Message m{rs};
+    proto::encode_into(m, repl_scratch_);
+    repl_log_->rewrite_with_snapshot(std::vector<std::uint8_t>(
+        repl_scratch_.begin() + 4, repl_scratch_.end()));
+  }
+}
+
 ControllerState PerqController::state() const {
   ControllerState s;
   s.current_tick = current_tick_;
@@ -783,6 +1058,7 @@ ControllerState PerqController::state() const {
   s.any_grant = any_grant_ ? 1 : 0;
   s.granted_w = granted_w_;
   s.grant_tick = grant_tick_;
+  s.epoch = epoch_;
   return s;
 }
 
@@ -808,6 +1084,10 @@ void PerqController::restore(const ControllerState& s) {
   any_grant_ = s.any_grant != 0;
   granted_w_ = s.granted_w;
   grant_tick_ = s.grant_tick;
+  // The epoch survives restarts by design: a deposed primary that reloads
+  // its snapshot keeps its pre-crash epoch and stays fenced by agents that
+  // have already seen its successor's.
+  epoch_ = s.epoch;
   any_report_ = false;  // re-report the pending tick after a restart
   // Delta state is deliberately not part of the snapshot: a restarted
   // controller does not know which plan image the agents hold, so the

@@ -34,6 +34,19 @@
 //     (shadow jobs, per-job estimators, MPC warm start, tick counters), so
 //     a controller restarted mid-experiment continues with bit-identical
 //     cap plans.
+//
+// High availability (warm standby): decide() depends only on the decision
+// state (shadows, heartbeat, policy, grant) -- never on session
+// bookkeeping -- so a second controller that re-applies the exact accepted
+// frames in the same canonical order reproduces every cap plan bit-exactly.
+// The primary records each accepted frame (post-sanity-screen, canonical
+// ingest order) and streams one ReplTick per decide to an attached standby
+// (attach_standby) and/or an on-disk ReplicationLog; a ReplSnapshot (the
+// snapshot codec's bytes) bootstraps the stream and bounds replay. The
+// standby (cfg.standby) ignores agent telemetry and lives purely off the
+// stream until promote(), which bumps the controller epoch past everything
+// replicated and announces it; agents fence any frame from a lower epoch,
+// so a deposed primary that resumes broadcasting is Bye'd, never applied.
 #pragma once
 
 #include <chrono>
@@ -58,6 +71,8 @@ class ThreadPool;
 }
 
 namespace perq::daemon {
+
+class ReplicationLog;
 
 struct ControllerConfig {
   /// Ticks an agent may go silent before it is declared stale (the
@@ -90,6 +105,14 @@ struct ControllerConfig {
   /// apply, bounding how long a desynchronized agent (missed frame) holds
   /// stale caps. 0 means no periodic resync (joins still force full plans).
   std::uint64_t full_plan_every_ticks = 16;
+  /// Warm-standby mode: the controller applies the primary's replication
+  /// stream (ReplSnapshot restore + ReplTick replay) and drops agent
+  /// telemetry/heartbeats until promote() flips it into a serving primary.
+  bool standby = false;
+  /// Primary side: re-send a full ReplSnapshot every N replicated decides,
+  /// resyncing the standby and truncating the replication log. 0 sends only
+  /// the initial snapshot (the log then grows one record per decide).
+  std::uint64_t replicate_snapshot_every = 64;
 };
 
 /// Saturates a cap plan into the plant's feasible set: every cap is forced
@@ -136,6 +159,11 @@ struct ControllerState {
   std::uint8_t any_grant = 0;
   double granted_w = 0.0;
   std::uint64_t grant_tick = 0;
+  /// Controller epoch (see PromoteAnnounce): monotonically increasing
+  /// across failovers. Fresh controllers start at 1; a snapshot restore
+  /// keeps the pre-crash epoch, so a deposed primary that restarts is
+  /// still fenced by agents that saw its successor.
+  std::uint64_t epoch = 1;
 };
 
 class PerqController {
@@ -238,6 +266,43 @@ class PerqController {
   ControllerState state() const;
   void restore(const ControllerState& s);
 
+  // --- High availability -------------------------------------------------
+
+  /// Attaches a warm standby: `conn` must be a client connection dialed to
+  /// the standby's listen address. Sends a full ReplSnapshot immediately,
+  /// then one ReplTick per decide. Only valid on a primary; the stream is
+  /// one-way (the primary never reads this connection).
+  void attach_standby(std::unique_ptr<net::Connection> conn);
+
+  /// Opens the replication WAL (crash recovery for a primary, or disk
+  /// warm-up for a standby): replays every intact record into this
+  /// controller through the standby apply path, then -- on a primary --
+  /// appends one record per decide and truncates at the snapshot cadence.
+  /// Call before serving traffic.
+  void open_replication_log(const std::string& path);
+
+  /// Standby -> primary takeover: bumps the controller epoch past
+  /// everything seen on the replication stream, re-enables agent ingest
+  /// and deciding, forces the next broadcast to be a full plan, and sends
+  /// PromoteAnnounce to every connected session. Only valid on a standby.
+  void promote();
+
+  bool standby() const { return standby_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Replication observability. `replicated_decides` counts ReplTicks
+  /// applied (standby) or emitted (primary); `repl_divergence` counts
+  /// replayed decisions whose canonical plan crc differed from the
+  /// primary's (must stay 0 -- the bit-identity alarm); `repl_rejected`
+  /// counts malformed stream frames dropped whole (all-or-nothing).
+  std::uint64_t replicated_decides() const { return replicated_decides_; }
+  std::uint64_t last_replicated_tick() const { return repl_last_tick_; }
+  std::uint64_t repl_divergence() const { return repl_divergence_; }
+  std::uint64_t repl_rejected() const { return repl_rejected_; }
+  /// crc32 of the canonical encoding of the last broadcast plan (only
+  /// computed when replication or standby mode is active).
+  std::uint32_t last_plan_crc() const { return last_plan_crc_; }
+
  private:
   struct Session {
     std::unique_ptr<net::Connection> conn;
@@ -267,7 +332,15 @@ class PerqController {
   };
 
   void ingest(Session& session, const proto::Message& m);
-  void on_telemetry(Session& session, const proto::Telemetry& t);
+  /// Applies one sanity-screened frame to the decision state only -- no
+  /// session bookkeeping. This is the single mutation path shared by live
+  /// ingest and standby replay: the screens are deterministic functions of
+  /// replicated state, so re-screening during replay accepts exactly the
+  /// frames the primary accepted. Returns false when the frame was screened
+  /// out (and counted corrupt where applicable).
+  bool ingest_state(const proto::Message& m);
+  bool on_telemetry(const proto::Telemetry& t);
+  bool accept_grant(const proto::BudgetGrant& g);
   bool session_stale(const Session& s) const;
   void clamp_plan();
   void write_snapshot() const;
@@ -277,6 +350,16 @@ class PerqController {
   void build_ingest_order();
   void broadcast_plan();
   ThreadPool& pool();
+
+  // HA plumbing.
+  bool replicating() const {
+    return !standby_ && (standby_conn_ != nullptr || repl_log_ != nullptr);
+  }
+  void record_repl(const proto::Message& m);
+  void emit_repl_tick(std::uint64_t tick);
+  void emit_repl_snapshot();
+  void apply_repl_tick(const proto::ReplTick& rt);
+  void apply_repl_snapshot(const proto::ReplSnapshot& rs);
 
   std::unique_ptr<net::Listener> listener_;
   core::PerqPolicy& policy_;
@@ -329,6 +412,28 @@ class PerqController {
   std::uint64_t grant_tick_ = 0;  ///< tick the grant was issued for
   std::uint64_t report_tick_ = 0; ///< newest tick a DomainReport went out for
   bool any_report_ = false;
+
+  // High-availability state (all inert without attach_standby /
+  // open_replication_log / cfg.standby).
+  bool standby_ = false;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t repl_epoch_ = 0;  ///< newest epoch seen on the stream
+  std::unique_ptr<net::Connection> standby_conn_;  ///< primary -> standby
+  std::unique_ptr<ReplicationLog> repl_log_;
+  /// Batch under construction: the encoded frames (length prefix included)
+  /// accepted since the previous decide, in canonical ingest order.
+  std::vector<std::uint8_t> repl_batch_;
+  std::vector<std::uint8_t> repl_scratch_;      ///< encode scratch
+  std::vector<proto::Message> repl_msgs_;       ///< replay parse scratch
+  proto::Message crc_msg_;                      ///< plan-crc encode scratch
+  bool repl_overflow_ = false;  ///< batch outgrew a frame; snapshot instead
+  bool replaying_ = false;      ///< inside WAL replay (suppress re-emission)
+  std::uint64_t replicated_decides_ = 0;
+  std::uint64_t repl_last_tick_ = 0;
+  std::uint64_t repl_divergence_ = 0;
+  std::uint64_t repl_rejected_ = 0;
+  std::uint64_t decides_since_repl_snapshot_ = 0;
+  std::uint32_t last_plan_crc_ = 0;
 };
 
 }  // namespace perq::daemon

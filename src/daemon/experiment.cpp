@@ -1,5 +1,6 @@
 #include "daemon/experiment.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -81,7 +82,27 @@ DaemonPlant::DaemonPlant(const core::EngineConfig& cfg,
     begin += len;
   }
   reg_fds_.assign(agents_.size(), -1);
+  if (!pcfg_.failover_addresses.empty()) {
+    PERQ_REQUIRE(pcfg_.failover_addresses.size() == groups_,
+                 "failover address lists do not match controller count");
+    for (const auto& list : pcfg_.failover_addresses) {
+      PERQ_REQUIRE(!list.empty(), "empty failover address list for a group");
+    }
+  }
+  group_held_ticks_.assign(groups_, 0);
+  group_failover_ticks_.assign(groups_, 0);
+  addr_cursor_.assign(groups_, 0);
+  fence_bumped_.assign(agents_.size(), 0);
   sync_reactor();
+}
+
+std::size_t DaemonPlant::lead_group(const sched::Job& job) const {
+  const auto& nodes = job.node_ids();
+  if (nodes.empty()) return 0;
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (agents_[i]->owns_node(nodes.front())) return i % groups_;
+  }
+  return 0;
 }
 
 void DaemonPlant::sync_reactor() {
@@ -154,6 +175,18 @@ bool DaemonPlant::step(const std::function<void()>& service) {
     }
   }
 
+  // Heartbeat-loss bookkeeping: consecutive planless ticks per group drive
+  // both the agent-local fail-safe decay below and controller failover.
+  for (std::size_t g = 0; g < groups_; ++g) {
+    if (plans[g].has_value()) {
+      group_held_ticks_[g] = 0;
+      group_failover_ticks_[g] = 0;
+    } else {
+      ++group_held_ticks_[g];
+      ++group_failover_ticks_[g];
+    }
+  }
+
   std::vector<double> caps;
   std::vector<double> targets;
   if (!view.running.empty()) {
@@ -216,11 +249,70 @@ bool DaemonPlant::step(const std::function<void()>& service) {
         plan.reset();  // hold previous caps, as if no plan had arrived
       }
     }
+    // Agent-local fail-safe: jobs of a group that has been silent past the
+    // threshold stop holding their (possibly high) caps and decay toward
+    // the safe floor -- a dead controller must not pin the cluster at the
+    // power level of its last decision forever. The decayed caps go through
+    // the agents' normal actuation path, so a hung agent (which would not
+    // have actuated a real plan either) is skipped: the fail-safe is local
+    // to each live agent, not a plant-level override.
+    if (pcfg_.failsafe_after_ticks > 0 && have < groups_) {
+      const auto& spec = apps::node_power_spec();
+      const double floor =
+          std::clamp(pcfg_.failsafe_floor_w > 0.0 ? pcfg_.failsafe_floor_w
+                                                  : spec.cap_min,
+                     spec.cap_min, spec.tdp);
+      proto::CapPlan decayed;
+      decayed.tick = view.tick;
+      for (std::size_t i = 0; i < view.running.size(); ++i) {
+        const std::size_t g = lead_group(*view.running[i]);
+        if (plans[g].has_value()) continue;  // this group delivered
+        if (group_held_ticks_[g] < pcfg_.failsafe_after_ticks) continue;
+        const double cur = caps[i];
+        if (cur <= floor + 1e-9) continue;  // already at the safe floor
+        const double next = floor + (cur - floor) * pcfg_.failsafe_decay;
+        caps[i] = next;
+        decayed.entries.push_back(
+            {view.running[i]->spec().id, next, 0.0, 1});
+      }
+      if (!decayed.entries.empty()) {
+        ++counters_.failsafe_activations;
+        ThreadPool::shared().parallel_for(
+            0, agents_.size(),
+            [this, &decayed](std::size_t i) { agents_[i]->apply_plan(decayed); },
+            /*grain=*/8);
+      }
+    }
     engine_.note_decision_time(wait_timer.seconds());
   }
   engine_.apply_caps(std::move(caps), std::move(targets), /*actuate=*/false);
   engine_.advance();
   ++ticks_;
+
+  // Controller failover: a group silent for the whole window has lost its
+  // primary (heartbeat loss on the plant's clock -- a partitioned primary
+  // keeps the sockets open, so EOF alone can never trigger this). Drop the
+  // group's connections and advance to the next candidate controller;
+  // reconnect_failover() dials it on the caller's next held-tick pass.
+  if (pcfg_.failover_after_held_ticks > 0 &&
+      !pcfg_.failover_addresses.empty()) {
+    for (std::size_t g = 0; g < groups_; ++g) {
+      if (group_failover_ticks_[g] < pcfg_.failover_after_held_ticks) continue;
+      group_failover_ticks_[g] = 0;
+      addr_cursor_[g] =
+          (addr_cursor_[g] + 1) % pcfg_.failover_addresses[g].size();
+      for (std::size_t i = 0; i < agents_.size(); ++i) {
+        if (i % groups_ != g) continue;
+        agents_[i]->drop();
+        backoff_[i].reset();  // deliberate failover: dial the successor now
+      }
+    }
+  }
+  // Epoch-fence accounting lives in the agents; mirror the total so the
+  // plant's counters tell the whole story.
+  std::uint64_t fence_total = 0;
+  for (const auto& a : agents_) fence_total += a->stale_epoch_frames();
+  counters_.stale_epoch_frames = fence_total;
   return plan.has_value() && have == groups_;
 }
 
@@ -270,6 +362,39 @@ std::size_t DaemonPlant::reconnect_lost(
     ++n;
   }
   return n;
+}
+
+std::size_t DaemonPlant::reconnect_failover(net::Transport& transport) {
+  PERQ_REQUIRE(!pcfg_.failover_addresses.empty(),
+               "reconnect_failover needs PlantConfig::failover_addresses");
+  // A fenced agent has positive proof its peer was deposed (stale epoch),
+  // stronger than any timeout: advance its group's cursor at once. The
+  // bump flag keeps one fence event from advancing the cursor on every
+  // subsequent call while the agent waits to reconnect.
+  std::vector<std::uint8_t> bump(groups_, 0);
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (agents_[i]->fenced()) {
+      if (!fence_bumped_[i]) {
+        fence_bumped_[i] = 1;
+        bump[i % groups_] = 1;
+      }
+    } else {
+      fence_bumped_[i] = 0;
+    }
+  }
+  std::vector<std::string> addrs(groups_);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    if (bump[g]) {
+      addr_cursor_[g] =
+          (addr_cursor_[g] + 1) % pcfg_.failover_addresses[g].size();
+      group_failover_ticks_[g] = 0;
+      for (std::size_t i = 0; i < agents_.size(); ++i) {
+        if (i % groups_ == g && !agents_[i]->connected()) backoff_[i].reset();
+      }
+    }
+    addrs[g] = pcfg_.failover_addresses[g][addr_cursor_[g]];
+  }
+  return reconnect_lost(transport, addrs);
 }
 
 core::RunResult run_loopback_daemon_experiment(const core::EngineConfig& cfg,

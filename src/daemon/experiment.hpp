@@ -50,6 +50,28 @@ struct PlantConfig {
                                   /*jitter=*/0.25,
                                   /*max_attempts=*/0};
   std::uint64_t backoff_seed = 42;  ///< per-agent jitter streams derive from it
+
+  /// Warm-standby failover: candidate controller addresses per group
+  /// (outer index = group). Used by reconnect_failover(): each group dials
+  /// its current candidate; a group whose plan has been missing for
+  /// failover_after_held_ticks consecutive ticks (heartbeat loss, the
+  /// primary is presumed dead) drops its connections and advances to the
+  /// next candidate, wrapping. A fenced agent (deposed-primary rejection)
+  /// advances its group's cursor immediately. Empty = no failover.
+  std::vector<std::vector<std::string>> failover_addresses;
+  std::size_t failover_after_held_ticks = 0;  ///< 0 disables failover
+
+  /// Agent-local fail-safe: once a group has delivered no plan for this
+  /// many consecutive ticks, its jobs' held caps decay geometrically toward
+  /// failsafe_floor_w each further tick (cap = floor + (cap-floor)*decay)
+  /// instead of holding stale high caps forever -- the controller may be
+  /// gone for good, and the cluster must drift to a safe power state.
+  /// 0 disables the decay (bit-identical to the pre-failsafe behavior).
+  std::size_t failsafe_after_ticks = 0;
+  /// Safe floor in watts per node; <= 0 means the plant uses the node
+  /// power spec's cap_min. Clamped into [cap_min, tdp] at use.
+  double failsafe_floor_w = 0.0;
+  double failsafe_decay = 0.5;  ///< per-tick geometric decay factor in [0,1)
 };
 
 /// The plant side of a daemon run: engine + node agents.
@@ -95,6 +117,19 @@ class DaemonPlant {
   std::size_t reconnect_lost(net::Transport& transport,
                              const std::vector<std::string>& addresses);
 
+  /// reconnect_lost() through PlantConfig::failover_addresses: each group
+  /// dials its current candidate address (the cursor advances on failover
+  /// and on fencing -- see PlantConfig). Call once per held tick, like
+  /// reconnect_lost.
+  std::size_t reconnect_failover(net::Transport& transport);
+
+  /// Consecutive ticks group `g` has delivered no plan (0 when current).
+  std::size_t group_held_ticks(std::size_t g) const {
+    return group_held_ticks_[g];
+  }
+  /// Current failover-candidate index for group `g`.
+  std::size_t failover_cursor(std::size_t g) const { return addr_cursor_[g]; }
+
   /// Plant-side robustness accounting: frames_dropped counts delivered cap
   /// plans discarded by the whole-plan validity check in step() (the plant
   /// held previous caps instead), reconnect_attempts counts dials made by
@@ -110,6 +145,8 @@ class DaemonPlant {
   /// (connections die and reconnect between steps). O(agents) integer
   /// compares when nothing changed.
   void sync_reactor();
+  /// Group of the agent leading `job` (the one owning its first node).
+  std::size_t lead_group(const sched::Job& job) const;
 
   core::SimulationEngine engine_;
   PlantConfig pcfg_;
@@ -120,6 +157,11 @@ class DaemonPlant {
   std::uint64_t ticks_ = 0;  ///< completed step() calls (backoff clock)
   net::Reactor reactor_;
   std::vector<int> reg_fds_;  ///< fd registered per agent (-1 = none)
+  // Failover / fail-safe bookkeeping (inert while both features are off).
+  std::vector<std::size_t> group_held_ticks_;   ///< consecutive planless ticks
+  std::vector<std::size_t> group_failover_ticks_;  ///< reset on each failover
+  std::vector<std::size_t> addr_cursor_;        ///< failover candidate index
+  std::vector<std::uint8_t> fence_bumped_;      ///< fence already advanced cursor
 };
 
 /// Runs a full experiment through controller + agents over the loopback

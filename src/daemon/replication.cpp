@@ -1,0 +1,159 @@
+#include "daemon/replication.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "acct/event_log.hpp"  // acct::crc32
+#include "util/require.hpp"
+
+namespace perq::daemon {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'Q', 'R', 'E', 'P', 'L', '0', '1'};
+constexpr std::size_t kHeaderBytes = 8;  // u32 len + u32 crc
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void write_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void write_record(std::FILE* f, const std::uint8_t* payload, std::size_t n,
+                  const std::string& path) {
+  std::uint8_t header[kHeaderBytes];
+  write_le32(header, static_cast<std::uint32_t>(n));
+  write_le32(header + 4, acct::crc32(payload, n));
+  PERQ_REQUIRE(std::fwrite(header, 1, sizeof(header), f) == sizeof(header) &&
+                   std::fwrite(payload, 1, n, f) == n,
+               "replication log write failed: " + path);
+}
+
+}  // namespace
+
+ReplicationLog::~ReplicationLog() { close_file(); }
+
+void ReplicationLog::close_file() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void ReplicationLog::open(const std::string& path, const ReplayFn& replay) {
+  PERQ_REQUIRE(!opened_, "replication log already open");
+  opened_ = true;
+  path_ = path;
+  if (path_.empty()) return;  // in-memory mode
+
+  // "a+b" creates the file when absent and never clobbers existing bytes.
+  file_ = std::fopen(path_.c_str(), "a+b");
+  PERQ_REQUIRE(file_ != nullptr, "cannot open replication log " + path_ +
+                                     ": " + std::strerror(errno));
+
+  // Scan phase: validate the magic, replay records until the first torn or
+  // corrupt one, then truncate everything past the valid prefix.
+  std::rewind(file_);
+  char magic[sizeof(kMagic)];
+  const std::size_t got = std::fread(magic, 1, sizeof(magic), file_);
+  if (got == 0) {
+    // Fresh log: stamp the magic.
+    PERQ_REQUIRE(std::fwrite(kMagic, 1, sizeof(kMagic), file_) ==
+                     sizeof(kMagic),
+                 "cannot initialize replication log " + path_);
+    std::fflush(file_);
+    return;
+  }
+  PERQ_REQUIRE(got == sizeof(magic) &&
+                   std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+               path_ + " is not a perq replication log");
+  long valid_end = static_cast<long>(sizeof(kMagic));
+
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    std::uint8_t header[kHeaderBytes];
+    const std::size_t h = std::fread(header, 1, sizeof(header), file_);
+    if (h != sizeof(header)) break;  // clean EOF or torn header
+    const std::uint32_t len = read_le32(header);
+    const std::uint32_t crc = read_le32(header + 4);
+    if (len == 0 || len > kMaxPayload) break;  // corrupt length
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, file_) != len) break;  // torn
+    if (acct::crc32(payload.data(), len) != crc) break;           // corrupt
+    if (replay) replay(payload.data(), len);
+    ++replayed_count_;
+    ++record_count_;
+    valid_end += static_cast<long>(sizeof(header) + len);
+  }
+
+  std::fflush(file_);
+  struct stat st{};
+  PERQ_REQUIRE(::fstat(::fileno(file_), &st) == 0,
+               "cannot stat replication log " + path_);
+  if (st.st_size != valid_end) {
+    truncated_tail_ = true;
+    PERQ_REQUIRE(::ftruncate(::fileno(file_), valid_end) == 0,
+                 "cannot truncate torn tail of " + path_);
+  }
+  std::clearerr(file_);
+  PERQ_REQUIRE(std::fseek(file_, 0, SEEK_END) == 0,
+               "cannot seek replication log " + path_);
+}
+
+void ReplicationLog::append(const std::uint8_t* payload, std::size_t n) {
+  PERQ_REQUIRE(opened_, "replication log not open");
+  PERQ_REQUIRE(n > 0 && n <= kMaxPayload,
+               "replication record size out of range");
+  ++record_count_;
+  if (file_ == nullptr) return;  // in-memory mode
+  write_record(file_, payload, n, path_);
+}
+
+void ReplicationLog::rewrite_with_snapshot(
+    const std::vector<std::uint8_t>& snapshot_payload) {
+  PERQ_REQUIRE(opened_, "replication log not open");
+  PERQ_REQUIRE(!snapshot_payload.empty() &&
+                   snapshot_payload.size() <= kMaxPayload,
+               "replication record size out of range");
+  record_count_ = 1;
+  if (file_ == nullptr) return;  // in-memory mode
+
+  const std::string tmp = path_ + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  PERQ_REQUIRE(out != nullptr, "cannot open replication log " + tmp + ": " +
+                                   std::strerror(errno));
+  PERQ_REQUIRE(std::fwrite(kMagic, 1, sizeof(kMagic), out) == sizeof(kMagic),
+               "cannot initialize replication log " + tmp);
+  write_record(out, snapshot_payload.data(), snapshot_payload.size(), tmp);
+  PERQ_REQUIRE(std::fflush(out) == 0, "replication log flush failed: " + tmp);
+  std::fclose(out);
+
+  close_file();
+  PERQ_REQUIRE(std::rename(tmp.c_str(), path_.c_str()) == 0,
+               "replication log rename failed: " + path_);
+  file_ = std::fopen(path_.c_str(), "a+b");
+  PERQ_REQUIRE(file_ != nullptr, "cannot reopen replication log " + path_ +
+                                     ": " + std::strerror(errno));
+  PERQ_REQUIRE(std::fseek(file_, 0, SEEK_END) == 0,
+               "cannot seek replication log " + path_);
+}
+
+void ReplicationLog::flush() {
+  if (file_ != nullptr) {
+    PERQ_REQUIRE(std::fflush(file_) == 0,
+                 "replication log flush failed: " + path_);
+  }
+}
+
+}  // namespace perq::daemon

@@ -1,0 +1,71 @@
+// Controller replication WAL.
+//
+// An append-only log of the primary controller's replication stream: each
+// record is one encoded proto frame (a ReplSnapshot marking a full-state
+// truncation point, or a ReplTick carrying one decide's canonical inputs),
+// stored as `[u32 len][u32 crc32(payload)][payload]` after an 8-byte magic
+// -- the exact framing of acct::EventLog, and the same recovery semantics:
+// open() replays every intact record in order and truncates the first torn
+// or corrupt tail, so a crashed primary (or a standby warming from disk)
+// resumes from the longest valid prefix.
+//
+// The payload is the post-length portion of the frame (magic..body), ready
+// for proto::parse_frame. Record integrity is double-covered: the WAL crc
+// catches torn writes, and a ReplTick's inner batch is itself all-or-
+// nothing at apply time.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace perq::daemon {
+
+class ReplicationLog {
+ public:
+  /// Matches proto::kMaxFrameBytes: a record is one frame.
+  static constexpr std::size_t kMaxPayload = 1u << 20;
+
+  using ReplayFn = std::function<void(const std::uint8_t*, std::size_t)>;
+
+  ReplicationLog() = default;
+  ~ReplicationLog();
+  ReplicationLog(const ReplicationLog&) = delete;
+  ReplicationLog& operator=(const ReplicationLog&) = delete;
+
+  /// Opens (creating when absent) and replays every intact record through
+  /// `replay`, then truncates anything past the last valid record. An empty
+  /// path is in-memory mode: appends count but nothing persists.
+  void open(const std::string& path, const ReplayFn& replay = nullptr);
+
+  /// Appends one record (the post-length bytes of an encoded frame).
+  void append(const std::uint8_t* payload, std::size_t n);
+
+  /// Log truncation: atomically replaces the log with the single
+  /// `snapshot_payload` record (temp file + rename), so replay cost stays
+  /// bounded by the snapshot cadence. Appends continue after it.
+  void rewrite_with_snapshot(const std::vector<std::uint8_t>& snapshot_payload);
+
+  void flush();
+
+  bool persistent() const { return file_ != nullptr; }
+  std::uint64_t record_count() const { return record_count_; }
+  std::uint64_t replayed_count() const { return replayed_count_; }
+  /// True when open() found and discarded a torn/corrupt tail.
+  bool truncated_tail() const { return truncated_tail_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void close_file();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool opened_ = false;
+  bool truncated_tail_ = false;
+  std::uint64_t record_count_ = 0;    ///< records in the log right now
+  std::uint64_t replayed_count_ = 0;  ///< records replayed by open()
+};
+
+}  // namespace perq::daemon

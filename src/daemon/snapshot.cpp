@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "acct/event_log.hpp"
 #include "proto/wire.hpp"
 #include "util/require.hpp"
 
@@ -14,9 +15,16 @@ constexpr std::uint32_t kSnapshotMagic = 0x50455251;  // "PERQ"
 // Version 2 appends the robustness counters (policy solver_fallbacks after
 // the MPC warm state, controller counters after the shadows). Version 3
 // appends the hierarchical grant state (any_grant/granted_w/grant_tick) so
-// a restarted domain controller resumes against its last grant. Older
-// files still decode: the appended fields simply start from zero.
-constexpr std::uint16_t kSnapshotVersion = 3;
+// a restarted domain controller resumes against its last grant. Version 4
+// inserts a crc32 of everything after the header (a torn or bit-flipped
+// file is detected up front, mirroring acct::EventLog) and appends the
+// controller epoch plus the failsafe/stale-epoch counters. Older files
+// still decode: the appended fields simply start from zero and the crc
+// check only applies from version 4 on.
+constexpr std::uint16_t kSnapshotVersion = 4;
+// Header: u32 magic + u16 version + u32 crc (v4+). The crc covers every
+// byte after itself.
+constexpr std::size_t kCrcOffset = 6;
 
 void write_estimator(proto::WireWriter& w, const control::EstimatorState& e) {
   w.u32(static_cast<std::uint32_t>(e.state.size()));
@@ -88,6 +96,7 @@ std::vector<std::uint8_t> encode_snapshot(const ControllerState& s) {
   proto::WireWriter w;
   w.u32(kSnapshotMagic);
   w.u16(kSnapshotVersion);
+  w.u32(0);  // crc placeholder, patched once the payload is complete
   w.u64(s.current_tick);
   w.u64(s.last_decided_tick);
   w.u8(s.any_tick_seen);
@@ -123,15 +132,39 @@ std::vector<std::uint8_t> encode_snapshot(const ControllerState& s) {
   w.u8(s.any_grant);
   w.f64(s.granted_w);
   w.u64(s.grant_tick);
-  return w.take();
+
+  w.u64(s.epoch);
+  w.u64(s.counters.failsafe_activations);
+  w.u64(s.counters.stale_epoch_frames);
+
+  auto bytes = w.take();
+  const std::uint32_t crc = acct::crc32(bytes.data() + kCrcOffset + 4,
+                                        bytes.size() - kCrcOffset - 4);
+  proto::WireWriter patcher(bytes);
+  patcher.patch_u32(kCrcOffset, crc);
+  return bytes;
 }
 
 std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
-                                               std::size_t size) {
+                                               std::size_t size,
+                                               std::string* why) {
+  const auto fail = [why](const char* reason) -> std::optional<ControllerState> {
+    if (why != nullptr) *why = reason;
+    return std::nullopt;
+  };
   proto::WireReader r(data, size);
-  if (r.u32() != kSnapshotMagic) return std::nullopt;
+  if (r.u32() != kSnapshotMagic) return fail("not a perq snapshot (bad magic)");
   const std::uint16_t version = r.u16();
-  if (version < 1 || version > kSnapshotVersion) return std::nullopt;
+  if (version < 1 || version > kSnapshotVersion) {
+    return fail("unsupported snapshot version");
+  }
+  if (version >= 4) {
+    const std::uint32_t crc = r.u32();
+    if (!r.ok()) return fail("truncated snapshot header");
+    if (acct::crc32(data + kCrcOffset + 4, size - kCrcOffset - 4) != crc) {
+      return fail("snapshot crc mismatch (torn or corrupt file)");
+    }
+  }
 
   ControllerState s;
   s.current_tick = r.u64();
@@ -142,17 +175,19 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
   s.policy.tick = r.u64();
   const std::uint32_t n_est = r.u32();
   if (!r.ok() || static_cast<std::size_t>(n_est) * 12 > r.remaining()) {
-    return std::nullopt;
+    return fail("truncated snapshot: estimator section");
   }
   for (std::uint32_t i = 0; i < n_est; ++i) {
     const int id = r.i32();
     control::EstimatorState est;
-    if (!read_estimator(r, &est)) return std::nullopt;
+    if (!read_estimator(r, &est)) {
+      return fail("truncated snapshot: estimator section");
+    }
     s.policy.estimators.emplace_back(id, std::move(est));
   }
   const std::uint32_t n_targets = r.u32();
   if (!r.ok() || static_cast<std::size_t>(n_targets) * 12 > r.remaining()) {
-    return std::nullopt;
+    return fail("truncated snapshot: target section");
   }
   for (std::uint32_t i = 0; i < n_targets; ++i) {
     const int id = r.i32();
@@ -161,13 +196,13 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
   }
   const std::uint32_t n_warm = r.u32();
   if (!r.ok() || static_cast<std::size_t>(n_warm) * 8 > r.remaining()) {
-    return std::nullopt;
+    return fail("truncated snapshot: warm-start section");
   }
   s.policy.mpc.warm.resize(n_warm);
   for (std::uint32_t i = 0; i < n_warm; ++i) s.policy.mpc.warm[i] = r.f64();
   const std::uint32_t n_warm_ids = r.u32();
   if (!r.ok() || static_cast<std::size_t>(n_warm_ids) * 4 > r.remaining()) {
-    return std::nullopt;
+    return fail("truncated snapshot: warm-start section");
   }
   s.policy.mpc.warm_ids.resize(n_warm_ids);
   for (std::uint32_t i = 0; i < n_warm_ids; ++i) s.policy.mpc.warm_ids[i] = r.i32();
@@ -175,11 +210,13 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
 
   const std::uint32_t n_shadows = r.u32();
   if (!r.ok() || static_cast<std::size_t>(n_shadows) * 100 > r.remaining()) {
-    return std::nullopt;
+    return fail("truncated snapshot: shadow section");
   }
   s.shadows.resize(n_shadows);
   for (std::uint32_t i = 0; i < n_shadows; ++i) {
-    if (!read_shadow(r, &s.shadows[i])) return std::nullopt;
+    if (!read_shadow(r, &s.shadows[i])) {
+      return fail("truncated snapshot: shadow section");
+    }
   }
   if (version >= 2) {
     s.counters.frames_dropped = r.u64();
@@ -194,7 +231,12 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
     s.granted_w = r.f64();
     s.grant_tick = r.u64();
   }
-  if (!r.exhausted()) return std::nullopt;
+  if (version >= 4) {
+    s.epoch = r.u64();
+    s.counters.failsafe_activations = r.u64();
+    s.counters.stale_epoch_frames = r.u64();
+  }
+  if (!r.exhausted()) return fail("truncated or oversized snapshot tail");
   return s;
 }
 
@@ -218,8 +260,9 @@ ControllerState load_snapshot(const std::string& path) {
   PERQ_REQUIRE(in.is_open(), "cannot open snapshot file: " + path);
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
-  auto s = decode_snapshot(bytes.data(), bytes.size());
-  PERQ_REQUIRE(s.has_value(), "corrupt snapshot file: " + path);
+  std::string why;
+  auto s = decode_snapshot(bytes.data(), bytes.size(), &why);
+  PERQ_REQUIRE(s.has_value(), "corrupt snapshot file: " + path + " (" + why + ")");
   return std::move(*s);
 }
 

@@ -20,8 +20,12 @@ namespace perq::daemon {
 std::vector<std::uint8_t> encode_snapshot(const ControllerState& s);
 
 /// Parses bytes produced by encode_snapshot; nullopt on any malformation.
+/// When `why` is non-null it receives a one-line reason on failure (bad
+/// magic, unsupported version, crc mismatch, truncated section), so the
+/// operator can tell a torn write from the wrong file.
 std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
-                                               std::size_t size);
+                                               std::size_t size,
+                                               std::string* why = nullptr);
 
 /// Atomically-ish writes the snapshot (temp file + rename). Throws
 /// perq::precondition_error on I/O failure.

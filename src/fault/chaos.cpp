@@ -278,6 +278,237 @@ DomainChaosReport run_domain_chaos(
   return report;
 }
 
+FailoverChaosReport run_failover_chaos(const FailoverChaosConfig& cfg,
+                                       core::PerqPolicy& primary_policy,
+                                       core::PerqPolicy& standby_policy) {
+  net::LoopbackTransport loop;
+  FaultPlan plan(cfg.fault_seed);
+  plan.set_default_schedule(cfg.default_schedule);
+  for (const auto& [index, sched] : cfg.schedules) {
+    plan.set_schedule(index, sched);
+  }
+  if (cfg.partition_primary.begin < cfg.partition_primary.end) {
+    // Replication link (index 0) plus every initial agent connection: the
+    // primary keeps running but nothing reaches it or leaves it.
+    for (std::size_t i = 0; i <= cfg.plant.agents; ++i) {
+      ConnectionSchedule sched = plan.schedule_for(i);
+      sched.partitions.push_back(cfg.partition_primary);
+      plan.set_schedule(i, sched);
+    }
+  }
+  FaultyTransport transport(loop, plan);
+
+  const std::string primary_address = "perqd-a";
+  const std::string standby_address = "perqd-b";
+  daemon::ControllerConfig standby_cfg = cfg.controller;
+  standby_cfg.standby = true;
+  auto standby = std::make_unique<daemon::PerqController>(
+      transport.listen(standby_address), standby_policy, standby_cfg);
+  auto primary = std::make_unique<daemon::PerqController>(
+      transport.listen(primary_address), primary_policy, cfg.controller);
+  // Dialed before any agent: connection index 0 is the replication link.
+  primary->attach_standby(transport.connect(standby_address));
+
+  daemon::PlantConfig pcfg = cfg.plant;
+  if (pcfg.failover_addresses.empty()) {
+    pcfg.failover_addresses = {{primary_address, standby_address}};
+  }
+  if (pcfg.failover_after_held_ticks == 0) pcfg.failover_after_held_ticks = 2;
+  daemon::DaemonPlant plant(cfg.engine, transport, primary_address, pcfg);
+  primary->pump();
+  standby->service();  // ingest the replicated bootstrap snapshot
+
+  FailoverChaosReport report;
+  const auto& spec = apps::node_power_spec();
+  const double budget_w = plant.engine().cluster().power_budget_w();
+  const double floor_w =
+      pcfg.failsafe_floor_w > 0.0
+          ? std::clamp(pcfg.failsafe_floor_w, spec.cap_min, spec.tdp)
+          : spec.cap_min;
+  const auto service = [&] {
+    if (primary != nullptr) primary->service();
+    standby->service();
+  };
+
+  bool promoted = false;
+  std::uint64_t silent = 0;
+  std::uint64_t last_repl = standby->replicated_decides();
+
+  std::uint64_t tick = 0;
+  while (!plant.done() && (cfg.max_ticks == 0 || tick < cfg.max_ticks)) {
+    plan.set_tick(tick);
+
+    if (tick == cfg.kill_primary_at_tick && primary != nullptr) {
+      standby->service();  // drain replication queued by the last decide
+      report.primary_counters = primary->counters();
+      primary.reset();  // crash: listener and every session die
+      if (cfg.tight_handover && !promoted) {
+        standby->promote();
+        promoted = true;
+        report.promoted_at_tick = tick;
+        for (std::size_t i = 0; i < plant.agent_count(); ++i) {
+          try {
+            if (auto conn = transport.connect(standby_address)) {
+              plant.agent(i).reconnect(std::move(conn));
+            }
+          } catch (const precondition_error&) {
+            // Standby gone too; the failover path keeps retrying.
+          }
+        }
+      }
+    }
+
+    for (const AgentEvent& e : cfg.events) {
+      if (e.tick != tick || e.agent >= plant.agent_count()) continue;
+      if (e.kind == AgentEvent::Kind::kHang) {
+        plant.agent(e.agent).hang();
+      } else {
+        // Rejoin dials the group's current failover candidate, like the
+        // plant's own reconnect path would.
+        const std::string& addr =
+            pcfg.failover_addresses[0][plant.failover_cursor(0)];
+        try {
+          if (auto conn = transport.connect(addr)) {
+            plant.agent(e.agent).reconnect(std::move(conn));
+          }
+        } catch (const precondition_error&) {
+          // Listener gone; the regular reconnect path keeps retrying.
+        }
+      }
+    }
+
+    // Deposed-primary fencing script: force an agent back onto the original
+    // primary address. If the old primary still lives, its stale-epoch
+    // announce must bounce the agent straight off again.
+    for (const auto& [t, a] : cfg.redial_primary) {
+      if (t != tick || a >= plant.agent_count()) continue;
+      try {
+        if (auto conn = transport.connect(primary_address)) {
+          plant.agent(a).reconnect(std::move(conn));
+        }
+      } catch (const precondition_error&) {
+        // Primary really is dead; nothing to fence.
+      }
+    }
+
+    const bool planned = plant.step(service);
+    if (!planned) ++report.held_ticks;
+    plant.reconnect_failover(transport);
+
+    // Takeover detector: the standby promotes itself once the replication
+    // stream has been silent while the plant is visibly planless -- both
+    // signals together distinguish a dead primary from a quiet one.
+    if (!promoted) {
+      const std::uint64_t repl = standby->replicated_decides();
+      silent = (repl == last_repl && !planned) ? silent + 1 : 0;
+      last_repl = repl;
+      if (cfg.takeover_after_silent_ticks > 0 &&
+          silent >= cfg.takeover_after_silent_ticks) {
+        standby->promote();
+        promoted = true;
+        report.promoted_at_tick = tick;
+      }
+    }
+
+    // --- run-level safety invariants, evaluated every tick ---
+    daemon::PerqController* active = promoted ? standby.get() : primary.get();
+    TickRecord rec;
+    rec.tick = tick;
+    rec.plan_arrived = planned;
+    rec.budget_total_w = budget_w;
+    std::map<int, double> nodes_by_job;
+    for (const sched::Job* job : plant.engine().running()) {
+      const double cap = job->last_cap_w();
+      const double nodes = static_cast<double>(job->spec().nodes);
+      nodes_by_job[job->spec().id] = nodes;
+      rec.committed_w += cap * nodes;
+      rec.caps_by_job.emplace_back(job->spec().id, cap);
+      if (cap != 0.0 && (!std::isfinite(cap) || cap < spec.cap_min - 1e-6 ||
+                         cap > spec.tdp + 1e-6)) {
+        report.violations.push_back(
+            tick_msg(tick, "applied cap outside [cap_min, TDP]", cap,
+                     spec.tdp));
+      }
+    }
+    if (rec.committed_w > budget_w + 1e-3) {
+      report.violations.push_back(
+          tick_msg(tick, "committed watts exceed cluster budget",
+                   rec.committed_w, budget_w));
+    }
+    // Fail-safe decay law: once the group has been planless past the
+    // threshold, every held cap must follow cap' <= floor + (cap-floor)*d,
+    // drifting toward the safe floor and never rising.
+    if (pcfg.failsafe_after_ticks > 0 && !report.history.empty() &&
+        plant.group_held_ticks(0) >= pcfg.failsafe_after_ticks) {
+      const TickRecord& prev = report.history.back();
+      if (prev.tick + 1 == tick) {
+        std::map<int, double> prev_caps(prev.caps_by_job.begin(),
+                                        prev.caps_by_job.end());
+        for (const auto& [id, cap] : rec.caps_by_job) {
+          const auto it = prev_caps.find(id);
+          if (it == prev_caps.end()) continue;
+          const double want =
+              floor_w + (it->second - floor_w) * pcfg.failsafe_decay;
+          if (cap > std::max(want, floor_w) + 1e-6) {
+            report.violations.push_back(tick_msg(
+                tick, "held cap failed to decay toward fail-safe floor", cap,
+                want));
+          }
+        }
+      }
+    }
+    if (planned && active != nullptr) {
+      const proto::CapPlan& p = active->last_plan();
+      double plan_w = 0.0;
+      for (const proto::CapEntry& e : p.entries) {
+        if (e.cap_w != 0.0 &&
+            (!std::isfinite(e.cap_w) || e.cap_w < spec.cap_min - 1e-6 ||
+             e.cap_w > spec.tdp + 1e-6)) {
+          report.violations.push_back(tick_msg(
+              tick, "delivered plan cap outside [cap_min, TDP]", e.cap_w,
+              spec.tdp));
+        }
+        const auto it = nodes_by_job.find(e.job_id);
+        if (it != nodes_by_job.end()) plan_w += e.cap_w * it->second;
+      }
+      if (plan_w > budget_w + 1e-3) {
+        report.violations.push_back(tick_msg(
+            tick, "delivered plan sums above cluster budget", plan_w,
+            budget_w));
+      }
+      const auto& stats = active->last_stats();
+      if (stats.budget_row_w + stats.held_w > budget_w + 1e-3) {
+        report.violations.push_back(
+            tick_msg(tick, "budget row + held watts exceed budget",
+                     stats.budget_row_w + stats.held_w, budget_w));
+      }
+    }
+    report.history.push_back(std::move(rec));
+    ++tick;
+  }
+
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) plant.agent(i).bye();
+  if (primary != nullptr) {
+    primary->pump();
+    report.primary_counters = primary->counters();
+  }
+  standby->pump();
+
+  report.result = plant.finish(primary_policy.name());
+  report.standby_counters = standby->counters();
+  report.plant_counters = plant.counters();
+  report.faults = plan.stats();
+  report.ticks = tick;
+  report.replicated_decides = standby->replicated_decides();
+  report.repl_divergence = standby->repl_divergence();
+  report.repl_rejected = standby->repl_rejected();
+  report.standby_epoch = standby->epoch();
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) {
+    report.stale_epoch_frames += plant.agent(i).stale_epoch_frames();
+  }
+  return report;
+}
+
 std::uint64_t reconvergence_tick(const std::vector<TickRecord>& faulted,
                                  const std::vector<TickRecord>& baseline,
                                  std::uint64_t from, double tol_w) {

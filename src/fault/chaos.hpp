@@ -142,6 +142,77 @@ DomainChaosReport run_domain_chaos(
     const DomainChaosConfig& cfg,
     std::vector<std::unique_ptr<core::PerqPolicy>>& policies);
 
+/// Chaos over the warm-standby HA deployment: one primary controller
+/// replicating every tick's canonical inputs to a standby, with a scripted
+/// primary crash (or partition) and a standby takeover mid-run.
+///
+/// Connection dial order (and hence schedule indexing): the primary dials
+/// the standby first -- index 0 is the replication link -- then the plant's
+/// agents dial the primary (index 1 + i for agent i); reconnects and
+/// failover dials take later indices. `partition_primary` is sugar that
+/// blacks out indices 0 .. agents (the replication link plus every initial
+/// agent connection) for the window: the primary stays alive but
+/// unreachable -- the split-brain scenario, where it later resumes
+/// broadcasting with a stale epoch and must be fenced.
+struct FailoverChaosConfig {
+  core::EngineConfig engine;
+  daemon::ControllerConfig controller;  ///< shared by primary and standby
+  daemon::PlantConfig plant;
+  std::uint64_t fault_seed = 1;
+  ConnectionSchedule default_schedule;
+  std::vector<std::pair<std::size_t, ConnectionSchedule>> schedules;
+  std::vector<AgentEvent> events;
+  std::uint64_t max_ticks = 0;
+  /// Destroy the primary outright at the top of this tick: its listener and
+  /// every session die, the crash path. kNever disables.
+  std::uint64_t kill_primary_at_tick = kNever;
+  /// Black out every initial primary link for the window instead of killing
+  /// the process (see above). begin >= end disables.
+  TickWindow partition_primary{0, 0};
+  /// Takeover detector: promote the standby once it has replayed no new
+  /// replicated decide for this many consecutive planless ticks.
+  std::uint64_t takeover_after_silent_ticks = 2;
+  /// Tight handover: kill + promote + re-dial every agent to the standby at
+  /// the top of kill_primary_at_tick, before that tick runs. Removes the
+  /// detection gap entirely, so the whole cap trajectory is bit-identical
+  /// to a crash-free run of the same seed -- the acceptance-criterion mode.
+  bool tight_handover = false;
+  /// Scripted re-dials of the *original primary* address (tick, agent): the
+  /// deposed-primary fencing scenario -- after takeover the old primary,
+  /// still alive behind a healed partition, announces its stale epoch and
+  /// the agent must reject the connection (counted, never applied).
+  std::vector<std::pair<std::uint64_t, std::size_t>> redial_primary;
+};
+
+struct FailoverChaosReport {
+  core::RunResult result;
+  std::vector<std::string> violations;  ///< empty <=> all invariants held
+  std::vector<TickRecord> history;
+  core::RobustnessCounters primary_counters;  ///< as of the kill (or end)
+  core::RobustnessCounters standby_counters;
+  core::RobustnessCounters plant_counters;
+  FaultStats faults;
+  std::uint64_t ticks = 0;
+  std::uint64_t held_ticks = 0;
+  std::uint64_t promoted_at_tick = kNever;  ///< kNever: never promoted
+  std::uint64_t replicated_decides = 0;  ///< standby's replayed decides
+  std::uint64_t repl_divergence = 0;     ///< standby plan-crc mismatches
+  std::uint64_t repl_rejected = 0;       ///< malformed replication frames
+  std::uint64_t stale_epoch_frames = 0;  ///< frames fenced by the agents
+  std::uint64_t standby_epoch = 0;       ///< standby's epoch at end of run
+};
+
+/// Runs the primary+standby deployment under the configured failure script,
+/// checking run_chaos's per-tick budget/box invariants across the handover
+/// plus the fail-safe decay law: once a group has been planless past
+/// PlantConfig::failsafe_after_ticks, its held caps must follow
+/// cap' <= floor + (cap - floor) * decay -- drifting to the safe floor,
+/// never rising. The two policies must be identically configured (the
+/// standby replays the primary's decisions through its own instance).
+FailoverChaosReport run_failover_chaos(const FailoverChaosConfig& cfg,
+                                       core::PerqPolicy& primary_policy,
+                                       core::PerqPolicy& standby_policy);
+
 /// First tick T >= `from` such that from T on, every tick's caps in
 /// `faulted` match the same tick/job in `baseline` within `tol_w` watts
 /// (jobs missing on either side at a tick count as divergence). Returns

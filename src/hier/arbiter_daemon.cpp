@@ -131,11 +131,22 @@ void ArbiterDaemon::ingest(std::size_t session_index, const proto::Message& m) {
     return;
   }
 
+  DomainSlot& slot = slots_[r->domain_id];
+  // Epoch fence (the failover analogue of silent-domain grant fencing): a
+  // report claiming an epoch below the newest seen for this domain comes
+  // from a deposed controller that resumed talking after its standby took
+  // over. Its demand must not steal the domain's grant back -- drop it
+  // before the session even binds.
+  if (r->controller_epoch < slot.max_epoch) {
+    ++counters_.stale_epoch_frames;
+    return;
+  }
+  slot.max_epoch = std::max(slot.max_epoch, r->controller_epoch);
+
   Session& session = sessions_[session_index];
   session.bound = true;
   session.domain_id = r->domain_id;
 
-  DomainSlot& slot = slots_[r->domain_id];
   if (!slot.any_report || r->tick >= slot.latest.tick) {
     slot.any_report = true;
     slot.latest = *r;
@@ -249,6 +260,8 @@ core::RobustnessCounters ArbiterDaemon::aggregated_counters() const {
     sum.stale_transitions += s.latest.stale_transitions;
     sum.solver_fallbacks += s.latest.solver_fallbacks;
     sum.clamp_activations += s.latest.clamp_activations;
+    sum.failsafe_activations += s.latest.failsafe_activations;
+    sum.stale_epoch_frames += s.latest.stale_epoch_frames;
   }
   return sum;
 }

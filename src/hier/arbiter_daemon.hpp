@@ -123,6 +123,10 @@ class ArbiterDaemon {
     proto::DomainReport latest;       ///< newest report (by tick)
     std::size_t session = SIZE_MAX;   ///< session that sent it
     bool ever_sent_grant = false;
+    /// Newest controller epoch seen for this domain. Reports from a lower
+    /// epoch come from a deposed domain controller (its standby has taken
+    /// over) and are fenced: counted, never applied.
+    std::uint64_t max_epoch = 0;
   };
 
   void ingest(std::size_t session_index, const proto::Message& m);

@@ -13,6 +13,8 @@ void write_body(WireWriter& w, const Hello& m) {
   w.u32(m.agent_id);
   w.u32(m.node_begin);
   w.u32(m.node_end);
+  w.u64(m.last_plan_tick);
+  w.u8(m.has_plan);
 }
 
 void write_body(WireWriter& w, const Telemetry& m) {
@@ -73,6 +75,9 @@ void write_body(WireWriter& w, const DomainReport& m) {
   w.u64(m.stale_transitions);
   w.u64(m.solver_fallbacks);
   w.u64(m.clamp_activations);
+  w.u64(m.failsafe_activations);
+  w.u64(m.stale_epoch_frames);
+  w.u64(m.controller_epoch);
 }
 
 void write_body(WireWriter& w, const BudgetGrant& m) {
@@ -101,6 +106,8 @@ Hello read_hello(WireReader& r) {
   m.agent_id = r.u32();
   m.node_begin = r.u32();
   m.node_end = r.u32();
+  m.last_plan_tick = r.u64();
+  m.has_plan = r.u8();
   return m;
 }
 
@@ -179,6 +186,9 @@ DomainReport read_domain_report(WireReader& r) {
   m.stale_transitions = r.u64();
   m.solver_fallbacks = r.u64();
   m.clamp_activations = r.u64();
+  m.failsafe_activations = r.u64();
+  m.stale_epoch_frames = r.u64();
+  m.controller_epoch = r.u64();
   return m;
 }
 
@@ -216,6 +226,48 @@ bool read_cap_plan_delta(WireReader& r, CapPlanDelta& m) {
   return true;
 }
 
+void write_body(WireWriter& w, const ReplTick& m) {
+  w.u64(m.epoch);
+  w.u64(m.tick);
+  w.u32(m.plan_crc);
+  w.u32(static_cast<std::uint32_t>(m.batch.size()));
+  w.bytes(m.batch.data(), m.batch.size());
+}
+
+void write_body(WireWriter& w, const ReplSnapshot& m) {
+  w.u64(m.epoch);
+  w.u32(static_cast<std::uint32_t>(m.snapshot.size()));
+  w.bytes(m.snapshot.data(), m.snapshot.size());
+}
+
+void write_body(WireWriter& w, const PromoteAnnounce& m) {
+  w.u64(m.epoch);
+  w.u64(m.tick);
+}
+
+bool read_repl_tick(WireReader& r, ReplTick& m) {
+  m.epoch = r.u64();
+  m.tick = r.u64();
+  m.plan_crc = r.u32();
+  m.batch.clear();  // capacity kept: the reuse contract of parse_frame_into
+  r.blob(m.batch);
+  return r.ok();
+}
+
+bool read_repl_snapshot(WireReader& r, ReplSnapshot& m) {
+  m.epoch = r.u64();
+  m.snapshot.clear();  // capacity kept
+  r.blob(m.snapshot);
+  return r.ok();
+}
+
+PromoteAnnounce read_promote_announce(WireReader& r) {
+  PromoteAnnounce m;
+  m.epoch = r.u64();
+  m.tick = r.u64();
+  return m;
+}
+
 /// Reuses `out`'s current alternative when it already is a T (dynamic
 /// bodies keep their capacity); otherwise switches the variant to T.
 template <typename T>
@@ -236,6 +288,9 @@ MsgType type_of(const Message& m) {
     MsgType operator()(const DomainReport&) const { return MsgType::kDomainReport; }
     MsgType operator()(const BudgetGrant&) const { return MsgType::kBudgetGrant; }
     MsgType operator()(const CapPlanDelta&) const { return MsgType::kCapPlanDelta; }
+    MsgType operator()(const ReplTick&) const { return MsgType::kReplTick; }
+    MsgType operator()(const ReplSnapshot&) const { return MsgType::kReplSnapshot; }
+    MsgType operator()(const PromoteAnnounce&) const { return MsgType::kPromoteAnnounce; }
   };
   return std::visit(Visitor{}, m);
 }
@@ -250,6 +305,9 @@ std::string to_string(MsgType t) {
     case MsgType::kDomainReport: return "DomainReport";
     case MsgType::kBudgetGrant: return "BudgetGrant";
     case MsgType::kCapPlanDelta: return "CapPlanDelta";
+    case MsgType::kReplTick: return "ReplTick";
+    case MsgType::kReplSnapshot: return "ReplSnapshot";
+    case MsgType::kPromoteAnnounce: return "PromoteAnnounce";
   }
   return "unknown";
 }
@@ -297,6 +355,13 @@ bool parse_frame_into(const std::uint8_t* data, std::size_t size, Message& out) 
     case MsgType::kCapPlanDelta:
       if (!read_cap_plan_delta(r, slot_as<CapPlanDelta>(out))) return false;
       break;
+    case MsgType::kReplTick:
+      if (!read_repl_tick(r, slot_as<ReplTick>(out))) return false;
+      break;
+    case MsgType::kReplSnapshot:
+      if (!read_repl_snapshot(r, slot_as<ReplSnapshot>(out))) return false;
+      break;
+    case MsgType::kPromoteAnnounce: out = read_promote_announce(r); break;
     default: return false;
   }
   // Truncated body (a read overran) or trailing junk both reject.
@@ -340,7 +405,7 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
       const std::uint8_t type = hdr.u8();
       const bool known =
           type >= static_cast<std::uint8_t>(MsgType::kHello) &&
-          type <= static_cast<std::uint8_t>(MsgType::kCapPlanDelta);
+          type <= static_cast<std::uint8_t>(MsgType::kPromoteAnnounce);
       if (framing_ok && hdr.ok() && !known) {
         ++unknown_skipped_;
         consumed_ += 4 + len;

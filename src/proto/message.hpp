@@ -28,6 +28,18 @@
 //   CapPlanDelta controller -> agents   only the caps that changed since the
 //                                       last broadcast plan (full CapPlan is
 //                                       the rejoin/resync fallback)
+//   ReplTick     primary -> standby     one decide's canonical inputs (the
+//                                       accepted frames since the previous
+//                                       decide, in ingest order) + a crc of
+//                                       the resulting plan for divergence
+//                                       detection
+//   ReplSnapshot primary -> standby     full controller state (the snapshot
+//                                       codec's bytes); also the WAL's
+//                                       truncation point
+//   PromoteAnnounce controller -> agents  the sender's controller epoch;
+//                                       sent at accept and on promotion so
+//                                       agents can fence plans from a
+//                                       deposed primary
 #pragma once
 
 #include <cstdint>
@@ -54,13 +66,22 @@ enum class MsgType : std::uint8_t {
   kDomainReport = 6,
   kBudgetGrant = 7,
   kCapPlanDelta = 8,
+  kReplTick = 9,
+  kReplSnapshot = 10,
+  kPromoteAnnounce = 11,
 };
 
 /// Agent introduction: which slice of the machine room it speaks for.
+/// A reconnecting agent also reports the newest broadcast plan it still
+/// holds (has_plan + last_plan_tick), so the controller can keep delta
+/// broadcasts flowing when the rejoiner's base matches its own instead of
+/// always forcing a full-plan resync.
 struct Hello {
   std::uint32_t agent_id = 0;
   std::uint32_t node_begin = 0;  ///< first cluster node id owned (inclusive)
   std::uint32_t node_end = 0;    ///< one past the last owned node id
+  std::uint64_t last_plan_tick = 0;  ///< tick of the agent's base plan
+  std::uint8_t has_plan = 0;         ///< 1 when last_plan_tick is meaningful
 };
 
 /// Telemetry flags.
@@ -143,6 +164,12 @@ struct DomainReport {
   std::uint64_t stale_transitions = 0;
   std::uint64_t solver_fallbacks = 0;
   std::uint64_t clamp_activations = 0;
+  std::uint64_t failsafe_activations = 0;
+  std::uint64_t stale_epoch_frames = 0;
+  /// The reporting controller's epoch (see PromoteAnnounce). The arbiter
+  /// fences reports whose epoch is lower than the newest it has seen for
+  /// the domain -- a deposed domain controller cannot steal grants back.
+  std::uint64_t controller_epoch = 0;
 };
 
 /// The arbiter's answer: the watts `domain_id` may spend at `tick`.
@@ -180,8 +207,44 @@ struct CapPlanDelta {
   std::vector<CapDeltaOp> ops;
 };
 
-using Message = std::variant<Hello, Telemetry, CapPlan, Heartbeat, Bye,
-                             DomainReport, BudgetGrant, CapPlanDelta>;
+/// One replicated decide: every frame the primary accepted into decision
+/// state since its previous decide, concatenated in canonical ingest order
+/// as complete encoded frames (length prefix included). A standby that
+/// re-ingests the batch and runs decide() reproduces the primary's plan
+/// bit-exactly; `plan_crc` (crc32 of the canonical plan encoding) catches
+/// divergence at replay time. Application is all-or-nothing: a batch with
+/// any malformed inner frame is rejected without applying a prefix.
+/// The whole batch must fit one frame (kMaxFrameBytes) -- ~9k telemetry
+/// records per decide, far above any deployment this repo targets.
+struct ReplTick {
+  std::uint64_t epoch = 0;  ///< the primary's controller epoch
+  std::uint64_t tick = 0;   ///< the tick this decide covered
+  std::uint32_t plan_crc = 0;
+  std::vector<std::uint8_t> batch;
+};
+
+/// Full controller state (daemon/snapshot codec bytes). Sent once when a
+/// standby attaches and periodically afterwards; each one is a replication
+/// log truncation point (replay = newest snapshot + the ticks after it).
+struct ReplSnapshot {
+  std::uint64_t epoch = 0;
+  std::vector<std::uint8_t> snapshot;
+};
+
+/// Controller epoch announcement. Every controller announces its epoch when
+/// it accepts a session and re-announces to all sessions when it promotes
+/// itself (epoch + 1). Agents remember the highest epoch they have ever
+/// seen and fence anything arriving on a connection with a lower one: the
+/// frame is dropped, counted, and the deposed sender gets a Bye.
+struct PromoteAnnounce {
+  std::uint64_t epoch = 0;
+  std::uint64_t tick = 0;  ///< sender's current tick (informational)
+};
+
+using Message =
+    std::variant<Hello, Telemetry, CapPlan, Heartbeat, Bye, DomainReport,
+                 BudgetGrant, CapPlanDelta, ReplTick, ReplSnapshot,
+                 PromoteAnnounce>;
 
 MsgType type_of(const Message& m);
 std::string to_string(MsgType t);

@@ -33,4 +33,15 @@ std::string WireReader::str() {
   return s;
 }
 
+void WireReader::blob(std::vector<std::uint8_t>& out) {
+  out.clear();
+  const std::uint32_t n = u32();
+  if (!ok_ || size_ - pos_ < n) {
+    ok_ = false;
+    return;
+  }
+  out.insert(out.end(), data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+}
+
 }  // namespace perq::proto

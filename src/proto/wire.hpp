@@ -71,6 +71,9 @@ class WireReader {
   std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
   double f64() { return std::bit_cast<double>(u64()); }
   std::string str();
+  /// Reads a u32-length-prefixed blob into `out` (cleared first, capacity
+  /// kept). An overrunning length flips the sticky failure flag.
+  void blob(std::vector<std::uint8_t>& out);
 
   bool ok() const { return ok_; }
   std::size_t remaining() const { return size_ - pos_; }

@@ -1,0 +1,449 @@
+// Controller HA (ISSUE tentpole): replication WAL recovery, warm-standby
+// bit-exact tracking, epoch-fenced takeover, reconnect resync under delta
+// broadcasts, and the agent-local fail-safe decay.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app_model.hpp"
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "daemon/experiment.hpp"
+#include "daemon/replication.hpp"
+#include "net/loopback.hpp"
+#include "proto/message.hpp"
+#include "util/require.hpp"
+
+namespace perq::daemon {
+namespace {
+
+core::EngineConfig small_cfg() {
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.trace.max_job_nodes = 4;
+  cfg.trace.seed = 5;
+  cfg.worst_case_nodes = 16;
+  cfg.over_provision_factor = 2.0;
+  cfg.duration_s = 1200.0;
+  cfg.control_interval_s = 10.0;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+  return cfg;
+}
+
+core::PerqPolicy make_policy(const core::EngineConfig& cfg) {
+  const auto total = static_cast<std::size_t>(
+      cfg.over_provision_factor * double(cfg.worst_case_nodes) + 0.5);
+  return core::PerqPolicy(&core::canonical_node_model(), cfg.worst_case_nodes,
+                          total);
+}
+
+daemon::ControllerConfig fast_cfg() {
+  daemon::ControllerConfig ccfg;
+  ccfg.decide_grace_ms = 5;
+  ccfg.stale_after_ticks = 2;
+  return ccfg;
+}
+
+daemon::ControllerConfig standby_cfg() {
+  daemon::ControllerConfig ccfg = fast_cfg();
+  ccfg.standby = true;
+  return ccfg;
+}
+
+/// The WAL stores the post-length portion of an encoded frame.
+std::vector<std::uint8_t> payload_of(const proto::Message& m) {
+  const auto frame = proto::encode(m);
+  return {frame.begin() + 4, frame.end()};
+}
+
+class ReplicationLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "perq_repl_log_test.wal";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(ReplicationLogTest, AppendsReplayInOrder) {
+  std::vector<std::vector<std::uint8_t>> records;
+  for (std::uint64_t e = 1; e <= 3; ++e) {
+    records.push_back(payload_of(proto::PromoteAnnounce{e, 10 * e}));
+  }
+  {
+    ReplicationLog log;
+    log.open(path_);
+    ASSERT_TRUE(log.persistent());
+    for (const auto& r : records) log.append(r.data(), r.size());
+    EXPECT_EQ(log.record_count(), 3u);
+  }
+  ReplicationLog reopened;
+  std::vector<std::vector<std::uint8_t>> seen;
+  reopened.open(path_, [&seen](const std::uint8_t* p, std::size_t n) {
+    seen.emplace_back(p, p + n);
+  });
+  EXPECT_EQ(reopened.replayed_count(), 3u);
+  EXPECT_FALSE(reopened.truncated_tail());
+  EXPECT_EQ(seen, records);
+}
+
+TEST_F(ReplicationLogTest, TornTailIsTruncatedAndAppendsResume) {
+  const auto rec = payload_of(proto::PromoteAnnounce{7, 70});
+  {
+    ReplicationLog log;
+    log.open(path_);
+    log.append(rec.data(), rec.size());
+    log.append(rec.data(), rec.size());
+  }
+  // Tear the tail: append a header that promises more bytes than exist.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::uint8_t torn[10] = {100, 0, 0, 0, 1, 2, 3, 4, 0xAB, 0xCD};
+    std::fwrite(torn, 1, sizeof torn, f);
+    std::fclose(f);
+  }
+  std::size_t replayed = 0;
+  {
+    ReplicationLog log;
+    log.open(path_, [&replayed](const std::uint8_t*, std::size_t) {
+      ++replayed;
+    });
+    EXPECT_EQ(replayed, 2u);
+    EXPECT_TRUE(log.truncated_tail());
+    log.append(rec.data(), rec.size());  // the tail is gone; writes resume
+  }
+  ReplicationLog clean;
+  clean.open(path_, nullptr);
+  EXPECT_EQ(clean.replayed_count(), 3u);
+  EXPECT_FALSE(clean.truncated_tail());
+}
+
+TEST_F(ReplicationLogTest, CorruptCrcStopsReplayAtLastValidRecord) {
+  const auto rec = payload_of(proto::PromoteAnnounce{9, 90});
+  long third_offset = 0;
+  {
+    ReplicationLog log;
+    log.open(path_);
+    log.append(rec.data(), rec.size());
+    log.append(rec.data(), rec.size());
+    log.flush();
+    std::FILE* probe = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(probe, nullptr);
+    std::fseek(probe, 0, SEEK_END);
+    third_offset = std::ftell(probe);
+    std::fclose(probe);
+    log.append(rec.data(), rec.size());
+  }
+  // Flip one payload byte of the third record: its crc no longer matches.
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, third_offset + 8 + 2, SEEK_SET);  // header + 2 into payload
+    const int c = std::fgetc(f);
+    std::fseek(f, third_offset + 8 + 2, SEEK_SET);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  ReplicationLog log;
+  log.open(path_, nullptr);
+  EXPECT_EQ(log.replayed_count(), 2u);
+  EXPECT_TRUE(log.truncated_tail());
+}
+
+TEST_F(ReplicationLogTest, SnapshotRewriteBoundsReplay) {
+  const auto tick = payload_of(proto::PromoteAnnounce{1, 1});
+  const auto snap = payload_of(proto::ReplSnapshot{2, {0xDE, 0xAD}});
+  {
+    ReplicationLog log;
+    log.open(path_);
+    for (int i = 0; i < 10; ++i) log.append(tick.data(), tick.size());
+    log.rewrite_with_snapshot(snap);
+    EXPECT_EQ(log.record_count(), 1u);
+    log.append(tick.data(), tick.size());
+  }
+  std::vector<std::vector<std::uint8_t>> seen;
+  ReplicationLog log;
+  log.open(path_, [&seen](const std::uint8_t* p, std::size_t n) {
+    seen.emplace_back(p, p + n);
+  });
+  ASSERT_EQ(seen.size(), 2u);  // snapshot + one tick, the 10 olds are gone
+  EXPECT_EQ(seen[0], snap);
+  EXPECT_EQ(seen[1], tick);
+}
+
+/// Controller + plant over one loopback transport.
+struct Rig {
+  net::LoopbackTransport transport;
+  core::PerqPolicy policy;
+  std::unique_ptr<daemon::PerqController> controller;
+  std::unique_ptr<daemon::DaemonPlant> plant;
+
+  Rig(const core::EngineConfig& cfg, const daemon::ControllerConfig& ccfg,
+      std::size_t agents, const daemon::PlantConfig& extra = {})
+      : policy(make_policy(cfg)) {
+    controller = std::make_unique<daemon::PerqController>(
+        transport.listen("perqd-a"), policy, ccfg);
+    daemon::PlantConfig pcfg = extra;
+    pcfg.agents = agents;
+    if (pcfg.plan_timeout_ms == 2000) pcfg.plan_timeout_ms = 50;
+    plant =
+        std::make_unique<daemon::DaemonPlant>(cfg, transport, "perqd-a", pcfg);
+    controller->pump();
+  }
+};
+
+TEST(Replication, LiveStandbyTracksPrimaryBitExact) {
+  const auto cfg = small_cfg();
+  Rig rig(cfg, fast_cfg(), 2);
+  core::PerqPolicy standby_policy = make_policy(cfg);
+  daemon::PerqController standby(rig.transport.listen("perqd-b"),
+                                 standby_policy, standby_cfg());
+  rig.controller->attach_standby(rig.transport.connect("perqd-b"));
+
+  for (int i = 0; i < 40 && !rig.plant->done(); ++i) {
+    rig.plant->step([&] {
+      rig.controller->service();
+      standby.service();
+    });
+    // The standby replays each decide in the same step, so the canonical
+    // plan crc must match tick for tick, not just at the end.
+    EXPECT_EQ(standby.last_plan_crc(), rig.controller->last_plan_crc())
+        << "standby diverged at tick " << i;
+  }
+  EXPECT_GT(standby.replicated_decides(), 0u);
+  // One ReplTick per primary decide, plus the full ReplSnapshot sent at
+  // attach time (counted as one applied record on the standby).
+  EXPECT_EQ(standby.replicated_decides(),
+            rig.controller->replicated_decides() + 1);
+  EXPECT_EQ(standby.repl_divergence(), 0u);
+  EXPECT_EQ(standby.repl_rejected(), 0u);
+  EXPECT_EQ(standby.last_replicated_tick(),
+            rig.controller->last_stats().tick);
+}
+
+TEST(Replication, WalWarmsAColdStandbyToThePrimarysState) {
+  const std::string path =
+      ::testing::TempDir() + "perq_repl_cold_standby.wal";
+  std::remove(path.c_str());
+  const auto cfg = small_cfg();
+
+  std::uint32_t primary_crc = 0;
+  std::uint64_t primary_tick = 0, primary_decides = 0;
+  {
+    Rig rig(cfg, fast_cfg(), 2);
+    rig.controller->open_replication_log(path);
+    for (int i = 0; i < 30 && !rig.plant->done(); ++i) {
+      rig.plant->step([&rig] { rig.controller->service(); });
+    }
+    primary_crc = rig.controller->last_plan_crc();
+    primary_tick = rig.controller->last_stats().tick;
+    primary_decides = rig.controller->replicated_decides();
+    ASSERT_GT(primary_decides, 0u);
+  }
+
+  // A standby that never saw the live stream replays the WAL and lands on
+  // the same decision state -- same last tick, same canonical plan crc.
+  net::LoopbackTransport transport;
+  core::PerqPolicy policy = make_policy(cfg);
+  daemon::PerqController standby(transport.listen("perqd-b"), policy,
+                                 standby_cfg());
+  standby.open_replication_log(path);
+  EXPECT_EQ(standby.replicated_decides(), primary_decides);
+  EXPECT_EQ(standby.last_replicated_tick(), primary_tick);
+  EXPECT_EQ(standby.last_plan_crc(), primary_crc);
+  EXPECT_EQ(standby.repl_divergence(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EpochFence, AgentsRejectADeposedPrimary) {
+  const auto cfg = small_cfg();
+  Rig rig(cfg, fast_cfg(), 2);
+  core::PerqPolicy standby_policy = make_policy(cfg);
+  daemon::PerqController standby(rig.transport.listen("perqd-b"),
+                                 standby_policy, standby_cfg());
+  rig.controller->attach_standby(rig.transport.connect("perqd-b"));
+
+  const auto service_both = [&] {
+    rig.controller->service();
+    standby.service();
+  };
+  for (int i = 0; i < 10; ++i) rig.plant->step(service_both);
+
+  // Takeover: the standby bumps its epoch past everything replicated and
+  // the agents move over. The old primary stays alive (a healed partition).
+  standby.promote();
+  EXPECT_FALSE(standby.standby());
+  EXPECT_EQ(standby.epoch(), 2u);
+  for (std::size_t i = 0; i < rig.plant->agent_count(); ++i) {
+    rig.plant->agent(i).reconnect(rig.transport.connect("perqd-b"));
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(rig.plant->step(service_both)) << "tick " << i;
+  }
+  EXPECT_EQ(rig.plant->agent(0).max_epoch(), 2u);
+
+  // Agent 0 is lured back to the deposed primary. Its epoch announcement
+  // (1 < 2) must fence the connection before any plan is applied.
+  rig.plant->agent(0).reconnect(rig.transport.connect("perqd-a"));
+  rig.plant->step(service_both);
+  EXPECT_TRUE(rig.plant->agent(0).fenced());
+  EXPECT_FALSE(rig.plant->agent(0).connected());
+  EXPECT_GE(rig.plant->agent(0).stale_epoch_frames(), 1u);
+
+  // Re-homing on the real primary clears the fence and plans flow again.
+  rig.plant->agent(0).reconnect(rig.transport.connect("perqd-b"));
+  EXPECT_FALSE(rig.plant->agent(0).fenced());
+  EXPECT_TRUE(rig.plant->step(service_both));
+}
+
+TEST(DeltaResync, RejoinMidChainStaysBitIdenticalWithNoRejects) {
+  auto cfg = small_cfg();
+  daemon::ControllerConfig ccfg = fast_cfg();
+  ccfg.delta_broadcast = true;
+  ccfg.full_plan_every_ticks = 1000;  // deltas only once the chain starts
+
+  core::RunResult clean;
+  {
+    Rig rig(cfg, ccfg, 2);
+    while (!rig.plant->done()) {
+      rig.plant->step([&rig] { rig.controller->service(); });
+    }
+    clean = rig.plant->finish("perq");
+  }
+
+  // Same run, but agent 0's connection dies at tick 20 and it re-dials at
+  // once. The reconnect Hello carries its last applied plan tick, so the
+  // controller resyncs it (satellite: delta-vs-full by base) and the delta
+  // chain never breaks: no rejected deltas, no held ticks, bit-identical.
+  core::RunResult rejoined;
+  std::uint64_t held = 0;
+  {
+    Rig rig(cfg, ccfg, 2);
+    bool dropped = false;
+    while (!rig.plant->done()) {
+      const std::uint64_t t = rig.plant->engine().tick();
+      if (!dropped && t >= 20) {
+        rig.plant->agent(0).drop();
+        rig.plant->agent(0).reconnect(rig.transport.connect("perqd-a"));
+        dropped = true;
+      }
+      if (!rig.plant->step([&rig] { rig.controller->service(); })) ++held;
+    }
+    ASSERT_TRUE(dropped);
+    EXPECT_EQ(rig.plant->agent(0).deltas_rejected(), 0u);
+    rejoined = rig.plant->finish("perq");
+  }
+  EXPECT_EQ(held, 0u);
+
+  ASSERT_EQ(clean.finished.size(), rejoined.finished.size());
+  ASSERT_EQ(clean.traces.size(), rejoined.traces.size());
+  for (std::size_t i = 0; i < clean.traces.size(); ++i) {
+    ASSERT_EQ(clean.traces[i].cap_w, rejoined.traces[i].cap_w)
+        << "cap diverged at t=" << clean.traces[i].t_s;
+  }
+  EXPECT_EQ(clean.jobs_completed, rejoined.jobs_completed);
+}
+
+TEST(DeltaResync, ReconnectHelloAdvertisesTheAppliedBase) {
+  const auto cfg = small_cfg();
+  Rig rig(cfg, fast_cfg(), 2);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rig.plant->step([&rig] { rig.controller->service(); }));
+  }
+  const std::uint64_t base_tick = rig.controller->last_plan().tick;
+
+  // Re-dial a listener we control and read the reconnect Hello off the
+  // wire: it must advertise the delta base the agent still holds, so the
+  // controller can keep the chain instead of paying a full-plan resync.
+  auto probe = rig.transport.listen("probe");
+  rig.plant->agent(0).drop();
+  rig.plant->agent(0).reconnect(rig.transport.connect("probe"));
+  auto accepted = probe->accept_new();
+  ASSERT_EQ(accepted.size(), 1u);
+  const auto frames = accepted[0]->receive();
+  ASSERT_FALSE(frames.empty());
+  const auto* hello = std::get_if<proto::Hello>(&frames.front());
+  ASSERT_NE(hello, nullptr);
+  EXPECT_EQ(hello->has_plan, 1u);
+  EXPECT_EQ(hello->last_plan_tick, base_tick);
+
+  // A fresh joiner, by contrast, has no base to advertise.
+  auto probe2 = rig.transport.listen("probe2");
+  daemon::PlantConfig pcfg;
+  pcfg.agents = 1;
+  pcfg.plan_timeout_ms = 5;
+  daemon::DaemonPlant fresh(cfg, rig.transport, "probe2", pcfg);
+  auto accepted2 = probe2->accept_new();
+  ASSERT_EQ(accepted2.size(), 1u);
+  const auto frames2 = accepted2[0]->receive();
+  ASSERT_FALSE(frames2.empty());
+  const auto* hello2 = std::get_if<proto::Hello>(&frames2.front());
+  ASSERT_NE(hello2, nullptr);
+  EXPECT_EQ(hello2->has_plan, 0u);
+}
+
+TEST(FailSafe, HeldCapsDecayTowardTheFloorWhenTheControllerIsGone) {
+  const auto cfg = small_cfg();
+  daemon::PlantConfig pcfg;
+  pcfg.plan_timeout_ms = 5;
+  pcfg.failsafe_after_ticks = 2;
+  pcfg.failsafe_decay = 0.5;  // floor defaults to the spec's cap_min
+  Rig rig(cfg, fast_cfg(), 2, pcfg);
+
+  for (int i = 0; i < 12 && !rig.plant->done(); ++i) {
+    ASSERT_TRUE(rig.plant->step([&rig] { rig.controller->service(); }));
+  }
+  const auto caps_now = [&rig] {
+    std::map<int, double> caps;
+    for (const sched::Job* job : rig.plant->engine().running()) {
+      caps[job->spec().id] = job->last_cap_w();
+    }
+    return caps;
+  };
+  ASSERT_FALSE(caps_now().empty());
+
+  // The controller goes silent for good. The first failsafe_after_ticks
+  // held ticks hold caps verbatim; every tick past that must follow the
+  // decay law cap' = floor + (cap - floor) * decay, monotonically down.
+  const auto& spec = apps::node_power_spec();
+  const double floor_w = spec.cap_min;
+  std::map<int, double> prev = caps_now();
+  std::uint64_t decayed_ticks = 0;
+  for (int i = 0; i < 10 && !rig.plant->done(); ++i) {
+    EXPECT_FALSE(rig.plant->step());
+    const auto cur = caps_now();
+    if (rig.plant->group_held_ticks(0) > pcfg.failsafe_after_ticks) {
+      for (const auto& [id, cap] : cur) {
+        const auto it = prev.find(id);
+        if (it == prev.end() || it->second <= 0.0 || cap <= 0.0) continue;
+        const double want =
+            std::max(floor_w + (it->second - floor_w) * pcfg.failsafe_decay,
+                     floor_w);
+        EXPECT_NEAR(cap, want, 1e-6) << "job " << id << " at held tick " << i;
+        EXPECT_LE(cap, it->second + 1e-9);
+        ++decayed_ticks;
+      }
+    }
+    prev = cur;
+  }
+  EXPECT_GT(decayed_ticks, 0u);
+  EXPECT_GT(rig.plant->counters().failsafe_activations, 0u);
+
+  // And the caps really drift to the safe floor, not some halfway point.
+  double worst = 0.0;
+  for (const auto& [id, cap] : prev) worst = std::max(worst, cap);
+  EXPECT_LT(worst, floor_w + 0.1 * (spec.tdp - floor_w));
+}
+
+}  // namespace
+}  // namespace perq::daemon

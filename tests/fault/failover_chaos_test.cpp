@@ -1,0 +1,149 @@
+// Warm-standby failover under chaos (ISSUE tentpole acceptance): a scripted
+// primary kill with a tight handover must leave the cap trajectory
+// bit-identical to a crash-free run; a detected takeover must land within a
+// bounded window; a deposed primary behind a healed partition must be
+// fenced by epoch; and a controller that never comes back must trip the
+// agent-local fail-safe decay. All with the per-tick budget/box invariants
+// clean.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "fault/chaos.hpp"
+
+namespace perq::fault {
+namespace {
+
+FailoverChaosConfig base_config(std::size_t agents = 2,
+                                std::uint64_t max_ticks = 0) {
+  FailoverChaosConfig fcfg;
+  fcfg.engine.trace.system = trace::SystemModel::kTrinity;
+  fcfg.engine.trace.max_job_nodes = 4;
+  fcfg.engine.trace.seed = 5;
+  fcfg.engine.worst_case_nodes = 16;
+  fcfg.engine.over_provision_factor = 2.0;
+  fcfg.engine.duration_s = 1200.0;
+  fcfg.engine.control_interval_s = 10.0;
+  fcfg.engine.trace.job_count = core::recommended_job_count(fcfg.engine);
+  fcfg.plant.agents = agents;
+  fcfg.plant.plan_timeout_ms = 5;
+  fcfg.plant.failover_after_held_ticks = 2;
+  fcfg.plant.failsafe_after_ticks = 3;
+  fcfg.controller.decide_grace_ms = 5;
+  fcfg.max_ticks = max_ticks;
+  return fcfg;
+}
+
+FailoverChaosReport run(const FailoverChaosConfig& fcfg) {
+  const auto total = static_cast<std::size_t>(
+      fcfg.engine.over_provision_factor *
+          double(fcfg.engine.worst_case_nodes) +
+      0.5);
+  core::PerqPolicy primary(&core::canonical_node_model(),
+                           fcfg.engine.worst_case_nodes, total);
+  core::PerqPolicy standby(&core::canonical_node_model(),
+                           fcfg.engine.worst_case_nodes, total);
+  return run_failover_chaos(fcfg, primary, standby);
+}
+
+TEST(FailoverChaos, CleanRunHoldsEveryInvariant) {
+  const FailoverChaosReport r = run(base_config());
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+  EXPECT_EQ(r.held_ticks, 0u);
+  EXPECT_EQ(r.promoted_at_tick, kNever);
+  EXPECT_GT(r.replicated_decides, 0u);
+  EXPECT_EQ(r.repl_divergence, 0u);
+  EXPECT_EQ(r.repl_rejected, 0u);
+}
+
+TEST(FailoverChaos, TightHandoverIsBitIdenticalToACrashFreeRun) {
+  const FailoverChaosReport clean = run(base_config());
+  ASSERT_TRUE(clean.violations.empty()) << clean.violations.front();
+
+  FailoverChaosConfig fcfg = base_config();
+  fcfg.kill_primary_at_tick = 18;
+  fcfg.tight_handover = true;
+  const FailoverChaosReport r = run(fcfg);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+  EXPECT_EQ(r.promoted_at_tick, 18u);
+  EXPECT_EQ(r.repl_divergence, 0u);
+  EXPECT_EQ(r.held_ticks, 0u);
+
+  // The acceptance criterion: with the detection gap removed, the standby's
+  // replayed state continues the primary's decisions bit for bit -- the
+  // whole trajectory matches the crash-free run from tick 0.
+  EXPECT_EQ(reconvergence_tick(r.history, clean.history, 0, /*tol_w=*/0.0),
+            0u);
+}
+
+TEST(FailoverChaos, KillAtEveryTickSweepStaysBitIdentical) {
+  const FailoverChaosConfig base = base_config(/*agents=*/2, /*max_ticks=*/30);
+  const FailoverChaosReport clean = run(base);
+  ASSERT_TRUE(clean.violations.empty()) << clean.violations.front();
+
+  for (std::uint64_t kill = 1; kill <= 25; kill += 3) {
+    FailoverChaosConfig fcfg = base;
+    fcfg.kill_primary_at_tick = kill;
+    fcfg.tight_handover = true;
+    const FailoverChaosReport r = run(fcfg);
+    EXPECT_TRUE(r.violations.empty())
+        << "kill at " << kill << ": " << r.violations.front();
+    EXPECT_EQ(r.promoted_at_tick, kill) << "kill at " << kill;
+    EXPECT_EQ(r.repl_divergence, 0u) << "kill at " << kill;
+    EXPECT_EQ(reconvergence_tick(r.history, clean.history, 0, 0.0), 0u)
+        << "trajectory diverged for kill at tick " << kill;
+  }
+}
+
+TEST(FailoverChaos, DetectedTakeoverLandsWithinTheBound) {
+  FailoverChaosConfig fcfg = base_config();
+  fcfg.kill_primary_at_tick = 18;
+  fcfg.takeover_after_silent_ticks = 2;
+  const FailoverChaosReport r = run(fcfg);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+  ASSERT_NE(r.promoted_at_tick, kNever);
+  // Detection: takeover_after_silent_ticks of replication silence, plus the
+  // agents' failover_after_held_ticks to re-home -- a handful of ticks.
+  EXPECT_LE(r.promoted_at_tick, 18u + 6u);
+  EXPECT_GT(r.held_ticks, 0u);  // the detection gap is real, and bounded
+  EXPECT_LE(r.held_ticks, 10u);
+  EXPECT_EQ(r.standby_epoch, 2u);
+  EXPECT_EQ(r.repl_divergence, 0u);
+}
+
+TEST(FailoverChaos, DeposedPrimaryIsFencedByEpoch) {
+  FailoverChaosConfig fcfg = base_config();
+  // The primary is partitioned (alive, unreachable) long enough for the
+  // standby to take over; the partition heals at 40 and every agent is
+  // scripted to re-dial the old primary, which must be rejected by epoch.
+  fcfg.partition_primary = TickWindow{12, 40};
+  for (std::size_t a = 0; a < fcfg.plant.agents; ++a) {
+    fcfg.redial_primary.emplace_back(45, a);
+  }
+  const FailoverChaosReport r = run(fcfg);
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+  ASSERT_NE(r.promoted_at_tick, kNever);
+  EXPECT_EQ(r.standby_epoch, 2u);
+  EXPECT_GT(r.stale_epoch_frames, 0u)
+      << "agents should have fenced the deposed primary's frames";
+}
+
+TEST(FailoverChaos, FailsafeDecaysWhenNoStandbyEverPromotes) {
+  FailoverChaosConfig fcfg = base_config(/*agents=*/2, /*max_ticks=*/40);
+  fcfg.kill_primary_at_tick = 10;
+  fcfg.takeover_after_silent_ticks = 100000;  // the standby never takes over
+  fcfg.plant.failsafe_after_ticks = 2;
+  const FailoverChaosReport r = run(fcfg);
+  // The decay law is checked per tick inside the harness; here we assert
+  // the fail-safe actually engaged and no invariant broke on the way down.
+  EXPECT_TRUE(r.violations.empty()) << r.violations.front();
+  EXPECT_EQ(r.promoted_at_tick, kNever);
+  EXPECT_GT(r.held_ticks, 0u);
+  EXPECT_GT(r.plant_counters.failsafe_activations, 0u);
+}
+
+}  // namespace
+}  // namespace perq::fault

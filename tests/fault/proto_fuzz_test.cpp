@@ -9,6 +9,11 @@
 #include <cstring>
 #include <vector>
 
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "daemon/controller.hpp"
+#include "net/loopback.hpp"
 #include "proto/delta.hpp"
 #include "proto/message.hpp"
 #include "proto/wire.hpp"
@@ -70,6 +75,26 @@ std::vector<Message> sample_messages() {
   d.ops.push_back({kDeltaUpdate, {2, 131.5, 1.5e9, 0}});
   d.ops.push_back({kDeltaInsert, {9, 120.0, 1e9, 0}});
   out.push_back(d);
+  ReplTick rt;
+  rt.epoch = 2;
+  rt.tick = 18;
+  rt.plan_crc = 0xDEADBEEF;
+  {
+    Telemetry inner = t;
+    const auto f = encode(Message{inner});
+    rt.batch.insert(rt.batch.end(), f.begin(), f.end());
+    const auto g = encode(Message{hb});
+    rt.batch.insert(rt.batch.end(), g.begin(), g.end());
+  }
+  out.push_back(rt);
+  ReplSnapshot rs;
+  rs.epoch = 2;
+  rs.snapshot = {0x50, 0x45, 0x52, 0x51, 0x04, 0x00, 0x12, 0x34};
+  out.push_back(rs);
+  PromoteAnnounce pa;
+  pa.epoch = 3;
+  pa.tick = 42;
+  out.push_back(pa);
   return out;
 }
 
@@ -231,6 +256,93 @@ TEST(ProtoFuzz, MutatedDeltasApplyAllOrNothing) {
   // All three outcomes must occur or the fuzz proves nothing: payload bits
   // flip silently (applied), grammar bits reject (rejected), and framing
   // bits kill the parse (unparsed).
+  EXPECT_GT(applied, 0u);
+  EXPECT_GT(rejected, 0u);
+  EXPECT_GT(unparsed, 0u);
+}
+
+// A ReplTick's inner batch is applied all-or-nothing (ISSUE satellite):
+// whatever a bit flip does to the frame, the standby either never parses
+// it, rejects the whole batch (repl_rejected, replay state untouched), or
+// applies the whole decide (replicated_decides advances to the frame's
+// tick). No mutation may leave half a batch behind.
+TEST(ProtoFuzz, MutatedReplTicksApplyAllOrNothing) {
+  ReplTick clean;
+  clean.epoch = 1;
+  clean.tick = 7;
+  {
+    Telemetry t;
+    t.agent_id = 1;
+    t.tick = 7;
+    t.job_id = 3;
+    t.nodes = 2;
+    t.runtime_ref_s = 900.0;
+    t.min_perf = 0.8;
+    t.cap_w = 215.0;
+    t.ips = 1e9;
+    t.power_w = 198.0;
+    t.flags = kTelemetryFinal;
+    const auto f = encode(Message{t});
+    clean.batch.insert(clean.batch.end(), f.begin(), f.end());
+    Heartbeat hb;
+    hb.agent_id = 1;
+    hb.tick = 7;
+    hb.now_s = 70.0;
+    hb.dt_s = 10.0;
+    hb.budget_total_w = 5000.0;
+    hb.budget_for_busy_w = 4200.0;
+    hb.total_nodes = 32.0;
+    const auto g = encode(Message{hb});
+    clean.batch.insert(clean.batch.end(), g.begin(), g.end());
+  }
+
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.trace.seed = 5;
+  cfg.worst_case_nodes = 16;
+  cfg.over_provision_factor = 2.0;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+  core::PerqPolicy policy(&core::canonical_node_model(), 16, 32);
+  net::LoopbackTransport transport;
+  daemon::ControllerConfig ccfg;
+  ccfg.standby = true;
+  daemon::PerqController standby(transport.listen("sb"), policy, ccfg);
+  auto conn = transport.connect("sb");
+  standby.pump();
+
+  Rng rng(1729);
+  std::size_t applied = 0, rejected = 0, unparsed = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::vector<std::uint8_t> frame = encode(Message{clean});
+    const int flips = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t bit = static_cast<std::size_t>(rng.uniform_int(
+          32, static_cast<std::int64_t>(frame.size() * 8) - 1));
+      frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    const auto m = parse_frame(frame.data() + 4, frame.size() - 4);
+    if (!m.has_value() || !std::holds_alternative<ReplTick>(*m)) {
+      ++unparsed;  // the codec (or a type flip) already screened it out
+      continue;
+    }
+    const std::uint64_t decides = standby.replicated_decides();
+    const std::uint64_t rejects = standby.repl_rejected();
+    const std::uint64_t last = standby.last_replicated_tick();
+    ASSERT_TRUE(conn->send(*m));
+    standby.service();
+    if (standby.repl_rejected() == rejects + 1) {
+      ++rejected;
+      // Rejected whole: the replay cursor must not have moved at all.
+      EXPECT_EQ(standby.replicated_decides(), decides);
+      EXPECT_EQ(standby.last_replicated_tick(), last);
+    } else {
+      ++applied;
+      EXPECT_EQ(standby.replicated_decides(), decides + 1);
+      EXPECT_EQ(standby.last_replicated_tick(),
+                std::get<ReplTick>(*m).tick);
+    }
+  }
+  // All three outcomes must occur or the fuzz proves nothing.
   EXPECT_GT(applied, 0u);
   EXPECT_GT(rejected, 0u);
   EXPECT_GT(unparsed, 0u);

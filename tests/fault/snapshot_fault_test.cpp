@@ -4,8 +4,10 @@
 // survive the codec round trip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -177,6 +179,52 @@ TEST(SnapshotUnderFault, RestoreWhileAgentStaleIsBitIdentical) {
   }
 
   expect_bit_identical(run_a, run_b);
+}
+
+// Snapshot framing regression (ISSUE satellite): the header carries magic,
+// version, and a crc32 over the payload, so a corrupt or torn snapshot is
+// rejected with a reason that tells the operator which failure it was --
+// never restored into a controller.
+TEST(SnapshotUnderFault, CorruptSnapshotsAreRejectedWithAReason) {
+  const auto cfg = small_cfg();
+  Rig rig(cfg, fast_stale_cfg(), 2);
+  for (int i = 0; i < 10 && !rig.plant->done(); ++i) {
+    rig.plant->step([&rig] { rig.controller->service(); });
+  }
+  const auto bytes = daemon::encode_snapshot(rig.controller->state());
+  ASSERT_TRUE(daemon::decode_snapshot(bytes.data(), bytes.size()).has_value());
+
+  std::string why;
+  {  // Wrong file entirely: the magic check fires first.
+    auto bad = bytes;
+    bad[0] ^= 0xFF;
+    EXPECT_FALSE(daemon::decode_snapshot(bad.data(), bad.size(), &why));
+    EXPECT_NE(why.find("magic"), std::string::npos) << why;
+  }
+  {  // A future (or garbage) version is refused, not misparsed.
+    auto bad = bytes;
+    bad[4] = 0xEE;
+    EXPECT_FALSE(daemon::decode_snapshot(bad.data(), bad.size(), &why));
+    EXPECT_NE(why.find("version"), std::string::npos) << why;
+  }
+  {  // Every single-byte payload corruption is caught by the crc.
+    for (std::size_t at = 10; at < bytes.size();
+         at += std::max<std::size_t>(1, bytes.size() / 64)) {
+      auto bad = bytes;
+      bad[at] ^= 0x55;
+      EXPECT_FALSE(daemon::decode_snapshot(bad.data(), bad.size(), &why))
+          << "corrupt byte at " << at << " went undetected";
+      EXPECT_NE(why.find("crc"), std::string::npos) << why;
+    }
+  }
+  {  // A torn (truncated) write never parses either.
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{5}, bytes.size() / 2,
+          bytes.size() - 1}) {
+      EXPECT_FALSE(daemon::decode_snapshot(bytes.data(), keep, &why))
+          << "truncated to " << keep << " bytes";
+    }
+  }
 }
 
 TEST(SnapshotUnderFault, RobustnessCountersSurviveTheCodec) {

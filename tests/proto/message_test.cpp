@@ -49,6 +49,8 @@ Hello sample_hello() {
   h.agent_id = 7;
   h.node_begin = 16;
   h.node_end = 32;
+  h.last_plan_tick = 41;
+  h.has_plan = 1;
   return h;
 }
 
@@ -108,6 +110,10 @@ TEST(Message, HelloRoundTrip) {
   EXPECT_EQ(h.agent_id, 7u);
   EXPECT_EQ(h.node_begin, 16u);
   EXPECT_EQ(h.node_end, 32u);
+  // The resync base (ISSUE satellite): a rejoining agent advertises the
+  // plan it still holds so the controller can pick delta vs full.
+  EXPECT_EQ(h.last_plan_tick, 41u);
+  EXPECT_EQ(h.has_plan, 1u);
 }
 
 TEST(Message, TelemetryRoundTripIsBitExact) {
@@ -191,6 +197,9 @@ DomainReport sample_report() {
   r.frames_corrupt = 11;
   r.stale_transitions = 2;
   r.solver_fallbacks = 1;
+  r.failsafe_activations = 5;
+  r.stale_epoch_frames = 3;
+  r.controller_epoch = 2;
   return r;
 }
 
@@ -219,6 +228,9 @@ TEST(Message, DomainReportRoundTripIsBitExact) {
   EXPECT_EQ(r.stale_transitions, 2u);
   EXPECT_EQ(r.solver_fallbacks, 1u);
   EXPECT_EQ(r.clamp_activations, 0u);
+  EXPECT_EQ(r.failsafe_activations, 5u);
+  EXPECT_EQ(r.stale_epoch_frames, 3u);
+  EXPECT_EQ(r.controller_epoch, 2u);
 }
 
 TEST(Message, BudgetGrantRoundTripIsBitExact) {
@@ -238,14 +250,74 @@ TEST(Message, BudgetGrantRoundTripIsBitExact) {
             std::bit_cast<std::uint64_t>(g.cluster_budget_w));
 }
 
+ReplTick sample_repl_tick() {
+  ReplTick rt;
+  rt.epoch = 3;
+  rt.tick = 41;
+  rt.plan_crc = 0xDEADBEEF;
+  // The batch carries complete encoded frames, length prefix included.
+  const auto f = encode(Message{sample_telemetry()});
+  rt.batch.insert(rt.batch.end(), f.begin(), f.end());
+  const auto g = encode(Message{sample_heartbeat()});
+  rt.batch.insert(rt.batch.end(), g.begin(), g.end());
+  return rt;
+}
+
+TEST(Message, ReplTickRoundTripIsBitExact) {
+  const ReplTick in = sample_repl_tick();
+  const auto m = round_trip(in);
+  ASSERT_TRUE(m.has_value());
+  const auto& rt = std::get<ReplTick>(*m);
+  EXPECT_EQ(rt.epoch, in.epoch);
+  EXPECT_EQ(rt.tick, in.tick);
+  EXPECT_EQ(rt.plan_crc, in.plan_crc);
+  EXPECT_EQ(rt.batch, in.batch);
+}
+
+TEST(Message, EmptyBatchReplTickRoundTrip) {
+  ReplTick in;
+  in.epoch = 1;
+  in.tick = 0;
+  const auto m = round_trip(in);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_TRUE(std::get<ReplTick>(*m).batch.empty());
+}
+
+TEST(Message, ReplSnapshotRoundTripIsBitExact) {
+  ReplSnapshot in;
+  in.epoch = 2;
+  in.snapshot = {0x50, 0x45, 0x52, 0x51, 0x00, 0xFF, 0x7F, 0x80};
+  const auto m = round_trip(in);
+  ASSERT_TRUE(m.has_value());
+  const auto& rs = std::get<ReplSnapshot>(*m);
+  EXPECT_EQ(rs.epoch, 2u);
+  EXPECT_EQ(rs.snapshot, in.snapshot);
+}
+
+TEST(Message, PromoteAnnounceRoundTrip) {
+  PromoteAnnounce in;
+  in.epoch = 5;
+  in.tick = 99;
+  const auto m = round_trip(in);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(std::get<PromoteAnnounce>(*m).epoch, 5u);
+  EXPECT_EQ(std::get<PromoteAnnounce>(*m).tick, 99u);
+}
+
 TEST(Message, TypeOfAndNames) {
   EXPECT_EQ(type_of(Message(sample_hello())), MsgType::kHello);
   EXPECT_EQ(type_of(Message(sample_plan())), MsgType::kCapPlan);
   EXPECT_EQ(type_of(Message(sample_report())), MsgType::kDomainReport);
   EXPECT_EQ(type_of(Message(BudgetGrant{})), MsgType::kBudgetGrant);
+  EXPECT_EQ(type_of(Message(sample_repl_tick())), MsgType::kReplTick);
+  EXPECT_EQ(type_of(Message(ReplSnapshot{})), MsgType::kReplSnapshot);
+  EXPECT_EQ(type_of(Message(PromoteAnnounce{})), MsgType::kPromoteAnnounce);
   EXPECT_EQ(to_string(MsgType::kHeartbeat), "Heartbeat");
   EXPECT_EQ(to_string(MsgType::kDomainReport), "DomainReport");
   EXPECT_EQ(to_string(MsgType::kBudgetGrant), "BudgetGrant");
+  EXPECT_EQ(to_string(MsgType::kReplTick), "ReplTick");
+  EXPECT_EQ(to_string(MsgType::kReplSnapshot), "ReplSnapshot");
+  EXPECT_EQ(to_string(MsgType::kPromoteAnnounce), "PromoteAnnounce");
 }
 
 // ---- malformed-input rejection ---------------------------------------------
@@ -280,7 +352,10 @@ TEST(MessageReject, EveryTruncationOfEveryType) {
   const Message msgs[] = {Message(sample_hello()), Message(sample_telemetry()),
                           Message(sample_plan()), Message(sample_heartbeat()),
                           Message(Bye{4}), Message(sample_report()),
-                          Message(BudgetGrant{1, 2, 3.0, 4.0})};
+                          Message(BudgetGrant{1, 2, 3.0, 4.0}),
+                          Message(sample_repl_tick()),
+                          Message(ReplSnapshot{2, {0x01, 0x02}}),
+                          Message(PromoteAnnounce{5, 99})};
   for (const Message& m : msgs) {
     const auto body = body_of(m);
     for (std::size_t n = 0; n < body.size(); ++n) {
@@ -294,7 +369,9 @@ TEST(MessageReject, TrailingJunk) {
   for (const Message& m :
        {Message(sample_hello()), Message(sample_telemetry()),
         Message(sample_heartbeat()), Message(Bye{4}),
-        Message(sample_report()), Message(BudgetGrant{})}) {
+        Message(sample_report()), Message(BudgetGrant{}),
+        Message(sample_repl_tick()), Message(ReplSnapshot{2, {0x01}}),
+        Message(PromoteAnnounce{5, 99})}) {
     auto body = body_of(m);
     body.push_back(0x00);
     EXPECT_FALSE(parse_frame(body.data(), body.size()).has_value());
