@@ -12,14 +12,8 @@
 // directory with per-config latencies and the headline structured-vs-dense
 // speedup at nj = 128, m = 8.
 //
-// A second leg measures the hierarchical sharding of the full policy-level
-// decide: HierarchicalPerqPolicy::allocate over nj jobs at K = 1/4/8
-// budget domains (K = 1 IS the monolithic controller, bit-for-bit). The
-// sharded configurations pay the water-filling arbiter and merge, but each
-// domain's QP is ~nj/K jobs and the solves fan out on the shared pool, so
-// the decide-latency curve bends from superlinear-in-nj to roughly flat in
-// K. Output: BENCH_hier_scaling.json plus the headline K=4-vs-monolithic
-// speedup at nj = 256.
+// The hierarchical sharding / tree-depth sweeps live in bench_hier_scaling
+// (BENCH_hier_scaling.json) since the budget hierarchy became recursive.
 #include "common.hpp"
 
 #include <algorithm>
@@ -29,7 +23,6 @@
 #include "apps/catalog.hpp"
 #include "control/mpc.hpp"
 #include "core/node_model.hpp"
-#include "hier/hier_policy.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -134,40 +127,6 @@ Latency measure(const Fleet& fleet, std::size_t m,
   return summarize(ms);
 }
 
-/// Latency of HierarchicalPerqPolicy::allocate over the fleet's jobs with
-/// K budget domains (K = 1 delegates to the monolithic PerqPolicy).
-Latency measure_hier(const Fleet& fleet, std::size_t k, std::size_t reps) {
-  hier::HierConfig hcfg;
-  hcfg.domains = k;
-  hier::HierarchicalPerqPolicy policy(&core::canonical_node_model(),
-                                      fleet.total_nodes / 2, fleet.total_nodes,
-                                      hcfg);
-  std::vector<sched::Job*> running;
-  running.reserve(fleet.jobs.size());
-  for (const auto& j : fleet.jobs) {
-    policy.on_job_started(*j);
-    running.push_back(j.get());
-  }
-
-  policy::PolicyContext ctx;
-  ctx.running = &running;
-  ctx.total_nodes = static_cast<double>(fleet.total_nodes);
-  ctx.budget_total_w = static_cast<double>(fleet.total_nodes) * 180.0;
-  ctx.budget_for_busy_w = static_cast<double>(fleet.total_nodes) * 160.0;
-  ctx.dt_s = 10.0;
-
-  (void)policy.allocate(ctx);  // cold warm-up, excluded
-  std::vector<double> ms;
-  ms.reserve(reps);
-  for (std::size_t r = 0; r < reps; ++r) {
-    ctx.now_s += ctx.dt_s;
-    Stopwatch timer;
-    (void)policy.allocate(ctx);
-    ms.push_back(timer.seconds() * 1e3);
-  }
-  return summarize(ms);
-}
-
 }  // namespace
 
 int main() {
@@ -239,47 +198,5 @@ int main() {
   std::printf("headline: structured is %.1fx faster than dense at nj=128, m=8\n",
               headline_speedup);
   std::printf("JSON written to BENCH_mpc_scaling.json\n");
-
-  // --- sharded vs monolithic: the full policy decide at K budget domains ---
-  bench::banner("Hierarchical scaling",
-                "HierarchicalPerqPolicy::allocate: K budget domains vs the "
-                "monolithic controller (K=1)");
-  const std::size_t hier_jobs[] = {128, 256};
-  const std::size_t domain_counts[] = {1, 4, 8};
-
-  std::printf("%6s %4s %12s %12s %9s\n", "nj", "K", "median(ms)", "p90(ms)",
-              "speedup");
-  FILE* hjson = std::fopen("BENCH_hier_scaling.json", "w");
-  PERQ_REQUIRE(hjson != nullptr, "cannot open BENCH_hier_scaling.json");
-  std::fprintf(hjson, "{\n  \"bench\": \"hier_scaling\",\n  \"reps\": %zu,\n"
-                      "  \"configs\": [\n", kReps);
-
-  double hier_headline = 0.0;
-  bool hfirst = true;
-  for (std::size_t nj : hier_jobs) {
-    const Fleet fleet(nj);
-    double mono_median = 0.0;
-    for (std::size_t k : domain_counts) {
-      const Latency lat = measure_hier(fleet, k, kReps);
-      if (k == 1) mono_median = lat.median_ms;
-      const double speedup = mono_median / std::max(lat.median_ms, 1e-6);
-      if (nj == 256 && k == 4) hier_headline = speedup;
-      std::printf("%6zu %4zu %12.3f %12.3f %8.2fx\n", nj, k, lat.median_ms,
-                  lat.p90_ms, speedup);
-      if (!hfirst) std::fprintf(hjson, ",\n");
-      hfirst = false;
-      std::fprintf(hjson,
-                   "    {\"nj\": %zu, \"domains\": %zu, \"median_ms\": %.6f,"
-                   " \"p90_ms\": %.6f, \"speedup_vs_monolithic\": %.3f}",
-                   nj, k, lat.median_ms, lat.p90_ms, speedup);
-    }
-  }
-  std::fprintf(hjson, "\n  ],\n  \"speedup_nj256_k4\": %.3f\n}\n",
-               hier_headline);
-  std::fclose(hjson);
-
-  std::printf("\nheadline: K=4 sharded decide is %.2fx faster than the "
-              "monolithic controller at nj=256\n", hier_headline);
-  std::printf("JSON written to BENCH_hier_scaling.json\n");
   return 0;
 }

@@ -20,6 +20,12 @@
 //              domain 1's arbiter uplink blacked out for ticks [12, 30) --
 //              the arbiter fences its grant, conservation is asserted on
 //              every tick, the domain rides its held grant and rejoins
+//   tree-partition  depth-2 arbiter tree (root + 2 mids + --domains
+//              controllers with tenant SLA floors); mid 1's root uplink
+//              blacked out for [12, 30) -- the subtree partition -- and
+//              domain 0 re-parented from mid 0 to mid 1 at tick 36.
+//              Per-level grant conservation, tenant SLA fairness, and
+//              the no-double-draw re-parent invariant asserted per tick
 //   failover   warm-standby HA: primary replicates every tick to a standby;
 //              three runs -- crash-free baseline, tight handover (kill +
 //              promote at tick 18, trajectory must be bit-identical to the
@@ -47,7 +53,8 @@ void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
       "  --scenario <name>  drop|delay|corrupt|crash|partition|mix|\n"
-      "                     domain-partition|failover (default mix)\n"
+      "                     domain-partition|tree-partition|failover\n"
+      "                     (default mix)\n"
       "  --seed <n>         fault seed (default 7)\n"
       "  --ticks <n>        tick limit, 0 = run to completion (default 0)\n"
       "  --agents <n>       node-agent count (default 4)\n"
@@ -146,6 +153,82 @@ int main(int argc, char** argv) {
     }
     std::printf("  all safety invariants held on every tick (grants "
                 "conservation asserted per tick)\n");
+    return 0;
+  }
+
+  if (scenario == "tree-partition") {
+    fault::TreeChaosConfig tcfg;
+    tcfg.engine.trace.system = trace::SystemModel::kTrinity;
+    tcfg.engine.trace.max_job_nodes = 4;
+    tcfg.engine.trace.seed = 5;
+    tcfg.engine.worst_case_nodes = 16;
+    tcfg.engine.over_provision_factor = 2.0;
+    tcfg.engine.duration_s = 2400.0;
+    tcfg.engine.control_interval_s = 10.0;
+    tcfg.engine.trace.job_count = core::recommended_job_count(tcfg.engine);
+    tcfg.domains = domains < 4 ? 4 : domains;
+    tcfg.mids = 2;
+    tcfg.plant.agents = tcfg.domains;
+    tcfg.plant.plan_timeout_ms = 50;
+    tcfg.controller.decide_grace_ms = 5;
+    tcfg.controller.stale_after_ticks = 2;
+    tcfg.arbiter.stale_after_ticks = 2;
+    tcfg.fault_seed = seed;
+    tcfg.max_ticks = ticks;
+    // The subtree partition: mid 1 loses its root uplink, rides its held
+    // parent grant, and its whole subtree must stay conserved and fair.
+    tcfg.subtree_partitions.push_back({1, {12, 30}});
+    // After the heal, move domain 0 under mid 1: the old mid must release
+    // (not fence) its grant -- asserted as the no-double-draw invariant.
+    tcfg.reparents.push_back({36, 0, 1});
+    for (std::size_t d = 0; d < tcfg.domains; ++d) {
+      daemon::DomainAttachment tenant;
+      tenant.sla_floor_w = d == 2 ? 400.0 : 150.0;  // one demanding tenant
+      tenant.priority_weight = d == 0 ? 2.0 : 1.0;
+      tcfg.leaf_tenants.push_back(tenant);
+    }
+
+    const sysid::IdentifiedModel& tmodel = core::canonical_node_model();
+    const auto ttotal = static_cast<std::size_t>(
+        tcfg.engine.over_provision_factor *
+            double(tcfg.engine.worst_case_nodes) +
+        0.5);
+    std::vector<std::unique_ptr<core::PerqPolicy>> policies;
+    for (std::size_t d = 0; d < tcfg.domains; ++d) {
+      policies.push_back(std::make_unique<core::PerqPolicy>(
+          &tmodel, tcfg.engine.worst_case_nodes, ttotal));
+    }
+    std::printf("perq_chaos: scenario 'tree-partition', seed %llu, "
+                "%zu domains under 2 mids, mid 1's root uplink dark for "
+                "[12, 30), domain 0 re-parented at tick 36\n",
+                static_cast<unsigned long long>(seed), tcfg.domains);
+    const fault::TreeChaosReport r = fault::run_tree_chaos(tcfg, policies);
+
+    std::printf("  %llu ticks (%llu held), %zu jobs done, %llu root rounds, "
+                "%llu re-parents executed\n",
+                static_cast<unsigned long long>(r.ticks),
+                static_cast<unsigned long long>(r.held_ticks),
+                r.result.jobs_completed,
+                static_cast<unsigned long long>(r.root_decisions),
+                static_cast<unsigned long long>(r.reparents_executed));
+    std::printf("  faults injected: %s\n", fault::to_string(r.faults).c_str());
+    std::printf("  cluster-wide (root aggregate): %s\n",
+                core::to_string(r.aggregated_counters).c_str());
+    std::printf("  worst per-level overdraw: %.6f W\n",
+                r.max_level_overdraw_w);
+    std::printf("  root grants:");
+    for (double g : r.root_grants_w) std::printf(" %.0f W", g);
+    std::printf("\n");
+
+    if (!r.violations.empty()) {
+      std::printf("  INVARIANT VIOLATIONS (%zu):\n", r.violations.size());
+      for (const std::string& v : r.violations) {
+        std::printf("    %s\n", v.c_str());
+      }
+      return 1;
+    }
+    std::printf("  all safety invariants held on every tick (per-level "
+                "conservation, tenant SLA fairness, re-parent hygiene)\n");
     return 0;
   }
 

@@ -26,6 +26,26 @@
 // --domains 1 (the default) is the monolithic controller, bit-identical
 // to every release before domains existed.
 //
+// Multi-level trees (see DESIGN.md section 5i): an arbiter can itself be
+// stacked under a higher arbiter with --parent, realizing a PowerTree of
+// arbitrary --depth -- it reports its subtree's aggregate demand upward
+// and divides its parent grant among its children:
+//
+//   ./examples/perqd --domains 2 --listen :7420 --tree-path 0    # root
+//   ./examples/perqd --domains 2 --listen :7430 --depth 2 \
+//                    --parent 127.0.0.1:7420 --parent-domain 0 \
+//                    --parent-count 2 --share 0.5 --tree-path 0,1  # mid 0
+//   ./examples/perqd --domain 0 --domains 3 --arbiter 127.0.0.1:7430 \
+//                    --share 0.1667 --tree-path 0,1,3 \
+//                    --sla-floor 150 --priority 2 --listen :7431  # leaf
+//
+// --tree-path names the root->self node ids; the parent's path is derived
+// by dropping the last element, and every grant carries its sender's path
+// so a re-parented subtree fences grants still in flight from its old
+// parent. --share is the static cold-start fraction of the cluster budget
+// assumed before the first parent grant (shares compose down the tree);
+// --sla-floor and --priority are the tenant terms the water-fill honors.
+//
 // High availability (warm standby, see DESIGN.md section 5h):
 //
 //   ./examples/perqd --standby-of 127.0.0.1:7421 --listen 127.0.0.1:7422 \
@@ -49,12 +69,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/node_model.hpp"
 #include "core/perq_policy.hpp"
 #include "core/robustness.hpp"
 #include "daemon/controller.hpp"
 #include "daemon/snapshot.hpp"
+#include "proto/message.hpp"
 #include "hier/arbiter_daemon.hpp"
 #include "net/tcp.hpp"
 #include "util/cli.hpp"
@@ -81,6 +103,16 @@ void usage(const char* argv0) {
       "  --domain <d>           run domain d's controller (needs --arbiter)\n"
       "  --arbiter <host:port>  arbiter address for a domain controller\n"
       "  (--domains k without --domain runs the arbiter itself)\n"
+      "  --parent <host:port>   stack this arbiter under a higher arbiter\n"
+      "  --parent-domain <d>    child id toward --parent (default 0)\n"
+      "  --parent-count <k>     children of the parent arbiter (default 1)\n"
+      "  --depth <n>            declared arbiter levels (validates the path)\n"
+      "  --share <s>            static cold-start share of the cluster budget\n"
+      "  --tree-path <a,b,..>   root->self node ids; rides in every grant and\n"
+      "                         report so re-parented subtrees fence grants\n"
+      "                         from a stale parent\n"
+      "  --sla-floor <w>        tenant SLA power floor (watts)\n"
+      "  --priority <p>         tenant priority weight (default 1)\n"
       "  --replicate-to <h:p>   stream decision state to a warm standby\n"
       "  --standby-of <h:p>     run as warm standby of that primary (the\n"
       "                         primary dials this perqd's --listen address)\n"
@@ -100,11 +132,15 @@ int main(int argc, char** argv) {
   std::string listen = "127.0.0.1:7421";
   std::string arbiter_addr;
   std::string replicate_to, standby_of, repl_log;
+  std::string parent_addr;
   int takeover_ms = 2000;
   std::size_t wc_nodes = 32;
   std::size_t domains = 1;
   long domain = -1;
   double f = 2.0, ratio = 8.0;
+  std::size_t parent_domain = 0, parent_count = 1, depth = 0;
+  double share = 0.0, sla_floor = 0.0, priority = 1.0;
+  std::vector<std::uint32_t> tree_path;
   daemon::ControllerConfig ccfg;
   ccfg.snapshot_every_ticks = 10;
 
@@ -129,6 +165,28 @@ int main(int argc, char** argv) {
       else if (arg == "--domains") domains = parse_u64_in(arg, next(), 1, 4096);
       else if (arg == "--domain") domain = static_cast<long>(parse_u64_in(arg, next(), 0, 4095));
       else if (arg == "--arbiter") arbiter_addr = next();
+      else if (arg == "--parent") parent_addr = next();
+      else if (arg == "--parent-domain") parent_domain = parse_u64_in(arg, next(), 0, 4095);
+      else if (arg == "--parent-count") parent_count = parse_u64_in(arg, next(), 1, 4096);
+      else if (arg == "--depth") depth = parse_u64_in(arg, next(), 1, 8);
+      else if (arg == "--share") share = parse_double_in(arg, next(), 0.0, 1.0);
+      else if (arg == "--sla-floor") sla_floor = parse_double_in(arg, next(), 0.0, 1e9);
+      else if (arg == "--priority") priority = parse_double_in(arg, next(), 0.0, 1e6);
+      else if (arg == "--tree-path") {
+        const std::string v = next();
+        std::size_t pos = 0;
+        while (pos <= v.size()) {
+          const std::size_t comma = v.find(',', pos);
+          const std::string tok =
+              comma == std::string::npos ? v.substr(pos)
+                                         : v.substr(pos, comma - pos);
+          PERQ_REQUIRE(!tok.empty(), "--tree-path: empty element");
+          tree_path.push_back(
+              static_cast<std::uint32_t>(cli::parse_u64(arg, tok)));
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+      }
       else if (arg == "--replicate-to") replicate_to = next();
       else if (arg == "--standby-of") { standby_of = next(); ccfg.standby = true; }
       else if (arg == "--takeover-ms") takeover_ms = static_cast<int>(parse_u64_in(arg, next(), 1, 3600000));
@@ -144,6 +202,15 @@ int main(int argc, char** argv) {
                  "--domain: out of range for --domains");
     PERQ_REQUIRE(domain < 0 || !arbiter_addr.empty(),
                  "--domain: requires --arbiter <host:port>");
+    PERQ_REQUIRE(parent_addr.empty() || (domains > 1 && domain < 0),
+                 "--parent: only the arbiter role can stack under a parent");
+    PERQ_REQUIRE(parent_domain < parent_count,
+                 "--parent-domain: out of range for --parent-count");
+    PERQ_REQUIRE(tree_path.size() <= proto::kMaxTreePathDepth,
+                 "--tree-path: longer than the wire limit");
+    PERQ_REQUIRE(depth == 0 || tree_path.empty() ||
+                     tree_path.size() <= depth + 1,
+                 "--tree-path: deeper than the declared --depth");
     PERQ_REQUIRE(standby_of.empty() || replicate_to.empty(),
                  "--standby-of: a standby cannot replicate onward");
     PERQ_REQUIRE((standby_of.empty() && replicate_to.empty()) ||
@@ -163,18 +230,44 @@ int main(int argc, char** argv) {
     acfg.stale_after_ticks = ccfg.stale_after_ticks;
     acfg.shards = ccfg.shards;
     hier::ArbiterDaemon arbiter(transport.listen(listen), domains, acfg);
-    std::printf("perq-arbiter: serving %zu domains on %s (%zu shard%s)\n",
+    if (!parent_addr.empty()) {
+      auto up = transport.connect(parent_addr);
+      if (up == nullptr || !up->open()) {
+        std::fprintf(stderr, "%s: cannot reach parent arbiter at %s\n",
+                     argv[0], parent_addr.c_str());
+        return 1;
+      }
+      daemon::DomainAttachment att;
+      att.static_share = share;
+      att.sla_floor_w = sla_floor;
+      att.priority_weight = priority;
+      att.tree_path = tree_path;
+      if (!tree_path.empty()) {
+        att.parent_path.assign(tree_path.begin(), tree_path.end() - 1);
+      }
+      arbiter.attach_parent(std::move(up),
+                            static_cast<std::uint32_t>(parent_domain),
+                            static_cast<std::uint32_t>(parent_count),
+                            std::move(att));
+      std::printf("perq-arbiter: stacked under %s as child %zu of %zu "
+                  "(share %.4f)\n",
+                  parent_addr.c_str(), parent_domain, parent_count, share);
+    }
+    std::printf("perq-arbiter: serving %zu domains on %s (%zu shard%s%s)\n",
                 domains, listen.c_str(), acfg.shards,
-                acfg.shards == 1 ? "" : "s");
+                acfg.shards == 1 ? "" : "s",
+                depth > 0 ? ", multi-level" : "");
     bool saw_domain = false;
     for (;;) {
       arbiter.wait(50);
       if (arbiter.service()) {
-        std::printf("grant round: tick %-6llu  budget %.0f W  fenced %.0f W  "
-                    "reserved %.0f W\n",
+        // scope = what this arbiter divides (the parent grant when
+        // stacked); budget = the cluster-wide figure for reference.
+        std::printf("grant round: tick %-6llu  scope %.0f W  budget %.0f W  "
+                    "fenced %.0f W  reserved %.0f W\n",
                     static_cast<unsigned long long>(arbiter.decided_tick()),
-                    arbiter.cluster_budget_w(), arbiter.fenced_w(),
-                    arbiter.reserved_w());
+                    arbiter.scope_w(), arbiter.cluster_budget_w(),
+                    arbiter.fenced_w(), arbiter.reserved_w());
       }
       if (arbiter.session_count() > 0) saw_domain = true;
       if (saw_domain && arbiter.session_count() == 0) break;
@@ -203,10 +296,20 @@ int main(int argc, char** argv) {
                    arbiter_addr.c_str());
       return 1;
     }
+    daemon::DomainAttachment att;
+    att.static_share = share;
+    att.sla_floor_w = sla_floor;
+    att.priority_weight = priority;
+    att.tree_path = tree_path;
+    if (!tree_path.empty()) {
+      att.parent_path.assign(tree_path.begin(), tree_path.end() - 1);
+    }
     controller.attach_arbiter(std::move(up), static_cast<std::uint32_t>(domain),
-                              static_cast<std::uint32_t>(domains));
-    std::printf("perqd: domain %ld of %zu, arbiter %s\n", domain, domains,
-                arbiter_addr.c_str());
+                              static_cast<std::uint32_t>(domains),
+                              std::move(att));
+    std::printf("perqd: domain %ld of %zu, arbiter %s (sla floor %.0f W, "
+                "priority %.2f)\n",
+                domain, domains, arbiter_addr.c_str(), sla_floor, priority);
   }
 
   if (!ccfg.snapshot_path.empty()) {

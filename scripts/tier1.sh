@@ -42,8 +42,11 @@ ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
 # deterministic seeds. perq_chaos exits non-zero if any run-level safety
 # invariant is breached on any tick. The failover scenario additionally
 # asserts the tight-handover trajectory is bit-identical to a crash-free
-# run and that a deposed primary is fenced by epoch.
-for scenario in drop delay corrupt crash partition mix domain-partition failover; do
+# run and that a deposed primary is fenced by epoch. tree-partition runs
+# the depth-2 arbiter tree and blacks out one mid's root uplink: the root
+# must fence the whole subtree's grant with per-level conservation and
+# the tenant SLA invariant checked on every tick.
+for scenario in drop delay corrupt crash partition mix domain-partition tree-partition failover; do
   "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 7
   "$BUILD_DIR"/examples/perq_chaos --scenario "$scenario" --seed 1912
 done
@@ -170,5 +173,5 @@ if [[ "${PERQ_SKIP_SANITIZE:-0}" != "1" ]]; then
   cmake -B "$TSAN_BUILD_DIR" -S . -DPERQ_TSAN=ON
   cmake --build "$TSAN_BUILD_DIR" -j
   ctest --test-dir "$TSAN_BUILD_DIR" --output-on-failure -j "$(nproc)" \
-    -R 'Reactor|Shard|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc|Replay|Replication|Failover|EpochFence|FailSafe' "$@"
+    -R 'Reactor|Shard|ShortWrite|Transport|Tcp|Daemon|FramePool|ZeroAlloc|Mpc|Replay|Replication|Failover|EpochFence|FailSafe|Tree|Tenant' "$@"
 fi

@@ -48,15 +48,51 @@ PerqController::~PerqController() = default;
 
 void PerqController::attach_arbiter(std::unique_ptr<net::Connection> conn,
                                     std::uint32_t domain_id,
-                                    std::uint32_t domain_count) {
+                                    std::uint32_t domain_count,
+                                    DomainAttachment att) {
   PERQ_REQUIRE(conn != nullptr, "arbiter attachment needs a connection");
   PERQ_REQUIRE(domain_count >= 1 && domain_id < domain_count,
                "domain id out of range");
   arbiter_conn_ = std::move(conn);
   domain_id_ = domain_id;
   domain_count_ = domain_count;
+  attachment_ = std::move(att);
   arbiter_reg_fd_ = arbiter_conn_->fd();
   reactor_.add(arbiter_reg_fd_, 0);
+}
+
+void PerqController::reattach_arbiter(std::unique_ptr<net::Connection> conn,
+                                      std::uint32_t domain_id,
+                                      std::uint32_t domain_count,
+                                      DomainAttachment att) {
+  PERQ_REQUIRE(arbiter_conn_ != nullptr, "reattach without an arbiter");
+  // Tell the old parent this slot is *leaving*, not crashing: it must
+  // release the grant back to its pool instead of fencing it, or the
+  // subtree's watts would be spoken for in two places at once.
+  if (arbiter_conn_->open() && any_tick_seen_) {
+    proto::DomainReport leaving;
+    leaving.domain_id = domain_id_;
+    leaving.domain_count = domain_count_;
+    leaving.tick = current_tick_;
+    leaving.controller_epoch = epoch_;
+    leaving.flags = proto::kDomainLeaving;
+    leaving.tree_path = attachment_.tree_path;
+    arbiter_conn_->send(leaving);
+  }
+  if (arbiter_reg_fd_ >= 0) reactor_.remove(arbiter_reg_fd_, 0);
+  arbiter_conn_.reset();
+  // Fence the old grant on this side too: the watts it named belong to the
+  // old subtree's budget and must never be drawn under the new parent.
+  if (any_grant_) {
+    any_grant_ = false;
+    granted_w_ = 0.0;
+    grant_tick_ = 0;
+    ++counters_.grants_fenced;
+  }
+  ++counters_.reparent_events;
+  any_report_ = false;
+  report_tick_ = 0;
+  attach_arbiter(std::move(conn), domain_id, domain_count, std::move(att));
 }
 
 double PerqController::budget_scope_w() const {
@@ -64,10 +100,17 @@ double PerqController::budget_scope_w() const {
   // Held grant while the arbiter is silent: the arbiter fences the same
   // value on its side, so both halves of the split agree on who owns what.
   if (any_grant_) return granted_w_;
-  // Before the first grant: the static equal split. K controllers assuming
-  // budget/K each sums to exactly the cluster budget -- conservative and
-  // conservation-safe for the cold start.
+  // Before the first grant: the static split. The default is the equal
+  // split -- K controllers assuming budget/K each sums to exactly the
+  // cluster budget, conservative and conservation-safe for the cold start.
+  // Deeper placements override it with their composed share (a subtree of
+  // share s split c ways assumes s/c each), which restores the same
+  // sums-to-budget property across an arbitrary tree; the division is kept
+  // for the default so flat deployments stay bit-identical.
   if (!have_hb_) return 0.0;
+  if (attachment_.static_share > 0.0) {
+    return hb_.budget_for_busy_w * attachment_.static_share;
+  }
   return hb_.budget_for_busy_w / static_cast<double>(domain_count_);
 }
 
@@ -139,6 +182,15 @@ void PerqController::send_domain_report() {
   r.failsafe_activations = c.failsafe_activations;
   r.stale_epoch_frames = c.stale_epoch_frames;
   r.controller_epoch = epoch_;
+  // Power-tree placement and tenant terms (all defaults in a flat
+  // deployment, in which case the encoder emits a byte-identical v1 body).
+  r.grants_fenced = c.grants_fenced;
+  r.reparent_events = c.reparent_events;
+  r.sla_floor_activations = c.sla_floor_activations;
+  r.tree_path = attachment_.tree_path;
+  r.sla_floor_w = attachment_.sla_floor_w;
+  r.priority_weight = attachment_.priority_weight;
+  r.share_weight = attachment_.static_share;
 
   arbiter_conn_->send(r);
   any_report_ = true;
@@ -490,6 +542,15 @@ bool PerqController::on_telemetry(const proto::Telemetry& t) {
 }
 
 bool PerqController::accept_grant(const proto::BudgetGrant& g) {
+  // Parent fence: a grant must come from the arbiter this controller is
+  // attached under *now*. After a re-parent, frames still in flight from
+  // the old parent (whose tree_path differs) are fenced, not applied --
+  // drawing them would double-spend watts the old subtree already
+  // reclaimed. Flat deployments compare empty against empty.
+  if (g.tree_path != attachment_.parent_path) {
+    ++counters_.grants_fenced;
+    return false;
+  }
   // Sanity screen, same spirit as the heartbeat screen: the grant becomes
   // the budget row, so a bit-flipped one must not starve or over-provision
   // the domain. The cluster budget in the grant cross-checks the value.

@@ -166,6 +166,31 @@ struct ControllerState {
   std::uint64_t epoch = 1;
 };
 
+/// Power-tree placement of a domain controller (or of an intermediate
+/// arbiter acting as a child). Everything defaults to the flat two-level
+/// deployment: equal static share, blank tenant, attached at the root.
+/// Kept free of hier/ includes -- the daemon layer is below hier in the
+/// link order -- so the fields mirror hier::TenantSpec by value.
+struct DomainAttachment {
+  /// Fraction of the heartbeat's cluster budget this node assumes before
+  /// its first grant (and the share its parent reserves while it has never
+  /// reported). <= 0 means the legacy equal split, budget / domain_count,
+  /// computed with the same division so cold-start behavior stays
+  /// bit-identical. Shares compose multiplicatively down the tree:
+  /// a child of a node with share s and c siblings gets s / c.
+  double static_share = 0.0;
+  /// Tenant terms forwarded verbatim in every DomainReport.
+  double sla_floor_w = 0.0;
+  double priority_weight = 1.0;
+  /// Root -> this node ids for the report's tree_path (empty at depth 1).
+  std::vector<std::uint32_t> tree_path;
+  /// Expected tree_path of the *granting* arbiter. Grants whose path
+  /// differs are fenced (counted in grants_fenced), which is what keeps a
+  /// re-parented child from drawing watts its old parent still believes
+  /// it granted. Empty matches the root arbiter's (v1) grants.
+  std::vector<std::uint32_t> parent_path;
+};
+
 class PerqController {
  public:
   /// The policy must outlive the controller. For restarts, build the policy
@@ -178,12 +203,25 @@ class PerqController {
   /// domain `domain_id` of `domain_count` and optimizes over arbiter
   /// grants received on `conn` instead of the heartbeat's cluster budget.
   /// Call before the first decide. domain_count >= 1; the connection must
-  /// be a client connection dialed to the arbiter daemon.
+  /// be a client connection dialed to the arbiter daemon. `att` places the
+  /// controller in the power tree; the default is the flat deployment.
   void attach_arbiter(std::unique_ptr<net::Connection> conn,
-                      std::uint32_t domain_id, std::uint32_t domain_count);
+                      std::uint32_t domain_id, std::uint32_t domain_count,
+                      DomainAttachment att = {});
+
+  /// Runtime re-parenting: detaches from the current arbiter (announcing
+  /// kDomainLeaving so the old parent releases -- not fences -- the slot),
+  /// discards the old grant (counted in grants_fenced: those watts belong
+  /// to the old subtree and must never be drawn here again), and attaches
+  /// to the new parent under a possibly new id/count/placement. The next
+  /// decide falls back to the static share until the new parent grants.
+  void reattach_arbiter(std::unique_ptr<net::Connection> conn,
+                        std::uint32_t domain_id, std::uint32_t domain_count,
+                        DomainAttachment att = {});
 
   bool domain_mode() const { return arbiter_conn_ != nullptr; }
   std::uint32_t domain_id() const { return domain_id_; }
+  const DomainAttachment& attachment() const { return attachment_; }
 
   /// The budget row decide() would optimize over right now, held watts not
   /// yet subtracted: the current grant in hier mode (static split before
@@ -407,6 +445,7 @@ class PerqController {
   std::vector<proto::Message> arbiter_inbox_;  ///< reused drain scratch
   std::uint32_t domain_id_ = 0;
   std::uint32_t domain_count_ = 1;
+  DomainAttachment attachment_;
   bool any_grant_ = false;
   double granted_w_ = 0.0;        ///< last grant received
   std::uint64_t grant_tick_ = 0;  ///< tick the grant was issued for

@@ -20,8 +20,10 @@ constexpr std::uint32_t kSnapshotMagic = 0x50455251;  // "PERQ"
 // file is detected up front, mirroring acct::EventLog) and appends the
 // controller epoch plus the failsafe/stale-epoch counters. Older files
 // still decode: the appended fields simply start from zero and the crc
-// check only applies from version 4 on.
-constexpr std::uint16_t kSnapshotVersion = 4;
+// check only applies from version 4 on. Version 5 appends the power-tree
+// counters (grants_fenced, reparent_events, sla_floor_activations) so a
+// restarted node of the hierarchy keeps its topology-change accounting.
+constexpr std::uint16_t kSnapshotVersion = 5;
 // Header: u32 magic + u16 version + u32 crc (v4+). The crc covers every
 // byte after itself.
 constexpr std::size_t kCrcOffset = 6;
@@ -137,6 +139,10 @@ std::vector<std::uint8_t> encode_snapshot(const ControllerState& s) {
   w.u64(s.counters.failsafe_activations);
   w.u64(s.counters.stale_epoch_frames);
 
+  w.u64(s.counters.grants_fenced);
+  w.u64(s.counters.reparent_events);
+  w.u64(s.counters.sla_floor_activations);
+
   auto bytes = w.take();
   const std::uint32_t crc = acct::crc32(bytes.data() + kCrcOffset + 4,
                                         bytes.size() - kCrcOffset - 4);
@@ -235,6 +241,11 @@ std::optional<ControllerState> decode_snapshot(const std::uint8_t* data,
     s.epoch = r.u64();
     s.counters.failsafe_activations = r.u64();
     s.counters.stale_epoch_frames = r.u64();
+  }
+  if (version >= 5) {
+    s.counters.grants_fenced = r.u64();
+    s.counters.reparent_events = r.u64();
+    s.counters.sla_floor_activations = r.u64();
   }
   if (!r.exhausted()) return fail("truncated or oversized snapshot tail");
   return s;

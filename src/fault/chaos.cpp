@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <tuple>
 
 #include "apps/app_model.hpp"
 #include "fault/faulty_transport.hpp"
@@ -275,6 +276,305 @@ DomainChaosReport run_domain_chaos(
   report.arbiter_decisions = arbiter.decisions();
   report.final_grants_w = arbiter.grants_w();
   report.final_fenced_w = arbiter.fenced_w();
+  return report;
+}
+
+TreeChaosReport run_tree_chaos(
+    const TreeChaosConfig& cfg,
+    std::vector<std::unique_ptr<core::PerqPolicy>>& policies) {
+  PERQ_REQUIRE(cfg.domains >= 1, "need at least one domain");
+  PERQ_REQUIRE(cfg.mids >= 1 && cfg.mids <= cfg.domains,
+               "need between 1 and `domains` mid arbiters");
+  PERQ_REQUIRE(policies.size() == cfg.domains,
+               "need exactly one policy per domain controller");
+  PERQ_REQUIRE(cfg.leaf_tenants.empty() ||
+                   cfg.leaf_tenants.size() == cfg.domains,
+               "leaf_tenants must be empty or one entry per domain");
+
+  net::LoopbackTransport loop;
+  FaultPlan plan(cfg.fault_seed);
+  plan.set_default_schedule(cfg.default_schedule);
+  for (const auto& [index, sched] : cfg.schedules) {
+    plan.set_schedule(index, sched);
+  }
+  for (const auto& [mid, window] : cfg.subtree_partitions) {
+    PERQ_REQUIRE(mid < cfg.mids, "subtree partition for unknown mid");
+    ConnectionSchedule sched = plan.schedule_for(mid);
+    sched.partitions.push_back(window);
+    plan.set_schedule(mid, sched);
+  }
+  for (const auto& [domain, window] : cfg.domain_partitions) {
+    PERQ_REQUIRE(domain < cfg.domains, "partition for unknown domain");
+    const std::size_t index = cfg.mids + domain;
+    ConnectionSchedule sched = plan.schedule_for(index);
+    sched.partitions.push_back(window);
+    plan.set_schedule(index, sched);
+  }
+  FaultyTransport transport(loop, plan);
+
+  // Leaf d starts under mid d % mids as child d / mids; every mid carries
+  // one spare slot (capacity kids + 1) for scripted re-parents, so the
+  // moved controller lands on a fresh domain id instead of colliding.
+  std::vector<std::size_t> kids(cfg.mids, 0);
+  for (std::size_t d = 0; d < cfg.domains; ++d) ++kids[d % cfg.mids];
+
+  const std::string root_address = "perq-root";
+  hier::ArbiterDaemon root(transport.listen(root_address), cfg.mids,
+                           cfg.arbiter);
+  std::vector<std::unique_ptr<hier::ArbiterDaemon>> mid_daemons;
+  std::vector<std::string> mid_addresses;
+  for (std::size_t m = 0; m < cfg.mids; ++m) {
+    mid_addresses.push_back("perq-mid-" + std::to_string(m));
+    mid_daemons.push_back(std::make_unique<hier::ArbiterDaemon>(
+        transport.listen(mid_addresses.back()), kids[m] + 1, cfg.arbiter));
+    daemon::DomainAttachment att;
+    att.static_share = 1.0 / static_cast<double>(cfg.mids);
+    // Dialed before any controller: connection index m is mid m's uplink.
+    att.tree_path = {0u, static_cast<std::uint32_t>(1 + m)};
+    mid_daemons.back()->attach_parent(transport.connect(root_address),
+                                      static_cast<std::uint32_t>(m),
+                                      static_cast<std::uint32_t>(cfg.mids),
+                                      std::move(att));
+  }
+
+  const auto leaf_attachment = [&](std::size_t d, std::size_t m) {
+    daemon::DomainAttachment att;
+    if (!cfg.leaf_tenants.empty()) att = cfg.leaf_tenants[d];
+    att.static_share =
+        1.0 / static_cast<double>(cfg.mids * (kids[m] + 1));
+    att.parent_path = {0u, static_cast<std::uint32_t>(1 + m)};
+    att.tree_path = {0u, static_cast<std::uint32_t>(1 + m),
+                     static_cast<std::uint32_t>(1 + cfg.mids + d)};
+    return att;
+  };
+
+  std::vector<std::unique_ptr<daemon::PerqController>> controllers;
+  std::vector<std::string> addresses;
+  /// domain -> (mid, local child id), kept current across re-parents.
+  std::vector<std::pair<std::size_t, std::size_t>> where(cfg.domains);
+  for (std::size_t d = 0; d < cfg.domains; ++d) {
+    addresses.push_back("perqd-" + std::to_string(d));
+    controllers.push_back(std::make_unique<daemon::PerqController>(
+        transport.listen(addresses.back()), *policies[d], cfg.controller));
+    const std::size_t m = d % cfg.mids;
+    where[d] = {m, d / cfg.mids};
+    controllers.back()->attach_arbiter(
+        transport.connect(mid_addresses[m]),
+        static_cast<std::uint32_t>(d / cfg.mids),
+        static_cast<std::uint32_t>(kids[m] + 1), leaf_attachment(d, m));
+  }
+  daemon::DaemonPlant plant(cfg.engine, transport, addresses, cfg.plant);
+  for (auto& c : controllers) c->pump();
+
+  TreeChaosReport report;
+  const auto& spec = apps::node_power_spec();
+  const double budget_w = plant.engine().cluster().power_budget_w();
+
+  // Scope each level divided, captured the instant it decided (service()
+  // returns true): for a mid that is the parent grant it held right after
+  // its pump_parent, so conservation is checked against exactly the number
+  // the allocation used -- no cross-level lag slack required.
+  std::vector<double> mid_scope_w(cfg.mids, 0.0);
+  std::vector<bool> mid_ever_decided(cfg.mids, false);
+  double root_scope_w = 0.0;
+  bool root_ever_decided = false;
+  std::vector<bool> spare_used(cfg.mids, false);
+  /// (first tick to check from, mid, local slot) per executed re-parent.
+  std::vector<std::tuple<std::uint64_t, std::size_t, std::size_t>> released;
+
+  const auto probe = [&](hier::ArbiterDaemon& a, double scope) {
+    double sum = a.reserved_w();
+    for (double g : a.grants_w()) sum += g;
+    report.max_level_overdraw_w =
+        std::max(report.max_level_overdraw_w, sum - scope);
+  };
+  const auto service = [&] {
+    for (auto& c : controllers) c->service();
+    for (std::size_t m = 0; m < cfg.mids; ++m) {
+      if (mid_daemons[m]->service()) {
+        mid_scope_w[m] =
+            mid_daemons[m]->any_parent_grant()
+                ? mid_daemons[m]->parent_grant_w()
+                : mid_daemons[m]->cluster_budget_w() /
+                      static_cast<double>(cfg.mids);
+        mid_ever_decided[m] = true;
+        probe(*mid_daemons[m], mid_scope_w[m]);
+      }
+    }
+    if (root.service()) {
+      root_scope_w = root.cluster_budget_w();
+      root_ever_decided = true;
+      probe(root, root_scope_w);
+    }
+  };
+
+  std::uint64_t tick = 0;
+  while (!plant.done() && (cfg.max_ticks == 0 || tick < cfg.max_ticks)) {
+    plan.set_tick(tick);
+
+    for (const ReparentEvent& ev : cfg.reparents) {
+      if (ev.tick != tick) continue;
+      PERQ_REQUIRE(ev.domain < cfg.domains && ev.new_mid < cfg.mids,
+                   "re-parent names an unknown domain or mid");
+      const auto [old_mid, old_local] = where[ev.domain];
+      if (old_mid == ev.new_mid) continue;
+      PERQ_REQUIRE(!spare_used[ev.new_mid],
+                   "target mid's spare slot is already taken");
+      try {
+        controllers[ev.domain]->reattach_arbiter(
+            transport.connect(mid_addresses[ev.new_mid]),
+            static_cast<std::uint32_t>(kids[ev.new_mid]),  // the spare slot
+            static_cast<std::uint32_t>(kids[ev.new_mid] + 1),
+            leaf_attachment(ev.domain, ev.new_mid));
+        spare_used[ev.new_mid] = true;
+        where[ev.domain] = {ev.new_mid, kids[ev.new_mid]};
+        ++report.reparents_executed;
+        // The leaving report reaches the old mid on its next pump; by two
+        // ticks later the release must have zeroed the slot for good.
+        released.emplace_back(tick + 2, old_mid, old_local);
+      } catch (const precondition_error&) {
+        // Target listener gone; leave the domain where it is.
+      }
+    }
+
+    for (const AgentEvent& e : cfg.events) {
+      if (e.tick != tick || e.agent >= plant.agent_count()) continue;
+      if (e.kind == AgentEvent::Kind::kHang) {
+        plant.agent(e.agent).hang();
+      } else {
+        try {
+          if (auto conn =
+                  transport.connect(addresses[e.agent % cfg.domains])) {
+            plant.agent(e.agent).reconnect(std::move(conn));
+          }
+        } catch (const precondition_error&) {
+          // Listener gone; the regular reconnect path keeps retrying.
+        }
+      }
+    }
+
+    const bool planned = plant.step(service);
+    if (!planned) ++report.held_ticks;
+    plant.reconnect_lost(transport, addresses);
+
+    // --- run-level safety invariants, evaluated every tick ---
+    TickRecord rec;
+    rec.tick = tick;
+    rec.plan_arrived = planned;
+    rec.budget_total_w = budget_w;
+    for (const sched::Job* job : plant.engine().running()) {
+      const double cap = job->last_cap_w();
+      const double nodes = static_cast<double>(job->spec().nodes);
+      rec.committed_w += cap * nodes;
+      rec.caps_by_job.emplace_back(job->spec().id, cap);
+      if (cap != 0.0 && (!std::isfinite(cap) || cap < spec.cap_min - 1e-6 ||
+                         cap > spec.tdp + 1e-6)) {
+        report.violations.push_back(
+            tick_msg(tick, "applied cap outside [cap_min, TDP]", cap,
+                     spec.tdp));
+      }
+    }
+    if (rec.committed_w > budget_w + 1e-3) {
+      report.violations.push_back(
+          tick_msg(tick, "committed watts exceed cluster budget",
+                   rec.committed_w, budget_w));
+    }
+    // Conservation per level, against the scope captured at decide time.
+    if (root_ever_decided) {
+      rec.grants_w = root.grants_w();
+      double outstanding_w = root.reserved_w();
+      for (const double g : rec.grants_w) outstanding_w += g;
+      if (outstanding_w > root_scope_w + 1e-3) {
+        report.violations.push_back(
+            tick_msg(tick, "root grants exceed cluster budget",
+                     outstanding_w, root_scope_w));
+      }
+    }
+    for (std::size_t m = 0; m < cfg.mids; ++m) {
+      if (!mid_ever_decided[m]) continue;
+      const hier::ArbiterDaemon& mid = *mid_daemons[m];
+      const std::vector<double>& grants = mid.grants_w();
+      double outstanding_w = mid.reserved_w();
+      for (const double g : grants) outstanding_w += g;
+      if (outstanding_w > mid_scope_w[m] + 1e-3) {
+        report.violations.push_back(
+            tick_msg(tick, "mid grants exceed parent scope", outstanding_w,
+                     mid_scope_w[m]));
+      }
+      // Tenant SLA fairness: no live child below its (capacity-clipped)
+      // SLA floor while a live sibling holds head-room -- watts above its
+      // own effective floor AND above the equal share of the scope this
+      // mid divided. When the scope cannot cover the joint floors they
+      // scale proportionally (conservation outranks SLA, see DESIGN.md
+      // section 5i); a sibling sitting at its scaled floor is not unfair,
+      // so the check only fires when head-room flowed past an unmet floor.
+      const std::size_t slots = kids[m] + 1;
+      const double equal_w = mid_scope_w[m] / static_cast<double>(slots);
+      for (std::uint32_t c1 = 0; c1 < slots; ++c1) {
+        const hier::DomainDemand d1 =
+            mid.demand(static_cast<std::uint32_t>(c1));
+        if (d1.busy_nodes <= 0.0 || d1.sla_floor_w <= 0.0) continue;
+        if (mid.fenced(c1)) continue;
+        const double need_w = std::min(d1.sla_floor_w, d1.capacity_w);
+        if (grants[c1] >= need_w - 1e-6) continue;
+        for (std::uint32_t c2 = 0; c2 < slots; ++c2) {
+          if (c2 == c1 || mid.fenced(c2)) continue;
+          const hier::DomainDemand d2 =
+              mid.demand(static_cast<std::uint32_t>(c2));
+          const double floor2_w = std::max(d2.floor_w, d2.sla_floor_w);
+          if (grants[c2] > floor2_w + 1e-3 && grants[c2] > equal_w + 1e-3) {
+            report.violations.push_back(tick_msg(
+                tick, "tenant below SLA floor while sibling holds head-room",
+                grants[c1], grants[c2]));
+          }
+        }
+      }
+    }
+    // Re-parent hygiene: a released slot stays at zero watts -- the moved
+    // subtree must never draw from old and new parents at once.
+    for (const auto& [from_tick, m, local] : released) {
+      if (tick < from_tick) continue;
+      const double g = mid_daemons[m]->grants_w()[local];
+      if (g != 0.0) {
+        report.violations.push_back(tick_msg(
+            tick, "released slot still holds watts after re-parent", g, 0.0));
+      }
+    }
+    // Each domain that decided this tick stayed within its grant.
+    for (const auto& c : controllers) {
+      const auto& stats = c->last_stats();
+      if (stats.tick != tick) continue;
+      if (stats.budget_row_w + stats.held_w > stats.granted_w + 1e-3) {
+        report.violations.push_back(
+            tick_msg(tick, "domain budget row + held watts exceed grant",
+                     stats.budget_row_w + stats.held_w, stats.granted_w));
+      }
+    }
+    report.history.push_back(std::move(rec));
+    ++tick;
+  }
+
+  for (std::size_t i = 0; i < plant.agent_count(); ++i) plant.agent(i).bye();
+  for (auto& c : controllers) c->pump();
+  for (auto& m : mid_daemons) m->pump();
+  root.pump();
+
+  report.result = plant.finish("PERQ-TREE" + std::to_string(cfg.mids) + "x" +
+                               std::to_string(cfg.domains));
+  report.controller_counters.reserve(controllers.size());
+  for (const auto& c : controllers) {
+    report.controller_counters.push_back(c->counters());
+  }
+  report.aggregated_counters = root.aggregated_counters();
+  report.plant_counters = plant.counters();
+  report.faults = plan.stats();
+  report.ticks = tick;
+  report.root_decisions = root.decisions();
+  report.root_grants_w = root.grants_w();
+  for (const auto& m : mid_daemons) {
+    report.mid_decisions.push_back(m->decisions());
+    report.mid_grants_w.push_back(m->grants_w());
+  }
   return report;
 }
 

@@ -142,6 +142,87 @@ DomainChaosReport run_domain_chaos(
     const DomainChaosConfig& cfg,
     std::vector<std::unique_ptr<core::PerqPolicy>>& policies);
 
+/// Scripted runtime re-parent: at the top of `tick`, domain `domain`'s
+/// controller is detached from its current mid-level arbiter (sending the
+/// kDomainLeaving release) and re-attached under `new_mid`'s spare slot.
+struct ReparentEvent {
+  std::uint64_t tick = 0;
+  std::uint32_t domain = 0;
+  std::uint32_t new_mid = 0;
+};
+
+/// Chaos over the depth-2 arbiter tree: one root ArbiterDaemon over `mids`
+/// stacked mid arbiters, each parenting the domain controllers d with
+/// d % mids == m. Every mid is built with one spare child slot so scripted
+/// re-parents have somewhere to land (the slot's cold-start reserve is the
+/// price of admission capacity).
+///
+/// Connection dial order (and hence schedule indexing): the mids dial the
+/// root first -- index m is mid m's root uplink, so partitioning it severs
+/// a whole subtree (the subtree-partition scenario) -- then the domain
+/// controllers dial their mids (index mids + d), then the plant's agents
+/// dial their controllers (mids + domains + i). Re-parent dials take later
+/// indices.
+struct TreeChaosConfig {
+  core::EngineConfig engine;
+  daemon::ControllerConfig controller;
+  hier::ArbiterDaemonConfig arbiter;  ///< shared by the root and every mid
+  daemon::PlantConfig plant;
+  std::size_t domains = 4;
+  std::size_t mids = 2;
+  std::uint64_t fault_seed = 1;
+  ConnectionSchedule default_schedule;
+  std::vector<std::pair<std::size_t, ConnectionSchedule>> schedules;
+  /// Sugar: black out mid m's root uplink for the window (appended to
+  /// whatever schedule index m already has) -- the subtree partition.
+  std::vector<std::pair<std::uint32_t, TickWindow>> subtree_partitions;
+  /// Sugar: black out domain d's mid uplink (schedule index mids + d).
+  std::vector<std::pair<std::uint32_t, TickWindow>> domain_partitions;
+  std::vector<ReparentEvent> reparents;
+  /// Per-domain tenant terms (sla_floor_w / priority_weight); empty means
+  /// defaults. Shares and tree paths are filled by the harness.
+  std::vector<daemon::DomainAttachment> leaf_tenants;
+  std::vector<AgentEvent> events;
+  std::uint64_t max_ticks = 0;
+};
+
+struct TreeChaosReport {
+  core::RunResult result;
+  std::vector<std::string> violations;  ///< empty <=> all invariants held
+  std::vector<TickRecord> history;      ///< grants_w = root grants per mid
+  std::vector<core::RobustnessCounters> controller_counters;
+  /// The root's cluster-wide aggregate: every mid flattens its own subtree
+  /// view into its upward report, so this covers all levels.
+  core::RobustnessCounters aggregated_counters;
+  core::RobustnessCounters plant_counters;
+  FaultStats faults;
+  std::uint64_t ticks = 0;
+  std::uint64_t held_ticks = 0;
+  std::uint64_t root_decisions = 0;
+  std::vector<std::uint64_t> mid_decisions;
+  std::vector<double> root_grants_w;
+  std::vector<std::vector<double>> mid_grants_w;
+  std::uint64_t reparents_executed = 0;
+  /// Worst sum(grants) + reserved - scope over every decision at every
+  /// level (scope captured at decide time, so no lag slack is needed).
+  double max_level_overdraw_w = 0.0;
+};
+
+/// Runs the depth-2 tree deployment under faults. Per-tick invariants, on
+/// top of run_chaos's budget/box checks:
+///   * conservation at every level -- each arbiter's grants + cold-start
+///     reserves fit the scope it divided (root: cluster budget; mid: the
+///     parent grant it held at decide time, static share before that);
+///   * tenant SLA fairness -- no live child sits below its (capacity-
+///     clipped) SLA floor while a live sibling holds more than the equal
+///     share of the same scope;
+///   * re-parent hygiene -- from two ticks after a scripted re-parent, the
+///     old parent's slot for the moved domain holds zero watts (released,
+///     not fenced), so the subtree never draws from two parents.
+TreeChaosReport run_tree_chaos(
+    const TreeChaosConfig& cfg,
+    std::vector<std::unique_ptr<core::PerqPolicy>>& policies);
+
 /// Chaos over the warm-standby HA deployment: one primary controller
 /// replicating every tick's canonical inputs to a standby, with a scripted
 /// primary crash (or partition) and a standby takeover mid-run.

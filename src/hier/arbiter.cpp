@@ -1,6 +1,7 @@
 #include "hier/arbiter.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/require.hpp"
 
@@ -45,29 +46,28 @@ double fill_stage(double pool, const std::vector<double>& weight,
   return std::max(pool, 0.0);
 }
 
-}  // namespace
-
-std::vector<double> water_fill(double budget_w,
-                               const std::vector<DomainDemand>& demands) {
+/// The water-filling arithmetic over demands already in canonical order.
+std::vector<double> water_fill_ordered(double budget_w,
+                                       const std::vector<const DomainDemand*>& demands,
+                                       WaterFillStats* stats) {
   const std::size_t n = demands.size();
-  if (n == 0) return {};
-  budget_w = std::max(budget_w, 0.0);
-
-  // Single domain: the grant IS the budget, bit-for-bit. Running the
-  // arithmetic below would compute floor + (budget - floor), which IEEE-754
-  // does not guarantee to round back to `budget_w` -- and K=1 equivalence
-  // with the monolithic controller demands exactness, not closeness.
-  if (n == 1) return {budget_w};
 
   std::vector<double> floors(n), caps(n);
   double floor_sum = 0.0;
   for (std::size_t d = 0; d < n; ++d) {
-    floors[d] = std::max(demands[d].floor_w, 0.0);
-    caps[d] = std::max(demands[d].capacity_w, floors[d]);
+    floors[d] = std::max(demands[d]->floor_w, 0.0);
+    // The SLA floor is a tenant guarantee on top of the physical floor; a
+    // zero (default) SLA floor never lifts nj * P_min, which keeps the
+    // tenant-blind input bit-identical.
+    if (demands[d]->sla_floor_w > floors[d]) {
+      floors[d] = demands[d]->sla_floor_w;
+      if (stats != nullptr) ++stats->sla_floor_activations;
+    }
+    caps[d] = std::max(demands[d]->capacity_w, floors[d]);
     floor_sum += floors[d];
   }
 
-  // Infeasible floors: the budget cannot even cover nj * P_min everywhere.
+  // Infeasible floors: the budget cannot even cover the floors everywhere.
   // Scale proportionally so conservation survives; the per-domain policies
   // clamp to the cap range regardless.
   if (floor_sum > budget_w) {
@@ -83,19 +83,23 @@ std::vector<double> water_fill(double budget_w,
   double pool = budget_w - floor_sum;
 
   // Stage 1: constrained domains (binding budget row), weighted by
-  // busy_nodes * utility so a large starved domain outranks a small one
-  // with the same per-watt value.
+  // busy_nodes * utility * priority so a large starved domain outranks a
+  // small one with the same per-watt value, and a high-priority tenant
+  // outranks an equal-demand sibling. priority 1.0 multiplies exactly.
   std::vector<double> weight(n, 0.0);
   for (std::size_t d = 0; d < n; ++d) {
-    if (demands[d].utility_per_w > kUtilityEps) {
-      weight[d] = demands[d].busy_nodes * demands[d].utility_per_w;
+    const double priority = std::max(demands[d]->priority_weight, 0.0);
+    if (demands[d]->utility_per_w > kUtilityEps) {
+      weight[d] = demands[d]->busy_nodes * demands[d]->utility_per_w * priority;
     }
   }
   pool = fill_stage(pool, weight, caps, grants);
 
   // Stage 2: whatever is left goes node-proportional to anyone with
   // headroom (cold start lands here: all utilities are still zero).
-  for (std::size_t d = 0; d < n; ++d) weight[d] = demands[d].busy_nodes;
+  for (std::size_t d = 0; d < n; ++d) {
+    weight[d] = demands[d]->busy_nodes * std::max(demands[d]->priority_weight, 0.0);
+  }
   pool = fill_stage(pool, weight, caps, grants);
 
   // Conservation guard against accumulated rounding: never hand out more
@@ -118,6 +122,45 @@ std::vector<double> water_fill(double budget_w,
   return grants;
 }
 
+}  // namespace
+
+std::vector<double> water_fill(double budget_w,
+                               const std::vector<DomainDemand>& demands,
+                               WaterFillStats* stats) {
+  const std::size_t n = demands.size();
+  if (n == 0) return {};
+  budget_w = std::max(budget_w, 0.0);
+
+  // Single domain: the grant IS the budget, bit-for-bit. Running the
+  // arithmetic below would compute floor + (budget - floor), which IEEE-754
+  // does not guarantee to round back to `budget_w` -- and K=1 equivalence
+  // with the monolithic controller demands exactness, not closeness. (SLA
+  // stats are not counted here: a lone tenant's floor cannot shape a grant
+  // that is the whole budget regardless.)
+  if (n == 1) return {budget_w};
+
+  // Canonical order: run the arithmetic over demands sorted by domain_id
+  // (stable, so equal ids keep input order) and scatter the grants back.
+  // Every floating-point sum inside water_fill_ordered then accumulates in
+  // the same order no matter how the caller built the vector, which is the
+  // whole permutation-invariance guarantee. Callers that already pass
+  // ascending ids -- every in-repo call site -- sort into their own order,
+  // making this a bit-exact no-op for them.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return demands[a].domain_id < demands[b].domain_id;
+  });
+  std::vector<const DomainDemand*> sorted(n);
+  for (std::size_t k = 0; k < n; ++k) sorted[k] = &demands[order[k]];
+
+  const std::vector<double> sorted_grants =
+      water_fill_ordered(budget_w, sorted, stats);
+  std::vector<double> grants(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) grants[order[k]] = sorted_grants[k];
+  return grants;
+}
+
 BudgetArbiter::BudgetArbiter(std::size_t domains)
     : grants_w_(domains, 0.0),
       ever_granted_(domains, 0),
@@ -127,6 +170,14 @@ BudgetArbiter::BudgetArbiter(std::size_t domains)
 
 bool BudgetArbiter::fenced(std::uint32_t domain) const {
   return domain < fenced_now_.size() && fenced_now_[domain] != 0;
+}
+
+void BudgetArbiter::release(std::uint32_t domain) {
+  PERQ_REQUIRE(domain < grants_w_.size(), "release of unknown domain");
+  if (fenced_now_[domain]) fenced_w_ -= grants_w_[domain];
+  grants_w_[domain] = 0.0;
+  ever_granted_[domain] = 0;
+  fenced_now_[domain] = 0;
 }
 
 const std::vector<double>& BudgetArbiter::allocate(
@@ -145,12 +196,18 @@ const std::vector<double>& BudgetArbiter::allocate(
   // budget-row shrink).
   fenced_w_ = 0.0;
   for (std::size_t d = 0; d < n; ++d) {
+    const bool was_fenced = fenced_now_[d] != 0;
     fenced_now_[d] = !reported[d] && ever_granted_[d];
-    if (fenced_now_[d]) fenced_w_ += grants_w_[d];
+    if (fenced_now_[d]) {
+      fenced_w_ += grants_w_[d];
+      if (!was_fenced) ++grants_fenced_;  // live -> fenced transition
+    }
   }
 
   const double available = std::max(cluster_budget_w - fenced_w_, 0.0);
-  const std::vector<double> filled = water_fill(available, live);
+  WaterFillStats stats;
+  const std::vector<double> filled = water_fill(available, live, &stats);
+  sla_floor_activations_ += stats.sla_floor_activations;
   for (std::size_t k = 0; k < live.size(); ++k) {
     grants_w_[live[k].domain_id] = filled[k];
     ever_granted_[live[k].domain_id] = 1;

@@ -33,6 +33,122 @@ ThreadPool& ArbiterDaemon::pool() {
   return cfg_.pool != nullptr ? *cfg_.pool : ThreadPool::shared();
 }
 
+void ArbiterDaemon::attach_parent(std::unique_ptr<net::Connection> conn,
+                                  std::uint32_t domain_id,
+                                  std::uint32_t domain_count,
+                                  daemon::DomainAttachment att) {
+  PERQ_REQUIRE(conn != nullptr, "parent attachment needs a connection");
+  PERQ_REQUIRE(domain_count >= 1 && domain_id < domain_count,
+               "parent domain id out of range");
+  parent_conn_ = std::move(conn);
+  parent_domain_id_ = domain_id;
+  parent_domain_count_ = domain_count;
+  attachment_ = std::move(att);
+  parent_reg_fd_ = parent_conn_->fd();
+  reactor_.add(parent_reg_fd_, 0);
+}
+
+double ArbiterDaemon::budget_in_use(double cluster_budget_w) const {
+  if (parent_conn_ == nullptr) return cluster_budget_w;  // root arbiter
+  // Held parent grant while the parent is silent: the parent fences the
+  // same value (this arbiter looks like any other silent domain to it).
+  if (any_parent_grant_) return parent_grant_w_;
+  // Before the first parent grant: the static share, same cold-start
+  // contract as PerqController::budget_scope_w(). Shares compose down the
+  // tree, so the leaves' equal-split assumptions and every intermediate
+  // arbiter's sum to (at most) the cluster budget.
+  if (attachment_.static_share > 0.0) {
+    return cluster_budget_w * attachment_.static_share;
+  }
+  return cluster_budget_w / static_cast<double>(parent_domain_count_);
+}
+
+void ArbiterDaemon::pump_parent() {
+  if (parent_conn_ == nullptr || !parent_conn_->open()) return;
+  parent_inbox_.clear();
+  parent_conn_->receive_into(parent_inbox_);
+  for (const proto::Message& m : parent_inbox_) {
+    const auto* g = std::get_if<proto::BudgetGrant>(&m);
+    if (g == nullptr) {
+      ++counters_.frames_corrupt;  // only grants flow down this link
+      continue;
+    }
+    // Parent fence, mirroring PerqController::accept_grant: a grant whose
+    // sender path is not the parent this arbiter sits under now was issued
+    // by a stale parent (pre-re-parent frames still in flight).
+    if (g->tree_path != attachment_.parent_path) {
+      ++counters_.grants_fenced;
+      continue;
+    }
+    const bool insane = !std::isfinite(g->grant_w) || g->grant_w < 0.0 ||
+                        !std::isfinite(g->cluster_budget_w) ||
+                        g->grant_w > g->cluster_budget_w * (1.0 + 1e-9) + 1e-6 ||
+                        g->domain_id != parent_domain_id_;
+    if (insane) {
+      ++counters_.frames_corrupt;
+      continue;
+    }
+    if (!any_parent_grant_ || g->tick >= parent_grant_tick_) {
+      any_parent_grant_ = true;
+      parent_grant_w_ = g->grant_w;
+      parent_grant_tick_ = g->tick;
+    }
+  }
+  if (!parent_conn_->open()) {
+    if (parent_conn_->corrupt()) ++counters_.frames_corrupt;
+    reactor_.remove(parent_reg_fd_, 0);
+    parent_reg_fd_ = -1;
+  }
+}
+
+void ArbiterDaemon::send_parent_report(std::uint64_t t,
+                                       const std::vector<DomainDemand>& live,
+                                       double cluster_budget_w) {
+  if (parent_conn_ == nullptr || !parent_conn_->open()) return;
+  proto::DomainReport r;
+  r.domain_id = parent_domain_id_;
+  r.domain_count = parent_domain_count_;
+  r.tick = t;
+  r.cluster_budget_w = cluster_budget_w;
+  // Same aggregation as PowerTree: summed extensive quantities, busy-node
+  // weighted mean utility (so the parent's stage-1 weight for this subtree
+  // equals the sum of the children's).
+  double util_mass = 0.0;
+  for (const DomainDemand& d : live) {
+    r.jobs += static_cast<std::uint32_t>(d.jobs);
+    r.busy_nodes += d.busy_nodes;
+    r.floor_w += std::max(d.floor_w, d.sla_floor_w);
+    r.capacity_w += d.capacity_w;
+    r.committed_w += d.committed_w;
+    r.achieved_ips += d.achieved_ips;
+    r.target_ips += d.target_ips;
+    util_mass += d.busy_nodes * d.utility_per_w;
+  }
+  r.utility_per_w = r.busy_nodes > 0.0 ? util_mass / r.busy_nodes : 0.0;
+  // Fenced watts are part of this subtree's floor: silent children keep
+  // actuating their held grants, so the parent must keep funding them.
+  r.floor_w += arbiter_.fenced_w();
+  r.capacity_w = std::max(r.capacity_w, r.floor_w);
+  const core::RobustnessCounters c = aggregated_counters();
+  r.frames_dropped = c.frames_dropped;
+  r.frames_corrupt = c.frames_corrupt;
+  r.reconnect_attempts = c.reconnect_attempts;
+  r.stale_transitions = c.stale_transitions;
+  r.solver_fallbacks = c.solver_fallbacks;
+  r.clamp_activations = c.clamp_activations;
+  r.failsafe_activations = c.failsafe_activations;
+  r.stale_epoch_frames = c.stale_epoch_frames;
+  r.grants_fenced = c.grants_fenced;
+  r.reparent_events = c.reparent_events;
+  r.sla_floor_activations = c.sla_floor_activations;
+  r.controller_epoch = 1;  // arbiters have no failover epochs (yet)
+  r.tree_path = attachment_.tree_path;
+  r.sla_floor_w = attachment_.sla_floor_w;
+  r.priority_weight = attachment_.priority_weight;
+  r.share_weight = attachment_.static_share;
+  parent_conn_->send(r);
+}
+
 void ArbiterDaemon::drain_sessions() {
   if (cfg_.shards == 1) {
     for (Session& session : sessions_) {
@@ -143,6 +259,20 @@ void ArbiterDaemon::ingest(std::size_t session_index, const proto::Message& m) {
   }
   slot.max_epoch = std::max(slot.max_epoch, r->controller_epoch);
 
+  // A leaving child (re-parented under another arbiter) is *released*, not
+  // fenced: its watts are no longer actuated under this arbiter's grants,
+  // so freezing them would strand budget while the new parent grants the
+  // same subtree -- the double-draw this flag exists to prevent. The slot
+  // reverts to never-reported (cold-start reserve) in case a future child
+  // reuses the id; the epoch fence above survives the reset.
+  if ((r->flags & proto::kDomainLeaving) != 0) {
+    arbiter_.release(r->domain_id);
+    const std::uint64_t epoch = slot.max_epoch;
+    slot = DomainSlot{};
+    slot.max_epoch = epoch;
+    return;
+  }
+
   Session& session = sessions_[session_index];
   session.bound = true;
   session.domain_id = r->domain_id;
@@ -186,6 +316,10 @@ bool ArbiterDaemon::try_decide() {
       d.utility_per_w = s.latest.utility_per_w;
       d.achieved_ips = s.latest.achieved_ips;
       d.target_ips = s.latest.target_ips;
+      // Tenant terms from the wire (defaults are exact no-ops, so a v1
+      // report allocates bit-identically).
+      d.sla_floor_w = s.latest.sla_floor_w;
+      d.priority_weight = s.latest.priority_weight;
       live.push_back(d);
       budget_w = std::max(budget_w, s.latest.cluster_budget_w);
     } else if (s.latest.tick + cfg_.stale_after_ticks >= t) {
@@ -195,15 +329,21 @@ bool ArbiterDaemon::try_decide() {
   }
   if (live.empty()) return false;
 
-  // Domains that never reported assume the static budget/K split on their
-  // side (PerqController's pre-first-grant fallback); reserve exactly that
-  // so both halves of the cold-start partition agree on who owns what.
-  reserved_w_ = budget_w * static_cast<double>(never_reported) /
+  // The budget this arbiter divides: the whole cluster figure at the root,
+  // the parent grant (static share before it arrives) when stacked.
+  const double scope_w = budget_in_use(budget_w);
+
+  // Domains that never reported assume their static share of the cluster
+  // budget on their side (PerqController's pre-first-grant fallback, or a
+  // stacked arbiter's budget_in_use); reserve that out of this scope so
+  // both halves of the cold-start partition agree on who owns what. At the
+  // root with default shares this is exactly budget * never / K.
+  reserved_w_ = scope_w * static_cast<double>(never_reported) /
                 static_cast<double>(slots_.size());
   cluster_budget_w_ = budget_w;
 
   const std::vector<double>& grants =
-      arbiter_.allocate(std::max(budget_w - reserved_w_, 0.0), live);
+      arbiter_.allocate(std::max(scope_w - reserved_w_, 0.0), live);
 
   for (const DomainDemand& d : live) {
     DomainSlot& slot = slots_[d.domain_id];
@@ -214,6 +354,9 @@ bool ArbiterDaemon::try_decide() {
     g.tick = t;
     g.grant_w = grants[d.domain_id];
     g.cluster_budget_w = budget_w;
+    // Sender identity for the children's parent fence. The root's empty
+    // path keeps the frame a byte-identical v1 body.
+    g.tree_path = attachment_.tree_path;
     // Grants differ per domain (no common frame to share), but encoding
     // into a pooled buffer keeps the steady-state grant round allocation
     // free: the pool recycles a slot as soon as the connection's outbound
@@ -225,11 +368,18 @@ bool ArbiterDaemon::try_decide() {
 
   decided_tick_ = t;
   any_decision_ = true;
+  // Stacked mode: push the subtree's aggregate demand upward so the parent
+  // can re-divide *its* budget next round. Reporting after deciding keeps
+  // the levels pipelined -- each level runs on the grant its parent issued
+  // from the previous tick's aggregate (one-interval propagation delay per
+  // level, the price of a tree of independent daemons).
+  send_parent_report(t, live, budget_w);
   return true;
 }
 
 bool ArbiterDaemon::service() {
   pump();
+  pump_parent();
   return try_decide();
 }
 
@@ -247,11 +397,19 @@ DomainDemand ArbiterDaemon::demand(std::uint32_t domain) const {
   d.utility_per_w = s.latest.utility_per_w;
   d.achieved_ips = s.latest.achieved_ips;
   d.target_ips = s.latest.target_ips;
+  d.sla_floor_w = s.latest.sla_floor_w;
+  d.priority_weight = s.latest.priority_weight;
   return d;
 }
 
 core::RobustnessCounters ArbiterDaemon::aggregated_counters() const {
   core::RobustnessCounters sum = counters_;
+  // This level's own allocation accounting: fencing transitions and SLA
+  // floors that shaped a grant round here, as opposed to the per-child
+  // figures summed below. Stacked arbiters flatten this aggregate into
+  // their upward report, so the root's view covers every level.
+  sum.grants_fenced += arbiter_.grants_fenced();
+  sum.sla_floor_activations += arbiter_.sla_floor_activations();
   for (const DomainSlot& s : slots_) {
     if (!s.any_report) continue;
     sum.frames_dropped += s.latest.frames_dropped;
@@ -262,6 +420,9 @@ core::RobustnessCounters ArbiterDaemon::aggregated_counters() const {
     sum.clamp_activations += s.latest.clamp_activations;
     sum.failsafe_activations += s.latest.failsafe_activations;
     sum.stale_epoch_frames += s.latest.stale_epoch_frames;
+    sum.grants_fenced += s.latest.grants_fenced;
+    sum.reparent_events += s.latest.reparent_events;
+    sum.sla_floor_activations += s.latest.sla_floor_activations;
   }
   return sum;
 }
@@ -270,6 +431,9 @@ std::vector<int> ArbiterDaemon::fds() const {
   std::vector<int> fds;
   fds.push_back(listener_->fd());
   for (const Session& s : sessions_) fds.push_back(s.conn->fd());
+  if (parent_conn_ != nullptr && parent_conn_->open()) {
+    fds.push_back(parent_conn_->fd());
+  }
   return fds;
 }
 

@@ -22,6 +22,19 @@
 // every DomainReport: aggregated_counters() is the cluster-wide accounting
 // view (sum over the newest report of every domain, plus the arbiter's own
 // frame screening), so sharding the controller does not shard the books.
+//
+// Stacking (attach_parent): an arbiter can itself be a *child* of a higher
+// arbiter, which is how a physical deployment realizes an N-level
+// PowerTree. A stacked arbiter reports the aggregate of its children's
+// demands upward after every decision (same aggregation as
+// hier::PowerTree: summed floors/capacities, busy-weighted mean utility)
+// and divides its *parent grant* -- not the heartbeat cluster budget --
+// among its children on the next round; before the first parent grant it
+// assumes its configured static share of the cluster budget, mirroring
+// PerqController::budget_scope_w(). A child that announces kDomainLeaving
+// (re-parented elsewhere) is released outright: its grant returns to the
+// pool instead of being fenced, so the moved subtree never draws from old
+// and new parents at once.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +42,7 @@
 #include <vector>
 
 #include "core/robustness.hpp"
+#include "daemon/controller.hpp"
 #include "hier/arbiter.hpp"
 #include "net/frame_pool.hpp"
 #include "net/reactor.hpp"
@@ -61,6 +75,21 @@ class ArbiterDaemon {
   ArbiterDaemon(std::unique_ptr<net::Listener> listener, std::size_t domains,
                 ArbiterDaemonConfig cfg = {});
 
+  /// Stacks this arbiter under a higher one: it now behaves as domain
+  /// `domain_id` of `domain_count` toward its parent -- reporting its
+  /// children's aggregate demand upward and dividing the parent's grant
+  /// (static share of the cluster budget before the first grant) among
+  /// them. `att.tree_path` names this arbiter's root -> self path, which
+  /// rides in every child grant so children can fence grants from a
+  /// stale parent after re-parenting. Call before the first service().
+  void attach_parent(std::unique_ptr<net::Connection> conn,
+                     std::uint32_t domain_id, std::uint32_t domain_count,
+                     daemon::DomainAttachment att = {});
+
+  bool parent_attached() const { return parent_conn_ != nullptr; }
+  bool any_parent_grant() const { return any_parent_grant_; }
+  double parent_grant_w() const { return parent_grant_w_; }
+
   /// Drains the network: accepts domain controllers, ingests every pending
   /// report, reaps dead connections.
   void pump();
@@ -88,6 +117,11 @@ class ArbiterDaemon {
 
   /// Cluster busy budget the last allocation round carved up.
   double cluster_budget_w() const { return cluster_budget_w_; }
+
+  /// The scope this arbiter actually divides among its children: the
+  /// cluster budget at the root, the newest parent grant (or the static
+  /// share / equal split before it arrives) for a stacked arbiter.
+  double scope_w() const { return budget_in_use(cluster_budget_w_); }
 
   /// Newest demand the arbiter holds for `domain` (zero-initialized until
   /// the domain's first report).
@@ -131,6 +165,15 @@ class ArbiterDaemon {
 
   void ingest(std::size_t session_index, const proto::Message& m);
   bool try_decide();
+  /// Drains parent grants (stacked mode): newest-wins, path-fenced.
+  void pump_parent();
+  /// Reports the children's aggregate demand upward for tick `t`.
+  void send_parent_report(std::uint64_t t, const std::vector<DomainDemand>& live,
+                          double cluster_budget_w);
+  /// Budget this arbiter divides this round, given the cluster figure the
+  /// children reported: parent grant when stacked and granted, static
+  /// share before that, the full cluster budget at the root.
+  double budget_in_use(double cluster_budget_w) const;
   /// Fills every open session's inbox: serial for shards == 1, otherwise
   /// one drain task per non-empty shard on the worker pool. Ingestion
   /// stays serial in session-index order either way, so the decision
@@ -153,6 +196,17 @@ class ArbiterDaemon {
   std::uint64_t decided_tick_ = 0;
   double cluster_budget_w_ = 0.0;
   double reserved_w_ = 0.0;
+
+  // Stacked-mode state (all inert while parent_conn_ is null).
+  std::unique_ptr<net::Connection> parent_conn_;
+  int parent_reg_fd_ = -1;
+  std::vector<proto::Message> parent_inbox_;  ///< reused drain scratch
+  std::uint32_t parent_domain_id_ = 0;
+  std::uint32_t parent_domain_count_ = 1;
+  daemon::DomainAttachment attachment_;
+  bool any_parent_grant_ = false;
+  double parent_grant_w_ = 0.0;
+  std::uint64_t parent_grant_tick_ = 0;
 };
 
 }  // namespace perq::hier

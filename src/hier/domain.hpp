@@ -37,6 +37,26 @@ struct DomainMap {
   }
 };
 
+/// Tenant metadata carried by every node of the power tree. The defaults
+/// are exact no-ops in the water-filling arithmetic (weight 1.0 multiplies
+/// bit-exactly, a zero SLA floor never lifts the physical nj * P_min
+/// floor), which is what keeps an all-default tree bit-identical to the
+/// tenant-blind allocation.
+struct TenantSpec {
+  /// Static budget share assumed before the first grant arrives (and
+  /// reserved by the parent while the node has never reported). <= 0 means
+  /// "equal split across siblings", the pre-tenant behavior.
+  double share_weight = 0.0;
+  /// Multiplies the node's weight in both water-fill stages: a priority-2
+  /// tenant draws oversubscribed watts twice as fast as a priority-1
+  /// sibling with the same demand.
+  double priority_weight = 1.0;
+  /// SLA power floor in watts for the whole subtree: the allocation never
+  /// pins this tenant below the floor while the floor set is feasible,
+  /// even when its physical nj * P_min floor is lower.
+  double sla_floor_w = 0.0;
+};
+
 /// One domain's demand as seen by the arbiter at a decision instant.
 /// In-process this is built from core::PerqPolicy::last_feedback(); over
 /// the wire it arrives as a proto::DomainReport.
@@ -50,6 +70,9 @@ struct DomainDemand {
   double utility_per_w = 0.0;  ///< QP budget-row dual (marginal-watt value)
   double achieved_ips = 0.0;   ///< measured throughput last interval
   double target_ips = 0.0;     ///< fairness-target throughput
+  /// Tenant terms (defaults are exact no-ops, see TenantSpec).
+  double sla_floor_w = 0.0;       ///< SLA floor: lifts floor_w when higher
+  double priority_weight = 1.0;   ///< multiplies both fill-stage weights
 };
 
 }  // namespace perq::hier

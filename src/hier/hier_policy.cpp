@@ -14,6 +14,10 @@ HierarchicalPerqPolicy::HierarchicalPerqPolicy(
     std::size_t total_nodes, const HierConfig& cfg)
     : cfg_(cfg), map_{cfg.domains} {
   PERQ_REQUIRE(cfg_.domains >= 1, "need at least one budget domain");
+  tree_ = std::make_unique<PowerTree>(
+      cfg_.tree.nodes.empty() ? TreeSpec::flat(cfg_.domains) : cfg_.tree);
+  PERQ_REQUIRE(tree_->leaves() == cfg_.domains,
+               "budget tree must have exactly one leaf per domain");
   policies_.reserve(cfg_.domains);
   for (std::size_t d = 0; d < cfg_.domains; ++d) {
     policies_.push_back(std::make_unique<core::PerqPolicy>(
@@ -44,6 +48,8 @@ double HierarchicalPerqPolicy::target_ips(int job_id) const {
 core::RobustnessCounters HierarchicalPerqPolicy::counters() const {
   core::RobustnessCounters sum;
   for (const auto& p : policies_) sum += p->counters();
+  sum.sla_floor_activations += tree_->sla_floor_activations();
+  sum.reparent_events += tree_->reparent_events();
   return sum;
 }
 
@@ -110,13 +116,13 @@ std::vector<double> HierarchicalPerqPolicy::allocate(
     last_demands_.push_back(dem);
   }
 
-  // Arbiter: carve the cluster's busy budget into per-domain grants.
-  const std::vector<double> filled =
-      water_fill(ctx.budget_for_busy_w, last_demands_);
-  last_grants_w_.assign(k, 0.0);
-  for (std::size_t a = 0; a < active.size(); ++a) {
-    last_grants_w_[active[a]] = filled[a];
-  }
+  // Arbiter: carve the cluster's busy budget into per-domain grants down
+  // the budget tree. The default flat tree reduces to exactly one
+  // water_fill over the active domains' demands (bit-identical to the
+  // pre-tree arbiter); a deeper tree water-fills level by level.
+  const std::vector<double>& filled =
+      tree_->allocate(ctx.budget_for_busy_w, last_demands_);
+  last_grants_w_ = filled;
 
   // Domain solves, fanned out on the shared pool. Each solve writes only
   // its own slot; the MPC's nested parallel_for runs inline on a pool

@@ -25,6 +25,7 @@
 #include "core/perq_policy.hpp"
 #include "hier/arbiter.hpp"
 #include "hier/domain.hpp"
+#include "hier/tree.hpp"
 
 namespace perq::hier {
 
@@ -32,6 +33,12 @@ struct HierConfig {
   std::size_t domains = 1;   ///< K; 1 = monolithic (bit-identical to PERQ)
   core::PerqConfig domain;   ///< configuration of every per-domain policy
   bool parallel = true;      ///< fan the K domain solves out on the pool
+  /// Budget tree over the K domains. Empty (the default) means
+  /// TreeSpec::flat(domains) -- one arbiter over K leaves, which allocates
+  /// bit-identically to the pre-tree water_fill call. A deeper spec must
+  /// have exactly `domains` leaves; its interior nodes and tenant terms
+  /// then shape the allocation level by level.
+  TreeSpec tree;
 };
 
 class HierarchicalPerqPolicy final : public policy::PowerPolicy {
@@ -64,9 +71,16 @@ class HierarchicalPerqPolicy final : public policy::PowerPolicy {
   /// Demands handed to the arbiter in the most recent allocate().
   const std::vector<DomainDemand>& last_demands() const { return last_demands_; }
 
-  /// Aggregated robustness counters: the sum over all domain policies --
+  /// Aggregated robustness counters: the sum over all domain policies plus
+  /// the tree's allocation accounting (SLA floors, re-parent events) --
   /// sharding must not lose accounting relative to the monolithic run.
   core::RobustnessCounters counters() const;
+
+  /// The budget tree driving allocate() for K > 1. Mutable so callers can
+  /// re-parent subtrees between decisions (the next allocate() follows the
+  /// new edges).
+  PowerTree& tree() { return *tree_; }
+  const PowerTree& tree() const { return *tree_; }
 
   /// Per-interval decision latency of the whole hierarchical step
   /// (arbiter + slowest domain solve), aligned with allocate() calls.
@@ -77,6 +91,7 @@ class HierarchicalPerqPolicy final : public policy::PowerPolicy {
  private:
   HierConfig cfg_;
   DomainMap map_;
+  std::unique_ptr<PowerTree> tree_;
   std::vector<std::unique_ptr<core::PerqPolicy>> policies_;
   std::vector<double> last_grants_w_;
   std::vector<DomainDemand> last_demands_;

@@ -78,6 +78,29 @@ void write_body(WireWriter& w, const DomainReport& m) {
   w.u64(m.failsafe_activations);
   w.u64(m.stale_epoch_frames);
   w.u64(m.controller_epoch);
+  // Trailing v2 extension, written only when it would say something: a
+  // tenant-blank depth-1 report stays byte-identical to a v1 encoder.
+  const bool extended = m.flags != 0 || m.grants_fenced != 0 ||
+                        m.reparent_events != 0 || m.sla_floor_activations != 0 ||
+                        !m.tree_path.empty() || m.sla_floor_w != 0.0 ||
+                        m.priority_weight != 1.0 || m.share_weight != 0.0;
+  if (!extended) return;
+  w.u8(2);  // body version
+  w.u8(m.flags);
+  w.u64(m.grants_fenced);
+  w.u64(m.reparent_events);
+  w.u64(m.sla_floor_activations);
+  w.u8(static_cast<std::uint8_t>(m.tree_path.size()));
+  for (std::uint32_t node : m.tree_path) w.u32(node);
+  // Tenant TLV: every known id is always written (fixed-width entries), so
+  // a reader that knows fewer ids can still step over the rest.
+  w.u8(3);
+  w.u8(kTenantSlaFloorW);
+  w.f64(m.sla_floor_w);
+  w.u8(kTenantPriorityWeight);
+  w.f64(m.priority_weight);
+  w.u8(kTenantShareWeight);
+  w.f64(m.share_weight);
 }
 
 void write_body(WireWriter& w, const BudgetGrant& m) {
@@ -85,6 +108,12 @@ void write_body(WireWriter& w, const BudgetGrant& m) {
   w.u64(m.tick);
   w.f64(m.grant_w);
   w.f64(m.cluster_budget_w);
+  const bool extended = m.arbiter_epoch != 0 || !m.tree_path.empty();
+  if (!extended) return;
+  w.u8(2);  // body version
+  w.u64(m.arbiter_epoch);
+  w.u8(static_cast<std::uint8_t>(m.tree_path.size()));
+  for (std::uint32_t node : m.tree_path) w.u32(node);
 }
 
 void write_body(WireWriter& w, const CapPlanDelta& m) {
@@ -166,8 +195,8 @@ Bye read_bye(WireReader& r) {
   return m;
 }
 
-DomainReport read_domain_report(WireReader& r) {
-  DomainReport m;
+bool read_domain_report(WireReader& r, DomainReport& m) {
+  m.tree_path.clear();  // capacity kept: the reuse contract of parse_frame_into
   m.domain_id = r.u32();
   m.domain_count = r.u32();
   m.tick = r.u64();
@@ -189,16 +218,68 @@ DomainReport read_domain_report(WireReader& r) {
   m.failsafe_activations = r.u64();
   m.stale_epoch_frames = r.u64();
   m.controller_epoch = r.u64();
-  return m;
+  // Reset the v2 fields before probing the extension: the reused slot may
+  // still hold the previous frame's values, and an absent extension must
+  // decode as the defaults.
+  m.flags = 0;
+  m.grants_fenced = 0;
+  m.reparent_events = 0;
+  m.sla_floor_activations = 0;
+  m.sla_floor_w = 0.0;
+  m.priority_weight = 1.0;
+  m.share_weight = 0.0;
+  if (!r.ok()) return false;
+  if (r.remaining() == 0) return true;  // v1 body: defaults stand
+  const std::uint8_t body_version = r.u8();
+  if (body_version < 2) return false;
+  m.flags = r.u8();
+  m.grants_fenced = r.u64();
+  m.reparent_events = r.u64();
+  m.sla_floor_activations = r.u64();
+  const std::uint8_t path_len = r.u8();
+  if (!r.ok() || path_len > kMaxTreePathDepth ||
+      static_cast<std::size_t>(path_len) * 4 > r.remaining()) {
+    return false;  // tree-path truncation or an absurd depth both reject
+  }
+  m.tree_path.reserve(path_len);
+  for (std::uint8_t i = 0; i < path_len; ++i) m.tree_path.push_back(r.u32());
+  const std::uint8_t tlv_count = r.u8();
+  if (!r.ok() || static_cast<std::size_t>(tlv_count) * 9 > r.remaining()) {
+    return false;
+  }
+  for (std::uint8_t i = 0; i < tlv_count; ++i) {
+    const std::uint8_t id = r.u8();
+    const double value = r.f64();
+    switch (id) {
+      case kTenantSlaFloorW: m.sla_floor_w = value; break;
+      case kTenantPriorityWeight: m.priority_weight = value; break;
+      case kTenantShareWeight: m.share_weight = value; break;
+      default: break;  // unknown tenant field: tolerated, stepped over
+    }
+  }
+  return r.ok();
 }
 
-BudgetGrant read_budget_grant(WireReader& r) {
-  BudgetGrant m;
+bool read_budget_grant(WireReader& r, BudgetGrant& m) {
+  m.tree_path.clear();  // capacity kept: the reuse contract of parse_frame_into
   m.domain_id = r.u32();
   m.tick = r.u64();
   m.grant_w = r.f64();
   m.cluster_budget_w = r.f64();
-  return m;
+  m.arbiter_epoch = 0;
+  if (!r.ok()) return false;
+  if (r.remaining() == 0) return true;  // v1 body: defaults stand
+  const std::uint8_t body_version = r.u8();
+  if (body_version < 2) return false;
+  m.arbiter_epoch = r.u64();
+  const std::uint8_t path_len = r.u8();
+  if (!r.ok() || path_len > kMaxTreePathDepth ||
+      static_cast<std::size_t>(path_len) * 4 > r.remaining()) {
+    return false;
+  }
+  m.tree_path.reserve(path_len);
+  for (std::uint8_t i = 0; i < path_len; ++i) m.tree_path.push_back(r.u32());
+  return r.ok();
 }
 
 bool read_cap_plan_delta(WireReader& r, CapPlanDelta& m) {
@@ -350,8 +431,12 @@ bool parse_frame_into(const std::uint8_t* data, std::size_t size, Message& out) 
       break;
     case MsgType::kHeartbeat: out = read_heartbeat(r); break;
     case MsgType::kBye: out = read_bye(r); break;
-    case MsgType::kDomainReport: out = read_domain_report(r); break;
-    case MsgType::kBudgetGrant: out = read_budget_grant(r); break;
+    case MsgType::kDomainReport:
+      if (!read_domain_report(r, slot_as<DomainReport>(out))) return false;
+      break;
+    case MsgType::kBudgetGrant:
+      if (!read_budget_grant(r, slot_as<BudgetGrant>(out))) return false;
+      break;
     case MsgType::kCapPlanDelta:
       if (!read_cap_plan_delta(r, slot_as<CapPlanDelta>(out))) return false;
       break;

@@ -6,6 +6,7 @@
 #include <bit>
 #include <cstdint>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "hier/arbiter.hpp"
@@ -99,6 +100,99 @@ TEST(WaterFill, DeterministicAcrossCalls) {
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(bits(a[i]), bits(b[i]));
 }
 
+TEST(WaterFill, PermutingInsertionOrderYieldsIdenticalGrants) {
+  // The allocation is a function of the demand *set*: internally the
+  // demands run through the arithmetic in canonical domain_id order and
+  // the grants scatter back, so any insertion order gives bit-identical
+  // results. Nondeterminism here would compound through every level of a
+  // recursive tree.
+  Rng rng(512);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 9));
+    const auto demands = random_demands(rng, n);
+    double capacity_sum = 0.0;
+    for (const auto& d : demands) capacity_sum += d.capacity_w;
+    const double budget = rng.uniform(0.0, capacity_sum * 1.3);
+    const auto baseline = water_fill(budget, demands);
+
+    // Fisher-Yates off the shared Rng, tracking where each demand went.
+    std::vector<std::size_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    for (std::size_t i = n; i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(perm[i - 1], perm[j]);
+    }
+    std::vector<DomainDemand> shuffled(n);
+    for (std::size_t k = 0; k < n; ++k) shuffled[k] = demands[perm[k]];
+
+    const auto permuted = water_fill(budget, shuffled);
+    ASSERT_EQ(permuted.size(), n);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_EQ(bits(permuted[k]), bits(baseline[perm[k]]))
+          << "trial " << trial << " position " << k;
+    }
+  }
+}
+
+TEST(WaterFill, SlaFloorLiftsThePhysicalFloor) {
+  DomainDemand a, b;
+  a.domain_id = 0;
+  a.busy_nodes = b.busy_nodes = 10.0;
+  a.floor_w = b.floor_w = 700.0;
+  a.capacity_w = b.capacity_w = 2150.0;
+  b.domain_id = 1;
+  a.sla_floor_w = 1500.0;  // tenant guarantee above nj * P_min
+
+  WaterFillStats stats;
+  const double budget = 2400.0;
+  const auto grants = water_fill(budget, {a, b}, &stats);
+  // Floors become {1500, 700}; the 200 W head-room spreads node-
+  // proportionally (equal busy, both utilities slack): 100 each.
+  EXPECT_NEAR(grants[0], 1600.0, 1e-9);
+  EXPECT_NEAR(grants[1], 800.0, 1e-9);
+  EXPECT_EQ(stats.sla_floor_activations, 1u);
+}
+
+TEST(WaterFill, InfeasibleSlaFloorsScaleWithTheRest) {
+  DomainDemand a, b;
+  a.domain_id = 0;
+  a.busy_nodes = b.busy_nodes = 10.0;
+  a.floor_w = b.floor_w = 700.0;
+  a.capacity_w = b.capacity_w = 2150.0;
+  b.domain_id = 1;
+  a.sla_floor_w = 1400.0;  // lifted floors need 2100: only half fits
+
+  const double budget = 1050.0;
+  const auto grants = water_fill(budget, {a, b});
+  EXPECT_NEAR(grants[0], 700.0, 1e-9);
+  EXPECT_NEAR(grants[1], 350.0, 1e-9);
+  EXPECT_NEAR(sum(grants), budget, 1e-9);
+}
+
+TEST(WaterFill, PriorityWeightTiltsBothStages) {
+  DomainDemand a, b;
+  a.domain_id = 0;
+  a.busy_nodes = b.busy_nodes = 10.0;
+  a.floor_w = b.floor_w = 700.0;
+  a.capacity_w = b.capacity_w = 2150.0;
+  b.domain_id = 1;
+  a.priority_weight = 2.0;
+
+  // Stage 1 (both budget rows binding): equal demand, double priority --
+  // domain 0 draws head-room twice as fast.
+  a.utility_per_w = b.utility_per_w = 1.0;
+  const auto constrained = water_fill(2400.0, {a, b});
+  EXPECT_NEAR(constrained[0] - 700.0, 2.0 * (constrained[1] - 700.0), 1e-6);
+  EXPECT_NEAR(sum(constrained), 2400.0, 1e-6);
+
+  // Stage 2 (cold start, both utilities zero): same 2:1 tilt.
+  a.utility_per_w = b.utility_per_w = 0.0;
+  const auto cold = water_fill(2600.0, {a, b});
+  EXPECT_NEAR(cold[0], 1500.0, 1e-9);  // floor + 2/3 of the 1200 W pool
+  EXPECT_NEAR(cold[1], 1100.0, 1e-9);
+}
+
 TEST(WaterFill, ConstrainedDomainOutranksSlackDomain) {
   // Two identical domains except domain 0's budget row is binding
   // (positive dual): the head-room above the floors must flow to it first.
@@ -175,6 +269,48 @@ TEST(BudgetArbiter, NeverGrantedSilentDomainIsNotFenced) {
   EXPECT_FALSE(arbiter.fenced(1));  // domain 1 never reported, never granted
   EXPECT_EQ(arbiter.fenced_w(), 0.0);
   EXPECT_EQ(arbiter.grants_w()[1], 0.0);
+}
+
+TEST(BudgetArbiter, ReleaseReturnsWattsToThePool) {
+  // A domain that *announces* it is leaving (re-parented under another
+  // arbiter) is released, not fenced: unlike a silent crash its watts are
+  // no longer physically committed here, so they must return to the pool
+  // or the subtree would double-draw from old and new parents.
+  BudgetArbiter arbiter(2);
+  Rng rng(17);
+  const auto demands = random_demands(rng, 2);
+  const double budget = 20000.0;
+  arbiter.allocate(budget, demands);
+  EXPECT_GT(arbiter.grants_w()[1], 0.0);
+
+  arbiter.release(1);
+  EXPECT_EQ(arbiter.grants_w()[1], 0.0);
+  EXPECT_FALSE(arbiter.fenced(1));
+  EXPECT_EQ(arbiter.fenced_w(), 0.0);
+
+  // Next decision: domain 1 stays silent but is NOT fenced (released state
+  // equals never-granted), so the lone live domain gets the whole budget.
+  const auto& grants = arbiter.allocate(budget, {demands[0]});
+  EXPECT_EQ(bits(grants[0]), bits(budget));
+  EXPECT_EQ(grants[1], 0.0);
+  EXPECT_FALSE(arbiter.fenced(1));
+  EXPECT_EQ(arbiter.fenced_w(), 0.0);
+}
+
+TEST(BudgetArbiter, SlaActivationsAccumulateAcrossDecisions) {
+  BudgetArbiter arbiter(2);
+  DomainDemand a, b;
+  a.domain_id = 0;
+  a.busy_nodes = b.busy_nodes = 10.0;
+  a.floor_w = b.floor_w = 700.0;
+  a.capacity_w = b.capacity_w = 2150.0;
+  b.domain_id = 1;
+  a.sla_floor_w = 1500.0;
+
+  arbiter.allocate(2400.0, {a, b});
+  arbiter.allocate(2400.0, {a, b});
+  EXPECT_EQ(arbiter.sla_floor_activations(), 2u);
+  EXPECT_GE(arbiter.grants_w()[0], 1500.0 - 1e-9);
 }
 
 TEST(BudgetArbiter, ConservationHoldsAcrossFencingChurn) {

@@ -1,0 +1,154 @@
+// Stacked-arbiter daemon tests: the mids==0 tree deployment delegates to
+// the flat K+1-daemon experiment bit-for-bit (the depth-1 identity), and a
+// real depth-2 tree -- root arbiter over mid arbiters over domain
+// controllers -- runs to completion deterministically while conserving
+// grants at every level (max_level_overdraw_w stays at FP noise).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/node_model.hpp"
+#include "core/perq_policy.hpp"
+#include "hier/experiment.hpp"
+
+namespace perq::hier {
+namespace {
+
+core::EngineConfig small_cfg() {
+  core::EngineConfig cfg;
+  cfg.trace.system = trace::SystemModel::kTrinity;
+  cfg.trace.max_job_nodes = 4;
+  cfg.trace.seed = 5;
+  cfg.worst_case_nodes = 16;
+  cfg.over_provision_factor = 2.0;
+  cfg.duration_s = 1200.0;
+  cfg.control_interval_s = 10.0;
+  cfg.trace.job_count = core::recommended_job_count(cfg);
+  cfg.traced_jobs = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  return cfg;
+}
+
+std::size_t total_nodes(const core::EngineConfig& cfg) {
+  return static_cast<std::size_t>(cfg.over_provision_factor *
+                                      double(cfg.worst_case_nodes) +
+                                  0.5);
+}
+
+std::vector<std::unique_ptr<core::PerqPolicy>> make_policies(
+    const core::EngineConfig& cfg, std::size_t k) {
+  std::vector<std::unique_ptr<core::PerqPolicy>> policies;
+  for (std::size_t d = 0; d < k; ++d) {
+    policies.push_back(std::make_unique<core::PerqPolicy>(
+        &core::canonical_node_model(), cfg.worst_case_nodes,
+        total_nodes(cfg)));
+  }
+  return policies;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+void expect_bit_identical(const core::RunResult& a, const core::RunResult& b) {
+  ASSERT_EQ(a.finished.size(), b.finished.size());
+  for (std::size_t i = 0; i < a.finished.size(); ++i) {
+    EXPECT_EQ(a.finished[i].id, b.finished[i].id) << "job order at " << i;
+    EXPECT_EQ(bits(a.finished[i].start_s), bits(b.finished[i].start_s));
+    EXPECT_EQ(bits(a.finished[i].finish_s), bits(b.finished[i].finish_s));
+  }
+  ASSERT_EQ(a.traces.size(), b.traces.size());
+  for (std::size_t i = 0; i < a.traces.size(); ++i) {
+    EXPECT_EQ(a.traces[i].job_id, b.traces[i].job_id) << "trace row " << i;
+    EXPECT_EQ(bits(a.traces[i].cap_w), bits(b.traces[i].cap_w))
+        << "cap diverged at t=" << a.traces[i].t_s << " job "
+        << a.traces[i].job_id;
+    EXPECT_EQ(bits(a.traces[i].job_ips), bits(b.traces[i].job_ips));
+  }
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(bits(a.peak_committed_w), bits(b.peak_committed_w));
+  EXPECT_EQ(bits(a.mean_power_draw_w), bits(b.mean_power_draw_w));
+}
+
+TEST(TreeDaemon, MidsZeroDelegatesToTheFlatDeploymentBitForBit) {
+  const auto cfg = small_cfg();
+
+  auto flat_policies = make_policies(cfg, 2);
+  const auto flat = run_hier_loopback_daemon_experiment(cfg, 2, flat_policies);
+
+  auto tree_policies = make_policies(cfg, 2);
+  const auto tree =
+      run_tree_loopback_daemon_experiment(cfg, 2, /*mids=*/0, tree_policies);
+
+  expect_bit_identical(flat.run, tree.run);
+  EXPECT_EQ(tree.root_decisions, flat.arbiter_decisions);
+  EXPECT_TRUE(tree.mid_grants_w.empty());
+  EXPECT_TRUE(tree.mid_decisions.empty());
+  ASSERT_EQ(tree.root_grants_w.size(), flat.final_grants_w.size());
+  for (std::size_t d = 0; d < tree.root_grants_w.size(); ++d) {
+    EXPECT_EQ(bits(tree.root_grants_w[d]), bits(flat.final_grants_w[d]));
+  }
+}
+
+TEST(TreeDaemon, DepthTwoTreeRunsCleanAndConservesEveryLevel) {
+  const auto cfg = small_cfg();
+  auto policies = make_policies(cfg, 4);
+  const auto r =
+      run_tree_loopback_daemon_experiment(cfg, 4, /*mids=*/2, policies);
+
+  EXPECT_GT(r.run.jobs_completed, 0u);
+  EXPECT_EQ(r.run.policy_name, "PERQ-TREE2x4");
+  EXPECT_GT(r.root_decisions, 0u);
+  ASSERT_EQ(r.mid_decisions.size(), 2u);
+  EXPECT_GT(r.mid_decisions[0], 0u);
+  EXPECT_GT(r.mid_decisions[1], 0u);
+  ASSERT_EQ(r.root_grants_w.size(), 2u);
+  ASSERT_EQ(r.mid_grants_w.size(), 2u);
+  ASSERT_EQ(r.mid_grants_w[0].size(), 2u);  // domains 0, 2 under mid 0
+  // Conservation at every level: the worst observed overdraw (grants +
+  // cold-start reserves minus the scope divided, captured at decide time)
+  // must be FP noise, never a real watt.
+  EXPECT_LE(r.max_level_overdraw_w, 1e-3);
+  // A clean loopback run fires no defenses at any level.
+  EXPECT_EQ(r.aggregated_counters.frames_corrupt, 0u);
+  EXPECT_EQ(r.aggregated_counters.grants_fenced, 0u);
+  EXPECT_EQ(r.aggregated_counters.reparent_events, 0u);
+}
+
+TEST(TreeDaemon, DepthTwoTreeIsDeterministic) {
+  const auto cfg = small_cfg();
+  auto pa = make_policies(cfg, 4);
+  const auto a = run_tree_loopback_daemon_experiment(cfg, 4, 2, pa);
+  auto pb = make_policies(cfg, 4);
+  const auto b = run_tree_loopback_daemon_experiment(cfg, 4, 2, pb);
+
+  expect_bit_identical(a.run, b.run);
+  EXPECT_EQ(a.root_decisions, b.root_decisions);
+  ASSERT_EQ(a.root_grants_w.size(), b.root_grants_w.size());
+  for (std::size_t m = 0; m < a.root_grants_w.size(); ++m) {
+    EXPECT_EQ(bits(a.root_grants_w[m]), bits(b.root_grants_w[m]));
+  }
+  EXPECT_EQ(bits(a.max_level_overdraw_w), bits(b.max_level_overdraw_w));
+}
+
+TEST(TreeDaemon, TenantTermsTravelUpTheTree) {
+  const auto cfg = small_cfg();
+  auto policies = make_policies(cfg, 4);
+  std::vector<daemon::DomainAttachment> tenants(4);
+  // Above the whole machine's nj * P_min (32 nodes x 90 W), so it lifts
+  // domain 2's physical floor on every tick the domain reports.
+  tenants[2].sla_floor_w = 2900.0;
+  tenants[0].priority_weight = 2.0;
+  const auto r = run_tree_loopback_daemon_experiment(cfg, 4, 2, policies, {},
+                                                     {}, 1, tenants);
+
+  EXPECT_GT(r.run.jobs_completed, 0u);
+  EXPECT_LE(r.max_level_overdraw_w, 1e-3);
+  // The SLA floor actually shaped mid-level fills, and the activation
+  // count aggregated through the mid's report into the root's view.
+  EXPECT_GT(r.aggregated_counters.sla_floor_activations, 0u);
+}
+
+}  // namespace
+}  // namespace perq::hier
